@@ -1,0 +1,119 @@
+//! Accelerator timing models.
+//!
+//! The paper's accelerator study implements SPLASH2 FFT on the Xilinx
+//! boards ("XFFT") and also mentions crypto accelerators in the Fig 11
+//! example. We model both: a streaming FFT core whose time grows as
+//! `n log n`, and a fixed-rate crypto engine.
+
+use venice_sim::Time;
+
+/// The accelerator types that appear in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AcceleratorKind {
+    /// Xilinx XFFT streaming FFT core.
+    Fft,
+    /// Symmetric crypto engine.
+    Crypto,
+}
+
+impl std::fmt::Display for AcceleratorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AcceleratorKind::Fft => "FFT",
+            AcceleratorKind::Crypto => "crypto",
+        })
+    }
+}
+
+/// Timing model of one accelerator instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorModel {
+    /// Device type.
+    pub kind: AcceleratorKind,
+    /// Core clock in MHz.
+    pub mhz: f64,
+    /// Fixed per-task launch latency (configuration, DMA kickoff).
+    pub launch_latency: Time,
+}
+
+impl AcceleratorModel {
+    /// The prototype's XFFT core in programmable logic (~150 MHz).
+    pub fn xfft() -> Self {
+        AcceleratorModel {
+            kind: AcceleratorKind::Fft,
+            mhz: 150.0,
+            launch_latency: Time::from_us(20),
+        }
+    }
+
+    /// A crypto block at the same clock.
+    pub fn crypto() -> Self {
+        AcceleratorModel {
+            kind: AcceleratorKind::Crypto,
+            mhz: 150.0,
+            launch_latency: Time::from_us(10),
+        }
+    }
+
+    /// Execution time for a task over `input_bytes` of data.
+    ///
+    /// FFT: complex single-precision points (8 bytes each), a pipelined
+    /// core streaming one point per cycle per `log2 n` passes. Crypto:
+    /// one 16-byte block per cycle.
+    pub fn compute(&self, input_bytes: u64) -> Time {
+        match self.kind {
+            AcceleratorKind::Fft => {
+                let points = (input_bytes / 8).max(2);
+                let passes = 64 - (points - 1).leading_zeros() as u64; // ceil(log2)
+                Time::from_cycles(points * passes, self.mhz) + self.launch_latency
+            }
+            AcceleratorKind::Crypto => {
+                let blocks = input_bytes.div_ceil(16).max(1);
+                Time::from_cycles(blocks, self.mhz) + self.launch_latency
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_scales_n_log_n() {
+        let m = AcceleratorModel::xfft();
+        let t1 = m.compute(1 << 20) - m.launch_latency;
+        let t2 = m.compute(1 << 21) - m.launch_latency;
+        // Doubling n: time grows by 2 * (log+1)/log ≈ 2.06 at these sizes.
+        let ratio = t2.ratio(t1);
+        assert!((2.0..2.2).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn launch_latency_dominates_tiny_tasks() {
+        let m = AcceleratorModel::xfft();
+        let t = m.compute(64);
+        assert!(t < m.launch_latency + Time::from_us(1));
+    }
+
+    #[test]
+    fn fig16a_dataset_compute_times() {
+        // The 512 MB dataset should take seconds of FFT time — large
+        // against its ~0.9 s transfer at 5 Gbps, which is why Fig 16a
+        // scales nearly linearly.
+        let m = AcceleratorModel::xfft();
+        let t512 = m.compute(512 << 20);
+        assert!(t512.as_secs_f64() > 5.0, "t512 = {t512}");
+        let t8 = m.compute(8 << 20);
+        assert!(t8.as_ms_f64() > 100.0);
+    }
+
+    #[test]
+    fn crypto_linear_in_bytes() {
+        let m = AcceleratorModel::crypto();
+        let t1 = m.compute(1 << 20) - m.launch_latency;
+        let t2 = m.compute(2 << 20) - m.launch_latency;
+        // Cycle times round to picoseconds, so allow 1 ps of slack.
+        assert!(t2.as_ps().abs_diff(t1.as_ps() * 2) <= 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! The client-side accelerator library (paper Fig 11).
+//!
+//! "When an application needs accelerators, it uses our API to invoke
+//! library calls that request accelerator(s) from the resource management
+//! middleware ... Accelerator details are abstracted away from the
+//! application, which merely sends requests through the library. The
+//! library handles all details, including dispatching tasks using the
+//! right channel to send to each accelerator mailbox."
+//!
+//! [`Dispatcher::run_dataset`] reproduces Fig 16a's experiment: a dataset
+//! is split into tasks and fanned out over one local plus N remote
+//! accelerators; the makespan determines the speedup.
+
+use venice_fabric::NodeId;
+use venice_sim::Time;
+use venice_transport::{PathModel, RdmaConfig, RdmaEngine};
+
+use crate::device::AcceleratorModel;
+use crate::host::HostAgent;
+
+/// A granted accelerator, as returned by the management middleware:
+/// node id + mailbox base address (we carry the device model instead of a
+/// raw address).
+#[derive(Debug, Clone)]
+pub struct AcceleratorHandle {
+    /// Node hosting the device.
+    pub node: NodeId,
+    /// Device timing model.
+    pub model: AcceleratorModel,
+}
+
+/// The dispatch library: fans tasks out across granted accelerators.
+///
+/// # Example
+///
+/// ```
+/// use venice_accel::{AcceleratorModel, Dispatcher};
+///
+/// // One local accelerator plus two remote ones.
+/// let d = Dispatcher::fig16a(2);
+/// let speedup = d.speedup(8 << 20, 1 << 20);
+/// assert!(speedup > 2.0 && speedup <= 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    /// Requesting node.
+    pub client: NodeId,
+    /// Granted accelerators (client-local ones have `node == client`).
+    pub handles: Vec<AcceleratorHandle>,
+    /// Fabric path model for remote transfers.
+    pub path: PathModel,
+    /// RDMA configuration used to move input/output buffers.
+    pub rdma: RdmaConfig,
+    /// Donor-side host agent parameters.
+    pub agent: HostAgent,
+    /// Local memcpy bandwidth for staging into a local mailbox (Gbps).
+    pub local_copy_gbps: f64,
+}
+
+impl Dispatcher {
+    /// The Fig 16a setup: client on node 0 with one local XFFT plus
+    /// `remote` remote XFFTs on distinct mesh neighbors.
+    pub fn fig16a(remote: u16) -> Self {
+        let mut handles = vec![AcceleratorHandle { node: NodeId(0), model: AcceleratorModel::xfft() }];
+        for i in 0..remote {
+            handles.push(AcceleratorHandle {
+                node: NodeId(i + 1),
+                model: AcceleratorModel::xfft(),
+            });
+        }
+        Dispatcher {
+            client: NodeId(0),
+            handles,
+            path: PathModel::prototype_mesh(),
+            rdma: RdmaConfig::default(),
+            agent: HostAgent::new(),
+            local_copy_gbps: 40.0,
+        }
+    }
+
+    /// Time for one task of `bytes` on `handle`, including staging the
+    /// input, mailbox service, compute, and returning the output.
+    pub fn task_time(&self, handle: &AcceleratorHandle, bytes: u64) -> Time {
+        let compute = handle.model.compute(bytes);
+        if handle.node == self.client {
+            // Local: memcpy in/out of the pinned buffers, no fabric.
+            let copy = Time::serialize_bytes(bytes, self.local_copy_gbps);
+            copy + compute + copy
+        } else {
+            // Remote: RDMA the input over, host agent launches, RDMA the
+            // output back.
+            let mut engine = RdmaEngine::new(self.client, self.rdma.clone());
+            let xfer_in = engine.transfer_latency(&self.path, handle.node, bytes);
+            let xfer_out = engine.transfer_latency(&self.path, handle.node, bytes);
+            let host = self.agent.poll_period + self.agent.task_overhead;
+            xfer_in + host + compute + xfer_out
+        }
+    }
+
+    /// Makespan of processing `total_bytes` split into `task_bytes` tasks
+    /// dispatched round-robin across all granted accelerators (tasks on
+    /// different accelerators proceed in parallel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task_bytes` is zero or no accelerators are granted.
+    pub fn run_dataset(&self, total_bytes: u64, task_bytes: u64) -> Time {
+        assert!(task_bytes > 0, "task size must be positive");
+        assert!(!self.handles.is_empty(), "no accelerators granted");
+        let tasks = total_bytes.div_ceil(task_bytes);
+        let mut busy_until = vec![Time::ZERO; self.handles.len()];
+        for i in 0..tasks {
+            let h = (i % self.handles.len() as u64) as usize;
+            let bytes = task_bytes.min(total_bytes - i * task_bytes);
+            busy_until[h] += self.task_time(&self.handles[h], bytes);
+        }
+        busy_until.into_iter().max().unwrap_or(Time::ZERO)
+    }
+
+    /// Speedup over using only the single local accelerator (the Fig 16a
+    /// y-axis).
+    pub fn speedup(&self, total_bytes: u64, task_bytes: u64) -> f64 {
+        let local_only = Dispatcher {
+            handles: vec![self.handles[0].clone()],
+            ..self.clone()
+        };
+        let base = local_only.run_dataset(total_bytes, task_bytes);
+        let with_remote = self.run_dataset(total_bytes, task_bytes);
+        base.ratio(with_remote)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_task_costs_more_than_local() {
+        let d = Dispatcher::fig16a(1);
+        let local = d.task_time(&d.handles[0], 1 << 20);
+        let remote = d.task_time(&d.handles[1], 1 << 20);
+        assert!(remote > local);
+        // But compute dominates: the remote penalty is < 35%.
+        assert!(remote.ratio(local) < 1.35, "ratio = {}", remote.ratio(local));
+    }
+
+    #[test]
+    fn fig16a_scaling_is_near_linear() {
+        // Paper: "performance improves almost linearly with the number of
+        // accelerators".
+        for (remote, min_speedup) in [(1u16, 1.7), (2, 2.4), (3, 3.1)] {
+            let d = Dispatcher::fig16a(remote);
+            let s = d.speedup(512 << 20, 8 << 20);
+            let ideal = (remote + 1) as f64;
+            assert!(
+                s >= min_speedup && s <= ideal + 1e-9,
+                "{remote} remote: speedup {s:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_dataset_scales_slightly_worse() {
+        let d = Dispatcher::fig16a(3);
+        let small = d.speedup(8 << 20, 1 << 20);
+        let large = d.speedup(512 << 20, 8 << 20);
+        assert!(small <= large + 1e-9, "small {small:.2} vs large {large:.2}");
+        assert!(small > 2.0);
+    }
+
+    #[test]
+    fn uneven_tail_task_is_handled() {
+        let d = Dispatcher::fig16a(1);
+        // 3 tasks of 1 MB + a 512 KB tail.
+        let t = d.run_dataset((3 << 20) + (512 << 10), 1 << 20);
+        assert!(t > Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_task_size_rejected() {
+        Dispatcher::fig16a(1).run_dataset(1 << 20, 0);
+    }
+}

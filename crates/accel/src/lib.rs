@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Remote accelerator sharing (paper §5.2.2, Figs 11 and 16a).
+//!
+//! "Venice abstracts accelerators as message-passing mailboxes
+//! (implemented as buffers pinned in memory)." A mailbox holds a request
+//! buffer (the executable), input and return data buffers, and start/
+//! completion flags. A kernel thread on the donor node launches tasks on
+//! behalf of recipients; for exclusively-shared accelerators, the access
+//! interface can instead be mapped straight into the recipient
+//! ([`direct`]).
+//!
+//! * [`mailbox`] — the five-field mailbox state machine;
+//! * [`device`] — accelerator timing models (XFFT, crypto);
+//! * [`host`] — the donor-side kernel thread;
+//! * [`dispatch`] — the client library of Fig 11: applications ask the
+//!   middleware for accelerators and dispatch through handles, never
+//!   seeing locations.
+
+pub mod device;
+pub mod direct;
+pub mod dispatch;
+pub mod host;
+pub mod mailbox;
+
+pub use device::{AcceleratorKind, AcceleratorModel};
+pub use dispatch::{AcceleratorHandle, Dispatcher};
+pub use host::HostAgent;
+pub use mailbox::{Mailbox, MailboxError, MailboxState};

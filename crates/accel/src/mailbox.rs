@@ -1,0 +1,275 @@
+//! The accelerator mailbox (paper Fig 11).
+//!
+//! "A mailbox contains: (1) a request buffer for storing executables to
+//! run on the accelerator, (2) an input data buffer, (3) a return data
+//! buffer, (4) a task start flag, and (5) a completion flag."
+//!
+//! The state machine enforces the handshake: the client stages the request
+//! and input, raises *start*; the host (or the directly-mapped recipient)
+//! runs the task, fills the return buffer, raises *completion*; the client
+//! drains the output and the mailbox resets.
+
+/// Lifecycle of one mailbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MailboxState {
+    /// Empty, ready for a new task.
+    Idle,
+    /// Request/input staged but start flag not yet raised.
+    Staged,
+    /// Start flag raised; awaiting the host/device.
+    Started,
+    /// Device finished; completion flag raised, output pending.
+    Complete,
+}
+
+/// Errors from mailbox operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MailboxError {
+    /// Operation not allowed in the current state.
+    BadState(
+        /// The state the mailbox was in.
+        MailboxState,
+    ),
+    /// Data exceeds the pinned buffer size.
+    BufferOverflow {
+        /// Bytes requested.
+        requested: u64,
+        /// Buffer capacity.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for MailboxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MailboxError::BadState(s) => write!(f, "operation invalid in state {s:?}"),
+            MailboxError::BufferOverflow { requested, capacity } => {
+                write!(f, "{requested} bytes exceed the {capacity}-byte pinned buffer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MailboxError {}
+
+/// A pinned-memory mailbox for one accelerator.
+///
+/// # Example
+///
+/// ```
+/// use venice_accel::{Mailbox, MailboxState};
+///
+/// let mut mb = Mailbox::new(1 << 20, 8 << 20, 8 << 20);
+/// mb.stage(4096, 1 << 20).unwrap();
+/// mb.start().unwrap();
+/// let task = mb.take_task().unwrap();
+/// assert_eq!(task.input_bytes, 1 << 20);
+/// mb.complete(1 << 20).unwrap();
+/// assert_eq!(mb.drain().unwrap(), 1 << 20);
+/// assert_eq!(mb.state(), MailboxState::Idle);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mailbox {
+    state: MailboxState,
+    request_capacity: u64,
+    input_capacity: u64,
+    output_capacity: u64,
+    request_bytes: u64,
+    input_bytes: u64,
+    output_bytes: u64,
+    tasks_completed: u64,
+}
+
+/// A task the host pulled from a started mailbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagedTask {
+    /// Executable size.
+    pub request_bytes: u64,
+    /// Input payload size.
+    pub input_bytes: u64,
+}
+
+impl Mailbox {
+    /// Creates a mailbox with the given pinned-buffer capacities.
+    pub fn new(request_capacity: u64, input_capacity: u64, output_capacity: u64) -> Self {
+        Mailbox {
+            state: MailboxState::Idle,
+            request_capacity,
+            input_capacity,
+            output_capacity,
+            request_bytes: 0,
+            input_bytes: 0,
+            output_bytes: 0,
+            tasks_completed: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> MailboxState {
+        self.state
+    }
+
+    /// Completed task count.
+    pub fn tasks_completed(&self) -> u64 {
+        self.tasks_completed
+    }
+
+    /// Stages a task: writes the executable and input data.
+    ///
+    /// # Errors
+    ///
+    /// [`MailboxError::BadState`] unless idle; [`MailboxError::BufferOverflow`]
+    /// if either payload exceeds its pinned buffer.
+    pub fn stage(&mut self, request_bytes: u64, input_bytes: u64) -> Result<(), MailboxError> {
+        if self.state != MailboxState::Idle {
+            return Err(MailboxError::BadState(self.state));
+        }
+        if request_bytes > self.request_capacity {
+            return Err(MailboxError::BufferOverflow {
+                requested: request_bytes,
+                capacity: self.request_capacity,
+            });
+        }
+        if input_bytes > self.input_capacity {
+            return Err(MailboxError::BufferOverflow {
+                requested: input_bytes,
+                capacity: self.input_capacity,
+            });
+        }
+        self.request_bytes = request_bytes;
+        self.input_bytes = input_bytes;
+        self.state = MailboxState::Staged;
+        Ok(())
+    }
+
+    /// Raises the start flag.
+    ///
+    /// # Errors
+    ///
+    /// [`MailboxError::BadState`] unless staged.
+    pub fn start(&mut self) -> Result<(), MailboxError> {
+        if self.state != MailboxState::Staged {
+            return Err(MailboxError::BadState(self.state));
+        }
+        self.state = MailboxState::Started;
+        Ok(())
+    }
+
+    /// Host side: claims the started task for execution.
+    ///
+    /// # Errors
+    ///
+    /// [`MailboxError::BadState`] unless started.
+    pub fn take_task(&mut self) -> Result<StagedTask, MailboxError> {
+        if self.state != MailboxState::Started {
+            return Err(MailboxError::BadState(self.state));
+        }
+        Ok(StagedTask {
+            request_bytes: self.request_bytes,
+            input_bytes: self.input_bytes,
+        })
+    }
+
+    /// Host side: deposits `output_bytes` and raises the completion flag.
+    ///
+    /// # Errors
+    ///
+    /// [`MailboxError::BadState`] unless started;
+    /// [`MailboxError::BufferOverflow`] if the output exceeds the return
+    /// buffer.
+    pub fn complete(&mut self, output_bytes: u64) -> Result<(), MailboxError> {
+        if self.state != MailboxState::Started {
+            return Err(MailboxError::BadState(self.state));
+        }
+        if output_bytes > self.output_capacity {
+            return Err(MailboxError::BufferOverflow {
+                requested: output_bytes,
+                capacity: self.output_capacity,
+            });
+        }
+        self.output_bytes = output_bytes;
+        self.state = MailboxState::Complete;
+        Ok(())
+    }
+
+    /// Client side: drains the return buffer, resetting the mailbox.
+    ///
+    /// # Errors
+    ///
+    /// [`MailboxError::BadState`] unless complete.
+    pub fn drain(&mut self) -> Result<u64, MailboxError> {
+        if self.state != MailboxState::Complete {
+            return Err(MailboxError::BadState(self.state));
+        }
+        let out = self.output_bytes;
+        self.request_bytes = 0;
+        self.input_bytes = 0;
+        self.output_bytes = 0;
+        self.tasks_completed += 1;
+        self.state = MailboxState::Idle;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_lifecycle() {
+        let mut mb = Mailbox::new(1024, 4096, 4096);
+        mb.stage(100, 2048).unwrap();
+        assert_eq!(mb.state(), MailboxState::Staged);
+        mb.start().unwrap();
+        let t = mb.take_task().unwrap();
+        assert_eq!(t, StagedTask { request_bytes: 100, input_bytes: 2048 });
+        mb.complete(512).unwrap();
+        assert_eq!(mb.drain().unwrap(), 512);
+        assert_eq!(mb.tasks_completed(), 1);
+    }
+
+    #[test]
+    fn out_of_order_operations_rejected() {
+        let mut mb = Mailbox::new(1024, 4096, 4096);
+        assert!(matches!(mb.start(), Err(MailboxError::BadState(MailboxState::Idle))));
+        assert!(matches!(mb.take_task(), Err(MailboxError::BadState(_))));
+        mb.stage(1, 1).unwrap();
+        assert!(matches!(mb.stage(1, 1), Err(MailboxError::BadState(_))));
+        assert!(matches!(mb.drain(), Err(MailboxError::BadState(_))));
+        mb.start().unwrap();
+        assert!(matches!(mb.start(), Err(MailboxError::BadState(_))));
+    }
+
+    #[test]
+    fn buffer_bounds_enforced() {
+        let mut mb = Mailbox::new(16, 32, 8);
+        assert!(matches!(
+            mb.stage(17, 0),
+            Err(MailboxError::BufferOverflow { requested: 17, capacity: 16 })
+        ));
+        assert!(matches!(
+            mb.stage(16, 33),
+            Err(MailboxError::BufferOverflow { .. })
+        ));
+        mb.stage(16, 32).unwrap();
+        mb.start().unwrap();
+        assert!(matches!(
+            mb.complete(9),
+            Err(MailboxError::BufferOverflow { .. })
+        ));
+        mb.complete(8).unwrap();
+    }
+
+    #[test]
+    fn mailbox_is_reusable() {
+        let mut mb = Mailbox::new(1024, 4096, 4096);
+        for i in 0..5 {
+            mb.stage(10, 20).unwrap();
+            mb.start().unwrap();
+            mb.take_task().unwrap();
+            mb.complete(30).unwrap();
+            mb.drain().unwrap();
+            assert_eq!(mb.tasks_completed(), i + 1);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for accelerator sharing: the mailbox state machine
+//! never corrupts under arbitrary operation sequences, and dispatch
+//! timing is monotone.
+
+use proptest::prelude::*;
+use venice_accel::{AcceleratorModel, Dispatcher, Mailbox, MailboxState};
+
+/// Random mailbox operations.
+#[derive(Debug, Clone, Copy)]
+enum MbOp {
+    Stage(u64, u64),
+    Start,
+    Take,
+    Complete(u64),
+    Drain,
+}
+
+fn mb_ops() -> impl Strategy<Value = Vec<MbOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..2048, 0u64..8192).prop_map(|(r, i)| MbOp::Stage(r, i)),
+            Just(MbOp::Start),
+            Just(MbOp::Take),
+            (0u64..8192).prop_map(MbOp::Complete),
+            Just(MbOp::Drain),
+        ],
+        0..100,
+    )
+}
+
+proptest! {
+    /// The mailbox is a proper state machine: operations either succeed
+    /// and advance the expected state, or fail and leave the state
+    /// untouched; completed-task count only grows on drains.
+    #[test]
+    fn mailbox_state_machine_is_sound(ops in mb_ops()) {
+        let mut mb = Mailbox::new(1024, 4096, 4096);
+        let mut expected = MailboxState::Idle;
+        let mut drains = 0u64;
+        for op in ops {
+            let before = mb.state();
+            prop_assert_eq!(before, expected);
+            match op {
+                MbOp::Stage(r, i) => {
+                    let ok = mb.stage(r, i).is_ok();
+                    let legal = before == MailboxState::Idle && r <= 1024 && i <= 4096;
+                    prop_assert_eq!(ok, legal);
+                    if ok {
+                        expected = MailboxState::Staged;
+                    }
+                }
+                MbOp::Start => {
+                    let ok = mb.start().is_ok();
+                    prop_assert_eq!(ok, before == MailboxState::Staged);
+                    if ok {
+                        expected = MailboxState::Started;
+                    }
+                }
+                MbOp::Take => {
+                    let ok = mb.take_task().is_ok();
+                    prop_assert_eq!(ok, before == MailboxState::Started);
+                    // take_task does not change state.
+                }
+                MbOp::Complete(out) => {
+                    let ok = mb.complete(out).is_ok();
+                    let legal = before == MailboxState::Started && out <= 4096;
+                    prop_assert_eq!(ok, legal);
+                    if ok {
+                        expected = MailboxState::Complete;
+                    }
+                }
+                MbOp::Drain => {
+                    let ok = mb.drain().is_ok();
+                    prop_assert_eq!(ok, before == MailboxState::Complete);
+                    if ok {
+                        drains += 1;
+                        expected = MailboxState::Idle;
+                    }
+                }
+            }
+            prop_assert_eq!(mb.tasks_completed(), drains);
+        }
+    }
+
+    /// Dispatch makespan is monotone in dataset size and never beats the
+    /// single-device lower bound (total compute / device count).
+    #[test]
+    fn dispatch_makespan_bounds(
+        remote in 1u16..4,
+        tasks in 2u64..32,
+        task_mb in 1u64..8,
+    ) {
+        let d = Dispatcher::fig16a(remote);
+        let task_bytes = task_mb << 20;
+        let total = tasks * task_bytes;
+        let t1 = d.run_dataset(total, task_bytes);
+        let t2 = d.run_dataset(total * 2, task_bytes);
+        prop_assert!(t2 >= t1);
+        // Lower bound: all devices perfectly busy on pure compute.
+        let compute_total = AcceleratorModel::xfft().compute(task_bytes).scale(tasks as f64);
+        let bound = compute_total.scale(1.0 / (remote as f64 + 1.0));
+        prop_assert!(t1 >= bound.scale(0.99), "t1 {t1} < bound {bound}");
+        // Speedup is bounded by device count.
+        let s = d.speedup(total, task_bytes);
+        prop_assert!(s <= remote as f64 + 1.0 + 1e-9);
+        prop_assert!(s >= 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Commodity-interconnect baselines (paper §4.1, Fig 3) and the
+//! Scale-out-NUMA-style comparator (§4.2.1, Fig 5).
+//!
+//! The paper's feasibility study accesses remote memory over a legacy x86
+//! cluster four ways: a vDisk swap device over 10 Gb Ethernet, an
+//! InfiniBand SRP virtual block device, a semi-custom PCIe interconnect
+//! doing either RDMA swap or direct load/store cacheline fills (CRMA).
+//! All are an order of magnitude slower than local memory for the
+//! BerkeleyDB random-access workload; the *stack* costs, not the wires,
+//! dominate. Each baseline here is built from published per-component
+//! costs so the Fig 3 ordering emerges rather than being hard-coded.
+//!
+//! * [`stack`] — per-operation software/hardware cost breakdowns;
+//! * [`swap_backends`] — `SwapBackend` impls for the three swap-based
+//!   baselines;
+//! * [`sonuma`] — the asynchronous QPair programming model of Scale-out
+//!   NUMA.
+
+pub mod sonuma;
+pub mod stack;
+pub mod swap_backends;
+
+pub use sonuma::AsyncQpair;
+pub use stack::{CommodityPath, StackComponent};
+pub use swap_backends::CommoditySwapBackend;

@@ -1,0 +1,164 @@
+//! Per-component cost breakdowns for commodity remote-memory paths.
+//!
+//! "Conventional networking interfaces are designed for environments with
+//! long, often unreliable connection media. Error handling and other
+//! protocol overheads coupled with relatively slow hardware interfaces"
+//! (paper §1) — this module itemizes those overheads so each baseline's
+//! total is auditable, and the Fig 3 ordering (Ethernet ≫ IB ≈ PCIe-RDMA
+//! ≈ PCIe-LD/ST, all ≫ local) follows from the components.
+
+use venice_sim::Time;
+
+/// One itemized cost in a commodity path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackComponent {
+    /// Component label (for reports).
+    pub name: &'static str,
+    /// Cost per operation.
+    pub cost: Time,
+}
+
+/// A commodity remote-memory access path: an itemized per-operation cost
+/// plus the unit the operation moves.
+#[derive(Debug, Clone)]
+pub struct CommodityPath {
+    /// Path label as in Fig 3.
+    pub name: &'static str,
+    /// Itemized per-operation costs.
+    pub components: Vec<StackComponent>,
+    /// Bytes moved per operation (4 KB page for swap paths, 64 B line
+    /// for load/store).
+    pub unit_bytes: u64,
+}
+
+fn c(name: &'static str, cost: Time) -> StackComponent {
+    StackComponent { name, cost }
+}
+
+impl CommodityPath {
+    /// Total per-operation latency.
+    pub fn total(&self) -> Time {
+        self.components.iter().map(|x| x.cost).sum()
+    }
+
+    /// 10 Gb Ethernet remote-memory swap via a vDisk driver (the paper's
+    /// first configuration): the full TCP/IP + block stack on both ends
+    /// plus interrupts.
+    pub fn ethernet_vdisk() -> Self {
+        CommodityPath {
+            name: "Ethernet",
+            components: vec![
+                c("page fault + block layer", Time::from_us(8)),
+                c("vDisk driver + TCP/IP tx", Time::from_us(18)),
+                c("NIC DMA + wire (4KB @ 10Gbps)", Time::from_us(5)),
+                c("remote interrupt + server", Time::from_us(16)),
+                c("TCP/IP rx + copy", Time::from_us(18)),
+                c("response wire + completion interrupt", Time::from_us(14)),
+                c("wakeup + return to user", Time::from_us(4)),
+            ],
+            unit_bytes: 4096,
+        }
+    }
+
+    /// InfiniBand SRP virtual block device: verbs bypass TCP/IP but the
+    /// block layer and SRP target remain.
+    pub fn infiniband_srp() -> Self {
+        CommodityPath {
+            name: "InfiniBand SRP",
+            components: vec![
+                c("page fault + block layer", Time::from_us(8)),
+                c("SRP initiator + verbs post", Time::from_us(6)),
+                c("HCA DMA + wire", Time::from_us(4)),
+                c("SRP target service", Time::from_us(9)),
+                c("response + completion", Time::from_us(6)),
+                c("wakeup + return to user", Time::from_us(4)),
+            ],
+            unit_bytes: 4096,
+        }
+    }
+
+    /// Semi-custom PCIe interconnect, swap over DMA: no deep protocol
+    /// stack, but block layer + doorbells + completion interrupts remain.
+    pub fn pcie_rdma() -> Self {
+        CommodityPath {
+            name: "PCIe RDMA",
+            components: vec![
+                c("page fault + block layer", Time::from_us(8)),
+                c("descriptor + doorbell", Time::from_us(2)),
+                c("PCIe DMA 4KB (switch hops)", Time::from_us(5)),
+                c("completion interrupt", Time::from_us(5)),
+                c("wakeup + return to user", Time::from_us(4)),
+            ],
+            unit_bytes: 4096,
+        }
+    }
+
+    /// Semi-custom PCIe direct load/store (CRMA over PCIe): the paper
+    /// notes this "suffers from a crippling, but fixable, limit due to
+    /// the commodity PCIe chip" — non-posted reads serialize in the
+    /// switch chain, so each cacheline fill costs tens of microseconds.
+    pub fn pcie_load_store() -> Self {
+        CommodityPath {
+            name: "PCIe LD/ST",
+            components: vec![
+                c("uncached load issue + capture", Time::from_ns(1_500)),
+                c("PCIe non-posted read traversal", Time::from_us(11)),
+                c("remote memory read", Time::from_us(1)),
+                c("completion return traversal", Time::from_us(11)),
+            ],
+            unit_bytes: 64,
+        }
+    }
+
+    /// All four Fig 3 paths in figure order.
+    pub fn fig3_paths() -> Vec<CommodityPath> {
+        vec![
+            Self::ethernet_vdisk(),
+            Self::infiniband_srp(),
+            Self::pcie_rdma(),
+            Self::pcie_load_store(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethernet_slowest_page_path() {
+        let e = CommodityPath::ethernet_vdisk().total();
+        let ib = CommodityPath::infiniband_srp().total();
+        let pcie = CommodityPath::pcie_rdma().total();
+        assert!(e > ib && ib > pcie, "{e} vs {ib} vs {pcie}");
+        // Roughly: Ethernet ~80+ us, IB ~35 us, PCIe ~25 us.
+        assert!((70.0..100.0).contains(&e.as_us_f64()));
+        assert!((30.0..45.0).contains(&ib.as_us_f64()));
+        assert!((18.0..30.0).contains(&pcie.as_us_f64()));
+    }
+
+    #[test]
+    fn pcie_load_store_per_line_cost() {
+        let p = CommodityPath::pcie_load_store();
+        assert_eq!(p.unit_bytes, 64);
+        // The crippled commodity-chip path: ~24 us per line.
+        assert!((20.0..28.0).contains(&p.total().as_us_f64()));
+    }
+
+    #[test]
+    fn components_itemize_total() {
+        for p in CommodityPath::fig3_paths() {
+            let sum: Time = p.components.iter().map(|c| c.cost).sum();
+            assert_eq!(sum, p.total());
+            assert!(!p.components.is_empty());
+        }
+    }
+
+    #[test]
+    fn all_paths_orders_of_magnitude_over_local_dram() {
+        let local = Time::from_ns(100);
+        for p in CommodityPath::fig3_paths() {
+            assert!(p.total().ratio(local) > 100.0, "{} too fast", p.name);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! `SwapBackend` adapters for the commodity paths.
+//!
+//! The Fig 3 swap-based configurations (Ethernet vDisk, IB SRP, PCIe
+//! RDMA) plug into the node's swap device exactly like Venice's RDMA
+//! backend does, so the same [`venice_memnode::SwapDevice`] machinery
+//! drives all of them.
+
+use venice_memnode::SwapBackend;
+use venice_sim::Time;
+
+use crate::stack::CommodityPath;
+
+/// A swap backend whose page costs come from a commodity path breakdown.
+#[derive(Debug, Clone)]
+pub struct CommoditySwapBackend {
+    path: CommodityPath,
+    reads: u64,
+    writes: u64,
+}
+
+impl CommoditySwapBackend {
+    /// Wraps a commodity path (must be page-granular).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is not page-granular (e.g. PCIe load/store).
+    pub fn new(path: CommodityPath) -> Self {
+        assert_eq!(path.unit_bytes, 4096, "swap backends move 4 KB pages");
+        CommoditySwapBackend { path, reads: 0, writes: 0 }
+    }
+
+    /// The underlying path.
+    pub fn path(&self) -> &CommodityPath {
+        &self.path
+    }
+
+    /// Pages read so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Pages written so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+impl SwapBackend for CommoditySwapBackend {
+    fn read_page(&mut self, bytes: u64) -> Time {
+        self.reads += 1;
+        // Larger-than-page requests scale the wire portion linearly; the
+        // software components are per-operation.
+        let scale = bytes as f64 / self.path.unit_bytes as f64;
+        if scale <= 1.0 {
+            self.path.total()
+        } else {
+            self.path.total().scale(scale.min(8.0))
+        }
+    }
+
+    fn write_page(&mut self, bytes: u64) -> Time {
+        self.writes += 1;
+        let scale = bytes as f64 / self.path.unit_bytes as f64;
+        if scale <= 1.0 {
+            self.path.total()
+        } else {
+            self.path.total().scale(scale.min(8.0))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.path.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venice_memnode::SwapDevice;
+
+    #[test]
+    fn plugs_into_swap_device() {
+        let be = CommoditySwapBackend::new(CommodityPath::infiniband_srp());
+        let mut dev = SwapDevice::new(16, 4096, be);
+        dev.touch(0, false);
+        dev.touch(100, true);
+        assert_eq!(dev.faults(), 2);
+        assert!(dev.total_fault_time() > Time::from_us(60));
+        assert_eq!(dev.backend().reads(), 2);
+    }
+
+    #[test]
+    fn ethernet_swap_slower_than_ib_swap() {
+        let mut e = CommoditySwapBackend::new(CommodityPath::ethernet_vdisk());
+        let mut ib = CommoditySwapBackend::new(CommodityPath::infiniband_srp());
+        assert!(e.read_page(4096) > ib.read_page(4096));
+    }
+
+    #[test]
+    #[should_panic]
+    fn line_granular_path_rejected() {
+        CommoditySwapBackend::new(CommodityPath::pcie_load_store());
+    }
+}

@@ -1,0 +1,58 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! figures [--json[=PATH]] [fig3 fig5 fig6 fig14 fig15 fig16a fig16b
+//!          fig17 fig18 table1 cost validation]
+//! ```
+//!
+//! With no arguments, prints all figures as aligned text tables (measured
+//! values next to the paper's published values). `--json` additionally
+//! writes the structured data (default `figures.json`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json_path = Some("figures.json".to_string());
+        } else if let Some(p) = arg.strip_prefix("--json=") {
+            json_path = Some(p.to_string());
+        } else if arg == "--help" || arg == "-h" {
+            println!(
+                "usage: figures [--json[=PATH]] [FIGURE_ID...]\n\
+                 known ids: fig3 fig5 fig6 fig14 fig15 fig16a fig16b fig17 \
+                 fig18 table1 cost validation"
+            );
+            return ExitCode::SUCCESS;
+        } else {
+            ids.push(arg);
+        }
+    }
+    let figures = venice_bench::select(venice::scenarios::all(), &ids);
+    if figures.is_empty() {
+        eprintln!("no figures match {ids:?}");
+        return ExitCode::FAILURE;
+    }
+    print!("{}", venice_bench::render_all(&figures));
+    let mismatches: Vec<(String, Vec<String>)> = figures
+        .iter()
+        .map(|f| (f.id.clone(), f.ordering_mismatches()))
+        .filter(|(_, m)| !m.is_empty())
+        .collect();
+    if mismatches.is_empty() {
+        println!("shape check: all measured series match the paper's orderings");
+    } else {
+        println!("shape check FAILURES: {mismatches:?}");
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, venice_bench::to_json(&figures)).expect("write json");
+        println!("wrote {path}");
+    }
+    if mismatches.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! Benchmark and figure-regeneration support for the Venice reproduction.
+//!
+//! The `figures` binary prints every reproduced table/figure (measured
+//! next to the paper's published values) and can emit the same data as
+//! JSON for EXPERIMENTS.md. The Criterion benches under `benches/` time
+//! the scenario generators and the hot substrate paths.
+
+use venice::Figure;
+
+/// Renders figures as text, one after another.
+pub fn render_all(figures: &[Figure]) -> String {
+    figures.iter().map(|f| f.render() + "\n").collect()
+}
+
+/// Serializes figures to pretty JSON.
+///
+/// # Panics
+///
+/// Panics if serialization fails (plain data; cannot fail in practice).
+pub fn to_json(figures: &[Figure]) -> String {
+    serde_json::to_string_pretty(figures).expect("figures serialize")
+}
+
+/// Selects figures by id; empty filter means all.
+pub fn select(figures: Vec<Figure>, ids: &[String]) -> Vec<Figure> {
+    if ids.is_empty() {
+        return figures;
+    }
+    figures
+        .into_iter()
+        .filter(|f| ids.iter().any(|id| id.eq_ignore_ascii_case(&f.id)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_json_cover_all_scenarios() {
+        let figs = venice::scenarios::all();
+        let text = render_all(&figs);
+        for f in &figs {
+            assert!(text.contains(&f.id), "missing {}", f.id);
+        }
+        let json = to_json(&figs);
+        let back: Vec<Figure> = serde_json::from_str(&json).unwrap();
+        assert_eq!(figs.len(), back.len());
+    }
+
+    #[test]
+    fn select_filters_case_insensitively() {
+        let figs = venice::scenarios::all();
+        let total = figs.len();
+        let picked = select(figs.clone(), &["FIG5".to_string()]);
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].id, "fig5");
+        assert_eq!(select(figs, &[]).len(), total);
+    }
+}

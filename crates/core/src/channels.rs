@@ -1,0 +1,245 @@
+//! Per-configuration remote-access latencies (the §4.2.1 study).
+//!
+//! Fig 5 compares five ways to reach 1 GB of remote data: QPair messaging
+//! with off-chip and on-chip interfaces, an asynchronous (Scale-out-NUMA
+//! style) rewrite over the on-chip QPair, and CRMA cacheline fills with
+//! off-chip and on-chip interface logic. This module computes the
+//! per-remote-operation latency of each configuration from the transport
+//! models, so the figure's bars *emerge* from component costs (PHY,
+//! adapter crossings, software posting, donor agent service, copies)
+//! rather than being constants.
+
+use venice_baselines::AsyncQpair;
+use venice_fabric::{LinkParams, NodeId};
+use venice_sim::Time;
+use venice_transport::{CrmaChannel, CrmaConfig, PathModel, QpairConfig, QueuePair};
+use venice_workloads::MemoryProfile;
+
+/// The five Fig 5 configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelConfig {
+    /// Legacy: QPair over an I/O-attached (IB-class) interface.
+    OffChipQpair,
+    /// QPair support mechanisms moved on chip.
+    OnChipQpair,
+    /// The application rewritten for asynchronous communication over the
+    /// on-chip QPair (Scale-out NUMA's model).
+    AsyncOnChipQpair,
+    /// Hardware cacheline fills with off-chip interface logic.
+    OffChipCrma,
+    /// Hardware cacheline fills integrated on chip — Venice's design
+    /// point.
+    OnChipCrma,
+}
+
+impl ChannelConfig {
+    /// All five, in Fig 5's left-to-right order.
+    pub const ALL: [ChannelConfig; 5] = [
+        ChannelConfig::OffChipQpair,
+        ChannelConfig::OnChipQpair,
+        ChannelConfig::AsyncOnChipQpair,
+        ChannelConfig::OffChipCrma,
+        ChannelConfig::OnChipCrma,
+    ];
+
+    /// Display label matching the figure.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChannelConfig::OffChipQpair => "Off-Chip QPair",
+            ChannelConfig::OnChipQpair => "On-Chip QPair",
+            ChannelConfig::AsyncOnChipQpair => "Async On-Chip QPair",
+            ChannelConfig::OffChipCrma => "Off-Chip CRMA",
+            ChannelConfig::OnChipCrma => "On-Chip CRMA",
+        }
+    }
+}
+
+/// Computes remote-operation latencies for a workload whose remote reads
+/// move `unit_bytes` per operation (BerkeleyDB fetches 4 KB index nodes;
+/// PageRank fetches small rank batches).
+#[derive(Debug, Clone)]
+pub struct ChannelLatencies {
+    /// Fabric path between requester and donor.
+    pub path: PathModel,
+    /// Same path with off-chip interface logic.
+    pub path_off_chip: PathModel,
+    /// Bytes a QPair remote read returns per operation.
+    pub unit_bytes: u64,
+    /// Donor-side agent service: mean polling delay + memory read.
+    pub agent_service: Time,
+    /// Requester-side copy rate out of the registered buffer (Gbps) —
+    /// the 667 MHz core's memcpy.
+    pub copy_gbps: f64,
+    /// User-level library marshaling per operation.
+    pub marshal: Time,
+    /// Local memory latency (cache miss to local DRAM).
+    pub local_latency: Time,
+}
+
+impl ChannelLatencies {
+    /// The Fig 5 setup: two directly connected nodes.
+    pub fn fig5(unit_bytes: u64) -> Self {
+        ChannelLatencies {
+            path: PathModel::direct_pair(),
+            path_off_chip: PathModel::direct_pair()
+                .with_link(LinkParams::venice_prototype_off_chip()),
+            unit_bytes,
+            agent_service: Time::from_us(5) + Time::from_ns(300),
+            copy_gbps: 8.0,
+            marshal: Time::from_us(1),
+            local_latency: Time::from_ns(150),
+        }
+    }
+
+    /// The Fig 6 setup: the same pair joined through one external router.
+    pub fn fig6(unit_bytes: u64) -> Self {
+        ChannelLatencies {
+            path: PathModel::routed_pair(),
+            path_off_chip: PathModel::routed_pair()
+                .with_link(LinkParams::venice_prototype_off_chip()),
+            ..Self::fig5(unit_bytes)
+        }
+    }
+
+    fn crma_latency(&self, path: &PathModel) -> Time {
+        let mut ch = CrmaChannel::new(NodeId(0), CrmaConfig::default());
+        ch.map_window(1 << 40, 1 << 30, NodeId(1), 0).expect("window fits");
+        // Warm the TLTLB: steady-state accesses hit it.
+        let _ = ch.read_latency(path, 1 << 40);
+        ch.read_latency(path, (1 << 40) + 64).expect("mapped")
+    }
+
+    fn qpair_latency(&self, path: &PathModel, config: QpairConfig) -> Time {
+        let mut qp = QueuePair::new(NodeId(0), NodeId(1), config);
+        let rpc = qp
+            .rpc_latency(path, 32, self.unit_bytes, self.agent_service)
+            .expect("unit fits qpair buffers");
+        let copy = Time::serialize_bytes(self.unit_bytes, self.copy_gbps);
+        rpc + copy + self.marshal
+    }
+
+    /// Per-remote-operation latency under `config` (for the async
+    /// configuration this is the same as on-chip QPair; the overlap is
+    /// applied by [`Self::op_time`]).
+    pub fn remote_latency(&self, config: ChannelConfig) -> Time {
+        match config {
+            ChannelConfig::OffChipQpair => {
+                self.qpair_latency(&self.path_off_chip, QpairConfig::off_chip())
+            }
+            ChannelConfig::OnChipQpair | ChannelConfig::AsyncOnChipQpair => {
+                self.qpair_latency(&self.path, QpairConfig::on_chip())
+            }
+            ChannelConfig::OffChipCrma => self.crma_latency(&self.path_off_chip),
+            ChannelConfig::OnChipCrma => self.crma_latency(&self.path),
+        }
+    }
+
+    /// Per-operation execution time of `profile` under `config`.
+    /// `async_model` describes the rewrite used for the asynchronous
+    /// configuration (workload-dependent overlap).
+    pub fn op_time(
+        &self,
+        profile: &MemoryProfile,
+        config: ChannelConfig,
+        async_model: &AsyncQpair,
+    ) -> Time {
+        let latency = self.remote_latency(config);
+        match config {
+            ChannelConfig::AsyncOnChipQpair => async_model.op_time(profile, latency),
+            _ => profile.op_time(latency),
+        }
+    }
+
+    /// Normalized execution time (the Fig 5 metric): op time under
+    /// `config` over the all-local op time.
+    pub fn slowdown(
+        &self,
+        profile: &MemoryProfile,
+        config: ChannelConfig,
+        async_model: &AsyncQpair,
+    ) -> f64 {
+        self.op_time(profile, config, async_model)
+            .ratio(profile.op_time(self.local_latency))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venice_workloads::{OltpWorkload, PageRank};
+
+    #[test]
+    fn crma_beats_qpair_everywhere() {
+        let l = ChannelLatencies::fig5(4096);
+        assert!(l.remote_latency(ChannelConfig::OnChipCrma) < l.remote_latency(ChannelConfig::OnChipQpair));
+        assert!(l.remote_latency(ChannelConfig::OffChipCrma) < l.remote_latency(ChannelConfig::OffChipQpair));
+    }
+
+    #[test]
+    fn on_chip_beats_off_chip() {
+        let l = ChannelLatencies::fig5(4096);
+        assert!(l.remote_latency(ChannelConfig::OnChipCrma) < l.remote_latency(ChannelConfig::OffChipCrma));
+        assert!(l.remote_latency(ChannelConfig::OnChipQpair) < l.remote_latency(ChannelConfig::OffChipQpair));
+    }
+
+    #[test]
+    fn fig5_berkeleydb_bands() {
+        // Paper: 11.92 / 10.91 / 10.83 / 3.43 / 2.48.
+        let l = ChannelLatencies::fig5(4096);
+        let p = OltpWorkload::fig5().profile();
+        let a = AsyncQpair::dependence_bound();
+        let s: Vec<f64> = ChannelConfig::ALL
+            .iter()
+            .map(|&c| l.slowdown(&p, c, &a))
+            .collect();
+        assert!((9.0..16.0).contains(&s[0]), "off-qpair {s:?}");
+        assert!((8.0..14.0).contains(&s[1]), "on-qpair {s:?}");
+        // Async barely helps BerkeleyDB.
+        assert!((s[2] - s[1]).abs() / s[1] < 0.05, "async {s:?}");
+        assert!((2.7..4.2).contains(&s[3]), "off-crma {s:?}");
+        assert!((2.0..3.0).contains(&s[4]), "on-crma {s:?}");
+        // Strictly improving left to right (modulo the async tie).
+        assert!(s[0] > s[1] && s[1] >= s[2] * 0.99 && s[2] > s[3] && s[3] > s[4]);
+    }
+
+    #[test]
+    fn fig5_pagerank_bands() {
+        // Paper: 7.69 / 5.96 / 3.12 / 3.01 / 2.12.
+        let l = ChannelLatencies::fig5(256);
+        let p = PageRank::new().profile(1 << 30);
+        let a = AsyncQpair::latency_tolerant();
+        let s: Vec<f64> = ChannelConfig::ALL
+            .iter()
+            .map(|&c| l.slowdown(&p, c, &a))
+            .collect();
+        assert!((5.5..9.5).contains(&s[0]), "off-qpair {s:?}");
+        assert!((4.0..7.0).contains(&s[1]), "on-qpair {s:?}");
+        // Async rescues PageRank decisively.
+        assert!(s[2] < s[1] * 0.7, "async {s:?}");
+        assert!((2.3..3.6).contains(&s[3]), "off-crma {s:?}");
+        assert!((1.7..2.6).contains(&s[4]), "on-crma {s:?}");
+        // On-chip CRMA is the best configuration.
+        assert!(s[4] < s[2] && s[4] < s[3]);
+    }
+
+    #[test]
+    fn fig6_router_hurts_crma_most() {
+        // Paper Fig 6: >20% for on-chip CRMA (PageRank), ~2% for async.
+        let direct = ChannelLatencies::fig5(256);
+        let routed = ChannelLatencies::fig6(256);
+        let p = PageRank::new().profile(1 << 30);
+        let a = AsyncQpair::latency_tolerant();
+        let overhead = |c: ChannelConfig| {
+            routed
+                .op_time(&p, c, &a)
+                .ratio(direct.op_time(&p, c, &a))
+                - 1.0
+        };
+        let crma = overhead(ChannelConfig::OnChipCrma);
+        let qpair = overhead(ChannelConfig::OnChipQpair);
+        let asyn = overhead(ChannelConfig::AsyncOnChipQpair);
+        assert!((0.15..0.30).contains(&crma), "crma {crma:.3}");
+        assert!(qpair < crma, "qpair {qpair:.3} vs crma {crma:.3}");
+        assert!(asyn < 0.05, "async {asyn:.3}");
+    }
+}

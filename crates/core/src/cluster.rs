@@ -1,0 +1,381 @@
+//! End-to-end cluster composition: nodes + fabric + runtime.
+//!
+//! `Cluster` wires the substrate crates together and executes the paper's
+//! Fig 2 memory-sharing flow against *real* state: agents heartbeat into
+//! the Monitor Node, a request selects a donor by distance, the donor's
+//! address space hot-removes the region, the recipient hot-plugs it and
+//! programs a CRMA window, and subsequent reads translate through the
+//! RAMT and pay the fabric round trip. The single-subscriber invariant is
+//! enforced by construction and checked in tests.
+
+use venice_fabric::topology::Topology;
+use venice_fabric::NodeId;
+use venice_memnode::AddressSpace;
+use venice_runtime::flows::FlowTiming;
+use venice_runtime::tables::ResourceKind;
+use venice_runtime::{AllocError, DistancePolicy, MonitorNode, NodeAgent};
+use venice_sim::Time;
+use venice_transport::ramt::EntryId;
+use venice_transport::{CrmaChannel, CrmaConfig, PathModel};
+
+use crate::config::PlatformConfig;
+
+/// Errors from cluster sharing operations.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ShareError {
+    /// The Monitor Node could not allocate.
+    Alloc(
+        /// Underlying allocation failure.
+        AllocError,
+    ),
+    /// Address-space manipulation failed (hot-remove/hot-plug).
+    Memory(
+        /// Underlying memory error.
+        venice_memnode::MemError,
+    ),
+    /// CRMA window programming failed.
+    Window(
+        /// Underlying RAMT error.
+        venice_transport::RamtError,
+    ),
+    /// Unknown node.
+    NoSuchNode,
+    /// Address is not remote-mapped.
+    NotRemote,
+}
+
+impl std::fmt::Display for ShareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShareError::Alloc(e) => write!(f, "allocation failed: {e}"),
+            ShareError::Memory(e) => write!(f, "memory operation failed: {e}"),
+            ShareError::Window(e) => write!(f, "window programming failed: {e}"),
+            ShareError::NoSuchNode => f.write_str("unknown node"),
+            ShareError::NotRemote => f.write_str("address is not remote-mapped"),
+        }
+    }
+}
+
+impl std::error::Error for ShareError {}
+
+/// One node's composed state.
+#[derive(Debug)]
+pub struct Node {
+    /// Physical memory map.
+    pub memory: AddressSpace,
+    /// Availability-reporting daemon.
+    pub agent: NodeAgent,
+    /// CRMA channel hardware.
+    pub crma: CrmaChannel,
+    /// Next free address for hot-plugging borrowed regions (grows above
+    /// the 4 GB line as in Fig 10).
+    next_plug_base: u64,
+}
+
+/// An established memory loan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryLease {
+    /// Monitor-Node allocation id.
+    pub grant_id: u64,
+    /// Borrowing node.
+    pub recipient: NodeId,
+    /// Lending node.
+    pub donor: NodeId,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Recipient-side base address of the hot-plugged window.
+    pub local_base: u64,
+    /// Donor-side base address of the lent region.
+    pub donor_base: u64,
+    /// RAMT entry handle on the recipient.
+    pub window: EntryId,
+    /// Time spent establishing the share (the Fig 2 flow).
+    pub setup_time: Time,
+}
+
+/// A composed Venice cluster.
+pub struct Cluster {
+    /// Per-node state, indexed by node id.
+    pub nodes: Vec<Node>,
+    /// The Monitor Node.
+    pub monitor: MonitorNode,
+    /// Fabric path model.
+    pub path: PathModel,
+    /// Fig 2 flow timing.
+    pub flow: FlowTiming,
+    now: Time,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Builds the paper's 8-node prototype: 1 GB per node, 3D mesh,
+    /// distance-based donor policy, and every node lending its top 512 MB
+    /// when idle.
+    pub fn prototype() -> Self {
+        let config = PlatformConfig::venice_prototype();
+        Self::with_config(&config, 512 << 20)
+    }
+
+    /// Builds a cluster from `config`, with each node willing to lend
+    /// `lendable_bytes` of its top memory.
+    pub fn with_config(config: &PlatformConfig, lendable_bytes: u64) -> Self {
+        let mesh = config.mesh();
+        let topology = Topology::Mesh(mesh.clone());
+        let monitor = MonitorNode::new(topology, Box::new(DistancePolicy));
+        let mut nodes = Vec::new();
+        for id in mesh.nodes() {
+            let mut agent = NodeAgent::new(id);
+            agent.idle_memory = lendable_bytes.min(config.memory_bytes);
+            agent.lendable_base = config.memory_bytes - agent.idle_memory;
+            agent.neighbors = mesh.neighbors(id);
+            nodes.push(Node {
+                memory: AddressSpace::with_memory(id, config.memory_bytes),
+                agent,
+                crma: CrmaChannel::new(id, CrmaConfig::default()),
+                next_plug_base: 1 << 32,
+            });
+        }
+        let mut cluster = Cluster {
+            nodes,
+            monitor,
+            path: PathModel::prototype_mesh(),
+            flow: FlowTiming::default(),
+            now: Time::ZERO,
+        };
+        cluster.tick_heartbeats();
+        cluster
+    }
+
+    /// Current simulated wall-clock.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Advances time and delivers one heartbeat round from every agent.
+    pub fn tick_heartbeats(&mut self) {
+        self.now += Time::from_ms(100);
+        let now = self.now;
+        for node in &mut self.nodes {
+            let hb = node.agent.heartbeat(now, |_| true);
+            self.monitor.on_heartbeat(&hb);
+        }
+    }
+
+    fn node(&self, id: NodeId) -> Result<&Node, ShareError> {
+        self.nodes.get(id.0 as usize).ok_or(ShareError::NoSuchNode)
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> Result<&mut Node, ShareError> {
+        self.nodes.get_mut(id.0 as usize).ok_or(ShareError::NoSuchNode)
+    }
+
+    /// Executes the full Fig 2 flow: `recipient` borrows `bytes` of
+    /// remote memory from the nearest capable donor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Monitor-Node allocation failures, hot-remove/hot-plug
+    /// errors, and CRMA window errors (all rolled back on failure).
+    pub fn borrow_memory(&mut self, recipient: NodeId, bytes: u64) -> Result<MemoryLease, ShareError> {
+        let bytes = bytes.next_power_of_two();
+        self.node(recipient)?;
+        // A heartbeat round first: donors re-report their current idle
+        // amounts and lendable bases, so the MN's view is fresh (its
+        // records can otherwise be stale; see §5.3's handshake/retry).
+        self.tick_heartbeats();
+        let now = self.now;
+        // ②③: request + donor selection with handshake (the donor
+        // accepts if its address space really has the online region).
+        let nodes = &self.nodes;
+        let grant = self
+            .monitor
+            .request(recipient, ResourceKind::Memory, bytes, now, 4, |donor, amount| {
+                nodes
+                    .get(donor.0 as usize)
+                    .map(|n| n.memory.online_bytes() >= amount)
+                    .unwrap_or(false)
+            })
+            .map_err(ShareError::Alloc)?;
+        // ③: donor hot-removes. Align the donated window inside the
+        // lendable region.
+        let donor_base = grant.addr;
+        if let Err(e) = self
+            .node_mut(grant.donor)?
+            .memory
+            .hot_remove(donor_base, bytes, recipient)
+        {
+            self.monitor.release(grant.id);
+            return Err(ShareError::Memory(e));
+        }
+        // The donor now advertises less idle memory.
+        {
+            let donor_node = self.node_mut(grant.donor)?;
+            donor_node.agent.idle_memory = donor_node.agent.idle_memory.saturating_sub(bytes);
+            donor_node.agent.lendable_base += bytes;
+        }
+        // ④: recipient hot-plugs and programs its CRMA window.
+        let local_base = {
+            let r = self.node_mut(recipient)?;
+            let base = r.next_plug_base.next_multiple_of(bytes);
+            r.memory.hot_plug(base, bytes, grant.donor).map_err(ShareError::Memory)?;
+            r.next_plug_base = base + bytes;
+            base
+        };
+        let window = {
+            let r = self.node_mut(recipient)?;
+            match r.crma.map_window(local_base, bytes, grant.donor, donor_base) {
+                Ok(w) => w,
+                Err(e) => {
+                    r.memory.unplug(local_base).expect("just plugged");
+                    self.monitor.release(grant.id);
+                    return Err(ShareError::Window(e));
+                }
+            }
+        };
+        let setup_time = self.flow.establish(bytes);
+        self.now += setup_time;
+        Ok(MemoryLease {
+            grant_id: grant.id,
+            recipient,
+            donor: grant.donor,
+            bytes,
+            local_base,
+            donor_base,
+            window,
+            setup_time,
+        })
+    }
+
+    /// Stop-sharing: tears down `lease` on both sides.
+    ///
+    /// # Errors
+    ///
+    /// Propagates teardown failures (double release, unknown nodes).
+    pub fn release(&mut self, lease: MemoryLease) -> Result<(), ShareError> {
+        {
+            let r = self.node_mut(lease.recipient)?;
+            r.crma.unmap_window(lease.window).map_err(ShareError::Window)?;
+            r.memory.unplug(lease.local_base).map_err(ShareError::Memory)?;
+        }
+        {
+            let d = self.node_mut(lease.donor)?;
+            d.memory.reclaim(lease.donor_base).map_err(ShareError::Memory)?;
+            d.agent.idle_memory += lease.bytes;
+            d.agent.lendable_base -= lease.bytes;
+        }
+        self.monitor.release(lease.grant_id);
+        self.now += self.flow.teardown(lease.bytes);
+        Ok(())
+    }
+
+    /// A remote cacheline read by `node` at `addr` (must be inside a
+    /// borrowed window): returns the end-to-end latency.
+    ///
+    /// # Errors
+    ///
+    /// [`ShareError::NotRemote`] when `addr` is not remote-mapped.
+    pub fn crma_read(&mut self, node: NodeId, addr: u64) -> Result<Time, ShareError> {
+        let path = self.path.clone();
+        let n = self.node_mut(node)?;
+        n.crma.read_latency(&path, addr).ok_or(ShareError::NotRemote)
+    }
+
+    /// Checks the single-subscriber invariant across all nodes.
+    pub fn memory_consistent(&self) -> bool {
+        let spaces: Vec<AddressSpace> = self.nodes.iter().map(|n| n.memory.clone()).collect();
+        AddressSpace::pairwise_consistent(&spaces)
+    }
+
+    /// Total memory visible to `node`'s OS.
+    pub fn visible_memory(&self, node: NodeId) -> u64 {
+        self.nodes
+            .get(node.0 as usize)
+            .map(|n| n.memory.visible_bytes())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn borrow_grows_visible_memory_and_stays_consistent() {
+        let mut c = Cluster::prototype();
+        let before = c.visible_memory(NodeId(0));
+        let lease = c.borrow_memory(NodeId(0), 256 << 20).unwrap();
+        assert_eq!(c.visible_memory(NodeId(0)), before + (256 << 20));
+        assert!(c.memory_consistent());
+        // Donor is a direct mesh neighbor (distance policy).
+        assert!([1u16, 2, 4].contains(&lease.donor.0), "donor {:?}", lease.donor);
+        c.release(lease).unwrap();
+        assert_eq!(c.visible_memory(NodeId(0)), before);
+        assert!(c.memory_consistent());
+    }
+
+    #[test]
+    fn borrowed_window_is_readable_and_torn_down() {
+        let mut c = Cluster::prototype();
+        let lease = c.borrow_memory(NodeId(0), 128 << 20).unwrap();
+        let lat = c.crma_read(NodeId(0), lease.local_base + 4096).unwrap();
+        assert!(lat.as_us_f64() > 2.0 && lat.as_us_f64() < 20.0, "lat {lat}");
+        c.release(lease).unwrap();
+        assert_eq!(
+            c.crma_read(NodeId(0), lease.local_base + 4096),
+            Err(ShareError::NotRemote)
+        );
+    }
+
+    #[test]
+    fn multiple_borrowers_draw_from_different_donors() {
+        let mut c = Cluster::prototype();
+        // Each node lends up to 512 MB; ask for 512 MB twice from node 0:
+        // two different donors must serve.
+        let a = c.borrow_memory(NodeId(0), 512 << 20).unwrap();
+        let b = c.borrow_memory(NodeId(0), 512 << 20).unwrap();
+        assert_ne!(a.donor, b.donor);
+        assert!(c.memory_consistent());
+        assert_eq!(c.visible_memory(NodeId(0)), (1 << 30) + (1 << 30));
+    }
+
+    #[test]
+    fn exhaustion_reports_no_capacity() {
+        let config = PlatformConfig::venice_prototype();
+        let mut c = Cluster::with_config(&config, 64 << 20);
+        // 7 donors x 64 MB each; the 8th request must fail.
+        let mut leases = Vec::new();
+        for _ in 0..7 {
+            leases.push(c.borrow_memory(NodeId(0), 64 << 20).unwrap());
+        }
+        let err = c.borrow_memory(NodeId(0), 64 << 20).unwrap_err();
+        assert!(matches!(err, ShareError::Alloc(_)), "{err:?}");
+        for l in leases {
+            c.release(l).unwrap();
+        }
+        assert!(c.memory_consistent());
+    }
+
+    #[test]
+    fn setup_time_scales_with_size() {
+        let mut c = Cluster::prototype();
+        let small = c.borrow_memory(NodeId(0), 64 << 20).unwrap();
+        let large = c.borrow_memory(NodeId(3), 512 << 20).unwrap();
+        assert!(large.setup_time > small.setup_time);
+    }
+
+    #[test]
+    fn double_release_fails() {
+        let mut c = Cluster::prototype();
+        let lease = c.borrow_memory(NodeId(0), 64 << 20).unwrap();
+        c.release(lease).unwrap();
+        assert!(c.release(lease).is_err());
+    }
+}

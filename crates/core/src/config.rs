@@ -1,0 +1,106 @@
+//! The prototype platform configuration (paper Table 1).
+
+use serde::{Deserialize, Serialize};
+use venice_fabric::{LinkParams, Mesh3d};
+use venice_memnode::{CpuModel, DramModel};
+use venice_sim::Time;
+
+/// Table 1's platform parameters, collected in one place so scenarios and
+/// reports agree on the constants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Number of nodes.
+    pub nodes: u16,
+    /// Topology description.
+    pub topology: &'static str,
+    /// Board / OS description.
+    pub node_description: &'static str,
+    /// CPU description.
+    pub processor: &'static str,
+    /// CPU clock in MHz.
+    pub cpu_mhz: f64,
+    /// Active memory per node in bytes.
+    pub memory_bytes: u64,
+    /// Fabric parallel clock in MHz.
+    pub fabric_parallel_mhz: f64,
+    /// Fabric serial clock in GHz.
+    pub fabric_serial_ghz: f64,
+    /// Point-to-point fabric latency.
+    pub p2p_latency: Time,
+    /// Per-link bandwidth in Gbps.
+    pub link_gbps: f64,
+    /// Links per node.
+    pub links_per_node: u8,
+}
+
+impl PlatformConfig {
+    /// The paper's prototype (Table 1).
+    pub fn venice_prototype() -> Self {
+        PlatformConfig {
+            nodes: 8,
+            topology: "3D mesh",
+            node_description: "Xilinx ZC706, Linux (Linaro 13.09)",
+            processor: "ARM Cortex-A9",
+            cpu_mhz: 667.0,
+            memory_bytes: 1 << 30,
+            fabric_parallel_mhz: 125.0,
+            fabric_serial_ghz: 5.0,
+            p2p_latency: Time::from_ns(1_400),
+            link_gbps: 5.0,
+            links_per_node: 6,
+        }
+    }
+
+    /// The mesh this configuration describes.
+    pub fn mesh(&self) -> Mesh3d {
+        debug_assert_eq!(self.nodes, 8, "prototype mesh is 2x2x2");
+        Mesh3d::prototype()
+    }
+
+    /// CPU model for the nodes.
+    pub fn cpu(&self) -> CpuModel {
+        CpuModel { mhz: self.cpu_mhz, ..CpuModel::venice_prototype() }
+    }
+
+    /// DRAM model for the nodes.
+    pub fn dram(&self) -> DramModel {
+        DramModel {
+            capacity_bytes: self.memory_bytes,
+            ..DramModel::venice_prototype()
+        }
+    }
+
+    /// Link model for the fabric.
+    pub fn link(&self) -> LinkParams {
+        LinkParams::venice_prototype().with_gbps(self.link_gbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_constants() {
+        let c = PlatformConfig::venice_prototype();
+        assert_eq!(c.nodes, 8);
+        assert_eq!(c.memory_bytes, 1 << 30);
+        assert_eq!(c.cpu_mhz, 667.0);
+        assert_eq!(c.link_gbps, 5.0);
+        assert_eq!(c.links_per_node, 6);
+        assert_eq!(c.p2p_latency, Time::from_ns(1400));
+    }
+
+    #[test]
+    fn derived_models_agree_with_table() {
+        let c = PlatformConfig::venice_prototype();
+        assert_eq!(c.mesh().len(), 8);
+        assert_eq!(c.cpu().mhz, 667.0);
+        assert_eq!(c.dram().capacity_bytes, 1 << 30);
+        // The link's one-way latency for a cacheline packet matches the
+        // published P2P figure within 10%.
+        let one_way = c.link().one_way(80);
+        let err = one_way.ratio(c.p2p_latency) - 1.0;
+        assert!(err.abs() < 0.1, "one-way {one_way} vs 1.4us");
+    }
+}

@@ -1,0 +1,110 @@
+//! Hardware cost model (paper §7.3).
+//!
+//! The prototype's fabric logic synthesizes in GlobalFoundries 28 nm at
+//! 1 GHz: 2.73 mm² of logic, 32 KB of SRAM, plus ~0.5 mm² per PCIe-Gen4-x1
+//! -class PHY lane — about 3.5 mm² total, roughly 2 % of a Haswell-EP die.
+//! §4.2.1 also compares channel implementation costs: "A typical QPair
+//! implementation supports hundreds of queue pairs, each requiring around
+//! a dozen registers ... tens of kilobytes more SRAM than does CRMA. And
+//! the logic complexity (in terms of LUT counts) of QPair is about twice
+//! that of CRMA."
+
+use serde::{Deserialize, Serialize};
+
+/// The §7.3 cost model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Synthesized logic area of the switch + channels (mm², 28 nm).
+    pub logic_area_mm2: f64,
+    /// Channel SRAM (bytes).
+    pub sram_bytes: u64,
+    /// Area of one PHY lane (mm²).
+    pub phy_lane_area_mm2: f64,
+    /// Number of PHY lanes (one per fabric port).
+    pub phy_lanes: u32,
+    /// Comparison die area (Haswell-EP 8-core, mm²).
+    pub reference_die_mm2: f64,
+    /// Clock the logic closes at (GHz).
+    pub clock_ghz: f64,
+}
+
+impl CostModel {
+    /// The published numbers.
+    pub fn venice_28nm() -> Self {
+        CostModel {
+            logic_area_mm2: 2.73,
+            sram_bytes: 32 << 10,
+            phy_lane_area_mm2: 0.5,
+            // The paper budgets ~3.5 mm² of PHY total, i.e. a handful of
+            // serial lanes at ~0.5 mm² each.
+            phy_lanes: 7,
+            reference_die_mm2: 300.0,
+            clock_ghz: 1.0,
+        }
+    }
+
+    /// Total PHY area.
+    pub fn phy_area_mm2(&self) -> f64 {
+        self.phy_lane_area_mm2 * self.phy_lanes as f64
+    }
+
+    /// Total area: logic + PHYs.
+    pub fn total_area_mm2(&self) -> f64 {
+        self.logic_area_mm2 + self.phy_area_mm2()
+    }
+
+    /// Fraction of the reference die the Venice support occupies.
+    pub fn die_fraction(&self) -> f64 {
+        self.total_area_mm2() / self.reference_die_mm2
+    }
+
+    /// Relative logic complexity of QPair vs CRMA (LUT counts; §4.2.1).
+    pub const QPAIR_OVER_CRMA_LOGIC: f64 = 2.0;
+
+    /// Extra SRAM a QPair implementation needs over CRMA (bytes):
+    /// hundreds of queue pairs × a dozen registers ("tens of kilobytes").
+    pub const QPAIR_EXTRA_SRAM_BYTES: u64 = 24 << 10;
+
+    /// SRAM for a QPair implementation with `pairs` queue pairs of
+    /// `registers` 8-byte registers each.
+    pub fn qpair_sram_bytes(pairs: u32, registers: u32) -> u64 {
+        pairs as u64 * registers as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_totals() {
+        let c = CostModel::venice_28nm();
+        assert_eq!(c.logic_area_mm2, 2.73);
+        assert_eq!(c.sram_bytes, 32 << 10);
+        // ~3.5 mm² of PHY.
+        assert!((3.4..3.6).contains(&c.phy_area_mm2()));
+        // Total ≈ 6.2 mm².
+        assert!((6.0..6.5).contains(&c.total_area_mm2()));
+    }
+
+    #[test]
+    fn about_two_percent_of_a_server_die() {
+        let c = CostModel::venice_28nm();
+        let f = c.die_fraction();
+        assert!((0.015..0.025).contains(&f), "fraction = {f:.4}");
+    }
+
+    #[test]
+    fn qpair_sram_is_tens_of_kilobytes() {
+        // "hundreds of queue pairs, each requiring around a dozen
+        // registers": 256 pairs x 12 x 8B = 24 KB.
+        let sram = CostModel::qpair_sram_bytes(256, 12);
+        assert_eq!(sram, 24 << 10);
+        assert_eq!(sram, CostModel::QPAIR_EXTRA_SRAM_BYTES);
+    }
+
+    #[test]
+    fn qpair_logic_twice_crma() {
+        assert_eq!(CostModel::QPAIR_OVER_CRMA_LOGIC, 2.0);
+    }
+}

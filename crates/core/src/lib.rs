@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # Venice: server architectures for effective resource sharing
+//!
+//! A full reproduction of *"Venice: Exploring Server Architectures for
+//! Effective Resource Sharing"* (Dong et al., HPCA 2016) as a Rust
+//! library. Venice makes the inter-node fabric a first-class on-chip
+//! resource and layers three transport channels over it — CRMA (cacheline
+//! loads/stores to remote memory), RDMA (bulk DMA), and QPair (user-level
+//! messaging) — plus a Monitor-Node runtime that brokers memory,
+//! accelerator, and NIC borrowing between nodes.
+//!
+//! The paper evaluates an 8-node FPGA prototype; this crate drives
+//! calibrated models of the same stack (see `venice-fabric`,
+//! `venice-transport`, `venice-memnode`, `venice-accel`, `venice-vnic`,
+//! `venice-runtime`, `venice-baselines`, `venice-workloads`) and
+//! regenerates every table and figure of the evaluation through
+//! [`scenarios`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use venice::cluster::Cluster;
+//!
+//! // Build the paper's 8-node prototype and borrow 256 MB of remote
+//! // memory for node 0 through the Monitor Node.
+//! let mut cluster = Cluster::prototype();
+//! let lease = cluster.borrow_memory(venice::NodeId(0), 256 << 20).unwrap();
+//! assert_ne!(lease.donor, venice::NodeId(0));
+//!
+//! // Node 0 can now read the borrowed region with plain loads; the
+//! // simulator reports the end-to-end cacheline latency.
+//! let latency = cluster.crma_read(venice::NodeId(0), lease.local_base).unwrap();
+//! assert!(latency.as_us_f64() > 2.0);
+//! cluster.release(lease).unwrap();
+//! ```
+
+pub mod channels;
+pub mod cluster;
+pub mod config;
+pub mod costmodel;
+pub mod metrics;
+pub mod scenarios;
+
+pub use channels::{ChannelConfig, ChannelLatencies};
+pub use cluster::{Cluster, MemoryLease, ShareError};
+pub use config::PlatformConfig;
+pub use costmodel::CostModel;
+pub use metrics::{Figure, Series};
+
+pub use venice_fabric::NodeId;
+pub use venice_sim::Time;

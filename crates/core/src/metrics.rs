@@ -1,0 +1,183 @@
+//! Figure/table data structures for the reproduction harness.
+//!
+//! Every scenario returns a [`Figure`]: labeled series over labeled
+//! columns, carrying both our measured values and the paper's published
+//! values so the bench harness can print them side by side and
+//! EXPERIMENTS.md can be regenerated mechanically.
+
+use serde::{Deserialize, Serialize};
+
+/// One labeled data series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series label (e.g. a workload or configuration name).
+    pub label: String,
+    /// One value per figure column.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Series { label: label.into(), values }
+    }
+}
+
+/// A reproduced table or figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Identifier ("fig5", "table1", ...).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Metric description (what the numbers mean).
+    pub metric: String,
+    /// Column labels.
+    pub columns: Vec<String>,
+    /// Values measured by this reproduction.
+    pub measured: Vec<Series>,
+    /// The paper's published values (empty when the paper reports only a
+    /// qualitative shape).
+    pub paper: Vec<Series>,
+    /// Free-form notes (substitutions, deviations).
+    pub notes: String,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, metric: impl Into<String>) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            metric: metric.into(),
+            columns: Vec::new(),
+            measured: Vec::new(),
+            paper: Vec::new(),
+            notes: String::new(),
+        }
+    }
+
+    /// Renders an aligned text table (measured, then paper reference).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        out.push_str(&format!("metric: {}\n", self.metric));
+        let width = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .chain(self.all_series().map(|s| s.label.len()))
+            .max()
+            .unwrap_or(8)
+            .max(10);
+        let header: String = std::iter::once(format!("{:width$}", ""))
+            .chain(self.columns.iter().map(|c| format!("{c:>width$}")))
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push_str(&header);
+        out.push('\n');
+        for (tag, series) in self
+            .measured
+            .iter()
+            .map(|s| ("measured", s))
+            .chain(self.paper.iter().map(|s| ("paper", s)))
+        {
+            let label = format!("{} [{}]", series.label, tag);
+            let row: String = std::iter::once(format!("{label:width$}"))
+                .chain(series.values.iter().map(|v| format!("{v:>width$.2}")))
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&row);
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push_str(&format!("note: {}\n", self.notes));
+        }
+        out
+    }
+
+    fn all_series(&self) -> impl Iterator<Item = &Series> {
+        self.measured.iter().chain(self.paper.iter())
+    }
+
+    /// Checks that every measured series matches the paper series with
+    /// the same label in *ordering*: wherever the paper separates two
+    /// columns by more than 5 %, the measured values must order the same
+    /// way (near-ties in the paper are not binding). Returns mismatching
+    /// labels.
+    pub fn ordering_mismatches(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        for m in &self.measured {
+            let Some(p) = self.paper.iter().find(|p| p.label == m.label) else {
+                continue;
+            };
+            if p.values.len() != m.values.len() {
+                bad.push(m.label.clone());
+                continue;
+            }
+            let n = p.values.len();
+            let mut ok = true;
+            for i in 0..n {
+                for j in 0..n {
+                    // Binding constraint: the paper separates i and j by
+                    // more than 5%.
+                    if p.values[i] < p.values[j] * 0.95 && m.values[i] >= m.values[j] {
+                        ok = false;
+                    }
+                }
+            }
+            if !ok {
+                bad.push(m.label.clone());
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut f = Figure::new("figX", "Sample", "normalized time");
+        f.columns = vec!["a".into(), "b".into()];
+        f.measured = vec![Series::new("w", vec![1.0, 2.0])];
+        f.paper = vec![Series::new("w", vec![1.5, 3.0])];
+        f
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = sample().render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("w [measured]"));
+        assert!(s.contains("w [paper]"));
+        assert!(s.contains("2.00"));
+    }
+
+    #[test]
+    fn ordering_agreement_detected() {
+        let f = sample();
+        assert!(f.ordering_mismatches().is_empty());
+        let mut bad = sample();
+        bad.measured[0].values = vec![2.0, 1.0];
+        assert_eq!(bad.ordering_mismatches(), vec!["w".to_string()]);
+    }
+
+    #[test]
+    fn near_ties_in_paper_are_not_binding() {
+        let mut f = sample();
+        // Paper values within 5%: measured may order either way.
+        f.paper[0].values = vec![1.00, 1.02];
+        f.measured[0].values = vec![5.0, 4.9];
+        assert!(f.ordering_mismatches().is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let f = sample();
+        let json = serde_json::to_string(&f).unwrap();
+        let back: Figure = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
+    }
+}

@@ -1,0 +1,103 @@
+//! Fig 16: sharing remote accelerators (a) and remote NICs (b).
+
+use venice_accel::Dispatcher;
+use venice_vnic::BondedInterface;
+use venice_workloads::fft::FftDataset;
+use venice_workloads::IperfStream;
+
+use crate::metrics::{Figure, Series};
+
+/// Generates Fig 16a: FFT speedup with 1 local + N remote accelerators.
+pub fn fig16a() -> Figure {
+    let mut fig = Figure::new(
+        "fig16a",
+        "Performance benefits of sharing remote accelerators",
+        "speedup over one local accelerator (higher is better)",
+    );
+    fig.columns = vec!["LA+1RA".into(), "LA+2RA".into(), "LA+3RA".into()];
+    for (label, dataset) in [
+        ("8MB dataset", FftDataset::small()),
+        ("512MB dataset", FftDataset::large()),
+    ] {
+        let values: Vec<f64> = (1..=3)
+            .map(|remote| {
+                Dispatcher::fig16a(remote).speedup(dataset.bytes, dataset.task_bytes)
+            })
+            .collect();
+        fig.measured.push(Series::new(label, values));
+    }
+    // The paper shows near-linear bars; read off the chart.
+    fig.paper = vec![
+        Series::new("8MB dataset", vec![1.85, 2.65, 3.4]),
+        Series::new("512MB dataset", vec![1.95, 2.85, 3.7]),
+    ];
+    fig.notes = "XFFT tasks dispatched through mailboxes; input/output moved \
+                 by RDMA; paper values read off the published chart"
+        .into();
+    fig
+}
+
+/// Generates Fig 16b: bonded-NIC utilization for tiny and normal packets.
+pub fn fig16b() -> Figure {
+    let mut fig = Figure::new(
+        "fig16b",
+        "Performance benefits of sharing remote NICs",
+        "utilization of aggregate line capacity (%)",
+    );
+    fig.columns = vec!["LN+1RN".into(), "LN+2RN".into(), "LN+3RN".into()];
+    for &size in IperfStream::FIG16B_SIZES.iter() {
+        let label = format!("{size}B packets");
+        let values: Vec<f64> = (1..=3)
+            .map(|remote| BondedInterface::fig16b(remote).utilization(size) * 100.0)
+            .collect();
+        fig.measured.push(Series::new(label, values));
+    }
+    // Anchors the paper states in prose: ~40% at LN+3RN for tiny packets,
+    // ~85% for 256 B; nearer-linear at fewer remotes.
+    fig.paper = vec![
+        Series::new("4B packets", vec![62.0, 48.0, 40.0]),
+        Series::new("256B packets", vec![92.0, 88.0, 85.0]),
+    ];
+    fig.notes = "IP-over-QPair VNICs bonded with the local gigabit NIC; \
+                 iperf-style fixed-size streams"
+        .into();
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accelerator_scaling_near_linear() {
+        let f = fig16a();
+        for s in &f.measured {
+            // Monotone increasing and within 25% of ideal at 4 devices.
+            assert!(s.values.windows(2).all(|w| w[1] > w[0]), "{:?}", s.values);
+            assert!(s.values[2] > 3.0, "{:?}", s.values);
+            assert!(s.values[2] <= 4.0);
+        }
+    }
+
+    #[test]
+    fn large_dataset_scales_at_least_as_well() {
+        let f = fig16a();
+        let small = &f.measured[0].values;
+        let large = &f.measured[1].values;
+        for i in 0..3 {
+            assert!(large[i] >= small[i] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn nic_utilization_anchors() {
+        let f = fig16b();
+        let tiny = &f.measured[0].values;
+        let normal = &f.measured[1].values;
+        // Paper prose: ~40% and ~85% at three remote NICs.
+        assert!((30.0..55.0).contains(&tiny[2]), "{tiny:?}");
+        assert!((75.0..95.0).contains(&normal[2]), "{normal:?}");
+        // Utilization degrades as more (slower) remote NICs join.
+        assert!(tiny.windows(2).all(|w| w[1] <= w[0]), "{tiny:?}");
+    }
+}

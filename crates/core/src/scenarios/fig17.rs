@@ -1,0 +1,111 @@
+//! Fig 17: multi-modality — each access pattern has a dominant channel.
+//!
+//! Three representative transfers (random fine-grain lookups, contiguous
+//! streaming, message passing) are executed over each of the three
+//! channels; per pattern, results are normalized to the best channel
+//! (=100). The paper's point: "none of the channels can be efficiently
+//! replaced by another".
+
+use venice_fabric::NodeId;
+use venice_transport::{AccessPattern, AdaptiveLibrary, ChannelKind, PathModel, TransferRequest};
+
+use crate::metrics::{Figure, Series};
+
+const CHANNELS: [ChannelKind; 3] = [ChannelKind::Crma, ChannelKind::Rdma, ChannelKind::Qpair];
+
+fn patterns() -> Vec<(&'static str, TransferRequest)> {
+    vec![
+        (
+            "In-Mem DB random access",
+            TransferRequest { bytes: 64 << 10, pattern: AccessPattern::RandomFineGrain },
+        ),
+        (
+            "CC contiguous access",
+            TransferRequest { bytes: 4 << 20, pattern: AccessPattern::Contiguous },
+        ),
+        (
+            "Iperf msg passing",
+            TransferRequest { bytes: 256, pattern: AccessPattern::MessagePassing },
+        ),
+    ]
+}
+
+/// Generates Fig 17.
+pub fn fig17() -> Figure {
+    let lib = AdaptiveLibrary::with_defaults();
+    let path = PathModel::direct_pair();
+    let mut fig = Figure::new(
+        "fig17",
+        "Resource sharing over the three transport channels",
+        "performance normalized to the best channel per pattern (=100)",
+    );
+    fig.columns = patterns().iter().map(|(n, _)| n.to_string()).collect();
+    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); CHANNELS.len()];
+    for (_, req) in patterns() {
+        let times: Vec<f64> = CHANNELS
+            .iter()
+            .map(|&c| {
+                lib.estimate(&path, NodeId(0), NodeId(1), req, c)
+                    .as_secs_f64()
+            })
+            .collect();
+        let best = times.iter().cloned().fold(f64::MAX, f64::min);
+        for (row, t) in rows.iter_mut().zip(&times) {
+            row.push(best / t * 100.0);
+        }
+    }
+    for (channel, row) in CHANNELS.iter().zip(rows) {
+        fig.measured.push(Series::new(channel.to_string(), row));
+    }
+    fig.paper = vec![
+        Series::new("CRMA", vec![100.0, 23.7, 57.7]),
+        Series::new("RDMA", vec![14.5, 100.0, 12.0]),
+        Series::new("QPair", vec![12.2, 4.2, 100.0]),
+    ];
+    fig.notes = "random = dependent 64 B lookups over 64 KB; contiguous = \
+                 4 MB stream; messaging = 256 B packets"
+        .into();
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row<'a>(f: &'a Figure, label: &str) -> &'a [f64] {
+        &f.measured.iter().find(|s| s.label == label).unwrap().values
+    }
+
+    #[test]
+    fn each_pattern_has_its_winner() {
+        let f = fig17();
+        // CRMA wins random; RDMA wins contiguous; QPair wins messaging.
+        assert_eq!(row(&f, "CRMA")[0], 100.0);
+        assert_eq!(row(&f, "RDMA")[1], 100.0);
+        assert_eq!(row(&f, "QPair")[2], 100.0);
+    }
+
+    #[test]
+    fn mismatch_penalties_are_multiples() {
+        let f = fig17();
+        // The losing channels score far below 100 in every column.
+        for col in 0..3 {
+            let mut scores: Vec<f64> =
+                f.measured.iter().map(|s| s.values[col]).collect();
+            scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            assert_eq!(scores[0], 100.0);
+            assert!(scores[1] < 80.0, "col {col}: {scores:?}");
+            assert!(scores[2] < 40.0, "col {col}: {scores:?}");
+        }
+    }
+
+    #[test]
+    fn crma_is_respectable_for_messaging() {
+        // Paper: CRMA scores 57.7 for message passing (it can emulate
+        // small sends tolerably), while RDMA scores 12.
+        let f = fig17();
+        let crma = row(&f, "CRMA")[2];
+        let rdma = row(&f, "RDMA")[2];
+        assert!(crma > 3.0 * rdma, "crma {crma:.1} rdma {rdma:.1}");
+    }
+}

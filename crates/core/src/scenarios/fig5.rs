@@ -1,0 +1,157 @@
+//! Figs 5 and 6: the architectural-support study (§4.2).
+//!
+//! Five configurations reach 1 GB of remote data on a directly connected
+//! node (Fig 5), then the same pair is rejoined through one external
+//! router (Fig 6). PageRank (latency-tolerant) and BerkeleyDB
+//! (dependence-bound) bracket the workload space.
+
+use venice_baselines::AsyncQpair;
+use venice_workloads::{MemoryProfile, OltpWorkload, PageRank};
+
+use crate::channels::{ChannelConfig, ChannelLatencies};
+use crate::metrics::{Figure, Series};
+
+struct Setup {
+    profile: MemoryProfile,
+    asynk: AsyncQpair,
+    unit_bytes: u64,
+}
+
+fn setups() -> Vec<Setup> {
+    vec![
+        Setup {
+            profile: PageRank::new().profile(1 << 30),
+            asynk: AsyncQpair::latency_tolerant(),
+            // PageRank's messaging library fetches small rank batches.
+            unit_bytes: 256,
+        },
+        Setup {
+            profile: OltpWorkload::fig5().profile(),
+            asynk: AsyncQpair::dependence_bound(),
+            // BerkeleyDB fetches whole 4 KB index nodes per access.
+            unit_bytes: 4096,
+        },
+    ]
+}
+
+fn columns() -> Vec<String> {
+    ChannelConfig::ALL.iter().map(|c| c.label().to_string()).collect()
+}
+
+/// Generates Fig 5: normalized execution time per configuration.
+pub fn fig5() -> Figure {
+    let mut fig = Figure::new(
+        "fig5",
+        "Relative performance of system configurations (direct link)",
+        "execution time normalized to all-local memory (lower is better)",
+    );
+    fig.columns = columns();
+    for s in setups() {
+        let lat = ChannelLatencies::fig5(s.unit_bytes);
+        let values: Vec<f64> = ChannelConfig::ALL
+            .iter()
+            .map(|&c| lat.slowdown(&s.profile, c, &s.asynk))
+            .collect();
+        fig.measured.push(Series::new(s.profile.name, values));
+    }
+    fig.paper = vec![
+        Series::new("PageRank", vec![7.69, 5.96, 3.12, 3.01, 2.12]),
+        Series::new("BerkeleyDB", vec![11.92, 10.91, 10.83, 3.43, 2.48]),
+    ];
+    fig.notes = "1 GB of data on a directly connected donor".into();
+    fig
+}
+
+/// Generates Fig 6: percentage overhead of inserting a one-level router.
+pub fn fig6() -> Figure {
+    let mut fig = Figure::new(
+        "fig6",
+        "Performance impact of off-chip router delay",
+        "% execution-time overhead vs the direct link (lower is better)",
+    );
+    fig.columns = columns();
+    for s in setups() {
+        let direct = ChannelLatencies::fig5(s.unit_bytes);
+        let routed = ChannelLatencies::fig6(s.unit_bytes);
+        let values: Vec<f64> = ChannelConfig::ALL
+            .iter()
+            .map(|&c| {
+                let d = direct.op_time(&s.profile, c, &s.asynk);
+                let r = routed.op_time(&s.profile, c, &s.asynk);
+                (r.ratio(d) - 1.0) * 100.0
+            })
+            .collect();
+        fig.measured.push(Series::new(s.profile.name, values));
+    }
+    fig.paper = vec![
+        Series::new("PageRank", vec![11.70, 13.42, 2.02, 13.92, 22.72]),
+        Series::new("BerkeleyDB", vec![7.66, 7.33, 7.39, 11.08, 16.13]),
+    ];
+    fig.notes = "router modeled inline on the same cable: a cut-through \
+                 transit (buffering, lookup, arbitration, port conversion)"
+        .into();
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_key_claims() {
+        let f = fig5();
+        let pr = &f.measured[0].values;
+        let bdb = &f.measured[1].values;
+        // On-chip CRMA is the best configuration for both workloads.
+        assert!(pr[4] < pr.iter().take(4).cloned().fold(f64::MAX, f64::min));
+        assert!(bdb[4] < bdb.iter().take(4).cloned().fold(f64::MAX, f64::min));
+        // "Remote-access penalties down to much more tolerable levels
+        // (e.g., 2-3x)".
+        assert!((1.7..3.0).contains(&pr[4]), "{pr:?}");
+        assert!((2.0..3.0).contains(&bdb[4]), "{bdb:?}");
+        // The async rewrite helps PageRank (>35% better than sync QPair)
+        // but not BerkeleyDB (<5%).
+        assert!(pr[2] < pr[1] * 0.65, "{pr:?}");
+        assert!((bdb[2] - bdb[1]).abs() / bdb[1] < 0.05, "{bdb:?}");
+    }
+
+    #[test]
+    fn fig5_on_chip_crma_boost_over_off_chip() {
+        // Paper: on-chip integration buys ~1.4x for PageRank CRMA.
+        let f = fig5();
+        let pr = &f.measured[0].values;
+        let boost = pr[3] / pr[4];
+        assert!((1.15..1.6).contains(&boost), "boost = {boost:.2}");
+    }
+
+    #[test]
+    fn fig6_key_claims() {
+        let f = fig6();
+        let pr = &f.measured[0].values;
+        let bdb = &f.measured[1].values;
+        // "For configurations supporting CRMA, the impact ... is large
+        // (over 20%)" — on-chip CRMA, PageRank.
+        assert!(pr[4] > 15.0, "{pr:?}");
+        // "The only exception is when the code already hides latency":
+        // async sees almost nothing.
+        assert!(pr[2] < 5.0, "{pr:?}");
+        // Higher-performing configurations hurt more (CRMA > QPair).
+        assert!(pr[4] > pr[1], "{pr:?}");
+        assert!(bdb[4] > bdb[1], "{bdb:?}");
+    }
+
+    #[test]
+    fn fig5_within_40_percent_of_paper() {
+        let f = fig5();
+        for (m, p) in f.measured.iter().zip(&f.paper) {
+            for (mv, pv) in m.values.iter().zip(&p.values) {
+                let ratio = mv / pv;
+                assert!(
+                    (0.6..1.67).contains(&ratio),
+                    "{}: measured {mv:.2} vs paper {pv:.2}",
+                    m.label
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! One scenario per table/figure of the paper's evaluation.
+//!
+//! Each function is deterministic and returns a [`crate::Figure`] holding
+//! our measured series next to the paper's published series. The bench
+//! crate's `figures` binary prints them; integration tests assert the
+//! *shape* targets from DESIGN.md (orderings, crossover positions,
+//! factor bands) rather than absolute equality — our substrate is a
+//! calibrated simulator, not the authors' FPGA rack.
+
+pub mod ablations;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig3;
+pub mod fig5;
+pub mod table1;
+pub mod validation;
+
+pub use ablations::all_ablations;
+pub use fig14::fig14;
+pub use fig15::fig15;
+pub use fig16::{fig16a, fig16b};
+pub use fig17::fig17;
+pub use fig18::fig18;
+pub use fig3::fig3;
+pub use fig5::{fig5, fig6};
+pub use table1::{cost_table, table1};
+pub use validation::validation;
+
+use crate::Figure;
+
+/// Every scenario in paper order; the harness iterates this.
+pub fn all() -> Vec<Figure> {
+    let mut figures = vec![
+        fig3(),
+        fig5(),
+        fig6(),
+        fig14(),
+        fig15(),
+        fig16a(),
+        fig16b(),
+        fig17(),
+        fig18(),
+        table1(),
+        cost_table(),
+        validation(),
+    ];
+    figures.extend(all_ablations());
+    figures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_produce_consistent_figures() {
+        for fig in all() {
+            assert!(!fig.id.is_empty());
+            assert!(!fig.columns.is_empty(), "{} has no columns", fig.id);
+            for s in fig.measured.iter().chain(fig.paper.iter()) {
+                assert_eq!(
+                    s.values.len(),
+                    fig.columns.len(),
+                    "{}: series {} width mismatch",
+                    fig.id,
+                    s.label
+                );
+                assert!(
+                    s.values.iter().all(|v| v.is_finite()),
+                    "{}: series {} has non-finite values",
+                    fig.id,
+                    s.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = all();
+        let b = all();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y, "{} not deterministic", x.id);
+        }
+    }
+
+    #[test]
+    fn measured_orderings_match_paper() {
+        // The weakest shape criterion: within every series the ranking of
+        // configurations matches the paper.
+        for fig in all() {
+            let bad = fig.ordering_mismatches();
+            assert!(bad.is_empty(), "{}: ordering mismatch in {:?}", fig.id, bad);
+        }
+    }
+}

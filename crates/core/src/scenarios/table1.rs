@@ -1,0 +1,101 @@
+//! Table 1 (platform configuration) and the §7.3 hardware-cost table.
+
+use crate::config::PlatformConfig;
+use crate::costmodel::CostModel;
+use crate::metrics::{Figure, Series};
+
+/// Generates Table 1 as a one-row-per-parameter figure (numeric
+/// parameters only; string parameters go in the notes).
+pub fn table1() -> Figure {
+    let c = PlatformConfig::venice_prototype();
+    let mut fig = Figure::new(
+        "table1",
+        "Platform configuration",
+        "prototype hardware parameters",
+    );
+    fig.columns = vec![
+        "nodes".into(),
+        "CPU MHz".into(),
+        "mem MB".into(),
+        "parallel clk MHz".into(),
+        "serial clk GHz".into(),
+        "P2P latency us".into(),
+        "link Gbps".into(),
+        "links/node".into(),
+    ];
+    let row = vec![
+        c.nodes as f64,
+        c.cpu_mhz,
+        (c.memory_bytes >> 20) as f64,
+        c.fabric_parallel_mhz,
+        c.fabric_serial_ghz,
+        c.p2p_latency.as_us_f64(),
+        c.link_gbps,
+        c.links_per_node as f64,
+    ];
+    fig.measured = vec![Series::new("prototype", row.clone())];
+    fig.paper = vec![Series::new("prototype", row)];
+    fig.notes = format!(
+        "{} | {} | {} | topology: {}",
+        c.node_description, c.processor, "Linaro 13.09", c.topology
+    );
+    fig
+}
+
+/// Generates the §7.3 cost summary.
+pub fn cost_table() -> Figure {
+    let m = CostModel::venice_28nm();
+    let mut fig = Figure::new(
+        "cost",
+        "Hardware cost of the Venice fabric support (28nm)",
+        "areas in mm^2; SRAM in KB; die fraction in %",
+    );
+    fig.columns = vec![
+        "logic mm2".into(),
+        "SRAM KB".into(),
+        "PHY mm2".into(),
+        "total mm2".into(),
+        "% of 300mm2 die".into(),
+        "clock GHz".into(),
+    ];
+    let row = vec![
+        m.logic_area_mm2,
+        (m.sram_bytes >> 10) as f64,
+        m.phy_area_mm2(),
+        m.total_area_mm2(),
+        m.die_fraction() * 100.0,
+        m.clock_ghz,
+    ];
+    fig.measured = vec![Series::new("venice support", row)];
+    fig.paper = vec![Series::new(
+        "venice support",
+        vec![2.73, 32.0, 3.5, 6.23, 2.08, 1.0],
+    )];
+    fig.notes = format!(
+        "QPair/CRMA logic ratio {}x; QPair extra SRAM {} KB",
+        CostModel::QPAIR_OVER_CRMA_LOGIC,
+        CostModel::QPAIR_EXTRA_SRAM_BYTES >> 10
+    );
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_exactly() {
+        let f = table1();
+        assert_eq!(f.measured, f.paper);
+    }
+
+    #[test]
+    fn cost_close_to_published_arithmetic() {
+        let f = cost_table();
+        let m = &f.measured[0].values;
+        let p = &f.paper[0].values;
+        for (a, b) in m.iter().zip(p) {
+            assert!((a - b).abs() / b < 0.05, "{a} vs {b}");
+        }
+    }
+}

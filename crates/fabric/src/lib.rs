@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! The Venice resource-sharing fabric (paper §5.1).
+//!
+//! This crate models the interconnect that Venice integrates directly on
+//! chip: the physical layer ([`phy`]), the datalink layer with credit-based
+//! flow control and CRC + replay ([`datalink`], [`crc`]), and the network
+//! layer with an embedded low-radix switch, dimension-ordered routing over
+//! a 3D mesh, and an optional external router hop ([`switch`], [`routing`],
+//! [`topology`]).
+//!
+//! The models are deliberately *pure state machines*: they compute
+//! latencies and accept/produce packets but do not own the event loop.
+//! `venice-transport` and the `venice` core crate drive them from the
+//! discrete-event kernel in `venice-sim`.
+//!
+//! # Example
+//!
+//! ```
+//! use venice_fabric::{LinkParams, NodeId, topology::Mesh3d};
+//!
+//! // The paper's prototype: 8 nodes in a 2x2x2 mesh, 5 Gbps links,
+//! // 1.4 us point-to-point latency.
+//! let mesh = Mesh3d::new(2, 2, 2);
+//! assert_eq!(mesh.len(), 8);
+//! assert_eq!(mesh.hops(NodeId(0), NodeId(7)), 3);
+//!
+//! let link = LinkParams::venice_prototype();
+//! // A 64-byte cacheline: propagation + serialization.
+//! let t = link.one_way(64);
+//! assert!(t > link.one_way(0));
+//! ```
+
+pub mod crc;
+pub mod datalink;
+pub mod netsim;
+pub mod packet;
+pub mod phy;
+pub mod routing;
+pub mod switch;
+pub mod topology;
+
+pub use datalink::{CreditCounter, DatalinkRx, DatalinkTx, RxVerdict};
+pub use packet::{Packet, PacketKind, Priority};
+pub use phy::{Integration, LinkParams};
+pub use routing::RoutingTable;
+pub use switch::{RouterParams, SwitchParams};
+pub use topology::{Mesh3d, NodeId, Topology};

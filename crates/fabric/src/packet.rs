@@ -1,0 +1,193 @@
+//! Fabric packet format.
+//!
+//! The Venice transport layer multiplexes three channels (CRMA, RDMA,
+//! QPair) plus link-management traffic over one fabric. Packets carry a
+//! channel kind, a per-flow sequence number (the paper notes that
+//! inter-channel collaboration makes out-of-order arrival possible,
+//! "necessitating a sequence number — something we learned the hard way"),
+//! and a payload size used for serialization-delay accounting.
+
+use crate::topology::NodeId;
+
+/// Which transport-layer channel (or link-layer function) a packet belongs
+/// to. Mirrors Fig 7's transport channels plus datalink control traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// CRMA cacheline fetch request (paper §5.1.2, "CRMA channel").
+    CrmaReadReq,
+    /// CRMA cacheline fill response carrying one cacheline.
+    CrmaReadResp,
+    /// CRMA writeback of a dirty cacheline.
+    CrmaWrite,
+    /// CRMA write acknowledgement.
+    CrmaWriteAck,
+    /// RDMA bulk-data segment.
+    RdmaData,
+    /// RDMA completion notification.
+    RdmaCompletion,
+    /// QPair message data.
+    QpairData,
+    /// QPair (SDP-style) credit update carried over the QPair channel.
+    QpairCredit,
+    /// QPair credit update re-routed over CRMA (inter-channel
+    /// collaboration, Fig 9): an overwriteable one-cacheline store.
+    CrmaCreditUpdate,
+    /// Datalink acknowledgement (replay protocol).
+    LinkAck,
+    /// Datalink negative acknowledgement requesting replay.
+    LinkNack,
+    /// Runtime/management traffic (heartbeats, handshakes).
+    Management,
+}
+
+impl PacketKind {
+    /// Header overhead in bytes for this packet class. The Venice protocol
+    /// is "ultra-lightweight" (paper §3): short headers for on-rack links.
+    pub const fn header_bytes(self) -> u64 {
+        match self {
+            // Request/control packets are header-only, 16-byte envelope.
+            PacketKind::CrmaReadReq
+            | PacketKind::CrmaWriteAck
+            | PacketKind::RdmaCompletion
+            | PacketKind::QpairCredit
+            | PacketKind::LinkAck
+            | PacketKind::LinkNack => 16,
+            // Data-bearing packets add routing + CRC + sequence fields.
+            PacketKind::CrmaReadResp
+            | PacketKind::CrmaWrite
+            | PacketKind::CrmaCreditUpdate
+            | PacketKind::RdmaData
+            | PacketKind::QpairData
+            | PacketKind::Management => 16,
+        }
+    }
+
+    /// Whether this kind carries payload data (vs pure control).
+    pub const fn carries_data(self) -> bool {
+        matches!(
+            self,
+            PacketKind::CrmaReadResp
+                | PacketKind::CrmaWrite
+                | PacketKind::CrmaCreditUpdate
+                | PacketKind::RdmaData
+                | PacketKind::QpairData
+                | PacketKind::Management
+        )
+    }
+}
+
+/// Arbitration priority. Control traffic (credits, acks) preempts bulk
+/// data so flow-control latency stays low — the property Fig 18 exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Bulk data.
+    Bulk,
+    /// Latency-sensitive cacheline traffic.
+    Cacheline,
+    /// Link control: acks, credits.
+    Control,
+}
+
+/// A fabric packet.
+///
+/// `flow` distinguishes independent streams (e.g. one per QPair); `seq`
+/// orders packets within a flow across channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Channel / function.
+    pub kind: PacketKind,
+    /// Flow identifier (channel connection id).
+    pub flow: u32,
+    /// Per-flow sequence number.
+    pub seq: u64,
+    /// Payload bytes (excluding header).
+    pub payload_bytes: u64,
+}
+
+impl Packet {
+    /// Creates a packet; `seq` starts at 0 and is assigned by the sender's
+    /// datalink or channel state machine.
+    pub fn new(src: NodeId, dst: NodeId, kind: PacketKind, flow: u32, payload_bytes: u64) -> Self {
+        Packet {
+            src,
+            dst,
+            kind,
+            flow,
+            seq: 0,
+            payload_bytes,
+        }
+    }
+
+    /// Total bytes on the wire: header + payload.
+    pub fn wire_bytes(&self) -> u64 {
+        self.kind.header_bytes() + self.payload_bytes
+    }
+
+    /// Arbitration priority derived from the packet kind.
+    pub fn priority(&self) -> Priority {
+        match self.kind {
+            PacketKind::LinkAck
+            | PacketKind::LinkNack
+            | PacketKind::QpairCredit
+            | PacketKind::CrmaCreditUpdate => Priority::Control,
+            PacketKind::CrmaReadReq
+            | PacketKind::CrmaReadResp
+            | PacketKind::CrmaWrite
+            | PacketKind::CrmaWriteAck => Priority::Cacheline,
+            PacketKind::RdmaData
+            | PacketKind::RdmaCompletion
+            | PacketKind::QpairData
+            | PacketKind::Management => Priority::Bulk,
+        }
+    }
+}
+
+impl std::fmt::Display for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} {}->{} flow={} seq={} {}B",
+            self.kind, self.src.0, self.dst.0, self.flow, self.seq, self.payload_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_include_header() {
+        let p = Packet::new(NodeId(0), NodeId(1), PacketKind::CrmaReadResp, 0, 64);
+        assert_eq!(p.wire_bytes(), 80);
+    }
+
+    #[test]
+    fn control_packets_outrank_data() {
+        let credit = Packet::new(NodeId(0), NodeId(1), PacketKind::QpairCredit, 0, 0);
+        let data = Packet::new(NodeId(0), NodeId(1), PacketKind::QpairData, 0, 4096);
+        let line = Packet::new(NodeId(0), NodeId(1), PacketKind::CrmaReadReq, 0, 0);
+        assert!(credit.priority() > line.priority());
+        assert!(line.priority() > data.priority());
+    }
+
+    #[test]
+    fn crma_credit_update_is_control_priority() {
+        // The Fig 9 optimization only helps if credit packets routed via
+        // CRMA keep control priority.
+        let p = Packet::new(NodeId(2), NodeId(3), PacketKind::CrmaCreditUpdate, 9, 64);
+        assert_eq!(p.priority(), Priority::Control);
+        assert!(p.kind.carries_data());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = Packet::new(NodeId(1), NodeId(2), PacketKind::RdmaData, 7, 4096);
+        let s = p.to_string();
+        assert!(s.contains("RdmaData") && s.contains("4096"));
+    }
+}

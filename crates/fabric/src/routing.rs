@@ -1,0 +1,223 @@
+//! Network-layer routing table (paper Fig 8, right half).
+//!
+//! Each node's embedded switch forwards by destination node id through a
+//! small table of `{valid, node id, out port, link status}` entries. We
+//! also provide the generator that fills the tables for dimension-ordered
+//! mesh routing, and a port-numbering convention for the radix-7 switch.
+
+use std::collections::HashMap;
+
+use crate::topology::{Mesh3d, NodeId};
+
+/// Output port of the embedded switch.
+///
+/// Convention for the prototype's radix-7 switch: port 0 is the local
+/// ejection port; ports 1–6 are −x, +x, −y, +y, −z, +z.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OutPort(pub u8);
+
+/// The local ejection port (deliver to this node's transport layer).
+pub const LOCAL_PORT: OutPort = OutPort(0);
+
+/// One routing-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// Entry is populated and usable.
+    pub valid: bool,
+    /// Output port toward the destination.
+    pub out_port: OutPort,
+    /// Link health as reported by the runtime's Topology Status Table;
+    /// routing through a down link fails the lookup.
+    pub link_up: bool,
+}
+
+/// Per-node forwarding table keyed by destination node.
+///
+/// # Example
+///
+/// ```
+/// use venice_fabric::routing::RoutingTable;
+/// use venice_fabric::topology::{Mesh3d, NodeId};
+///
+/// let mesh = Mesh3d::prototype();
+/// let table = RoutingTable::for_mesh(&mesh, NodeId(0));
+/// // Node 0 reaches itself on the local port.
+/// assert_eq!(table.lookup(NodeId(0)).unwrap().0, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    node: NodeId,
+    entries: HashMap<NodeId, RouteEntry>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table for `node`.
+    pub fn new(node: NodeId) -> Self {
+        RoutingTable {
+            node,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Installs or replaces the route toward `dst`.
+    pub fn install(&mut self, dst: NodeId, out_port: OutPort) {
+        self.entries.insert(
+            dst,
+            RouteEntry {
+                valid: true,
+                out_port,
+                link_up: true,
+            },
+        );
+    }
+
+    /// Marks the link behind `port` up or down (driven by the runtime's
+    /// heartbeat link tests).
+    pub fn set_link_status(&mut self, port: OutPort, up: bool) {
+        for e in self.entries.values_mut() {
+            if e.out_port == port {
+                e.link_up = up;
+            }
+        }
+    }
+
+    /// Invalidates the route toward `dst`.
+    pub fn invalidate(&mut self, dst: NodeId) {
+        if let Some(e) = self.entries.get_mut(&dst) {
+            e.valid = false;
+        }
+    }
+
+    /// Looks up the output port toward `dst`; `None` when missing,
+    /// invalidated, or the link is down.
+    pub fn lookup(&self, dst: NodeId) -> Option<OutPort> {
+        self.entries
+            .get(&dst)
+            .filter(|e| e.valid && e.link_up)
+            .map(|e| e.out_port)
+    }
+
+    /// Number of installed (valid or not) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Builds the dimension-ordered (XYZ) routing table of `node` for
+    /// `mesh`: the out port toward each destination is the first axis on
+    /// which the coordinates differ.
+    pub fn for_mesh(mesh: &Mesh3d, node: NodeId) -> Self {
+        let mut table = RoutingTable::new(node);
+        let here = mesh.coord(node);
+        for dst in mesh.nodes() {
+            let port = if dst == node {
+                LOCAL_PORT
+            } else {
+                let d = mesh.coord(dst);
+                if d.x != here.x {
+                    if d.x < here.x { OutPort(1) } else { OutPort(2) }
+                } else if d.y != here.y {
+                    if d.y < here.y { OutPort(3) } else { OutPort(4) }
+                } else if d.z < here.z {
+                    OutPort(5)
+                } else {
+                    OutPort(6)
+                }
+            };
+            table.install(dst, port);
+        }
+        table
+    }
+}
+
+/// Walks packets across mesh routing tables, returning the nodes visited
+/// after `src` (including `dst`). Used by tests to prove table-driven
+/// forwarding agrees with [`Mesh3d::route`].
+pub fn forward_path(mesh: &Mesh3d, tables: &[RoutingTable], src: NodeId, dst: NodeId) -> Vec<NodeId> {
+    let mut path = Vec::new();
+    let mut cur = src;
+    while cur != dst {
+        let port = tables[cur.0 as usize]
+            .lookup(dst)
+            .expect("no route installed");
+        assert_ne!(port, LOCAL_PORT, "premature local delivery");
+        let here = mesh.coord(cur);
+        let mut next = here;
+        match port.0 {
+            1 => next.x -= 1,
+            2 => next.x += 1,
+            3 => next.y -= 1,
+            4 => next.y += 1,
+            5 => next.z -= 1,
+            6 => next.z += 1,
+            p => panic!("bad port {p}"),
+        }
+        cur = mesh.node_at(next);
+        path.push(cur);
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_tables(mesh: &Mesh3d) -> Vec<RoutingTable> {
+        mesh.nodes().map(|n| RoutingTable::for_mesh(mesh, n)).collect()
+    }
+
+    #[test]
+    fn table_forwarding_matches_dimension_order_route() {
+        let mesh = Mesh3d::prototype();
+        let tables = all_tables(&mesh);
+        for a in mesh.nodes() {
+            for b in mesh.nodes() {
+                assert_eq!(forward_path(&mesh, &tables, a, b), mesh.route(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn local_delivery_uses_local_port() {
+        let mesh = Mesh3d::prototype();
+        let t = RoutingTable::for_mesh(&mesh, NodeId(5));
+        assert_eq!(t.lookup(NodeId(5)), Some(LOCAL_PORT));
+    }
+
+    #[test]
+    fn down_link_fails_lookup() {
+        let mesh = Mesh3d::prototype();
+        let mut t = RoutingTable::for_mesh(&mesh, NodeId(0));
+        let port = t.lookup(NodeId(1)).unwrap();
+        t.set_link_status(port, false);
+        assert_eq!(t.lookup(NodeId(1)), None);
+        t.set_link_status(port, true);
+        assert!(t.lookup(NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn invalidate_removes_route() {
+        let mesh = Mesh3d::prototype();
+        let mut t = RoutingTable::for_mesh(&mesh, NodeId(0));
+        t.invalidate(NodeId(3));
+        assert_eq!(t.lookup(NodeId(3)), None);
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn larger_mesh_routes_terminate() {
+        let mesh = Mesh3d::new(4, 4, 2);
+        let tables = all_tables(&mesh);
+        let path = forward_path(&mesh, &tables, NodeId(0), NodeId(31));
+        assert_eq!(path.len() as u32, mesh.hops(NodeId(0), NodeId(31)));
+    }
+}

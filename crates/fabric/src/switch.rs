@@ -1,0 +1,144 @@
+//! Switch models: the embedded low-radix on-chip switch and the external
+//! router.
+//!
+//! §5.1.1: "A main design decision was to make the fabric capable of
+//! operating in a 'switchless' mode for direct chip-to-chip communication
+//! ... We believe the on-chip switch will be of low dimension" — the
+//! prototype uses "a custom radix-7 switch" (§7.3). §4.2.2 measures the
+//! cost of inserting one external router between two nodes: >20 % slowdown
+//! for CRMA configurations.
+
+use serde::{Deserialize, Serialize};
+use venice_sim::Time;
+
+/// Parameters of the embedded on-chip switch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchParams {
+    /// Number of ports (the prototype's is radix 7: 6 mesh links + the
+    /// local injection/ejection port).
+    pub radix: u8,
+    /// Fall-through latency of one transit (arbitration + crossbar).
+    pub transit_latency: Time,
+}
+
+impl SwitchParams {
+    /// The prototype's radix-7 embedded switch, synthesizable at 1 GHz
+    /// (§7.3); we model a handful of pipeline stages per transit.
+    pub fn venice_prototype() -> Self {
+        SwitchParams {
+            radix: 7,
+            transit_latency: Time::from_ns(5),
+        }
+    }
+}
+
+/// Parameters of an external (top-of-rack-style) router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterParams {
+    /// Router transit latency: buffering, table lookup, arbitration across
+    /// a much larger crossbar, plus the extra optical/electrical
+    /// conversions at its ports.
+    pub transit_latency: Time,
+}
+
+impl RouterParams {
+    /// A one-level external router as in §4.2.2's experiment. Calibrated
+    /// against Fig 6: inserting the router on the same cable adds its
+    /// buffering/arbitration transit plus a store-and-forward
+    /// re-serialization, raising on-chip CRMA round trips by ~20 %.
+    pub fn one_level() -> Self {
+        RouterParams {
+            transit_latency: Time::from_ns(600),
+        }
+    }
+}
+
+/// Round-robin arbiter over `n` requesters, as used at each switch output
+/// port. Pure state machine; the winner of each grant round rotates.
+#[derive(Debug, Clone)]
+pub struct RoundRobinArbiter {
+    n: usize,
+    last_grant: usize,
+}
+
+impl RoundRobinArbiter {
+    /// Creates an arbiter over `n` requesters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "arbiter needs at least one requester");
+        RoundRobinArbiter { n, last_grant: n - 1 }
+    }
+
+    /// Grants one of the asserted requests (`true` entries), starting the
+    /// search after the previous winner. Returns the granted index, or
+    /// `None` if no request is asserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len()` differs from the arbiter width.
+    pub fn grant(&mut self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.n, "request vector width mismatch");
+        for off in 1..=self.n {
+            let idx = (self.last_grant + off) % self.n;
+            if requests[idx] {
+                self.last_grant = idx;
+                return Some(idx);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_switch_is_radix_seven() {
+        let s = SwitchParams::venice_prototype();
+        assert_eq!(s.radix, 7);
+        assert!(s.transit_latency > Time::ZERO);
+    }
+
+    #[test]
+    fn router_transit_dwarfs_switch_transit() {
+        let s = SwitchParams::venice_prototype();
+        let r = RouterParams::one_level();
+        assert!(r.transit_latency > s.transit_latency * 10);
+    }
+
+    #[test]
+    fn round_robin_rotates_fairly() {
+        let mut a = RoundRobinArbiter::new(3);
+        let all = [true, true, true];
+        let grants: Vec<usize> = (0..6).map(|_| a.grant(&all).unwrap()).collect();
+        assert_eq!(grants, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_idle_requesters() {
+        let mut a = RoundRobinArbiter::new(4);
+        assert_eq!(a.grant(&[false, true, false, true]), Some(1));
+        assert_eq!(a.grant(&[false, true, false, true]), Some(3));
+        assert_eq!(a.grant(&[false, true, false, true]), Some(1));
+        assert_eq!(a.grant(&[false, false, false, false]), None);
+    }
+
+    #[test]
+    fn starved_requester_eventually_wins() {
+        let mut a = RoundRobinArbiter::new(2);
+        // Requester 0 always wants; requester 1 joins later.
+        assert_eq!(a.grant(&[true, false]), Some(0));
+        assert_eq!(a.grant(&[true, true]), Some(1));
+        assert_eq!(a.grant(&[true, true]), Some(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn width_mismatch_is_a_bug() {
+        RoundRobinArbiter::new(2).grant(&[true]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Fabric topologies.
+//!
+//! The prototype (paper Fig 4) is an 8-node 3D mesh; §4.2.2 additionally
+//! studies a one-level external router between two nodes, and §5.1.1 makes
+//! "switchless" direct chip-to-chip connection a headline feature. All
+//! three appear here: [`Mesh3d`], [`Topology::StarRouter`], and
+//! [`Topology::Direct`].
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node in the cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u16);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// 3D coordinates of a node inside a mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// X position.
+    pub x: u16,
+    /// Y position.
+    pub y: u16,
+    /// Z position.
+    pub z: u16,
+}
+
+/// A 3D mesh of nodes, as in the 8-node (2×2×2) prototype.
+///
+/// # Example
+///
+/// ```
+/// use venice_fabric::topology::{Mesh3d, NodeId};
+/// let m = Mesh3d::new(2, 2, 2);
+/// assert_eq!(m.hops(NodeId(0), NodeId(7)), 3);
+/// assert_eq!(m.neighbors(NodeId(0)).len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mesh3d {
+    dx: u16,
+    dy: u16,
+    dz: u16,
+}
+
+impl Mesh3d {
+    /// Creates a mesh of `dx × dy × dz` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(dx: u16, dy: u16, dz: u16) -> Self {
+        assert!(dx > 0 && dy > 0 && dz > 0, "mesh dimensions must be positive");
+        Mesh3d { dx, dy, dz }
+    }
+
+    /// The paper's 8-node 2×2×2 prototype mesh.
+    pub fn prototype() -> Self {
+        Mesh3d::new(2, 2, 2)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.dx as usize * self.dy as usize * self.dz as usize
+    }
+
+    /// Whether the mesh is empty (never true; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Coordinates of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coord(&self, node: NodeId) -> Coord {
+        assert!((node.0 as usize) < self.len(), "node {node} out of range");
+        let n = node.0;
+        let x = n % self.dx;
+        let y = (n / self.dx) % self.dy;
+        let z = n / (self.dx * self.dy);
+        Coord { x, y, z }
+    }
+
+    /// Node at coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if coordinates are out of range.
+    pub fn node_at(&self, c: Coord) -> NodeId {
+        assert!(c.x < self.dx && c.y < self.dy && c.z < self.dz, "coordinate out of range");
+        NodeId(c.x + c.y * self.dx + c.z * self.dx * self.dy)
+    }
+
+    /// Manhattan hop count between two nodes (minimal-path length).
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let ca = self.coord(a);
+        let cb = self.coord(b);
+        (ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y) + ca.z.abs_diff(cb.z)) as u32
+    }
+
+    /// Dimension-ordered (XYZ) minimal path from `a` to `b`, excluding `a`
+    /// and including `b`. Empty when `a == b`.
+    pub fn route(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let mut cur = self.coord(a);
+        let dst = self.coord(b);
+        let mut path = Vec::with_capacity(self.hops(a, b) as usize);
+        while cur.x != dst.x {
+            cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+            path.push(self.node_at(cur));
+        }
+        while cur.y != dst.y {
+            cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+            path.push(self.node_at(cur));
+        }
+        while cur.z != dst.z {
+            cur.z = if dst.z > cur.z { cur.z + 1 } else { cur.z - 1 };
+            path.push(self.node_at(cur));
+        }
+        path
+    }
+
+    /// Direct mesh neighbors of `node`.
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let c = self.coord(node);
+        let mut out = Vec::new();
+        if c.x > 0 {
+            out.push(self.node_at(Coord { x: c.x - 1, ..c }));
+        }
+        if c.x + 1 < self.dx {
+            out.push(self.node_at(Coord { x: c.x + 1, ..c }));
+        }
+        if c.y > 0 {
+            out.push(self.node_at(Coord { y: c.y - 1, ..c }));
+        }
+        if c.y + 1 < self.dy {
+            out.push(self.node_at(Coord { y: c.y + 1, ..c }));
+        }
+        if c.z > 0 {
+            out.push(self.node_at(Coord { z: c.z - 1, ..c }));
+        }
+        if c.z + 1 < self.dz {
+            out.push(self.node_at(Coord { z: c.z + 1, ..c }));
+        }
+        out
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.len() as u16).map(NodeId)
+    }
+}
+
+/// How nodes are wired together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// Two (or more) nodes pairwise directly connected — the "switchless"
+    /// chip-to-chip mode used in §4.2.1's latency study.
+    Direct {
+        /// Number of nodes, all mutually one hop apart.
+        nodes: u16,
+    },
+    /// All nodes hang off one external router — §4.2.2's "one-level
+    /// router" configuration. Every path is two link traversals plus a
+    /// router transit.
+    StarRouter {
+        /// Number of leaf nodes.
+        nodes: u16,
+    },
+    /// 3D mesh with per-hop embedded switches — the 8-node prototype.
+    Mesh(Mesh3d),
+}
+
+impl Topology {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        match self {
+            Topology::Direct { nodes } | Topology::StarRouter { nodes } => *nodes as usize,
+            Topology::Mesh(m) => m.len(),
+        }
+    }
+
+    /// Whether the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of node-to-node link traversals between `a` and `b`.
+    pub fn link_hops(&self, a: NodeId, b: NodeId) -> u32 {
+        if a == b {
+            return 0;
+        }
+        match self {
+            Topology::Direct { .. } => 1,
+            Topology::StarRouter { .. } => 2,
+            Topology::Mesh(m) => m.hops(a, b),
+        }
+    }
+
+    /// Number of intermediate switch/router transits between `a` and `b`
+    /// (not counting the embedded switches at the endpoints, whose cost is
+    /// part of the channel interface latency).
+    pub fn transit_switches(&self, a: NodeId, b: NodeId) -> u32 {
+        if a == b {
+            return 0;
+        }
+        match self {
+            Topology::Direct { .. } => 0,
+            Topology::StarRouter { .. } => 1,
+            // Each intermediate mesh node's embedded switch forwards.
+            Topology::Mesh(m) => m.hops(a, b).saturating_sub(1),
+        }
+    }
+
+    /// Whether the path between `a` and `b` crosses an *external* router
+    /// (vs only embedded on-chip switches).
+    pub fn crosses_external_router(&self, a: NodeId, b: NodeId) -> bool {
+        matches!(self, Topology::StarRouter { .. }) && a != b
+    }
+
+    /// Distance metric used by the runtime's donor-selection policy.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        self.link_hops(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_round_trip() {
+        let m = Mesh3d::new(3, 4, 5);
+        for n in m.nodes() {
+            assert_eq!(m.node_at(m.coord(n)), n);
+        }
+    }
+
+    #[test]
+    fn prototype_is_eight_nodes() {
+        let m = Mesh3d::prototype();
+        assert_eq!(m.len(), 8);
+        // Opposite corners of a 2x2x2 cube are 3 hops apart.
+        assert_eq!(m.hops(NodeId(0), NodeId(7)), 3);
+        assert_eq!(m.hops(NodeId(3), NodeId(3)), 0);
+    }
+
+    #[test]
+    fn route_length_matches_hops() {
+        let m = Mesh3d::new(4, 3, 2);
+        for a in m.nodes() {
+            for b in m.nodes() {
+                let r = m.route(a, b);
+                assert_eq!(r.len() as u32, m.hops(a, b));
+                if a != b {
+                    assert_eq!(*r.last().unwrap(), b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_steps_are_adjacent() {
+        let m = Mesh3d::new(4, 4, 4);
+        let mut prev = NodeId(0);
+        for step in m.route(NodeId(0), NodeId(63)) {
+            assert_eq!(m.hops(prev, step), 1);
+            prev = step;
+        }
+    }
+
+    #[test]
+    fn corner_has_three_neighbors_in_cube() {
+        let m = Mesh3d::prototype();
+        assert_eq!(m.neighbors(NodeId(0)).len(), 3);
+        // Interior node of a 3x3x3 mesh has 6 neighbors.
+        let m3 = Mesh3d::new(3, 3, 3);
+        let center = m3.node_at(Coord { x: 1, y: 1, z: 1 });
+        assert_eq!(m3.neighbors(center).len(), 6);
+    }
+
+    #[test]
+    fn direct_vs_router_hop_counts() {
+        let d = Topology::Direct { nodes: 2 };
+        let r = Topology::StarRouter { nodes: 2 };
+        assert_eq!(d.link_hops(NodeId(0), NodeId(1)), 1);
+        assert_eq!(r.link_hops(NodeId(0), NodeId(1)), 2);
+        assert_eq!(d.transit_switches(NodeId(0), NodeId(1)), 0);
+        assert_eq!(r.transit_switches(NodeId(0), NodeId(1)), 1);
+        assert!(r.crosses_external_router(NodeId(0), NodeId(1)));
+        assert!(!d.crosses_external_router(NodeId(0), NodeId(1)));
+        assert!(!r.crosses_external_router(NodeId(1), NodeId(1)));
+    }
+
+    #[test]
+    fn mesh_topology_transits() {
+        let t = Topology::Mesh(Mesh3d::prototype());
+        assert_eq!(t.link_hops(NodeId(0), NodeId(7)), 3);
+        assert_eq!(t.transit_switches(NodeId(0), NodeId(7)), 2);
+        assert_eq!(t.transit_switches(NodeId(0), NodeId(1)), 0);
+        assert_eq!(t.distance(NodeId(0), NodeId(7)), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dimension_rejected() {
+        Mesh3d::new(0, 2, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_node_rejected() {
+        Mesh3d::prototype().coord(NodeId(8));
+    }
+}

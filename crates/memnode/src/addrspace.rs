@@ -1,0 +1,339 @@
+//! Physical address space with memory hot-plug/hot-remove (paper Fig 10).
+//!
+//! "The functionality of removing a memory region from the view of the
+//! software is already supported by Linux" — Venice choreographs
+//! hot-remove on the donor and hot-plug on the recipient, then programs
+//! the CRMA windows. This module tracks each node's regions through that
+//! lifecycle and enforces the single-subscriber ownership model.
+
+use venice_fabric::NodeId;
+
+/// Lifecycle state of a physical memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionState {
+    /// Ordinary local memory, visible to this node's OS.
+    Online,
+    /// Hot-removed from this node's OS; its physical frames are lent to
+    /// `recipient` (this node is the donor).
+    LentTo(
+        /// Borrowing node.
+        NodeId,
+    ),
+    /// Hot-plugged into this node's address map, physically backed by
+    /// `donor`'s memory and reached through CRMA/RDMA.
+    BorrowedFrom(
+        /// Donor node.
+        NodeId,
+    ),
+}
+
+/// Errors from address-space operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Region overlaps an existing region.
+    Overlap,
+    /// No region with that base address.
+    NoSuchRegion,
+    /// Operation invalid in the region's current state.
+    BadState,
+    /// Donating more memory than is online.
+    InsufficientMemory,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MemError::Overlap => "region overlaps an existing region",
+            MemError::NoSuchRegion => "no region at that base address",
+            MemError::BadState => "operation invalid in current region state",
+            MemError::InsufficientMemory => "not enough online memory",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Region {
+    base: u64,
+    size: u64,
+    state: RegionState,
+}
+
+/// One node's physical address map.
+///
+/// # Example
+///
+/// ```
+/// use venice_memnode::AddressSpace;
+/// use venice_fabric::NodeId;
+///
+/// // Fig 10 step 0: node A has 4 GB.
+/// let mut a = AddressSpace::with_memory(NodeId(0), 4 << 30);
+/// // Step 1: hot-remove the top 1 GB for node B.
+/// a.hot_remove(3 << 30, 1 << 30, NodeId(1)).unwrap();
+/// assert_eq!(a.online_bytes(), 3 << 30);
+/// assert_eq!(a.lent_bytes(), 1 << 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    node: NodeId,
+    regions: Vec<Region>,
+}
+
+impl AddressSpace {
+    /// Creates an address space with one online region of `bytes` at 0.
+    pub fn with_memory(node: NodeId, bytes: u64) -> Self {
+        let mut s = AddressSpace { node, regions: Vec::new() };
+        if bytes > 0 {
+            s.regions.push(Region { base: 0, size: bytes, state: RegionState::Online });
+        }
+        s
+    }
+
+    /// The owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn bytes_in(&self, pred: impl Fn(&RegionState) -> bool) -> u64 {
+        self.regions.iter().filter(|r| pred(&r.state)).map(|r| r.size).sum()
+    }
+
+    /// Memory visible to the local OS (online + borrowed).
+    pub fn visible_bytes(&self) -> u64 {
+        self.bytes_in(|s| matches!(s, RegionState::Online | RegionState::BorrowedFrom(_)))
+    }
+
+    /// Local physical memory currently online.
+    pub fn online_bytes(&self) -> u64 {
+        self.bytes_in(|s| matches!(s, RegionState::Online))
+    }
+
+    /// Local physical memory lent to other nodes.
+    pub fn lent_bytes(&self) -> u64 {
+        self.bytes_in(|s| matches!(s, RegionState::LentTo(_)))
+    }
+
+    /// Memory borrowed from other nodes.
+    pub fn borrowed_bytes(&self) -> u64 {
+        self.bytes_in(|s| matches!(s, RegionState::BorrowedFrom(_)))
+    }
+
+    /// State of the region at `base`, if any.
+    pub fn region_state(&self, base: u64) -> Option<RegionState> {
+        self.regions.iter().find(|r| r.base == base).map(|r| r.state)
+    }
+
+    fn overlaps(&self, base: u64, size: u64, ignore_base: Option<u64>) -> bool {
+        self.regions.iter().any(|r| {
+            Some(r.base) != ignore_base && r.base < base + size && base < r.base + r.size
+        })
+    }
+
+    fn find_mut(&mut self, base: u64) -> Result<&mut Region, MemError> {
+        self.regions
+            .iter_mut()
+            .find(|r| r.base == base)
+            .ok_or(MemError::NoSuchRegion)
+    }
+
+    /// Hot-removes `size` bytes at `base` from the local OS, recording
+    /// `recipient` as the borrower (Fig 10 step 1). The range must lie
+    /// inside one online region; the region is split as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::NoSuchRegion`] / [`MemError::BadState`] when the range
+    /// is not wholly inside an online region.
+    pub fn hot_remove(&mut self, base: u64, size: u64, recipient: NodeId) -> Result<(), MemError> {
+        let idx = self
+            .regions
+            .iter()
+            .position(|r| r.base <= base && base + size <= r.base + r.size)
+            .ok_or(MemError::NoSuchRegion)?;
+        if self.regions[idx].state != RegionState::Online {
+            return Err(MemError::BadState);
+        }
+        let old = self.regions[idx];
+        self.regions.remove(idx);
+        if old.base < base {
+            self.regions.push(Region { base: old.base, size: base - old.base, state: RegionState::Online });
+        }
+        self.regions.push(Region { base, size, state: RegionState::LentTo(recipient) });
+        let end = old.base + old.size;
+        if base + size < end {
+            self.regions.push(Region { base: base + size, size: end - (base + size), state: RegionState::Online });
+        }
+        Ok(())
+    }
+
+    /// Returns a lent region to local use (the donor-side half of
+    /// stop-sharing).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::BadState`] when the region is not lent.
+    pub fn reclaim(&mut self, base: u64) -> Result<NodeId, MemError> {
+        let r = self.find_mut(base)?;
+        match r.state {
+            RegionState::LentTo(n) => {
+                r.state = RegionState::Online;
+                Ok(n)
+            }
+            _ => Err(MemError::BadState),
+        }
+    }
+
+    /// Hot-plugs a borrowed region at `base` (Fig 10 step 2): the local OS
+    /// sees `size` more bytes, physically backed by `donor`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Overlap`] when the range collides with existing
+    /// regions.
+    pub fn hot_plug(&mut self, base: u64, size: u64, donor: NodeId) -> Result<(), MemError> {
+        if self.overlaps(base, size, None) {
+            return Err(MemError::Overlap);
+        }
+        self.regions.push(Region { base, size, state: RegionState::BorrowedFrom(donor) });
+        Ok(())
+    }
+
+    /// Unplugs a borrowed region (recipient-side stop-sharing), returning
+    /// the donor it was backed by.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::BadState`] when the region is not borrowed.
+    pub fn unplug(&mut self, base: u64) -> Result<NodeId, MemError> {
+        let idx = self
+            .regions
+            .iter()
+            .position(|r| r.base == base)
+            .ok_or(MemError::NoSuchRegion)?;
+        match self.regions[idx].state {
+            RegionState::BorrowedFrom(donor) => {
+                self.regions.remove(idx);
+                Ok(donor)
+            }
+            _ => Err(MemError::BadState),
+        }
+    }
+
+    /// Whether `addr` falls in a borrowed (remote-backed) region.
+    pub fn is_remote(&self, addr: u64) -> bool {
+        self.regions.iter().any(|r| {
+            matches!(r.state, RegionState::BorrowedFrom(_))
+                && r.base <= addr
+                && addr < r.base + r.size
+        })
+    }
+
+    /// Checks the single-subscriber invariant across a set of nodes:
+    /// every lent region has exactly one borrower that actually
+    /// hot-plugged it, and total lent bytes equal total borrowed bytes per
+    /// (donor, recipient) pair. Used by property tests.
+    pub fn pairwise_consistent(spaces: &[AddressSpace]) -> bool {
+        use std::collections::HashMap;
+        let mut lent: HashMap<(u16, u16), u64> = HashMap::new();
+        let mut borrowed: HashMap<(u16, u16), u64> = HashMap::new();
+        for s in spaces {
+            for r in &s.regions {
+                match r.state {
+                    RegionState::LentTo(to) => {
+                        *lent.entry((s.node.0, to.0)).or_default() += r.size;
+                    }
+                    RegionState::BorrowedFrom(from) => {
+                        *borrowed.entry((from.0, s.node.0)).or_default() += r.size;
+                    }
+                    RegionState::Online => {}
+                }
+            }
+        }
+        lent == borrowed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_flow() {
+        // Step 0: A and B both have 4 GB.
+        let mut a = AddressSpace::with_memory(NodeId(0), 4 << 30);
+        let mut b = AddressSpace::with_memory(NodeId(1), 4 << 30);
+        // Step 1: A hot-removes 1 GB at 0xC0000000.
+        a.hot_remove(0xC000_0000, 1 << 30, NodeId(1)).unwrap();
+        assert_eq!(a.online_bytes(), 3 << 30);
+        assert_eq!(a.visible_bytes(), 3 << 30);
+        // Step 2: B hot-plugs it at 0x1_0000_0000.
+        b.hot_plug(0x1_0000_0000, 1 << 30, NodeId(0)).unwrap();
+        assert_eq!(b.visible_bytes(), 5 << 30);
+        assert!(b.is_remote(0x1_0000_0000));
+        assert!(!b.is_remote(0xFFFF_FFFF));
+        assert!(AddressSpace::pairwise_consistent(&[a, b]));
+    }
+
+    #[test]
+    fn hot_remove_splits_region() {
+        let mut a = AddressSpace::with_memory(NodeId(0), 4 << 30);
+        a.hot_remove(1 << 30, 1 << 30, NodeId(1)).unwrap();
+        assert_eq!(a.online_bytes(), 3 << 30);
+        assert_eq!(a.lent_bytes(), 1 << 30);
+        assert_eq!(a.region_state(1 << 30), Some(RegionState::LentTo(NodeId(1))));
+        // The pieces before and after remain online.
+        assert_eq!(a.region_state(0), Some(RegionState::Online));
+        assert_eq!(a.region_state(2 << 30), Some(RegionState::Online));
+    }
+
+    #[test]
+    fn cannot_remove_twice() {
+        let mut a = AddressSpace::with_memory(NodeId(0), 2 << 30);
+        a.hot_remove(0, 1 << 30, NodeId(1)).unwrap();
+        assert_eq!(a.hot_remove(0, 1 << 30, NodeId(2)), Err(MemError::BadState));
+        // Overlapping a lent region also fails (range spans two regions).
+        assert_eq!(
+            a.hot_remove(512 << 20, 1 << 30, NodeId(2)),
+            Err(MemError::NoSuchRegion)
+        );
+    }
+
+    #[test]
+    fn reclaim_returns_region_to_service() {
+        let mut a = AddressSpace::with_memory(NodeId(0), 2 << 30);
+        a.hot_remove(0, 1 << 30, NodeId(1)).unwrap();
+        assert_eq!(a.reclaim(0), Ok(NodeId(1)));
+        assert_eq!(a.online_bytes(), 2 << 30);
+        assert_eq!(a.reclaim(0), Err(MemError::BadState));
+    }
+
+    #[test]
+    fn unplug_drops_borrowed_region() {
+        let mut b = AddressSpace::with_memory(NodeId(1), 1 << 30);
+        b.hot_plug(1 << 30, 1 << 30, NodeId(0)).unwrap();
+        assert_eq!(b.unplug(1 << 30), Ok(NodeId(0)));
+        assert_eq!(b.visible_bytes(), 1 << 30);
+        assert_eq!(b.unplug(1 << 30), Err(MemError::NoSuchRegion));
+        // Cannot unplug local memory.
+        assert_eq!(b.unplug(0), Err(MemError::BadState));
+    }
+
+    #[test]
+    fn hot_plug_rejects_overlap() {
+        let mut b = AddressSpace::with_memory(NodeId(1), 1 << 30);
+        assert_eq!(b.hot_plug(512 << 20, 1 << 30, NodeId(0)), Err(MemError::Overlap));
+        assert!(b.hot_plug(1 << 30, 1 << 30, NodeId(0)).is_ok());
+    }
+
+    #[test]
+    fn consistency_detects_mismatch() {
+        let mut a = AddressSpace::with_memory(NodeId(0), 2 << 30);
+        a.hot_remove(0, 1 << 30, NodeId(1)).unwrap();
+        let b = AddressSpace::with_memory(NodeId(1), 1 << 30);
+        // B never hot-plugged: inconsistent.
+        assert!(!AddressSpace::pairwise_consistent(&[a, b]));
+    }
+}

@@ -1,0 +1,91 @@
+//! CPU core model.
+//!
+//! The prototype's nodes run ARM Cortex-A9 cores at 667 MHz (Table 1). The
+//! evaluation workloads are memory-bound, so a simple in-order model —
+//! compute cycles plus exposed memory stalls — captures what the figures
+//! measure. Memory-level parallelism is expressed by the *overlap factor*
+//! a workload can sustain (PageRank hides latency, BerkeleyDB cannot;
+//! §4.2.1).
+
+use venice_sim::Time;
+
+/// An in-order core with a configurable clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Clock frequency in MHz.
+    pub mhz: f64,
+    /// Average cycles per non-memory instruction.
+    pub cpi: f64,
+}
+
+impl CpuModel {
+    /// The prototype's 667 MHz Cortex-A9 (in-order-ish, CPI ≈ 1.3 on
+    /// integer data-center code).
+    pub fn venice_prototype() -> Self {
+        CpuModel { mhz: 667.0, cpi: 1.3 }
+    }
+
+    /// A Xeon-E5620-class server core (2.4 GHz, wider issue), used by the
+    /// §4.2 validation experiment.
+    pub fn xeon_e5620() -> Self {
+        CpuModel { mhz: 2400.0, cpi: 0.7 }
+    }
+
+    /// Time to execute `instructions` of pure compute.
+    pub fn compute(&self, instructions: u64) -> Time {
+        Time::from_cycles((instructions as f64 * self.cpi).round() as u64, self.mhz)
+    }
+
+    /// Execution time of a phase with `instructions` of compute and
+    /// `stalls` memory operations of `miss_latency` each, where the
+    /// workload can overlap `overlap` of them (1 = fully serial/dependent,
+    /// N = N-deep software pipelining à la Scale-out NUMA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overlap` is zero.
+    pub fn phase(&self, instructions: u64, stalls: u64, miss_latency: Time, overlap: u64) -> Time {
+        assert!(overlap > 0, "overlap factor must be at least 1");
+        let exposed = stalls.div_ceil(overlap);
+        self.compute(instructions) + miss_latency * exposed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_time_scales_with_clock() {
+        let slow = CpuModel::venice_prototype();
+        let fast = CpuModel::xeon_e5620();
+        let n = 1_000_000;
+        let ts = slow.compute(n);
+        let tf = fast.compute(n);
+        // ~(2400/667)*(1.3/0.7) ≈ 6.7x faster.
+        let ratio = ts.ratio(tf);
+        assert!((6.0..7.5).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn serial_stalls_dominate() {
+        let cpu = CpuModel::venice_prototype();
+        let t = cpu.phase(1000, 100, Time::from_us(3), 1);
+        assert!(t > Time::from_us(300));
+    }
+
+    #[test]
+    fn overlap_hides_latency() {
+        let cpu = CpuModel::venice_prototype();
+        let serial = cpu.phase(0, 100, Time::from_us(3), 1);
+        let pipelined = cpu.phase(0, 100, Time::from_us(3), 10);
+        assert_eq!(serial.as_us(), 300);
+        assert_eq!(pipelined.as_us(), 30);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_overlap_rejected() {
+        CpuModel::venice_prototype().phase(1, 1, Time::from_ns(1), 0);
+    }
+}

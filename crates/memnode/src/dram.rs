@@ -1,0 +1,69 @@
+//! Local DRAM timing.
+//!
+//! Table 1: the prototype's nodes carry a 1 GB SODIMM. We model a flat
+//! access latency plus bandwidth-limited streaming, which is all the
+//! evaluation's analytic paths need (queueing inside the memory controller
+//! is far below the fabric latencies under study).
+
+use venice_sim::Time;
+
+/// DRAM timing parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramModel {
+    /// Random-access (closed-page) latency.
+    pub access_latency: Time,
+    /// Peak bandwidth in Gbps.
+    pub gbps: f64,
+    /// Installed capacity in bytes.
+    pub capacity_bytes: u64,
+}
+
+impl DramModel {
+    /// The prototype node's SODIMM: ~100 ns access on the Zynq's memory
+    /// interface, DDR3-1066-class 8.5 GB/s (68 Gbps), 1 GB active.
+    pub fn venice_prototype() -> Self {
+        DramModel {
+            access_latency: Time::from_ns(100),
+            gbps: 68.0,
+            capacity_bytes: 1 << 30,
+        }
+    }
+
+    /// Latency for one random access of `bytes`.
+    pub fn access(&self, bytes: u64) -> Time {
+        self.access_latency + Time::serialize_bytes(bytes, self.gbps)
+    }
+
+    /// Time to stream `bytes` sequentially at peak bandwidth.
+    pub fn stream(&self, bytes: u64) -> Time {
+        Time::serialize_bytes(bytes, self.gbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cacheline_access_near_latency() {
+        let d = DramModel::venice_prototype();
+        let t = d.access(64);
+        assert!(t >= Time::from_ns(100) && t < Time::from_ns(110));
+    }
+
+    #[test]
+    fn streaming_hits_bandwidth() {
+        let d = DramModel::venice_prototype();
+        // 1 GB at 68 Gbps ≈ 126 ms.
+        let t = d.stream(1 << 30);
+        assert!((120.0..135.0).contains(&t.as_ms_f64()));
+    }
+
+    #[test]
+    fn random_much_slower_than_streaming_per_byte() {
+        let d = DramModel::venice_prototype();
+        let random = d.access(64) * 16;
+        let stream = d.stream(64 * 16);
+        assert!(random > stream * 10);
+    }
+}

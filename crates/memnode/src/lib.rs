@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Node-local substrate: memory, caches, CPU, and the swap path.
+//!
+//! Venice borrows *memory* by hot-removing a physical region from the
+//! donor's OS and hot-plugging it into the recipient's address space
+//! (paper Fig 10); the recipient then reaches it either directly through
+//! CRMA loads/stores or as swap space behind an RDMA-backed block device
+//! (§5.2.1). This crate provides the node-side machinery those flows need:
+//!
+//! * [`addrspace`] — physical regions, hot-plug/hot-remove state machine,
+//!   and the **single-subscriber invariant** ("the OS/hypervisor of a
+//!   physical node ensures that a region of memory is owned by a single
+//!   node at any time", §4.2.1);
+//! * [`cache`] — a set-associative LRU cache model for miss accounting;
+//! * [`dram`] — local memory timing;
+//! * [`cpu`] — a simple in-order, memory-bound core model (the prototype's
+//!   667 MHz Cortex-A9);
+//! * [`swap`] — page-granular working-set tracking with pluggable swap
+//!   backends (local disk vs remote memory over RDMA).
+
+pub mod addrspace;
+pub mod cache;
+pub mod cpu;
+pub mod dram;
+pub mod swap;
+
+pub use addrspace::{AddressSpace, MemError, RegionState};
+pub use cache::CacheModel;
+pub use cpu::CpuModel;
+pub use dram::DramModel;
+pub use swap::{PageAccess, SwapBackend, SwapDevice};

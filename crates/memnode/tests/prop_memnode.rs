@@ -1,0 +1,132 @@
+//! Property tests for the node substrate: the single-subscriber
+//! invariant under arbitrary sharing sequences, cache containment, and
+//! swap accounting.
+
+use proptest::prelude::*;
+use venice_fabric::NodeId;
+use venice_memnode::swap::DiskBackend;
+use venice_memnode::{AddressSpace, CacheModel, SwapDevice};
+
+/// A random sequence of sharing operations between 4 nodes.
+#[derive(Debug, Clone)]
+enum Op {
+    Borrow { donor: u16, recipient: u16, mb: u64 },
+    Release { idx: usize },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u16..4, 0u16..4, 1u64..64).prop_map(|(d, r, mb)| Op::Borrow { donor: d, recipient: r, mb }),
+            (0usize..32).prop_map(|idx| Op::Release { idx }),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    /// No interleaving of borrows and releases ever breaks the
+    /// single-subscriber invariant: lent bytes == borrowed bytes per
+    /// (donor, recipient) pair, and a region is never double-lent.
+    #[test]
+    fn single_subscriber_invariant_holds(ops in ops()) {
+        let mut spaces: Vec<AddressSpace> =
+            (0..4).map(|i| AddressSpace::with_memory(NodeId(i), 1 << 30)).collect();
+        // (donor, donor_base, recipient, recipient_base) of live loans.
+        let mut loans: Vec<(usize, u64, usize, u64)> = Vec::new();
+        let mut next_base = [0u64; 4]; // donor-side cursor
+        let mut plug_base = [4u64 << 30; 4]; // recipient-side cursor
+        for op in ops {
+            match op {
+                Op::Borrow { donor, recipient, mb } => {
+                    let (d, r) = (donor as usize, recipient as usize);
+                    if d == r {
+                        continue;
+                    }
+                    let bytes = (mb << 20).next_power_of_two();
+                    let base = next_base[d].next_multiple_of(bytes);
+                    if base + bytes > 1 << 30 {
+                        continue; // donor exhausted
+                    }
+                    if spaces[d].hot_remove(base, bytes, NodeId(recipient)).is_ok() {
+                        let pb = plug_base[r].next_multiple_of(bytes);
+                        spaces[r].hot_plug(pb, bytes, NodeId(donor)).unwrap();
+                        plug_base[r] = pb + bytes;
+                        next_base[d] = base + bytes;
+                        loans.push((d, base, r, pb));
+                    }
+                }
+                Op::Release { idx } => {
+                    if loans.is_empty() {
+                        continue;
+                    }
+                    let (d, base, r, pb) = loans.remove(idx % loans.len());
+                    spaces[r].unplug(pb).unwrap();
+                    spaces[d].reclaim(base).unwrap();
+                }
+            }
+            prop_assert!(AddressSpace::pairwise_consistent(&spaces));
+            for s in &spaces {
+                // Conservation: online + lent == installed.
+                prop_assert_eq!(s.online_bytes() + s.lent_bytes(), 1 << 30);
+            }
+        }
+    }
+
+    /// Cache hit count never exceeds access count, and the resident set
+    /// never exceeds capacity (checked via a re-access sweep).
+    #[test]
+    fn cache_containment(addrs in prop::collection::vec(0u64..(1 << 16), 1..300)) {
+        let mut c = CacheModel::new(8 * 1024, 64, 4);
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        // At most capacity/line distinct lines can hit now.
+        let mut probe = CacheModel::new(8 * 1024, 64, 4);
+        for &a in &addrs {
+            probe.access(a);
+        }
+        let mut resident = 0;
+        let mut seen = std::collections::HashSet::new();
+        for &a in &addrs {
+            if seen.insert(a / 64) && probe.access(a) {
+                resident += 1;
+            }
+        }
+        prop_assert!(resident <= 8 * 1024 / 64);
+    }
+
+    /// Swap device: hits + faults == touches; resident set bounded;
+    /// writebacks only for dirty pages.
+    #[test]
+    fn swap_accounting(
+        touches in prop::collection::vec((0u64..32, any::<bool>()), 1..200),
+        capacity in 1usize..16,
+    ) {
+        let mut dev = SwapDevice::new(capacity, 4096, DiskBackend::ssd());
+        let mut writes_seen = 0u64;
+        for &(page, write) in &touches {
+            dev.touch(page, write);
+            if write {
+                writes_seen += 1;
+            }
+        }
+        prop_assert_eq!(dev.hits() + dev.faults(), touches.len() as u64);
+        prop_assert!(dev.writebacks() <= writes_seen);
+        prop_assert!(dev.fault_rate() <= 1.0);
+    }
+
+    /// With capacity >= distinct pages, only compulsory faults occur.
+    #[test]
+    fn big_enough_residency_faults_once_per_page(
+        pages in prop::collection::vec(0u64..16, 1..100),
+    ) {
+        let mut dev = SwapDevice::new(16, 4096, DiskBackend::ssd());
+        for &p in &pages {
+            dev.touch(p, false);
+        }
+        let distinct: std::collections::HashSet<u64> = pages.iter().copied().collect();
+        prop_assert_eq!(dev.faults(), distinct.len() as u64);
+    }
+}

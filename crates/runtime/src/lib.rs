@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! The Venice resource-management runtime (paper §3, §5.3, Fig 2).
+//!
+//! A Monitor Node (MN) keeps the global view in three tables: the
+//! Resource Registration Table (RRT, what exists and is free), the
+//! Resource Allocation Table (RAT, what is lent to whom), and the Topology
+//! Status Table (TST, fabric link health). Per-node agents report
+//! availability on every heartbeat, which doubles as a liveness signal and
+//! a link test. Donor selection "only considers distance" in the
+//! prototype; richer policies are pluggable here. MN records can be stale,
+//! so grants go through a handshake-and-retry protocol with the donor.
+//!
+//! * [`tables`] — RRT / RAT / TST;
+//! * [`agent`] — per-node daemon: heartbeats, availability, link tests;
+//! * [`monitor`] — the MN: liveness, allocation, handshake + retry;
+//! * [`policy`] — donor-selection policies (distance-based default);
+//! * [`flows`] — the Fig 2 memory-sharing choreography as a timed state
+//!   machine (request → select → hot-remove → interface setup → hot-plug
+//!   → established → teardown).
+
+pub mod agent;
+pub mod flows;
+pub mod monitor;
+pub mod policy;
+pub mod tables;
+
+pub use agent::{Heartbeat, NodeAgent};
+pub use monitor::{AllocError, Grant, MonitorNode};
+pub use policy::{DistancePolicy, DonorPolicy, FirstFitPolicy, MostFreePolicy};
+pub use tables::{AllocationRecord, ResourceKind, ResourceRecord};

@@ -1,0 +1,295 @@
+//! The Monitor Node's three tables (paper §5.3).
+//!
+//! 1. The **Resource Registration Table** (RRT) "tracks available
+//!    resources in the rack", with metadata (address, size, capabilities)
+//!    refreshed by each node's heartbeat.
+//! 2. The **Resource Allocation Table** (RAT) "tracks all allocation
+//!    records"; RRT + RAT give the MN its global view.
+//! 3. The **Topology Status Table** (TST) "tracks fabric link status",
+//!    fed by the agents' per-heartbeat link tests.
+
+use std::collections::HashMap;
+
+use venice_fabric::NodeId;
+use venice_sim::Time;
+
+/// What kind of resource a record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Lendable memory (bytes).
+    Memory,
+    /// A hardware accelerator (units).
+    Accelerator,
+    /// A network interface (units).
+    Nic,
+}
+
+/// One RRT entry: a node's spare capacity of one resource kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceRecord {
+    /// Owning node.
+    pub node: NodeId,
+    /// Resource kind.
+    pub kind: ResourceKind,
+    /// Free amount (bytes for memory, units otherwise).
+    pub amount: u64,
+    /// Base physical address of the lendable region (memory only).
+    pub addr: u64,
+    /// When the owning agent last refreshed this record.
+    pub reported_at: Time,
+}
+
+/// The Resource Registration Table.
+#[derive(Debug, Default)]
+pub struct Rrt {
+    records: HashMap<(NodeId, ResourceKind), ResourceRecord>,
+}
+
+impl Rrt {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or refreshes a record (one per node × kind).
+    pub fn register(&mut self, record: ResourceRecord) {
+        self.records.insert((record.node, record.kind), record);
+    }
+
+    /// Removes a node's records entirely (heartbeat loss).
+    pub fn deregister_node(&mut self, node: NodeId) -> usize {
+        let before = self.records.len();
+        self.records.retain(|(n, _), _| *n != node);
+        before - self.records.len()
+    }
+
+    /// Record for `node` × `kind`.
+    pub fn get(&self, node: NodeId, kind: ResourceKind) -> Option<&ResourceRecord> {
+        self.records.get(&(node, kind))
+    }
+
+    /// All records of `kind` with nonzero free amount.
+    pub fn available(&self, kind: ResourceKind) -> Vec<ResourceRecord> {
+        let mut v: Vec<ResourceRecord> = self
+            .records
+            .values()
+            .filter(|r| r.kind == kind && r.amount > 0)
+            .copied()
+            .collect();
+        v.sort_by_key(|r| r.node);
+        v
+    }
+
+    /// Decrements a record's free amount after a grant commits.
+    ///
+    /// Amounts saturate at zero: the MN's view may already be stale, which
+    /// is exactly why grants are confirmed with the donor.
+    pub fn consume(&mut self, node: NodeId, kind: ResourceKind, amount: u64) {
+        if let Some(r) = self.records.get_mut(&(node, kind)) {
+            r.amount = r.amount.saturating_sub(amount);
+        }
+    }
+
+    /// Returns capacity to a record after a release.
+    pub fn restore(&mut self, node: NodeId, kind: ResourceKind, amount: u64) {
+        if let Some(r) = self.records.get_mut(&(node, kind)) {
+            r.amount += amount;
+        }
+    }
+}
+
+/// One RAT entry: an in-force loan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocationRecord {
+    /// Allocation id.
+    pub id: u64,
+    /// Lending node.
+    pub donor: NodeId,
+    /// Borrowing node.
+    pub recipient: NodeId,
+    /// Resource kind.
+    pub kind: ResourceKind,
+    /// Amount lent.
+    pub amount: u64,
+    /// Donor-side base address (memory only).
+    pub addr: u64,
+    /// When the loan was established.
+    pub established_at: Time,
+}
+
+/// The Resource Allocation Table.
+#[derive(Debug, Default)]
+pub struct Rat {
+    records: Vec<AllocationRecord>,
+    next_id: u64,
+}
+
+impl Rat {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a committed loan, returning its id.
+    pub fn allocate(
+        &mut self,
+        donor: NodeId,
+        recipient: NodeId,
+        kind: ResourceKind,
+        amount: u64,
+        addr: u64,
+        now: Time,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.records.push(AllocationRecord {
+            id,
+            donor,
+            recipient,
+            kind,
+            amount,
+            addr,
+            established_at: now,
+        });
+        id
+    }
+
+    /// Releases a loan, returning its record.
+    pub fn release(&mut self, id: u64) -> Option<AllocationRecord> {
+        let pos = self.records.iter().position(|r| r.id == id)?;
+        Some(self.records.remove(pos))
+    }
+
+    /// All loans where `node` is the donor.
+    pub fn donated_by(&self, node: NodeId) -> Vec<AllocationRecord> {
+        self.records.iter().filter(|r| r.donor == node).copied().collect()
+    }
+
+    /// All loans where `node` is the recipient.
+    pub fn borrowed_by(&self, node: NodeId) -> Vec<AllocationRecord> {
+        self.records.iter().filter(|r| r.recipient == node).copied().collect()
+    }
+
+    /// Number of in-force loans.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no loans are in force.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// The Topology Status Table: directed link health.
+#[derive(Debug, Default)]
+pub struct Tst {
+    links: HashMap<(NodeId, NodeId), (bool, Time)>,
+}
+
+impl Tst {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a link test result from `from` toward `to`.
+    pub fn report(&mut self, from: NodeId, to: NodeId, up: bool, at: Time) {
+        self.links.insert((from, to), (up, at));
+    }
+
+    /// Whether the link is known up.
+    pub fn is_up(&self, from: NodeId, to: NodeId) -> bool {
+        self.links.get(&(from, to)).map(|&(up, _)| up).unwrap_or(false)
+    }
+
+    /// Last test time, if any.
+    pub fn last_tested(&self, from: NodeId, to: NodeId) -> Option<Time> {
+        self.links.get(&(from, to)).map(|&(_, at)| at)
+    }
+
+    /// Number of down links.
+    pub fn down_count(&self) -> usize {
+        self.links.values().filter(|&&(up, _)| !up).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(node: u16, amount: u64) -> ResourceRecord {
+        ResourceRecord {
+            node: NodeId(node),
+            kind: ResourceKind::Memory,
+            amount,
+            addr: 0xC000_0000,
+            reported_at: Time::ZERO,
+        }
+    }
+
+    #[test]
+    fn rrt_register_refreshes_in_place() {
+        let mut rrt = Rrt::new();
+        rrt.register(rec(1, 100));
+        rrt.register(rec(1, 50));
+        assert_eq!(rrt.get(NodeId(1), ResourceKind::Memory).unwrap().amount, 50);
+        assert_eq!(rrt.available(ResourceKind::Memory).len(), 1);
+    }
+
+    #[test]
+    fn rrt_available_filters_empty_and_sorts() {
+        let mut rrt = Rrt::new();
+        rrt.register(rec(3, 10));
+        rrt.register(rec(1, 0));
+        rrt.register(rec(2, 5));
+        let avail = rrt.available(ResourceKind::Memory);
+        let nodes: Vec<u16> = avail.iter().map(|r| r.node.0).collect();
+        assert_eq!(nodes, vec![2, 3]);
+    }
+
+    #[test]
+    fn rrt_consume_saturates() {
+        let mut rrt = Rrt::new();
+        rrt.register(rec(1, 100));
+        rrt.consume(NodeId(1), ResourceKind::Memory, 150);
+        assert_eq!(rrt.get(NodeId(1), ResourceKind::Memory).unwrap().amount, 0);
+        rrt.restore(NodeId(1), ResourceKind::Memory, 70);
+        assert_eq!(rrt.get(NodeId(1), ResourceKind::Memory).unwrap().amount, 70);
+    }
+
+    #[test]
+    fn rrt_deregister_drops_all_kinds() {
+        let mut rrt = Rrt::new();
+        rrt.register(rec(1, 100));
+        rrt.register(ResourceRecord { kind: ResourceKind::Nic, ..rec(1, 2) });
+        assert_eq!(rrt.deregister_node(NodeId(1)), 2);
+        assert!(rrt.available(ResourceKind::Memory).is_empty());
+    }
+
+    #[test]
+    fn rat_lifecycle() {
+        let mut rat = Rat::new();
+        let id = rat.allocate(NodeId(1), NodeId(2), ResourceKind::Memory, 1 << 30, 0xC000_0000, Time::ZERO);
+        assert_eq!(rat.len(), 1);
+        assert_eq!(rat.donated_by(NodeId(1)).len(), 1);
+        assert_eq!(rat.borrowed_by(NodeId(2)).len(), 1);
+        assert_eq!(rat.borrowed_by(NodeId(1)).len(), 0);
+        let rec = rat.release(id).unwrap();
+        assert_eq!(rec.amount, 1 << 30);
+        assert!(rat.is_empty());
+        assert!(rat.release(id).is_none());
+    }
+
+    #[test]
+    fn tst_tracks_link_state() {
+        let mut tst = Tst::new();
+        assert!(!tst.is_up(NodeId(0), NodeId(1)));
+        tst.report(NodeId(0), NodeId(1), true, Time::from_secs(1));
+        assert!(tst.is_up(NodeId(0), NodeId(1)));
+        assert_eq!(tst.last_tested(NodeId(0), NodeId(1)), Some(Time::from_secs(1)));
+        tst.report(NodeId(0), NodeId(1), false, Time::from_secs(2));
+        assert!(!tst.is_up(NodeId(0), NodeId(1)));
+        assert_eq!(tst.down_count(), 1);
+    }
+}

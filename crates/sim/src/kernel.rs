@@ -1,0 +1,297 @@
+//! The event loop: closure events over user state.
+//!
+//! Every Venice experiment is a `Kernel<S>` where `S` holds the modeled
+//! world (nodes, channels, tables). Events are boxed `FnOnce(&mut S,
+//! &mut Scheduler<S>)` closures: they mutate the world and may schedule
+//! follow-up events. The split between [`Kernel`] (owns state, runs the
+//! loop) and [`Scheduler`] (owns the queue and clock) is what lets an event
+//! borrow the state mutably while still enqueueing new events.
+
+use crate::queue::EventQueue;
+use crate::time::Time;
+
+/// A scheduled closure event.
+pub type Event<S> = Box<dyn FnOnce(&mut S, &mut Scheduler<S>)>;
+
+/// Clock plus pending-event queue; handed to every event so it can
+/// schedule follow-ups.
+pub struct Scheduler<S> {
+    now: Time,
+    queue: EventQueue<Event<S>>,
+    executed: u64,
+    /// Hard cap on executed events; guards against runaway models.
+    event_limit: u64,
+    /// Stop the run loop once the clock passes this point.
+    horizon: Time,
+}
+
+impl<S> Scheduler<S> {
+    fn new() -> Self {
+        Scheduler {
+            now: Time::ZERO,
+            queue: EventQueue::new(),
+            executed: 0,
+            event_limit: u64::MAX,
+            horizon: Time::MAX,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: Time, f: F)
+    where
+        F: FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    {
+        let at = self
+            .now
+            .checked_add(delay)
+            .expect("simulated time overflow");
+        self.queue.push(at, Box::new(f));
+    }
+
+    /// Schedules `f` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time (events may not run
+    /// in the past).
+    pub fn schedule_at<F>(&mut self, at: Time, f: F)
+    where
+        F: FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(at, Box::new(f));
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl<S> std::fmt::Debug for Scheduler<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+/// A discrete-event simulation: user state plus the event loop.
+///
+/// # Example
+///
+/// ```
+/// use venice_sim::{Kernel, Time};
+/// let mut k = Kernel::new(0u32);
+/// k.schedule(Time::from_ns(1), |n: &mut u32, _| *n += 1);
+/// k.run();
+/// assert_eq!(*k.state(), 1);
+/// ```
+pub struct Kernel<S> {
+    state: S,
+    sched: Scheduler<S>,
+}
+
+impl<S> Kernel<S> {
+    /// Creates a kernel at time zero over `state`.
+    pub fn new(state: S) -> Self {
+        Kernel {
+            state,
+            sched: Scheduler::new(),
+        }
+    }
+
+    /// Caps the number of events a `run` may execute. Exceeding the cap
+    /// panics, which turns accidental event storms into loud failures.
+    pub fn with_event_limit(mut self, limit: u64) -> Self {
+        self.sched.event_limit = limit;
+        self
+    }
+
+    /// Stops the run loop once the clock would pass `horizon`; pending
+    /// later events are left in the queue.
+    pub fn with_horizon(mut self, horizon: Time) -> Self {
+        self.sched.horizon = horizon;
+        self
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.sched.now()
+    }
+
+    /// Shared access to the user state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Exclusive access to the user state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consumes the kernel, returning the final state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule<F>(&mut self, delay: Time, f: F)
+    where
+        F: FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    {
+        self.sched.schedule_in(delay, f);
+    }
+
+    /// Runs until the queue is empty (or the horizon/event limit is hit).
+    /// Returns the final simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured event limit is exceeded.
+    pub fn run(&mut self) -> Time {
+        while self.step() {}
+        self.sched.now
+    }
+
+    /// Executes a single event. Returns `false` when the queue is empty or
+    /// the next event lies beyond the horizon.
+    pub fn step(&mut self) -> bool {
+        match self.sched.queue.peek_time() {
+            None => false,
+            Some(at) if at > self.sched.horizon => false,
+            Some(_) => {
+                let (at, event) = self.sched.queue.pop().expect("peeked entry vanished");
+                self.sched.now = at;
+                self.sched.executed += 1;
+                assert!(
+                    self.sched.executed <= self.sched.event_limit,
+                    "event limit exceeded at {at}: runaway simulation?"
+                );
+                event(&mut self.state, &mut self.sched);
+                true
+            }
+        }
+    }
+
+    /// Runs until the clock reaches at least `until` (executing every event
+    /// timestamped `<= until`), then returns the current time.
+    pub fn run_until(&mut self, until: Time) -> Time {
+        loop {
+            match self.sched.queue.peek_time() {
+                Some(at) if at <= until => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.sched.now < until {
+            self.sched.now = until;
+        }
+        self.sched.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.sched.executed()
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.sched.pending()
+    }
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for Kernel<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.sched.now)
+            .field("pending", &self.sched.pending())
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut k = Kernel::new(Vec::new());
+        k.schedule(Time::from_ns(30), |v: &mut Vec<u32>, _| v.push(3));
+        k.schedule(Time::from_ns(10), |v: &mut Vec<u32>, _| v.push(1));
+        k.schedule(Time::from_ns(20), |v: &mut Vec<u32>, _| v.push(2));
+        let end = k.run();
+        assert_eq!(k.state(), &vec![1, 2, 3]);
+        assert_eq!(end, Time::from_ns(30));
+    }
+
+    #[test]
+    fn events_can_chain() {
+        let mut k = Kernel::new(0u64);
+        fn tick(n: &mut u64, s: &mut Scheduler<u64>) {
+            *n += 1;
+            if *n < 5 {
+                s.schedule_in(Time::from_ns(10), tick);
+            }
+        }
+        k.schedule(Time::ZERO, tick);
+        k.run();
+        assert_eq!(*k.state(), 5);
+        assert_eq!(k.now(), Time::from_ns(40));
+        assert_eq!(k.executed(), 5);
+    }
+
+    #[test]
+    fn horizon_stops_the_loop() {
+        let mut k = Kernel::new(0u32).with_horizon(Time::from_ns(25));
+        for i in 1..=5 {
+            k.schedule(Time::from_ns(i * 10), |n: &mut u32, _| *n += 1);
+        }
+        k.run();
+        assert_eq!(*k.state(), 2); // events at 10 and 20 only
+        assert_eq!(k.pending(), 3);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut k = Kernel::new(());
+        let t = k.run_until(Time::from_us(7));
+        assert_eq!(t, Time::from_us(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_catches_runaways() {
+        let mut k = Kernel::new(()).with_event_limit(100);
+        fn forever(_: &mut (), s: &mut Scheduler<()>) {
+            s.schedule_in(Time::from_ns(1), forever);
+        }
+        k.schedule(Time::ZERO, forever);
+        k.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut k = Kernel::new(());
+        k.schedule(Time::from_ns(10), |_, s| {
+            s.schedule_at(Time::from_ns(5), |_, _| {});
+        });
+        k.run();
+    }
+}

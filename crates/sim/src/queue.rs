@@ -1,0 +1,168 @@
+//! Stable priority queue of timestamped events.
+//!
+//! `std::collections::BinaryHeap` is not stable for equal keys, but a
+//! deterministic simulator must pop same-timestamp events in insertion
+//! order — otherwise two runs with the same seed can diverge. We pair each
+//! entry with a monotonically increasing sequence number to break ties.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then lowest
+        // sequence number) entry is the maximum.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered, insertion-stable event queue.
+///
+/// # Example
+///
+/// ```
+/// use venice_sim::{EventQueue, Time};
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_ns(10), "b");
+/// q.push(Time::from_ns(5), "a");
+/// q.push(Time::from_ns(10), "c");
+/// assert_eq!(q.pop(), Some((Time::from_ns(5), "a")));
+/// assert_eq!(q.pop(), Some((Time::from_ns(10), "b")));
+/// assert_eq!(q.pop(), Some((Time::from_ns(10), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Inserts `event` to fire at absolute time `at`.
+    pub fn push(&mut self, at: Time, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, breaking timestamp ties in
+    /// insertion order.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(30), 3);
+        q.push(Time::from_ns(10), 1);
+        q.push(Time::from_ns(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time::from_ns(42), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_ns(5), ());
+        q.push(Time::from_ns(1), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Time::from_ns(1)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_stable() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(10), "a");
+        q.push(Time::from_ns(10), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(Time::from_ns(10), "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+}

@@ -1,0 +1,168 @@
+//! Rate limiting: the prototype's "throughput caps and inserted delays".
+//!
+//! The paper (§4.2) slows down relatively fast prototype components with
+//! programmable-logic throughput caps so the FPGA system models a faster
+//! target. We reproduce that knob as a token bucket: components ask when
+//! the next `bytes` may depart and the bucket answers with a start time
+//! that never exceeds the configured rate.
+
+use crate::time::Time;
+
+/// A byte-granularity token bucket.
+///
+/// Tokens refill continuously at `rate_gbps`; a transfer of `n` bytes may
+/// start as soon as `n` tokens are available and consumes them. Burst
+/// capacity bounds how far the bucket can "save up".
+///
+/// # Example
+///
+/// ```
+/// use venice_sim::{TokenBucket, Time};
+/// let mut tb = TokenBucket::new(8.0, 1000); // 8 Gbps = 1 byte/ns
+/// let start = tb.reserve(Time::ZERO, 1000);
+/// assert_eq!(start, Time::ZERO); // full burst available immediately
+/// let next = tb.reserve(start, 1000);
+/// assert_eq!(next.as_ns(), 1000); // must wait for refill
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_gbps: f64,
+    burst_bytes: u64,
+    /// Token count at time `updated` (fractional bytes).
+    tokens: f64,
+    updated: Time,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that starts full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_gbps` is not strictly positive or `burst_bytes` is
+    /// zero.
+    pub fn new(rate_gbps: f64, burst_bytes: u64) -> Self {
+        assert!(rate_gbps > 0.0, "rate must be positive");
+        assert!(burst_bytes > 0, "burst must be positive");
+        TokenBucket {
+            rate_gbps,
+            burst_bytes,
+            tokens: burst_bytes as f64,
+            updated: Time::ZERO,
+        }
+    }
+
+    /// Nominal rate in Gbps.
+    pub fn rate_gbps(&self) -> f64 {
+        self.rate_gbps
+    }
+
+    fn bytes_per_ps(&self) -> f64 {
+        // gbps = 1e9 bits/s = 0.125e9 bytes/s = 0.125e-3 bytes/ps.
+        self.rate_gbps * 0.125e-3
+    }
+
+    fn refill(&mut self, now: Time) {
+        if now > self.updated {
+            let dt = (now - self.updated).as_ps() as f64;
+            self.tokens = (self.tokens + dt * self.bytes_per_ps()).min(self.burst_bytes as f64);
+            self.updated = now;
+        }
+    }
+
+    /// Tokens currently available at `now`, in bytes.
+    pub fn available(&mut self, now: Time) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// Reserves `bytes` tokens, returning the earliest time (≥ `now`) the
+    /// transfer may start. The tokens are consumed at that instant.
+    ///
+    /// Transfers larger than the burst size are admitted by letting the
+    /// token count go negative (standard leaky-bucket debt), which spaces
+    /// successive large transfers at exactly the configured rate.
+    pub fn reserve(&mut self, now: Time, bytes: u64) -> Time {
+        // A caller may ask about a time earlier than the bucket's debt
+        // horizon (e.g. pre-computing injection times); admission can
+        // never happen before previously reserved tokens are paid off.
+        let now = now.max(self.updated);
+        self.refill(now);
+        if self.tokens >= bytes as f64 {
+            self.tokens -= bytes as f64;
+            return now;
+        }
+        let deficit = bytes as f64 - self.tokens;
+        let wait_ps = deficit / self.bytes_per_ps();
+        let start = now + Time::from_ps(wait_ps.ceil() as u64);
+        // All accumulated + refilled tokens are consumed at `start`.
+        self.tokens = 0.0;
+        self.updated = start;
+        start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_admits_immediately() {
+        let mut tb = TokenBucket::new(1.0, 4096);
+        assert_eq!(tb.reserve(Time::ZERO, 4096), Time::ZERO);
+    }
+
+    #[test]
+    fn sustained_rate_is_enforced() {
+        // 8 Gbps = 1 byte per ns. Send 10 x 1000B back-to-back: the k-th
+        // transfer (k>=1, zero-based) starts at k microseconds... actually
+        // after the initial 1000-byte burst, each subsequent transfer waits
+        // 1000 ns for refill.
+        let mut tb = TokenBucket::new(8.0, 1000);
+        let mut now = Time::ZERO;
+        let mut starts = Vec::new();
+        for _ in 0..5 {
+            now = tb.reserve(now, 1000);
+            starts.push(now.as_ns());
+        }
+        assert_eq!(starts, vec![0, 1000, 2000, 3000, 4000]);
+    }
+
+    #[test]
+    fn idle_time_refills_up_to_burst() {
+        let mut tb = TokenBucket::new(8.0, 1000);
+        tb.reserve(Time::ZERO, 1000);
+        // Wait 10 us: bucket refills but caps at 1000 bytes of burst.
+        assert!((tb.available(Time::from_us(10)) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oversized_transfer_waits_for_full_amount() {
+        let mut tb = TokenBucket::new(8.0, 1000);
+        // 3000-byte transfer with 1000 available: wait 2000 ns for deficit.
+        let start = tb.reserve(Time::ZERO, 3000);
+        assert_eq!(start.as_ns(), 2000);
+        // Next transfer of 1000 must wait another 1000 ns.
+        let next = tb.reserve(start, 1000);
+        assert_eq!(next.as_ns(), 3000);
+    }
+
+    #[test]
+    fn average_rate_converges_to_cap() {
+        let mut tb = TokenBucket::new(4.0, 512); // 0.5 byte/ns
+        let mut now = Time::ZERO;
+        let total_bytes = 100 * 256;
+        for _ in 0..100 {
+            now = tb.reserve(now, 256);
+        }
+        // Completion of last transfer isn't modeled here; start-time spacing
+        // alone should give ~4 Gbps asymptotically.
+        let achieved = (total_bytes - 512) as f64 * 8.0 / now.as_secs_f64() / 1e9;
+        assert!((achieved - 4.0).abs() < 0.1, "achieved {achieved}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        TokenBucket::new(0.0, 10);
+    }
+}

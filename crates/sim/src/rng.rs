@@ -1,0 +1,164 @@
+//! Deterministic randomness for experiments.
+//!
+//! Every stochastic element of the reproduction (workload key draws, CRC
+//! error injection, R-MAT edge generation) pulls from a [`SimRng`] derived
+//! from an experiment-level seed, so figures regenerate identically across
+//! runs and machines.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic simulation RNG (xoshiro-class generator seeded from a
+/// `u64`, via `rand`'s `SmallRng`).
+///
+/// # Example
+///
+/// ```
+/// use venice_sim::SimRng;
+/// let mut a = SimRng::seed(42);
+/// let mut b = SimRng::seed(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng(rand::rngs::SmallRng);
+
+impl SimRng {
+    /// Creates a generator from an experiment seed.
+    pub fn seed(seed: u64) -> Self {
+        SimRng(rand::rngs::SmallRng::seed_from_u64(seed))
+    }
+
+    /// Derives an independent child generator; used to give each node or
+    /// workload its own stream without correlating draws.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        // SplitMix-style scramble of (next, salt) for decorrelation.
+        let mut z = self.0.next_u64() ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        SimRng::seed(z ^ (z >> 31))
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw from `range`.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.0.gen_range(range)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to [0, 1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.0.gen_bool(p)
+    }
+
+    /// Uniform draw in [0, 1).
+    pub fn unit(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+
+    /// Samples an index from cumulative weights (exponential/zipf helpers
+    /// live in `venice-workloads`; this is the generic building block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "weights must be non-empty with positive sum"
+        );
+        let mut x = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.0.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed(7);
+        let mut b = SimRng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_decorrelated_but_deterministic() {
+        let mut root1 = SimRng::seed(1);
+        let mut root2 = SimRng::seed(1);
+        let mut c1 = root1.fork(10);
+        let mut c2 = root2.fork(10);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut d = SimRng::seed(1).fork(11);
+        assert_ne!(SimRng::seed(1).fork(10).next_u64(), d.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(r.chance(2.0));
+        assert!(!r.chance(-1.0));
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SimRng::seed(9);
+        for _ in 0..1000 {
+            let v: u32 = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_index_distribution() {
+        let mut r = SimRng::seed(5);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[r.weighted_index(&[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        // Rough proportion check: index 2 should get ~70%.
+        assert!((counts[2] as f64 / 30_000.0 - 0.7).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_index_rejects_empty() {
+        SimRng::seed(0).weighted_index(&[]);
+    }
+}

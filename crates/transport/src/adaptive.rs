@@ -1,0 +1,310 @@
+//! The adaptive communication library (paper §5.1.3).
+//!
+//! "We therefore implement an adaptive communication library that makes
+//! intelligent decisions about channel choices based on communication
+//! demands and that allows channels to supplement each other."
+//!
+//! Given a transfer descriptor (size + access pattern), the library picks
+//! the channel the paper's Fig 17 shows winning for that pattern: CRMA for
+//! random fine-grain access, RDMA for bulk contiguous movement, QPair for
+//! message passing. It can also *estimate* the cost on every channel so
+//! callers (and the Fig 17 harness) can quantify the mismatch penalty.
+
+use venice_fabric::NodeId;
+use venice_sim::Time;
+
+use crate::crma::{CrmaChannel, CrmaConfig};
+use crate::path::PathModel;
+use crate::qpair::{QpairConfig, QueuePair};
+use crate::rdma::{RdmaConfig, RdmaEngine};
+
+/// The three Venice transport channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelKind {
+    /// Cacheline remote memory access.
+    Crma,
+    /// Bulk DMA.
+    Rdma,
+    /// Queue-pair messaging.
+    Qpair,
+}
+
+impl std::fmt::Display for ChannelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ChannelKind::Crma => "CRMA",
+            ChannelKind::Rdma => "RDMA",
+            ChannelKind::Qpair => "QPair",
+        })
+    }
+}
+
+/// Communication pattern of a transfer, as the library's hints describe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Random, fine-grained reads/writes (in-memory database lookups).
+    RandomFineGrain,
+    /// Sequential bulk access (graph streaming, page transfers).
+    Contiguous,
+    /// Explicit message passing between threads (sockets).
+    MessagePassing,
+}
+
+/// A transfer the application asks the library to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRequest {
+    /// Total bytes to move.
+    pub bytes: u64,
+    /// Declared pattern.
+    pub pattern: AccessPattern,
+}
+
+/// The adaptive channel-selection library.
+///
+/// # Example
+///
+/// ```
+/// use venice_transport::{AdaptiveLibrary, AccessPattern, ChannelKind, TransferRequest};
+///
+/// let lib = AdaptiveLibrary::with_defaults();
+/// let choice = lib.choose(TransferRequest {
+///     bytes: 64,
+///     pattern: AccessPattern::RandomFineGrain,
+/// });
+/// assert_eq!(choice, ChannelKind::Crma);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveLibrary {
+    /// Transfers at or below this size prefer CRMA even when contiguous
+    /// (setup costs dominate small DMAs).
+    pub small_cutoff_bytes: u64,
+    /// Cost of an interrupt-driven completion when an access pattern
+    /// defeats completion coalescing (dependent random DMAs).
+    pub interrupt_cost: Time,
+    /// Donor-side software agent cost to service one request when remote
+    /// memory is reached through messaging instead of hardware (wakeup,
+    /// lookup, copy) — the overhead CRMA exists to remove.
+    pub agent_service: Time,
+    crma: CrmaConfig,
+    rdma: RdmaConfig,
+    qpair: QpairConfig,
+}
+
+impl AdaptiveLibrary {
+    /// Library with the prototype's channel configurations.
+    pub fn with_defaults() -> Self {
+        AdaptiveLibrary {
+            small_cutoff_bytes: 256,
+            interrupt_cost: Time::from_us(12),
+            agent_service: Time::from_us(25),
+            // Remote-CRMA interfaces provision fewer outstanding-request
+            // slots than a local memory controller, which is what caps
+            // CRMA's streaming bandwidth in Fig 17's contiguous case.
+            crma: CrmaConfig { mshrs: 8, ..CrmaConfig::default() },
+            rdma: RdmaConfig::default(),
+            qpair: QpairConfig::on_chip(),
+        }
+    }
+
+    /// Picks the preferred channel for `req`.
+    pub fn choose(&self, req: TransferRequest) -> ChannelKind {
+        match req.pattern {
+            AccessPattern::RandomFineGrain => ChannelKind::Crma,
+            AccessPattern::MessagePassing => ChannelKind::Qpair,
+            AccessPattern::Contiguous => {
+                if req.bytes <= self.small_cutoff_bytes {
+                    ChannelKind::Crma
+                } else {
+                    ChannelKind::Rdma
+                }
+            }
+        }
+    }
+
+    /// Estimates the time to complete `req` between `src` and `dst` over
+    /// `channel`. Random patterns issue dependent cacheline-sized
+    /// operations; contiguous and message patterns move the region in the
+    /// channel's natural unit.
+    pub fn estimate(
+        &self,
+        path: &PathModel,
+        src: NodeId,
+        dst: NodeId,
+        req: TransferRequest,
+        channel: ChannelKind,
+    ) -> Time {
+        let line = self.crma.cacheline_bytes;
+        match channel {
+            ChannelKind::Crma => {
+                let mut ch = CrmaChannel::new(src, self.crma.clone());
+                ch.map_window(1 << 40, 1 << 30, dst, 0).expect("window");
+                let per = ch
+                    .read_latency(path, 1 << 40)
+                    .expect("mapped address translates");
+                match req.pattern {
+                    // Dependent accesses: full latency per line.
+                    AccessPattern::RandomFineGrain => per * req.bytes.div_ceil(line),
+                    // Independent lines: overlapped across MSHRs.
+                    _ => {
+                        let lines = req.bytes.div_ceil(line);
+                        let mlp = self.crma.mshrs as u64;
+                        per * lines.div_ceil(mlp)
+                    }
+                }
+            }
+            ChannelKind::Rdma => {
+                match req.pattern {
+                    // Random fine-grain over RDMA: one descriptor per
+                    // element, each with an uncoalescable interrupt-driven
+                    // completion — the pathological case of Fig 17.
+                    AccessPattern::RandomFineGrain => {
+                        let cfg = RdmaConfig {
+                            completion_overhead: self.interrupt_cost,
+                            double_buffering: false,
+                            ..self.rdma.clone()
+                        };
+                        let mut e = RdmaEngine::new(src, cfg);
+                        let ops = req.bytes.div_ceil(line);
+                        e.transfer_latency(path, dst, line) * ops
+                    }
+                    AccessPattern::MessagePassing => {
+                        // One descriptor + interrupt per message.
+                        let cfg = RdmaConfig {
+                            completion_overhead: self.interrupt_cost,
+                            double_buffering: false,
+                            ..self.rdma.clone()
+                        };
+                        let mut e = RdmaEngine::new(src, cfg);
+                        e.transfer_latency(path, dst, req.bytes.max(1))
+                    }
+                    AccessPattern::Contiguous => {
+                        let mut e = RdmaEngine::new(src, self.rdma.clone());
+                        e.transfer_latency(path, dst, req.bytes.max(1))
+                    }
+                }
+            }
+            ChannelKind::Qpair => {
+                let mut qp = QueuePair::new(src, dst, self.qpair.clone());
+                match req.pattern {
+                    AccessPattern::RandomFineGrain => {
+                        // Each random access becomes a synchronous RPC to
+                        // the donor's software agent.
+                        let ops = req.bytes.div_ceil(line);
+                        let per = qp
+                            .rpc_latency(path, 32, line, self.agent_service)
+                            .expect("small rpc");
+                        per * ops
+                    }
+                    AccessPattern::Contiguous => {
+                        // Remote memory over messaging: a synchronous
+                        // socket-style RPC per 1 KB block, each serviced
+                        // by the donor agent (wakeup + copy) — the client
+                        // "must check the return status before processing
+                        // the next query" (§4.2.1).
+                        const SOCKET_BLOCK: u64 = 1024;
+                        let blocks = req.bytes.div_ceil(SOCKET_BLOCK).max(1);
+                        let per = qp
+                            .rpc_latency(
+                                path,
+                                32,
+                                SOCKET_BLOCK.min(req.bytes.max(1)),
+                                self.agent_service,
+                            )
+                            .expect("block rpc");
+                        per * blocks
+                    }
+                    AccessPattern::MessagePassing => {
+                        qp.message_latency(path, req.bytes.max(1)).expect("sized")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Estimates all three channels and returns them with the winner
+    /// first. Exposes the intermediate results so callers can build the
+    /// Fig 17 comparison without recomputation.
+    pub fn rank(
+        &self,
+        path: &PathModel,
+        src: NodeId,
+        dst: NodeId,
+        req: TransferRequest,
+    ) -> Vec<(ChannelKind, Time)> {
+        let mut all: Vec<(ChannelKind, Time)> =
+            [ChannelKind::Crma, ChannelKind::Rdma, ChannelKind::Qpair]
+                .into_iter()
+                .map(|c| (c, self.estimate(path, src, dst, req, c)))
+                .collect();
+        all.sort_by_key(|&(_, t)| t);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> AdaptiveLibrary {
+        AdaptiveLibrary::with_defaults()
+    }
+
+    fn req(bytes: u64, pattern: AccessPattern) -> TransferRequest {
+        TransferRequest { bytes, pattern }
+    }
+
+    #[test]
+    fn pattern_driven_choices() {
+        let l = lib();
+        assert_eq!(l.choose(req(64, AccessPattern::RandomFineGrain)), ChannelKind::Crma);
+        assert_eq!(l.choose(req(1 << 20, AccessPattern::Contiguous)), ChannelKind::Rdma);
+        assert_eq!(l.choose(req(128, AccessPattern::MessagePassing)), ChannelKind::Qpair);
+        // Tiny contiguous transfers avoid DMA setup.
+        assert_eq!(l.choose(req(128, AccessPattern::Contiguous)), ChannelKind::Crma);
+    }
+
+    #[test]
+    fn estimates_agree_with_choices_fig17() {
+        let l = lib();
+        let path = PathModel::direct_pair();
+        let cases = [
+            (req(1 << 16, AccessPattern::RandomFineGrain), ChannelKind::Crma),
+            (req(1 << 22, AccessPattern::Contiguous), ChannelKind::Rdma),
+            (req(4096, AccessPattern::MessagePassing), ChannelKind::Qpair),
+        ];
+        for (r, expected) in cases {
+            let ranked = l.rank(&path, NodeId(0), NodeId(1), r);
+            assert_eq!(ranked[0].0, expected, "pattern {:?}", r.pattern);
+        }
+    }
+
+    #[test]
+    fn mismatch_penalties_are_large() {
+        // Fig 17: the wrong channel costs multiples, not percents.
+        let l = lib();
+        let path = PathModel::direct_pair();
+        let r = req(1 << 16, AccessPattern::RandomFineGrain);
+        let ranked = l.rank(&path, NodeId(0), NodeId(1), r);
+        let best = ranked[0].1;
+        let worst = ranked[2].1;
+        assert!(worst.ratio(best) > 3.0, "penalty = {:.1}x", worst.ratio(best));
+        // Contiguous access over messaging also pays multiples.
+        let c = req(1 << 22, AccessPattern::Contiguous);
+        let ranked = l.rank(&path, NodeId(0), NodeId(1), c);
+        assert!(ranked[2].1.ratio(ranked[0].1) > 2.0);
+    }
+
+    #[test]
+    fn rank_is_sorted() {
+        let l = lib();
+        let path = PathModel::direct_pair();
+        for pattern in [
+            AccessPattern::RandomFineGrain,
+            AccessPattern::Contiguous,
+            AccessPattern::MessagePassing,
+        ] {
+            let ranked = l.rank(&path, NodeId(0), NodeId(1), req(8192, pattern));
+            assert!(ranked[0].1 <= ranked[1].1 && ranked[1].1 <= ranked[2].1);
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! CRMA: the Cacheline Remote Memory Access channel (paper §5.1.2).
+//!
+//! "The light-weight CRMA channel supports remote memory accesses via
+//! direct load/store instructions": a cache miss to a RAMT-mapped address
+//! is captured by hardware, translated, packetized, and serviced by the
+//! donor's memory controller. The paper stresses that the support "need
+//! not be complex ... the hardware support then amounts to address
+//! translation and packetization" (§4.2.1) — no cache coherence, a
+//! single-subscriber ownership model.
+//!
+//! The model tracks MSHR-style outstanding-request slots (which bound
+//! memory-level parallelism over the fabric) and computes per-access
+//! round-trip latency from a [`PathModel`].
+
+use venice_fabric::{NodeId, PacketKind};
+use venice_sim::Time;
+
+use crate::path::PathModel;
+use crate::ramt::{Ramt, RamtError, RemoteRef};
+use crate::tltlb::Tltlb;
+
+/// Configuration of a node's CRMA channel hardware.
+#[derive(Debug, Clone)]
+pub struct CrmaConfig {
+    /// Cacheline size in bytes.
+    pub cacheline_bytes: u64,
+    /// Outstanding-request (MSHR) slots in the channel interface.
+    pub mshrs: usize,
+    /// Hardware capture + packetization latency on the requester.
+    pub capture_latency: Time,
+    /// Donor-side service latency (memory controller + DRAM on the remote
+    /// node; the donor CPU is not involved).
+    pub donor_service: Time,
+    /// RAMT capacity (window entries).
+    pub ramt_entries: usize,
+    /// TLTLB capacity (page translations).
+    pub tltlb_entries: usize,
+    /// TLTLB page size.
+    pub tltlb_page: u64,
+    /// RAMT walk penalty on TLTLB miss.
+    pub tltlb_miss_penalty: Time,
+}
+
+impl Default for CrmaConfig {
+    fn default() -> Self {
+        CrmaConfig {
+            cacheline_bytes: 64,
+            mshrs: 16,
+            capture_latency: Time::from_ns(15),
+            donor_service: Time::from_ns(120),
+            ramt_entries: 32,
+            tltlb_entries: 64,
+            tltlb_page: 4096,
+            tltlb_miss_penalty: Time::from_ns(30),
+        }
+    }
+}
+
+/// Tag identifying an outstanding CRMA transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CrmaTag(u32);
+
+/// Error: all MSHR slots busy; the core must stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrmaBusy;
+
+impl std::fmt::Display for CrmaBusy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("all CRMA outstanding-request slots are busy")
+    }
+}
+
+impl std::error::Error for CrmaBusy {}
+
+/// A node's CRMA channel: mapping tables plus outstanding-request slots.
+///
+/// # Example
+///
+/// ```
+/// use venice_transport::{CrmaChannel, CrmaConfig, PathModel};
+/// use venice_fabric::NodeId;
+///
+/// let mut ch = CrmaChannel::new(NodeId(0), CrmaConfig::default());
+/// ch.map_window(0x1_0000_0000, 0x4000_0000, NodeId(1), 0xC000_0000).unwrap();
+/// let path = PathModel::direct_pair();
+/// let lat = ch.read_latency(&path, 0x1_0000_0040).unwrap();
+/// assert!(lat.as_us_f64() > 2.0); // two fabric traversals minimum
+/// ```
+#[derive(Debug)]
+pub struct CrmaChannel {
+    node: NodeId,
+    config: CrmaConfig,
+    ramt: Ramt,
+    tltlb: Tltlb,
+    busy_slots: usize,
+    next_tag: u32,
+    reads: u64,
+    writes: u64,
+    bytes: u64,
+}
+
+impl CrmaChannel {
+    /// Creates the channel for `node`.
+    pub fn new(node: NodeId, config: CrmaConfig) -> Self {
+        let ramt = Ramt::new(config.ramt_entries);
+        let tltlb = Tltlb::new(
+            config.tltlb_entries,
+            config.tltlb_page,
+            config.tltlb_miss_penalty,
+        );
+        CrmaChannel {
+            node,
+            config,
+            ramt,
+            tltlb,
+            busy_slots: 0,
+            next_tag: 0,
+            reads: 0,
+            writes: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Channel configuration.
+    pub fn config(&self) -> &CrmaConfig {
+        &self.config
+    }
+
+    /// Installs a remote-memory window (the handshake's final step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates RAMT geometry/overlap/capacity errors.
+    pub fn map_window(
+        &mut self,
+        local_base: u64,
+        size: u64,
+        donor: NodeId,
+        remote_base: u64,
+    ) -> Result<crate::ramt::EntryId, RamtError> {
+        self.ramt.map(local_base, size, donor, remote_base)
+    }
+
+    /// Tears down a window and flushes cached translations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RamtError::NoMapping`] if the entry was already removed.
+    pub fn unmap_window(&mut self, id: crate::ramt::EntryId) -> Result<(), RamtError> {
+        self.ramt.unmap(id)?;
+        self.tltlb.flush();
+        Ok(())
+    }
+
+    /// Translates `addr`; `None` when it is not remote-mapped.
+    pub fn translate(&mut self, addr: u64) -> Option<RemoteRef> {
+        let (r, _) = self.tltlb.translate(&mut self.ramt, addr);
+        r
+    }
+
+    /// Whether a read/write can be issued right now (free MSHR slot).
+    pub fn can_issue(&self) -> bool {
+        self.busy_slots < self.config.mshrs
+    }
+
+    /// Occupied outstanding-request slots.
+    pub fn outstanding(&self) -> usize {
+        self.busy_slots
+    }
+
+    /// Claims an MSHR slot for a new transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrmaBusy`] when all slots are in use.
+    pub fn issue(&mut self) -> Result<CrmaTag, CrmaBusy> {
+        if !self.can_issue() {
+            return Err(CrmaBusy);
+        }
+        self.busy_slots += 1;
+        let tag = CrmaTag(self.next_tag);
+        self.next_tag = self.next_tag.wrapping_add(1);
+        Ok(tag)
+    }
+
+    /// Releases the slot when the fill/ack returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is outstanding (double completion).
+    pub fn complete(&mut self, _tag: CrmaTag) {
+        assert!(self.busy_slots > 0, "CRMA completion without issue");
+        self.busy_slots -= 1;
+    }
+
+    /// End-to-end latency of one remote cacheline *read* at `addr`:
+    /// capture + translation + request packet + donor service + fill
+    /// packet. `None` if `addr` is not remote-mapped.
+    pub fn read_latency(&mut self, path: &PathModel, addr: u64) -> Option<Time> {
+        let (r, tlb_penalty) = self.tltlb.translate(&mut self.ramt, addr);
+        let remote = r?;
+        self.reads += 1;
+        self.bytes += self.config.cacheline_bytes;
+        let req = PacketKind::CrmaReadReq.header_bytes();
+        let resp = PacketKind::CrmaReadResp.header_bytes() + self.config.cacheline_bytes;
+        Some(
+            self.config.capture_latency
+                + tlb_penalty
+                + path.round_trip(self.node, remote.node, req, resp)
+                + self.config.donor_service,
+        )
+    }
+
+    /// End-to-end latency of one remote cacheline *write* (store miss /
+    /// writeback): data packet out, short ack back.
+    pub fn write_latency(&mut self, path: &PathModel, addr: u64) -> Option<Time> {
+        let (r, tlb_penalty) = self.tltlb.translate(&mut self.ramt, addr);
+        let remote = r?;
+        self.writes += 1;
+        self.bytes += self.config.cacheline_bytes;
+        let req = PacketKind::CrmaWrite.header_bytes() + self.config.cacheline_bytes;
+        let resp = PacketKind::CrmaWriteAck.header_bytes();
+        Some(
+            self.config.capture_latency
+                + tlb_penalty
+                + path.round_trip(self.node, remote.node, req, resp)
+                + self.config.donor_service,
+        )
+    }
+
+    /// Sustained read bandwidth (bytes/s) to `donor` with all MSHRs in
+    /// flight: classic latency–concurrency product, capped by link rate.
+    pub fn sustained_read_gbps(&mut self, path: &PathModel, addr: u64) -> Option<f64> {
+        let lat = self.read_latency(path, addr)?;
+        let line = self.config.cacheline_bytes as f64;
+        let mlp = self.config.mshrs as f64;
+        let bw = mlp * line * 8.0 / lat.as_secs_f64() / 1e9;
+        Some(bw.min(path.link_gbps()))
+    }
+
+    /// Total cachelines read.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total cachelines written.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total payload bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel() -> CrmaChannel {
+        let mut ch = CrmaChannel::new(NodeId(0), CrmaConfig::default());
+        ch.map_window(0x1_0000_0000, 0x4000_0000, NodeId(1), 0xC000_0000)
+            .unwrap();
+        ch
+    }
+
+    #[test]
+    fn read_latency_is_two_traversals_plus_service() {
+        let mut ch = channel();
+        let path = PathModel::direct_pair();
+        // Second access on the same page avoids the TLB penalty.
+        let _first = ch.read_latency(&path, 0x1_0000_0000).unwrap();
+        let lat = ch.read_latency(&path, 0x1_0000_0040).unwrap();
+        let floor = path.round_trip(NodeId(0), NodeId(1), 16, 80);
+        assert_eq!(
+            lat,
+            floor + ch.config().capture_latency + ch.config().donor_service
+        );
+    }
+
+    #[test]
+    fn unmapped_access_returns_none() {
+        let mut ch = channel();
+        let path = PathModel::direct_pair();
+        assert!(ch.read_latency(&path, 0x7777_0000).is_none());
+    }
+
+    #[test]
+    fn mshrs_bound_outstanding_requests() {
+        let mut ch = CrmaChannel::new(NodeId(0), CrmaConfig { mshrs: 2, ..Default::default() });
+        let t1 = ch.issue().unwrap();
+        let _t2 = ch.issue().unwrap();
+        assert_eq!(ch.issue(), Err(CrmaBusy));
+        ch.complete(t1);
+        assert!(ch.issue().is_ok());
+        assert_eq!(ch.outstanding(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "completion without issue")]
+    fn double_completion_panics() {
+        let mut ch = channel();
+        ch.complete(CrmaTag(0));
+    }
+
+    #[test]
+    fn write_cheaper_than_read_in_payload_direction_only() {
+        let mut ch = channel();
+        let path = PathModel::direct_pair();
+        // Warm the TLB.
+        ch.read_latency(&path, 0x1_0000_0000);
+        let r = ch.read_latency(&path, 0x1_0000_0040).unwrap();
+        let w = ch.write_latency(&path, 0x1_0000_0080).unwrap();
+        // Symmetric link: payload out + ack back == req out + payload back.
+        assert_eq!(r, w);
+        assert_eq!(ch.reads(), 2);
+        assert_eq!(ch.writes(), 1);
+    }
+
+    #[test]
+    fn bandwidth_capped_by_link() {
+        let mut ch = CrmaChannel::new(NodeId(0), CrmaConfig { mshrs: 4096, ..Default::default() });
+        ch.map_window(0x1_0000_0000, 0x4000_0000, NodeId(1), 0).unwrap();
+        let path = PathModel::direct_pair();
+        let bw = ch.sustained_read_gbps(&path, 0x1_0000_0000).unwrap();
+        assert!(bw <= path.link_gbps() + 1e-9);
+    }
+
+    #[test]
+    fn teardown_stops_access() {
+        let mut ch = CrmaChannel::new(NodeId(0), CrmaConfig::default());
+        let id = ch.map_window(0x1_0000_0000, 0x1000, NodeId(1), 0x2000).unwrap();
+        let path = PathModel::direct_pair();
+        assert!(ch.read_latency(&path, 0x1_0000_0000).is_some());
+        ch.unmap_window(id).unwrap();
+        assert!(ch.read_latency(&path, 0x1_0000_0000).is_none());
+    }
+}

@@ -1,0 +1,172 @@
+//! End-to-end packet latency across the fabric.
+//!
+//! Composes the fabric's pure component models (links, embedded switches,
+//! external routers, topology) into the one-way latency of a packet
+//! between two nodes. Every channel model builds its round-trip costs on
+//! top of [`PathModel::one_way`].
+
+use venice_fabric::switch::{RouterParams, SwitchParams};
+use venice_fabric::topology::{NodeId, Topology};
+use venice_fabric::{LinkParams, Packet};
+use venice_sim::Time;
+
+/// A configured fabric path model: topology plus component parameters.
+///
+/// # Example
+///
+/// ```
+/// use venice_transport::PathModel;
+/// use venice_fabric::topology::NodeId;
+///
+/// let direct = PathModel::direct_pair();
+/// let routed = PathModel::routed_pair();
+/// let t_direct = direct.one_way_bytes(NodeId(0), NodeId(1), 80);
+/// let t_routed = routed.one_way_bytes(NodeId(0), NodeId(1), 80);
+/// assert!(t_routed > t_direct); // the extra hop costs real latency
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathModel {
+    /// How nodes are wired.
+    pub topology: Topology,
+    /// Per-link parameters (uniform across the fabric).
+    pub link: LinkParams,
+    /// Embedded on-chip switch at every node.
+    pub switch: SwitchParams,
+    /// External router parameters (used by star topologies).
+    pub router: RouterParams,
+}
+
+impl PathModel {
+    /// Two nodes directly connected by an optical link — the configuration
+    /// of §4.2.1's channel study.
+    pub fn direct_pair() -> Self {
+        PathModel {
+            topology: Topology::Direct { nodes: 2 },
+            link: LinkParams::venice_prototype(),
+            switch: SwitchParams::venice_prototype(),
+            router: RouterParams::one_level(),
+        }
+    }
+
+    /// Two nodes joined through one external router — §4.2.2's
+    /// configuration.
+    pub fn routed_pair() -> Self {
+        PathModel {
+            topology: Topology::StarRouter { nodes: 2 },
+            ..Self::direct_pair()
+        }
+    }
+
+    /// The 8-node 3D-mesh prototype (Fig 4).
+    pub fn prototype_mesh() -> Self {
+        PathModel {
+            topology: Topology::Mesh(venice_fabric::Mesh3d::prototype()),
+            ..Self::direct_pair()
+        }
+    }
+
+    /// Replaces the link parameters (e.g. to switch to off-chip
+    /// integration).
+    pub fn with_link(mut self, link: LinkParams) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// One-way latency from `src` to `dst` for a packet of `wire_bytes`.
+    ///
+    /// The first link traversal pays the full endpoint cost (PHY pairs,
+    /// adapter if off-chip); each additional hop pays a transit (switch or
+    /// router fall-through plus another link traversal without adapter
+    /// crossings, since intermediate hops stay inside the fabric).
+    pub fn one_way_bytes(&self, src: NodeId, dst: NodeId, wire_bytes: u64) -> Time {
+        if src == dst {
+            return Time::ZERO;
+        }
+        if self.topology.crosses_external_router(src, dst) {
+            // §4.2.2's configuration: the router sits inline on the same
+            // cable, so the endpoints' PHY costs are unchanged; the
+            // packet additionally pays the router's (cut-through) transit
+            // — buffering, lookup, arbitration, port conversions.
+            return self.link.one_way(wire_bytes) + self.router.transit_latency;
+        }
+        let hops = self.topology.link_hops(src, dst);
+        let transits = self.topology.transit_switches(src, dst);
+        let mut t = self.link.one_way(wire_bytes);
+        // Remaining link traversals (store-and-forward).
+        t += self.link.transit(wire_bytes) * (hops - 1) as u64;
+        // Intermediate embedded-switch fall-through.
+        t += self.switch.transit_latency * transits as u64;
+        t
+    }
+
+    /// One-way latency for `packet`.
+    pub fn one_way(&self, packet: &Packet) -> Time {
+        self.one_way_bytes(packet.src, packet.dst, packet.wire_bytes())
+    }
+
+    /// Round trip: a request of `req_bytes` out and a response of
+    /// `resp_bytes` back.
+    pub fn round_trip(&self, src: NodeId, dst: NodeId, req_bytes: u64, resp_bytes: u64) -> Time {
+        self.one_way_bytes(src, dst, req_bytes) + self.one_way_bytes(dst, src, resp_bytes)
+    }
+
+    /// Nominal per-direction link bandwidth in Gbps.
+    pub fn link_gbps(&self) -> f64 {
+        self.link.gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venice_fabric::Mesh3d;
+
+    #[test]
+    fn same_node_is_free() {
+        let p = PathModel::prototype_mesh();
+        assert_eq!(p.one_way_bytes(NodeId(3), NodeId(3), 4096), Time::ZERO);
+    }
+
+    #[test]
+    fn router_hop_costs_more_than_direct() {
+        let d = PathModel::direct_pair();
+        let r = PathModel::routed_pair();
+        let td = d.one_way_bytes(NodeId(0), NodeId(1), 80);
+        let tr = r.one_way_bytes(NodeId(0), NodeId(1), 80);
+        // Router transit + re-serialization: overhead is tens of percent,
+        // not multiples — Fig 6's premise.
+        let overhead = tr.ratio(td) - 1.0;
+        assert!(
+            (0.2..1.0).contains(&overhead),
+            "router overhead = {overhead:.2}"
+        );
+    }
+
+    #[test]
+    fn mesh_latency_grows_with_hops() {
+        let p = PathModel::prototype_mesh();
+        let one = p.one_way_bytes(NodeId(0), NodeId(1), 80);
+        let three = p.one_way_bytes(NodeId(0), NodeId(7), 80);
+        assert!(three > one * 2 && three < one * 4);
+    }
+
+    #[test]
+    fn round_trip_is_sum_of_directions() {
+        let p = PathModel::direct_pair();
+        let rt = p.round_trip(NodeId(0), NodeId(1), 16, 80);
+        assert_eq!(
+            rt,
+            p.one_way_bytes(NodeId(0), NodeId(1), 16) + p.one_way_bytes(NodeId(1), NodeId(0), 80)
+        );
+    }
+
+    #[test]
+    fn bigger_mesh_still_works() {
+        let p = PathModel {
+            topology: Topology::Mesh(Mesh3d::new(4, 4, 4)),
+            ..PathModel::direct_pair()
+        };
+        let t = p.one_way_bytes(NodeId(0), NodeId(63), 80);
+        assert!(t > Time::ZERO);
+    }
+}

@@ -1,0 +1,352 @@
+//! QPair: the queue-pair messaging channel (paper §5.1.2).
+//!
+//! "Venice's QPair mechanism is a bidirectional channel between two
+//! communicating threads. Once established, data written into the local
+//! send queue will be delivered to the counterpart's receive queue. ...
+//! the well defined, low-level queue management maps well to hardware
+//! state machines."
+//!
+//! The model captures what the paper's experiments are sensitive to:
+//! software posting overhead (much larger when the interface is off-chip),
+//! the hardware queue state machine, bounded queue depth, and SDP-style
+//! receiver-buffer credits whose return path is pluggable (the Fig 9/18
+//! collaboration).
+
+use std::collections::VecDeque;
+
+use venice_fabric::datalink::CreditCounter;
+use venice_fabric::{NodeId, PacketKind};
+use venice_sim::Time;
+
+use crate::path::PathModel;
+
+/// Configuration of one QPair endpoint.
+#[derive(Debug, Clone)]
+pub struct QpairConfig {
+    /// Send/receive queue depth (messages).
+    pub depth: usize,
+    /// Receiver buffer credits (SDP-style flow control).
+    pub credits: u32,
+    /// Software cost to build a work-queue entry and ring the doorbell.
+    pub post_overhead: Time,
+    /// Hardware state-machine latency per message (segmentation, DMA from
+    /// the pinned buffer).
+    pub hw_overhead: Time,
+    /// Receive-side cost to land the message and make it visible to the
+    /// consumer (completion-queue update + user-level poll).
+    pub rx_overhead: Time,
+    /// Maximum message payload carried by one fabric packet; larger
+    /// messages are segmented.
+    pub max_seg_bytes: u64,
+}
+
+impl QpairConfig {
+    /// On-chip QPair interface (§4.2.1 "on-chip QPair"): doorbells and
+    /// queues live next to the core, posting is cheap.
+    pub fn on_chip() -> Self {
+        QpairConfig {
+            depth: 256,
+            credits: 16,
+            post_overhead: Time::from_ns(150),
+            hw_overhead: Time::from_ns(100),
+            rx_overhead: Time::from_ns(200),
+            max_seg_bytes: 4096,
+        }
+    }
+
+    /// Off-chip QPair over an I/O-attached adapter (§4.2.1 "off-chip
+    /// QPair", an IB-class interface): posting crosses the I/O bus, and
+    /// verbs-layer software is heavier.
+    pub fn off_chip() -> Self {
+        QpairConfig {
+            depth: 256,
+            credits: 16,
+            post_overhead: Time::from_ns(700),
+            hw_overhead: Time::from_ns(300),
+            rx_overhead: Time::from_ns(700),
+            max_seg_bytes: 4096,
+        }
+    }
+}
+
+/// Errors from queue operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QpairError {
+    /// Send queue is full.
+    QueueFull,
+    /// No receiver credit available; sender must wait for a credit update.
+    NoCredit,
+    /// Message exceeds the queue's registered buffer size.
+    MessageTooLarge {
+        /// Offending payload size.
+        bytes: u64 },
+}
+
+impl std::fmt::Display for QpairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QpairError::QueueFull => f.write_str("send queue is full"),
+            QpairError::NoCredit => f.write_str("no receiver credit available"),
+            QpairError::MessageTooLarge { bytes } => {
+                write!(f, "message of {bytes} bytes exceeds buffer size")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QpairError {}
+
+/// One endpoint of an established queue pair.
+///
+/// # Example
+///
+/// ```
+/// use venice_transport::{QueuePair, QpairConfig, PathModel};
+/// use venice_fabric::NodeId;
+///
+/// let mut qp = QueuePair::new(NodeId(0), NodeId(1), QpairConfig::on_chip());
+/// let path = PathModel::direct_pair();
+/// let t = qp.message_latency(&path, 256).unwrap();
+/// assert!(t > path.one_way_bytes(NodeId(0), NodeId(1), 256));
+/// ```
+#[derive(Debug)]
+pub struct QueuePair {
+    local: NodeId,
+    peer: NodeId,
+    config: QpairConfig,
+    /// Pending sends (payload sizes), FIFO.
+    send_queue: VecDeque<u64>,
+    credit: CreditCounter,
+    sent_messages: u64,
+    sent_bytes: u64,
+}
+
+impl QueuePair {
+    /// Establishes an endpoint from `local` toward `peer`.
+    pub fn new(local: NodeId, peer: NodeId, config: QpairConfig) -> Self {
+        let credit = CreditCounter::new(config.credits);
+        QueuePair {
+            local,
+            peer,
+            config,
+            send_queue: VecDeque::new(),
+            credit,
+            sent_messages: 0,
+            sent_bytes: 0,
+        }
+    }
+
+    /// Local node.
+    pub fn local(&self) -> NodeId {
+        self.local
+    }
+
+    /// Remote node.
+    pub fn peer(&self) -> NodeId {
+        self.peer
+    }
+
+    /// Endpoint configuration.
+    pub fn config(&self) -> &QpairConfig {
+        &self.config
+    }
+
+    /// Messages sent so far.
+    pub fn sent_messages(&self) -> u64 {
+        self.sent_messages
+    }
+
+    /// Payload bytes sent so far.
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+
+    /// Available receiver credits.
+    pub fn credits(&self) -> u32 {
+        self.credit.available()
+    }
+
+    /// Enqueues a message of `bytes` for transmission, consuming one
+    /// receiver credit.
+    ///
+    /// # Errors
+    ///
+    /// [`QpairError::QueueFull`] when the send queue is at depth;
+    /// [`QpairError::NoCredit`] when the receiver advertised no buffers.
+    pub fn post_send(&mut self, bytes: u64) -> Result<(), QpairError> {
+        if self.send_queue.len() >= self.config.depth {
+            return Err(QpairError::QueueFull);
+        }
+        if !self.credit.try_consume() {
+            return Err(QpairError::NoCredit);
+        }
+        self.send_queue.push_back(bytes);
+        self.sent_messages += 1;
+        self.sent_bytes += bytes;
+        Ok(())
+    }
+
+    /// Hardware drains one queued message (it is now on the wire).
+    pub fn drain_one(&mut self) -> Option<u64> {
+        self.send_queue.pop_front()
+    }
+
+    /// Processes a credit update from the receiver, returning `n` buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on credit overflow (protocol bug).
+    pub fn credit_update(&mut self, n: u32) {
+        self.credit.grant(n);
+    }
+
+    /// Number of segments a `bytes`-byte message needs on the wire.
+    pub fn segments(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            1
+        } else {
+            bytes.div_ceil(self.config.max_seg_bytes)
+        }
+    }
+
+    /// One-way latency of a single message of `bytes`: post + hardware +
+    /// fabric (pipelined segments) + receive-side delivery.
+    ///
+    /// # Errors
+    ///
+    /// [`QpairError::MessageTooLarge`] if `bytes` exceeds 1 MiB (the
+    /// registered buffer bound in our model).
+    pub fn message_latency(&mut self, path: &PathModel, bytes: u64) -> Result<Time, QpairError> {
+        const MAX_MSG: u64 = 1 << 20;
+        if bytes > MAX_MSG {
+            return Err(QpairError::MessageTooLarge { bytes });
+        }
+        let segs = self.segments(bytes);
+        let hdr = PacketKind::QpairData.header_bytes();
+        let first_seg_bytes = bytes.min(self.config.max_seg_bytes) + hdr;
+        // First segment pays full path latency; remaining segments are
+        // pipelined behind it at serialization rate.
+        let mut t = self.config.post_overhead
+            + self.config.hw_overhead
+            + path.one_way_bytes(self.local, self.peer, first_seg_bytes)
+            + self.config.rx_overhead;
+        if segs > 1 {
+            let full_seg_wire = self.config.max_seg_bytes + hdr;
+            t += path.link.serialize(full_seg_wire) * (segs - 1);
+        }
+        Ok(t)
+    }
+
+    /// Latency of a synchronous RPC over the pair: request out, `server`
+    /// processing on the peer, response back, completion seen by polling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QpairError::MessageTooLarge`].
+    pub fn rpc_latency(
+        &mut self,
+        path: &PathModel,
+        req_bytes: u64,
+        resp_bytes: u64,
+        server: Time,
+    ) -> Result<Time, QpairError> {
+        let out = self.message_latency(path, req_bytes)?;
+        // The response direction has symmetric costs in our model.
+        let back = self.message_latency(path, resp_bytes)?;
+        Ok(out + server + back)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qp() -> QueuePair {
+        QueuePair::new(NodeId(0), NodeId(1), QpairConfig::on_chip())
+    }
+
+    #[test]
+    fn off_chip_slower_than_on_chip() {
+        let path = PathModel::direct_pair();
+        let mut on = qp();
+        let mut off = QueuePair::new(NodeId(0), NodeId(1), QpairConfig::off_chip());
+        let t_on = on.message_latency(&path, 256).unwrap();
+        let t_off = off.message_latency(&path, 256).unwrap();
+        assert!(t_off > t_on);
+        // The gap equals the software/interface overhead difference.
+        let gap = t_off - t_on;
+        assert_eq!(gap, Time::from_ns((700 - 150) + (300 - 100) + (700 - 200)));
+    }
+
+    #[test]
+    fn segmentation_counts() {
+        let q = qp();
+        assert_eq!(q.segments(0), 1);
+        assert_eq!(q.segments(4096), 1);
+        assert_eq!(q.segments(4097), 2);
+        assert_eq!(q.segments(65536), 16);
+    }
+
+    #[test]
+    fn large_messages_pipeline_segments() {
+        let path = PathModel::direct_pair();
+        let mut q = qp();
+        let t1 = q.message_latency(&path, 4096).unwrap();
+        let t4 = q.message_latency(&path, 16384).unwrap();
+        // 3 extra segments at serialization rate each, not 3 extra RTTs.
+        let extra = t4 - t1;
+        let per_seg = path.link.serialize(4096 + 16);
+        assert_eq!(extra, per_seg * 3);
+    }
+
+    #[test]
+    fn credits_gate_posting() {
+        let mut q = QueuePair::new(
+            NodeId(0),
+            NodeId(1),
+            QpairConfig { credits: 2, ..QpairConfig::on_chip() },
+        );
+        q.post_send(64).unwrap();
+        q.post_send(64).unwrap();
+        assert_eq!(q.post_send(64), Err(QpairError::NoCredit));
+        q.credit_update(1);
+        assert!(q.post_send(64).is_ok());
+        assert_eq!(q.sent_messages(), 3);
+        assert_eq!(q.sent_bytes(), 192);
+    }
+
+    #[test]
+    fn queue_depth_bounds_pending() {
+        let mut q = QueuePair::new(
+            NodeId(0),
+            NodeId(1),
+            QpairConfig { depth: 1, credits: 8, ..QpairConfig::on_chip() },
+        );
+        q.post_send(64).unwrap();
+        assert_eq!(q.post_send(64), Err(QpairError::QueueFull));
+        assert_eq!(q.drain_one(), Some(64));
+        assert!(q.post_send(64).is_ok());
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let path = PathModel::direct_pair();
+        let mut q = qp();
+        assert!(matches!(
+            q.message_latency(&path, 2 << 20),
+            Err(QpairError::MessageTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn rpc_includes_server_time() {
+        let path = PathModel::direct_pair();
+        let mut q = qp();
+        let server = Time::from_us(3);
+        let rpc = q.rpc_latency(&path, 64, 256, server).unwrap();
+        let mut q2 = qp();
+        let parts =
+            q2.message_latency(&path, 64).unwrap() + q2.message_latency(&path, 256).unwrap();
+        assert_eq!(rpc, parts + server);
+    }
+}

@@ -1,0 +1,329 @@
+//! Remote Address Mapping Table (paper Fig 8).
+//!
+//! The RAMT is the hardware structure that turns a local physical address
+//! into `(donor node, remote address)`. Each entry covers a
+//! power-of-two-sized, size-aligned window (the figure's "masking
+//! register"): the high bits select the entry, the low bits pass through
+//! as the offset. Setup and teardown follow the paper's handshake: map on
+//! both sides, invalidate after "proper cleanup" on stop-sharing.
+
+use venice_fabric::NodeId;
+
+/// A translated remote reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemoteRef {
+    /// Donor node that services the access.
+    pub node: NodeId,
+    /// Address within the donor's physical space.
+    pub addr: u64,
+}
+
+/// Errors from RAMT management operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RamtError {
+    /// Table is full (fixed hardware capacity).
+    Full,
+    /// Window size is not a power of two.
+    SizeNotPowerOfTwo,
+    /// Base address is not aligned to the window size.
+    Misaligned,
+    /// The new window overlaps an existing valid entry.
+    Overlap,
+    /// No valid entry covers the address.
+    NoMapping,
+}
+
+impl std::fmt::Display for RamtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            RamtError::Full => "mapping table is full",
+            RamtError::SizeNotPowerOfTwo => "window size must be a power of two",
+            RamtError::Misaligned => "window base must be size-aligned",
+            RamtError::Overlap => "window overlaps an existing mapping",
+            RamtError::NoMapping => "no mapping covers the address",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for RamtError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    valid: bool,
+    local_base: u64,
+    /// `!(size - 1)` — the masking register of Fig 8.
+    mask: u64,
+    size: u64,
+    node: NodeId,
+    remote_base: u64,
+}
+
+/// The Remote Address Mapping Table: a fixed number of window entries.
+///
+/// # Example
+///
+/// ```
+/// use venice_transport::{Ramt, RemoteRef};
+/// use venice_fabric::NodeId;
+///
+/// let mut ramt = Ramt::new(16);
+/// // Map 1 GB at local 0x1_0000_0000 to donor node 1's 0xC000_0000.
+/// let e = ramt.map(0x1_0000_0000, 0x4000_0000, NodeId(1), 0xC000_0000).unwrap();
+/// let r = ramt.translate(0x1_0000_0040).unwrap();
+/// assert_eq!(r, RemoteRef { node: NodeId(1), addr: 0xC000_0040 });
+/// ramt.unmap(e).unwrap();
+/// assert!(ramt.translate(0x1_0000_0040).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ramt {
+    entries: Vec<Entry>,
+    lookups: u64,
+    misses: u64,
+}
+
+/// Handle to an installed RAMT entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryId(usize);
+
+impl Ramt {
+    /// Creates a table with `capacity` entries (hardware size; the
+    /// prototype's fits in part of its 32 KB of channel SRAM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAMT needs at least one entry");
+        Ramt {
+            entries: vec![
+                Entry {
+                    valid: false,
+                    local_base: 0,
+                    mask: 0,
+                    size: 0,
+                    node: NodeId(0),
+                    remote_base: 0,
+                };
+                capacity
+            ],
+            lookups: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of valid mappings.
+    pub fn active(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Table capacity.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total translations attempted.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Translations that found no mapping.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Installs a window mapping `size` bytes at `local_base` to
+    /// `remote_base` on `node`.
+    ///
+    /// # Errors
+    ///
+    /// * [`RamtError::SizeNotPowerOfTwo`] / [`RamtError::Misaligned`] —
+    ///   hardware windows are power-of-two sized and size-aligned.
+    /// * [`RamtError::Overlap`] — windows may not overlap.
+    /// * [`RamtError::Full`] — no free entry.
+    pub fn map(
+        &mut self,
+        local_base: u64,
+        size: u64,
+        node: NodeId,
+        remote_base: u64,
+    ) -> Result<EntryId, RamtError> {
+        if size == 0 || !size.is_power_of_two() {
+            return Err(RamtError::SizeNotPowerOfTwo);
+        }
+        // Only the local window must be size-aligned: the masking
+        // register (Fig 8) selects the entry from the local address's
+        // high bits. The remote side is formed by base + offset addition,
+        // so any donor base works.
+        if !local_base.is_multiple_of(size) {
+            return Err(RamtError::Misaligned);
+        }
+        for e in self.entries.iter().filter(|e| e.valid) {
+            let a0 = e.local_base;
+            let a1 = e.local_base + e.size;
+            let b0 = local_base;
+            let b1 = local_base + size;
+            if a0 < b1 && b0 < a1 {
+                return Err(RamtError::Overlap);
+            }
+        }
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| !e.valid)
+            .ok_or(RamtError::Full)?;
+        self.entries[idx] = Entry {
+            valid: true,
+            local_base,
+            mask: !(size - 1),
+            size,
+            node,
+            remote_base,
+        };
+        Ok(EntryId(idx))
+    }
+
+    /// Removes the mapping (the "stop-sharing" cleanup).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RamtError::NoMapping`] if the entry is not valid.
+    pub fn unmap(&mut self, id: EntryId) -> Result<(), RamtError> {
+        let e = self
+            .entries
+            .get_mut(id.0)
+            .filter(|e| e.valid)
+            .ok_or(RamtError::NoMapping)?;
+        e.valid = false;
+        Ok(())
+    }
+
+    /// Translates a local address: masked compare against each valid
+    /// entry, then offset substitution (Fig 8's datapath).
+    pub fn translate(&mut self, addr: u64) -> Option<RemoteRef> {
+        self.lookups += 1;
+        for e in self.entries.iter().filter(|e| e.valid) {
+            if addr & e.mask == e.local_base {
+                let offset = addr & !e.mask;
+                return Some(RemoteRef {
+                    node: e.node,
+                    addr: e.remote_base + offset,
+                });
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Whether any valid window is backed by `node` (used during donor
+    /// teardown).
+    pub fn maps_node(&self, node: NodeId) -> bool {
+        self.entries.iter().any(|e| e.valid && e.node == node)
+    }
+
+    /// Invalidates every window backed by `node`; returns how many were
+    /// dropped. Used when a donor disappears (heartbeat loss).
+    pub fn invalidate_node(&mut self, node: NodeId) -> usize {
+        let mut n = 0;
+        for e in self.entries.iter_mut() {
+            if e.valid && e.node == node {
+                e.valid = false;
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_applies_offset() {
+        let mut r = Ramt::new(4);
+        r.map(0x4000, 0x1000, NodeId(2), 0x9000).unwrap();
+        assert_eq!(
+            r.translate(0x4ABC),
+            Some(RemoteRef { node: NodeId(2), addr: 0x9ABC })
+        );
+        assert_eq!(r.translate(0x5000), None);
+        assert_eq!(r.lookups(), 2);
+        assert_eq!(r.misses(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let mut r = Ramt::new(4);
+        assert_eq!(
+            r.map(0x1000, 0x300, NodeId(0), 0),
+            Err(RamtError::SizeNotPowerOfTwo)
+        );
+        assert_eq!(
+            r.map(0x1800, 0x1000, NodeId(0), 0),
+            Err(RamtError::Misaligned)
+        );
+        // Remote bases need no alignment: the donor side adds offsets.
+        assert!(r.map(0x1000, 0x1000, NodeId(0), 0x800).is_ok());
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let mut r = Ramt::new(4);
+        r.map(0x0, 0x2000, NodeId(0), 0x10000).unwrap();
+        assert_eq!(
+            r.map(0x1000, 0x1000, NodeId(1), 0x20000),
+            Err(RamtError::Overlap)
+        );
+        // Adjacent is fine.
+        assert!(r.map(0x2000, 0x1000, NodeId(1), 0x21000).is_ok());
+    }
+
+    #[test]
+    fn table_fills_up() {
+        let mut r = Ramt::new(2);
+        r.map(0x0, 0x1000, NodeId(0), 0).unwrap();
+        r.map(0x1000, 0x1000, NodeId(0), 0x1000).unwrap();
+        assert_eq!(
+            r.map(0x2000, 0x1000, NodeId(0), 0x2000),
+            Err(RamtError::Full)
+        );
+        assert_eq!(r.active(), 2);
+    }
+
+    #[test]
+    fn unmap_frees_slot_and_stops_translation() {
+        let mut r = Ramt::new(1);
+        let id = r.map(0x8000, 0x1000, NodeId(3), 0).unwrap();
+        r.unmap(id).unwrap();
+        assert_eq!(r.translate(0x8000), None);
+        // Double unmap is a protocol error.
+        assert_eq!(r.unmap(id), Err(RamtError::NoMapping));
+        // The slot is reusable.
+        assert!(r.map(0x8000, 0x1000, NodeId(3), 0).is_ok());
+    }
+
+    #[test]
+    fn invalidate_node_drops_all_windows() {
+        let mut r = Ramt::new(4);
+        r.map(0x0, 0x1000, NodeId(1), 0).unwrap();
+        r.map(0x1000, 0x1000, NodeId(1), 0x1000).unwrap();
+        r.map(0x2000, 0x1000, NodeId(2), 0).unwrap();
+        assert!(r.maps_node(NodeId(1)));
+        assert_eq!(r.invalidate_node(NodeId(1)), 2);
+        assert!(!r.maps_node(NodeId(1)));
+        assert!(r.maps_node(NodeId(2)));
+    }
+
+    #[test]
+    fn paper_example_addresses() {
+        // Fig 10: node B maps 0x1_0000_0000..0x1_3FFF_FFFF (1 GB) to node
+        // A's 0xC000_0000.
+        let mut r = Ramt::new(8);
+        r.map(0x1_0000_0000, 0x4000_0000, NodeId(0), 0xC000_0000)
+            .unwrap();
+        let t = r.translate(0x1_3FFF_FFFF).unwrap();
+        assert_eq!(t.addr, 0xFFFF_FFFF);
+        assert!(r.translate(0x1_4000_0000).is_none());
+    }
+}

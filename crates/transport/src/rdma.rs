@@ -1,0 +1,309 @@
+//! RDMA: the bulk-transfer channel (paper §5.1.2).
+//!
+//! "Whereas the CRMA channel serves cacheline requests ... the RDMA
+//! channel handles software-initiated DMA requests with remote memory as
+//! the source/destination. State machines and control registers divide the
+//! memory region into chunks for packetization."
+//!
+//! The model exposes a descriptor ring (as used by the remote-swap block
+//! device of §5.2.1, which double-buffers descriptors to cut interrupt
+//! overheads) and computes transfer latency as setup + pipelined chunk
+//! stream + completion.
+
+use std::collections::VecDeque;
+
+use venice_fabric::{NodeId, PacketKind};
+use venice_sim::Time;
+
+use crate::path::PathModel;
+
+/// Configuration of a node's RDMA engine.
+#[derive(Debug, Clone)]
+pub struct RdmaConfig {
+    /// Descriptor ring capacity.
+    pub ring_entries: usize,
+    /// Chunk size the state machine packetizes into.
+    pub chunk_bytes: u64,
+    /// Software cost to fill a descriptor and ring the doorbell.
+    pub post_overhead: Time,
+    /// Engine startup per descriptor (fetch descriptor, program DMA).
+    pub engine_setup: Time,
+    /// Completion path cost (status write + interrupt or poll).
+    pub completion_overhead: Time,
+    /// When true, completions are coalesced via double buffering: a batch
+    /// of descriptors shares one completion (§5.2.1's driver).
+    pub double_buffering: bool,
+}
+
+impl Default for RdmaConfig {
+    fn default() -> Self {
+        RdmaConfig {
+            ring_entries: 128,
+            chunk_bytes: 4096,
+            post_overhead: Time::from_ns(250),
+            engine_setup: Time::from_ns(200),
+            completion_overhead: Time::from_us(2),
+            double_buffering: true,
+        }
+    }
+}
+
+/// A posted DMA descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Descriptor {
+    /// Transfer size in bytes.
+    pub bytes: u64,
+    /// Remote peer.
+    pub peer: NodeId,
+}
+
+/// Errors from the RDMA engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RdmaError {
+    /// Descriptor ring is full.
+    RingFull,
+    /// Zero-byte transfers are invalid.
+    EmptyTransfer,
+}
+
+impl std::fmt::Display for RdmaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RdmaError::RingFull => f.write_str("descriptor ring is full"),
+            RdmaError::EmptyTransfer => f.write_str("transfer size must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for RdmaError {}
+
+/// A node's RDMA engine.
+///
+/// # Example
+///
+/// ```
+/// use venice_transport::{RdmaEngine, RdmaConfig, PathModel};
+/// use venice_fabric::NodeId;
+///
+/// let mut e = RdmaEngine::new(NodeId(0), RdmaConfig::default());
+/// let path = PathModel::direct_pair();
+/// // Moving 1 MB takes about its serialization time at 5 Gbps (~1.7 ms).
+/// let t = e.transfer_latency(&path, NodeId(1), 1 << 20);
+/// assert!((1.0..3.0).contains(&t.as_ms_f64()));
+/// ```
+#[derive(Debug)]
+pub struct RdmaEngine {
+    node: NodeId,
+    config: RdmaConfig,
+    ring: VecDeque<Descriptor>,
+    transfers: u64,
+    bytes: u64,
+}
+
+impl RdmaEngine {
+    /// Creates the engine for `node`.
+    pub fn new(node: NodeId, config: RdmaConfig) -> Self {
+        RdmaEngine {
+            node,
+            config,
+            ring: VecDeque::new(),
+            transfers: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &RdmaConfig {
+        &self.config
+    }
+
+    /// Completed transfer count.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Outstanding descriptors.
+    pub fn pending(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Posts a descriptor for `bytes` toward `peer`.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::RingFull`] when the ring is at capacity;
+    /// [`RdmaError::EmptyTransfer`] for zero-byte requests.
+    pub fn post(&mut self, peer: NodeId, bytes: u64) -> Result<(), RdmaError> {
+        if bytes == 0 {
+            return Err(RdmaError::EmptyTransfer);
+        }
+        if self.ring.len() >= self.config.ring_entries {
+            return Err(RdmaError::RingFull);
+        }
+        self.ring.push_back(Descriptor { bytes, peer });
+        Ok(())
+    }
+
+    /// Retires the oldest descriptor (hardware finished it).
+    pub fn retire(&mut self) -> Option<Descriptor> {
+        let d = self.ring.pop_front()?;
+        self.transfers += 1;
+        self.bytes += d.bytes;
+        Some(d)
+    }
+
+    /// Number of chunks a transfer of `bytes` becomes on the wire.
+    pub fn chunks(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.config.chunk_bytes).max(1)
+    }
+
+    /// End-to-end latency of one DMA of `bytes` to `peer`: post + engine
+    /// setup + first chunk's path latency + remaining chunks pipelined at
+    /// serialization rate + completion.
+    pub fn transfer_latency(&mut self, path: &PathModel, peer: NodeId, bytes: u64) -> Time {
+        self.transfers += 1;
+        self.bytes += bytes;
+        let chunks = self.chunks(bytes);
+        let hdr = PacketKind::RdmaData.header_bytes();
+        let first = bytes.min(self.config.chunk_bytes) + hdr;
+        let mut t = self.config.post_overhead
+            + self.config.engine_setup
+            + path.one_way_bytes(self.node, peer, first);
+        if chunks > 1 {
+            t += path.link.serialize(self.config.chunk_bytes + hdr) * (chunks - 1);
+        }
+        // Completion notification travels back as a short packet.
+        t += path.one_way_bytes(peer, self.node, PacketKind::RdmaCompletion.header_bytes());
+        t + self.config.completion_overhead
+    }
+
+    /// Latency of a *batch* of same-size transfers with double buffering:
+    /// descriptors are pre-posted, chunk streams back-to-back, and a
+    /// single coalesced completion fires at the end. Without double
+    /// buffering every transfer pays its own completion.
+    pub fn batch_latency(
+        &mut self,
+        path: &PathModel,
+        peer: NodeId,
+        bytes_each: u64,
+        count: u64,
+    ) -> Time {
+        if count == 0 {
+            return Time::ZERO;
+        }
+        let single = self.transfer_latency(path, peer, bytes_each);
+        if count == 1 {
+            return single;
+        }
+        let hdr = PacketKind::RdmaData.header_bytes();
+        let stream_per_transfer =
+            path.link.serialize(self.config.chunk_bytes + hdr) * self.chunks(bytes_each);
+        let extra = count - 1;
+        self.transfers += extra;
+        self.bytes += bytes_each * extra;
+        let mut t = single + stream_per_transfer * extra;
+        if !self.config.double_buffering {
+            t += (self.config.completion_overhead + self.config.post_overhead) * extra;
+        }
+        t
+    }
+
+    /// Sustained bandwidth (Gbps) for large streamed transfers: chunk
+    /// payload over chunk wire time, capped by the link.
+    pub fn sustained_gbps(&self, path: &PathModel) -> f64 {
+        let hdr = PacketKind::RdmaData.header_bytes();
+        let payload = self.config.chunk_bytes as f64 * 8.0;
+        let wire_time = path.link.serialize(self.config.chunk_bytes + hdr).as_secs_f64();
+        (payload / wire_time / 1e9).min(path.link_gbps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> RdmaEngine {
+        RdmaEngine::new(NodeId(0), RdmaConfig::default())
+    }
+
+    #[test]
+    fn chunk_math() {
+        let e = engine();
+        assert_eq!(e.chunks(1), 1);
+        assert_eq!(e.chunks(4096), 1);
+        assert_eq!(e.chunks(4097), 2);
+        assert_eq!(e.chunks(1 << 20), 256);
+    }
+
+    #[test]
+    fn ring_capacity_enforced() {
+        let mut e = RdmaEngine::new(NodeId(0), RdmaConfig { ring_entries: 2, ..Default::default() });
+        e.post(NodeId(1), 100).unwrap();
+        e.post(NodeId(1), 100).unwrap();
+        assert_eq!(e.post(NodeId(1), 100), Err(RdmaError::RingFull));
+        assert!(e.retire().is_some());
+        assert!(e.post(NodeId(1), 100).is_ok());
+        assert_eq!(e.post(NodeId(1), 0), Err(RdmaError::EmptyTransfer));
+    }
+
+    #[test]
+    fn large_transfer_dominated_by_serialization() {
+        let mut e = engine();
+        let path = PathModel::direct_pair();
+        let bytes = 4u64 << 20;
+        let t = e.transfer_latency(&path, NodeId(1), bytes);
+        let ser = path.link.serialize(bytes).as_secs_f64();
+        assert!((t.as_secs_f64() / ser) < 1.1, "overhead too large");
+    }
+
+    #[test]
+    fn small_transfer_dominated_by_overheads() {
+        let mut e = engine();
+        let path = PathModel::direct_pair();
+        let t = e.transfer_latency(&path, NodeId(1), 64);
+        // Completion (2 us) + path (~1.4 us x2) dwarf the 102 ns payload.
+        assert!(t > Time::from_us(4));
+    }
+
+    #[test]
+    fn double_buffering_saves_completions() {
+        let path = PathModel::direct_pair();
+        let mut with = RdmaEngine::new(NodeId(0), RdmaConfig { double_buffering: true, ..Default::default() });
+        let mut without = RdmaEngine::new(NodeId(0), RdmaConfig { double_buffering: false, ..Default::default() });
+        let t_with = with.batch_latency(&path, NodeId(1), 4096, 32);
+        let t_without = without.batch_latency(&path, NodeId(1), 4096, 32);
+        let saved = t_without - t_with;
+        // 31 extra completions + posts avoided.
+        assert_eq!(saved, (Time::from_us(2) + Time::from_ns(250)) * 31);
+        assert_eq!(with.transfers(), 32);
+    }
+
+    #[test]
+    fn sustained_bandwidth_close_to_link() {
+        let e = engine();
+        let path = PathModel::direct_pair();
+        let bw = e.sustained_gbps(&path);
+        // 4096/4112 of 5 Gbps ≈ 4.98 Gbps.
+        assert!((4.9..=5.0).contains(&bw), "bw = {bw}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut e = engine();
+        let path = PathModel::direct_pair();
+        e.transfer_latency(&path, NodeId(1), 1000);
+        e.batch_latency(&path, NodeId(1), 500, 4);
+        assert_eq!(e.transfers(), 5);
+        assert_eq!(e.bytes(), 1000 + 4 * 500);
+    }
+}

@@ -1,0 +1,196 @@
+//! Transport-Layer TLB (paper Fig 7).
+//!
+//! "Each channel has its own address window in local memory, and thus
+//! Venice implements a Remote Address Mapping Table (RAMT) and a
+//! Transport-Layer TLB (TLTLB) to facilitate address translation."
+//!
+//! The TLTLB caches recent page-granularity translations so the common
+//! case avoids the full associative RAMT lookup. We model a small
+//! fully-associative LRU cache with a configurable miss penalty.
+
+use venice_sim::Time;
+
+use crate::ramt::{Ramt, RemoteRef};
+
+/// A small LRU translation cache in front of the [`Ramt`].
+///
+/// # Example
+///
+/// ```
+/// use venice_transport::{Ramt, Tltlb};
+/// use venice_fabric::NodeId;
+/// use venice_sim::Time;
+///
+/// let mut ramt = Ramt::new(8);
+/// ramt.map(0x10000, 0x10000, NodeId(1), 0x80000).unwrap();
+/// let mut tlb = Tltlb::new(4, 4096, Time::from_ns(20));
+/// let (r, t1) = tlb.translate(&mut ramt, 0x10040);
+/// assert!(r.is_some());
+/// let (_, t2) = tlb.translate(&mut ramt, 0x10080); // same page: hit
+/// assert!(t2 < t1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tltlb {
+    /// (page tag, node, remote page base), most recently used last.
+    entries: Vec<(u64, RemoteRef)>,
+    capacity: usize,
+    page_size: u64,
+    miss_penalty: Time,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tltlb {
+    /// Creates a TLB with `capacity` entries over `page_size`-byte pages,
+    /// charging `miss_penalty` for each RAMT walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `page_size` is not a power of two.
+    pub fn new(capacity: usize, page_size: u64, miss_penalty: Time) -> Self {
+        assert!(capacity > 0, "TLB needs capacity");
+        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        Tltlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            page_size,
+            miss_penalty,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translation hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Translation misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in [0, 1]; zero when no lookups have occurred.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Translates `addr`, consulting the cache first and walking the RAMT
+    /// on a miss. Returns the translation (if mapped) and the latency the
+    /// lookup contributed (zero-ish on hit, `miss_penalty` on miss).
+    pub fn translate(&mut self, ramt: &mut Ramt, addr: u64) -> (Option<RemoteRef>, Time) {
+        let page = addr & !(self.page_size - 1);
+        if let Some(pos) = self.entries.iter().position(|(tag, _)| *tag == page) {
+            let (tag, base) = self.entries.remove(pos);
+            self.entries.push((tag, base)); // move to MRU
+            self.hits += 1;
+            let offset = addr - page;
+            return (
+                Some(RemoteRef {
+                    node: base.node,
+                    addr: base.addr + offset,
+                }),
+                Time::ZERO,
+            );
+        }
+        self.misses += 1;
+        match ramt.translate(page) {
+            Some(base) => {
+                if self.entries.len() == self.capacity {
+                    self.entries.remove(0); // evict LRU
+                }
+                self.entries.push((page, base));
+                let offset = addr - page;
+                (
+                    Some(RemoteRef {
+                        node: base.node,
+                        addr: base.addr + offset,
+                    }),
+                    self.miss_penalty,
+                )
+            }
+            None => (None, self.miss_penalty),
+        }
+    }
+
+    /// Drops all cached translations (required after any RAMT unmap, as in
+    /// the stop-sharing cleanup).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venice_fabric::NodeId;
+
+    fn setup() -> (Ramt, Tltlb) {
+        let mut ramt = Ramt::new(8);
+        ramt.map(0x100000, 0x100000, NodeId(1), 0x800000).unwrap();
+        let tlb = Tltlb::new(2, 4096, Time::from_ns(25));
+        (ramt, tlb)
+    }
+
+    #[test]
+    fn hit_after_miss_on_same_page() {
+        let (mut ramt, mut tlb) = setup();
+        let (r1, t1) = tlb.translate(&mut ramt, 0x100010);
+        let (r2, t2) = tlb.translate(&mut ramt, 0x100800);
+        assert_eq!(r1.unwrap().addr, 0x800010);
+        assert_eq!(r2.unwrap().addr, 0x800800);
+        assert_eq!(t1, Time::from_ns(25));
+        assert_eq!(t2, Time::ZERO);
+        assert_eq!((tlb.hits(), tlb.misses()), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let (mut ramt, mut tlb) = setup();
+        tlb.translate(&mut ramt, 0x100000); // page A (miss)
+        tlb.translate(&mut ramt, 0x101000); // page B (miss)
+        tlb.translate(&mut ramt, 0x100000); // A again (hit, A becomes MRU)
+        tlb.translate(&mut ramt, 0x102000); // page C (miss, evicts B)
+        let (_, t) = tlb.translate(&mut ramt, 0x100000); // A still cached
+        assert_eq!(t, Time::ZERO);
+        let (_, t) = tlb.translate(&mut ramt, 0x101000); // B was evicted
+        assert_eq!(t, Time::from_ns(25));
+    }
+
+    #[test]
+    fn unmapped_addresses_miss_through() {
+        let (mut ramt, mut tlb) = setup();
+        let (r, t) = tlb.translate(&mut ramt, 0xDEAD_0000);
+        assert!(r.is_none());
+        assert_eq!(t, Time::from_ns(25));
+        // Negative results are not cached.
+        let (r2, t2) = tlb.translate(&mut ramt, 0xDEAD_0000);
+        assert!(r2.is_none());
+        assert_eq!(t2, Time::from_ns(25));
+    }
+
+    #[test]
+    fn flush_forces_rewalk() {
+        let (mut ramt, mut tlb) = setup();
+        tlb.translate(&mut ramt, 0x100000);
+        tlb.flush();
+        let (_, t) = tlb.translate(&mut ramt, 0x100000);
+        assert_eq!(t, Time::from_ns(25));
+    }
+
+    #[test]
+    fn hit_rate_tracks() {
+        let (mut ramt, mut tlb) = setup();
+        assert_eq!(tlb.hit_rate(), 0.0);
+        tlb.translate(&mut ramt, 0x100000);
+        for _ in 0..9 {
+            tlb.translate(&mut ramt, 0x100000);
+        }
+        assert!((tlb.hit_rate() - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the transport layer: address translation, TLB
+//! consistency, and channel state machines.
+
+use proptest::prelude::*;
+use venice_fabric::NodeId;
+use venice_sim::Time;
+use venice_transport::{Ramt, RdmaConfig, RdmaEngine, Tltlb};
+
+/// Non-overlapping power-of-two windows: (base index, log2 size, node).
+fn windows() -> impl Strategy<Value = Vec<(u64, u32, u16)>> {
+    prop::collection::vec((0u64..16, 12u32..20, 0u16..8), 1..8).prop_map(|raw| {
+        // Space windows 1 MB apart at aligned bases so they never overlap.
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (_, log2, node))| ((i as u64) << 30, log2, node))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Every address inside a mapped window translates to
+    /// `remote_base + offset`; addresses outside all windows miss.
+    #[test]
+    fn ramt_translation_round_trips(ws in windows(), probe in 0u64..(1 << 20)) {
+        let mut ramt = Ramt::new(16);
+        let mut expected = Vec::new();
+        for &(base, log2, node) in &ws {
+            let size = 1u64 << log2;
+            let remote = 0xC000_0000 + base / 2;
+            ramt.map(base, size, NodeId(node), remote).unwrap();
+            expected.push((base, size, node, remote));
+        }
+        for &(base, size, node, remote) in &expected {
+            let offset = probe % size;
+            let r = ramt.translate(base + offset).unwrap();
+            prop_assert_eq!(r.node, NodeId(node));
+            prop_assert_eq!(r.addr, remote + offset);
+        }
+        // An address far outside every window misses.
+        prop_assert!(ramt.translate(1 << 50).is_none());
+    }
+
+    /// The TLTLB never changes the translation result — it only changes
+    /// the latency.
+    #[test]
+    fn tltlb_agrees_with_ramt(
+        ws in windows(),
+        probes in prop::collection::vec((0usize..8, 0u64..(1 << 18)), 1..64),
+    ) {
+        let mut ramt = Ramt::new(16);
+        for &(base, log2, node) in &ws {
+            ramt.map(base, 1u64 << log2, NodeId(node), 0xF000_0000 + base).unwrap();
+        }
+        let mut tlb = Tltlb::new(4, 4096, Time::from_ns(30));
+        for (wi, off) in probes {
+            let (base, log2, _) = ws[wi % ws.len()];
+            let addr = base + off % (1u64 << log2);
+            let direct = ramt.clone().translate(addr);
+            let (via_tlb, _) = tlb.translate(&mut ramt, addr);
+            prop_assert_eq!(direct, via_tlb);
+        }
+    }
+
+    /// Unmapping makes every address of the window untranslatable again.
+    #[test]
+    fn ramt_unmap_is_complete(log2 in 12u32..24, probe in 0u64..(1 << 24)) {
+        let size = 1u64 << log2;
+        let mut ramt = Ramt::new(4);
+        let id = ramt.map(0, size, NodeId(1), 0x8000_0000).unwrap();
+        prop_assert!(ramt.translate(probe % size).is_some());
+        ramt.unmap(id).unwrap();
+        prop_assert!(ramt.translate(probe % size).is_none());
+    }
+
+    /// The RDMA descriptor ring retires in FIFO order and conserves
+    /// byte counts.
+    #[test]
+    fn rdma_ring_fifo_and_conservation(sizes in prop::collection::vec(1u64..100_000, 1..64)) {
+        let mut e = RdmaEngine::new(NodeId(0), RdmaConfig { ring_entries: 64, ..Default::default() });
+        for &s in &sizes {
+            e.post(NodeId(1), s).unwrap();
+        }
+        let mut total = 0;
+        for &s in &sizes {
+            let d = e.retire().unwrap();
+            prop_assert_eq!(d.bytes, s);
+            total += s;
+        }
+        prop_assert_eq!(e.bytes(), total);
+        prop_assert!(e.retire().is_none());
+    }
+
+    /// Chunk math: chunks cover the transfer exactly, never exceeding
+    /// chunk size.
+    #[test]
+    fn rdma_chunks_cover_transfer(bytes in 1u64..(1 << 24)) {
+        let e = RdmaEngine::new(NodeId(0), RdmaConfig::default());
+        let chunks = e.chunks(bytes);
+        let chunk = e.config().chunk_bytes;
+        prop_assert!(chunks * chunk >= bytes);
+        prop_assert!((chunks - 1) * chunk < bytes);
+    }
+}

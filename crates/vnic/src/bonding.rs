@@ -1,0 +1,124 @@
+//! NIC bonding and the Fig 16b utilization metric.
+//!
+//! "The Linux network bonding mechanism combines the local and emulated
+//! NICs on Node 0 to create a single, virtual network interface." Iperf
+//! traffic then spreads across all slaves; Fig 16b reports how much of the
+//! aggregate line capacity the bond achieves — ~40 % for 4 B packets with
+//! three remote NICs, rising to ~85 % for 256 B packets.
+
+use venice_fabric::NodeId;
+use venice_transport::PathModel;
+
+use crate::nic::Nic;
+use crate::path::VnicPath;
+
+/// A bonded interface: one local NIC plus any number of remote VNICs.
+#[derive(Debug)]
+pub struct BondedInterface {
+    /// The local physical NIC.
+    pub local: Nic,
+    /// Remote NIC paths.
+    pub remotes: Vec<VnicPath>,
+}
+
+impl BondedInterface {
+    /// The Fig 16b setup: a gigabit local NIC on node 0 plus `remote`
+    /// gigabit NICs on distinct directly-reachable donors.
+    pub fn fig16b(remote: u16) -> Self {
+        let remotes = (0..remote)
+            .map(|i| {
+                VnicPath::prototype(NodeId(0), NodeId(i + 1), PathModel::prototype_mesh())
+            })
+            .collect();
+        BondedInterface {
+            local: Nic::gigabit(),
+            remotes,
+        }
+    }
+
+    /// Number of slave interfaces (local + remote).
+    pub fn slaves(&self) -> usize {
+        1 + self.remotes.len()
+    }
+
+    /// Aggregate sustained packet rate at `payload` bytes (round-robin
+    /// bonding keeps all slaves busy; each contributes its own rate).
+    pub fn pps(&self, payload: u64) -> f64 {
+        self.local.pps(payload) + self.remotes.iter().map(|r| r.pps(payload)).sum::<f64>()
+    }
+
+    /// Aggregate goodput in Gbps.
+    pub fn goodput_gbps(&self, payload: u64) -> f64 {
+        self.pps(payload) * payload as f64 * 8.0 / 1e9
+    }
+
+    /// Fig 16b's metric: achieved packet throughput relative to every
+    /// slave running at line rate for this payload size.
+    pub fn utilization(&self, payload: u64) -> f64 {
+        let ideal: f64 = self.local.line_pps(payload)
+            + self
+                .remotes
+                .iter()
+                .map(|r| r.nic.line_pps(payload))
+                .sum::<f64>();
+        self.pps(payload) / ideal
+    }
+
+    /// Throughput normalized to the local NIC alone (the figure's
+    /// "performance normalized to using a local NIC" axis).
+    pub fn speedup_over_local(&self, payload: u64) -> f64 {
+        self.pps(payload) / self.local.pps(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig16b_shape_tiny_packets() {
+        // LN+3RN with 4 B packets: ~40% utilization in the paper.
+        let bond = BondedInterface::fig16b(3);
+        let u = bond.utilization(4);
+        assert!((0.30..0.55).contains(&u), "util = {u:.3}");
+    }
+
+    #[test]
+    fn fig16b_shape_normal_packets() {
+        // LN+3RN with 256 B packets: ~85% utilization in the paper.
+        let bond = BondedInterface::fig16b(3);
+        let u = bond.utilization(256);
+        assert!((0.75..0.95).contains(&u), "util = {u:.3}");
+    }
+
+    #[test]
+    fn utilization_improves_with_packet_size() {
+        let bond = BondedInterface::fig16b(3);
+        assert!(bond.utilization(4) < bond.utilization(64));
+        assert!(bond.utilization(64) < bond.utilization(256));
+    }
+
+    #[test]
+    fn more_remote_nics_add_bandwidth() {
+        let one = BondedInterface::fig16b(1);
+        let three = BondedInterface::fig16b(3);
+        assert!(three.goodput_gbps(256) > one.goodput_gbps(256));
+        assert_eq!(three.slaves(), 4);
+    }
+
+    #[test]
+    fn speedup_bounded_by_slave_count() {
+        for n in 1..=3u16 {
+            let bond = BondedInterface::fig16b(n);
+            let s = bond.speedup_over_local(256);
+            assert!(s > 1.0 && s <= (n + 1) as f64 + 1e-9, "n={n} s={s}");
+        }
+    }
+
+    #[test]
+    fn local_only_bond_is_the_local_nic() {
+        let bond = BondedInterface::fig16b(0);
+        assert_eq!(bond.slaves(), 1);
+        assert!((bond.speedup_over_local(128) - 1.0).abs() < 1e-12);
+    }
+}

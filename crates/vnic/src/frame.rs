@@ -1,0 +1,64 @@
+//! Ethernet frame wire-size accounting.
+//!
+//! Fig 16b's iperf experiment sweeps payload sizes from 4 B to 256 B; at
+//! those sizes Ethernet's fixed costs (header, FCS, minimum frame size,
+//! preamble + inter-packet gap) dominate the wire, which is what makes
+//! tiny packets so unforgiving.
+
+/// Ethernet header (dst, src, ethertype) bytes.
+pub const HEADER_BYTES: u64 = 14;
+/// Frame check sequence bytes.
+pub const FCS_BYTES: u64 = 4;
+/// Minimum frame size (header + payload + FCS).
+pub const MIN_FRAME_BYTES: u64 = 64;
+/// Preamble + start delimiter + inter-packet gap overhead on the wire.
+pub const PREAMBLE_IPG_BYTES: u64 = 20;
+
+/// Bytes a `payload`-byte packet occupies on the physical medium,
+/// including padding to the minimum frame and the preamble/IPG.
+///
+/// # Example
+///
+/// ```
+/// use venice_vnic::wire_bytes;
+/// assert_eq!(wire_bytes(4), 84); // padded to 64 + 20
+/// assert_eq!(wire_bytes(256), 256 + 14 + 4 + 20);
+/// ```
+pub fn wire_bytes(payload: u64) -> u64 {
+    let frame = (payload + HEADER_BYTES + FCS_BYTES).max(MIN_FRAME_BYTES);
+    frame + PREAMBLE_IPG_BYTES
+}
+
+/// Fraction of the wire carrying useful payload at a given packet size.
+pub fn payload_efficiency(payload: u64) -> f64 {
+    payload as f64 / wire_bytes(payload) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_payloads_pad_to_min_frame() {
+        assert_eq!(wire_bytes(1), 84);
+        assert_eq!(wire_bytes(46), 84);
+        assert_eq!(wire_bytes(47), 85);
+    }
+
+    #[test]
+    fn efficiency_grows_with_size() {
+        assert!(payload_efficiency(4) < 0.05);
+        assert!(payload_efficiency(256) > 0.85);
+        assert!(payload_efficiency(1500) > 0.97);
+    }
+
+    #[test]
+    fn monotone_wire_size() {
+        let mut prev = 0;
+        for p in 1..2000 {
+            let w = wire_bytes(p);
+            assert!(w >= prev);
+            prev = w;
+        }
+    }
+}

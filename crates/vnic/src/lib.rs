@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Remote NIC sharing: IP-over-QPair virtual NICs (paper §5.2.3).
+//!
+//! "Venice supports dynamically leveraging remote NICs to increase network
+//! bandwidth for network-bound applications." A front-end driver on the
+//! borrowing node presents a NIC interface; a back-end driver on the donor
+//! forwards packets through a software bridge to the real NIC; one
+//! hardware QPair carries each IP-over-QPair connection; Linux bonding
+//! fuses local and emulated NICs into one virtual interface (Fig 12).
+//!
+//! * [`frame`] — Ethernet frame wire-size accounting;
+//! * [`nic`] — a physical NIC model (line rate + driver cost);
+//! * [`path`] — the front-end → QPair → back-end → bridge → NIC pipeline;
+//! * [`bonding`] — the bonded interface and the Fig 16b utilization
+//!   metric.
+
+pub mod bonding;
+pub mod frame;
+pub mod nic;
+pub mod path;
+
+pub use bonding::BondedInterface;
+pub use frame::wire_bytes;
+pub use nic::Nic;
+pub use path::VnicPath;

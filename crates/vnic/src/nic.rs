@@ -1,0 +1,79 @@
+//! Physical NIC model.
+//!
+//! A NIC forwards packets at the lower of its line rate and its driver's
+//! per-packet processing rate. The prototype's nodes carry gigabit
+//! Ethernet NICs.
+
+use venice_sim::Time;
+
+use crate::frame::wire_bytes;
+
+/// A physical NIC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nic {
+    /// Line rate in Gbps.
+    pub gbps: f64,
+    /// Host driver + DMA cost per packet (one pipeline stage).
+    pub driver_per_packet: Time,
+}
+
+impl Nic {
+    /// Gigabit Ethernet with a lean driver.
+    pub fn gigabit() -> Self {
+        Nic {
+            gbps: 1.0,
+            driver_per_packet: Time::from_ns(300),
+        }
+    }
+
+    /// Time one packet of `payload` bytes occupies the wire.
+    pub fn wire_time(&self, payload: u64) -> Time {
+        Time::serialize_bytes(wire_bytes(payload), self.gbps)
+    }
+
+    /// Packets per second the NIC sustains at this payload size: the
+    /// slower of wire rate and driver rate.
+    pub fn pps(&self, payload: u64) -> f64 {
+        let bottleneck = self.wire_time(payload).max(self.driver_per_packet);
+        1.0 / bottleneck.as_secs_f64()
+    }
+
+    /// Goodput in Gbps at this payload size.
+    pub fn goodput_gbps(&self, payload: u64) -> f64 {
+        self.pps(payload) * payload as f64 * 8.0 / 1e9
+    }
+
+    /// Line-rate packet capacity (wire-limited pps, ignoring the driver):
+    /// the denominator of Fig 16b's utilization metric.
+    pub fn line_pps(&self, payload: u64) -> f64 {
+        1.0 / self.wire_time(payload).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabit_line_rate_for_big_packets() {
+        let n = Nic::gigabit();
+        // 1500 B payload: goodput close to 1 Gbps x efficiency.
+        let g = n.goodput_gbps(1500);
+        assert!((0.9..1.0).contains(&g), "goodput = {g}");
+    }
+
+    #[test]
+    fn tiny_packets_are_wire_limited_with_lean_driver() {
+        let n = Nic::gigabit();
+        // 4 B payload: 84 wire bytes = 672 ns > 300 ns driver.
+        assert_eq!(n.wire_time(4), Time::from_ns(672));
+        let pps = n.pps(4);
+        assert!((pps - 1.0 / 672e-9).abs() / pps < 1e-9);
+    }
+
+    #[test]
+    fn slow_driver_caps_pps() {
+        let n = Nic { gbps: 10.0, driver_per_packet: Time::from_us(1) };
+        assert!((n.pps(64) - 1e6).abs() < 1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! The remote-NIC pipeline (paper Fig 12).
+//!
+//! Front-end driver (borrower) → hardware QPair across the fabric →
+//! back-end driver → software bridge (VBridge) → real NIC driver → wire.
+//! Throughput is pipelined: sustained packet rate is set by the slowest
+//! *stage*, while one-packet latency is the sum of all stages.
+
+use venice_sim::Time;
+use venice_transport::{PathModel, QpairConfig, QueuePair};
+use venice_fabric::NodeId;
+
+use crate::frame::wire_bytes;
+use crate::nic::Nic;
+
+/// One emulated (IP-over-QPair) NIC path to a donor's physical NIC.
+#[derive(Debug)]
+pub struct VnicPath {
+    /// Borrowing node.
+    pub client: NodeId,
+    /// Donor node owning the physical NIC.
+    pub donor: NodeId,
+    /// Fabric path between them.
+    pub path: PathModel,
+    /// The QPair carrying this connection.
+    pub qpair: QueuePair,
+    /// Front-end driver cost per packet (borrower CPU).
+    pub frontend_cost: Time,
+    /// Back-end driver + VBridge + real-NIC driver cost per packet
+    /// (donor CPU) — the usual bottleneck stage.
+    pub backend_cost: Time,
+    /// The donor's physical NIC.
+    pub nic: Nic,
+}
+
+impl VnicPath {
+    /// A prototype-parameter path from `client` to a gigabit NIC on
+    /// `donor`.
+    pub fn prototype(client: NodeId, donor: NodeId, path: PathModel) -> Self {
+        VnicPath {
+            client,
+            donor,
+            qpair: QueuePair::new(client, donor, QpairConfig::on_chip()),
+            path,
+            // Linux net_device xmit path on the borrower.
+            frontend_cost: Time::from_ns(500),
+            // Back-end receive + bridge forwarding + NIC driver on the
+            // donor: several microseconds of kernel work per packet.
+            backend_cost: Time::from_ns(2_950),
+            nic: Nic::gigabit(),
+        }
+    }
+
+    /// Per-packet QPair stage cost on the borrower (posting + hardware).
+    fn qpair_stage(&self) -> Time {
+        self.qpair.config().post_overhead + self.qpair.config().hw_overhead
+    }
+
+    /// The slowest pipeline stage for `payload`-byte packets; its
+    /// reciprocal is the sustained packet rate.
+    pub fn bottleneck_stage(&self, payload: u64) -> Time {
+        let fabric_serialize = self.path.link.serialize(wire_bytes(payload) + 16);
+        let stages = [
+            self.frontend_cost + self.qpair_stage(),
+            fabric_serialize,
+            self.backend_cost,
+            self.nic.wire_time(payload).max(self.nic.driver_per_packet),
+        ];
+        stages.into_iter().max().expect("non-empty stage list")
+    }
+
+    /// Sustained packets per second through this VNIC.
+    pub fn pps(&self, payload: u64) -> f64 {
+        1.0 / self.bottleneck_stage(payload).as_secs_f64()
+    }
+
+    /// Goodput in Gbps at this payload size.
+    pub fn goodput_gbps(&self, payload: u64) -> f64 {
+        self.pps(payload) * payload as f64 * 8.0 / 1e9
+    }
+
+    /// One-packet end-to-end latency: every stage in sequence plus the
+    /// fabric flight time.
+    pub fn packet_latency(&mut self, payload: u64) -> Time {
+        let msg = self
+            .qpair
+            .message_latency(&self.path, wire_bytes(payload))
+            .expect("ethernet frames fit any qpair buffer");
+        self.frontend_cost + msg + self.backend_cost + self.nic.wire_time(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vp() -> VnicPath {
+        VnicPath::prototype(NodeId(0), NodeId(1), PathModel::direct_pair())
+    }
+
+    #[test]
+    fn backend_is_bottleneck_for_tiny_packets() {
+        let v = vp();
+        assert_eq!(v.bottleneck_stage(4), v.backend_cost);
+    }
+
+    #[test]
+    fn nic_wire_becomes_bottleneck_for_large_packets() {
+        let v = vp();
+        // 1500 B at 1 Gbps = 12.3 us wire time > 2.5 us backend.
+        assert_eq!(v.bottleneck_stage(1500), v.nic.wire_time(1500));
+    }
+
+    #[test]
+    fn remote_nic_slower_than_local_for_small_packets() {
+        let v = vp();
+        let local = Nic::gigabit();
+        // Fig 16b: tiny packets lose badly through the VNIC pipeline.
+        let ratio = v.pps(4) / local.pps(4);
+        assert!((0.15..0.5).contains(&ratio), "ratio = {ratio}");
+        // 256 B packets recover most of the line.
+        let ratio = v.pps(256) / local.pps(256);
+        assert!(ratio > 0.7, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn latency_exceeds_stage_sum_floor() {
+        let mut v = vp();
+        let lat = v.packet_latency(256);
+        assert!(lat > v.frontend_cost + v.backend_cost);
+        assert!(lat > Time::from_us(3));
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests for NIC sharing: wire accounting, pipeline bounds, and
+//! bonding arithmetic.
+
+use proptest::prelude::*;
+use venice_fabric::NodeId;
+use venice_transport::PathModel;
+use venice_vnic::{frame, BondedInterface, Nic, VnicPath};
+
+proptest! {
+    /// Wire bytes are monotone in payload, at least the minimum frame,
+    /// and payload efficiency stays within (0, 1).
+    #[test]
+    fn frame_accounting(payload in 1u64..9000) {
+        let w = frame::wire_bytes(payload);
+        prop_assert!(w >= frame::MIN_FRAME_BYTES + frame::PREAMBLE_IPG_BYTES);
+        prop_assert!(w >= payload);
+        prop_assert!(frame::wire_bytes(payload + 1) >= w);
+        let e = frame::payload_efficiency(payload);
+        prop_assert!(e > 0.0 && e < 1.0);
+    }
+
+    /// A VNIC never beats the underlying physical NIC at any packet
+    /// size, and its one-packet latency exceeds its bottleneck stage.
+    #[test]
+    fn vnic_bounded_by_physical_nic(payload in 1u64..2000) {
+        let mut v = VnicPath::prototype(NodeId(0), NodeId(1), PathModel::prototype_mesh());
+        let local = Nic::gigabit();
+        prop_assert!(v.pps(payload) <= local.pps(payload) + 1e-6);
+        prop_assert!(v.packet_latency(payload) > v.bottleneck_stage(payload));
+    }
+
+    /// Bond goodput equals the sum of its slaves' goodputs, utilization
+    /// is in (0, 1], and speedup is bounded by the slave count.
+    #[test]
+    fn bonding_arithmetic(remote in 0u16..4, payload in 1u64..2000) {
+        let bond = BondedInterface::fig16b(remote);
+        let sum: f64 = bond.local.goodput_gbps(payload)
+            + bond.remotes.iter().map(|r| r.goodput_gbps(payload)).sum::<f64>();
+        let got = bond.goodput_gbps(payload);
+        prop_assert!((got - sum).abs() / sum < 1e-9);
+        let u = bond.utilization(payload);
+        prop_assert!(u > 0.0 && u <= 1.0 + 1e-9, "u = {u}");
+        let s = bond.speedup_over_local(payload);
+        prop_assert!(s >= 1.0 - 1e-9 && s <= (remote as f64 + 1.0) + 1e-9);
+    }
+
+    /// Utilization is monotone nondecreasing in payload size up to the
+    /// MTU (bigger packets amortize the per-packet software stages).
+    #[test]
+    fn utilization_monotone_in_packet_size(remote in 1u16..4) {
+        let bond = BondedInterface::fig16b(remote);
+        let sizes = [4u64, 16, 64, 256, 1024, 1500];
+        let mut prev = 0.0;
+        for &s in &sizes {
+            let u = bond.utilization(s);
+            prop_assert!(u >= prev - 1e-9, "size {s}: {u} < {prev}");
+            prev = u;
+        }
+    }
+}

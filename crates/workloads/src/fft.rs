@@ -1,0 +1,152 @@
+//! SPLASH2-style FFT datasets (Table 1: 512 MB input; Fig 16a also uses
+//! 8 MB).
+//!
+//! The accelerator experiments offload FFT tasks; this module provides the
+//! dataset descriptors, the task decomposition the dispatcher consumes,
+//! and a reference radix-2 kernel used to validate the accelerator's
+//! cost-model inputs (points, passes).
+
+/// An FFT offload dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FftDataset {
+    /// Total input size in bytes (complex singles: 8 B per point).
+    pub bytes: u64,
+    /// Task granularity for dispatch.
+    pub task_bytes: u64,
+}
+
+impl FftDataset {
+    /// Fig 16a's small dataset.
+    pub fn small() -> Self {
+        FftDataset { bytes: 8 << 20, task_bytes: 1 << 20 }
+    }
+
+    /// Fig 16a's large dataset (the SPLASH2 512 MB input of Table 1).
+    pub fn large() -> Self {
+        FftDataset { bytes: 512 << 20, task_bytes: 8 << 20 }
+    }
+
+    /// Number of complex points.
+    pub fn points(&self) -> u64 {
+        self.bytes / 8
+    }
+
+    /// Number of dispatch tasks.
+    pub fn tasks(&self) -> u64 {
+        self.bytes.div_ceil(self.task_bytes)
+    }
+
+    /// Butterfly passes for a power-of-two transform of this size.
+    pub fn passes(&self) -> u32 {
+        let p = self.points().max(2);
+        64 - (p - 1).leading_zeros()
+    }
+}
+
+/// Reference in-place radix-2 FFT over `(re, im)` pairs.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_radix2(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im length mismatch");
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr, vi) = (
+                    re[i + k + len / 2] * cr - im[i + k + len / 2] * ci,
+                    re[i + k + len / 2] * ci + im[i + k + len / 2] * cr,
+                );
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_decomposition() {
+        let d = FftDataset::large();
+        assert_eq!(d.points(), 64 << 20);
+        assert_eq!(d.tasks(), 64);
+        assert_eq!(d.passes(), 26);
+        let s = FftDataset::small();
+        assert_eq!(s.tasks(), 8);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut re = vec![0.0; 8];
+        let mut im = vec![0.0; 8];
+        re[0] = 1.0;
+        fft_radix2(&mut re, &mut im);
+        for k in 0..8 {
+            assert!((re[k] - 1.0).abs() < 1e-12);
+            assert!(im[k].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut re = vec![1.0; 16];
+        let mut im = vec![0.0; 16];
+        fft_radix2(&mut re, &mut im);
+        assert!((re[0] - 16.0).abs() < 1e-9);
+        for k in 1..16 {
+            assert!(re[k].abs() < 1e-9 && im[k].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 64;
+        let mut re: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let mut im = vec![0.0; n];
+        let time_energy: f64 = re.iter().map(|x| x * x).sum();
+        fft_radix2(&mut re, &mut im);
+        let freq_energy: f64 =
+            re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        let mut re = vec![0.0; 6];
+        let mut im = vec![0.0; 6];
+        fft_radix2(&mut re, &mut im);
+    }
+}

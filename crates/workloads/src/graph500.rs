@@ -1,0 +1,167 @@
+//! Graph500 BFS (Table 1: R-MAT scale 22, edge factor 14).
+//!
+//! Breadth-first search over an R-MAT graph: frontier-driven random
+//! access with moderate memory-level parallelism (many frontier vertices
+//! can be expanded concurrently) and some community locality.
+
+use venice_sim::Time;
+
+use crate::profile::{MemoryProfile, Pattern};
+use crate::rmat::{Csr, RmatGenerator};
+
+/// The Graph500 benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct Graph500 {
+    /// R-MAT scale (log2 vertices). The paper uses 22.
+    pub scale: u32,
+    /// Edge factor. The paper uses 14.
+    pub edge_factor: u32,
+    /// Per-edge CPU work during BFS expansion.
+    pub edge_cpu: Time,
+}
+
+impl Graph500 {
+    /// The paper's configuration (scale 22 → 4 M vertices, 58.7 M edges).
+    pub fn table1() -> Self {
+        Graph500 { scale: 22, edge_factor: 14, edge_cpu: Time::from_us(1) + Time::from_ns(500) }
+    }
+
+    /// A scaled-down instance for fast runs.
+    pub fn scaled(scale: u32) -> Self {
+        Graph500 { scale, ..Self::table1() }
+    }
+
+    /// Generator matching this configuration.
+    pub fn generator(&self) -> RmatGenerator {
+        RmatGenerator::graph500(self.scale, self.edge_factor)
+    }
+
+    /// CSR footprint of the full-scale graph in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        let v = 1u64 << self.scale;
+        let e = v * self.edge_factor as u64;
+        4 * (v + 1 + 2 * e)
+    }
+
+    /// Real BFS kernel: returns (parent array, visited count, levels).
+    pub fn bfs(&self, graph: &Csr, root: u32) -> (Vec<i64>, u64, u32) {
+        let n = graph.vertices() as usize;
+        assert!((root as usize) < n, "root out of range");
+        let mut parent = vec![-1i64; n];
+        parent[root as usize] = root as i64;
+        let mut frontier = vec![root];
+        let mut visited = 1u64;
+        let mut levels = 0;
+        while !frontier.is_empty() {
+            levels += 1;
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &u in graph.neighbors_of(v) {
+                    if parent[u as usize] < 0 {
+                        parent[u as usize] = v as i64;
+                        visited += 1;
+                        next.push(u);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        (parent, visited, levels)
+    }
+
+    /// Validates a BFS parent array: every visited non-root vertex's
+    /// parent must be visited and adjacent to it.
+    pub fn validate(&self, graph: &Csr, root: u32, parent: &[i64]) -> bool {
+        parent.iter().enumerate().all(|(v, &p)| {
+            if p < 0 {
+                return true; // unreached
+            }
+            if v as u32 == root {
+                return p == root as i64;
+            }
+            let p = p as u32;
+            parent[p as usize] >= 0 && graph.neighbors_of(p).contains(&(v as u32))
+        })
+    }
+
+    /// Memory profile per edge expansion: one random access into the
+    /// visited/parent arrays; frontier parallelism provides MLP ~8.
+    pub fn profile(&self) -> MemoryProfile {
+        MemoryProfile {
+            name: "Graph500",
+            compute: self.edge_cpu,
+            misses_per_op: 1.0,
+            overlap: 8.0,
+            pattern: Pattern::Frontier,
+            footprint_bytes: self.footprint_bytes(),
+            // Community locality: a new page every ~100 edges.
+            pages_per_op: 0.01,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venice_sim::SimRng;
+
+    fn graph(scale: u32) -> Csr {
+        let g = Graph500::scaled(scale);
+        let edges = g.generator().edges(&mut SimRng::seed(22));
+        Csr::from_edges(1 << scale, &edges)
+    }
+
+    #[test]
+    fn bfs_visits_connected_vertices_and_validates() {
+        let g = Graph500::scaled(9);
+        let csr = graph(9);
+        let (parent, visited, levels) = g.bfs(&csr, 0);
+        assert!(visited > 1);
+        assert!(levels >= 2);
+        assert!(g.validate(&csr, 0, &parent));
+    }
+
+    #[test]
+    fn bfs_on_disconnected_vertex_is_singleton() {
+        // Construct a trivially disconnected graph.
+        let csr = Csr::from_edges(4, &[(0, 1)]);
+        let g = Graph500::scaled(2);
+        let (_, visited, levels) = g.bfs(&csr, 3);
+        assert_eq!(visited, 1);
+        assert_eq!(levels, 1);
+    }
+
+    #[test]
+    fn validation_rejects_corrupt_parent() {
+        let g = Graph500::scaled(9);
+        let csr = graph(9);
+        let (mut parent, _, _) = g.bfs(&csr, 0);
+        // Claim vertex 5's parent is a non-adjacent unreachable vertex.
+        let victim = (0..csr.vertices())
+            .find(|&v| parent[v as usize] >= 0 && v != 0)
+            .unwrap();
+        parent[victim as usize] = victim as i64 + 1_000_000;
+        // Out-of-range parents would panic on index; use a wrong-but-valid
+        // parent instead: a vertex that is not adjacent.
+        let non_adj = (0..csr.vertices())
+            .find(|&u| !csr.neighbors_of(u).contains(&victim) && u != victim)
+            .unwrap();
+        parent[victim as usize] = non_adj as i64;
+        assert!(!g.validate(&csr, 0, &parent));
+    }
+
+    #[test]
+    fn table1_footprint_near_half_gb() {
+        let g = Graph500::table1();
+        let gb = g.footprint_bytes() as f64 / (1u64 << 30) as f64;
+        // 4M vertices, 58.7M edges: 4*(4M + 117M) ≈ 0.45 GB.
+        assert!((0.4..0.5).contains(&gb), "gb = {gb}");
+    }
+
+    #[test]
+    fn frontier_profile_has_mlp() {
+        let p = Graph500::table1().profile();
+        assert!(p.overlap > 1.0);
+        assert_eq!(p.pattern, Pattern::Frontier);
+    }
+}

@@ -1,0 +1,108 @@
+//! Hadoop Grep (Table 1: 9.7 GB dataset) — a pure streaming scan.
+//!
+//! Grep touches every page exactly once, so with constrained local memory
+//! its cost is dominated by how fast pages can be brought in: sequential
+//! readahead makes both disk swap and RDMA swap tolerable, while CRMA
+//! serves the same stream line by line.
+
+use venice_sim::Time;
+
+use crate::profile::{MemoryProfile, Pattern};
+
+/// The streaming-scan workload. One "operation" is scanning one 4 KB
+/// page.
+#[derive(Debug, Clone)]
+pub struct GrepWorkload {
+    /// Dataset size.
+    pub dataset_bytes: u64,
+    /// Scan rate of the matcher on the prototype core (MB/s).
+    pub scan_mb_per_s: f64,
+}
+
+impl GrepWorkload {
+    /// Table 1's 9.7 GB Hadoop Grep dataset, scanning at ~150 MB/s on the
+    /// 667 MHz A9.
+    pub fn table1() -> Self {
+        GrepWorkload {
+            dataset_bytes: (97 << 30) / 10,
+            scan_mb_per_s: 150.0,
+        }
+    }
+
+    /// A scaled-down dataset for unit-test-speed runs.
+    pub fn scaled(dataset_bytes: u64) -> Self {
+        GrepWorkload {
+            dataset_bytes,
+            ..Self::table1()
+        }
+    }
+
+    /// Pages in the dataset (= operations in a full scan).
+    pub fn pages(&self) -> u64 {
+        self.dataset_bytes.div_ceil(4096)
+    }
+
+    /// CPU time to scan one page.
+    pub fn page_scan_time(&self) -> Time {
+        Time::from_secs_f64(4096.0 / (self.scan_mb_per_s * 1e6))
+    }
+
+    /// Reference kernel: counts matches of `needle` in `haystack`
+    /// (naive scan; used to keep the model honest about per-byte work).
+    pub fn count_matches(haystack: &[u8], needle: &[u8]) -> usize {
+        if needle.is_empty() || haystack.len() < needle.len() {
+            return 0;
+        }
+        haystack.windows(needle.len()).filter(|w| w == &needle).count()
+    }
+
+    /// Memory profile per page scanned: 64 line fills, fully
+    /// prefetchable.
+    pub fn profile(&self) -> MemoryProfile {
+        MemoryProfile {
+            name: "Grep",
+            compute: self.page_scan_time(),
+            misses_per_op: 64.0,
+            overlap: 1.0,
+            pattern: Pattern::Sequential,
+            footprint_bytes: self.dataset_bytes,
+            pages_per_op: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_counting_is_correct() {
+        assert_eq!(GrepWorkload::count_matches(b"abcabcab", b"abc"), 2);
+        assert_eq!(GrepWorkload::count_matches(b"aaaa", b"aa"), 3);
+        assert_eq!(GrepWorkload::count_matches(b"abc", b""), 0);
+        assert_eq!(GrepWorkload::count_matches(b"ab", b"abc"), 0);
+    }
+
+    #[test]
+    fn table1_dataset_size() {
+        let g = GrepWorkload::table1();
+        let gb = g.dataset_bytes as f64 / (1u64 << 30) as f64;
+        assert!((9.6..9.8).contains(&gb));
+        assert_eq!(g.pages(), g.dataset_bytes.div_ceil(4096));
+    }
+
+    #[test]
+    fn page_scan_time_matches_rate() {
+        let g = GrepWorkload::table1();
+        // 4 KB at 150 MB/s = 27.3 us.
+        let t = g.page_scan_time();
+        assert!((27.0..28.0).contains(&t.as_us_f64()), "t = {t}");
+    }
+
+    #[test]
+    fn every_page_touched_once() {
+        let p = GrepWorkload::scaled(1 << 20).profile();
+        assert_eq!(p.pages_per_op, 1.0);
+        assert_eq!(p.pattern, Pattern::Sequential);
+    }
+}

@@ -1,0 +1,76 @@
+//! Iperf-style packet streams (Table 1: 4–256 B packets).
+//!
+//! Used by the remote-NIC study (Fig 16b) and the channel-comparison and
+//! flow-control experiments (Figs 17/18): a fixed-size message stream
+//! whose goodput the harness measures against different transports.
+
+/// A fixed-size packet stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IperfStream {
+    /// Payload bytes per packet.
+    pub packet_bytes: u64,
+    /// Number of packets.
+    pub packets: u64,
+}
+
+impl IperfStream {
+    /// Creates a stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(packet_bytes: u64, packets: u64) -> Self {
+        assert!(packet_bytes > 0 && packets > 0, "stream must be non-empty");
+        IperfStream { packet_bytes, packets }
+    }
+
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.packet_bytes * self.packets
+    }
+
+    /// The packet sizes Fig 16b reports (tiny and "normal").
+    pub const FIG16B_SIZES: [u64; 2] = [4, 256];
+
+    /// The full sweep of Table 1 (4 B to 256 B).
+    pub const TABLE1_SIZES: [u64; 7] = [4, 8, 16, 32, 64, 128, 256];
+
+    /// Goodput in Gbps given a measured per-packet service time in
+    /// seconds.
+    pub fn goodput_gbps(&self, per_packet_secs: f64) -> f64 {
+        assert!(per_packet_secs > 0.0, "service time must be positive");
+        self.packet_bytes as f64 * 8.0 / per_packet_secs / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = IperfStream::new(256, 1000);
+        assert_eq!(s.total_bytes(), 256_000);
+    }
+
+    #[test]
+    fn goodput_math() {
+        let s = IperfStream::new(125, 1);
+        // 125 B per microsecond = 1 Gbps.
+        let g = s.goodput_gbps(1e-6);
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_covers_table1_range() {
+        assert_eq!(IperfStream::TABLE1_SIZES.first(), Some(&4));
+        assert_eq!(IperfStream::TABLE1_SIZES.last(), Some(&256));
+        assert!(IperfStream::TABLE1_SIZES.windows(2).all(|w| w[1] == w[0] * 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_packets_rejected() {
+        IperfStream::new(64, 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Redis-style key/value cache in front of a slow database (Figs 13/14).
+//!
+//! The mini-datacenter experiment runs an application server that checks a
+//! Redis cache first and falls through to MySQL on a miss. Execution time
+//! for 10 000 random queries is then almost entirely `miss_rate ×
+//! backend_cost`, which is why Fig 14's curves collapse once enough
+//! (local *or borrowed*) memory is present: "there is very slight
+//! difference, because the time spent on missed queries dominates".
+
+use venice_sim::Time;
+
+/// Where the cache's backing memory lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMemory {
+    /// All cache memory is node-local DRAM.
+    Local,
+    /// Cache values beyond the local floor live in borrowed remote
+    /// memory reached by CRMA at the given per-cacheline latency.
+    RemoteCrma(
+        /// Per-cacheline remote read latency.
+        Time,
+    ),
+}
+
+/// The Fig 14 key/value service model.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    /// Size of one cached value.
+    pub value_bytes: u64,
+    /// Number of distinct keys (footprint = keys × value size).
+    pub key_count: u64,
+    /// CPU cost of a cache hit on the prototype's core (lookup + copy).
+    pub hit_cpu: Time,
+    /// Cost of a miss: query MySQL over the network, disk-bound.
+    pub backend_cost: Time,
+    /// Local memory floor kept even in remote configurations (the paper
+    /// keeps 50 MB "for Redis to start properly").
+    pub local_floor_bytes: u64,
+    /// Memory-level parallelism when streaming a value over CRMA.
+    pub crma_overlap: f64,
+}
+
+impl KvCache {
+    /// The paper's Fig 14 configuration: ~370 MB footprint swept with
+    /// 70 MB memory increments; uniform random queries.
+    pub fn fig14() -> Self {
+        KvCache {
+            value_bytes: 64 << 10,
+            key_count: 5_930, // ≈ 371 MB footprint
+            hit_cpu: Time::from_ms(3),
+            backend_cost: Time::from_secs_f64(1.4),
+            local_floor_bytes: 50 << 20,
+            crma_overlap: 1.0,
+        }
+    }
+
+    /// Total dataset footprint.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.value_bytes * self.key_count
+    }
+
+    /// Steady-state miss rate with `capacity_bytes` of cache memory and
+    /// uniform random keys: the cache holds a `capacity/footprint`
+    /// fraction of values.
+    pub fn miss_rate(&self, capacity_bytes: u64) -> f64 {
+        let hit = capacity_bytes as f64 / self.footprint_bytes() as f64;
+        (1.0 - hit).clamp(0.0, 1.0)
+    }
+
+    /// Time to serve one cache hit. With remote memory, values beyond the
+    /// local floor stream over CRMA line by line (bounded overlap).
+    pub fn hit_time(&self, capacity_bytes: u64, memory: CacheMemory) -> Time {
+        match memory {
+            CacheMemory::Local => self.hit_cpu,
+            CacheMemory::RemoteCrma(line_latency) => {
+                let remote_frac = if capacity_bytes <= self.local_floor_bytes {
+                    0.0
+                } else {
+                    (capacity_bytes - self.local_floor_bytes) as f64 / capacity_bytes as f64
+                };
+                let lines = self.value_bytes as f64 / 64.0;
+                let exposed = lines / self.crma_overlap * remote_frac;
+                self.hit_cpu + line_latency.scale(exposed)
+            }
+        }
+    }
+
+    /// Mean time per query at `capacity_bytes`.
+    pub fn query_time(&self, capacity_bytes: u64, memory: CacheMemory) -> Time {
+        let m = self.miss_rate(capacity_bytes);
+        self.backend_cost.scale(m) + self.hit_time(capacity_bytes, memory).scale(1.0 - m)
+    }
+
+    /// Execution time for `queries` random queries (the Fig 14 y-axis).
+    pub fn run(&self, queries: u64, capacity_bytes: u64, memory: CacheMemory) -> Time {
+        self.query_time(capacity_bytes, memory).scale(queries as f64)
+    }
+
+    /// The Fig 14 sweep points: 70 MB to 350 MB in 70 MB increments.
+    pub const FIG14_CAPACITIES: [u64; 5] =
+        [70 << 20, 140 << 20, 210 << 20, 280 << 20, 350 << 20];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crma() -> CacheMemory {
+        CacheMemory::RemoteCrma(Time::from_us(3))
+    }
+
+    #[test]
+    fn miss_rate_falls_with_capacity() {
+        let kv = KvCache::fig14();
+        let mut prev = 1.0;
+        for cap in KvCache::FIG14_CAPACITIES {
+            let m = kv.miss_rate(cap);
+            assert!(m < prev);
+            prev = m;
+        }
+        // Final point near 5% as in Fig 14b.
+        let last = kv.miss_rate(350 << 20);
+        assert!((0.02..0.10).contains(&last), "miss = {last}");
+    }
+
+    #[test]
+    fn fig14_execution_time_improvement() {
+        // Paper: 11900 s at 70 MB falling to 758 s at 350 MB — a 15.7x
+        // improvement over 10000 queries.
+        let kv = KvCache::fig14();
+        let t70 = kv.run(10_000, 70 << 20, CacheMemory::Local);
+        let t350 = kv.run(10_000, 350 << 20, CacheMemory::Local);
+        assert!(
+            (8_000.0..16_000.0).contains(&t70.as_secs_f64()),
+            "t70 = {t70}"
+        );
+        assert!((500.0..1_100.0).contains(&t350.as_secs_f64()), "t350 = {t350}");
+        let improvement = t70.ratio(t350);
+        assert!((10.0..20.0).contains(&improvement), "improvement = {improvement:.1}");
+    }
+
+    #[test]
+    fn remote_memory_indistinguishable_at_high_miss_rates() {
+        // Paper: "very slight difference, because the time spent on missed
+        // queries dominates."
+        let kv = KvCache::fig14();
+        let local = kv.run(10_000, 70 << 20, CacheMemory::Local);
+        let remote = kv.run(10_000, 70 << 20, crma());
+        let gap = remote.ratio(local) - 1.0;
+        assert!(gap < 0.01, "gap = {gap:.4}");
+    }
+
+    #[test]
+    fn remote_gap_visible_at_low_miss_rate() {
+        // Paper: ~7% at the 350 MB point (miss rate ≈ 5%).
+        let kv = KvCache::fig14();
+        let local = kv.run(10_000, 350 << 20, CacheMemory::Local);
+        let remote = kv.run(10_000, 350 << 20, crma());
+        let gap = remote.ratio(local) - 1.0;
+        assert!((0.02..0.12).contains(&gap), "gap = {gap:.4}");
+    }
+
+    #[test]
+    fn hit_time_respects_local_floor() {
+        let kv = KvCache::fig14();
+        // At or below the floor, "remote" config is all local.
+        let t = kv.hit_time(50 << 20, crma());
+        assert_eq!(t, kv.hit_cpu);
+        assert!(kv.hit_time(350 << 20, crma()) > kv.hit_cpu);
+    }
+
+    #[test]
+    fn footprint_matches_parameters() {
+        let kv = KvCache::fig14();
+        let fp = kv.footprint_bytes();
+        assert!((360 << 20..380 << 20).contains(&fp));
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Workload models for the Venice evaluation (paper Table 1).
+//!
+//! The paper measures real applications on its prototype: Redis, Berkeley
+//! DB, MySQL, Spark Connected Components, Hadoop Grep, Graph500, PageRank,
+//! SPLASH2 FFT, and iperf. We reproduce them at the level the experiments
+//! are sensitive to — *access patterns, dependence structure, and
+//! footprint* — with the paper's published parameters:
+//!
+//! * [`kv`] — Redis-style key/value cache in front of a slow database
+//!   (Fig 13/14's web-service tier);
+//! * [`oltp`] — BerkeleyDB-style transactions: 4 gets + 1 put of random
+//!   keys, 80/20 read/write, dependent pointer chases (Figs 3/5/6);
+//! * [`pagerank`] — 1 488 712 vertices / 8 678 566 edges, massively
+//!   parallel per-edge work (latency-tolerant);
+//! * [`cc`] — label-propagation connected components (contiguous access);
+//! * [`grep`] — streaming scan over a large file set;
+//! * [`graph500`] — BFS over an R-MAT graph (scale/edgefactor per spec);
+//! * [`fft`] — SPLASH2-style FFT datasets for accelerator offload;
+//! * [`iperf`] — fixed-size packet streams (4–256 B);
+//! * [`rmat`] / [`zipf`] — the underlying generators;
+//! * [`profile`] — the `MemoryProfile` abstraction: per-operation compute,
+//!   miss counts, and attainable memory-level parallelism, which the
+//!   experiment harness combines with channel latencies.
+
+pub mod cc;
+pub mod fft;
+pub mod graph500;
+pub mod grep;
+pub mod iperf;
+pub mod kv;
+pub mod oltp;
+pub mod pagerank;
+pub mod profile;
+pub mod rmat;
+pub mod zipf;
+
+pub use cc::ConnectedComponents;
+pub use graph500::Graph500;
+pub use grep::GrepWorkload;
+pub use iperf::IperfStream;
+pub use kv::KvCache;
+pub use oltp::OltpWorkload;
+pub use pagerank::PageRank;
+pub use profile::{MemoryProfile, Pattern};
+pub use rmat::RmatGenerator;
+pub use zipf::ZipfSampler;

@@ -1,0 +1,152 @@
+//! The memory-profile abstraction.
+//!
+//! Every evaluation figure ultimately computes *execution time as a
+//! function of memory-access latency*. A [`MemoryProfile`] captures what
+//! a workload does per operation — compute, how many accesses miss to the
+//! shared/remote tier, how much of that latency it can overlap, and how
+//! its pages are touched — and [`MemoryProfile::op_time`] folds in the
+//! latency of whatever tier serves those misses. The numbers per workload
+//! live with the workload modules; the channel latencies come from
+//! `venice-transport`.
+
+use venice_sim::Time;
+
+/// Spatial/temporal shape of a workload's misses, used to pick page-level
+/// behavior (swap locality) and channel affinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Uniform random over the footprint (hash tables, key lookups).
+    Random,
+    /// Sequential streaming (scans, label propagation on sorted CSR).
+    Sequential,
+    /// Graph-frontier style: random but with community locality.
+    Frontier,
+}
+
+/// Per-operation behavior of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryProfile {
+    /// Workload name for reports.
+    pub name: &'static str,
+    /// Pure compute time per operation (at the prototype's CPU).
+    pub compute: Time,
+    /// Memory accesses per operation that miss the caches and go to the
+    /// data tier (local DRAM or remote).
+    pub misses_per_op: f64,
+    /// How many of those misses the workload can keep in flight
+    /// concurrently (1 = fully dependent).
+    pub overlap: f64,
+    /// Access pattern.
+    pub pattern: Pattern,
+    /// Total data footprint in bytes.
+    pub footprint_bytes: u64,
+    /// Distinct 4 KB pages touched per operation (for swap modeling).
+    pub pages_per_op: f64,
+}
+
+impl MemoryProfile {
+    /// Time for one operation when misses are served with `miss_latency`.
+    ///
+    /// Exposed misses = `misses_per_op / overlap`; compute and memory time
+    /// are additive (in-order cores expose stalls).
+    pub fn op_time(&self, miss_latency: Time) -> Time {
+        let exposed = self.misses_per_op / self.overlap;
+        self.compute + miss_latency.scale(exposed)
+    }
+
+    /// Time for one operation when a fraction `remote_frac` of misses go
+    /// to a remote tier at `remote_latency` and the rest to local memory
+    /// at `local_latency`.
+    pub fn op_time_split(
+        &self,
+        remote_frac: f64,
+        remote_latency: Time,
+        local_latency: Time,
+    ) -> Time {
+        let f = remote_frac.clamp(0.0, 1.0);
+        let exposed = self.misses_per_op / self.overlap;
+        self.compute
+            + remote_latency.scale(exposed * f)
+            + local_latency.scale(exposed * (1.0 - f))
+    }
+
+    /// Execution time of `ops` operations.
+    pub fn run(&self, ops: u64, miss_latency: Time) -> Time {
+        self.op_time(miss_latency).scale(ops as f64)
+    }
+
+    /// Slowdown of serving misses at `latency` versus `baseline_latency`
+    /// (the normalized-execution-time metric of Figs 3/5/6).
+    pub fn slowdown(&self, latency: Time, baseline_latency: Time) -> f64 {
+        self.op_time(latency).ratio(self.op_time(baseline_latency))
+    }
+
+    /// Returns a copy with a different overlap (modeling an asynchronous
+    /// rewrite of the same workload, à la Scale-out NUMA).
+    pub fn with_overlap(&self, overlap: f64) -> MemoryProfile {
+        assert!(overlap >= 1.0, "overlap must be >= 1");
+        MemoryProfile { overlap, ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(overlap: f64) -> MemoryProfile {
+        MemoryProfile {
+            name: "test",
+            compute: Time::from_us(10),
+            misses_per_op: 5.0,
+            overlap,
+            pattern: Pattern::Random,
+            footprint_bytes: 1 << 30,
+            pages_per_op: 1.0,
+        }
+    }
+
+    #[test]
+    fn op_time_adds_exposed_misses() {
+        let p = profile(1.0);
+        assert_eq!(p.op_time(Time::from_us(3)), Time::from_us(25));
+        let p2 = profile(5.0);
+        assert_eq!(p2.op_time(Time::from_us(3)), Time::from_us(13));
+    }
+
+    #[test]
+    fn slowdown_is_relative() {
+        let p = profile(1.0);
+        let s = p.slowdown(Time::from_us(3), Time::from_ns(100));
+        // (10 + 15) / (10 + 0.5) = 2.38x
+        assert!((2.3..2.5).contains(&s), "s = {s}");
+    }
+
+    #[test]
+    fn split_interpolates() {
+        let p = profile(1.0);
+        let all_remote = p.op_time_split(1.0, Time::from_us(3), Time::from_ns(100));
+        let all_local = p.op_time_split(0.0, Time::from_us(3), Time::from_ns(100));
+        let half = p.op_time_split(0.5, Time::from_us(3), Time::from_ns(100));
+        assert_eq!(all_remote, p.op_time(Time::from_us(3)));
+        assert_eq!(all_local, p.op_time(Time::from_ns(100)));
+        assert!(all_local < half && half < all_remote);
+    }
+
+    #[test]
+    fn async_rewrite_helps_parallel_workloads_only() {
+        // The Fig 5 insight: overlap rescues PageRank, not BerkeleyDB.
+        let parallel = profile(1.0).with_overlap(8.0);
+        let s_sync = profile(1.0).slowdown(Time::from_us(3), Time::from_ns(100));
+        let s_async = parallel.slowdown(Time::from_us(3), Time::from_ns(100));
+        assert!(s_async < s_sync * 0.6);
+    }
+
+    #[test]
+    fn run_scales_linearly() {
+        let p = profile(1.0);
+        assert_eq!(
+            p.run(100, Time::from_us(3)),
+            p.op_time(Time::from_us(3)) * 100
+        );
+    }
+}

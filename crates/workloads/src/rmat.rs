@@ -1,0 +1,196 @@
+//! R-MAT graph generation (Graph500 spec).
+//!
+//! Table 1: "Graph500: R-MAT scale 22, R-MAT edge factor 14" and PageRank
+//! with 1 488 712 vertices / 8 678 566 edges. The recursive-matrix
+//! generator with the Graph500 probabilities (a=0.57, b=0.19, c=0.19,
+//! d=0.05) produces the heavy-tailed degree distributions both rely on.
+
+use venice_sim::SimRng;
+
+/// An R-MAT edge-list generator.
+///
+/// # Example
+///
+/// ```
+/// use venice_workloads::RmatGenerator;
+/// use venice_sim::SimRng;
+///
+/// let gen = RmatGenerator::graph500(10, 4); // 1024 vertices, 4096 edges
+/// let edges = gen.edges(&mut SimRng::seed(1));
+/// assert_eq!(edges.len(), 4096);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RmatGenerator {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Edges per vertex.
+    pub edge_factor: u32,
+    /// Quadrant probabilities.
+    pub a: f64,
+    /// Upper-right quadrant probability.
+    pub b: f64,
+    /// Lower-left quadrant probability.
+    pub c: f64,
+}
+
+impl RmatGenerator {
+    /// The Graph500 reference parameters.
+    pub fn graph500(scale: u32, edge_factor: u32) -> Self {
+        assert!(scale > 0 && scale < 40, "scale out of range");
+        RmatGenerator { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19 }
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> u64 {
+        1 << self.scale
+    }
+
+    /// Number of edges generated.
+    pub fn edge_count(&self) -> u64 {
+        self.vertices() * self.edge_factor as u64
+    }
+
+    /// Generates the edge list deterministically from `rng`.
+    pub fn edges(&self, rng: &mut SimRng) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.edge_count() as usize);
+        for _ in 0..self.edge_count() {
+            let (mut u, mut v) = (0u32, 0u32);
+            for _ in 0..self.scale {
+                u <<= 1;
+                v <<= 1;
+                let r = rng.unit();
+                if r < self.a {
+                    // upper-left: no bits set
+                } else if r < self.a + self.b {
+                    v |= 1;
+                } else if r < self.a + self.b + self.c {
+                    u |= 1;
+                } else {
+                    u |= 1;
+                    v |= 1;
+                }
+            }
+            out.push((u, v));
+        }
+        out
+    }
+}
+
+/// Compressed sparse row adjacency built from an edge list (undirected:
+/// both directions inserted).
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Row offsets, length `vertices + 1`.
+    pub offsets: Vec<u32>,
+    /// Flattened adjacency.
+    pub neighbors: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR over `vertices` vertices from directed `edges`,
+    /// inserting both directions.
+    pub fn from_edges(vertices: u32, edges: &[(u32, u32)]) -> Self {
+        let mut degree = vec![0u32; vertices as usize];
+        for &(u, v) in edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; vertices as usize + 1];
+        for i in 0..vertices as usize {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; offsets[vertices as usize] as usize];
+        for &(u, v) in edges {
+            neighbors[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        Csr { offsets, neighbors }
+    }
+
+    /// Vertex count.
+    pub fn vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors_of(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Directed edge slots stored (2× the undirected edge count).
+    pub fn edge_slots(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// In-memory footprint in bytes (offsets + adjacency, 4 B each).
+    pub fn footprint_bytes(&self) -> u64 {
+        4 * (self.offsets.len() + self.neighbors.len()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_matches_spec() {
+        let g = RmatGenerator::graph500(8, 14);
+        assert_eq!(g.vertices(), 256);
+        let edges = g.edges(&mut SimRng::seed(9));
+        assert_eq!(edges.len() as u64, 256 * 14);
+        assert!(edges.iter().all(|&(u, v)| u < 256 && v < 256));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = RmatGenerator::graph500(8, 4);
+        let e1 = g.edges(&mut SimRng::seed(5));
+        let e2 = g.edges(&mut SimRng::seed(5));
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = RmatGenerator::graph500(12, 14);
+        let edges = g.edges(&mut SimRng::seed(1));
+        let csr = Csr::from_edges(4096, &edges);
+        let mut degrees: Vec<usize> = (0..4096).map(|v| csr.neighbors_of(v).len()).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = degrees.iter().sum();
+        let top_share: usize = degrees[..41].iter().sum(); // top 1%
+        // R-MAT hubs: top 1% of vertices hold a large share of edges.
+        assert!(
+            top_share as f64 / total as f64 > 0.15,
+            "top share = {}",
+            top_share as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn csr_round_trips_edges() {
+        let edges = vec![(0u32, 1u32), (1, 2), (0, 2)];
+        let csr = Csr::from_edges(3, &edges);
+        assert_eq!(csr.vertices(), 3);
+        assert_eq!(csr.edge_slots(), 6);
+        let mut n0 = csr.neighbors_of(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+    }
+
+    #[test]
+    fn pagerank_dataset_scale_footprint() {
+        // The paper's PageRank graph: ~1.5M vertices, 8.7M edges. CSR
+        // footprint ≈ 4*(1.5M + 17.4M) ≈ 75 MB — consistent with a 1 GB
+        // remote-memory experiment once rank vectors and buffers are
+        // counted.
+        let vertices = 1_488_712u64;
+        let edges = 8_678_566u64;
+        let footprint = 4 * (vertices + 1 + 2 * edges);
+        assert!((60 << 20..120 << 20).contains(&footprint));
+    }
+}

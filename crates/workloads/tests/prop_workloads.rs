@@ -1,0 +1,105 @@
+//! Property tests for workload generators and kernels.
+
+use proptest::prelude::*;
+use venice_sim::{SimRng, Time};
+use venice_workloads::rmat::{Csr, RmatGenerator};
+use venice_workloads::{ConnectedComponents, Graph500, KvCache, PageRank, ZipfSampler};
+use venice_workloads::kv::CacheMemory;
+
+proptest! {
+    /// Zipf samples stay in range and the analytic hit rate is a CDF:
+    /// monotone, 0 at 0, 1 at n.
+    #[test]
+    fn zipf_hit_rate_is_a_cdf(n in 2u64..100_000, theta in 0.0f64..0.99) {
+        let z = ZipfSampler::new(n, theta);
+        prop_assert_eq!(z.hit_rate(0), 0.0);
+        prop_assert!((z.hit_rate(n) - 1.0).abs() < 1e-9);
+        let ks = [1, n / 4 + 1, n / 2 + 1, n];
+        let mut prev = 0.0;
+        for &k in &ks {
+            let h = z.hit_rate(k);
+            prop_assert!(h >= prev - 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
+            prev = h;
+        }
+        let mut rng = SimRng::seed(1);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// CSR construction conserves edges: degree sum equals 2x the edge
+    /// count and every neighbor id is in range.
+    #[test]
+    fn csr_conserves_edges(scale in 4u32..9, factor in 1u32..8, seed in 0u64..1000) {
+        let gen = RmatGenerator::graph500(scale, factor);
+        let edges = gen.edges(&mut SimRng::seed(seed));
+        let n = gen.vertices() as u32;
+        let csr = Csr::from_edges(n, &edges);
+        prop_assert_eq!(csr.edge_slots() as u64, 2 * gen.edge_count());
+        let degree_sum: usize = (0..n).map(|v| csr.neighbors_of(v).len()).sum();
+        prop_assert_eq!(degree_sum, csr.edge_slots());
+        prop_assert!(csr.neighbors.iter().all(|&u| u < n));
+    }
+
+    /// BFS parent arrays always validate, and the visited count never
+    /// exceeds the vertex count.
+    #[test]
+    fn bfs_always_validates(scale in 4u32..9, seed in 0u64..500, root in 0u32..16) {
+        let g = Graph500::scaled(scale);
+        let edges = g.generator().edges(&mut SimRng::seed(seed));
+        let n = 1u32 << scale;
+        let csr = Csr::from_edges(n, &edges);
+        let root = root % n;
+        let (parent, visited, levels) = g.bfs(&csr, root);
+        prop_assert!(visited <= n as u64);
+        prop_assert!(levels as u64 <= visited);
+        prop_assert!(g.validate(&csr, root, &parent));
+    }
+
+    /// CC labels are a fixed point: every edge connects equal labels, and
+    /// labels are canonical (the minimum id of the component).
+    #[test]
+    fn cc_labels_are_fixed_point(scale in 4u32..8, seed in 0u64..500) {
+        let gen = RmatGenerator::graph500(scale, 4);
+        let edges = gen.edges(&mut SimRng::seed(seed));
+        let n = gen.vertices() as u32;
+        let csr = Csr::from_edges(n, &edges);
+        let cc = ConnectedComponents::new();
+        let (labels, _) = cc.run_kernel(&csr);
+        for v in 0..n {
+            for &u in csr.neighbors_of(v) {
+                prop_assert_eq!(labels[v as usize], labels[u as usize]);
+            }
+            // A label never exceeds its vertex id's component minimum.
+            prop_assert!(labels[v as usize] <= v);
+        }
+    }
+
+    /// PageRank mass is conserved for any graph (including dangling
+    /// vertices) and ranks are nonnegative.
+    #[test]
+    fn pagerank_conserves_mass(scale in 3u32..8, factor in 1u32..6, seed in 0u64..300) {
+        let gen = RmatGenerator::graph500(scale, factor);
+        let edges = gen.edges(&mut SimRng::seed(seed));
+        let csr = Csr::from_edges(gen.vertices() as u32, &edges);
+        let pr = PageRank { iterations: 5, ..PageRank::new() };
+        let ranks = pr.run_kernel(&csr);
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+        prop_assert!(ranks.iter().all(|&r| r >= 0.0));
+    }
+
+    /// KV cache: execution time is monotone decreasing in capacity and
+    /// remote never beats local.
+    #[test]
+    fn kv_monotonicity(cap_a in 1u64..350, cap_b in 1u64..350) {
+        let kv = KvCache::fig14();
+        let (lo, hi) = (cap_a.min(cap_b) << 20, cap_a.max(cap_b) << 20);
+        let t_lo = kv.run(100, lo, CacheMemory::Local);
+        let t_hi = kv.run(100, hi, CacheMemory::Local);
+        prop_assert!(t_hi <= t_lo);
+        let remote = CacheMemory::RemoteCrma(Time::from_us(3));
+        prop_assert!(kv.run(100, hi, remote) >= t_hi);
+    }
+}

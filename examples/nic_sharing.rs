@@ -1,0 +1,52 @@
+//! Remote NIC sharing (paper §5.2.3, Fig 16b).
+//!
+//! Node 0 bonds its local gigabit NIC with IP-over-QPair virtual NICs
+//! backed by donors' physical NICs. The example sweeps iperf packet
+//! sizes, printing aggregate goodput and the Fig 16b utilization metric,
+//! and shows where the VNIC pipeline's bottleneck stage sits.
+//!
+//! Run with: `cargo run --example nic_sharing`
+
+use venice_fabric::NodeId;
+use venice_transport::PathModel;
+use venice_vnic::{BondedInterface, Nic, VnicPath};
+use venice_workloads::IperfStream;
+
+fn main() {
+    println!("== Fig 16b: bonded-NIC utilization ==");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "packet", "LN only", "LN+1RN", "LN+2RN", "LN+3RN"
+    );
+    for &size in IperfStream::TABLE1_SIZES.iter() {
+        let local = BondedInterface::fig16b(0).goodput_gbps(size);
+        let row: Vec<String> = (1..=3)
+            .map(|r| {
+                let bond = BondedInterface::fig16b(r);
+                format!(
+                    "{:.2}G/{:>3.0}%",
+                    bond.goodput_gbps(size),
+                    bond.utilization(size) * 100.0
+                )
+            })
+            .collect();
+        println!(
+            "{:>7}B {:>11.3}G {:>12} {:>12} {:>12}",
+            size, local, row[0], row[1], row[2]
+        );
+    }
+
+    println!("\n== VNIC pipeline stages (256 B packets) ==");
+    let mut v = VnicPath::prototype(NodeId(0), NodeId(1), PathModel::prototype_mesh());
+    let local = Nic::gigabit();
+    println!("bottleneck stage: {}", v.bottleneck_stage(256));
+    println!("one-packet latency through the VNIC: {}", v.packet_latency(256));
+    println!(
+        "remote/local pps ratio: {:.2}",
+        v.pps(256) / local.pps(256)
+    );
+    println!(
+        "\ntiny packets are donor-CPU bound (backend driver + bridge);\n\
+         256 B packets recover ~85% of aggregate line capacity, matching Fig 16b"
+    );
+}

@@ -1,0 +1,124 @@
+//! Integration: the paper's headline claims, checked across figures.
+//!
+//! These are the §4.2 and §8 conclusions, each asserted against the
+//! regenerated data rather than any single module's internals.
+
+use venice::scenarios;
+use venice::Figure;
+
+fn series<'a>(f: &'a Figure, label: &str) -> &'a [f64] {
+    &f.measured
+        .iter()
+        .find(|s| s.label == label)
+        .unwrap_or_else(|| panic!("{}: no series {label}", f.id))
+        .values
+}
+
+#[test]
+fn conclusion_commodity_interconnects_an_order_of_magnitude_slower() {
+    // §4.2 recap point 1.
+    let f = scenarios::fig3();
+    for v in &f.measured[0].values {
+        assert!(*v >= 10.0, "{v}");
+    }
+}
+
+#[test]
+fn conclusion_architectural_support_brings_2_to_3x() {
+    // §4.2 recap point 2: "bringing remote-access penalties down to much
+    // more tolerable levels (e.g., 2-3x)".
+    let f = scenarios::fig5();
+    for s in &f.measured {
+        let best = s.values.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((1.5..3.0).contains(&best), "{}: best {best}", s.label);
+    }
+}
+
+#[test]
+fn conclusion_latency_tolerance_helps_some_workloads_not_all() {
+    // §4.2 recap point 3.
+    let f = scenarios::fig5();
+    let pr = series(&f, "PageRank");
+    let bdb = series(&f, "BerkeleyDB");
+    let pr_gain = pr[1] / pr[2]; // sync vs async QPair
+    let bdb_gain = bdb[1] / bdb[2];
+    assert!(pr_gain > 1.5, "PageRank async gain {pr_gain}");
+    assert!(bdb_gain < 1.1, "BerkeleyDB async gain {bdb_gain}");
+}
+
+#[test]
+fn conclusion_direct_interconnection_matters() {
+    // §4.2 recap point 4 + Fig 6: the router hop costs the
+    // highest-performing configuration the most.
+    let f = scenarios::fig6();
+    for s in &f.measured {
+        let on_crma = *s.values.last().unwrap();
+        let on_qpair = s.values[1];
+        assert!(on_crma > on_qpair, "{}: {on_crma} vs {on_qpair}", s.label);
+    }
+}
+
+#[test]
+fn conclusion_three_channels_are_all_necessary() {
+    // §8 point 2 via Fig 17: for every channel there exists a pattern
+    // where it wins, and for every pattern the losers lose big.
+    let f = scenarios::fig17();
+    for s in &f.measured {
+        assert!(
+            s.values.contains(&100.0),
+            "{} never wins a pattern",
+            s.label
+        );
+    }
+    for col in 0..f.columns.len() {
+        let mut vals: Vec<f64> = f.measured.iter().map(|s| s.values[col]).collect();
+        vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!(vals[1] < 80.0, "column {col}: runner-up too close: {vals:?}");
+    }
+}
+
+#[test]
+fn conclusion_synergy_between_channels() {
+    // §8 point 2 + Fig 18: collaboration adds 25-55% bandwidth.
+    let f = scenarios::fig18();
+    for v in &f.measured[0].values {
+        assert!((20.0..60.0).contains(v), "{v}");
+    }
+}
+
+#[test]
+fn conclusion_reasonable_hardware_cost() {
+    // §8 point 3 via the §7.3 table: ~2% of a server die.
+    let f = scenarios::cost_table();
+    let pct = f.measured[0].values[4];
+    assert!((1.5..2.5).contains(&pct), "die fraction {pct}%");
+}
+
+#[test]
+fn memory_sweep_and_multimodality_are_mutually_consistent() {
+    // Fig 15's CRMA-vs-RDMA verdicts must agree with Fig 17's
+    // channel-vs-pattern verdicts: random favors CRMA, contiguous favors
+    // page/bulk movement.
+    let f15 = scenarios::fig15();
+    let crma = series(&f15, "remote access via CRMA");
+    let rdma = series(&f15, "remote access via RDMA");
+    let f17 = scenarios::fig17();
+    let crma17 = series(&f17, "CRMA");
+    let rdma17 = series(&f17, "RDMA");
+    // Random column: CRMA wins in both figures.
+    assert!(crma[0] > rdma[0] && crma17[0] > rdma17[0]);
+    // Contiguous column: RDMA/bulk wins in both figures.
+    assert!(rdma[1] > crma[1] && rdma17[1] > crma17[1]);
+}
+
+#[test]
+fn every_figure_reports_shape_agreement() {
+    for f in scenarios::all() {
+        assert!(
+            f.ordering_mismatches().is_empty(),
+            "{}: {:?}",
+            f.id,
+            f.ordering_mismatches()
+        );
+    }
+}
