@@ -104,15 +104,14 @@ mod tests {
     #[test]
     fn direct_mode_beats_mailbox_service_for_small_tasks() {
         let path = PathModel::direct_pair();
-        let mut direct = DirectAccelerator::map(
-            NodeId(0),
-            NodeId(1),
-            AcceleratorModel::xfft(),
-            path.clone(),
-        );
+        let mut direct =
+            DirectAccelerator::map(NodeId(0), NodeId(1), AcceleratorModel::xfft(), path.clone());
         let dispatcher = Dispatcher {
             client: NodeId(0),
-            handles: vec![AcceleratorHandle { node: NodeId(1), model: AcceleratorModel::xfft() }],
+            handles: vec![AcceleratorHandle {
+                node: NodeId(1),
+                model: AcceleratorModel::xfft(),
+            }],
             path,
             rdma: Default::default(),
             agent: HostAgent::new(),

@@ -61,7 +61,10 @@ impl Dispatcher {
     /// The Fig 16a setup: client on node 0 with one local XFFT plus
     /// `remote` remote XFFTs on distinct mesh neighbors.
     pub fn fig16a(remote: u16) -> Self {
-        let mut handles = vec![AcceleratorHandle { node: NodeId(0), model: AcceleratorModel::xfft() }];
+        let mut handles = vec![AcceleratorHandle {
+            node: NodeId(0),
+            model: AcceleratorModel::xfft(),
+        }];
         for i in 0..remote {
             handles.push(AcceleratorHandle {
                 node: NodeId(i + 1),
@@ -141,7 +144,11 @@ mod tests {
         let remote = d.task_time(&d.handles[1], 1 << 20);
         assert!(remote > local);
         // But compute dominates: the remote penalty is < 35%.
-        assert!(remote.ratio(local) < 1.35, "ratio = {}", remote.ratio(local));
+        assert!(
+            remote.ratio(local) < 1.35,
+            "ratio = {}",
+            remote.ratio(local)
+        );
     }
 
     #[test]
@@ -164,7 +171,10 @@ mod tests {
         let d = Dispatcher::fig16a(3);
         let small = d.speedup(8 << 20, 1 << 20);
         let large = d.speedup(512 << 20, 8 << 20);
-        assert!(small <= large + 1e-9, "small {small:.2} vs large {large:.2}");
+        assert!(
+            small <= large + 1e-9,
+            "small {small:.2} vs large {large:.2}"
+        );
         assert!(small > 2.0);
     }
 

@@ -43,8 +43,14 @@ impl std::fmt::Display for MailboxError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MailboxError::BadState(s) => write!(f, "operation invalid in state {s:?}"),
-            MailboxError::BufferOverflow { requested, capacity } => {
-                write!(f, "{requested} bytes exceed the {capacity}-byte pinned buffer")
+            MailboxError::BufferOverflow {
+                requested,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "{requested} bytes exceed the {capacity}-byte pinned buffer"
+                )
             }
         }
     }
@@ -222,7 +228,13 @@ mod tests {
         assert_eq!(mb.state(), MailboxState::Staged);
         mb.start().unwrap();
         let t = mb.take_task().unwrap();
-        assert_eq!(t, StagedTask { request_bytes: 100, input_bytes: 2048 });
+        assert_eq!(
+            t,
+            StagedTask {
+                request_bytes: 100,
+                input_bytes: 2048
+            }
+        );
         mb.complete(512).unwrap();
         assert_eq!(mb.drain().unwrap(), 512);
         assert_eq!(mb.tasks_completed(), 1);
@@ -231,7 +243,10 @@ mod tests {
     #[test]
     fn out_of_order_operations_rejected() {
         let mut mb = Mailbox::new(1024, 4096, 4096);
-        assert!(matches!(mb.start(), Err(MailboxError::BadState(MailboxState::Idle))));
+        assert!(matches!(
+            mb.start(),
+            Err(MailboxError::BadState(MailboxState::Idle))
+        ));
         assert!(matches!(mb.take_task(), Err(MailboxError::BadState(_))));
         mb.stage(1, 1).unwrap();
         assert!(matches!(mb.stage(1, 1), Err(MailboxError::BadState(_))));
@@ -245,7 +260,10 @@ mod tests {
         let mut mb = Mailbox::new(16, 32, 8);
         assert!(matches!(
             mb.stage(17, 0),
-            Err(MailboxError::BufferOverflow { requested: 17, capacity: 16 })
+            Err(MailboxError::BufferOverflow {
+                requested: 17,
+                capacity: 16
+            })
         ));
         assert!(matches!(
             mb.stage(16, 33),

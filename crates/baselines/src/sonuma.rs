@@ -85,7 +85,10 @@ mod tests {
         let pr = PageRank::new().profile(1 << 30);
         let sync_pr = pr.slowdown(qpair_latency, local);
         let async_pr = AsyncQpair::latency_tolerant().slowdown(&pr, qpair_latency, local);
-        assert!(async_pr < sync_pr * 0.6, "pr: {async_pr:.2} vs {sync_pr:.2}");
+        assert!(
+            async_pr < sync_pr * 0.6,
+            "pr: {async_pr:.2} vs {sync_pr:.2}"
+        );
 
         let bdb = OltpWorkload::fig5().profile();
         let bdb_latency = Time::from_us(19);
@@ -100,7 +103,10 @@ mod tests {
     #[test]
     fn bookkeeping_is_charged_in_dependent_regime() {
         let pr = PageRank::new().profile(1 << 30);
-        let a = AsyncQpair { overlap: 1.0, bookkeeping: Time::from_us(1) };
+        let a = AsyncQpair {
+            overlap: 1.0,
+            bookkeeping: Time::from_us(1),
+        };
         let t = a.op_time(&pr, Time::from_us(10));
         assert_eq!(t, pr.op_time(Time::from_us(10)) + Time::from_us(1));
     }
@@ -120,7 +126,10 @@ mod tests {
     #[test]
     fn overlap_below_one_clamped() {
         let pr = PageRank::new().profile(1 << 30);
-        let a = AsyncQpair { overlap: 0.5, bookkeeping: Time::ZERO };
+        let a = AsyncQpair {
+            overlap: 0.5,
+            bookkeeping: Time::ZERO,
+        };
         // Must not panic; clamps to 1.
         let t = a.op_time(&pr, Time::from_us(10));
         assert!(t >= pr.op_time(Time::from_us(10)));

@@ -26,7 +26,11 @@ impl CommoditySwapBackend {
     /// Panics if the path is not page-granular (e.g. PCIe load/store).
     pub fn new(path: CommodityPath) -> Self {
         assert_eq!(path.unit_bytes, 4096, "swap backends move 4 KB pages");
-        CommoditySwapBackend { path, reads: 0, writes: 0 }
+        CommoditySwapBackend {
+            path,
+            reads: 0,
+            writes: 0,
+        }
     }
 
     /// The underlying path.

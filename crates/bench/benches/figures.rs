@@ -100,6 +100,14 @@ fn bench_substrates(c: &mut Criterion) {
         let csr = Csr::from_edges(1 << 14, &edges);
         b.iter(|| black_box(g500.bfs(&csr, 0)))
     });
+    g.bench_function("loadgen_10k_requests", |b| {
+        use venice_loadgen::{engine, LoadgenConfig, TenantMix};
+        let config = LoadgenConfig {
+            requests: 10_000,
+            ..LoadgenConfig::new(1, TenantMix::web_frontend())
+        };
+        b.iter(|| black_box(engine::run(&config)))
+    });
     g.bench_function("cluster_borrow_release", |b| {
         use venice::cluster::Cluster;
         use venice::NodeId;

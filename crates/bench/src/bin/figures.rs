@@ -1,36 +1,50 @@
-//! Regenerates every table and figure of the paper's evaluation.
+//! Regenerates every table and figure of the paper's evaluation, plus the
+//! loadgen scenario family.
 //!
 //! ```text
-//! figures [--json[=PATH]] [fig3 fig5 fig6 fig14 fig15 fig16a fig16b
-//!          fig17 fig18 table1 cost validation]
+//! figures [--json[=PATH]] [--no-loadgen] [fig3 fig5 fig6 fig14 fig15
+//!          fig16a fig16b fig17 fig18 table1 cost validation
+//!          loadgen-p99-8n loadgen-tput-8n loadgen-p99-16n loadgen-tput-16n]
 //! ```
 //!
 //! With no arguments, prints all figures as aligned text tables (measured
-//! values next to the paper's published values). `--json` additionally
-//! writes the structured data (default `figures.json`).
+//! values next to the paper's published values where the paper reports
+//! any). A full run (no filter, loadgen included) writes the structured
+//! data to `BENCH_figures.json` so successive PRs accumulate a
+//! machine-readable perf trajectory; filtered runs leave that artifact
+//! untouched. `--json=PATH` writes a copy of whatever was selected.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
+    let mut loadgen = true;
     for arg in std::env::args().skip(1) {
         if arg == "--json" {
             json_path = Some("figures.json".to_string());
         } else if let Some(p) = arg.strip_prefix("--json=") {
             json_path = Some(p.to_string());
+        } else if arg == "--no-loadgen" {
+            loadgen = false;
         } else if arg == "--help" || arg == "-h" {
             println!(
-                "usage: figures [--json[=PATH]] [FIGURE_ID...]\n\
-                 known ids: fig3 fig5 fig6 fig14 fig15 fig16a fig16b fig17 \
-                 fig18 table1 cost validation"
+                "usage: figures [--json[=PATH]] [--no-loadgen] [FIGURE_ID...]\n\
+                 paper ids: fig3 fig5 fig6 fig14 fig15 fig16a fig16b fig17 \
+                 fig18 table1 cost validation\n\
+                 loadgen ids: loadgen-p99-8n loadgen-tput-8n loadgen-p99-16n \
+                 loadgen-tput-16n"
             );
             return ExitCode::SUCCESS;
         } else {
             ids.push(arg);
         }
     }
-    let figures = venice_bench::select(venice::scenarios::all(), &ids);
+    let mut all = venice::scenarios::all();
+    if loadgen {
+        all.extend(venice_loadgen::scenarios::all());
+    }
+    let figures = venice_bench::select(all, &ids);
     if figures.is_empty() {
         eprintln!("no figures match {ids:?}");
         return ExitCode::FAILURE;
@@ -45,6 +59,17 @@ fn main() -> ExitCode {
         println!("shape check: all measured series match the paper's orderings");
     } else {
         println!("shape check FAILURES: {mismatches:?}");
+    }
+    // The canonical machine-readable artifact, anchored to the repo root
+    // regardless of the invocation CWD. Only a full run (no id filter,
+    // loadgen included) may regenerate it — a filtered invocation must
+    // not clobber the complete trajectory with a subset.
+    if ids.is_empty() && loadgen {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_figures.json");
+        std::fs::write(&path, venice_bench::to_json(&figures)).expect("write BENCH_figures.json");
+        println!("wrote {}", path.display());
     }
     if let Some(path) = json_path {
         std::fs::write(&path, venice_bench::to_json(&figures)).expect("write json");

@@ -51,6 +51,24 @@ mod tests {
     }
 
     #[test]
+    fn loadgen_figures_render_and_round_trip() {
+        let spec = venice_loadgen::SweepSpec {
+            seed: 17,
+            meshes: vec![(2, 1, 1)],
+            mixes: vec![venice_loadgen::TenantMix::messaging()],
+            rates_rps: vec![20_000.0],
+            requests_per_point: 500,
+        };
+        let figs = venice_loadgen::sweep::figures(&spec);
+        let text = render_all(&figs);
+        for f in &figs {
+            assert!(text.contains(&f.id), "missing {}", f.id);
+        }
+        let back: Vec<Figure> = serde_json::from_str(&to_json(&figs)).unwrap();
+        assert_eq!(figs, back);
+    }
+
+    #[test]
     fn select_filters_case_insensitively() {
         let figs = venice::scenarios::all();
         let total = figs.len();

@@ -103,7 +103,8 @@ impl ChannelLatencies {
 
     fn crma_latency(&self, path: &PathModel) -> Time {
         let mut ch = CrmaChannel::new(NodeId(0), CrmaConfig::default());
-        ch.map_window(1 << 40, 1 << 30, NodeId(1), 0).expect("window fits");
+        ch.map_window(1 << 40, 1 << 30, NodeId(1), 0)
+            .expect("window fits");
         // Warm the TLTLB: steady-state accesses hit it.
         let _ = ch.read_latency(path, 1 << 40);
         ch.read_latency(path, (1 << 40) + 64).expect("mapped")
@@ -171,15 +172,27 @@ mod tests {
     #[test]
     fn crma_beats_qpair_everywhere() {
         let l = ChannelLatencies::fig5(4096);
-        assert!(l.remote_latency(ChannelConfig::OnChipCrma) < l.remote_latency(ChannelConfig::OnChipQpair));
-        assert!(l.remote_latency(ChannelConfig::OffChipCrma) < l.remote_latency(ChannelConfig::OffChipQpair));
+        assert!(
+            l.remote_latency(ChannelConfig::OnChipCrma)
+                < l.remote_latency(ChannelConfig::OnChipQpair)
+        );
+        assert!(
+            l.remote_latency(ChannelConfig::OffChipCrma)
+                < l.remote_latency(ChannelConfig::OffChipQpair)
+        );
     }
 
     #[test]
     fn on_chip_beats_off_chip() {
         let l = ChannelLatencies::fig5(4096);
-        assert!(l.remote_latency(ChannelConfig::OnChipCrma) < l.remote_latency(ChannelConfig::OffChipCrma));
-        assert!(l.remote_latency(ChannelConfig::OnChipQpair) < l.remote_latency(ChannelConfig::OffChipQpair));
+        assert!(
+            l.remote_latency(ChannelConfig::OnChipCrma)
+                < l.remote_latency(ChannelConfig::OffChipCrma)
+        );
+        assert!(
+            l.remote_latency(ChannelConfig::OnChipQpair)
+                < l.remote_latency(ChannelConfig::OffChipQpair)
+        );
     }
 
     #[test]
@@ -229,12 +242,8 @@ mod tests {
         let routed = ChannelLatencies::fig6(256);
         let p = PageRank::new().profile(1 << 30);
         let a = AsyncQpair::latency_tolerant();
-        let overhead = |c: ChannelConfig| {
-            routed
-                .op_time(&p, c, &a)
-                .ratio(direct.op_time(&p, c, &a))
-                - 1.0
-        };
+        let overhead =
+            |c: ChannelConfig| routed.op_time(&p, c, &a).ratio(direct.op_time(&p, c, &a)) - 1.0;
         let crma = overhead(ChannelConfig::OnChipCrma);
         let qpair = overhead(ChannelConfig::OnChipQpair);
         let asyn = overhead(ChannelConfig::AsyncOnChipQpair);

@@ -9,7 +9,7 @@
 //! enforced by construction and checked in tests.
 
 use venice_fabric::topology::Topology;
-use venice_fabric::NodeId;
+use venice_fabric::{Mesh3d, NodeId};
 use venice_memnode::AddressSpace;
 use venice_runtime::flows::FlowTiming;
 use venice_runtime::tables::ResourceKind;
@@ -127,31 +127,58 @@ impl Cluster {
     /// Builds a cluster from `config`, with each node willing to lend
     /// `lendable_bytes` of its top memory.
     pub fn with_config(config: &PlatformConfig, lendable_bytes: u64) -> Self {
-        let mesh = config.mesh();
+        Self::from_mesh(config.mesh(), config.memory_bytes, lendable_bytes)
+    }
+
+    /// Builds a `dx × dy × dz` mesh cluster with `memory_bytes` per node,
+    /// each willing to lend `lendable_bytes`. This is the constructor the
+    /// loadgen sweeps use to scale beyond the paper's fixed 8-node
+    /// prototype.
+    pub fn mesh(dx: u16, dy: u16, dz: u16, memory_bytes: u64, lendable_bytes: u64) -> Self {
+        Self::from_mesh(Mesh3d::new(dx, dy, dz), memory_bytes, lendable_bytes)
+    }
+
+    fn from_mesh(mesh: Mesh3d, memory_bytes: u64, lendable_bytes: u64) -> Self {
         let topology = Topology::Mesh(mesh.clone());
-        let monitor = MonitorNode::new(topology, Box::new(DistancePolicy));
+        let monitor = MonitorNode::new(topology.clone(), Box::new(DistancePolicy));
         let mut nodes = Vec::new();
         for id in mesh.nodes() {
             let mut agent = NodeAgent::new(id);
-            agent.idle_memory = lendable_bytes.min(config.memory_bytes);
-            agent.lendable_base = config.memory_bytes - agent.idle_memory;
+            agent.idle_memory = lendable_bytes.min(memory_bytes);
+            agent.lendable_base = memory_bytes - agent.idle_memory;
             agent.neighbors = mesh.neighbors(id);
             nodes.push(Node {
-                memory: AddressSpace::with_memory(id, config.memory_bytes),
+                memory: AddressSpace::with_memory(id, memory_bytes),
                 agent,
                 crma: CrmaChannel::new(id, CrmaConfig::default()),
-                next_plug_base: 1 << 32,
+                // Borrowed windows hot-plug above both the 4 GB line (Fig
+                // 10) and the node's own online region — nodes larger than
+                // 4 GB would otherwise collide with their own memory.
+                next_plug_base: memory_bytes.next_power_of_two().max(1 << 32),
             });
         }
         let mut cluster = Cluster {
             nodes,
             monitor,
-            path: PathModel::prototype_mesh(),
+            path: PathModel {
+                topology,
+                ..PathModel::prototype_mesh()
+            },
             flow: FlowTiming::default(),
             now: Time::ZERO,
         };
         cluster.tick_heartbeats();
         cluster
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
     }
 
     /// Current simulated wall-clock.
@@ -174,7 +201,9 @@ impl Cluster {
     }
 
     fn node_mut(&mut self, id: NodeId) -> Result<&mut Node, ShareError> {
-        self.nodes.get_mut(id.0 as usize).ok_or(ShareError::NoSuchNode)
+        self.nodes
+            .get_mut(id.0 as usize)
+            .ok_or(ShareError::NoSuchNode)
     }
 
     /// Executes the full Fig 2 flow: `recipient` borrows `bytes` of
@@ -184,7 +213,11 @@ impl Cluster {
     ///
     /// Propagates Monitor-Node allocation failures, hot-remove/hot-plug
     /// errors, and CRMA window errors (all rolled back on failure).
-    pub fn borrow_memory(&mut self, recipient: NodeId, bytes: u64) -> Result<MemoryLease, ShareError> {
+    pub fn borrow_memory(
+        &mut self,
+        recipient: NodeId,
+        bytes: u64,
+    ) -> Result<MemoryLease, ShareError> {
         let bytes = bytes.next_power_of_two();
         self.node(recipient)?;
         // A heartbeat round first: donors re-report their current idle
@@ -197,12 +230,19 @@ impl Cluster {
         let nodes = &self.nodes;
         let grant = self
             .monitor
-            .request(recipient, ResourceKind::Memory, bytes, now, 4, |donor, amount| {
-                nodes
-                    .get(donor.0 as usize)
-                    .map(|n| n.memory.online_bytes() >= amount)
-                    .unwrap_or(false)
-            })
+            .request(
+                recipient,
+                ResourceKind::Memory,
+                bytes,
+                now,
+                4,
+                |donor, amount| {
+                    nodes
+                        .get(donor.0 as usize)
+                        .map(|n| n.memory.online_bytes() >= amount)
+                        .unwrap_or(false)
+                },
+            )
             .map_err(ShareError::Alloc)?;
         // ③: donor hot-removes. Align the donated window inside the
         // lendable region.
@@ -225,13 +265,18 @@ impl Cluster {
         let local_base = {
             let r = self.node_mut(recipient)?;
             let base = r.next_plug_base.next_multiple_of(bytes);
-            r.memory.hot_plug(base, bytes, grant.donor).map_err(ShareError::Memory)?;
+            r.memory
+                .hot_plug(base, bytes, grant.donor)
+                .map_err(ShareError::Memory)?;
             r.next_plug_base = base + bytes;
             base
         };
         let window = {
             let r = self.node_mut(recipient)?;
-            match r.crma.map_window(local_base, bytes, grant.donor, donor_base) {
+            match r
+                .crma
+                .map_window(local_base, bytes, grant.donor, donor_base)
+            {
                 Ok(w) => w,
                 Err(e) => {
                     r.memory.unplug(local_base).expect("just plugged");
@@ -262,12 +307,18 @@ impl Cluster {
     pub fn release(&mut self, lease: MemoryLease) -> Result<(), ShareError> {
         {
             let r = self.node_mut(lease.recipient)?;
-            r.crma.unmap_window(lease.window).map_err(ShareError::Window)?;
-            r.memory.unplug(lease.local_base).map_err(ShareError::Memory)?;
+            r.crma
+                .unmap_window(lease.window)
+                .map_err(ShareError::Window)?;
+            r.memory
+                .unplug(lease.local_base)
+                .map_err(ShareError::Memory)?;
         }
         {
             let d = self.node_mut(lease.donor)?;
-            d.memory.reclaim(lease.donor_base).map_err(ShareError::Memory)?;
+            d.memory
+                .reclaim(lease.donor_base)
+                .map_err(ShareError::Memory)?;
             d.agent.idle_memory += lease.bytes;
             d.agent.lendable_base -= lease.bytes;
         }
@@ -285,7 +336,9 @@ impl Cluster {
     pub fn crma_read(&mut self, node: NodeId, addr: u64) -> Result<Time, ShareError> {
         let path = self.path.clone();
         let n = self.node_mut(node)?;
-        n.crma.read_latency(&path, addr).ok_or(ShareError::NotRemote)
+        n.crma
+            .read_latency(&path, addr)
+            .ok_or(ShareError::NotRemote)
     }
 
     /// Checks the single-subscriber invariant across all nodes.
@@ -315,7 +368,11 @@ mod tests {
         assert_eq!(c.visible_memory(NodeId(0)), before + (256 << 20));
         assert!(c.memory_consistent());
         // Donor is a direct mesh neighbor (distance policy).
-        assert!([1u16, 2, 4].contains(&lease.donor.0), "donor {:?}", lease.donor);
+        assert!(
+            [1u16, 2, 4].contains(&lease.donor.0),
+            "donor {:?}",
+            lease.donor
+        );
         c.release(lease).unwrap();
         assert_eq!(c.visible_memory(NodeId(0)), before);
         assert!(c.memory_consistent());
@@ -369,6 +426,29 @@ mod tests {
         let small = c.borrow_memory(NodeId(0), 64 << 20).unwrap();
         let large = c.borrow_memory(NodeId(3), 512 << 20).unwrap();
         assert!(large.setup_time > small.setup_time);
+    }
+
+    #[test]
+    fn large_memory_nodes_plug_above_their_own_region() {
+        // 8 GB nodes: borrowed windows must land above 8 GB, not at the
+        // 4 GB line inside the node's own online memory.
+        let mut c = Cluster::mesh(2, 2, 1, 8 << 30, 2 << 30);
+        let lease = c.borrow_memory(NodeId(0), 1 << 30).unwrap();
+        assert!(lease.local_base >= 8 << 30, "base {:#x}", lease.local_base);
+        assert!(c.memory_consistent());
+        c.release(lease).unwrap();
+    }
+
+    #[test]
+    fn arbitrary_mesh_clusters_share_memory() {
+        // A 4x2x2 (16-node) cluster, beyond the paper's 8-node prototype.
+        let mut c = Cluster::mesh(4, 2, 2, 1 << 30, 512 << 20);
+        assert_eq!(c.len(), 16);
+        let lease = c.borrow_memory(NodeId(5), 128 << 20).unwrap();
+        assert!(c.memory_consistent());
+        let lat = c.crma_read(NodeId(5), lease.local_base).unwrap();
+        assert!(lat.as_us_f64() > 1.0, "lat {lat}");
+        c.release(lease).unwrap();
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl PlatformConfig {
 
     /// CPU model for the nodes.
     pub fn cpu(&self) -> CpuModel {
-        CpuModel { mhz: self.cpu_mhz, ..CpuModel::venice_prototype() }
+        CpuModel {
+            mhz: self.cpu_mhz,
+            ..CpuModel::venice_prototype()
+        }
     }
 
     /// DRAM model for the nodes.

@@ -19,7 +19,10 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
-        Series { label: label.into(), values }
+        Series {
+            label: label.into(),
+            values,
+        }
     }
 }
 
@@ -55,6 +58,21 @@ impl Figure {
             paper: Vec::new(),
             notes: String::new(),
         }
+    }
+
+    /// Sets the column labels (builder style).
+    pub fn with_columns<I, S>(mut self, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.columns = columns.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a measured series.
+    pub fn add_measured(&mut self, series: Series) {
+        self.measured.push(series);
     }
 
     /// Renders an aligned text table (measured, then paper reference).

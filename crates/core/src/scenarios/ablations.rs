@@ -97,11 +97,16 @@ pub fn ablation_mshrs() -> Figure {
         .map(|&mshrs| {
             let mut ch = CrmaChannel::new(
                 NodeId(0),
-                CrmaConfig { mshrs, ..CrmaConfig::default() },
+                CrmaConfig {
+                    mshrs,
+                    ..CrmaConfig::default()
+                },
             );
-            ch.map_window(1 << 40, 1 << 30, NodeId(1), 0).expect("window");
+            ch.map_window(1 << 40, 1 << 30, NodeId(1), 0)
+                .expect("window");
             let _ = ch.read_latency(&path, 1 << 40);
-            ch.sustained_read_gbps(&path, (1 << 40) + 64).expect("mapped")
+            ch.sustained_read_gbps(&path, (1 << 40) + 64)
+                .expect("mapped")
         })
         .collect();
     fig.measured = vec![Series::new("read bandwidth", values)];
@@ -125,7 +130,10 @@ pub fn ablation_credit_window() -> Figure {
             .iter()
             .map(|&w| {
                 let mut m = FlowControlModel::venice_default();
-                m.qpair = QpairConfig { credits: w, ..QpairConfig::on_chip() };
+                m.qpair = QpairConfig {
+                    credits: w,
+                    ..QpairConfig::on_chip()
+                };
                 m.effective_gbps(64, via)
             })
             .collect();
@@ -224,14 +232,22 @@ pub fn ablation_double_buffering() -> Figure {
     let path = PathModel::direct_pair();
     let mut with = RdmaEngine::new(
         NodeId(0),
-        RdmaConfig { double_buffering: true, ..RdmaConfig::default() },
+        RdmaConfig {
+            double_buffering: true,
+            ..RdmaConfig::default()
+        },
     );
     let mut without = RdmaEngine::new(
         NodeId(0),
-        RdmaConfig { double_buffering: false, ..RdmaConfig::default() },
+        RdmaConfig {
+            double_buffering: false,
+            ..RdmaConfig::default()
+        },
     );
     let t_with = with.batch_latency(&path, NodeId(1), 4096, 32).as_us_f64();
-    let t_without = without.batch_latency(&path, NodeId(1), 4096, 32).as_us_f64();
+    let t_without = without
+        .batch_latency(&path, NodeId(1), 4096, 32)
+        .as_us_f64();
     fig.measured = vec![Series::new("batch time", vec![t_with, t_without])];
     fig.notes = "double buffering shares one completion across the batch, \
                  'to reduce interrupt overheads' (§5.2.1)"

@@ -17,7 +17,8 @@ const QUERIES: u64 = 10_000;
 
 fn crma_line_latency() -> venice_sim::Time {
     let mut ch = CrmaChannel::new(NodeId(0), CrmaConfig::default());
-    ch.map_window(1 << 40, 1 << 30, NodeId(1), 0).expect("window");
+    ch.map_window(1 << 40, 1 << 30, NodeId(1), 0)
+        .expect("window");
     let path = PathModel::prototype_mesh();
     let _ = ch.read_latency(&path, 1 << 40);
     ch.read_latency(&path, (1 << 40) + 64).expect("mapped")
@@ -92,11 +93,7 @@ mod tests {
         let gap = remote[4] / local[4] - 1.0;
         assert!((0.02..0.12).contains(&gap), "gap = {gap:.3}");
         // The gap grows monotonically as the miss rate falls.
-        let gaps: Vec<f64> = local
-            .iter()
-            .zip(remote)
-            .map(|(l, r)| r / l - 1.0)
-            .collect();
+        let gaps: Vec<f64> = local.iter().zip(remote).map(|(l, r)| r / l - 1.0).collect();
         assert!(gaps.windows(2).all(|w| w[1] >= w[0] - 1e-9), "{gaps:?}");
     }
 

@@ -107,7 +107,8 @@ fn workloads() -> Vec<W> {
 
 fn crma_latency() -> Time {
     let mut ch = CrmaChannel::new(NodeId(0), CrmaConfig::default());
-    ch.map_window(1 << 40, 1 << 30, NodeId(1), 0).expect("window");
+    ch.map_window(1 << 40, 1 << 30, NodeId(1), 0)
+        .expect("window");
     let path = PathModel::prototype_mesh();
     let _ = ch.read_latency(&path, 1 << 40);
     ch.read_latency(&path, (1 << 40) + 64).expect("mapped")

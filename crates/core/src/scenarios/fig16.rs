@@ -20,9 +20,7 @@ pub fn fig16a() -> Figure {
         ("512MB dataset", FftDataset::large()),
     ] {
         let values: Vec<f64> = (1..=3)
-            .map(|remote| {
-                Dispatcher::fig16a(remote).speedup(dataset.bytes, dataset.task_bytes)
-            })
+            .map(|remote| Dispatcher::fig16a(remote).speedup(dataset.bytes, dataset.task_bytes))
             .collect();
         fig.measured.push(Series::new(label, values));
     }

@@ -17,15 +17,24 @@ fn patterns() -> Vec<(&'static str, TransferRequest)> {
     vec![
         (
             "In-Mem DB random access",
-            TransferRequest { bytes: 64 << 10, pattern: AccessPattern::RandomFineGrain },
+            TransferRequest {
+                bytes: 64 << 10,
+                pattern: AccessPattern::RandomFineGrain,
+            },
         ),
         (
             "CC contiguous access",
-            TransferRequest { bytes: 4 << 20, pattern: AccessPattern::Contiguous },
+            TransferRequest {
+                bytes: 4 << 20,
+                pattern: AccessPattern::Contiguous,
+            },
         ),
         (
             "Iperf msg passing",
-            TransferRequest { bytes: 256, pattern: AccessPattern::MessagePassing },
+            TransferRequest {
+                bytes: 256,
+                pattern: AccessPattern::MessagePassing,
+            },
         ),
     ]
 }
@@ -90,8 +99,7 @@ mod tests {
         let f = fig17();
         // The losing channels score far below 100 in every column.
         for col in 0..3 {
-            let mut scores: Vec<f64> =
-                f.measured.iter().map(|s| s.values[col]).collect();
+            let mut scores: Vec<f64> = f.measured.iter().map(|s| s.values[col]).collect();
             scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
             assert_eq!(scores[0], 100.0);
             assert!(scores[1] < 80.0, "col {col}: {scores:?}");

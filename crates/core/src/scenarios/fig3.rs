@@ -79,7 +79,10 @@ mod tests {
         let f = fig3();
         for (m, p) in f.measured[0].values.iter().zip(&f.paper[0].values) {
             let ratio = m / p;
-            assert!((0.5..2.0).contains(&ratio), "measured {m:.1} vs paper {p:.1}");
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "measured {m:.1} vs paper {p:.1}"
+            );
         }
     }
 

@@ -35,7 +35,10 @@ fn setups() -> Vec<Setup> {
 }
 
 fn columns() -> Vec<String> {
-    ChannelConfig::ALL.iter().map(|c| c.label().to_string()).collect()
+    ChannelConfig::ALL
+        .iter()
+        .map(|c| c.label().to_string())
+        .collect()
 }
 
 /// Generates Fig 5: normalized execution time per configuration.

@@ -38,7 +38,10 @@ pub fn validation() -> Figure {
         "prototype time / Xeon time",
     );
     let mixes = [0.0, 0.1, 0.2, 0.3];
-    fig.columns = mixes.iter().map(|m| format!("{:.0}% compute", m * 100.0)).collect();
+    fig.columns = mixes
+        .iter()
+        .map(|m| format!("{:.0}% compute", m * 100.0))
+        .collect();
     fig.measured = vec![Series::new(
         "scale factor",
         mixes.iter().map(|&m| scale_factor(m)).collect(),

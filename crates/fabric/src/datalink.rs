@@ -240,7 +240,9 @@ impl DatalinkRx {
         if packet.seq == self.expected_seq {
             self.expected_seq += 1;
             self.delivered += 1;
-            RxVerdict::Deliver { ack_seq: packet.seq }
+            RxVerdict::Deliver {
+                ack_seq: packet.seq,
+            }
         } else if packet.seq < self.expected_seq {
             RxVerdict::Duplicate {
                 ack_seq: self.expected_seq - 1,
@@ -340,7 +342,10 @@ mod tests {
         assert_eq!(rx.receive(&p1, true), RxVerdict::Nack { expected_seq: 1 });
         let replay = tx.on_nack(1);
         assert_eq!(replay.len(), 1);
-        assert_eq!(rx.receive(&replay[0], false), RxVerdict::Deliver { ack_seq: 1 });
+        assert_eq!(
+            rx.receive(&replay[0], false),
+            RxVerdict::Deliver { ack_seq: 1 }
+        );
     }
 
     #[test]

@@ -150,7 +150,12 @@ impl NetworkSim {
     /// Panics if any flow's endpoints are outside the mesh, or if the
     /// simulation exceeds its event budget (indicates livelock).
     pub fn run(self) -> NetworkRun {
-        let NetworkSim { mesh, link, switch, flows } = self;
+        let NetworkSim {
+            mesh,
+            link,
+            switch,
+            flows,
+        } = self;
         for f in &flows {
             assert!((f.src.0 as usize) < mesh.len(), "flow src out of range");
             assert!((f.dst.0 as usize) < mesh.len(), "flow dst out of range");
@@ -160,8 +165,7 @@ impl NetworkSim {
             link_busy: HashMap::new(),
             stats: vec![FlowStats::default(); flows.len()],
         };
-        let mut kernel = Kernel::new(state)
-            .with_event_limit(50_000_000);
+        let mut kernel = Kernel::new(state).with_event_limit(50_000_000);
         let mesh = std::rc::Rc::new(mesh);
         let link = std::rc::Rc::new(link);
         for (fid, f) in flows.iter().enumerate() {
@@ -230,7 +234,17 @@ fn forward(
     let arrive_in = (start - now) + ser + flight + extra;
     let link = std::rc::Rc::clone(link);
     s.schedule_in(arrive_in, move |st: &mut NetState, s| {
-        forward(st, s, fid, route, hop + 1, wire, &link, switch_transit, injected_at);
+        forward(
+            st,
+            s,
+            fid,
+            route,
+            hop + 1,
+            wire,
+            &link,
+            switch_transit,
+            injected_at,
+        );
     });
 }
 
@@ -293,7 +307,9 @@ mod tests {
             .run();
         let link = LinkParams::venice_prototype();
         let expect = link.one_way(80)
-            + (link.serialize(80) + link.phy_latency * 2 + link.cable_delay
+            + (link.serialize(80)
+                + link.phy_latency * 2
+                + link.cable_delay
                 + SwitchParams::venice_prototype().transit_latency)
                 * 2;
         assert_eq!(run.mean_latency(0), expect);

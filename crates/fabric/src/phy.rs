@@ -95,7 +95,10 @@ impl LinkParams {
     /// single link traversal: PHY out + cable + PHY in + serialization +
     /// any adapter penalty.
     pub fn one_way(&self, wire_bytes: u64) -> Time {
-        self.phy_latency * 2 + self.cable_delay + self.serialize(wire_bytes) + self.adapter_penalty()
+        self.phy_latency * 2
+            + self.cable_delay
+            + self.serialize(wire_bytes)
+            + self.adapter_penalty()
     }
 
     /// Latency of transiting an intermediate hop (store-and-forward at a

@@ -124,9 +124,17 @@ impl RoutingTable {
             } else {
                 let d = mesh.coord(dst);
                 if d.x != here.x {
-                    if d.x < here.x { OutPort(1) } else { OutPort(2) }
+                    if d.x < here.x {
+                        OutPort(1)
+                    } else {
+                        OutPort(2)
+                    }
                 } else if d.y != here.y {
-                    if d.y < here.y { OutPort(3) } else { OutPort(4) }
+                    if d.y < here.y {
+                        OutPort(3)
+                    } else {
+                        OutPort(4)
+                    }
                 } else if d.z < here.z {
                     OutPort(5)
                 } else {
@@ -142,7 +150,12 @@ impl RoutingTable {
 /// Walks packets across mesh routing tables, returning the nodes visited
 /// after `src` (including `dst`). Used by tests to prove table-driven
 /// forwarding agrees with [`Mesh3d::route`].
-pub fn forward_path(mesh: &Mesh3d, tables: &[RoutingTable], src: NodeId, dst: NodeId) -> Vec<NodeId> {
+pub fn forward_path(
+    mesh: &Mesh3d,
+    tables: &[RoutingTable],
+    src: NodeId,
+    dst: NodeId,
+) -> Vec<NodeId> {
     let mut path = Vec::new();
     let mut cur = src;
     while cur != dst {
@@ -172,7 +185,9 @@ mod tests {
     use super::*;
 
     fn all_tables(mesh: &Mesh3d) -> Vec<RoutingTable> {
-        mesh.nodes().map(|n| RoutingTable::for_mesh(mesh, n)).collect()
+        mesh.nodes()
+            .map(|n| RoutingTable::for_mesh(mesh, n))
+            .collect()
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl RoundRobinArbiter {
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "arbiter needs at least one requester");
-        RoundRobinArbiter { n, last_grant: n - 1 }
+        RoundRobinArbiter {
+            n,
+            last_grant: n - 1,
+        }
     }
 
     /// Grants one of the asserted requests (`true` entries), starting the

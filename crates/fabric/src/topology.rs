@@ -55,7 +55,10 @@ impl Mesh3d {
     ///
     /// Panics if any dimension is zero.
     pub fn new(dx: u16, dy: u16, dz: u16) -> Self {
-        assert!(dx > 0 && dy > 0 && dz > 0, "mesh dimensions must be positive");
+        assert!(
+            dx > 0 && dy > 0 && dz > 0,
+            "mesh dimensions must be positive"
+        );
         Mesh3d { dx, dy, dz }
     }
 
@@ -94,7 +97,10 @@ impl Mesh3d {
     ///
     /// Panics if coordinates are out of range.
     pub fn node_at(&self, c: Coord) -> NodeId {
-        assert!(c.x < self.dx && c.y < self.dy && c.z < self.dz, "coordinate out of range");
+        assert!(
+            c.x < self.dx && c.y < self.dy && c.z < self.dz,
+            "coordinate out of range"
+        );
         NodeId(c.x + c.y * self.dx + c.z * self.dx * self.dy)
     }
 

@@ -1,0 +1,548 @@
+//! The traffic engine: a discrete-event load generator over the cluster.
+//!
+//! One [`run`] call builds a real [`Cluster`] (Monitor-Node memory
+//! borrowing included), measures per-node CRMA latency for the borrowed
+//! tier, and then drives the configured [`ArrivalProcess`] through the
+//! admission controller, a per-node QPair (finite credits — transport
+//! backpressure), and per-node service slots. Every stochastic draw comes
+//! from one seeded [`SimRng`] consumed in event order, so a seed fully
+//! determines the run: identical seeds produce identical [`LoadReport`]s,
+//! bit for bit.
+
+use std::collections::VecDeque;
+
+use venice::cluster::Cluster;
+use venice::NodeId;
+use venice_sim::{Kernel, LogHistogram, Scheduler, SimRng, Time};
+use venice_transport::qpair::QpairError;
+use venice_transport::{PathModel, QpairConfig, QueuePair};
+use venice_workloads::ZipfSampler;
+
+use crate::admission::{AdmissionConfig, AdmissionControl, Decision, ShedReason};
+use crate::arrival::{exponential, ArrivalProcess};
+use crate::report::{LoadReport, TenantReport};
+use crate::tenants::{NodeModel, TenantClass, TenantMix};
+
+/// Local DRAM miss latency used for the non-borrowed tier.
+const LOCAL_MISS: Time = Time::from_ns(100);
+
+/// Full configuration of one loadgen run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenConfig {
+    /// Experiment seed; fully determines the run.
+    pub seed: u64,
+    /// Mesh dimensions (`dx`, `dy`, `dz`); the cluster has `dx*dy*dz`
+    /// nodes.
+    pub mesh: (u16, u16, u16),
+    /// Tenant mix to generate.
+    pub mix: TenantMix,
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+    /// Total requests to generate (issued, whether or not admitted).
+    pub requests: u64,
+    /// Service slots per node (cores dedicated to request work).
+    pub per_node_concurrency: u32,
+    /// Front-door admission control.
+    pub admission: AdmissionConfig,
+    /// Remote memory each node tries to borrow at setup (0 disables the
+    /// remote tier).
+    pub remote_memory_per_node: u64,
+}
+
+impl LoadgenConfig {
+    /// A sensible default configuration over `mix`: the paper's 8-node
+    /// mesh, 20 krps open-loop Poisson arrivals, 50 k requests, 8 service
+    /// slots per node, 256 MB borrowed per node.
+    pub fn new(seed: u64, mix: TenantMix) -> Self {
+        LoadgenConfig {
+            seed,
+            mesh: (2, 2, 2),
+            mix,
+            arrival: ArrivalProcess::OpenPoisson { rate_rps: 20_000.0 },
+            requests: 50_000,
+            per_node_concurrency: 8,
+            admission: AdmissionConfig::default(),
+            remote_memory_per_node: 256 << 20,
+        }
+    }
+
+    /// Number of nodes described by `mesh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh exceeds the `u16` `NodeId` space.
+    pub fn nodes(&self) -> u16 {
+        let n = self.mesh.0 as u32 * self.mesh.1 as u32 * self.mesh.2 as u32;
+        u16::try_from(n)
+            .unwrap_or_else(|_| panic!("mesh {:?} exceeds the u16 NodeId space", self.mesh))
+    }
+}
+
+/// One in-flight request (plain data so completion closures stay small).
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    class: u32,
+    node: u16,
+    arrival: Time,
+    service: Time,
+    req_bytes: u64,
+    resp_bytes: u64,
+}
+
+/// Per-node server state.
+struct Server {
+    /// Edge-gateway → node messaging channel (finite credits).
+    qp: QueuePair,
+    /// Busy-until time of each service slot.
+    slots: Vec<Time>,
+    /// Requests waiting for a QPair credit.
+    backlog: VecDeque<Request>,
+    /// Measured latency context.
+    model: NodeModel,
+    /// Times a request found no credit and had to wait (or was shed).
+    credit_waits: u64,
+}
+
+/// Per-tenant accumulators.
+struct Stats {
+    hist: LogHistogram,
+    bytes: u64,
+    admitted: u64,
+    shed_rate: u64,
+    shed_overload: u64,
+    shed_backpressure: u64,
+}
+
+impl Stats {
+    fn new() -> Self {
+        Stats {
+            hist: LogHistogram::new(),
+            bytes: 0,
+            admitted: 0,
+            shed_rate: 0,
+            shed_overload: 0,
+            shed_backpressure: 0,
+        }
+    }
+}
+
+/// The simulated world threaded through every event.
+struct World {
+    rng: SimRng,
+    classes: Vec<TenantClass>,
+    weights: Vec<f64>,
+    zipf: ZipfSampler,
+    admission: AdmissionControl,
+    servers: Vec<Server>,
+    path: PathModel,
+    stats: Vec<Stats>,
+    issued: u64,
+    target: u64,
+    completed: u64,
+    end: Time,
+    /// Mean think time when the arrival process is closed-loop.
+    think: Option<Time>,
+    /// Mean interarrival gap when the arrival process is open-loop.
+    mean_gap: Option<Time>,
+    backlog_cap: usize,
+}
+
+/// Open-loop arrival event: issue one request, schedule the next.
+fn open_arrival(w: &mut World, s: &mut Scheduler<World>) {
+    let now = s.now();
+    issue(w, s, now);
+    if w.issued < w.target {
+        let gap = exponential(&mut w.rng, w.mean_gap.expect("open loop"));
+        s.schedule_in(gap, open_arrival);
+    }
+}
+
+/// Closed-loop session event: issue the session's next request.
+fn session_arrival(w: &mut World, s: &mut Scheduler<World>) {
+    if w.issued >= w.target {
+        return; // session retires
+    }
+    let now = s.now();
+    issue(w, s, now);
+}
+
+/// Schedules the closed-loop session's next request, if any remain.
+fn schedule_next_session(w: &mut World, s: &mut Scheduler<World>) {
+    if let Some(think) = w.think {
+        if w.issued < w.target {
+            let gap = exponential(&mut w.rng, think);
+            s.schedule_in(gap, session_arrival);
+        }
+    }
+}
+
+/// Generates one request and runs it through admission.
+fn issue(w: &mut World, s: &mut Scheduler<World>, now: Time) {
+    w.issued += 1;
+    let class = w.rng.weighted_index(&w.weights);
+    let user = w.zipf.sample(&mut w.rng);
+    match w.admission.on_arrival(now) {
+        Decision::Shed(reason) => {
+            let st = &mut w.stats[class];
+            match reason {
+                ShedReason::RateLimit => st.shed_rate += 1,
+                ShedReason::Overload => st.shed_overload += 1,
+                ShedReason::Backpressure => st.shed_backpressure += 1,
+            }
+            // A shed closed-loop client backs off one think time and
+            // retries with a fresh request.
+            schedule_next_session(w, s);
+        }
+        Decision::Admit => {
+            w.stats[class].admitted += 1;
+            let node = (user % w.servers.len() as u64) as usize;
+            let service = w.classes[class]
+                .profile
+                .service_time(&mut w.rng, &w.servers[node].model);
+            let req = Request {
+                class: class as u32,
+                node: node as u16,
+                arrival: now,
+                service,
+                req_bytes: w.classes[class].profile.request_bytes(),
+                resp_bytes: w.classes[class].profile.response_bytes(),
+            };
+            dispatch(w, s, req);
+        }
+    }
+}
+
+/// Sends an admitted request toward its node, or parks it under
+/// backpressure.
+fn dispatch(w: &mut World, s: &mut Scheduler<World>, req: Request) {
+    let now = s.now();
+    let node = req.node as usize;
+    match w.servers[node].qp.post_send(req.req_bytes) {
+        Ok(()) => {
+            let lat = w.servers[node]
+                .qp
+                .message_latency(&w.path, req.req_bytes)
+                .expect("request payloads are bounded");
+            let deliver = now + lat;
+            let slot = {
+                let slots = &w.servers[node].slots;
+                let mut best = 0;
+                for (i, &t) in slots.iter().enumerate() {
+                    if t < slots[best] {
+                        best = i;
+                    }
+                }
+                best
+            };
+            let start = deliver.max(w.servers[node].slots[slot]);
+            let comp = start + req.service;
+            w.servers[node].slots[slot] = comp;
+            s.schedule_at(comp, move |w: &mut World, s| finish(w, s, req));
+        }
+        Err(QpairError::NoCredit) | Err(QpairError::QueueFull) => {
+            w.servers[node].credit_waits += 1;
+            if w.servers[node].backlog.len() < w.backlog_cap {
+                w.servers[node].backlog.push_back(req);
+            } else {
+                // The node is saturated beyond its backlog: drop the
+                // request and free its in-flight slot.
+                w.stats[req.class as usize].shed_backpressure += 1;
+                w.admission.on_completion();
+                schedule_next_session(w, s);
+            }
+        }
+        Err(e) => unreachable!("unexpected qpair error: {e:?}"),
+    }
+}
+
+/// Completion event: account the request, return the credit, and drain
+/// the node's backlog.
+fn finish(w: &mut World, s: &mut Scheduler<World>, req: Request) {
+    let now = s.now();
+    let st = &mut w.stats[req.class as usize];
+    st.hist.record(now - req.arrival);
+    st.bytes += req.req_bytes + req.resp_bytes;
+    w.completed += 1;
+    if now > w.end {
+        w.end = now;
+    }
+    w.admission.on_completion();
+    let node = req.node as usize;
+    w.servers[node].qp.drain_one();
+    w.servers[node].qp.credit_update(1);
+    if let Some(next) = w.servers[node].backlog.pop_front() {
+        dispatch(w, s, next);
+    }
+    schedule_next_session(w, s);
+}
+
+/// Runs one complete load-generation experiment.
+///
+/// # Panics
+///
+/// Panics if the configuration is internally inconsistent (zero requests,
+/// zero concurrency, or an empty mesh).
+pub fn run(config: &LoadgenConfig) -> LoadReport {
+    assert!(config.requests > 0, "need at least one request");
+    assert!(config.per_node_concurrency > 0, "need at least one slot");
+    let (dx, dy, dz) = config.mesh;
+    // Overflow-checked and bounded to the NodeId space; panics with a
+    // clear message on a degenerate or oversized mesh.
+    assert!(config.nodes() > 0, "mesh must be non-empty");
+
+    // 1. Build the cluster and provision the remote tier through the real
+    //    Fig 2 borrow flow; measure CRMA latency per node.
+    let mut cluster = Cluster::mesh(dx, dy, dz, 1 << 30, 512 << 20);
+    let n = cluster.len();
+    let mut remote_leases = 0u64;
+    let mut borrow_failures = 0u64;
+    let mut models = Vec::with_capacity(n);
+    for id in 0..n as u16 {
+        let model = if config.remote_memory_per_node > 0 {
+            match cluster.borrow_memory(NodeId(id), config.remote_memory_per_node) {
+                Ok(lease) => {
+                    // Warm the TLTLB with a throwaway read, then measure
+                    // the steady-state latency — the cold first access
+                    // pays a one-time translation-miss penalty that must
+                    // not be charged to every request.
+                    cluster
+                        .crma_read(NodeId(id), lease.local_base + 64)
+                        .expect("freshly mapped window is readable");
+                    let lat = cluster
+                        .crma_read(NodeId(id), lease.local_base + 64)
+                        .expect("freshly mapped window is readable");
+                    remote_leases += 1;
+                    NodeModel {
+                        local_miss: LOCAL_MISS,
+                        remote_miss: lat,
+                        has_remote: true,
+                    }
+                }
+                Err(_) => {
+                    borrow_failures += 1;
+                    NodeModel::local_only(LOCAL_MISS)
+                }
+            }
+        } else {
+            NodeModel::local_only(LOCAL_MISS)
+        };
+        models.push(model);
+    }
+
+    // 2. Assemble the world.
+    let gateway = NodeId(0);
+    let servers = models
+        .iter()
+        .enumerate()
+        .map(|(i, &model)| Server {
+            qp: QueuePair::new(gateway, NodeId(i as u16), QpairConfig::on_chip()),
+            slots: vec![Time::ZERO; config.per_node_concurrency as usize],
+            backlog: VecDeque::new(),
+            model,
+            credit_waits: 0,
+        })
+        .collect();
+    let mut rng = SimRng::seed(config.seed);
+    let engine_rng = rng.fork(0x10AD);
+    let (think, mean_gap) = match config.arrival {
+        ArrivalProcess::OpenPoisson { rate_rps } => {
+            (None, Some(Time::from_secs_f64(1.0 / rate_rps)))
+        }
+        ArrivalProcess::ClosedLoop { think, .. } => (Some(think), None),
+    };
+    let world = World {
+        rng: engine_rng,
+        classes: config.mix.classes.clone(),
+        weights: config.mix.weights(),
+        zipf: config.mix.user_sampler(),
+        admission: AdmissionControl::new(config.admission),
+        servers,
+        path: cluster.path.clone(),
+        stats: (0..config.mix.classes.len())
+            .map(|_| Stats::new())
+            .collect(),
+        issued: 0,
+        target: config.requests,
+        completed: 0,
+        end: Time::ZERO,
+        think,
+        mean_gap,
+        backlog_cap: config.admission.backlog_per_node,
+    };
+
+    // 3. Seed the event queue and run to completion.
+    let mut kernel =
+        Kernel::new(world).with_event_limit(config.requests.saturating_mul(8) + 10_000);
+    match config.arrival {
+        ArrivalProcess::OpenPoisson { .. } => {
+            kernel.schedule(Time::ZERO, open_arrival);
+        }
+        ArrivalProcess::ClosedLoop { sessions, think } => {
+            assert!(sessions > 0, "closed loop needs at least one session");
+            for _ in 0..sessions {
+                let start = exponential(kernel.state_mut().rng_mut(), think);
+                kernel.schedule(start, session_arrival);
+            }
+        }
+    }
+    kernel.run();
+
+    // 4. Summarize.
+    let w = kernel.into_state();
+    let duration = w.end;
+    let mut total_hist = LogHistogram::new();
+    let mut total_bytes = 0u64;
+    let mut admitted = 0u64;
+    let (mut shed_rate, mut shed_overload, mut shed_backpressure) = (0u64, 0u64, 0u64);
+    let mut tenants = Vec::with_capacity(w.classes.len());
+    for (class, st) in w.classes.iter().zip(&w.stats) {
+        total_hist.merge(&st.hist);
+        total_bytes += st.bytes;
+        admitted += st.admitted;
+        shed_rate += st.shed_rate;
+        shed_overload += st.shed_overload;
+        shed_backpressure += st.shed_backpressure;
+        tenants.push(TenantReport::from_stats(
+            class.name.clone(),
+            &st.hist,
+            st.admitted,
+            st.shed_rate + st.shed_overload + st.shed_backpressure,
+            st.bytes,
+            duration,
+        ));
+    }
+    let total = TenantReport::from_stats(
+        "all",
+        &total_hist,
+        admitted,
+        shed_rate + shed_overload + shed_backpressure,
+        total_bytes,
+        duration,
+    );
+    LoadReport {
+        mix: config.mix.name.clone(),
+        seed: config.seed,
+        nodes: n as u16,
+        duration,
+        issued: w.issued,
+        admitted,
+        completed: w.completed,
+        shed_rate,
+        shed_overload,
+        shed_backpressure,
+        credit_waits: w.servers.iter().map(|s| s.credit_waits).sum(),
+        remote_leases,
+        borrow_failures,
+        total,
+        tenants,
+    }
+}
+
+impl World {
+    /// Mutable access to the engine RNG (used to stagger closed-loop
+    /// session starts).
+    fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenants::TenantMix;
+
+    fn small(seed: u64) -> LoadgenConfig {
+        LoadgenConfig {
+            requests: 3_000,
+            ..LoadgenConfig::new(seed, TenantMix::web_frontend())
+        }
+    }
+
+    #[test]
+    fn runs_complete_and_conserve_requests() {
+        let r = run(&small(1));
+        assert_eq!(r.issued, 3_000);
+        assert_eq!(r.issued, r.admitted + r.shed_rate + r.shed_overload);
+        // Every admitted request either completed or was dropped under
+        // backpressure.
+        assert_eq!(r.admitted, r.completed + r.shed_backpressure);
+        assert!(r.completed > 0);
+        assert!(r.duration > Time::ZERO);
+        assert_eq!(r.nodes, 8);
+        assert_eq!(r.remote_leases + r.borrow_failures, 8);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let a = run(&small(42));
+        let b = run(&small(42));
+        assert_eq!(a, b);
+        let c = run(&small(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn per_tenant_rows_cover_all_completions() {
+        let r = run(&small(7));
+        let sum: u64 = r.tenants.iter().map(|t| t.completed).sum();
+        assert_eq!(sum, r.completed);
+        for t in &r.tenants {
+            if t.completed > 0 {
+                assert!(t.p50_us > 0.0);
+                assert!(t.p50_us <= t.p99_us + 1e-9);
+                assert!(t.p99_us <= t.p999_us + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_self_limits() {
+        let config = LoadgenConfig {
+            arrival: ArrivalProcess::ClosedLoop {
+                sessions: 64,
+                think: Time::from_ms(1),
+            },
+            requests: 2_000,
+            ..LoadgenConfig::new(5, TenantMix::messaging())
+        };
+        let r = run(&config);
+        assert_eq!(r.issued, 2_000);
+        // A 64-session closed loop cannot overload a 4096 in-flight cap.
+        assert_eq!(r.shed_overload, 0);
+        assert_eq!(r.completed, r.admitted);
+    }
+
+    #[test]
+    fn overload_sheds_and_backpressure_engages() {
+        let config = LoadgenConfig {
+            arrival: ArrivalProcess::OpenPoisson {
+                rate_rps: 2_000_000.0,
+            },
+            requests: 20_000,
+            admission: AdmissionConfig {
+                max_inflight: 256,
+                backlog_per_node: 16,
+                ..AdmissionConfig::default()
+            },
+            ..LoadgenConfig::new(11, TenantMix::web_frontend())
+        };
+        let r = run(&config);
+        assert!(r.shed_overload > 0, "no overload shedding at 2 Mrps");
+        assert!(r.credit_waits > 0, "qpair credits never exhausted");
+    }
+
+    #[test]
+    fn remote_tier_disabled_falls_back_to_local() {
+        let config = LoadgenConfig {
+            remote_memory_per_node: 0,
+            requests: 2_000,
+            ..LoadgenConfig::new(3, TenantMix::web_frontend())
+        };
+        let r = run(&config);
+        assert_eq!(r.remote_leases, 0);
+        // Cold caches miss to the slow backend: the tail is much worse
+        // than with the borrowed tier.
+        let with_remote = run(&small(3));
+        assert!(r.total.p99_us > with_remote.total.p99_us);
+    }
+}

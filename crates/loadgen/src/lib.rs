@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # venice-loadgen: deterministic traffic generation for the Venice cluster
+//!
+//! The paper evaluates Venice with one-shot workload runs on an 8-node
+//! prototype. This crate adds the layer a production-scale study needs:
+//! a discrete-event **traffic engine** that drives a [`venice::cluster::Cluster`]
+//! with sustained, multi-tenant load and reports tail latency per tenant.
+//!
+//! The pieces compose as follows:
+//!
+//! * [`arrival`] — open-loop Poisson and closed-loop think-time arrival
+//!   processes, seeded through [`venice_sim::SimRng`] so identical seeds
+//!   replay identical traces bit for bit;
+//! * [`tenants`] — [`tenants::TenantMix`]: weighted tenant classes wrapping
+//!   the calibrated `venice-workloads` request models (KV cache, OLTP,
+//!   PageRank, iperf) over a Zipf-skewed population of millions of
+//!   simulated users;
+//! * [`admission`] — token-bucket rate policing plus in-flight caps, with
+//!   QPair credit exhaustion acting as per-node transport backpressure;
+//! * [`engine`] — the event loop on [`venice_sim::Kernel`]: requests
+//!   transit a QPair from the edge gateway, queue on per-node service
+//!   slots, and record completion latency into
+//!   [`venice_sim::LogHistogram`]s (p50/p95/p99/p99.9 per tenant).
+//!   Cluster setup borrows remote memory through the Monitor Node under
+//!   contention and measures real CRMA read latency for the remote tier;
+//! * [`sweep`] — a rayon-parallel grid runner over (mesh size, tenant mix,
+//!   arrival rate) whose output is deterministic at any thread count;
+//! * [`scenarios`] — the `loadgen` figure family layered beyond the
+//!   paper's figures, consumed by the `figures` binary.
+//!
+//! # Example
+//!
+//! ```
+//! use venice_loadgen::{engine, tenants::TenantMix, LoadgenConfig};
+//!
+//! let config = LoadgenConfig {
+//!     requests: 2_000,
+//!     ..LoadgenConfig::new(42, TenantMix::web_frontend())
+//! };
+//! let a = engine::run(&config);
+//! let b = engine::run(&config);
+//! assert_eq!(a, b); // same seed, same traffic, same tails
+//! assert!(a.completed > 0);
+//! ```
+
+pub mod admission;
+pub mod arrival;
+pub mod engine;
+pub mod report;
+pub mod scenarios;
+pub mod sweep;
+pub mod tenants;
+
+pub use admission::AdmissionConfig;
+pub use arrival::ArrivalProcess;
+pub use engine::LoadgenConfig;
+pub use report::{LoadReport, TenantReport};
+pub use sweep::{SweepPoint, SweepSpec};
+pub use tenants::{RequestProfile, TenantClass, TenantMix};

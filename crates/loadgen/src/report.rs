@@ -1,0 +1,188 @@
+//! Load-run reports: per-tenant tail latency and throughput.
+
+use serde::{Deserialize, Serialize};
+use venice_sim::{LogHistogram, Time};
+
+/// Summary for one tenant class (or the whole run, for the `total` row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub tenant: String,
+    /// Requests admitted past the front door.
+    pub admitted: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed (rate limit + overload + backpressure).
+    pub shed: u64,
+    /// Mean end-to-end latency in microseconds.
+    pub mean_us: f64,
+    /// Median latency (µs).
+    pub p50_us: f64,
+    /// 95th percentile (µs).
+    pub p95_us: f64,
+    /// 99th percentile (µs).
+    pub p99_us: f64,
+    /// 99.9th percentile (µs).
+    pub p999_us: f64,
+    /// Completed requests per simulated second.
+    pub throughput_rps: f64,
+    /// Payload goodput in Gbps.
+    pub goodput_gbps: f64,
+}
+
+impl TenantReport {
+    /// Builds a report row from collected statistics.
+    pub fn from_stats(
+        tenant: impl Into<String>,
+        hist: &LogHistogram,
+        admitted: u64,
+        shed: u64,
+        bytes: u64,
+        duration: Time,
+    ) -> Self {
+        let us = |t: Option<Time>| t.map(|t| t.as_us_f64()).unwrap_or(0.0);
+        let secs = duration.as_secs_f64();
+        TenantReport {
+            tenant: tenant.into(),
+            admitted,
+            completed: hist.count(),
+            shed,
+            mean_us: us(Some(hist.mean())),
+            p50_us: us(hist.quantile(0.50)),
+            p95_us: us(hist.quantile(0.95)),
+            p99_us: us(hist.quantile(0.99)),
+            p999_us: us(hist.quantile(0.999)),
+            throughput_rps: if secs > 0.0 {
+                hist.count() as f64 / secs
+            } else {
+                0.0
+            },
+            goodput_gbps: if secs > 0.0 {
+                bytes as f64 * 8.0 / secs / 1e9
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// The complete result of one loadgen run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Tenant-mix name.
+    pub mix: String,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Cluster size (nodes).
+    pub nodes: u16,
+    /// Simulated time of the last completion.
+    pub duration: Time,
+    /// Requests generated.
+    pub issued: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Shed by the rate policer.
+    pub shed_rate: u64,
+    /// Shed by the in-flight cap.
+    pub shed_overload: u64,
+    /// Shed because a node's credit backlog overflowed.
+    pub shed_backpressure: u64,
+    /// Times a request had to wait in a node backlog for QPair credits.
+    pub credit_waits: u64,
+    /// Nodes that successfully borrowed a remote-memory lease at setup.
+    pub remote_leases: u64,
+    /// Nodes whose borrow was refused (donor contention).
+    pub borrow_failures: u64,
+    /// Whole-run summary row.
+    pub total: TenantReport,
+    /// Per-tenant rows, in mix order.
+    pub tenants: Vec<TenantReport>,
+}
+
+impl LoadReport {
+    /// All requests turned away.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_rate + self.shed_overload + self.shed_backpressure
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== loadgen {} — {} nodes, seed {} ==\n",
+            self.mix, self.nodes, self.seed
+        ));
+        out.push_str(&format!(
+            "issued {} admitted {} completed {} shed {} (rate {} / overload {} / backpressure {}) in {}\n",
+            self.issued,
+            self.admitted,
+            self.completed,
+            self.shed_total(),
+            self.shed_rate,
+            self.shed_overload,
+            self.shed_backpressure,
+            self.duration,
+        ));
+        out.push_str(&format!(
+            "remote leases {}/{} nodes, {} credit waits\n",
+            self.remote_leases, self.nodes, self.credit_waits,
+        ));
+        out.push_str(&format!(
+            "{:<14} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9}\n",
+            "tenant",
+            "completed",
+            "mean_us",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "p99.9_us",
+            "rps",
+            "gbps"
+        ));
+        for t in self.tenants.iter().chain(std::iter::once(&self.total)) {
+            out.push_str(&format!(
+                "{:<14} {:>10} {:>10.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>11.0} {:>9.3}\n",
+                t.tenant,
+                t.completed,
+                t.mean_us,
+                t.p50_us,
+                t.p95_us,
+                t.p99_us,
+                t.p999_us,
+                t.throughput_rps,
+                t.goodput_gbps,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_row_math() {
+        let mut h = LogHistogram::new();
+        for us in [100u64, 200, 300, 400] {
+            h.record(Time::from_us(us));
+        }
+        let r = TenantReport::from_stats("t", &h, 5, 1, 4_000_000, Time::from_secs(2));
+        assert_eq!(r.completed, 4);
+        assert!((r.mean_us - 250.0).abs() < 1.0);
+        assert!((r.throughput_rps - 2.0).abs() < 1e-9);
+        // 4 MB over 2 s = 16 Mbps.
+        assert!((r.goodput_gbps - 0.016).abs() < 1e-6);
+        assert!(r.p50_us <= r.p99_us && r.p99_us <= r.p999_us);
+    }
+
+    #[test]
+    fn empty_duration_is_safe() {
+        let h = LogHistogram::new();
+        let r = TenantReport::from_stats("t", &h, 0, 0, 0, Time::ZERO);
+        assert_eq!(r.throughput_rps, 0.0);
+        assert_eq!(r.p999_us, 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! The `loadgen` scenario family — figures beyond the paper's evaluation.
+//!
+//! The paper stops at one-shot workload runs on 8 nodes. These scenarios
+//! ask the production questions: how does the tail behave as offered load
+//! approaches saturation, what does the cluster actually sustain, and what
+//! does doubling the mesh buy — across three tenant mixes and two mesh
+//! sizes, all deterministic from one seed.
+
+use venice::Figure;
+
+use crate::engine::{self, LoadgenConfig};
+use crate::report::LoadReport;
+use crate::sweep::{self, SweepSpec};
+use crate::tenants::TenantMix;
+use crate::ArrivalProcess;
+
+/// Base seed of the published loadgen figures.
+pub const SCENARIO_SEED: u64 = 0x7EA1CE;
+
+/// The canonical sweep: 8- and 16-node meshes × three tenant mixes ×
+/// four offered rates spanning comfortable to saturating.
+pub fn default_sweep() -> SweepSpec {
+    SweepSpec {
+        seed: SCENARIO_SEED,
+        meshes: vec![(2, 2, 2), (4, 2, 2)],
+        mixes: TenantMix::presets(),
+        rates_rps: vec![5_000.0, 20_000.0, 80_000.0, 160_000.0],
+        requests_per_point: 20_000,
+    }
+}
+
+/// Every figure of the loadgen family (rayon-parallel under the hood).
+pub fn all() -> Vec<Figure> {
+    sweep::figures(&default_sweep())
+}
+
+/// The storm configurations backing the headline claim: ≥ 1 M simulated
+/// requests across the three canonical tenant mixes on a 16-node mesh.
+pub fn storm_configs(seed: u64) -> Vec<LoadgenConfig> {
+    TenantMix::presets()
+        .into_iter()
+        .map(|mix| LoadgenConfig {
+            mesh: (4, 2, 2),
+            arrival: ArrivalProcess::OpenPoisson {
+                rate_rps: 120_000.0,
+            },
+            requests: 350_000,
+            ..LoadgenConfig::new(seed, mix)
+        })
+        .collect()
+}
+
+/// Runs the full storm (one run per mix) and returns the reports.
+pub fn run_storm(seed: u64) -> Vec<LoadReport> {
+    storm_configs(seed).iter().map(engine::run).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_totals_exceed_a_million_requests() {
+        let configs = storm_configs(1);
+        assert!(configs.len() >= 3);
+        let total: u64 = configs.iter().map(|c| c.requests).sum();
+        assert!(total >= 1_000_000, "storm issues only {total} requests");
+    }
+
+    #[test]
+    fn default_sweep_covers_the_advertised_grid() {
+        let spec = default_sweep();
+        assert_eq!(spec.len(), 24);
+        assert!(spec.mixes.len() >= 3);
+        assert!(spec.meshes.contains(&(2, 2, 2)));
+    }
+}

@@ -1,0 +1,420 @@
+//! Tenant mixes: who sends traffic and what each request costs.
+//!
+//! A [`TenantMix`] composes weighted [`TenantClass`]es — each wrapping one
+//! of the calibrated `venice-workloads` request models — over a Zipf-skewed
+//! population of simulated users. Populations scale to millions without
+//! materializing per-user state: a user is a rank drawn from a
+//! [`ZipfSampler`], and the rank determines both activity skew and home
+//! node placement.
+
+use venice_sim::{SimRng, Time};
+use venice_workloads::kv::CacheMemory;
+use venice_workloads::{KvCache, OltpWorkload, PageRank, ZipfSampler};
+
+/// Latency context of the node serving a request, measured from the real
+/// cluster at engine setup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeModel {
+    /// Local DRAM miss service latency.
+    pub local_miss: Time,
+    /// Measured CRMA read latency to this node's borrowed window (only
+    /// meaningful when `has_remote`).
+    pub remote_miss: Time,
+    /// Whether the node holds a borrowed remote-memory lease.
+    pub has_remote: bool,
+}
+
+impl NodeModel {
+    /// A node that failed to borrow (local tier only).
+    pub fn local_only(local_miss: Time) -> Self {
+        NodeModel {
+            local_miss,
+            remote_miss: Time::ZERO,
+            has_remote: false,
+        }
+    }
+}
+
+/// Per-request cost model of one tenant class.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestProfile {
+    /// Redis-style cache lookup in front of a slow backend. Cache capacity
+    /// beyond the node's local tier lives in borrowed remote memory.
+    Kv {
+        /// The cache model (footprint, hit/miss costs).
+        cache: KvCache,
+        /// Cache capacity provisioned per node.
+        capacity_bytes: u64,
+    },
+    /// BerkeleyDB-style transaction: dependent index walks, 5 queries per
+    /// transaction.
+    Oltp {
+        /// The OLTP model.
+        workload: OltpWorkload,
+        /// Fraction of data-tier misses served by the remote tier when the
+        /// node holds a lease.
+        remote_fraction: f64,
+    },
+    /// A slice of PageRank edge work (latency-tolerant batch analytics).
+    PageRank {
+        /// The kernel cost model.
+        kernel: PageRank,
+        /// Edges traversed per request.
+        edges_per_request: u64,
+        /// Graph footprint backing the memory profile.
+        footprint_bytes: u64,
+        /// Remote-tier fraction when a lease is held.
+        remote_fraction: f64,
+    },
+    /// iperf-style messaging: the cost is transport-dominated; the server
+    /// only pays a small per-message CPU charge.
+    Iperf {
+        /// Payload bytes per message.
+        message_bytes: u64,
+        /// Per-message server CPU.
+        server_cpu: Time,
+    },
+}
+
+impl RequestProfile {
+    /// Request payload carried over the QPair from the edge gateway.
+    pub fn request_bytes(&self) -> u64 {
+        match self {
+            RequestProfile::Kv { .. } => 128,
+            RequestProfile::Oltp { .. } => 256,
+            RequestProfile::PageRank { .. } => 64,
+            RequestProfile::Iperf { message_bytes, .. } => *message_bytes,
+        }
+    }
+
+    /// Approximate response payload (for goodput accounting).
+    pub fn response_bytes(&self) -> u64 {
+        match self {
+            RequestProfile::Kv { cache, .. } => cache.value_bytes,
+            RequestProfile::Oltp { workload, .. } => workload.record_bytes * 4,
+            RequestProfile::PageRank { .. } => 64,
+            RequestProfile::Iperf { .. } => 4,
+        }
+    }
+
+    /// Server-side service time of one request on a node described by
+    /// `node`. Stochastic elements (cache hit/miss, service jitter) draw
+    /// from `rng`.
+    pub fn service_time(&self, rng: &mut SimRng, node: &NodeModel) -> Time {
+        let base = match self {
+            RequestProfile::Kv {
+                cache,
+                capacity_bytes,
+            } => {
+                let memory = if node.has_remote {
+                    CacheMemory::RemoteCrma(node.remote_miss)
+                } else {
+                    CacheMemory::Local
+                };
+                // Without a remote lease the node can only hold what fits
+                // in its local tier.
+                let capacity = if node.has_remote {
+                    *capacity_bytes
+                } else {
+                    (*capacity_bytes).min(cache.local_floor_bytes)
+                };
+                if rng.chance(cache.miss_rate(capacity)) {
+                    cache.backend_cost
+                } else {
+                    cache.hit_time(capacity, memory)
+                }
+            }
+            RequestProfile::Oltp {
+                workload,
+                remote_fraction,
+            } => {
+                let f = if node.has_remote {
+                    *remote_fraction
+                } else {
+                    0.0
+                };
+                workload
+                    .profile()
+                    .op_time_split(f, node.remote_miss, node.local_miss)
+                    * OltpWorkload::QUERIES_PER_TXN
+            }
+            RequestProfile::PageRank {
+                kernel,
+                edges_per_request,
+                footprint_bytes,
+                remote_fraction,
+            } => {
+                let f = if node.has_remote {
+                    *remote_fraction
+                } else {
+                    0.0
+                };
+                kernel
+                    .profile(*footprint_bytes)
+                    .op_time_split(f, node.remote_miss, node.local_miss)
+                    .scale(*edges_per_request as f64)
+            }
+            RequestProfile::Iperf { server_cpu, .. } => *server_cpu,
+        };
+        // ±10 % service jitter: dispersion that keeps the tail honest
+        // without changing means materially.
+        base.scale(0.9 + 0.2 * rng.unit())
+    }
+}
+
+/// One tenant class: a named request profile with a traffic weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantClass {
+    /// Tenant name (figure label).
+    pub name: String,
+    /// Request cost model.
+    pub profile: RequestProfile,
+    /// Relative traffic share (weights need not sum to 1).
+    pub weight: f64,
+}
+
+impl TenantClass {
+    /// Creates a class.
+    pub fn new(name: impl Into<String>, profile: RequestProfile, weight: f64) -> Self {
+        TenantClass {
+            name: name.into(),
+            profile,
+            weight,
+        }
+    }
+}
+
+/// A complete traffic mix: weighted tenant classes over a skewed user
+/// population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantMix {
+    /// Mix name (figure label).
+    pub name: String,
+    /// The tenant classes.
+    pub classes: Vec<TenantClass>,
+    /// Simulated user population (user ids are ranks in `[0, users)`).
+    pub users: u64,
+    /// Zipf skew of user activity in `[0, 1)`; 0.9 ≈ heavy-tailed web
+    /// traffic.
+    pub skew: f64,
+}
+
+impl TenantMix {
+    /// Creates a mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty, any weight is non-positive, `users`
+    /// is zero, or `skew` is outside `[0, 1)`.
+    pub fn new(name: impl Into<String>, classes: Vec<TenantClass>, users: u64, skew: f64) -> Self {
+        assert!(!classes.is_empty(), "mix needs at least one tenant class");
+        assert!(
+            classes.iter().all(|c| c.weight > 0.0),
+            "weights must be positive"
+        );
+        assert!(users > 0, "population must be non-empty");
+        assert!((0.0..1.0).contains(&skew), "skew must be in [0,1)");
+        TenantMix {
+            name: name.into(),
+            classes,
+            users,
+            skew,
+        }
+    }
+
+    /// The per-class weights, in class order.
+    pub fn weights(&self) -> Vec<f64> {
+        self.classes.iter().map(|c| c.weight).collect()
+    }
+
+    /// The user-activity sampler for this population.
+    pub fn user_sampler(&self) -> ZipfSampler {
+        ZipfSampler::new(self.users, self.skew)
+    }
+
+    /// A loadgen-scaled KV cache: millisecond-class backend misses and
+    /// tens-of-microseconds hits, so sustained-rate runs complete in
+    /// simulated seconds (the paper's Fig 14 parameters model a one-shot
+    /// batch query run and are 100x slower).
+    fn service_kv() -> KvCache {
+        KvCache {
+            value_bytes: 16 << 10,
+            key_count: 40_000, // 640 MB footprint: needs the remote tier
+            hit_cpu: Time::from_us(25),
+            backend_cost: Time::from_ms(2),
+            local_floor_bytes: 128 << 20,
+            crma_overlap: 4.0,
+        }
+    }
+
+    /// Web front-end mix: cache-heavy with transactional writes behind it.
+    pub fn web_frontend() -> Self {
+        TenantMix::new(
+            "web-frontend",
+            vec![
+                TenantClass::new(
+                    "kv-cache",
+                    RequestProfile::Kv {
+                        cache: Self::service_kv(),
+                        capacity_bytes: 512 << 20,
+                    },
+                    0.70,
+                ),
+                TenantClass::new(
+                    "oltp",
+                    RequestProfile::Oltp {
+                        workload: OltpWorkload::fig5(),
+                        remote_fraction: 0.5,
+                    },
+                    0.25,
+                ),
+                TenantClass::new(
+                    "telemetry",
+                    RequestProfile::Iperf {
+                        message_bytes: 256,
+                        server_cpu: Time::from_us(2),
+                    },
+                    0.05,
+                ),
+            ],
+            2_000_000,
+            0.9,
+        )
+    }
+
+    /// Analytics mix: edge-dominated batch work with a metadata store.
+    pub fn analytics() -> Self {
+        TenantMix::new(
+            "analytics",
+            vec![
+                TenantClass::new(
+                    "pagerank",
+                    RequestProfile::PageRank {
+                        kernel: PageRank::new(),
+                        edges_per_request: 64,
+                        footprint_bytes: 1 << 30,
+                        remote_fraction: 0.7,
+                    },
+                    0.60,
+                ),
+                TenantClass::new(
+                    "oltp-metadata",
+                    RequestProfile::Oltp {
+                        workload: OltpWorkload::fig5(),
+                        remote_fraction: 0.3,
+                    },
+                    0.20,
+                ),
+                TenantClass::new(
+                    "kv-results",
+                    RequestProfile::Kv {
+                        cache: Self::service_kv(),
+                        capacity_bytes: 256 << 20,
+                    },
+                    0.20,
+                ),
+            ],
+            500_000,
+            0.8,
+        )
+    }
+
+    /// Messaging mix: tiny-packet dominated, latency-critical.
+    pub fn messaging() -> Self {
+        TenantMix::new(
+            "messaging",
+            vec![
+                TenantClass::new(
+                    "fanout",
+                    RequestProfile::Iperf {
+                        message_bytes: 64,
+                        server_cpu: Time::from_us(4),
+                    },
+                    0.65,
+                ),
+                TenantClass::new(
+                    "inbox-kv",
+                    RequestProfile::Kv {
+                        cache: Self::service_kv(),
+                        capacity_bytes: 384 << 20,
+                    },
+                    0.35,
+                ),
+            ],
+            4_000_000,
+            0.95,
+        )
+    }
+
+    /// The three canonical mixes the scenarios sweep.
+    pub fn presets() -> Vec<TenantMix> {
+        vec![Self::web_frontend(), Self::analytics(), Self::messaging()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> NodeModel {
+        NodeModel {
+            local_miss: Time::from_ns(100),
+            remote_miss: Time::from_us(3),
+            has_remote: true,
+        }
+    }
+
+    #[test]
+    fn presets_are_well_formed() {
+        for mix in TenantMix::presets() {
+            assert!(!mix.classes.is_empty());
+            assert!(mix.users >= 500_000);
+            let z = mix.user_sampler();
+            let mut rng = SimRng::seed(1);
+            for _ in 0..100 {
+                assert!(z.sample(&mut rng) < mix.users);
+            }
+        }
+    }
+
+    #[test]
+    fn service_times_are_positive_and_seeded() {
+        let n = node();
+        for mix in TenantMix::presets() {
+            for class in &mix.classes {
+                let mut a = SimRng::seed(5);
+                let mut b = SimRng::seed(5);
+                let ta = class.profile.service_time(&mut a, &n);
+                let tb = class.profile.service_time(&mut b, &n);
+                assert_eq!(ta, tb, "{} not deterministic", class.name);
+                assert!(ta > Time::ZERO, "{} zero service", class.name);
+            }
+        }
+    }
+
+    #[test]
+    fn kv_miss_rate_drives_tail() {
+        let kv = RequestProfile::Kv {
+            cache: TenantMix::service_kv(),
+            capacity_bytes: 512 << 20,
+        };
+        let with_remote = node();
+        let without = NodeModel::local_only(Time::from_ns(100));
+        let mut rng = SimRng::seed(9);
+        let avg = |rng: &mut SimRng, n: &NodeModel| -> f64 {
+            let total: Time = (0..2000).map(|_| kv.service_time(rng, n)).sum();
+            total.as_us_f64() / 2000.0
+        };
+        let hot = avg(&mut rng, &with_remote);
+        let cold = avg(&mut rng, &without);
+        // Without the borrowed tier the cache shrinks to its local floor
+        // and misses to the slow backend dominate.
+        assert!(cold > hot * 2.0, "cold {cold}us vs hot {hot}us");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_mix_rejected() {
+        TenantMix::new("x", vec![], 10, 0.5);
+    }
+}

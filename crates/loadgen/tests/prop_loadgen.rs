@@ -1,0 +1,96 @@
+//! Property tests for loadgen determinism and accounting.
+//!
+//! The headline guarantees: identical seeds replay identical arrival
+//! traces and identical whole-run reports; histogram quantiles track the
+//! exact quantiles within the configured bucket resolution; and the
+//! request-conservation invariants hold for arbitrary configurations.
+
+use proptest::prelude::*;
+use venice_loadgen::arrival::PoissonArrivals;
+use venice_loadgen::{engine, ArrivalProcess, LoadgenConfig, TenantMix};
+use venice_sim::{LogHistogram, Time};
+
+proptest! {
+    /// Same-seed arrival traces are bit-identical; different seeds
+    /// diverge.
+    #[test]
+    fn arrival_traces_replay_bit_identically(
+        seed in 0u64..1_000_000,
+        rate in 100.0f64..1_000_000.0,
+        n in 1usize..2_000,
+    ) {
+        let a = PoissonArrivals::trace(rate, seed, n);
+        let b = PoissonArrivals::trace(rate, seed, n);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.windows(2).all(|w| w[0] <= w[1]), "trace not monotone");
+        let c = PoissonArrivals::trace(rate, seed.wrapping_add(1), n);
+        prop_assert_ne!(a, c);
+    }
+
+    /// Histogram quantiles never under-report and overshoot the exact
+    /// sample quantile by at most the bucket's relative resolution
+    /// (2^-7 at the default setting).
+    #[test]
+    fn histogram_quantiles_match_exact_within_resolution(
+        mut samples in prop::collection::vec(1u64..10_000_000_000, 10..400),
+        q in 0.01f64..1.0,
+    ) {
+        let mut h = LogHistogram::new();
+        for &ns in &samples {
+            h.record(Time::from_ns(ns));
+        }
+        samples.sort_unstable();
+        let rank = ((samples.len() as f64) * q).ceil().max(1.0) as usize - 1;
+        let exact = Time::from_ns(samples[rank]);
+        let est = h.quantile(q).unwrap();
+        prop_assert!(est >= exact, "q={q}: {est} under-reports exact {exact}");
+        let rel = (est.as_ps() - exact.as_ps()) as f64 / exact.as_ps() as f64;
+        prop_assert!(rel <= 1.0 / 128.0 + 1e-9, "q={q}: relative error {rel}");
+    }
+
+    /// Full engine runs conserve requests and replay identically under
+    /// arbitrary small configurations.
+    #[test]
+    fn engine_conserves_and_replays(
+        seed in 0u64..10_000,
+        rate in 1_000.0f64..500_000.0,
+        requests in 50u64..600,
+        mix_idx in 0usize..3,
+    ) {
+        let mix = TenantMix::presets().swap_remove(mix_idx);
+        let config = LoadgenConfig {
+            arrival: ArrivalProcess::OpenPoisson { rate_rps: rate },
+            requests,
+            ..LoadgenConfig::new(seed, mix)
+        };
+        let r = engine::run(&config);
+        prop_assert_eq!(r.issued, requests);
+        prop_assert_eq!(r.issued, r.admitted + r.shed_rate + r.shed_overload);
+        prop_assert_eq!(r.admitted, r.completed + r.shed_backpressure);
+        let sum: u64 = r.tenants.iter().map(|t| t.completed).sum();
+        prop_assert_eq!(sum, r.completed);
+        prop_assert_eq!(r, engine::run(&config));
+    }
+
+    /// Closed-loop runs complete every admitted request (the loop
+    /// self-limits, so nothing sheds on overload).
+    #[test]
+    fn closed_loop_completes_everything(
+        seed in 0u64..10_000,
+        sessions in 1u32..128,
+        requests in 20u64..400,
+    ) {
+        let config = LoadgenConfig {
+            arrival: ArrivalProcess::ClosedLoop {
+                sessions,
+                think: Time::from_us(500),
+            },
+            requests,
+            ..LoadgenConfig::new(seed, TenantMix::messaging())
+        };
+        let r = engine::run(&config);
+        prop_assert_eq!(r.issued, requests);
+        prop_assert_eq!(r.completed + r.shed_backpressure, r.admitted);
+        prop_assert!(r.duration > Time::ZERO);
+    }
+}

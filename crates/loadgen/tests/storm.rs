@@ -1,0 +1,76 @@
+//! The acceptance storm: a seeded run sustaining more than one million
+//! simulated requests across the three canonical tenant mixes, reporting
+//! per-tenant tails and throughput, and replaying bit-identically — plus
+//! thread-count independence of the rayon sweep.
+
+use venice_loadgen::scenarios;
+use venice_loadgen::sweep::{self, SweepSpec};
+use venice_loadgen::TenantMix;
+
+#[test]
+fn storm_sustains_a_million_requests_across_three_mixes() {
+    let reports = scenarios::run_storm(0xCAFE);
+    assert!(reports.len() >= 3, "need at least three tenant mixes");
+    let issued: u64 = reports.iter().map(|r| r.issued).sum();
+    let completed: u64 = reports.iter().map(|r| r.completed).sum();
+    assert!(issued >= 1_000_000, "storm issued only {issued} requests");
+    assert!(
+        completed as f64 >= issued as f64 * 0.95,
+        "storm lost too many requests: {completed}/{issued}"
+    );
+    let mut names: Vec<&str> = reports.iter().map(|r| r.mix.as_str()).collect();
+    names.dedup();
+    assert_eq!(names.len(), reports.len(), "mixes must be distinct");
+    for r in &reports {
+        assert!(r.duration.as_secs_f64() > 0.5, "{}: run too short", r.mix);
+        for t in &r.tenants {
+            assert!(t.completed > 0, "{}/{}: no completions", r.mix, t.tenant);
+            assert!(t.p50_us > 0.0, "{}/{}: missing p50", r.mix, t.tenant);
+            assert!(
+                t.p50_us <= t.p99_us + 1e-9,
+                "{}/{}: p50 {} above p99 {}",
+                r.mix,
+                t.tenant,
+                t.p50_us,
+                t.p99_us
+            );
+            assert!(
+                t.throughput_rps > 0.0,
+                "{}/{}: missing throughput",
+                r.mix,
+                t.tenant
+            );
+        }
+        // The borrowed remote tier was really provisioned through the
+        // Monitor Node.
+        assert!(r.remote_leases > 0, "{}: no remote leases", r.mix);
+    }
+}
+
+#[test]
+fn storm_replays_bit_identically() {
+    let a = scenarios::run_storm(0xF00D);
+    let b = scenarios::run_storm(0xF00D);
+    assert_eq!(a, b);
+    let c = scenarios::run_storm(0xF00E);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn sweep_figures_are_thread_count_independent() {
+    let spec = SweepSpec {
+        seed: 31,
+        meshes: vec![(2, 2, 1)],
+        mixes: vec![TenantMix::web_frontend(), TenantMix::analytics()],
+        rates_rps: vec![10_000.0, 60_000.0],
+        requests_per_point: 1_500,
+    };
+    // Both runs inside one test: the env var is process-global.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let single = sweep::figures(&spec);
+    std::env::set_var("RAYON_NUM_THREADS", "8");
+    let many = sweep::figures(&spec);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(single, many, "sweep output depends on thread count");
+    assert!(!single.is_empty());
+}

@@ -85,9 +85,16 @@ pub struct AddressSpace {
 impl AddressSpace {
     /// Creates an address space with one online region of `bytes` at 0.
     pub fn with_memory(node: NodeId, bytes: u64) -> Self {
-        let mut s = AddressSpace { node, regions: Vec::new() };
+        let mut s = AddressSpace {
+            node,
+            regions: Vec::new(),
+        };
         if bytes > 0 {
-            s.regions.push(Region { base: 0, size: bytes, state: RegionState::Online });
+            s.regions.push(Region {
+                base: 0,
+                size: bytes,
+                state: RegionState::Online,
+            });
         }
         s
     }
@@ -98,7 +105,11 @@ impl AddressSpace {
     }
 
     fn bytes_in(&self, pred: impl Fn(&RegionState) -> bool) -> u64 {
-        self.regions.iter().filter(|r| pred(&r.state)).map(|r| r.size).sum()
+        self.regions
+            .iter()
+            .filter(|r| pred(&r.state))
+            .map(|r| r.size)
+            .sum()
     }
 
     /// Memory visible to the local OS (online + borrowed).
@@ -123,13 +134,16 @@ impl AddressSpace {
 
     /// State of the region at `base`, if any.
     pub fn region_state(&self, base: u64) -> Option<RegionState> {
-        self.regions.iter().find(|r| r.base == base).map(|r| r.state)
+        self.regions
+            .iter()
+            .find(|r| r.base == base)
+            .map(|r| r.state)
     }
 
     fn overlaps(&self, base: u64, size: u64, ignore_base: Option<u64>) -> bool {
-        self.regions.iter().any(|r| {
-            Some(r.base) != ignore_base && r.base < base + size && base < r.base + r.size
-        })
+        self.regions
+            .iter()
+            .any(|r| Some(r.base) != ignore_base && r.base < base + size && base < r.base + r.size)
     }
 
     fn find_mut(&mut self, base: u64) -> Result<&mut Region, MemError> {
@@ -159,12 +173,24 @@ impl AddressSpace {
         let old = self.regions[idx];
         self.regions.remove(idx);
         if old.base < base {
-            self.regions.push(Region { base: old.base, size: base - old.base, state: RegionState::Online });
+            self.regions.push(Region {
+                base: old.base,
+                size: base - old.base,
+                state: RegionState::Online,
+            });
         }
-        self.regions.push(Region { base, size, state: RegionState::LentTo(recipient) });
+        self.regions.push(Region {
+            base,
+            size,
+            state: RegionState::LentTo(recipient),
+        });
         let end = old.base + old.size;
         if base + size < end {
-            self.regions.push(Region { base: base + size, size: end - (base + size), state: RegionState::Online });
+            self.regions.push(Region {
+                base: base + size,
+                size: end - (base + size),
+                state: RegionState::Online,
+            });
         }
         Ok(())
     }
@@ -197,7 +223,11 @@ impl AddressSpace {
         if self.overlaps(base, size, None) {
             return Err(MemError::Overlap);
         }
-        self.regions.push(Region { base, size, state: RegionState::BorrowedFrom(donor) });
+        self.regions.push(Region {
+            base,
+            size,
+            state: RegionState::BorrowedFrom(donor),
+        });
         Ok(())
     }
 
@@ -283,7 +313,10 @@ mod tests {
         a.hot_remove(1 << 30, 1 << 30, NodeId(1)).unwrap();
         assert_eq!(a.online_bytes(), 3 << 30);
         assert_eq!(a.lent_bytes(), 1 << 30);
-        assert_eq!(a.region_state(1 << 30), Some(RegionState::LentTo(NodeId(1))));
+        assert_eq!(
+            a.region_state(1 << 30),
+            Some(RegionState::LentTo(NodeId(1)))
+        );
         // The pieces before and after remain online.
         assert_eq!(a.region_state(0), Some(RegionState::Online));
         assert_eq!(a.region_state(2 << 30), Some(RegionState::Online));
@@ -324,7 +357,10 @@ mod tests {
     #[test]
     fn hot_plug_rejects_overlap() {
         let mut b = AddressSpace::with_memory(NodeId(1), 1 << 30);
-        assert_eq!(b.hot_plug(512 << 20, 1 << 30, NodeId(0)), Err(MemError::Overlap));
+        assert_eq!(
+            b.hot_plug(512 << 20, 1 << 30, NodeId(0)),
+            Err(MemError::Overlap)
+        );
         assert!(b.hot_plug(1 << 30, 1 << 30, NodeId(0)).is_ok());
     }
 

@@ -34,12 +34,18 @@ impl CacheModel {
     /// Panics unless capacity is divisible into a power-of-two number of
     /// sets of `ways` lines.
     pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways > 0, "associativity must be positive");
         let lines = capacity_bytes / line_bytes;
         assert!(lines >= ways as u64, "capacity too small for associativity");
         let set_count = lines / ways as u64;
-        assert!(set_count.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            set_count.is_power_of_two(),
+            "set count must be a power of two"
+        );
         CacheModel {
             sets: vec![Vec::with_capacity(ways); set_count as usize],
             ways,

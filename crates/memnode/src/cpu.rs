@@ -22,13 +22,19 @@ impl CpuModel {
     /// The prototype's 667 MHz Cortex-A9 (in-order-ish, CPI ≈ 1.3 on
     /// integer data-center code).
     pub fn venice_prototype() -> Self {
-        CpuModel { mhz: 667.0, cpi: 1.3 }
+        CpuModel {
+            mhz: 667.0,
+            cpi: 1.3,
+        }
     }
 
     /// A Xeon-E5620-class server core (2.4 GHz, wider issue), used by the
     /// §4.2 validation experiment.
     pub fn xeon_e5620() -> Self {
-        CpuModel { mhz: 2400.0, cpi: 0.7 }
+        CpuModel {
+            mhz: 2400.0,
+            cpi: 0.7,
+        }
     }
 
     /// Time to execute `instructions` of pure compute.

@@ -50,7 +50,10 @@ pub struct DiskBackend {
 impl DiskBackend {
     /// SATA-SSD-class device: ~90 µs op latency, 4 Gbps.
     pub fn ssd() -> Self {
-        DiskBackend { op_latency: Time::from_us(90), gbps: 4.0 }
+        DiskBackend {
+            op_latency: Time::from_us(90),
+            gbps: 4.0,
+        }
     }
 }
 
@@ -79,7 +82,11 @@ pub struct RdmaBackend {
 impl RdmaBackend {
     /// Creates a backend from `node` to `donor` over `path`.
     pub fn new(engine: RdmaEngine, path: PathModel, donor: NodeId) -> Self {
-        RdmaBackend { engine, path, donor }
+        RdmaBackend {
+            engine,
+            path,
+            donor,
+        }
     }
 
     /// Access to the engine's statistics.
@@ -139,7 +146,10 @@ impl<B: SwapBackend> SwapDevice<B> {
     ///
     /// Panics if `capacity_pages` is zero.
     pub fn new(capacity_pages: usize, page_bytes: u64, backend: B) -> Self {
-        assert!(capacity_pages > 0, "resident set must hold at least one page");
+        assert!(
+            capacity_pages > 0,
+            "resident set must hold at least one page"
+        );
         SwapDevice {
             resident: Vec::with_capacity(capacity_pages),
             capacity_pages,
@@ -243,7 +253,12 @@ mod tests {
         let mut dev = SwapDevice::new(1, 4096, DiskBackend::ssd());
         dev.touch(0, true);
         let (access, cost) = dev.touch(1, false);
-        assert_eq!(access, PageAccess::Fault { evicted_dirty: true });
+        assert_eq!(
+            access,
+            PageAccess::Fault {
+                evicted_dirty: true
+            }
+        );
         assert_eq!(dev.writebacks(), 1);
         // Cost covers fault overhead + write + read.
         let mut disk = DiskBackend::ssd();
@@ -256,7 +271,12 @@ mod tests {
         let mut dev = SwapDevice::new(1, 4096, DiskBackend::ssd());
         dev.touch(0, false);
         let (access, _) = dev.touch(1, false);
-        assert_eq!(access, PageAccess::Fault { evicted_dirty: false });
+        assert_eq!(
+            access,
+            PageAccess::Fault {
+                evicted_dirty: false
+            }
+        );
         assert_eq!(dev.writebacks(), 0);
     }
 

@@ -17,7 +17,11 @@ enum Op {
 fn ops() -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
         prop_oneof![
-            (0u16..4, 0u16..4, 1u64..64).prop_map(|(d, r, mb)| Op::Borrow { donor: d, recipient: r, mb }),
+            (0u16..4, 0u16..4, 1u64..64).prop_map(|(d, r, mb)| Op::Borrow {
+                donor: d,
+                recipient: r,
+                mb
+            }),
             (0usize..32).prop_map(|idx| Op::Release { idx }),
         ],
         0..40,

@@ -68,7 +68,10 @@ impl FlowTiming {
         let gb_scaled = |per_gb: Time| per_gb.scale(bytes as f64 / (1u64 << 30) as f64);
         vec![
             (FlowStep::RequestToMn, self.management_rtt),
-            (FlowStep::MnToDonor, self.management_rtt + self.mn_processing),
+            (
+                FlowStep::MnToDonor,
+                self.management_rtt + self.mn_processing,
+            ),
             (FlowStep::HotRemove, gb_scaled(self.hot_remove_per_gb)),
             (FlowStep::DonorInterfaceSetup, self.interface_setup),
             (FlowStep::GrantToRecipient, self.management_rtt),

@@ -184,7 +184,13 @@ impl MonitorNode {
                 self.rrt.consume(donor, kind, amount);
                 let id = self.rat.allocate(donor, recipient, kind, amount, addr, now);
                 self.grants_committed += 1;
-                return Ok(Grant { id, donor, recipient, amount, addr });
+                return Ok(Grant {
+                    id,
+                    donor,
+                    recipient,
+                    amount,
+                    addr,
+                });
             }
             // Stale record: zero it out so the next heartbeat refreshes it,
             // and try the next candidate.
@@ -224,7 +230,11 @@ impl MonitorNode {
 }
 
 fn all_resource_kinds() -> [ResourceKind; 3] {
-    [ResourceKind::Memory, ResourceKind::Accelerator, ResourceKind::Nic]
+    [
+        ResourceKind::Memory,
+        ResourceKind::Accelerator,
+        ResourceKind::Nic,
+    ]
 }
 
 #[cfg(test)]
@@ -235,7 +245,10 @@ mod tests {
     use venice_fabric::Mesh3d;
 
     fn mn() -> MonitorNode {
-        MonitorNode::new(Topology::Mesh(Mesh3d::prototype()), Box::new(DistancePolicy))
+        MonitorNode::new(
+            Topology::Mesh(Mesh3d::prototype()),
+            Box::new(DistancePolicy),
+        )
     }
 
     fn beat(mn: &mut MonitorNode, node: u16, idle: u64, at: Time) {
@@ -251,7 +264,14 @@ mod tests {
         beat(&mut m, 7, 1 << 30, Time::ZERO);
         beat(&mut m, 1, 1 << 30, Time::ZERO);
         let g = m
-            .request(NodeId(0), ResourceKind::Memory, 512 << 20, Time::ZERO, 3, |_, _| true)
+            .request(
+                NodeId(0),
+                ResourceKind::Memory,
+                512 << 20,
+                Time::ZERO,
+                3,
+                |_, _| true,
+            )
             .unwrap();
         assert_eq!(g.donor, NodeId(1));
         assert_eq!(g.addr, 0xC000_0000);
@@ -263,7 +283,14 @@ mod tests {
         let mut m = mn();
         beat(&mut m, 1, 100, Time::ZERO);
         let err = m
-            .request(NodeId(0), ResourceKind::Memory, 1 << 30, Time::ZERO, 3, |_, _| true)
+            .request(
+                NodeId(0),
+                ResourceKind::Memory,
+                1 << 30,
+                Time::ZERO,
+                3,
+                |_, _| true,
+            )
             .unwrap_err();
         assert_eq!(err, AllocError::NoCapacity);
     }
@@ -273,7 +300,14 @@ mod tests {
         let mut m = mn();
         beat(&mut m, 0, 1 << 30, Time::ZERO);
         let err = m
-            .request(NodeId(0), ResourceKind::Memory, 1 << 20, Time::ZERO, 3, |_, _| true)
+            .request(
+                NodeId(0),
+                ResourceKind::Memory,
+                1 << 20,
+                Time::ZERO,
+                3,
+                |_, _| true,
+            )
             .unwrap_err();
         assert_eq!(err, AllocError::NoCapacity);
     }
@@ -284,9 +318,14 @@ mod tests {
         beat(&mut m, 1, 1 << 30, Time::ZERO); // nearest but actually full
         beat(&mut m, 2, 1 << 30, Time::ZERO);
         let g = m
-            .request(NodeId(0), ResourceKind::Memory, 1 << 20, Time::ZERO, 3, |donor, _| {
-                donor != NodeId(1)
-            })
+            .request(
+                NodeId(0),
+                ResourceKind::Memory,
+                1 << 20,
+                Time::ZERO,
+                3,
+                |donor, _| donor != NodeId(1),
+            )
             .unwrap();
         assert_eq!(g.donor, NodeId(2));
         assert_eq!(m.handshake_refusals(), 1);
@@ -298,7 +337,14 @@ mod tests {
         beat(&mut m, 1, 1 << 30, Time::ZERO);
         beat(&mut m, 2, 1 << 30, Time::ZERO);
         let err = m
-            .request(NodeId(0), ResourceKind::Memory, 1 << 20, Time::ZERO, 5, |_, _| false)
+            .request(
+                NodeId(0),
+                ResourceKind::Memory,
+                1 << 20,
+                Time::ZERO,
+                5,
+                |_, _| false,
+            )
             .unwrap_err();
         assert_eq!(err, AllocError::RetriesExhausted { attempts: 2 });
     }
@@ -310,7 +356,14 @@ mod tests {
         beat(&mut m, 7, 1 << 30, Time::from_secs(10));
         // At t=10s node 1's heartbeat (t=0) is long stale.
         let g = m
-            .request(NodeId(0), ResourceKind::Memory, 1 << 20, Time::from_secs(10), 3, |_, _| true)
+            .request(
+                NodeId(0),
+                ResourceKind::Memory,
+                1 << 20,
+                Time::from_secs(10),
+                3,
+                |_, _| true,
+            )
             .unwrap();
         assert_eq!(g.donor, NodeId(7));
     }
@@ -320,15 +373,36 @@ mod tests {
         let mut m = mn();
         beat(&mut m, 1, 1 << 30, Time::ZERO);
         let g = m
-            .request(NodeId(0), ResourceKind::Memory, 1 << 30, Time::ZERO, 3, |_, _| true)
+            .request(
+                NodeId(0),
+                ResourceKind::Memory,
+                1 << 30,
+                Time::ZERO,
+                3,
+                |_, _| true,
+            )
             .unwrap();
         // Fully consumed: a second request fails.
         assert!(m
-            .request(NodeId(2), ResourceKind::Memory, 1 << 30, Time::ZERO, 3, |_, _| true)
+            .request(
+                NodeId(2),
+                ResourceKind::Memory,
+                1 << 30,
+                Time::ZERO,
+                3,
+                |_, _| true
+            )
             .is_err());
         m.release(g.id).unwrap();
         assert!(m
-            .request(NodeId(2), ResourceKind::Memory, 1 << 30, Time::ZERO, 3, |_, _| true)
+            .request(
+                NodeId(2),
+                ResourceKind::Memory,
+                1 << 30,
+                Time::ZERO,
+                3,
+                |_, _| true
+            )
             .is_ok());
     }
 
@@ -338,7 +412,14 @@ mod tests {
         beat(&mut m, 1, 1 << 30, Time::ZERO);
         beat(&mut m, 2, 1 << 30, Time::ZERO);
         let g = m
-            .request(NodeId(0), ResourceKind::Memory, 1 << 20, Time::ZERO, 3, |_, _| true)
+            .request(
+                NodeId(0),
+                ResourceKind::Memory,
+                1 << 20,
+                Time::ZERO,
+                3,
+                |_, _| true,
+            )
             .unwrap();
         assert_eq!(g.donor, NodeId(1));
         let affected = m.evict_node(NodeId(1));
@@ -346,7 +427,14 @@ mod tests {
         assert_eq!(m.active_allocations(), 0);
         // Node 1 no longer a candidate.
         let g2 = m
-            .request(NodeId(0), ResourceKind::Memory, 1 << 20, Time::ZERO, 3, |_, _| true)
+            .request(
+                NodeId(0),
+                ResourceKind::Memory,
+                1 << 20,
+                Time::ZERO,
+                3,
+                |_, _| true,
+            )
             .unwrap();
         assert_eq!(g2.donor, NodeId(2));
     }

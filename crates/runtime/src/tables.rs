@@ -162,12 +162,20 @@ impl Rat {
 
     /// All loans where `node` is the donor.
     pub fn donated_by(&self, node: NodeId) -> Vec<AllocationRecord> {
-        self.records.iter().filter(|r| r.donor == node).copied().collect()
+        self.records
+            .iter()
+            .filter(|r| r.donor == node)
+            .copied()
+            .collect()
     }
 
     /// All loans where `node` is the recipient.
     pub fn borrowed_by(&self, node: NodeId) -> Vec<AllocationRecord> {
-        self.records.iter().filter(|r| r.recipient == node).copied().collect()
+        self.records
+            .iter()
+            .filter(|r| r.recipient == node)
+            .copied()
+            .collect()
     }
 
     /// Number of in-force loans.
@@ -200,7 +208,10 @@ impl Tst {
 
     /// Whether the link is known up.
     pub fn is_up(&self, from: NodeId, to: NodeId) -> bool {
-        self.links.get(&(from, to)).map(|&(up, _)| up).unwrap_or(false)
+        self.links
+            .get(&(from, to))
+            .map(|&(up, _)| up)
+            .unwrap_or(false)
     }
 
     /// Last test time, if any.
@@ -262,7 +273,10 @@ mod tests {
     fn rrt_deregister_drops_all_kinds() {
         let mut rrt = Rrt::new();
         rrt.register(rec(1, 100));
-        rrt.register(ResourceRecord { kind: ResourceKind::Nic, ..rec(1, 2) });
+        rrt.register(ResourceRecord {
+            kind: ResourceKind::Nic,
+            ..rec(1, 2)
+        });
         assert_eq!(rrt.deregister_node(NodeId(1)), 2);
         assert!(rrt.available(ResourceKind::Memory).is_empty());
     }
@@ -270,7 +284,14 @@ mod tests {
     #[test]
     fn rat_lifecycle() {
         let mut rat = Rat::new();
-        let id = rat.allocate(NodeId(1), NodeId(2), ResourceKind::Memory, 1 << 30, 0xC000_0000, Time::ZERO);
+        let id = rat.allocate(
+            NodeId(1),
+            NodeId(2),
+            ResourceKind::Memory,
+            1 << 30,
+            0xC000_0000,
+            Time::ZERO,
+        );
         assert_eq!(rat.len(), 1);
         assert_eq!(rat.donated_by(NodeId(1)).len(), 1);
         assert_eq!(rat.borrowed_by(NodeId(2)).len(), 1);
@@ -287,7 +308,10 @@ mod tests {
         assert!(!tst.is_up(NodeId(0), NodeId(1)));
         tst.report(NodeId(0), NodeId(1), true, Time::from_secs(1));
         assert!(tst.is_up(NodeId(0), NodeId(1)));
-        assert_eq!(tst.last_tested(NodeId(0), NodeId(1)), Some(Time::from_secs(1)));
+        assert_eq!(
+            tst.last_tested(NodeId(0), NodeId(1)),
+            Some(Time::from_secs(1))
+        );
         tst.report(NodeId(0), NodeId(1), false, Time::from_secs(2));
         assert!(!tst.is_up(NodeId(0), NodeId(1)));
         assert_eq!(tst.down_count(), 1);

@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use venice_fabric::topology::Topology;
 use venice_fabric::{Mesh3d, NodeId};
 use venice_runtime::tables::{ResourceKind, ResourceRecord};
-use venice_runtime::{DistancePolicy, DonorPolicy, FirstFitPolicy, MonitorNode, MostFreePolicy, NodeAgent};
+use venice_runtime::{
+    DistancePolicy, DonorPolicy, FirstFitPolicy, MonitorNode, MostFreePolicy, NodeAgent,
+};
 use venice_sim::Time;
 
 fn monitor_with_capacity(per_node_mb: u64) -> MonitorNode {

@@ -40,5 +40,5 @@ pub use kernel::{Kernel, Scheduler};
 pub use queue::EventQueue;
 pub use rate::TokenBucket;
 pub use rng::SimRng;
-pub use stats::{Counter, Histogram, ThroughputMeter};
+pub use stats::{Counter, Histogram, LogHistogram, ThroughputMeter};
 pub use time::Time;

@@ -84,7 +84,11 @@ impl Histogram {
     /// Records one latency sample.
     pub fn record(&mut self, sample: Time) {
         let ns = sample.as_ns();
-        let idx = if ns == 0 { 0 } else { 63 - ns.leading_zeros() as usize };
+        let idx = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
         self.buckets[idx.min(63)] += 1;
         self.count += 1;
         self.sum += sample;
@@ -144,6 +148,196 @@ impl Histogram {
 }
 
 impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// HDR-style log-bucketed latency histogram with bounded relative error.
+///
+/// The original [`Histogram`] uses plain power-of-two buckets, which is
+/// fine for the paper's coarse figures but far too lossy for tail-latency
+/// reporting (p99 vs p99.9 can land in the same bucket). `LogHistogram`
+/// subdivides every power-of-two range into `2^sub_bits` linear
+/// sub-buckets, bounding the relative quantile error at `2^-sub_bits`
+/// (&lt; 1 % at the default 7 sub-bits) while keeping memory at a few tens
+/// of kilobytes. Used by `venice-loadgen` for per-tenant p50/p95/p99/p99.9.
+///
+/// # Example
+///
+/// ```
+/// use venice_sim::{stats::LogHistogram, Time};
+/// let mut h = LogHistogram::new();
+/// for us in 1..=1000u64 {
+///     h.record(Time::from_us(us));
+/// }
+/// let p50 = h.quantile(0.50).unwrap();
+/// // Within 1% of the exact median (500 us).
+/// assert!((p50.as_us_f64() - 500.0).abs() / 500.0 < 0.01 + 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    sub_bits: u32,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: Time,
+    min: Time,
+    max: Time,
+}
+
+impl LogHistogram {
+    /// Default sub-bucket resolution: 2^7 = 128 linear sub-buckets per
+    /// power of two, i.e. ≤ 0.79 % relative error.
+    pub const DEFAULT_SUB_BITS: u32 = 7;
+
+    /// Creates an empty histogram at the default resolution.
+    pub fn new() -> Self {
+        Self::with_resolution(Self::DEFAULT_SUB_BITS)
+    }
+
+    /// Creates an empty histogram with `2^sub_bits` sub-buckets per
+    /// power-of-two range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub_bits` is not in `[1, 16]`.
+    pub fn with_resolution(sub_bits: u32) -> Self {
+        assert!((1..=16).contains(&sub_bits), "sub_bits out of range");
+        let blocks = 64 - sub_bits + 1;
+        LogHistogram {
+            sub_bits,
+            buckets: vec![0; (blocks as usize) << sub_bits],
+            count: 0,
+            sum: Time::ZERO,
+            min: Time::MAX,
+            max: Time::ZERO,
+        }
+    }
+
+    /// Bucket index for a raw picosecond value.
+    fn index_of(&self, ps: u64) -> usize {
+        let sub = self.sub_bits;
+        if ps < (1 << sub) {
+            return ps as usize;
+        }
+        let msb = 63 - ps.leading_zeros();
+        let block = (msb - sub + 1) as usize;
+        let sub_idx = ((ps >> (msb - sub)) & ((1 << sub) - 1)) as usize;
+        (block << sub) | sub_idx
+    }
+
+    /// Largest value mapping to bucket `idx` (the reported quantile edge).
+    fn upper_edge(&self, idx: usize) -> u64 {
+        let sub = self.sub_bits;
+        let block = idx >> sub;
+        if block == 0 {
+            return idx as u64;
+        }
+        let msb = block as u32 + sub - 1;
+        let sub_idx = (idx & ((1 << sub) - 1)) as u64;
+        let width = 1u64 << (msb - sub);
+        // The topmost bucket's exclusive upper bound is 2^64; saturate
+        // instead of overflowing (callers clamp to the recorded max).
+        (1u64 << msb)
+            .checked_add((sub_idx + 1) * width)
+            .map(|upper| upper - 1)
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Time) {
+        let idx = self.index_of(sample.as_ps());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        // Saturate the running sum: extreme samples must not poison the
+        // whole histogram (the mean degrades, quantiles stay exact).
+        self.sum = self.sum.checked_add(sample).unwrap_or(Time::MAX);
+        if sample < self.min {
+            self.min = sample;
+        }
+        if sample > self.max {
+            self.max = sample;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean, or [`Time::ZERO`] when empty.
+    pub fn mean(&self) -> Time {
+        if self.count == 0 {
+            Time::ZERO
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<Time> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<Time> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), or `None` when empty.
+    ///
+    /// The result is the upper edge of the bucket holding the rank-`⌈qN⌉`
+    /// sample, clamped to the recorded maximum: it is never below the
+    /// exact quantile and overshoots it by at most a `2^-sub_bits`
+    /// fraction.
+    pub fn quantile(&self, q: f64) -> Option<Time> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Time::from_ps(self.upper_edge(i)).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Convenience tail summary: (p50, p95, p99, p99.9).
+    pub fn tail(&self) -> Option<(Time, Time, Time, Time)> {
+        Some((
+            self.quantile(0.50)?,
+            self.quantile(0.95)?,
+            self.quantile(0.99)?,
+            self.quantile(0.999)?,
+        ))
+    }
+
+    /// Folds `other` into `self` (used to merge per-shard histograms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different resolutions.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.sub_bits, other.sub_bits, "resolution mismatch");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.checked_add(other.sum).unwrap_or(Time::MAX);
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+impl Default for LogHistogram {
     fn default() -> Self {
         Self::new()
     }
@@ -242,6 +436,87 @@ mod tests {
         let p99 = h.percentile(0.99).unwrap();
         assert!(p50 <= p99);
         assert!(p99 <= Time::from_ns(2048));
+    }
+
+    #[test]
+    fn log_histogram_is_exact_below_subbucket_range() {
+        let mut h = LogHistogram::with_resolution(7);
+        for ps in 0..100u64 {
+            h.record(Time::from_ps(ps));
+        }
+        // Values below 2^7 ps land in exact unit buckets.
+        assert_eq!(h.quantile(0.5), Some(Time::from_ps(49)));
+        assert_eq!(h.quantile(1.0), Some(Time::from_ps(99)));
+        assert_eq!(h.min(), Some(Time::ZERO));
+    }
+
+    #[test]
+    fn log_histogram_bounds_relative_error() {
+        let mut h = LogHistogram::new();
+        let mut samples: Vec<u64> = (0..5000u64)
+            .map(|i| (i * 2_654_435_761) % 10_000_000 + 1)
+            .collect();
+        for &s in &samples {
+            h.record(Time::from_ns(s));
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((samples.len() as f64) * q).ceil().max(1.0) as usize - 1;
+            let exact = Time::from_ns(samples[rank]);
+            let est = h.quantile(q).unwrap();
+            assert!(est >= exact, "q={q}: {est} < exact {exact}");
+            let rel = (est.as_ps() - exact.as_ps()) as f64 / exact.as_ps() as f64;
+            assert!(rel <= 1.0 / 128.0 + 1e-9, "q={q}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn log_histogram_handles_extreme_samples() {
+        // Samples at the top of the u64 range must not overflow the
+        // bucket-edge arithmetic.
+        let mut h = LogHistogram::new();
+        h.record(Time::MAX);
+        h.record(Time::from_ps(u64::MAX - 1));
+        // Both land in the topmost bucket; the edge saturates and the
+        // clamp to the recorded max keeps the estimate exact.
+        assert_eq!(h.quantile(1.0), Some(Time::MAX));
+        assert_eq!(h.quantile(0.01), Some(Time::MAX));
+        assert_eq!(h.max(), Some(Time::MAX));
+    }
+
+    #[test]
+    fn log_histogram_merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for i in 1..=1000u64 {
+            let t = Time::from_us(i * 7 % 997 + 1);
+            if i % 2 == 0 {
+                a.record(t);
+            } else {
+                b.record(t);
+            }
+            whole.record(t);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.mean(), whole.mean());
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn log_histogram_empty_and_tail() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.99), None);
+        assert!(h.tail().is_none());
+        let mut h = LogHistogram::new();
+        h.record(Time::from_ms(3));
+        let (p50, p95, p99, p999) = h.tail().unwrap();
+        assert_eq!(p50, Time::from_ms(3));
+        assert_eq!(p999, Time::from_ms(3));
+        assert!(p95 <= p99);
     }
 
     #[test]

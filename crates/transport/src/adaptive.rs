@@ -100,7 +100,10 @@ impl AdaptiveLibrary {
             // Remote-CRMA interfaces provision fewer outstanding-request
             // slots than a local memory controller, which is what caps
             // CRMA's streaming bandwidth in Fig 17's contiguous case.
-            crma: CrmaConfig { mshrs: 8, ..CrmaConfig::default() },
+            crma: CrmaConfig {
+                mshrs: 8,
+                ..CrmaConfig::default()
+            },
             rdma: RdmaConfig::default(),
             qpair: QpairConfig::on_chip(),
         }
@@ -256,11 +259,23 @@ mod tests {
     #[test]
     fn pattern_driven_choices() {
         let l = lib();
-        assert_eq!(l.choose(req(64, AccessPattern::RandomFineGrain)), ChannelKind::Crma);
-        assert_eq!(l.choose(req(1 << 20, AccessPattern::Contiguous)), ChannelKind::Rdma);
-        assert_eq!(l.choose(req(128, AccessPattern::MessagePassing)), ChannelKind::Qpair);
+        assert_eq!(
+            l.choose(req(64, AccessPattern::RandomFineGrain)),
+            ChannelKind::Crma
+        );
+        assert_eq!(
+            l.choose(req(1 << 20, AccessPattern::Contiguous)),
+            ChannelKind::Rdma
+        );
+        assert_eq!(
+            l.choose(req(128, AccessPattern::MessagePassing)),
+            ChannelKind::Qpair
+        );
         // Tiny contiguous transfers avoid DMA setup.
-        assert_eq!(l.choose(req(128, AccessPattern::Contiguous)), ChannelKind::Crma);
+        assert_eq!(
+            l.choose(req(128, AccessPattern::Contiguous)),
+            ChannelKind::Crma
+        );
     }
 
     #[test]
@@ -268,7 +283,10 @@ mod tests {
         let l = lib();
         let path = PathModel::direct_pair();
         let cases = [
-            (req(1 << 16, AccessPattern::RandomFineGrain), ChannelKind::Crma),
+            (
+                req(1 << 16, AccessPattern::RandomFineGrain),
+                ChannelKind::Crma,
+            ),
             (req(1 << 22, AccessPattern::Contiguous), ChannelKind::Rdma),
             (req(4096, AccessPattern::MessagePassing), ChannelKind::Qpair),
         ];
@@ -287,7 +305,11 @@ mod tests {
         let ranked = l.rank(&path, NodeId(0), NodeId(1), r);
         let best = ranked[0].1;
         let worst = ranked[2].1;
-        assert!(worst.ratio(best) > 3.0, "penalty = {:.1}x", worst.ratio(best));
+        assert!(
+            worst.ratio(best) > 3.0,
+            "penalty = {:.1}x",
+            worst.ratio(best)
+        );
         // Contiguous access over messaging also pays multiples.
         let c = req(1 << 22, AccessPattern::Contiguous);
         let ranked = l.rank(&path, NodeId(0), NodeId(1), c);

@@ -103,8 +103,8 @@ impl FlowControlModel {
         // The window's packets serialize behind each other before the
         // last one is delivered and its buffer freed.
         let window_stream = self.path.link.serialize(msg_bytes + hdr) * self.qpair.credits as u64;
-        let delivery = self.path.one_way_bytes(self.src, self.dst, msg_bytes + hdr)
-            + self.qpair.rx_overhead;
+        let delivery =
+            self.path.one_way_bytes(self.src, self.dst, msg_bytes + hdr) + self.qpair.rx_overhead;
         delivery + window_stream + self.credit_return_latency(via)
     }
 

@@ -293,7 +293,13 @@ mod tests {
 
     #[test]
     fn mshrs_bound_outstanding_requests() {
-        let mut ch = CrmaChannel::new(NodeId(0), CrmaConfig { mshrs: 2, ..Default::default() });
+        let mut ch = CrmaChannel::new(
+            NodeId(0),
+            CrmaConfig {
+                mshrs: 2,
+                ..Default::default()
+            },
+        );
         let t1 = ch.issue().unwrap();
         let _t2 = ch.issue().unwrap();
         assert_eq!(ch.issue(), Err(CrmaBusy));
@@ -325,8 +331,15 @@ mod tests {
 
     #[test]
     fn bandwidth_capped_by_link() {
-        let mut ch = CrmaChannel::new(NodeId(0), CrmaConfig { mshrs: 4096, ..Default::default() });
-        ch.map_window(0x1_0000_0000, 0x4000_0000, NodeId(1), 0).unwrap();
+        let mut ch = CrmaChannel::new(
+            NodeId(0),
+            CrmaConfig {
+                mshrs: 4096,
+                ..Default::default()
+            },
+        );
+        ch.map_window(0x1_0000_0000, 0x4000_0000, NodeId(1), 0)
+            .unwrap();
         let path = PathModel::direct_pair();
         let bw = ch.sustained_read_gbps(&path, 0x1_0000_0000).unwrap();
         assert!(bw <= path.link_gbps() + 1e-9);
@@ -335,7 +348,9 @@ mod tests {
     #[test]
     fn teardown_stops_access() {
         let mut ch = CrmaChannel::new(NodeId(0), CrmaConfig::default());
-        let id = ch.map_window(0x1_0000_0000, 0x1000, NodeId(1), 0x2000).unwrap();
+        let id = ch
+            .map_window(0x1_0000_0000, 0x1000, NodeId(1), 0x2000)
+            .unwrap();
         let path = PathModel::direct_pair();
         assert!(ch.read_latency(&path, 0x1_0000_0000).is_some());
         ch.unmap_window(id).unwrap();

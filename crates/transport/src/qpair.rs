@@ -79,7 +79,8 @@ pub enum QpairError {
     /// Message exceeds the queue's registered buffer size.
     MessageTooLarge {
         /// Offending payload size.
-        bytes: u64 },
+        bytes: u64,
+    },
 }
 
 impl std::fmt::Display for QpairError {
@@ -304,7 +305,10 @@ mod tests {
         let mut q = QueuePair::new(
             NodeId(0),
             NodeId(1),
-            QpairConfig { credits: 2, ..QpairConfig::on_chip() },
+            QpairConfig {
+                credits: 2,
+                ..QpairConfig::on_chip()
+            },
         );
         q.post_send(64).unwrap();
         q.post_send(64).unwrap();
@@ -320,7 +324,11 @@ mod tests {
         let mut q = QueuePair::new(
             NodeId(0),
             NodeId(1),
-            QpairConfig { depth: 1, credits: 8, ..QpairConfig::on_chip() },
+            QpairConfig {
+                depth: 1,
+                credits: 8,
+                ..QpairConfig::on_chip()
+            },
         );
         q.post_send(64).unwrap();
         assert_eq!(q.post_send(64), Err(QpairError::QueueFull));

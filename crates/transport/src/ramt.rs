@@ -245,7 +245,10 @@ mod tests {
         r.map(0x4000, 0x1000, NodeId(2), 0x9000).unwrap();
         assert_eq!(
             r.translate(0x4ABC),
-            Some(RemoteRef { node: NodeId(2), addr: 0x9ABC })
+            Some(RemoteRef {
+                node: NodeId(2),
+                addr: 0x9ABC
+            })
         );
         assert_eq!(r.translate(0x5000), None);
         assert_eq!(r.lookups(), 2);

@@ -223,7 +223,10 @@ impl RdmaEngine {
     pub fn sustained_gbps(&self, path: &PathModel) -> f64 {
         let hdr = PacketKind::RdmaData.header_bytes();
         let payload = self.config.chunk_bytes as f64 * 8.0;
-        let wire_time = path.link.serialize(self.config.chunk_bytes + hdr).as_secs_f64();
+        let wire_time = path
+            .link
+            .serialize(self.config.chunk_bytes + hdr)
+            .as_secs_f64();
         (payload / wire_time / 1e9).min(path.link_gbps())
     }
 }
@@ -247,7 +250,13 @@ mod tests {
 
     #[test]
     fn ring_capacity_enforced() {
-        let mut e = RdmaEngine::new(NodeId(0), RdmaConfig { ring_entries: 2, ..Default::default() });
+        let mut e = RdmaEngine::new(
+            NodeId(0),
+            RdmaConfig {
+                ring_entries: 2,
+                ..Default::default()
+            },
+        );
         e.post(NodeId(1), 100).unwrap();
         e.post(NodeId(1), 100).unwrap();
         assert_eq!(e.post(NodeId(1), 100), Err(RdmaError::RingFull));
@@ -278,8 +287,20 @@ mod tests {
     #[test]
     fn double_buffering_saves_completions() {
         let path = PathModel::direct_pair();
-        let mut with = RdmaEngine::new(NodeId(0), RdmaConfig { double_buffering: true, ..Default::default() });
-        let mut without = RdmaEngine::new(NodeId(0), RdmaConfig { double_buffering: false, ..Default::default() });
+        let mut with = RdmaEngine::new(
+            NodeId(0),
+            RdmaConfig {
+                double_buffering: true,
+                ..Default::default()
+            },
+        );
+        let mut without = RdmaEngine::new(
+            NodeId(0),
+            RdmaConfig {
+                double_buffering: false,
+                ..Default::default()
+            },
+        );
         let t_with = with.batch_latency(&path, NodeId(1), 4096, 32);
         let t_without = without.batch_latency(&path, NodeId(1), 4096, 32);
         let saved = t_without - t_with;

@@ -49,7 +49,10 @@ impl Tltlb {
     /// Panics if `capacity` is zero or `page_size` is not a power of two.
     pub fn new(capacity: usize, page_size: u64, miss_penalty: Time) -> Self {
         assert!(capacity > 0, "TLB needs capacity");
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Tltlb {
             entries: Vec::with_capacity(capacity),
             capacity,

@@ -26,9 +26,7 @@ impl BondedInterface {
     /// gigabit NICs on distinct directly-reachable donors.
     pub fn fig16b(remote: u16) -> Self {
         let remotes = (0..remote)
-            .map(|i| {
-                VnicPath::prototype(NodeId(0), NodeId(i + 1), PathModel::prototype_mesh())
-            })
+            .map(|i| VnicPath::prototype(NodeId(0), NodeId(i + 1), PathModel::prototype_mesh()))
             .collect();
         BondedInterface {
             local: Nic::gigabit(),

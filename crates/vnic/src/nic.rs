@@ -73,7 +73,10 @@ mod tests {
 
     #[test]
     fn slow_driver_caps_pps() {
-        let n = Nic { gbps: 10.0, driver_per_packet: Time::from_us(1) };
+        let n = Nic {
+            gbps: 10.0,
+            driver_per_packet: Time::from_us(1),
+        };
         assert!((n.pps(64) - 1e6).abs() < 1.0);
     }
 }

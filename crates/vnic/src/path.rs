@@ -5,9 +5,9 @@
 //! Throughput is pipelined: sustained packet rate is set by the slowest
 //! *stage*, while one-packet latency is the sum of all stages.
 
+use venice_fabric::NodeId;
 use venice_sim::Time;
 use venice_transport::{PathModel, QpairConfig, QueuePair};
-use venice_fabric::NodeId;
 
 use crate::frame::wire_bytes;
 use crate::nic::Nic;

@@ -18,12 +18,18 @@ pub struct FftDataset {
 impl FftDataset {
     /// Fig 16a's small dataset.
     pub fn small() -> Self {
-        FftDataset { bytes: 8 << 20, task_bytes: 1 << 20 }
+        FftDataset {
+            bytes: 8 << 20,
+            task_bytes: 1 << 20,
+        }
     }
 
     /// Fig 16a's large dataset (the SPLASH2 512 MB input of Table 1).
     pub fn large() -> Self {
-        FftDataset { bytes: 512 << 20, task_bytes: 8 << 20 }
+        FftDataset {
+            bytes: 512 << 20,
+            task_bytes: 8 << 20,
+        }
     }
 
     /// Number of complex points.

@@ -23,12 +23,19 @@ pub struct Graph500 {
 impl Graph500 {
     /// The paper's configuration (scale 22 → 4 M vertices, 58.7 M edges).
     pub fn table1() -> Self {
-        Graph500 { scale: 22, edge_factor: 14, edge_cpu: Time::from_us(1) + Time::from_ns(500) }
+        Graph500 {
+            scale: 22,
+            edge_factor: 14,
+            edge_cpu: Time::from_us(1) + Time::from_ns(500),
+        }
     }
 
     /// A scaled-down instance for fast runs.
     pub fn scaled(scale: u32) -> Self {
-        Graph500 { scale, ..Self::table1() }
+        Graph500 {
+            scale,
+            ..Self::table1()
+        }
     }
 
     /// Generator matching this configuration.

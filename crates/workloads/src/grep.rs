@@ -53,7 +53,10 @@ impl GrepWorkload {
         if needle.is_empty() || haystack.len() < needle.len() {
             return 0;
         }
-        haystack.windows(needle.len()).filter(|w| w == &needle).count()
+        haystack
+            .windows(needle.len())
+            .filter(|w| w == &needle)
+            .count()
     }
 
     /// Memory profile per page scanned: 64 line fills, fully

@@ -21,7 +21,10 @@ impl IperfStream {
     /// Panics if either parameter is zero.
     pub fn new(packet_bytes: u64, packets: u64) -> Self {
         assert!(packet_bytes > 0 && packets > 0, "stream must be non-empty");
-        IperfStream { packet_bytes, packets }
+        IperfStream {
+            packet_bytes,
+            packets,
+        }
     }
 
     /// Total payload bytes.
@@ -65,7 +68,9 @@ mod tests {
     fn sweep_covers_table1_range() {
         assert_eq!(IperfStream::TABLE1_SIZES.first(), Some(&4));
         assert_eq!(IperfStream::TABLE1_SIZES.last(), Some(&256));
-        assert!(IperfStream::TABLE1_SIZES.windows(2).all(|w| w[1] == w[0] * 2));
+        assert!(IperfStream::TABLE1_SIZES
+            .windows(2)
+            .all(|w| w[1] == w[0] * 2));
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub enum CacheMemory {
 }
 
 /// The Fig 14 key/value service model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KvCache {
     /// Size of one cached value.
     pub value_bytes: u64,
@@ -93,12 +93,12 @@ impl KvCache {
 
     /// Execution time for `queries` random queries (the Fig 14 y-axis).
     pub fn run(&self, queries: u64, capacity_bytes: u64, memory: CacheMemory) -> Time {
-        self.query_time(capacity_bytes, memory).scale(queries as f64)
+        self.query_time(capacity_bytes, memory)
+            .scale(queries as f64)
     }
 
     /// The Fig 14 sweep points: 70 MB to 350 MB in 70 MB increments.
-    pub const FIG14_CAPACITIES: [u64; 5] =
-        [70 << 20, 140 << 20, 210 << 20, 280 << 20, 350 << 20];
+    pub const FIG14_CAPACITIES: [u64; 5] = [70 << 20, 140 << 20, 210 << 20, 280 << 20, 350 << 20];
 }
 
 #[cfg(test)]
@@ -134,9 +134,15 @@ mod tests {
             (8_000.0..16_000.0).contains(&t70.as_secs_f64()),
             "t70 = {t70}"
         );
-        assert!((500.0..1_100.0).contains(&t350.as_secs_f64()), "t350 = {t350}");
+        assert!(
+            (500.0..1_100.0).contains(&t350.as_secs_f64()),
+            "t350 = {t350}"
+        );
         let improvement = t70.ratio(t350);
-        assert!((10.0..20.0).contains(&improvement), "improvement = {improvement:.1}");
+        assert!(
+            (10.0..20.0).contains(&improvement),
+            "improvement = {improvement:.1}"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use venice_sim::Time;
 use crate::profile::{MemoryProfile, Pattern};
 
 /// The BerkeleyDB-like workload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OltpWorkload {
     /// Dataset size in bytes.
     pub dataset_bytes: u64,
@@ -113,7 +113,10 @@ mod tests {
 
     #[test]
     fn bigger_dataset_deepens_index() {
-        let small = OltpWorkload { dataset_bytes: 1 << 20, ..OltpWorkload::fig5() };
+        let small = OltpWorkload {
+            dataset_bytes: 1 << 20,
+            ..OltpWorkload::fig5()
+        };
         let big = OltpWorkload::fig3();
         assert!(big.index_depth() >= small.index_depth());
     }

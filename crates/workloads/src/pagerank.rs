@@ -13,7 +13,7 @@ use crate::profile::{MemoryProfile, Pattern};
 use crate::rmat::Csr;
 
 /// PageRank over a CSR graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PageRank {
     /// Damping factor (0.85 standard).
     pub damping: f64,
@@ -154,7 +154,9 @@ mod tests {
         let remote = Time::from_us(13);
         let local = Time::from_ns(150);
         let sync = p.slowdown(remote, local);
-        let asyn = p.with_overlap(PageRank::ASYNC_OVERLAP).slowdown(remote, local);
+        let asyn = p
+            .with_overlap(PageRank::ASYNC_OVERLAP)
+            .slowdown(remote, local);
         assert!(sync > 5.0, "sync = {sync:.2}");
         assert!(asyn < sync * 0.6, "async = {asyn:.2}");
     }

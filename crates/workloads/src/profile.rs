@@ -65,9 +65,7 @@ impl MemoryProfile {
     ) -> Time {
         let f = remote_frac.clamp(0.0, 1.0);
         let exposed = self.misses_per_op / self.overlap;
-        self.compute
-            + remote_latency.scale(exposed * f)
-            + local_latency.scale(exposed * (1.0 - f))
+        self.compute + remote_latency.scale(exposed * f) + local_latency.scale(exposed * (1.0 - f))
     }
 
     /// Execution time of `ops` operations.
@@ -85,7 +83,10 @@ impl MemoryProfile {
     /// rewrite of the same workload, à la Scale-out NUMA).
     pub fn with_overlap(&self, overlap: f64) -> MemoryProfile {
         assert!(overlap >= 1.0, "overlap must be >= 1");
-        MemoryProfile { overlap, ..self.clone() }
+        MemoryProfile {
+            overlap,
+            ..self.clone()
+        }
     }
 }
 

@@ -37,7 +37,13 @@ impl RmatGenerator {
     /// The Graph500 reference parameters.
     pub fn graph500(scale: u32, edge_factor: u32) -> Self {
         assert!(scale > 0 && scale < 40, "scale out of range");
-        RmatGenerator { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19 }
+        RmatGenerator {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
     }
 
     /// Number of vertices.
@@ -163,7 +169,7 @@ mod tests {
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         let total: usize = degrees.iter().sum();
         let top_share: usize = degrees[..41].iter().sum(); // top 1%
-        // R-MAT hubs: top 1% of vertices hold a large share of edges.
+                                                           // R-MAT hubs: top 1% of vertices hold a large share of edges.
         assert!(
             top_share as f64 / total as f64 > 0.15,
             "top share = {}",

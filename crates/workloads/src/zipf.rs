@@ -60,7 +60,14 @@ impl ZipfSampler {
         let zeta2 = zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        ZipfSampler { n, theta, alpha, zetan, eta, zeta2: zeta2.max(0.0) }
+        ZipfSampler {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2: zeta2.max(0.0),
+        }
     }
 
     /// Number of items.

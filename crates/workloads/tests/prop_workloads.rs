@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 use venice_sim::{SimRng, Time};
+use venice_workloads::kv::CacheMemory;
 use venice_workloads::rmat::{Csr, RmatGenerator};
 use venice_workloads::{ConnectedComponents, Graph500, KvCache, PageRank, ZipfSampler};
-use venice_workloads::kv::CacheMemory;
 
 proptest! {
     /// Zipf samples stay in range and the analytic hit rate is a CDF:

@@ -21,17 +21,18 @@ fn main() {
         let d = Dispatcher::fig16a(remote);
         let small = d.speedup(FftDataset::small().bytes, FftDataset::small().task_bytes);
         let large = d.speedup(FftDataset::large().bytes, FftDataset::large().task_bytes);
-        println!("{:>14} {:>11.2}x {:>11.2}x", format!("LA+{remote}RA"), small, large);
+        println!(
+            "{:>14} {:>11.2}x {:>11.2}x",
+            format!("LA+{remote}RA"),
+            small,
+            large
+        );
     }
 
     println!("\n== Mailbox service vs exclusive direct mapping ==");
     let path = PathModel::direct_pair();
-    let mut direct = DirectAccelerator::map(
-        NodeId(0),
-        NodeId(1),
-        AcceleratorModel::xfft(),
-        path.clone(),
-    );
+    let mut direct =
+        DirectAccelerator::map(NodeId(0), NodeId(1), AcceleratorModel::xfft(), path.clone());
     let dispatcher = Dispatcher {
         client: NodeId(0),
         handles: vec![venice_accel::AcceleratorHandle {
@@ -43,7 +44,10 @@ fn main() {
         agent: venice_accel::HostAgent::new(),
         local_copy_gbps: 40.0,
     };
-    println!("{:>10} {:>14} {:>14} {:>8}", "task", "mailbox", "direct", "gain");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8}",
+        "task", "mailbox", "direct", "gain"
+    );
     for kb in [16u64, 64, 256, 1024] {
         let bytes = kb << 10;
         let mailbox = dispatcher.task_time(&dispatcher.handles[0], bytes);

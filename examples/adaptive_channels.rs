@@ -17,9 +17,27 @@ fn main() {
 
     println!("== Channel selection and mismatch penalties (Fig 17) ==");
     let cases = [
-        ("random 64KB of 64B lookups", TransferRequest { bytes: 64 << 10, pattern: AccessPattern::RandomFineGrain }),
-        ("contiguous 4MB stream", TransferRequest { bytes: 4 << 20, pattern: AccessPattern::Contiguous }),
-        ("256B message", TransferRequest { bytes: 256, pattern: AccessPattern::MessagePassing }),
+        (
+            "random 64KB of 64B lookups",
+            TransferRequest {
+                bytes: 64 << 10,
+                pattern: AccessPattern::RandomFineGrain,
+            },
+        ),
+        (
+            "contiguous 4MB stream",
+            TransferRequest {
+                bytes: 4 << 20,
+                pattern: AccessPattern::Contiguous,
+            },
+        ),
+        (
+            "256B message",
+            TransferRequest {
+                bytes: 256,
+                pattern: AccessPattern::MessagePassing,
+            },
+        ),
     ];
     for (name, req) in cases {
         let choice = lib.choose(req);

@@ -23,7 +23,10 @@ fn main() {
     let queries = 10_000;
 
     println!("== Redis service with donated memory (Fig 14) ==");
-    println!("{:>10} {:>10} {:>14} {:>14} {:>10}", "capacity", "donor", "miss rate", "exec (local)", "exec (rem)");
+    println!(
+        "{:>10} {:>10} {:>14} {:>14} {:>10}",
+        "capacity", "donor", "miss rate", "exec (local)", "exec (rem)"
+    );
     let mut leases = Vec::new();
     for capacity in KvCache::FIG14_CAPACITIES {
         // Grow the borrowed pool to match the capacity step (70 MB

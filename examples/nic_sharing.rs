@@ -40,11 +40,11 @@ fn main() {
     let mut v = VnicPath::prototype(NodeId(0), NodeId(1), PathModel::prototype_mesh());
     let local = Nic::gigabit();
     println!("bottleneck stage: {}", v.bottleneck_stage(256));
-    println!("one-packet latency through the VNIC: {}", v.packet_latency(256));
     println!(
-        "remote/local pps ratio: {:.2}",
-        v.pps(256) / local.pps(256)
+        "one-packet latency through the VNIC: {}",
+        v.packet_latency(256)
     );
+    println!("remote/local pps ratio: {:.2}", v.pps(256) / local.pps(256));
     println!(
         "\ntiny packets are donor-CPU bound (backend driver + bridge);\n\
          256 B packets recover ~85% of aggregate line capacity, matching Fig 16b"

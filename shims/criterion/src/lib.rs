@@ -1,0 +1,112 @@
+//! Offline shim of `criterion`. Offers the macro/builder surface the bench
+//! targets use (`criterion_group!`, `criterion_main!`, groups, and
+//! `Bencher::iter`) and measures mean wall-clock per iteration over a small
+//! fixed sample. When invoked with `--test` (as `cargo test` does for
+//! harness-less bench targets) each closure runs exactly once so benches
+//! double as smoke tests.
+
+use std::time::Instant;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { parent: self }
+    }
+
+    /// Registers a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.test_mode, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers a benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.parent.test_mode, &mut f);
+        self
+    }
+
+    /// Ends the group (provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, test_mode: bool, f: &mut F) {
+    let mut b = Bencher {
+        iters: if test_mode { 1 } else { 10 },
+        total_nanos: 0,
+        ran: 0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("  {name}: ok");
+    } else if b.ran > 0 {
+        println!(
+            "  {name}: {:.3} ms/iter ({} iters)",
+            b.total_nanos as f64 / b.ran as f64 / 1e6,
+            b.ran
+        );
+    }
+}
+
+/// Passed to each benchmark closure; times the inner loop.
+pub struct Bencher {
+    iters: u64,
+    total_nanos: u128,
+    ran: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = routine();
+            self.total_nanos += start.elapsed().as_nanos();
+            self.ran += 1;
+            drop(out);
+        }
+    }
+}
+
+/// Opaque group handle produced by [`criterion_group!`].
+pub struct GroupFn(pub fn());
+
+/// Declares a benchmark group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,255 @@
+//! Offline shim of the small slice of the `rand` 0.8 API this workspace
+//! uses. The build environment has no access to crates.io, so the
+//! workspace patches `rand` to this crate. Only determinism and uniformity
+//! are promised — the exact streams differ from upstream `rand`, which is
+//! fine because every consumer seeds through `venice_sim::SimRng` and the
+//! tests assert statistical properties, not literal draws.
+
+pub mod rngs;
+
+pub mod distributions {
+    //! Uniform sampling support for [`crate::Rng::gen_range`].
+    pub mod uniform {
+        //! The `SampleUniform` / `SampleRange` traits.
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Types that can be drawn uniformly from a range.
+        pub trait SampleUniform: Sized + PartialOrd {
+            /// Draws uniformly from `[low, high)` (`high` inclusive when
+            /// `inclusive` is set).
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self;
+        }
+
+        macro_rules! impl_sample_uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: Self,
+                        high: Self,
+                        inclusive: bool,
+                    ) -> Self {
+                        let lo = low as i128;
+                        let hi = high as i128 + if inclusive { 1 } else { 0 };
+                        assert!(lo < hi, "cannot sample from empty range");
+                        let span = (hi - lo) as u128;
+                        let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128)
+                            % span;
+                        (lo + draw as i128) as $t
+                    }
+                }
+            )*};
+        }
+        impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! impl_sample_uniform_float {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: Self,
+                        high: Self,
+                        _inclusive: bool,
+                    ) -> Self {
+                        assert!(low < high, "cannot sample from empty range");
+                        let unit = (rng.next_u64() >> 11) as $t
+                            / (1u64 << 53) as $t;
+                        low + unit * (high - low)
+                    }
+                }
+            )*};
+        }
+        impl_sample_uniform_float!(f32, f64);
+
+        /// Ranges a value can be drawn from.
+        pub trait SampleRange<T> {
+            /// Draws one value.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_uniform(rng, self.start, self.end, false)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (start, end) = self.into_inner();
+                T::sample_uniform(rng, start, end, true)
+            }
+        }
+    }
+}
+
+/// Error type for fallible RNG operations; the shim never fails.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("rng error (unreachable in shim)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Raw generator interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible fill; the shim always succeeds.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience draws layered over [`RngCore`]; blanket-implemented like
+/// upstream `rand`.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// Draws a value of a [`Standard`]-distributed type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// Fills `dest` with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self)
+    }
+}
+
+/// Types fillable with random data (`Rng::fill`).
+pub trait Fill {
+    /// Fills `self` from `rng`.
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types drawable from the "standard" distribution (`Rng::gen`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+    }
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(10);
+        assert_ne!(SmallRng::seed_from_u64(9).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_inclusive_and_exclusive() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u8 = r.gen_range(0..=3);
+            assert!(x <= 3);
+            let y: i32 = r.gen_range(-5..5);
+            assert!((-5..5).contains(&y));
+            let z: f64 = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "heads={heads}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

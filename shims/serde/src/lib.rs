@@ -1,0 +1,282 @@
+//! Offline shim of `serde`, built because this workspace cannot reach
+//! crates.io. Instead of upstream's visitor architecture it uses a simple
+//! JSON-shaped [`Value`] tree: `Serialize` lowers a type into a `Value`,
+//! `Deserialize` raises one back. `serde_json` (also shimmed) renders and
+//! parses that tree. The `derive` feature re-exports derive macros from
+//! `serde_derive` that target these traits, so the workspace's
+//! `#[derive(Serialize, Deserialize)]` usage compiles unchanged.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped data-model value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (kept exact; never routed through `f64`).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object: ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error (wrong shape, missing field, parse failure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error with a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be lowered into a [`Value`].
+pub trait Serialize {
+    /// Lowers `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be raised from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Raises a value from the data model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Derive-macro helper: looks up and deserializes a struct field.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    let f = v
+        .get(name)
+        .ok_or_else(|| DeError::msg(format!("missing field `{name}`")))?;
+    T::from_value(f).map_err(|e| DeError::msg(format!("field `{name}`: {}", e.0)))
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg("integer out of range")),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg("integer out of range")),
+                    _ => Err(DeError::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg("integer out of range")),
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg("integer out of range")),
+                    _ => Err(DeError::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            _ => Err(DeError::msg("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// `&'static str` fields appear in config structs. Upstream serde would
+// borrow from the input; this shim deserializes rarely and only in tests,
+// so leaking the tiny parsed string is an acceptable trade for a 'static
+// borrow.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(DeError::msg("expected string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::msg("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2].to_value()),
+            Ok(vec![1, 2])
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn exact_u64_survives() {
+        let big = u64::MAX - 3;
+        assert_eq!(u64::from_value(&big.to_value()), Ok(big));
+    }
+
+    #[test]
+    fn shape_errors_reported() {
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+        assert!(field::<u64>(&Value::Object(vec![]), "x").is_err());
+    }
+}

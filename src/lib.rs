@@ -1,0 +1,10 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the Venice reproduction workspace.
+//!
+//! The library itself is intentionally empty: this package exists to host
+//! the cross-crate integration tests under `tests/` and the runnable
+//! examples under `examples/`. The actual functionality lives in the
+//! `venice-*` crates under `crates/` — start from [`venice`] (the cluster
+//! composition and figure scenarios) and `venice_loadgen` (the traffic
+//! generator).

@@ -50,7 +50,9 @@ fn build() -> Kernel<World> {
         dead_node: None,
     });
     for idx in 0..n {
-        kernel.schedule(Time::ZERO, move |_w: &mut World, s| schedule_heartbeat(idx, s));
+        kernel.schedule(Time::ZERO, move |_w: &mut World, s| {
+            schedule_heartbeat(idx, s)
+        });
     }
     kernel
 }
@@ -62,7 +64,11 @@ fn heartbeats_establish_liveness_over_simulated_time() {
     let w = k.state();
     let now = k.now();
     for a in &w.agents {
-        assert!(w.monitor.node_alive(a.node(), now), "{} not alive", a.node());
+        assert!(
+            w.monitor.node_alive(a.node(), now),
+            "{} not alive",
+            a.node()
+        );
     }
     // 8 agents x ~10 beats each.
     assert!(k.executed() >= 80);
@@ -82,10 +88,15 @@ fn silent_node_ages_out_of_liveness() {
     // Node 3's neighbors are 1, 2, 7 in the 2x2x2 mesh.
     let mut monitor = std::mem::replace(
         &mut k.state_mut().monitor,
-        MonitorNode::new(Topology::Mesh(Mesh3d::prototype()), Box::new(DistancePolicy)),
+        MonitorNode::new(
+            Topology::Mesh(Mesh3d::prototype()),
+            Box::new(DistancePolicy),
+        ),
     );
     let grant = monitor
-        .request(NodeId(1), ResourceKind::Memory, 1 << 20, now, 4, |_, _| true)
+        .request(NodeId(1), ResourceKind::Memory, 1 << 20, now, 4, |_, _| {
+            true
+        })
         .expect("surviving donors exist");
     assert_ne!(grant.donor, NodeId(3));
 }

@@ -18,7 +18,9 @@ fn every_node_can_borrow_simultaneously() {
     assert!(c.memory_consistent());
     // All leases readable.
     for lease in &leases {
-        let lat = c.crma_read(lease.recipient, lease.local_base).expect("readable");
+        let lat = c
+            .crma_read(lease.recipient, lease.local_base)
+            .expect("readable");
         assert!(lat.as_us_f64() > 2.0);
     }
     for lease in leases {
@@ -101,7 +103,14 @@ fn monitor_tracks_registration_through_heartbeats() {
     // (Any donor is fine; the released one must at least be registered.)
     assert!(c
         .monitor
-        .request(NodeId(7), ResourceKind::Memory, 1 << 20, c.now(), 3, |_, _| true)
+        .request(
+            NodeId(7),
+            ResourceKind::Memory,
+            1 << 20,
+            c.now(),
+            3,
+            |_, _| true
+        )
         .is_ok());
     c.release(lease2).unwrap();
     c.release(lease3).unwrap();

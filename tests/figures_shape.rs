@@ -73,7 +73,10 @@ fn conclusion_three_channels_are_all_necessary() {
     for col in 0..f.columns.len() {
         let mut vals: Vec<f64> = f.measured.iter().map(|s| s.values[col]).collect();
         vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
-        assert!(vals[1] < 80.0, "column {col}: runner-up too close: {vals:?}");
+        assert!(
+            vals[1] < 80.0,
+            "column {col}: runner-up too close: {vals:?}"
+        );
     }
 }
 

@@ -24,7 +24,13 @@ fn run_lossy_link(count: u64, ber: f64, seed: u64) -> (Vec<u64>, u64) {
     while (delivered.len() as u64) < count {
         // Send while window + credits allow.
         while tx.can_send() && next_payload < count && credits.try_consume() {
-            let p = Packet::new(NodeId(0), NodeId(1), PacketKind::QpairData, next_payload as u32, 256);
+            let p = Packet::new(
+                NodeId(0),
+                NodeId(1),
+                PacketKind::QpairData,
+                next_payload as u32,
+                256,
+            );
             wire.push(tx.send(p));
             next_payload += 1;
         }
