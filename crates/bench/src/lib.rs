@@ -57,6 +57,7 @@ mod tests {
             meshes: vec![(2, 1, 1)],
             mixes: vec![venice_loadgen::TenantMix::messaging()],
             rates_rps: vec![20_000.0],
+            stacks: vec![venice_loadgen::RemoteStack::VeniceCrma],
             requests_per_point: 500,
         };
         let figs = venice_loadgen::sweep::figures(&spec);

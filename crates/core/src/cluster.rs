@@ -42,6 +42,8 @@ pub enum ShareError {
     NoSuchNode,
     /// Address is not remote-mapped.
     NotRemote,
+    /// The node holds no active lease to release.
+    NoLease,
 }
 
 impl std::fmt::Display for ShareError {
@@ -52,6 +54,7 @@ impl std::fmt::Display for ShareError {
             ShareError::Window(e) => write!(f, "window programming failed: {e}"),
             ShareError::NoSuchNode => f.write_str("unknown node"),
             ShareError::NotRemote => f.write_str("address is not remote-mapped"),
+            ShareError::NoLease => f.write_str("node holds no active lease"),
         }
     }
 }
@@ -70,6 +73,12 @@ pub struct Node {
     /// Next free address for hot-plugging borrowed regions (grows above
     /// the 4 GB line as in Fig 10).
     next_plug_base: u64,
+    /// Regions this node reclaimed from out-of-order lease releases that
+    /// cannot be re-advertised yet: the lendable space is a bump
+    /// allocator growing from `agent.lendable_base`, so a reclaimed
+    /// region below a still-lent one stays parked here until the stack
+    /// above it unwinds (see [`Cluster::release`]).
+    reclaim_holes: Vec<(u64, u64)>,
 }
 
 /// An established memory loan.
@@ -104,6 +113,12 @@ pub struct Cluster {
     /// Fig 2 flow timing.
     pub flow: FlowTiming,
     now: Time,
+    /// Ledger of leases established through [`Cluster::borrow_memory`] and
+    /// not yet released — the cluster-wide accounting view
+    /// ([`Cluster::borrowed_bytes`], [`Cluster::release_newest`]).
+    /// Callers holding their own lease handles may release them directly
+    /// through [`Cluster::release`]; the ledger tracks both styles.
+    active: Vec<MemoryLease>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -155,6 +170,7 @@ impl Cluster {
                 // 10) and the node's own online region — nodes larger than
                 // 4 GB would otherwise collide with their own memory.
                 next_plug_base: memory_bytes.next_power_of_two().max(1 << 32),
+                reclaim_holes: Vec::new(),
             });
         }
         let mut cluster = Cluster {
@@ -166,6 +182,7 @@ impl Cluster {
             },
             flow: FlowTiming::default(),
             now: Time::ZERO,
+            active: Vec::new(),
         };
         cluster.tick_heartbeats();
         cluster
@@ -287,7 +304,7 @@ impl Cluster {
         };
         let setup_time = self.flow.establish(bytes);
         self.now += setup_time;
-        Ok(MemoryLease {
+        let lease = MemoryLease {
             grant_id: grant.id,
             recipient,
             donor: grant.donor,
@@ -296,7 +313,9 @@ impl Cluster {
             donor_base,
             window,
             setup_time,
-        })
+        };
+        self.active.push(lease);
+        Ok(lease)
     }
 
     /// Stop-sharing: tears down `lease` on both sides.
@@ -319,12 +338,76 @@ impl Cluster {
             d.memory
                 .reclaim(lease.donor_base)
                 .map_err(ShareError::Memory)?;
-            d.agent.idle_memory += lease.bytes;
-            d.agent.lendable_base -= lease.bytes;
+            if lease.donor_base + lease.bytes == d.agent.lendable_base {
+                // Top of the donor's lent stack: re-advertise directly,
+                // then unwind any earlier out-of-order reclaims that are
+                // now exposed at the top.
+                d.agent.lendable_base -= lease.bytes;
+                d.agent.idle_memory += lease.bytes;
+                loop {
+                    let top = d.agent.lendable_base;
+                    let Some(pos) = d
+                        .reclaim_holes
+                        .iter()
+                        .position(|&(base, len)| base + len == top)
+                    else {
+                        break;
+                    };
+                    let (base, len) = d.reclaim_holes.swap_remove(pos);
+                    d.agent.lendable_base = base;
+                    d.agent.idle_memory += len;
+                }
+            } else {
+                // Out-of-order release (a region below a still-lent one):
+                // reclaimed in the address space, but the bump allocator
+                // can only lend from the top, so the region must not be
+                // re-advertised yet — doing so would hand the next grant
+                // an address inside a still-lent window.
+                d.reclaim_holes.push((lease.donor_base, lease.bytes));
+            }
         }
         self.monitor.release(lease.grant_id);
         self.now += self.flow.teardown(lease.bytes);
+        self.active.retain(|l| l.grant_id != lease.grant_id);
         Ok(())
+    }
+
+    /// Releases `recipient`'s most recently established lease (LIFO — the
+    /// order an elastic tier shrinks in, since the newest window sits
+    /// highest in the hot-plug range).
+    ///
+    /// # Errors
+    ///
+    /// [`ShareError::NoLease`] when the node holds no active lease;
+    /// otherwise propagates teardown failures from [`Cluster::release`].
+    pub fn release_newest(&mut self, recipient: NodeId) -> Result<MemoryLease, ShareError> {
+        let lease = *self
+            .active
+            .iter()
+            .rev()
+            .find(|l| l.recipient == recipient)
+            .ok_or(ShareError::NoLease)?;
+        self.release(lease)?;
+        Ok(lease)
+    }
+
+    /// All leases established and not yet released, in establishment order.
+    pub fn active_leases(&self) -> &[MemoryLease] {
+        &self.active
+    }
+
+    /// Total bytes currently borrowed across the cluster.
+    pub fn borrowed_bytes(&self) -> u64 {
+        self.active.iter().map(|l| l.bytes).sum()
+    }
+
+    /// Bytes `recipient` currently borrows from the rest of the cluster.
+    pub fn borrowed_bytes_of(&self, recipient: NodeId) -> u64 {
+        self.active
+            .iter()
+            .filter(|l| l.recipient == recipient)
+            .map(|l| l.bytes)
+            .sum()
     }
 
     /// A remote cacheline read by `node` at `addr` (must be inside a
@@ -449,6 +532,68 @@ mod tests {
         let lat = c.crma_read(NodeId(5), lease.local_base).unwrap();
         assert!(lat.as_us_f64() > 1.0, "lat {lat}");
         c.release(lease).unwrap();
+    }
+
+    #[test]
+    fn ledger_tracks_borrow_and_release() {
+        let mut c = Cluster::prototype();
+        assert_eq!(c.borrowed_bytes(), 0);
+        let a = c.borrow_memory(NodeId(0), 64 << 20).unwrap();
+        let b = c.borrow_memory(NodeId(0), 128 << 20).unwrap();
+        let other = c.borrow_memory(NodeId(3), 64 << 20).unwrap();
+        assert_eq!(c.active_leases().len(), 3);
+        assert_eq!(c.borrowed_bytes(), (64 << 20) + (128 << 20) + (64 << 20));
+        assert_eq!(c.borrowed_bytes_of(NodeId(0)), (64 << 20) + (128 << 20));
+        // LIFO release pops the newest lease for the node.
+        let popped = c.release_newest(NodeId(0)).unwrap();
+        assert_eq!(popped, b);
+        assert_eq!(c.borrowed_bytes_of(NodeId(0)), 64 << 20);
+        let popped = c.release_newest(NodeId(0)).unwrap();
+        assert_eq!(popped, a);
+        assert_eq!(c.release_newest(NodeId(0)), Err(ShareError::NoLease));
+        c.release(other).unwrap();
+        assert_eq!(c.borrowed_bytes(), 0);
+        assert!(c.memory_consistent());
+    }
+
+    #[test]
+    fn out_of_order_release_keeps_donor_lendable_consistent() {
+        // Two leases from the same donor (a 2-node mesh has only one
+        // donor), released oldest-first — the order a bump allocator
+        // cannot unwind directly. The donor's advertised capacity must
+        // stay truthful throughout, and fully recover once both are back.
+        let mut c = Cluster::mesh(2, 1, 1, 1 << 30, 512 << 20);
+        let l1 = c.borrow_memory(NodeId(0), 128 << 20).unwrap();
+        let l2 = c.borrow_memory(NodeId(0), 128 << 20).unwrap();
+        assert_eq!(l1.donor, l2.donor);
+        // Out-of-order: release the older lease first. Its region parks
+        // as a hole (l2 still occupies the space above it), but the
+        // donor's untouched top space remains grantable — and the next
+        // borrow must come from there, never from inside l2's window
+        // (the pre-fix bump pointer pointed straight at it).
+        c.release(l1).unwrap();
+        assert!(c.memory_consistent());
+        let l3 = c.borrow_memory(NodeId(0), 256 << 20).unwrap();
+        assert!(
+            l3.donor_base >= l2.donor_base + l2.bytes,
+            "grant {:#x} collides with the still-lent window at {:#x}",
+            l3.donor_base,
+            l2.donor_base
+        );
+        assert!(c.memory_consistent());
+        // The parked hole is not re-advertised while l2 is live: the
+        // donor's remaining capacity is exhausted, so another 128 MB
+        // borrow must be refused rather than mis-granted from the hole.
+        let err = c.borrow_memory(NodeId(0), 128 << 20).unwrap_err();
+        assert!(matches!(err, ShareError::Alloc(_)), "{err:?}");
+        // Releasing the newer lease unwinds the stack and re-exposes the
+        // hole: after all releases the full lendable capacity returns.
+        c.release(l3).unwrap();
+        c.release(l2).unwrap();
+        assert_eq!(c.borrowed_bytes(), 0);
+        let big = c.borrow_memory(NodeId(0), 512 << 20).unwrap();
+        assert!(c.memory_consistent());
+        c.release(big).unwrap();
     }
 
     #[test]

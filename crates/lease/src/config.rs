@@ -1,0 +1,153 @@
+//! Lease-manager tuning parameters and tenant priorities.
+
+use serde::{Deserialize, Serialize};
+use venice_sim::Time;
+
+/// Tenant priority carried by leases and honored by admission shedding:
+/// under contention, lower priorities are shed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// Batch / best-effort traffic (shed first).
+    Low,
+    /// Default interactive traffic.
+    Normal,
+    /// Latency-critical traffic (shed last).
+    High,
+}
+
+impl Priority {
+    /// Fraction of a node's admission capacity this priority may consume.
+    /// High-priority tenants see the full cap; lower priorities hit their
+    /// (smaller) effective cap earlier, so when a node saturates the
+    /// low-priority tenants are turned away first while high-priority
+    /// traffic still gets through.
+    pub fn capacity_share(self) -> f64 {
+        match self {
+            Priority::Low => 0.50,
+            Priority::Normal => 0.85,
+            Priority::High => 1.0,
+        }
+    }
+
+    /// Figure/report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
+/// Elastic lease-manager parameters.
+///
+/// Capacity moves in fixed-size chunks: a node holds between
+/// `min_chunks` and `max_chunks` leases of `chunk_bytes` each, and the
+/// watermark/hysteresis machinery decides when to move between levels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeaseConfig {
+    /// Bytes borrowed or released per lease action.
+    pub chunk_bytes: u64,
+    /// Floor of chunks every node holds from bootstrap onward.
+    pub min_chunks: u32,
+    /// Ceiling of chunks a node may accumulate.
+    pub max_chunks: u32,
+    /// Queue depth at or above which a node wants to grow.
+    pub high_watermark: u32,
+    /// Queue depth at or below which a tick counts as calm.
+    pub low_watermark: u32,
+    /// Minimum ticks between two grow decisions on one node (also applied
+    /// after a denied grow, so a full cluster is not hammered).
+    pub grow_cooldown_ticks: u32,
+    /// Consecutive calm ticks required before one release; any pressured
+    /// or in-band tick resets the count.
+    pub release_cooldown_ticks: u32,
+    /// Interval between demand observations.
+    pub tick_interval: Time,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            chunk_bytes: 64 << 20,
+            min_chunks: 1,
+            max_chunks: 4,
+            high_watermark: 8,
+            low_watermark: 2,
+            grow_cooldown_ticks: 2,
+            release_cooldown_ticks: 40,
+            tick_interval: Time::from_ms(1),
+        }
+    }
+}
+
+impl LeaseConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero chunk size, an inverted chunk range, watermarks
+    /// that leave no hysteresis band, zero cooldowns, or a zero tick.
+    pub fn validate(&self) {
+        assert!(self.chunk_bytes > 0, "chunk_bytes must be positive");
+        assert!(
+            self.min_chunks <= self.max_chunks,
+            "min_chunks {} exceeds max_chunks {}",
+            self.min_chunks,
+            self.max_chunks
+        );
+        assert!(
+            self.low_watermark < self.high_watermark,
+            "watermarks must leave a hysteresis band: low {} >= high {}",
+            self.low_watermark,
+            self.high_watermark
+        );
+        assert!(self.grow_cooldown_ticks > 0, "grow cooldown must be >= 1");
+        assert!(
+            self.release_cooldown_ticks > 0,
+            "release cooldown must be >= 1"
+        );
+        assert!(self.tick_interval > Time::ZERO, "tick interval must be > 0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        LeaseConfig::default().validate();
+    }
+
+    #[test]
+    fn priorities_order_and_share() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert!(Priority::Low.capacity_share() < Priority::Normal.capacity_share());
+        assert_eq!(Priority::High.capacity_share(), 1.0);
+        assert_eq!(Priority::Low.label(), "low");
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis band")]
+    fn inverted_watermarks_rejected() {
+        LeaseConfig {
+            high_watermark: 2,
+            low_watermark: 2,
+            ..LeaseConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min_chunks")]
+    fn inverted_chunk_range_rejected() {
+        LeaseConfig {
+            min_chunks: 5,
+            max_chunks: 4,
+            ..LeaseConfig::default()
+        }
+        .validate();
+    }
+}

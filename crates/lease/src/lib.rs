@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # venice-lease: elastic memory-lease management
+//!
+//! PR 1's load generator provisions remote memory once at setup and holds
+//! it for the whole run — the opposite of the resource sharing the Venice
+//! paper promises. This crate is the feedback-control layer that fixes
+//! that: a deterministic, cluster-wide **lease manager** that sits between
+//! a traffic engine and `Cluster::borrow_memory`, watching per-node demand
+//! every simulated tick and deciding when each node should *grow* (borrow
+//! another chunk of remote memory through the Monitor-Node flow) or
+//! *shrink* (release its newest lease back to the donor).
+//!
+//! Three mechanisms keep the loop stable and fair:
+//!
+//! * **watermarks** — a node grows only while its queue depth sits at or
+//!   above the high watermark, and becomes release-eligible only at or
+//!   below the low watermark; the band between them is dead zone, so
+//!   demand oscillating inside it causes no lease churn;
+//! * **hysteresis** — grows on one node are at least
+//!   [`LeaseConfig::grow_cooldown_ticks`] apart, and a release requires
+//!   [`LeaseConfig::release_cooldown_ticks`] *consecutive* calm ticks.
+//!   Together these bound the borrow/release rate per node by
+//!   construction (a property the test suite pins down);
+//! * **priorities** — leases carry the [`Priority`] of the tenant whose
+//!   backlog triggered them, and under cluster-wide contention admission
+//!   layers shed low-priority tenants first instead of FIFO (the
+//!   priority-scaled caps live in the consumer; this crate defines the
+//!   ordering and carries the tag through the [`LeaseEvent`] timeline).
+//!
+//! The manager is **pure**: it never touches a cluster itself. Each tick
+//! it is fed per-node queue depths and emits [`LeaseAction`]s; the caller
+//! applies them (borrow/release) and confirms or denies each one. Every
+//! decision lands on a [`venice_sim::Timeline`] of [`LeaseEvent`]s, so
+//! same-seed runs can assert bit-identical lease histories at any thread
+//! count.
+
+pub mod config;
+pub mod manager;
+
+pub use config::{LeaseConfig, Priority};
+pub use manager::{LeaseAction, LeaseEvent, LeaseEventKind, LeaseManager};
+pub use venice_sim::Timeline;

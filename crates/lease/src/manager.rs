@@ -1,0 +1,484 @@
+//! The elastic lease manager: a pure, deterministic feedback controller.
+//!
+//! [`LeaseManager`] never touches a cluster. Each tick the caller feeds it
+//! the per-node queue depths; it answers with at most one [`LeaseAction`]
+//! per node (grow or shrink), honoring watermarks, per-node cooldowns, and
+//! the chunk range. The caller applies each action against the real
+//! borrow/release flow and reports back via [`LeaseManager::confirm_grow`]
+//! / [`LeaseManager::deny_grow`] / [`LeaseManager::confirm_shrink`], which
+//! is when capacity accounting and the event timeline advance. Keeping
+//! decision and application separate makes the control loop testable in
+//! isolation and keeps every decision on one auditable timeline.
+
+use serde::{Deserialize, Serialize};
+use venice_sim::{Time, Timeline};
+
+use crate::config::{LeaseConfig, Priority};
+
+/// What the manager wants done to one node's remote tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseAction {
+    /// Borrow one more chunk for `node`.
+    Grow {
+        /// The node that should borrow.
+        node: u16,
+    },
+    /// Release `node`'s newest chunk.
+    Shrink {
+        /// The node that should release.
+        node: u16,
+    },
+}
+
+/// What happened to a lease decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeaseEventKind {
+    /// A chunk was borrowed.
+    Grew,
+    /// A grow was refused by the cluster (no donor capacity).
+    Denied,
+    /// A chunk was released.
+    Shrank,
+}
+
+/// One entry on the lease timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeaseEvent {
+    /// Simulated time of the decision's application.
+    pub at: Time,
+    /// The affected node.
+    pub node: u16,
+    /// What happened.
+    pub kind: LeaseEventKind,
+    /// Chunks the node holds after the event.
+    pub chunks_after: u32,
+    /// Monotonic lease generation (increments per successful grow; 0 for
+    /// denials and shrinks, which create no lease).
+    pub generation: u64,
+    /// Cluster-wide borrowed bytes after the event.
+    pub total_bytes_after: u64,
+    /// Priority of the tenant whose backlog drove the decision.
+    pub priority: Priority,
+}
+
+/// Per-node controller state.
+#[derive(Debug, Clone, Copy)]
+struct NodeState {
+    /// Confirmed chunks held.
+    chunks: u32,
+    /// Tick of the last grow decision (confirmed or denied).
+    last_grow_tick: Option<u64>,
+    /// Consecutive calm ticks observed.
+    calm_ticks: u32,
+}
+
+/// The cluster-wide elastic lease manager.
+#[derive(Debug, Clone)]
+pub struct LeaseManager {
+    config: LeaseConfig,
+    nodes: Vec<NodeState>,
+    tick: u64,
+    generation: u64,
+    grows: u64,
+    shrinks: u64,
+    denials: u64,
+    total_bytes: u64,
+    peak_bytes: u64,
+    /// Time-weighted byte integral for mean-provisioning accounting.
+    byte_ps_integral: u128,
+    last_change_at: Time,
+    timeline: Timeline<LeaseEvent>,
+}
+
+impl LeaseManager {
+    /// Creates a manager for `nodes` nodes, all starting at zero chunks
+    /// (apply [`LeaseManager::bootstrap`] to reach the configured floor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is inconsistent (see [`LeaseConfig::validate`]).
+    pub fn new(config: LeaseConfig, nodes: u16) -> Self {
+        config.validate();
+        LeaseManager {
+            config,
+            nodes: vec![
+                NodeState {
+                    chunks: 0,
+                    last_grow_tick: None,
+                    calm_ticks: 0,
+                };
+                nodes as usize
+            ],
+            tick: 0,
+            generation: 0,
+            grows: 0,
+            shrinks: 0,
+            denials: 0,
+            total_bytes: 0,
+            peak_bytes: 0,
+            byte_ps_integral: 0,
+            last_change_at: Time::ZERO,
+            timeline: Timeline::new(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &LeaseConfig {
+        &self.config
+    }
+
+    /// Grow actions that bring every node to the `min_chunks` floor;
+    /// apply (and confirm) before the run starts.
+    pub fn bootstrap(&self) -> Vec<LeaseAction> {
+        let mut out = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            for _ in n.chunks..self.config.min_chunks {
+                out.push(LeaseAction::Grow { node: i as u16 });
+            }
+        }
+        out
+    }
+
+    /// One control-loop step at simulated time `now`: `depths[i]` is node
+    /// `i`'s current queue depth. Returns at most one action per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depths` does not cover every node.
+    pub fn tick(&mut self, _now: Time, depths: &[u32]) -> Vec<LeaseAction> {
+        assert_eq!(depths.len(), self.nodes.len(), "one depth per node");
+        self.tick += 1;
+        let tick = self.tick;
+        let mut actions = Vec::new();
+        for (i, depth) in depths.iter().enumerate() {
+            let node = &mut self.nodes[i];
+            if *depth >= self.config.high_watermark {
+                node.calm_ticks = 0;
+                let cooled = match node.last_grow_tick {
+                    None => true,
+                    Some(last) => tick - last >= self.config.grow_cooldown_ticks as u64,
+                };
+                if node.chunks < self.config.max_chunks && cooled {
+                    // Cooldown starts at the decision, not the outcome, so
+                    // a denied grow also backs off instead of hammering a
+                    // full cluster every tick.
+                    node.last_grow_tick = Some(tick);
+                    actions.push(LeaseAction::Grow { node: i as u16 });
+                }
+            } else if *depth <= self.config.low_watermark {
+                node.calm_ticks = node.calm_ticks.saturating_add(1);
+                if node.calm_ticks >= self.config.release_cooldown_ticks
+                    && node.chunks > self.config.min_chunks
+                {
+                    node.calm_ticks = 0;
+                    actions.push(LeaseAction::Shrink { node: i as u16 });
+                }
+            } else {
+                // Inside the hysteresis band: hold everything.
+                node.calm_ticks = 0;
+            }
+        }
+        actions
+    }
+
+    /// Records a successful grow of `node` at `now`, attributed to a
+    /// tenant of `priority`. Returns the new lease's generation.
+    pub fn confirm_grow(&mut self, now: Time, node: u16, priority: Priority) -> u64 {
+        self.integrate(now);
+        let n = &mut self.nodes[node as usize];
+        n.chunks += 1;
+        let chunks_after = n.chunks;
+        self.generation += 1;
+        self.grows += 1;
+        self.total_bytes += self.config.chunk_bytes;
+        self.peak_bytes = self.peak_bytes.max(self.total_bytes);
+        self.log(LeaseEvent {
+            at: now,
+            node,
+            kind: LeaseEventKind::Grew,
+            chunks_after,
+            generation: self.generation,
+            total_bytes_after: self.total_bytes,
+            priority,
+        });
+        self.generation
+    }
+
+    /// Records a grow refused by the cluster (donor capacity exhausted).
+    pub fn deny_grow(&mut self, now: Time, node: u16, priority: Priority) {
+        self.denials += 1;
+        let chunks_after = self.nodes[node as usize].chunks;
+        self.log(LeaseEvent {
+            at: now,
+            node,
+            kind: LeaseEventKind::Denied,
+            chunks_after,
+            generation: 0,
+            total_bytes_after: self.total_bytes,
+            priority,
+        });
+    }
+
+    /// Records a successful release of `node`'s newest chunk at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node holds no chunks (accounting bug in the caller).
+    pub fn confirm_shrink(&mut self, now: Time, node: u16, priority: Priority) {
+        self.integrate(now);
+        let n = &mut self.nodes[node as usize];
+        assert!(n.chunks > 0, "shrink of an empty node");
+        n.chunks -= 1;
+        let chunks_after = n.chunks;
+        self.shrinks += 1;
+        self.total_bytes -= self.config.chunk_bytes;
+        self.log(LeaseEvent {
+            at: now,
+            node,
+            kind: LeaseEventKind::Shrank,
+            chunks_after,
+            generation: 0,
+            total_bytes_after: self.total_bytes,
+            priority,
+        });
+    }
+
+    /// Records `event` on the timeline, keyed by the event's own
+    /// timestamp — one source of truth, so the timeline key and
+    /// [`LeaseEvent::at`] can never drift apart.
+    fn log(&mut self, event: LeaseEvent) {
+        self.timeline.record(event.at, event);
+    }
+
+    /// Advances the time-weighted byte integral to `now`.
+    fn integrate(&mut self, now: Time) {
+        let dt = now.saturating_sub(self.last_change_at);
+        self.byte_ps_integral += self.total_bytes as u128 * dt.as_ps() as u128;
+        self.last_change_at = now;
+    }
+
+    /// Chunks `node` currently holds.
+    pub fn chunks(&self, node: u16) -> u32 {
+        self.nodes[node as usize].chunks
+    }
+
+    /// Bytes `node` currently holds.
+    pub fn held_bytes(&self, node: u16) -> u64 {
+        self.chunks(node) as u64 * self.config.chunk_bytes
+    }
+
+    /// Cluster-wide borrowed bytes right now.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Highest cluster-wide borrowed bytes seen so far.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Time-weighted mean of cluster-wide borrowed bytes over `[0, end]`
+    /// — or over `[0, last event]` when events were confirmed past `end`,
+    /// so a too-short `end` can never inflate the mean beyond what was
+    /// actually integrated.
+    pub fn mean_bytes(&self, end: Time) -> u64 {
+        let end = end.max(self.last_change_at);
+        if end == Time::ZERO {
+            return self.total_bytes;
+        }
+        let tail = end.saturating_sub(self.last_change_at);
+        let integral = self.byte_ps_integral + self.total_bytes as u128 * tail.as_ps() as u128;
+        (integral / end.as_ps() as u128) as u64
+    }
+
+    /// Successful grows so far.
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// Successful shrinks so far.
+    pub fn shrinks(&self) -> u64 {
+        self.shrinks
+    }
+
+    /// Denied grows so far.
+    pub fn denials(&self) -> u64 {
+        self.denials
+    }
+
+    /// The full decision timeline.
+    pub fn timeline(&self) -> &Timeline<LeaseEvent> {
+        &self.timeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LeaseConfig {
+        LeaseConfig {
+            chunk_bytes: 64 << 20,
+            min_chunks: 1,
+            max_chunks: 4,
+            high_watermark: 8,
+            low_watermark: 2,
+            grow_cooldown_ticks: 2,
+            release_cooldown_ticks: 3,
+            tick_interval: Time::from_ms(1),
+        }
+    }
+
+    /// Applies every action immediately, confirming grows.
+    fn apply_all(m: &mut LeaseManager, now: Time, actions: &[LeaseAction]) {
+        for a in actions {
+            match *a {
+                LeaseAction::Grow { node } => {
+                    m.confirm_grow(now, node, Priority::Normal);
+                }
+                LeaseAction::Shrink { node } => m.confirm_shrink(now, node, Priority::Normal),
+            }
+        }
+    }
+
+    #[test]
+    fn bootstrap_reaches_the_floor() {
+        let mut m = LeaseManager::new(cfg(), 4);
+        let boot = m.bootstrap();
+        assert_eq!(boot.len(), 4);
+        apply_all(&mut m, Time::ZERO, &boot);
+        for n in 0..4 {
+            assert_eq!(m.chunks(n), 1);
+        }
+        assert!(m.bootstrap().is_empty());
+        assert_eq!(m.total_bytes(), 4 * (64 << 20));
+    }
+
+    #[test]
+    fn sustained_pressure_grows_to_the_cap_with_cooldown() {
+        let mut m = LeaseManager::new(cfg(), 1);
+        let boot = m.bootstrap();
+        apply_all(&mut m, Time::ZERO, &boot);
+        let mut grow_ticks = Vec::new();
+        for t in 1..=20u64 {
+            let now = Time::from_ms(t);
+            let actions = m.tick(now, &[100]);
+            if !actions.is_empty() {
+                grow_ticks.push(t);
+            }
+            apply_all(&mut m, now, &actions);
+        }
+        // 1 (floor) + 3 grows to reach max_chunks = 4.
+        assert_eq!(m.chunks(0), 4);
+        assert_eq!(grow_ticks.len(), 3);
+        // Grows respect the cooldown spacing.
+        for w in grow_ticks.windows(2) {
+            assert!(w[1] - w[0] >= 2, "grows too close: {grow_ticks:?}");
+        }
+        // At the cap, pressure produces no further actions.
+        assert!(m.tick(Time::from_ms(30), &[100]).is_empty());
+    }
+
+    #[test]
+    fn calm_nodes_release_after_hysteresis_and_stop_at_floor() {
+        let mut m = LeaseManager::new(cfg(), 1);
+        let boot = m.bootstrap();
+        apply_all(&mut m, Time::ZERO, &boot);
+        // Pump to the cap.
+        for t in 1..=10u64 {
+            let now = Time::from_ms(t);
+            let a = m.tick(now, &[50]);
+            apply_all(&mut m, now, &a);
+        }
+        assert_eq!(m.chunks(0), 4);
+        // Calm ticks: a release fires every `release_cooldown_ticks` calm
+        // ticks until the floor.
+        let mut shrink_ticks = Vec::new();
+        for t in 11..=30u64 {
+            let now = Time::from_ms(t);
+            let a = m.tick(now, &[0]);
+            if !a.is_empty() {
+                assert_eq!(a, vec![LeaseAction::Shrink { node: 0 }]);
+                shrink_ticks.push(t);
+            }
+            apply_all(&mut m, now, &a);
+        }
+        assert_eq!(m.chunks(0), 1, "released down to the floor");
+        assert_eq!(shrink_ticks, vec![13, 16, 19]);
+    }
+
+    #[test]
+    fn band_oscillation_causes_no_churn() {
+        let mut m = LeaseManager::new(cfg(), 1);
+        let boot = m.bootstrap();
+        apply_all(&mut m, Time::ZERO, &boot);
+        // Depth oscillating strictly inside (low, high): no actions ever.
+        for t in 1..=100u64 {
+            let depth = if t % 2 == 0 { 3 } else { 7 };
+            assert!(m.tick(Time::from_ms(t), &[depth]).is_empty());
+        }
+        // Even calm ticks interleaved with in-band ticks never release:
+        // the calm counter resets inside the band.
+        for t in 101..=200u64 {
+            let depth = if t % 2 == 0 { 0 } else { 5 };
+            assert!(m.tick(Time::from_ms(t), &[depth]).is_empty());
+        }
+    }
+
+    #[test]
+    fn denied_grow_backs_off() {
+        let mut m = LeaseManager::new(cfg(), 1);
+        let boot = m.bootstrap();
+        apply_all(&mut m, Time::ZERO, &boot);
+        let a = m.tick(Time::from_ms(1), &[99]);
+        assert_eq!(a.len(), 1);
+        m.deny_grow(Time::from_ms(1), 0, Priority::Normal);
+        // The very next tick must not retry (cooldown applies to the
+        // decision, confirmed or not).
+        assert!(m.tick(Time::from_ms(2), &[99]).is_empty());
+        assert_eq!(m.denials(), 1);
+        assert!(!m.tick(Time::from_ms(3), &[99]).is_empty());
+    }
+
+    #[test]
+    fn accounting_tracks_peak_and_mean() {
+        let mut m = LeaseManager::new(cfg(), 2);
+        let c = 64 << 20u64;
+        m.confirm_grow(Time::ZERO, 0, Priority::High);
+        m.confirm_grow(Time::ZERO, 1, Priority::Low);
+        // Hold 2 chunks for 10 ms, then drop to 1 for 10 ms.
+        m.confirm_shrink(Time::from_ms(10), 1, Priority::Low);
+        assert_eq!(m.peak_bytes(), 2 * c);
+        assert_eq!(m.total_bytes(), c);
+        let mean = m.mean_bytes(Time::from_ms(20));
+        // Time-weighted: (2c*10 + 1c*10) / 20 = 1.5c.
+        assert_eq!(mean, 3 * c / 2);
+        let tl = m.timeline();
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl.events()[0].1.generation, 1);
+        assert_eq!(tl.events()[1].1.generation, 2);
+        assert_eq!(tl.events()[2].1.kind, LeaseEventKind::Shrank);
+        assert_eq!(tl.events()[2].1.priority, Priority::Low);
+    }
+
+    #[test]
+    fn identical_inputs_produce_identical_timelines() {
+        let drive = || {
+            let mut m = LeaseManager::new(cfg(), 3);
+            let boot = m.bootstrap();
+            apply_all(&mut m, Time::ZERO, &boot);
+            for t in 1..=50u64 {
+                let now = Time::from_ms(t);
+                let depths = [
+                    ((t * 7) % 13) as u32,
+                    ((t * 3) % 11) as u32,
+                    ((t * 5) % 17) as u32,
+                ];
+                let a = m.tick(now, &depths);
+                apply_all(&mut m, now, &a);
+            }
+            m.timeline().clone()
+        };
+        assert_eq!(drive(), drive());
+    }
+}

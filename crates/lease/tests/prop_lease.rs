@@ -1,0 +1,181 @@
+//! Property tests for the lease manager's headline guarantees:
+//! determinism (identical inputs → bit-identical action streams and
+//! timelines) and hysteresis (the borrow/release rate is bounded by the
+//! cooldowns, no matter how adversarial the demand signal).
+
+use proptest::prelude::*;
+use venice_lease::{LeaseAction, LeaseConfig, LeaseManager, Priority, Timeline};
+use venice_sim::Time;
+
+/// Drives `manager` with a synthetic per-node demand stream derived from
+/// `salt`, applying (and confirming) every action. Returns the action
+/// stream and final timeline length.
+fn drive(
+    config: LeaseConfig,
+    nodes: u16,
+    ticks: u64,
+    salt: u64,
+) -> (Vec<(u64, LeaseAction)>, usize) {
+    let mut m = LeaseManager::new(config, nodes);
+    let boot = m.bootstrap();
+    for a in &boot {
+        let LeaseAction::Grow { node } = *a else {
+            panic!("bootstrap only grows")
+        };
+        m.confirm_grow(Time::ZERO, node, Priority::Normal);
+    }
+    let mut actions = Vec::new();
+    for t in 1..=ticks {
+        let now = Time::from_us(t * 100);
+        // Deterministic pseudo-demand: per-node mix of quiet spells and
+        // pressure spikes.
+        let depths: Vec<u32> = (0..nodes)
+            .map(|i| {
+                let x = t
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(salt ^ (i as u64) << 32);
+                ((x >> 48) % 24) as u32
+            })
+            .collect();
+        for a in m.tick(now, &depths) {
+            actions.push((t, a));
+            match a {
+                LeaseAction::Grow { node } => {
+                    m.confirm_grow(now, node, Priority::Normal);
+                }
+                LeaseAction::Shrink { node } => m.confirm_shrink(now, node, Priority::Normal),
+            }
+        }
+    }
+    (actions, m.timeline().len())
+}
+
+proptest! {
+    /// Identical configs and demand streams produce bit-identical action
+    /// streams; different demand diverges (almost surely, given enough
+    /// ticks and spread).
+    #[test]
+    fn same_inputs_same_actions(
+        salt in 0u64..1_000_000,
+        nodes in 1u16..9,
+        ticks in 50u64..300,
+    ) {
+        let config = LeaseConfig::default();
+        let (a, la) = drive(config, nodes, ticks, salt);
+        let (b, lb) = drive(config, nodes, ticks, salt);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(la, lb);
+    }
+
+    /// Hysteresis bounds the control rate per node: grows at least
+    /// `grow_cooldown_ticks` apart, shrinks at least
+    /// `release_cooldown_ticks` apart, and therefore total lease churn is
+    /// bounded linearly by tick count over cooldown.
+    #[test]
+    fn cooldowns_bound_borrow_release_rate(
+        salt in 0u64..1_000_000,
+        nodes in 1u16..6,
+        ticks in 100u64..400,
+        grow_cd in 1u32..6,
+        release_cd in 2u32..30,
+    ) {
+        let config = LeaseConfig {
+            grow_cooldown_ticks: grow_cd,
+            release_cooldown_ticks: release_cd,
+            ..LeaseConfig::default()
+        };
+        let (actions, _) = drive(config, nodes, ticks, salt);
+        for node in 0..nodes {
+            let grow_ticks: Vec<u64> = actions
+                .iter()
+                .filter(|(_, a)| matches!(a, LeaseAction::Grow { node: n } if *n == node))
+                .map(|(t, _)| *t)
+                .collect();
+            for w in grow_ticks.windows(2) {
+                prop_assert!(
+                    w[1] - w[0] >= grow_cd as u64,
+                    "node {node}: grows at ticks {} and {} violate cooldown {grow_cd}",
+                    w[0],
+                    w[1]
+                );
+            }
+            prop_assert!(
+                grow_ticks.len() as u64 <= ticks / grow_cd as u64 + 1,
+                "node {node}: {} grows over {ticks} ticks exceeds rate bound",
+                grow_ticks.len()
+            );
+            let shrink_ticks: Vec<u64> = actions
+                .iter()
+                .filter(|(_, a)| matches!(a, LeaseAction::Shrink { node: n } if *n == node))
+                .map(|(t, _)| *t)
+                .collect();
+            for w in shrink_ticks.windows(2) {
+                prop_assert!(
+                    w[1] - w[0] >= release_cd as u64,
+                    "node {node}: shrinks at ticks {} and {} violate cooldown {release_cd}",
+                    w[0],
+                    w[1]
+                );
+            }
+            prop_assert!(
+                shrink_ticks.len() as u64 <= ticks / release_cd as u64 + 1,
+                "node {node}: {} shrinks over {ticks} ticks exceeds rate bound",
+                shrink_ticks.len()
+            );
+        }
+    }
+
+    /// Chunk counts always stay inside the configured [min, max] band
+    /// when driven from bootstrap, and accounting never goes negative.
+    #[test]
+    fn chunk_range_is_invariant(
+        salt in 0u64..1_000_000,
+        nodes in 1u16..6,
+        ticks in 50u64..200,
+    ) {
+        let config = LeaseConfig::default();
+        let mut m = LeaseManager::new(config, nodes);
+        let boot = m.bootstrap();
+        for a in &boot {
+            let LeaseAction::Grow { node } = *a else { panic!() };
+            m.confirm_grow(Time::ZERO, node, Priority::High);
+        }
+        for t in 1..=ticks {
+            let now = Time::from_us(t * 100);
+            let depths: Vec<u32> = (0..nodes)
+                .map(|i| ((salt ^ t.wrapping_mul(i as u64 + 3)) % 20) as u32)
+                .collect();
+            for a in m.tick(now, &depths) {
+                match a {
+                    LeaseAction::Grow { node } => {
+                        m.confirm_grow(now, node, Priority::High);
+                    }
+                    LeaseAction::Shrink { node } => m.confirm_shrink(now, node, Priority::High),
+                }
+            }
+            for node in 0..nodes {
+                let c = m.chunks(node);
+                prop_assert!(
+                    c >= config.min_chunks && c <= config.max_chunks,
+                    "node {node}: {c} chunks outside [{}, {}]",
+                    config.min_chunks,
+                    config.max_chunks
+                );
+            }
+            prop_assert_eq!(
+                m.total_bytes(),
+                (0..nodes).map(|n| m.held_bytes(n)).sum::<u64>()
+            );
+            prop_assert!(m.peak_bytes() >= m.total_bytes());
+        }
+    }
+}
+
+/// The timeline type itself round-trips through the lease crate's
+/// re-export (compile-time check that the API surface stays public).
+#[test]
+fn timeline_reexport_is_usable() {
+    let mut t: Timeline<u32> = Timeline::new();
+    t.record(Time::from_us(1), 7);
+    assert_eq!(t.len(), 1);
+}

@@ -1,29 +1,42 @@
-//! Admission control at the front door.
+//! Admission control at each node's front door.
 //!
-//! Two mechanisms guard the cluster, applied in order on every arrival:
+//! PR 1 guarded the cluster with one *global* token bucket and one global
+//! in-flight cap. That model cannot express per-node hotspots (a flash
+//! crowd on two nodes starves nobody else) or tenant priorities, so the
+//! policer is now **per node**: the engine builds one
+//! [`AdmissionControl`] per node from the cluster-wide
+//! [`AdmissionConfig`] via [`AdmissionControl::per_node`], and every
+//! arrival is judged at the node it routes to. Two mechanisms apply in
+//! order:
 //!
-//! 1. a **token-bucket rate policer** (requests per second with a burst
-//!    allowance) — overload beyond the configured ceiling is shed
-//!    immediately, which keeps open-loop storms from growing unbounded
-//!    queues;
-//! 2. an **in-flight cap** — a global concurrency bound modeling edge
-//!    connection limits.
+//! 1. a **token-bucket rate policer** (the cluster-wide ceiling split
+//!    evenly across nodes) — overload beyond the ceiling is shed
+//!    immediately;
+//! 2. a **priority-scaled in-flight cap** — each tenant priority may
+//!    consume only its [`Priority::capacity_share`] of the node's
+//!    concurrency bound, so as a node saturates, low-priority tenants are
+//!    shed first while high-priority traffic still gets through (SLO-style
+//!    shedding instead of FIFO).
 //!
 //! A third, *transport-level* backpressure mechanism lives in the engine:
 //! each node's QPair has finite receiver credits, and requests that find
 //! no credit wait in a bounded per-node backlog (or are shed when it
 //! overflows).
 
+use venice_lease::Priority;
 use venice_sim::Time;
 
-/// Admission-control parameters.
+/// Admission-control parameters, expressed cluster-wide; the engine
+/// derives per-node controllers from them.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdmissionConfig {
-    /// Rate ceiling in requests/second; `f64::INFINITY` disables policing.
+    /// Cluster-wide rate ceiling in requests/second; `f64::INFINITY`
+    /// disables policing.
     pub rate_limit_rps: f64,
-    /// Token-bucket burst (requests).
+    /// Cluster-wide token-bucket burst (requests).
     pub burst: u32,
-    /// Global in-flight cap (requests admitted but not yet completed).
+    /// Cluster-wide in-flight cap (requests admitted but not yet
+    /// completed).
     pub max_inflight: u32,
     /// Per-node backlog bound while waiting for QPair credits.
     pub backlog_per_node: usize,
@@ -45,7 +58,7 @@ impl Default for AdmissionConfig {
 pub enum ShedReason {
     /// Token bucket empty: offered rate exceeds the policed ceiling.
     RateLimit,
-    /// Too many requests in flight.
+    /// The node's (priority-scaled) in-flight cap is exhausted.
     Overload,
     /// The target node's credit backlog is full.
     Backpressure,
@@ -60,8 +73,8 @@ pub enum Decision {
     Shed(ShedReason),
 }
 
-/// Stateful admission controller (deterministic: a pure function of the
-/// arrival sequence).
+/// Stateful per-node admission controller (deterministic: a pure function
+/// of the arrival sequence).
 #[derive(Debug, Clone)]
 pub struct AdmissionControl {
     config: AdmissionConfig,
@@ -71,7 +84,8 @@ pub struct AdmissionControl {
 }
 
 impl AdmissionControl {
-    /// Creates a controller with a full bucket.
+    /// Creates a controller with a full bucket over `config` taken
+    /// verbatim (single-node semantics; used by tests and tools).
     pub fn new(config: AdmissionConfig) -> Self {
         AdmissionControl {
             tokens: config.burst as f64,
@@ -81,7 +95,22 @@ impl AdmissionControl {
         }
     }
 
-    /// The configuration in effect.
+    /// Creates one node's controller: the cluster-wide rate, burst, and
+    /// in-flight budgets split evenly across `nodes` (each floor-divided
+    /// share at least 1, so small clusters never round to zero).
+    pub fn per_node(config: AdmissionConfig, nodes: u32) -> Self {
+        assert!(nodes > 0, "cluster must have at least one node");
+        let share = AdmissionConfig {
+            rate_limit_rps: config.rate_limit_rps / nodes as f64,
+            burst: (config.burst / nodes).max(1),
+            max_inflight: (config.max_inflight / nodes).max(1),
+            backlog_per_node: config.backlog_per_node,
+        };
+        Self::new(share)
+    }
+
+    /// The configuration in effect (per-node shares when built via
+    /// [`AdmissionControl::per_node`]).
     pub fn config(&self) -> &AdmissionConfig {
         &self.config
     }
@@ -91,8 +120,14 @@ impl AdmissionControl {
         self.inflight
     }
 
-    /// Judges an arrival at simulated time `now`.
-    pub fn on_arrival(&mut self, now: Time) -> Decision {
+    /// The in-flight cap as seen by `priority`.
+    fn cap_for(&self, priority: Priority) -> u32 {
+        ((self.config.max_inflight as f64 * priority.capacity_share()).floor() as u32).max(1)
+    }
+
+    /// Judges an arrival of a `priority`-class request at simulated time
+    /// `now`.
+    pub fn on_arrival(&mut self, now: Time, priority: Priority) -> Decision {
         if self.config.rate_limit_rps.is_finite() {
             let elapsed = now.saturating_sub(self.last_refill).as_secs_f64();
             self.tokens =
@@ -102,7 +137,7 @@ impl AdmissionControl {
                 return Decision::Shed(ShedReason::RateLimit);
             }
         }
-        if self.inflight >= self.config.max_inflight {
+        if self.inflight >= self.cap_for(priority) {
             return Decision::Shed(ShedReason::Overload);
         }
         if self.config.rate_limit_rps.is_finite() {
@@ -134,12 +169,71 @@ mod tests {
             ..AdmissionConfig::default()
         });
         let t = Time::from_us(1);
-        assert_eq!(ac.on_arrival(t), Decision::Admit);
-        assert_eq!(ac.on_arrival(t), Decision::Admit);
-        assert_eq!(ac.on_arrival(t), Decision::Admit);
-        assert_eq!(ac.on_arrival(t), Decision::Shed(ShedReason::Overload));
+        assert_eq!(ac.on_arrival(t, Priority::High), Decision::Admit);
+        assert_eq!(ac.on_arrival(t, Priority::High), Decision::Admit);
+        assert_eq!(ac.on_arrival(t, Priority::High), Decision::Admit);
+        assert_eq!(
+            ac.on_arrival(t, Priority::High),
+            Decision::Shed(ShedReason::Overload)
+        );
         ac.on_completion();
-        assert_eq!(ac.on_arrival(t), Decision::Admit);
+        assert_eq!(ac.on_arrival(t, Priority::High), Decision::Admit);
+    }
+
+    #[test]
+    fn low_priority_is_shed_first_as_the_node_fills() {
+        let mut ac = AdmissionControl::new(AdmissionConfig {
+            max_inflight: 10,
+            ..AdmissionConfig::default()
+        });
+        let t = Time::from_us(1);
+        // Fill half the node with high-priority work.
+        for _ in 0..5 {
+            assert_eq!(ac.on_arrival(t, Priority::High), Decision::Admit);
+        }
+        // Low priority sees a 50% cap (5): already at it, shed.
+        assert_eq!(
+            ac.on_arrival(t, Priority::Low),
+            Decision::Shed(ShedReason::Overload)
+        );
+        // Normal (85% -> 8) and High (100% -> 10) still get through.
+        assert_eq!(ac.on_arrival(t, Priority::Normal), Decision::Admit);
+        assert_eq!(ac.on_arrival(t, Priority::High), Decision::Admit);
+        for _ in 0..3 {
+            ac.on_arrival(t, Priority::High);
+        }
+        assert_eq!(ac.inflight(), 10);
+        // Saturated: even high priority sheds now.
+        assert_eq!(
+            ac.on_arrival(t, Priority::High),
+            Decision::Shed(ShedReason::Overload)
+        );
+    }
+
+    #[test]
+    fn per_node_shares_split_the_cluster_budget() {
+        let config = AdmissionConfig {
+            rate_limit_rps: 8_000.0,
+            burst: 64,
+            max_inflight: 4096,
+            backlog_per_node: 7,
+        };
+        let ac = AdmissionControl::per_node(config, 8);
+        assert_eq!(ac.config().rate_limit_rps, 1_000.0);
+        assert_eq!(ac.config().burst, 8);
+        assert_eq!(ac.config().max_inflight, 512);
+        assert_eq!(ac.config().backlog_per_node, 7);
+        // Tiny budgets never round to zero.
+        let tiny = AdmissionControl::per_node(
+            AdmissionConfig {
+                burst: 2,
+                max_inflight: 3,
+                ..config
+            },
+            8,
+        );
+        assert_eq!(tiny.config().burst, 1);
+        assert_eq!(tiny.config().max_inflight, 1);
     }
 
     #[test]
@@ -154,7 +248,7 @@ mod tests {
         let mut admitted = 0;
         for i in 0..100u64 {
             let t = Time::from_us(10 * i);
-            if ac.on_arrival(t) == Decision::Admit {
+            if ac.on_arrival(t, Priority::Normal) == Decision::Admit {
                 admitted += 1;
                 ac.on_completion();
             }
@@ -169,13 +263,16 @@ mod tests {
             burst: 1,
             ..AdmissionConfig::default()
         });
-        assert_eq!(ac.on_arrival(Time::ZERO), Decision::Admit);
+        assert_eq!(ac.on_arrival(Time::ZERO, Priority::Normal), Decision::Admit);
         ac.on_completion();
         assert_eq!(
-            ac.on_arrival(Time::from_us(100)),
+            ac.on_arrival(Time::from_us(100), Priority::Normal),
             Decision::Shed(ShedReason::RateLimit)
         );
         // 10 ms at 100 rps buys one token back.
-        assert_eq!(ac.on_arrival(Time::from_ms(10)), Decision::Admit);
+        assert_eq!(
+            ac.on_arrival(Time::from_ms(10), Priority::Normal),
+            Decision::Admit
+        );
     }
 }

@@ -31,6 +31,29 @@ pub enum ArrivalProcess {
         /// Mean think time.
         think: Time,
     },
+    /// Bursty open-loop arrivals: a Poisson process whose rate switches
+    /// between `base_rps` and `burst_rps` on a fixed cycle (a modulated
+    /// Poisson process — the canonical model for diurnal spikes and flash
+    /// crowds). During the burst window a `crowd_share` fraction of
+    /// arrivals comes from a small *flash crowd* of `crowd_users` users
+    /// (uniform over ranks `[0, crowd_users)`), concentrating demand on
+    /// the few nodes those users map to — the scenario elastic leases
+    /// exist for.
+    Bursty {
+        /// Off-burst offered rate (requests per second).
+        base_rps: f64,
+        /// In-burst offered rate (requests per second).
+        burst_rps: f64,
+        /// Cycle length; the burst occupies the start of each cycle.
+        period: Time,
+        /// Burst duration within each cycle (must be `< period`).
+        burst_len: Time,
+        /// Flash-crowd population active during bursts (0 disables the
+        /// crowd; bursts then keep the mix's normal user skew).
+        crowd_users: u64,
+        /// Fraction of in-burst arrivals drawn from the flash crowd.
+        crowd_share: f64,
+    },
 }
 
 impl ArrivalProcess {
@@ -43,6 +66,91 @@ impl ArrivalProcess {
             ArrivalProcess::ClosedLoop { sessions, think } => {
                 format!("closed {sessions}x think {think}")
             }
+            ArrivalProcess::Bursty {
+                base_rps,
+                burst_rps,
+                ..
+            } => {
+                format!("bursty {base_rps:.0}->{burst_rps:.0}rps")
+            }
+        }
+    }
+
+    /// Whether `now` falls inside a burst window (always `false` for the
+    /// non-bursty processes).
+    pub fn in_burst(&self, now: Time) -> bool {
+        match self {
+            ArrivalProcess::Bursty {
+                period, burst_len, ..
+            } => now.as_ps() % period.as_ps() < burst_len.as_ps(),
+            _ => false,
+        }
+    }
+
+    /// Validates the process parameters (the engine calls this before a
+    /// run, so misconfiguration fails loudly at setup instead of deep in
+    /// the event loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive or non-finite rates, a zero-session closed
+    /// loop, a zero burst period, a burst filling (or exceeding) its
+    /// period, or a crowd share outside `[0, 1]`.
+    pub fn validate(&self) {
+        match self {
+            ArrivalProcess::OpenPoisson { rate_rps } => {
+                assert!(
+                    rate_rps.is_finite() && *rate_rps > 0.0,
+                    "arrival rate must be positive, got {rate_rps}"
+                );
+            }
+            ArrivalProcess::ClosedLoop { sessions, .. } => {
+                assert!(*sessions > 0, "closed loop needs at least one session");
+            }
+            ArrivalProcess::Bursty {
+                base_rps,
+                burst_rps,
+                period,
+                burst_len,
+                crowd_share,
+                ..
+            } => {
+                assert!(
+                    base_rps.is_finite() && *base_rps > 0.0,
+                    "base rate must be positive, got {base_rps}"
+                );
+                assert!(
+                    burst_rps.is_finite() && *burst_rps > 0.0,
+                    "burst rate must be positive, got {burst_rps}"
+                );
+                assert!(*period > Time::ZERO, "burst period must be positive");
+                assert!(
+                    burst_len < period,
+                    "burst length {burst_len} must be shorter than the period {period}"
+                );
+                assert!(
+                    (0.0..=1.0).contains(crowd_share),
+                    "crowd share must be in [0, 1], got {crowd_share}"
+                );
+            }
+        }
+    }
+
+    /// The instantaneous open-loop rate at `now`, or `None` for
+    /// closed-loop processes.
+    pub fn rate_at(&self, now: Time) -> Option<f64> {
+        match self {
+            ArrivalProcess::OpenPoisson { rate_rps } => Some(*rate_rps),
+            ArrivalProcess::ClosedLoop { .. } => None,
+            ArrivalProcess::Bursty {
+                base_rps,
+                burst_rps,
+                ..
+            } => Some(if self.in_burst(now) {
+                *burst_rps
+            } else {
+                *base_rps
+            }),
         }
     }
 }
@@ -140,5 +248,62 @@ mod tests {
     #[should_panic]
     fn zero_rate_rejected() {
         PoissonArrivals::new(0.0, SimRng::seed(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the period")]
+    fn burst_filling_its_period_rejected() {
+        ArrivalProcess::Bursty {
+            base_rps: 1_000.0,
+            burst_rps: 2_000.0,
+            period: Time::from_ms(100),
+            burst_len: Time::from_ms(100),
+            crowd_users: 0,
+            crowd_share: 0.0,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        ArrivalProcess::Bursty {
+            base_rps: 1_000.0,
+            burst_rps: 2_000.0,
+            period: Time::ZERO,
+            burst_len: Time::ZERO,
+            crowd_users: 0,
+            crowd_share: 0.0,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn bursty_phases_and_rates() {
+        let a = ArrivalProcess::Bursty {
+            base_rps: 10_000.0,
+            burst_rps: 80_000.0,
+            period: Time::from_ms(100),
+            burst_len: Time::from_ms(30),
+            crowd_users: 4,
+            crowd_share: 0.9,
+        };
+        assert!(a.in_burst(Time::ZERO));
+        assert!(a.in_burst(Time::from_ms(29)));
+        assert!(!a.in_burst(Time::from_ms(30)));
+        assert!(!a.in_burst(Time::from_ms(99)));
+        assert!(a.in_burst(Time::from_ms(100))); // next cycle
+        assert_eq!(a.rate_at(Time::from_ms(10)), Some(80_000.0));
+        assert_eq!(a.rate_at(Time::from_ms(50)), Some(10_000.0));
+        assert!(a.label().contains("bursty"));
+        // Non-bursty processes never burst.
+        let open = ArrivalProcess::OpenPoisson { rate_rps: 1.0 };
+        assert!(!open.in_burst(Time::from_ms(5)));
+        assert_eq!(open.rate_at(Time::ZERO), Some(1.0));
+        let closed = ArrivalProcess::ClosedLoop {
+            sessions: 1,
+            think: Time::from_ms(1),
+        };
+        assert_eq!(closed.rate_at(Time::ZERO), None);
     }
 }

@@ -16,18 +16,29 @@
 //!   the calibrated `venice-workloads` request models (KV cache, OLTP,
 //!   PageRank, iperf) over a Zipf-skewed population of millions of
 //!   simulated users;
-//! * [`admission`] — token-bucket rate policing plus in-flight caps, with
-//!   QPair credit exhaustion acting as per-node transport backpressure;
+//! * [`admission`] — **per-node** token-bucket policing plus
+//!   priority-scaled in-flight caps (low-priority tenants shed first
+//!   under contention), with QPair credit exhaustion acting as per-node
+//!   transport backpressure;
+//! * [`stacks`] — the remote-memory stacks a run can mount: Venice CRMA
+//!   or the `venice-baselines` comparison systems (soNUMA-style
+//!   messaging, swap-to-remote) under identical traffic;
 //! * [`engine`] — the event loop on [`venice_sim::Kernel`]: requests
 //!   transit a QPair from the edge gateway, queue on per-node service
 //!   slots, and record completion latency into
 //!   [`venice_sim::LogHistogram`]s (p50/p95/p99/p99.9 per tenant).
-//!   Cluster setup borrows remote memory through the Monitor Node under
-//!   contention and measures real CRMA read latency for the remote tier;
+//!   The remote tier provisions either statically at setup or
+//!   **elastically** through a [`venice_lease::LeaseManager`] that
+//!   borrows and releases capacity mid-run as queue depth crosses its
+//!   watermarks; routing is locality-aware (requests follow their
+//!   tenant's lease). [`engine::run_traced`] exports per-request
+//!   [`trace::Trace`] records and [`engine::replay`] re-drives one;
 //! * [`sweep`] — a rayon-parallel grid runner over (mesh size, tenant mix,
-//!   arrival rate) whose output is deterministic at any thread count;
-//! * [`scenarios`] — the `loadgen` figure family layered beyond the
-//!   paper's figures, consumed by the `figures` binary.
+//!   arrival rate, remote stack) whose output is deterministic at any
+//!   thread count;
+//! * [`scenarios`] / [`elastic`] — the `loadgen` and `loadgen-elastic`
+//!   figure families layered beyond the paper's figures, consumed by the
+//!   `figures` binary.
 //!
 //! # Example
 //!
@@ -46,15 +57,22 @@
 
 pub mod admission;
 pub mod arrival;
+pub mod elastic;
 pub mod engine;
 pub mod report;
 pub mod scenarios;
+pub mod stacks;
 pub mod sweep;
 pub mod tenants;
+pub mod trace;
 
 pub use admission::AdmissionConfig;
 pub use arrival::ArrivalProcess;
 pub use engine::LoadgenConfig;
-pub use report::{LoadReport, TenantReport};
+pub use report::{LeaseSummary, LoadReport, TenantReport};
+pub use stacks::RemoteStack;
 pub use sweep::{SweepPoint, SweepSpec};
 pub use tenants::{RequestProfile, TenantClass, TenantMix};
+pub use trace::{RequestOutcome, RequestRecord, Trace};
+
+pub use venice_lease::{LeaseConfig, Priority};

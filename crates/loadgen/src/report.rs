@@ -1,7 +1,44 @@
 //! Load-run reports: per-tenant tail latency and throughput.
 
 use serde::{Deserialize, Serialize};
+use venice_lease::LeaseEvent;
 use venice_sim::{LogHistogram, Time};
+
+/// Remote-tier provisioning summary of one run: how much was borrowed,
+/// when, and at what peak — the numbers the static-vs-elastic figures
+/// compare.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LeaseSummary {
+    /// Successful borrows (setup borrows included).
+    pub grows: u64,
+    /// Successful releases.
+    pub shrinks: u64,
+    /// Borrows refused by the Monitor Node (donor capacity exhausted).
+    pub denials: u64,
+    /// Highest cluster-wide borrowed bytes at any instant.
+    pub peak_bytes: u64,
+    /// Time-weighted mean of cluster-wide borrowed bytes.
+    pub mean_bytes: u64,
+    /// The full borrow/release timeline (empty for static provisioning,
+    /// which never changes after setup).
+    pub events: Vec<LeaseEvent>,
+}
+
+impl LeaseSummary {
+    /// Summary of a static tier: `grows` setup borrows totalling
+    /// `total_bytes` (as actually granted — the borrow flow rounds
+    /// requests up to a power of two), held for the whole run.
+    pub fn static_tier(grows: u64, total_bytes: u64) -> Self {
+        LeaseSummary {
+            grows,
+            shrinks: 0,
+            denials: 0,
+            peak_bytes: total_bytes,
+            mean_bytes: total_bytes,
+            events: Vec::new(),
+        }
+    }
+}
 
 /// Summary for one tenant class (or the whole run, for the `total` row).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -93,8 +130,12 @@ pub struct LoadReport {
     pub credit_waits: u64,
     /// Nodes that successfully borrowed a remote-memory lease at setup.
     pub remote_leases: u64,
-    /// Nodes whose borrow was refused (donor contention).
+    /// Nodes whose setup borrow was refused (donor contention) under
+    /// static provisioning; elastic runs record refusals — setup and
+    /// mid-run alike — in [`LeaseSummary::denials`] instead.
     pub borrow_failures: u64,
+    /// Remote-tier provisioning over the run (static or elastic).
+    pub lease: LeaseSummary,
     /// Whole-run summary row.
     pub total: TenantReport,
     /// Per-tenant rows, in mix order.
@@ -128,6 +169,14 @@ impl LoadReport {
         out.push_str(&format!(
             "remote leases {}/{} nodes, {} credit waits\n",
             self.remote_leases, self.nodes, self.credit_waits,
+        ));
+        out.push_str(&format!(
+            "lease tier: {} grows / {} shrinks / {} denials, peak {} MB, mean {} MB\n",
+            self.lease.grows,
+            self.lease.shrinks,
+            self.lease.denials,
+            self.lease.peak_bytes >> 20,
+            self.lease.mean_bytes >> 20,
         ));
         out.push_str(&format!(
             "{:<14} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9}\n",

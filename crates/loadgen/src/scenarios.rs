@@ -8,8 +8,10 @@
 
 use venice::Figure;
 
+use crate::elastic;
 use crate::engine::{self, LoadgenConfig};
 use crate::report::LoadReport;
+use crate::stacks::RemoteStack;
 use crate::sweep::{self, SweepSpec};
 use crate::tenants::TenantMix;
 use crate::ArrivalProcess;
@@ -18,20 +20,25 @@ use crate::ArrivalProcess;
 pub const SCENARIO_SEED: u64 = 0x7EA1CE;
 
 /// The canonical sweep: 8- and 16-node meshes × three tenant mixes ×
-/// four offered rates spanning comfortable to saturating.
+/// four offered rates spanning comfortable to saturating, on the Venice
+/// stack (the baseline stacks appear in the elastic comparison family).
 pub fn default_sweep() -> SweepSpec {
     SweepSpec {
         seed: SCENARIO_SEED,
         meshes: vec![(2, 2, 2), (4, 2, 2)],
         mixes: TenantMix::presets(),
         rates_rps: vec![5_000.0, 20_000.0, 80_000.0, 160_000.0],
+        stacks: vec![RemoteStack::VeniceCrma],
         requests_per_point: 20_000,
     }
 }
 
-/// Every figure of the loadgen family (rayon-parallel under the hood).
+/// Every figure of the loadgen family (rayon-parallel under the hood):
+/// the rate sweep plus the static-vs-elastic flash-crowd comparison.
 pub fn all() -> Vec<Figure> {
-    sweep::figures(&default_sweep())
+    let mut out = sweep::figures(&default_sweep());
+    out.extend(elastic::all());
+    out
 }
 
 /// The storm configurations backing the headline claim: ≥ 1 M simulated

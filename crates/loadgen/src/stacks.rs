@@ -1,0 +1,123 @@
+//! Remote-memory stacks the engine can mount under a tenant mix.
+//!
+//! The paper's feasibility study (§4.1, Fig 3) shows that on commodity
+//! interconnects the *software stack*, not the wire, dominates remote
+//! access cost. `venice-baselines` models those stacks component by
+//! component; this module mounts them under the load generator so the
+//! sweep and the elastic figures compare Venice against
+//! soNUMA-style messaging and the three swap-based baselines **under
+//! identical traffic** — same seeds, same arrival trace, same tenant
+//! mix, only the remote tier swapped out.
+//!
+//! Only [`RemoteStack::VeniceCrma`] supports elastic leases: growing a
+//! tier mid-run requires the Monitor-Node borrow flow plus memory
+//! hot-plug, which the baseline stacks (static partitions reached through
+//! swap devices or message queues) do not have. That asymmetry is the
+//! point — it is the paper's architectural contribution, measured.
+
+use venice_baselines::{AsyncQpair, CommodityPath};
+use venice_sim::Time;
+
+/// Which remote-memory stack serves a node's borrowed tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteStack {
+    /// Venice CRMA: cacheline loads through the RAMT window (latency
+    /// measured from the composed cluster at setup).
+    VeniceCrma,
+    /// Scale-out-NUMA-style user-level messaging: each remote miss is a
+    /// QPair round trip plus async-runtime bookkeeping.
+    Sonuma,
+    /// 10 Gb Ethernet vDisk swap (full TCP/IP + block stack per page).
+    SwapEthernet,
+    /// InfiniBand SRP virtual block device swap.
+    SwapInfiniband,
+    /// Semi-custom PCIe interconnect, swap over DMA.
+    SwapPcieRdma,
+}
+
+impl RemoteStack {
+    /// Figure/series label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RemoteStack::VeniceCrma => "venice",
+            RemoteStack::Sonuma => "sonuma",
+            RemoteStack::SwapEthernet => "swap-eth",
+            RemoteStack::SwapInfiniband => "swap-ib",
+            RemoteStack::SwapPcieRdma => "swap-pcie",
+        }
+    }
+
+    /// Whether the stack can grow and shrink its remote tier mid-run.
+    pub fn supports_elastic(&self) -> bool {
+        matches!(self, RemoteStack::VeniceCrma)
+    }
+
+    /// Per-miss latency of the stack, given the two quantities measured
+    /// from the composed cluster at setup: the CRMA cacheline read
+    /// latency and a 64 B QPair message latency to the same node.
+    pub fn remote_miss(&self, crma_read: Time, qpair_64b: Time) -> Time {
+        match self {
+            RemoteStack::VeniceCrma => crma_read,
+            // Request + response messages, plus the async runtime's
+            // per-operation bookkeeping (issue, poll, status check).
+            RemoteStack::Sonuma => {
+                qpair_64b + qpair_64b + AsyncQpair::dependence_bound().bookkeeping
+            }
+            RemoteStack::SwapEthernet => CommodityPath::ethernet_vdisk().total(),
+            RemoteStack::SwapInfiniband => CommodityPath::infiniband_srp().total(),
+            RemoteStack::SwapPcieRdma => CommodityPath::pcie_rdma().total(),
+        }
+    }
+
+    /// Every stack, Venice first (figure order).
+    pub fn all() -> Vec<RemoteStack> {
+        vec![
+            RemoteStack::VeniceCrma,
+            RemoteStack::Sonuma,
+            RemoteStack::SwapEthernet,
+            RemoteStack::SwapInfiniband,
+            RemoteStack::SwapPcieRdma,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn venice_beats_every_baseline_per_miss() {
+        let crma = Time::from_us(3);
+        let qpair = Time::from_us(4);
+        let v = RemoteStack::VeniceCrma.remote_miss(crma, qpair);
+        for stack in RemoteStack::all().into_iter().skip(1) {
+            let miss = stack.remote_miss(crma, qpair);
+            assert!(miss > v, "{}: {miss} not above venice {v}", stack.label());
+        }
+        // And the Fig 3 ordering among the swap paths holds.
+        let eth = RemoteStack::SwapEthernet.remote_miss(crma, qpair);
+        let ib = RemoteStack::SwapInfiniband.remote_miss(crma, qpair);
+        let pcie = RemoteStack::SwapPcieRdma.remote_miss(crma, qpair);
+        assert!(eth > ib && ib > pcie);
+    }
+
+    #[test]
+    fn only_venice_is_elastic() {
+        for stack in RemoteStack::all() {
+            assert_eq!(
+                stack.supports_elastic(),
+                stack == RemoteStack::VeniceCrma,
+                "{}",
+                stack.label()
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = RemoteStack::all().iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+}

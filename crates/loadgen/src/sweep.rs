@@ -1,17 +1,18 @@
 //! Parallel configuration sweeps.
 //!
 //! A [`SweepSpec`] spans a grid of (mesh size × tenant mix × arrival
-//! rate); [`run_sweep`] fans the grid over rayon and returns one
-//! [`SweepPoint`] per cell. Determinism at any thread count comes from two
-//! properties: every point derives its own seed purely from the spec seed
-//! and the point's grid index, and results are collected in grid order —
-//! never in completion order.
+//! rate × remote stack); [`run_sweep`] fans the grid over rayon and
+//! returns one [`SweepPoint`] per cell. Determinism at any thread count
+//! comes from two properties: every point derives its own seed purely
+//! from the spec seed and the point's grid index, and results are
+//! collected in grid order — never in completion order.
 
 use rayon::prelude::*;
 use venice::{Figure, Series};
 
 use crate::engine::{self, LoadgenConfig};
 use crate::report::LoadReport;
+use crate::stacks::RemoteStack;
 use crate::tenants::TenantMix;
 use crate::ArrivalProcess;
 
@@ -26,6 +27,9 @@ pub struct SweepSpec {
     pub mixes: Vec<TenantMix>,
     /// Open-loop arrival rates to sweep (requests per second).
     pub rates_rps: Vec<f64>,
+    /// Remote-memory stacks to sweep (Venice vs the `venice-baselines`
+    /// comparison systems, under identical traffic).
+    pub stacks: Vec<RemoteStack>,
     /// Requests generated per grid point.
     pub requests_per_point: u64,
 }
@@ -33,7 +37,7 @@ pub struct SweepSpec {
 impl SweepSpec {
     /// Number of grid points.
     pub fn len(&self) -> usize {
-        self.meshes.len() * self.mixes.len() * self.rates_rps.len()
+        self.meshes.len() * self.mixes.len() * self.rates_rps.len() * self.stacks.len()
     }
 
     /// Whether the grid is empty.
@@ -42,20 +46,27 @@ impl SweepSpec {
     }
 
     /// Expands the grid into per-point configurations, in grid order
-    /// (mesh-major, then mix, then rate).
+    /// (mesh-major, then mix, then rate, then stack). Every stack in one
+    /// (mesh, mix, rate) cell shares that cell's seed, so stack-vs-stack
+    /// series really do run the identical arrival stream — the seed is
+    /// derived from the *traffic* cell, never the stack dimension.
     pub fn configs(&self) -> Vec<LoadgenConfig> {
         let mut out = Vec::with_capacity(self.len());
-        let mut index = 0u64;
+        let mut cell = 0u64;
         for &mesh in &self.meshes {
             for mix in &self.mixes {
                 for &rate_rps in &self.rates_rps {
-                    out.push(LoadgenConfig {
-                        mesh,
-                        arrival: ArrivalProcess::OpenPoisson { rate_rps },
-                        requests: self.requests_per_point,
-                        ..LoadgenConfig::new(point_seed(self.seed, index), mix.clone())
-                    });
-                    index += 1;
+                    let seed = point_seed(self.seed, cell);
+                    cell += 1;
+                    for &stack in &self.stacks {
+                        out.push(LoadgenConfig {
+                            mesh,
+                            arrival: ArrivalProcess::OpenPoisson { rate_rps },
+                            requests: self.requests_per_point,
+                            stack,
+                            ..LoadgenConfig::new(seed, mix.clone())
+                        });
+                    }
                 }
             }
         }
@@ -84,6 +95,8 @@ pub struct SweepPoint {
     pub mix: String,
     /// Offered rate.
     pub rate_rps: f64,
+    /// Remote stack of the cell.
+    pub stack: RemoteStack,
     /// The run's report.
     pub report: LoadReport,
 }
@@ -100,6 +113,7 @@ pub fn run_sweep(spec: &SweepSpec) -> Vec<SweepPoint> {
                 mesh: config.mesh,
                 mix: config.mix.name.clone(),
                 rate_rps,
+                stack: config.stack,
                 report: engine::run(&config),
             }
         })
@@ -107,7 +121,9 @@ pub fn run_sweep(spec: &SweepSpec) -> Vec<SweepPoint> {
 }
 
 /// Runs the sweep and renders it as `Figure`s: for every mesh size, a p99
-/// figure and a goodput figure over the rate axis, one series per mix.
+/// figure and a goodput figure over the rate axis, one series per
+/// (mix × stack) combination (the stack suffix is dropped when the sweep
+/// covers only one stack).
 pub fn figures(spec: &SweepSpec) -> Vec<Figure> {
     let points = run_sweep(spec);
     let columns: Vec<String> = spec
@@ -115,6 +131,13 @@ pub fn figures(spec: &SweepSpec) -> Vec<Figure> {
         .iter()
         .map(|r| format!("{:.0}k rps", r / 1_000.0))
         .collect();
+    let label = |mix: &TenantMix, stack: RemoteStack| {
+        if spec.stacks.len() == 1 {
+            mix.name.clone()
+        } else {
+            format!("{} ({})", mix.name, stack.label())
+        }
+    };
     let mut out = Vec::new();
     for &mesh in &spec.meshes {
         let n = mesh.0 as u32 * mesh.1 as u32 * mesh.2 as u32;
@@ -131,20 +154,22 @@ pub fn figures(spec: &SweepSpec) -> Vec<Figure> {
         )
         .with_columns(columns.clone());
         for mix in &spec.mixes {
-            let rows: Vec<&SweepPoint> = points
-                .iter()
-                .filter(|p| p.mesh == mesh && p.mix == mix.name)
-                .collect();
-            p99.add_measured(Series::new(
-                mix.name.clone(),
-                rows.iter()
-                    .map(|p| p.report.total.p99_us / 1_000.0)
-                    .collect(),
-            ));
-            tput.add_measured(Series::new(
-                mix.name.clone(),
-                rows.iter().map(|p| p.report.total.throughput_rps).collect(),
-            ));
+            for &stack in &spec.stacks {
+                let rows: Vec<&SweepPoint> = points
+                    .iter()
+                    .filter(|p| p.mesh == mesh && p.mix == mix.name && p.stack == stack)
+                    .collect();
+                p99.add_measured(Series::new(
+                    label(mix, stack),
+                    rows.iter()
+                        .map(|p| p.report.total.p99_us / 1_000.0)
+                        .collect(),
+                ));
+                tput.add_measured(Series::new(
+                    label(mix, stack),
+                    rows.iter().map(|p| p.report.total.throughput_rps).collect(),
+                ));
+            }
         }
         p99.notes = "loadgen scenario family: beyond the paper's figures (no published reference)"
             .to_string();
@@ -165,6 +190,7 @@ mod tests {
             meshes: vec![(2, 2, 1)],
             mixes: vec![TenantMix::web_frontend(), TenantMix::messaging()],
             rates_rps: vec![5_000.0, 50_000.0],
+            stacks: vec![RemoteStack::VeniceCrma],
             requests_per_point: 800,
         }
     }
@@ -196,5 +222,26 @@ mod tests {
                 assert!(s.values.iter().all(|v| v.is_finite() && *v >= 0.0));
             }
         }
+    }
+
+    #[test]
+    fn multi_stack_sweeps_label_series_per_stack() {
+        let spec = SweepSpec {
+            mixes: vec![TenantMix::messaging()],
+            rates_rps: vec![10_000.0],
+            stacks: vec![RemoteStack::VeniceCrma, RemoteStack::SwapEthernet],
+            requests_per_point: 400,
+            ..tiny_spec()
+        };
+        assert_eq!(spec.len(), 2);
+        // Both stacks of one traffic cell share the cell seed, so they
+        // run the identical arrival stream.
+        let configs = spec.configs();
+        assert_eq!(configs[0].seed, configs[1].seed);
+        let points = run_sweep(&spec);
+        assert_eq!(points[0].report.issued, points[1].report.issued);
+        let figs = figures(&spec);
+        let labels: Vec<&str> = figs[0].measured.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["messaging (venice)", "messaging (swap-eth)"]);
     }
 }

@@ -7,21 +7,28 @@
 //! [`ZipfSampler`], and the rank determines both activity skew and home
 //! node placement.
 
+use venice_lease::Priority;
 use venice_sim::{SimRng, Time};
 use venice_workloads::kv::CacheMemory;
 use venice_workloads::{KvCache, OltpWorkload, PageRank, ZipfSampler};
 
-/// Latency context of the node serving a request, measured from the real
-/// cluster at engine setup.
+/// Memory context of the node serving a request: remote-tier latency
+/// measured from the real cluster, plus how much remote capacity the node
+/// holds *right now*. With elastic leases this changes mid-run — the
+/// model is continuous in `remote_bytes`, so every borrowed chunk buys a
+/// proportional capacity/locality benefit instead of a binary flip.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeModel {
     /// Local DRAM miss service latency.
     pub local_miss: Time,
-    /// Measured CRMA read latency to this node's borrowed window (only
-    /// meaningful when `has_remote`).
+    /// Measured CRMA read latency to this node's borrowed windows (only
+    /// meaningful while `remote_bytes > 0`).
     pub remote_miss: Time,
-    /// Whether the node holds a borrowed remote-memory lease.
-    pub has_remote: bool,
+    /// Borrowed remote-tier bytes currently held.
+    pub remote_bytes: u64,
+    /// The fully provisioned reference level (what a static setup would
+    /// borrow); `remote_bytes / full_bytes` is the tier's fill fraction.
+    pub full_bytes: u64,
 }
 
 impl NodeModel {
@@ -30,7 +37,27 @@ impl NodeModel {
         NodeModel {
             local_miss,
             remote_miss: Time::ZERO,
-            has_remote: false,
+            remote_bytes: 0,
+            full_bytes: 0,
+        }
+    }
+
+    /// Whether the node holds any borrowed remote memory.
+    pub fn has_remote(&self) -> bool {
+        self.remote_bytes > 0
+    }
+
+    /// Fraction of the full provisioning level currently held, in
+    /// `[0, 1]`.
+    pub fn fill(&self) -> f64 {
+        if self.full_bytes == 0 {
+            if self.remote_bytes > 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            (self.remote_bytes as f64 / self.full_bytes as f64).min(1.0)
         }
     }
 }
@@ -106,18 +133,16 @@ impl RequestProfile {
                 cache,
                 capacity_bytes,
             } => {
-                let memory = if node.has_remote {
+                let memory = if node.has_remote() {
                     CacheMemory::RemoteCrma(node.remote_miss)
                 } else {
                     CacheMemory::Local
                 };
-                // Without a remote lease the node can only hold what fits
-                // in its local tier.
-                let capacity = if node.has_remote {
-                    *capacity_bytes
-                } else {
-                    (*capacity_bytes).min(cache.local_floor_bytes)
-                };
+                // The cache holds its local floor plus whatever remote
+                // capacity the node has actually borrowed, capped at the
+                // tenant's provisioned size — shrink the lease and the
+                // miss rate climbs, grow it and the tail recovers.
+                let capacity = (cache.local_floor_bytes + node.remote_bytes).min(*capacity_bytes);
                 if rng.chance(cache.miss_rate(capacity)) {
                     cache.backend_cost
                 } else {
@@ -128,11 +153,7 @@ impl RequestProfile {
                 workload,
                 remote_fraction,
             } => {
-                let f = if node.has_remote {
-                    *remote_fraction
-                } else {
-                    0.0
-                };
+                let f = *remote_fraction * node.fill();
                 workload
                     .profile()
                     .op_time_split(f, node.remote_miss, node.local_miss)
@@ -144,11 +165,7 @@ impl RequestProfile {
                 footprint_bytes,
                 remote_fraction,
             } => {
-                let f = if node.has_remote {
-                    *remote_fraction
-                } else {
-                    0.0
-                };
+                let f = *remote_fraction * node.fill();
                 kernel
                     .profile(*footprint_bytes)
                     .op_time_split(f, node.remote_miss, node.local_miss)
@@ -162,7 +179,8 @@ impl RequestProfile {
     }
 }
 
-/// One tenant class: a named request profile with a traffic weight.
+/// One tenant class: a named request profile with a traffic weight and a
+/// shedding priority.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantClass {
     /// Tenant name (figure label).
@@ -171,16 +189,26 @@ pub struct TenantClass {
     pub profile: RequestProfile,
     /// Relative traffic share (weights need not sum to 1).
     pub weight: f64,
+    /// Admission priority: under contention, lower priorities are shed
+    /// first (see [`Priority::capacity_share`]).
+    pub priority: Priority,
 }
 
 impl TenantClass {
-    /// Creates a class.
+    /// Creates a class at [`Priority::Normal`].
     pub fn new(name: impl Into<String>, profile: RequestProfile, weight: f64) -> Self {
         TenantClass {
             name: name.into(),
             profile,
             weight,
+            priority: Priority::Normal,
         }
+    }
+
+    /// Sets the class priority (builder style).
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
     }
 }
 
@@ -259,7 +287,8 @@ impl TenantMix {
                         capacity_bytes: 512 << 20,
                     },
                     0.70,
-                ),
+                )
+                .with_priority(Priority::High),
                 TenantClass::new(
                     "oltp",
                     RequestProfile::Oltp {
@@ -275,7 +304,8 @@ impl TenantMix {
                         server_cpu: Time::from_us(2),
                     },
                     0.05,
-                ),
+                )
+                .with_priority(Priority::Low),
             ],
             2_000_000,
             0.9,
@@ -296,7 +326,8 @@ impl TenantMix {
                         remote_fraction: 0.7,
                     },
                     0.60,
-                ),
+                )
+                .with_priority(Priority::Low),
                 TenantClass::new(
                     "oltp-metadata",
                     RequestProfile::Oltp {
@@ -331,7 +362,8 @@ impl TenantMix {
                         server_cpu: Time::from_us(4),
                     },
                     0.65,
-                ),
+                )
+                .with_priority(Priority::High),
                 TenantClass::new(
                     "inbox-kv",
                     RequestProfile::Kv {
@@ -360,7 +392,8 @@ mod tests {
         NodeModel {
             local_miss: Time::from_ns(100),
             remote_miss: Time::from_us(3),
-            has_remote: true,
+            remote_bytes: 384 << 20,
+            full_bytes: 384 << 20,
         }
     }
 

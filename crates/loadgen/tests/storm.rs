@@ -3,9 +3,8 @@
 //! per-tenant tails and throughput, and replaying bit-identically — plus
 //! thread-count independence of the rayon sweep.
 
-use venice_loadgen::scenarios;
 use venice_loadgen::sweep::{self, SweepSpec};
-use venice_loadgen::TenantMix;
+use venice_loadgen::{elastic, engine, scenarios, RemoteStack, TenantMix};
 
 #[test]
 fn storm_sustains_a_million_requests_across_three_mixes() {
@@ -57,20 +56,48 @@ fn storm_replays_bit_identically() {
 }
 
 #[test]
-fn sweep_figures_are_thread_count_independent() {
+fn figures_are_thread_count_independent_at_any_rayon_width() {
     let spec = SweepSpec {
         seed: 31,
         meshes: vec![(2, 2, 1)],
         mixes: vec![TenantMix::web_frontend(), TenantMix::analytics()],
         rates_rps: vec![10_000.0, 60_000.0],
+        stacks: vec![RemoteStack::VeniceCrma, RemoteStack::Sonuma],
         requests_per_point: 1_500,
     };
-    // Both runs inside one test: the env var is process-global.
+    // All env mutation lives inside this single test: the var is
+    // process-global and mutating it from two concurrently running tests
+    // would race (which is also why the elastic half below shares this
+    // test instead of getting its own). Unlike upstream rayon's
+    // initialize-once global pool, the workspace's rayon shim re-reads
+    // RAYON_NUM_THREADS on every parallel call, so each set_var below
+    // really does change the fan-out width of the next run.
     std::env::set_var("RAYON_NUM_THREADS", "1");
     let single = sweep::figures(&spec);
+    let elastic_single = elastic::comparison_reports_scaled(7, 6_000);
     std::env::set_var("RAYON_NUM_THREADS", "8");
     let many = sweep::figures(&spec);
+    let elastic_many = elastic::comparison_reports_scaled(7, 6_000);
     std::env::remove_var("RAYON_NUM_THREADS");
     assert_eq!(single, many, "sweep output depends on thread count");
     assert!(!single.is_empty());
+    // The elastic figure family runs five engine configurations under
+    // rayon; the lease timelines inside each report must be bit-identical
+    // at any thread count.
+    assert_eq!(
+        elastic_single, elastic_many,
+        "elastic comparison depends on thread count"
+    );
+    // And a direct serial rerun of the elastic config matches the
+    // rayon-run copy, lease events included.
+    let mut config = elastic::elastic_config(7);
+    config.requests = 6_000;
+    let serial = engine::run(&config);
+    let parallel = &elastic_many
+        .iter()
+        .find(|(l, _)| l == "venice-elastic")
+        .expect("elastic row present")
+        .1;
+    assert_eq!(&serial, parallel);
+    assert!(!serial.lease.events.is_empty());
 }

@@ -196,19 +196,59 @@ impl AddressSpace {
     }
 
     /// Returns a lent region to local use (the donor-side half of
-    /// stop-sharing).
+    /// stop-sharing). Adjacent online regions are merged, so repeated
+    /// lend/reclaim cycles never fragment the space — without merging, a
+    /// later `hot_remove` spanning two touching online pieces would fail
+    /// even though every byte of the range is online.
     ///
     /// # Errors
     ///
     /// [`MemError::BadState`] when the region is not lent.
     pub fn reclaim(&mut self, base: u64) -> Result<NodeId, MemError> {
         let r = self.find_mut(base)?;
-        match r.state {
+        let donor = match r.state {
             RegionState::LentTo(n) => {
                 r.state = RegionState::Online;
-                Ok(n)
+                n
             }
-            _ => Err(MemError::BadState),
+            _ => return Err(MemError::BadState),
+        };
+        self.coalesce_online(base);
+        Ok(donor)
+    }
+
+    /// Merges the online region at `base` with any online neighbors it
+    /// touches.
+    fn coalesce_online(&mut self, mut base: u64) {
+        loop {
+            let Some(cur) = self
+                .regions
+                .iter()
+                .position(|r| r.base == base && r.state == RegionState::Online)
+            else {
+                return;
+            };
+            if let Some(left) = self
+                .regions
+                .iter()
+                .position(|r| r.state == RegionState::Online && r.base + r.size == base)
+            {
+                self.regions[left].size += self.regions[cur].size;
+                base = self.regions[left].base;
+                self.regions.remove(cur);
+                continue;
+            }
+            let end = self.regions[cur].base + self.regions[cur].size;
+            if let Some(right) = self
+                .regions
+                .iter()
+                .position(|r| r.state == RegionState::Online && r.base == end)
+            {
+                self.regions[cur].size += self.regions[right].size;
+                self.regions.remove(right);
+                continue;
+            }
+            return;
         }
     }
 
@@ -341,6 +381,26 @@ mod tests {
         assert_eq!(a.reclaim(0), Ok(NodeId(1)));
         assert_eq!(a.online_bytes(), 2 << 30);
         assert_eq!(a.reclaim(0), Err(MemError::BadState));
+    }
+
+    #[test]
+    fn reclaim_coalesces_adjacent_online_regions() {
+        // Lend two touching slices, reclaim both (in either order), then
+        // hot-remove a range spanning the former split points: without
+        // coalescing this fails NoSuchRegion even though every byte is
+        // online again.
+        let mut a = AddressSpace::with_memory(NodeId(0), 4 << 30);
+        a.hot_remove(1 << 30, 1 << 30, NodeId(1)).unwrap();
+        a.hot_remove(2 << 30, 1 << 30, NodeId(2)).unwrap();
+        assert_eq!(a.reclaim(1 << 30), Ok(NodeId(1)));
+        assert_eq!(a.reclaim(2 << 30), Ok(NodeId(2)));
+        assert_eq!(a.online_bytes(), 4 << 30);
+        a.hot_remove(512 << 20, 3 << 30, NodeId(3)).unwrap();
+        assert_eq!(a.lent_bytes(), 3 << 30);
+        assert_eq!(a.reclaim(512 << 20), Ok(NodeId(3)));
+        // Fully merged back into one span: a whole-space lend works.
+        a.hot_remove(0, 4 << 30, NodeId(1)).unwrap();
+        assert_eq!(a.online_bytes(), 0);
     }
 
     #[test]

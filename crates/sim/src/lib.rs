@@ -35,6 +35,7 @@ pub mod rate;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod timeline;
 
 pub use kernel::{Kernel, Scheduler};
 pub use queue::EventQueue;
@@ -42,3 +43,4 @@ pub use rate::TokenBucket;
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, LogHistogram, ThroughputMeter};
 pub use time::Time;
+pub use timeline::Timeline;

@@ -1,0 +1,113 @@
+//! Time-ordered event timelines.
+//!
+//! A [`Timeline`] is an append-only record of `(Time, E)` pairs whose
+//! timestamps never decrease — the shape every control-loop audit trail in
+//! the workspace shares (lease borrow/release decisions, link flaps,
+//! policy changes). Recording through `Timeline` instead of a bare `Vec`
+//! buys two things: the monotonicity invariant is enforced at the
+//! recording site, and same-seed replays can be compared timeline-to-
+//! timeline with plain `==`.
+
+use crate::time::Time;
+
+/// An append-only, time-ordered sequence of events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline<E> {
+    events: Vec<(Time, E)>,
+}
+
+impl<E> Default for Timeline<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Timeline<E> {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Timeline { events: Vec::new() }
+    }
+
+    /// Appends `event` at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the last recorded timestamp —
+    /// timelines record causally ordered histories, not arbitrary logs.
+    pub fn record(&mut self, at: Time, event: E) {
+        if let Some((last, _)) = self.events.last() {
+            assert!(
+                at >= *last,
+                "timeline must be recorded in time order: {at} after {last}"
+            );
+        }
+        self.events.push((at, event));
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded events in time order.
+    pub fn events(&self) -> &[(Time, E)] {
+        &self.events
+    }
+
+    /// The most recent entry.
+    pub fn last(&self) -> Option<&(Time, E)> {
+        self.events.last()
+    }
+
+    /// Iterates over `(time, event)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Time, E)> {
+        self.events.iter()
+    }
+
+    /// Consumes the timeline, returning the ordered event vector.
+    pub fn into_events(self) -> Vec<(Time, E)> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_compares() {
+        let mut a = Timeline::new();
+        a.record(Time::from_us(1), "grow");
+        a.record(Time::from_us(1), "grow"); // equal timestamps allowed
+        a.record(Time::from_us(5), "shrink");
+        let mut b = Timeline::new();
+        b.record(Time::from_us(1), "grow");
+        b.record(Time::from_us(1), "grow");
+        b.record(Time::from_us(5), "shrink");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.last(), Some(&(Time::from_us(5), "shrink")));
+        assert_eq!(a.iter().count(), 3);
+        assert_eq!(a.into_events().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn rejects_out_of_order_records() {
+        let mut t = Timeline::new();
+        t.record(Time::from_us(5), 1u32);
+        t.record(Time::from_us(4), 2u32);
+    }
+
+    #[test]
+    fn empty_timeline_is_empty() {
+        let t: Timeline<u8> = Timeline::new();
+        assert!(t.is_empty());
+        assert_eq!(t.last(), None);
+    }
+}
