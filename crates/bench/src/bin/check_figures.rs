@@ -1,0 +1,55 @@
+//! CI gate: validates the committed `BENCH_figures.json` against the
+//! registered figure families.
+//!
+//! ```text
+//! check-figures [PATH]
+//! ```
+//!
+//! Replaces the old hand-written per-family `grep -q` freshness checks:
+//! every family in [`venice_bench::EXPECTED_FIGURE_IDS`] must be present
+//! with non-empty measured series, and every emitted family must be
+//! registered — so a new figure family cannot be silently dropped from
+//! the perf trajectory in either direction. `PATH` defaults to the
+//! repo-root artifact the `figures` binary writes.
+
+use std::process::ExitCode;
+
+use venice::Figure;
+
+fn main() -> ExitCode {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_figures.json")
+            .display()
+            .to_string()
+    });
+    let raw = match std::fs::read_to_string(&path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            eprintln!("check-figures: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let figures: Vec<Figure> = match serde_json::from_str(&raw) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("check-figures: {path} is not a figure artifact: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let problems = venice_bench::validate_figures(&figures);
+    if problems.is_empty() {
+        println!(
+            "check-figures: {} families valid in {path}",
+            venice_bench::EXPECTED_FIGURE_IDS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("check-figures: {p}");
+        }
+        eprintln!("check-figures: {} problem(s) in {path}", problems.len());
+        ExitCode::FAILURE
+    }
+}

@@ -5,7 +5,8 @@
 //! figures [--json[=PATH]] [--no-loadgen] [fig3 fig5 fig6 fig14 fig15
 //!          fig16a fig16b fig17 fig18 table1 cost validation
 //!          loadgen-p99-8n loadgen-tput-8n loadgen-p99-16n loadgen-tput-16n
-//!          loadgen-elastic-8n loadgen-elastic-timeline-8n]
+//!          loadgen-elastic-8n loadgen-elastic-timeline-8n
+//!          loadgen-elastic-v2-8n loadgen-donor-pressure-8n]
 //! ```
 //!
 //! With no arguments, prints all figures as aligned text tables (measured
@@ -34,7 +35,8 @@ fn main() -> ExitCode {
                  paper ids: fig3 fig5 fig6 fig14 fig15 fig16a fig16b fig17 \
                  fig18 table1 cost validation\n\
                  loadgen ids: loadgen-p99-8n loadgen-tput-8n loadgen-p99-16n \
-                 loadgen-tput-16n loadgen-elastic-8n loadgen-elastic-timeline-8n"
+                 loadgen-tput-16n loadgen-elastic-8n loadgen-elastic-timeline-8n \
+                 loadgen-elastic-v2-8n loadgen-donor-pressure-8n"
             );
             return ExitCode::SUCCESS;
         } else {

@@ -23,6 +23,75 @@ pub fn to_json(figures: &[Figure]) -> String {
     serde_json::to_string_pretty(figures).expect("figures serialize")
 }
 
+/// Every figure family a full `figures` run must emit, in emission
+/// order. The `check-figures` binary gates CI on this list against the
+/// committed `BENCH_figures.json`, in **both** directions: a family
+/// silently dropped from the generators fails, and a family added to
+/// the generators without being registered here fails too — so the
+/// perf trajectory can never lose coverage unnoticed.
+pub const EXPECTED_FIGURE_IDS: &[&str] = &[
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig14",
+    "fig15",
+    "fig16a",
+    "fig16b",
+    "fig17",
+    "fig18",
+    "table1",
+    "cost",
+    "validation",
+    "ablation_policy",
+    "ablation_mshrs",
+    "ablation_credit_window",
+    "ablation_tltlb",
+    "ablation_contention",
+    "ablation_double_buffering",
+    "loadgen-p99-8n",
+    "loadgen-tput-8n",
+    "loadgen-p99-16n",
+    "loadgen-tput-16n",
+    "loadgen-elastic-8n",
+    "loadgen-elastic-timeline-8n",
+    "loadgen-elastic-v2-8n",
+    "loadgen-donor-pressure-8n",
+];
+
+/// Validates a committed figure artifact against
+/// [`EXPECTED_FIGURE_IDS`]: every expected family present with at least
+/// one measured series (each with at least one value), and no
+/// unregistered families. Returns the list of human-readable problems
+/// (empty = valid).
+pub fn validate_figures(figures: &[Figure]) -> Vec<String> {
+    let mut problems = Vec::new();
+    for &id in EXPECTED_FIGURE_IDS {
+        match figures.iter().find(|f| f.id == id) {
+            None => problems.push(format!("missing figure family `{id}`")),
+            Some(f) if f.measured.is_empty() => {
+                problems.push(format!("figure `{id}` has no measured series"))
+            }
+            Some(f) => {
+                for s in &f.measured {
+                    if s.values.is_empty() {
+                        problems.push(format!("figure `{id}` series `{}` is empty", s.label));
+                    }
+                }
+            }
+        }
+    }
+    for f in figures {
+        if !EXPECTED_FIGURE_IDS.contains(&f.id.as_str()) {
+            problems.push(format!(
+                "figure `{}` is not registered in EXPECTED_FIGURE_IDS \
+                 (add it so it cannot be silently dropped later)",
+                f.id
+            ));
+        }
+    }
+    problems
+}
+
 /// Selects figures by id; empty filter means all.
 pub fn select(figures: Vec<Figure>, ids: &[String]) -> Vec<Figure> {
     if ids.is_empty() {
@@ -67,6 +136,38 @@ mod tests {
         }
         let back: Vec<Figure> = serde_json::from_str(&to_json(&figs)).unwrap();
         assert_eq!(figs, back);
+    }
+
+    #[test]
+    fn expected_figure_ids_are_distinct_and_validated() {
+        let mut ids: Vec<&str> = EXPECTED_FIGURE_IDS.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), EXPECTED_FIGURE_IDS.len(), "duplicate ids");
+        // A synthetic artifact covering every family passes; dropping a
+        // family, emptying one, or adding an unregistered one fails.
+        let mut figs: Vec<Figure> = EXPECTED_FIGURE_IDS
+            .iter()
+            .map(|id| {
+                let mut f = Figure::new(*id, "t", "m");
+                f.add_measured(venice::Series::new("s", vec![1.0]));
+                f
+            })
+            .collect();
+        assert!(validate_figures(&figs).is_empty());
+        let dropped = figs[1..].to_vec();
+        assert!(validate_figures(&dropped)
+            .iter()
+            .any(|p| p.contains("missing")));
+        figs[0].measured.clear();
+        assert!(validate_figures(&figs)
+            .iter()
+            .any(|p| p.contains("no measured series")));
+        figs[0].add_measured(venice::Series::new("s", vec![1.0]));
+        figs.push(Figure::new("rogue", "t", "m"));
+        assert!(validate_figures(&figs)
+            .iter()
+            .any(|p| p.contains("not registered")));
     }
 
     #[test]

@@ -391,6 +391,47 @@ impl Cluster {
         Ok(lease)
     }
 
+    /// Donor-demanded reclaim of a *specific* grant: `donor` pulls the
+    /// lease identified by `grant_id` back from its recipient, through
+    /// the same teardown path as a voluntary release (recipient unmaps
+    /// its CRMA window and hot-unplugs; the donor reclaims — parking the
+    /// region as a hole when it sits below a still-lent one, so the bump
+    /// allocator never re-advertises space under a live lease).
+    ///
+    /// # Errors
+    ///
+    /// [`ShareError::NoLease`] when `donor` holds no active grant of
+    /// that id (already released, or lent by someone else); otherwise
+    /// propagates teardown failures from [`Cluster::release`].
+    pub fn revoke(&mut self, donor: NodeId, grant_id: u64) -> Result<MemoryLease, ShareError> {
+        let lease = *self
+            .active
+            .iter()
+            .find(|l| l.donor == donor && l.grant_id == grant_id)
+            .ok_or(ShareError::NoLease)?;
+        self.release(lease)?;
+        Ok(lease)
+    }
+
+    /// Donor-demanded reclaim of `donor`'s most recently established
+    /// outgoing lease (LIFO: the newest grant unwinds the donor's bump
+    /// allocator directly, so it is the cheapest to take back).
+    ///
+    /// # Errors
+    ///
+    /// [`ShareError::NoLease`] when `donor` has nothing lent out;
+    /// otherwise propagates teardown failures from [`Cluster::release`].
+    pub fn revoke_newest(&mut self, donor: NodeId) -> Result<MemoryLease, ShareError> {
+        let grant_id = self
+            .active
+            .iter()
+            .rev()
+            .find(|l| l.donor == donor)
+            .ok_or(ShareError::NoLease)?
+            .grant_id;
+        self.revoke(donor, grant_id)
+    }
+
     /// All leases established and not yet released, in establishment order.
     pub fn active_leases(&self) -> &[MemoryLease] {
         &self.active
@@ -406,6 +447,16 @@ impl Cluster {
         self.active
             .iter()
             .filter(|l| l.recipient == recipient)
+            .map(|l| l.bytes)
+            .sum()
+    }
+
+    /// Bytes `donor` currently has lent out to the rest of the cluster
+    /// (the donor-side pressure signal's memory half).
+    pub fn lent_bytes_of(&self, donor: NodeId) -> u64 {
+        self.active
+            .iter()
+            .filter(|l| l.donor == donor)
             .map(|l| l.bytes)
             .sum()
     }
@@ -594,6 +645,51 @@ mod tests {
         let big = c.borrow_memory(NodeId(0), 512 << 20).unwrap();
         assert!(c.memory_consistent());
         c.release(big).unwrap();
+    }
+
+    #[test]
+    fn donor_revokes_newest_grant_and_capacity_recovers() {
+        // A 2-node mesh: node 1 is the only donor for node 0.
+        let mut c = Cluster::mesh(2, 1, 1, 1 << 30, 512 << 20);
+        let l1 = c.borrow_memory(NodeId(0), 128 << 20).unwrap();
+        let l2 = c.borrow_memory(NodeId(0), 128 << 20).unwrap();
+        assert_eq!(c.lent_bytes_of(NodeId(1)), 256 << 20);
+        assert_eq!(
+            c.active_leases()
+                .iter()
+                .filter(|l| l.donor == NodeId(1))
+                .count(),
+            2
+        );
+        // The donor demands its newest grant back: LIFO picks l2.
+        let revoked = c.revoke_newest(NodeId(1)).unwrap();
+        assert_eq!(revoked, l2);
+        assert_eq!(c.lent_bytes_of(NodeId(1)), 128 << 20);
+        assert_eq!(c.borrowed_bytes_of(NodeId(0)), 128 << 20);
+        assert!(c.memory_consistent());
+        // The reclaimed window is no longer readable on the recipient.
+        assert_eq!(
+            c.crma_read(NodeId(0), revoked.local_base + 64),
+            Err(ShareError::NotRemote)
+        );
+        // Revoking a specific mid-stack grant parks a hole (l1 sits
+        // below nothing now, so here it unwinds directly) and the full
+        // capacity is grantable again afterwards.
+        c.revoke(NodeId(1), l1.grant_id).unwrap();
+        assert_eq!(c.borrowed_bytes(), 0);
+        let big = c.borrow_memory(NodeId(0), 512 << 20).unwrap();
+        assert!(c.memory_consistent());
+        c.release(big).unwrap();
+        // Nothing lent: a revoke has nothing to take.
+        assert_eq!(c.revoke_newest(NodeId(1)), Err(ShareError::NoLease));
+        // A donor cannot revoke someone else's grant id.
+        let l3 = c.borrow_memory(NodeId(0), 64 << 20).unwrap();
+        assert_eq!(
+            c.revoke(NodeId(0), l3.grant_id),
+            Err(ShareError::NoLease),
+            "only the lease's donor may revoke it"
+        );
+        c.release(l3).unwrap();
     }
 
     #[test]

@@ -44,6 +44,24 @@ impl Priority {
 /// Capacity moves in fixed-size chunks: a node holds between
 /// `min_chunks` and `max_chunks` leases of `chunk_bytes` each, and the
 /// watermark/hysteresis machinery decides when to move between levels.
+/// A donor revoke may *transiently* pull a recipient below the floor;
+/// the controller treats an under-floor node as grow-eligible on any
+/// demand signal (watermarks notwithstanding), so the floor is restored
+/// within a grow cooldown rather than waiting for a pressure spike.
+/// Three optional mechanisms extend the reactive core:
+///
+/// * **prediction** (`predict_horizon_ticks > 0`) — each node tracks an
+///   EWMA of its queue-depth slope and grows *before* the high watermark
+///   trips when the projected depth would cross it within the horizon,
+///   so flash crowds pay less of the lease-establish latency;
+/// * **donor-side reclaim** (`donor_high_watermark > 0`) — a node whose
+///   own queue depth crosses the donor watermark while it has chunks
+///   lent out demands the newest one back (a revoke through the real
+///   Monitor–Node teardown path);
+/// * **per-tenant quotas** (constructed via
+///   [`crate::LeaseManager::with_quotas`]) — a byte ceiling per tenant;
+///   grows attributed to an over-quota tenant are refused locally and
+///   recorded as [`crate::LeaseEventKind::QuotaDenied`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LeaseConfig {
     /// Bytes borrowed or released per lease action.
@@ -60,10 +78,26 @@ pub struct LeaseConfig {
     /// after a denied grow, so a full cluster is not hammered).
     pub grow_cooldown_ticks: u32,
     /// Consecutive calm ticks required before one release; any pressured
-    /// or in-band tick resets the count.
+    /// or in-band tick resets the count. Keyed **per node**: one node's
+    /// calm streak (or release) never delays another node's.
     pub release_cooldown_ticks: u32,
     /// Interval between demand observations.
     pub tick_interval: Time,
+    /// EWMA smoothing factor for the per-tick queue-depth slope, in
+    /// `(0, 1]`; larger reacts faster, smaller smooths harder.
+    pub slope_alpha: f64,
+    /// Prediction lookahead in ticks — roughly the lease-establish
+    /// latency divided by `tick_interval` (~33 ticks for a 64 MB chunk
+    /// at 1 ms ticks), so a grow decided now lands just as the projected
+    /// depth would have crossed the watermark. `0` disables prediction
+    /// (pure reactive control, the PR 2 behavior).
+    pub predict_horizon_ticks: u32,
+    /// Queue depth at or above which a *donor* (a node with chunks lent
+    /// out) demands its newest lent chunk back. `0` disables donor-side
+    /// reclaim (recipients alone release, the PR 2 behavior).
+    pub donor_high_watermark: u32,
+    /// Minimum ticks between two revoke decisions by one donor.
+    pub revoke_cooldown_ticks: u32,
 }
 
 impl Default for LeaseConfig {
@@ -77,6 +111,10 @@ impl Default for LeaseConfig {
             grow_cooldown_ticks: 2,
             release_cooldown_ticks: 40,
             tick_interval: Time::from_ms(1),
+            slope_alpha: 0.35,
+            predict_horizon_ticks: 0,
+            donor_high_watermark: 0,
+            revoke_cooldown_ticks: 50,
         }
     }
 }
@@ -87,7 +125,8 @@ impl LeaseConfig {
     /// # Panics
     ///
     /// Panics on a zero chunk size, an inverted chunk range, watermarks
-    /// that leave no hysteresis band, zero cooldowns, or a zero tick.
+    /// that leave no hysteresis band, zero cooldowns, a zero tick, or a
+    /// slope-EWMA factor outside `(0, 1]`.
     pub fn validate(&self) {
         assert!(self.chunk_bytes > 0, "chunk_bytes must be positive");
         assert!(
@@ -108,6 +147,15 @@ impl LeaseConfig {
             "release cooldown must be >= 1"
         );
         assert!(self.tick_interval > Time::ZERO, "tick interval must be > 0");
+        assert!(
+            self.slope_alpha > 0.0 && self.slope_alpha <= 1.0,
+            "slope_alpha {} outside (0, 1]",
+            self.slope_alpha
+        );
+        assert!(
+            self.revoke_cooldown_ticks > 0,
+            "revoke cooldown must be >= 1"
+        );
     }
 }
 
@@ -116,8 +164,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_config_is_valid() {
-        LeaseConfig::default().validate();
+    fn default_config_is_valid_and_reactive() {
+        let c = LeaseConfig::default();
+        c.validate();
+        // Prediction and donor reclaim are opt-in: the default config is
+        // the PR 2 reactive controller.
+        assert_eq!(c.predict_horizon_ticks, 0);
+        assert_eq!(c.donor_high_watermark, 0);
     }
 
     #[test]
@@ -146,6 +199,16 @@ mod tests {
         LeaseConfig {
             min_chunks: 5,
             max_chunks: 4,
+            ..LeaseConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "slope_alpha")]
+    fn zero_slope_alpha_rejected() {
+        LeaseConfig {
+            slope_alpha: 0.0,
             ..LeaseConfig::default()
         }
         .validate();

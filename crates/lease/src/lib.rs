@@ -11,7 +11,7 @@
 //! another chunk of remote memory through the Monitor-Node flow) or
 //! *shrink* (release its newest lease back to the donor).
 //!
-//! Three mechanisms keep the loop stable and fair:
+//! Six mechanisms keep the loop stable, fair, and ahead of demand:
 //!
 //! * **watermarks** — a node grows only while its queue depth sits at or
 //!   above the high watermark, and becomes release-eligible only at or
@@ -19,9 +19,26 @@
 //!   demand oscillating inside it causes no lease churn;
 //! * **hysteresis** — grows on one node are at least
 //!   [`LeaseConfig::grow_cooldown_ticks`] apart, and a release requires
-//!   [`LeaseConfig::release_cooldown_ticks`] *consecutive* calm ticks.
-//!   Together these bound the borrow/release rate per node by
-//!   construction (a property the test suite pins down);
+//!   [`LeaseConfig::release_cooldown_ticks`] *consecutive* calm ticks,
+//!   keyed **per node** so one node's churn never starves another's
+//!   legitimate release. Together these bound the borrow/release rate
+//!   per node by construction (a property the test suite pins down);
+//! * **prediction** — each node carries an EWMA of its queue-depth
+//!   slope; when the depth projected one establish-latency horizon ahead
+//!   ([`LeaseConfig::predict_horizon_ticks`]) crosses the high
+//!   watermark, the grow fires *early*, so flash crowds pay less of the
+//!   Fig 2 provisioning delay;
+//! * **donor-side reclaim** — lending nodes watch their own pressure:
+//!   a donor whose depth crosses [`LeaseConfig::donor_high_watermark`]
+//!   while it has chunks lent out emits [`LeaseAction::Revoke`],
+//!   demanding its newest lent chunk back through the caller's real
+//!   Monitor–Node teardown path;
+//! * **per-tenant quotas** — every confirmed chunk is attributed to a
+//!   tenant on a byte ledger ([`LeaseManager::tenant_ledger`]); grows
+//!   that would push a tenant past its quota are refused locally
+//!   ([`LeaseEventKind::QuotaDenied`]) before any cluster traffic, and
+//!   the ledger conserves bytes (per-tenant buckets always sum to
+//!   [`LeaseManager::total_bytes`] — a property test pins it);
 //! * **priorities** — leases carry the [`Priority`] of the tenant whose
 //!   backlog triggered them, and under cluster-wide contention admission
 //!   layers shed low-priority tenants first instead of FIFO (the
@@ -29,15 +46,17 @@
 //!   ordering and carries the tag through the [`LeaseEvent`] timeline).
 //!
 //! The manager is **pure**: it never touches a cluster itself. Each tick
-//! it is fed per-node queue depths and emits [`LeaseAction`]s; the caller
-//! applies them (borrow/release) and confirms or denies each one. Every
-//! decision lands on a [`venice_sim::Timeline`] of [`LeaseEvent`]s, so
-//! same-seed runs can assert bit-identical lease histories at any thread
-//! count.
+//! it is fed per-node [`NodeSignal`]s and emits [`LeaseAction`]s; the
+//! caller applies them (borrow/release/revoke) and confirms or denies
+//! each one. Every decision lands on a [`venice_sim::Timeline`] of
+//! [`LeaseEvent`]s, so same-seed runs can assert bit-identical lease
+//! histories at any thread count.
 
 pub mod config;
 pub mod manager;
 
 pub use config::{LeaseConfig, Priority};
-pub use manager::{LeaseAction, LeaseEvent, LeaseEventKind, LeaseManager};
+pub use manager::{
+    LeaseAction, LeaseEvent, LeaseEventKind, LeaseManager, NodeSignal, NO_NODE, NO_TENANT,
+};
 pub use venice_sim::Timeline;

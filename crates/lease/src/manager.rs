@@ -1,19 +1,79 @@
 //! The elastic lease manager: a pure, deterministic feedback controller.
 //!
 //! [`LeaseManager`] never touches a cluster. Each tick the caller feeds it
-//! the per-node queue depths; it answers with at most one [`LeaseAction`]
-//! per node (grow or shrink), honoring watermarks, per-node cooldowns, and
+//! one [`NodeSignal`] per node (queue depth, lent-chunk count, dominant
+//! tenant); it answers with at most one grow/shrink plus one revoke per
+//! node, honoring watermarks, per-node cooldowns, per-tenant quotas, and
 //! the chunk range. The caller applies each action against the real
-//! borrow/release flow and reports back via [`LeaseManager::confirm_grow`]
-//! / [`LeaseManager::deny_grow`] / [`LeaseManager::confirm_shrink`], which
-//! is when capacity accounting and the event timeline advance. Keeping
-//! decision and application separate makes the control loop testable in
-//! isolation and keeps every decision on one auditable timeline.
+//! borrow/release/revoke flow and reports back via
+//! [`LeaseManager::confirm_grow`] / [`LeaseManager::deny_grow`] /
+//! [`LeaseManager::confirm_shrink`] / [`LeaseManager::confirm_revoke`],
+//! which is when capacity accounting and the event timeline advance.
+//! Keeping decision and application separate makes the control loop
+//! testable in isolation and keeps every decision on one auditable
+//! timeline.
+//!
+//! Three decision families run per tick:
+//!
+//! * **grow** — reactive (depth at/above the high watermark) or
+//!   *predictive*: an EWMA of the depth slope projects the depth one
+//!   establish-latency horizon ahead, and a grow fires early when the
+//!   projection crosses the watermark, so the borrowed capacity lands
+//!   closer to when the pressure actually peaks;
+//! * **shrink** — after `release_cooldown_ticks` *consecutive* calm
+//!   ticks, keyed per node (one node's calm streak or release never
+//!   starves another's);
+//! * **revoke** — a *donor* whose own depth crosses
+//!   [`LeaseConfig::donor_high_watermark`] while it has chunks lent out
+//!   demands the newest one back.
+//!
+//! Every confirmed action is attributed to a tenant and lands on a
+//! per-tenant byte ledger; grows that would push a tenant past its quota
+//! are refused locally ([`LeaseEventKind::QuotaDenied`]) before touching
+//! the cluster.
 
 use serde::{Deserialize, Serialize};
 use venice_sim::{Time, Timeline};
 
 use crate::config::{LeaseConfig, Priority};
+
+/// Sentinel tenant id: "no tenant attributed" (bootstrap grows, idle
+/// nodes). Ledger bytes confirmed under this id land in the
+/// *unattributed* bucket, so conservation still holds.
+pub const NO_TENANT: u32 = u32::MAX;
+
+/// Sentinel node id carried by [`LeaseEvent::donor`] on every event kind
+/// except [`LeaseEventKind::Revoked`].
+pub const NO_NODE: u16 = u16::MAX;
+
+/// One node's demand/pressure observation for a control tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSignal {
+    /// Queued plus in-service requests on the node.
+    pub depth: u32,
+    /// Chunks this node has lent to *other* nodes (the donor-side
+    /// pressure signal's memory half; the cluster ledger is the source
+    /// of truth).
+    pub lent_chunks: u32,
+    /// Tenant currently dominating the node's backlog ([`NO_TENANT`]
+    /// when idle); grows are attributed — and quota-checked — against it.
+    pub tenant: u32,
+    /// Priority of that tenant (used for event attribution).
+    pub priority: Priority,
+}
+
+impl NodeSignal {
+    /// A pure-demand signal: `depth` queued, nothing lent, no tenant
+    /// attribution (tests and single-tenant callers).
+    pub fn depth(depth: u32) -> Self {
+        NodeSignal {
+            depth,
+            lent_chunks: 0,
+            tenant: NO_TENANT,
+            priority: Priority::Normal,
+        }
+    }
+}
 
 /// What the manager wants done to one node's remote tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,23 +82,44 @@ pub enum LeaseAction {
     Grow {
         /// The node that should borrow.
         node: u16,
+        /// Whether the slope predictor fired this grow before the high
+        /// watermark tripped.
+        predictive: bool,
     },
     /// Release `node`'s newest chunk.
     Shrink {
         /// The node that should release.
         node: u16,
     },
+    /// `donor` demands its newest lent chunk back from whichever node
+    /// holds it (recipient-side LIFO preference).
+    Revoke {
+        /// The pressured lending node.
+        donor: u16,
+    },
 }
 
 /// What happened to a lease decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LeaseEventKind {
-    /// A chunk was borrowed.
+    /// A chunk was borrowed (reactive trigger).
     Grew,
+    /// A chunk was borrowed on the slope predictor's say-so, before the
+    /// high watermark tripped.
+    GrewPredictive,
     /// A grow was refused by the cluster (no donor capacity).
     Denied,
-    /// A chunk was released.
+    /// A grow was refused locally: it would have pushed the attributed
+    /// tenant past its byte quota.
+    QuotaDenied,
+    /// A chunk was released by its calm recipient.
     Shrank,
+    /// A chunk was pulled back early by its pressured donor.
+    Revoked,
+    /// A donor's revoke demand found nothing reclaimable (every lent
+    /// grant still mid-establish on its recipient); the revoke cooldown
+    /// was still charged.
+    RevokeDenied,
 }
 
 /// One entry on the lease timeline.
@@ -46,30 +127,72 @@ pub enum LeaseEventKind {
 pub struct LeaseEvent {
     /// Simulated time of the decision's application.
     pub at: Time,
-    /// The affected node.
+    /// The node whose chunk count changed (the recipient, for revokes).
     pub node: u16,
+    /// The lending node that demanded the chunk back
+    /// ([`LeaseEventKind::Revoked`] only; [`NO_NODE`] otherwise).
+    pub donor: u16,
     /// What happened.
     pub kind: LeaseEventKind,
     /// Chunks the node holds after the event.
     pub chunks_after: u32,
-    /// Monotonic lease generation (increments per successful grow; 0 for
-    /// denials and shrinks, which create no lease).
+    /// Lease generation: a fresh monotonic id for grows, the affected
+    /// lease's id for shrinks and revokes, 0 for denials.
     pub generation: u64,
     /// Cluster-wide borrowed bytes after the event.
     pub total_bytes_after: u64,
+    /// Tenant the event is attributed to ([`NO_TENANT`] for
+    /// unattributed bootstrap capacity).
+    pub tenant: u32,
+    /// That tenant's ledger bytes after the event (the unattributed
+    /// bucket's, when `tenant` is [`NO_TENANT`]) — summing the latest
+    /// value per tenant at any prefix of the timeline reproduces
+    /// `total_bytes_after`, the conservation law the property tests pin.
+    pub tenant_bytes_after: u64,
     /// Priority of the tenant whose backlog drove the decision.
     pub priority: Priority,
 }
 
-/// Per-node controller state.
+/// One confirmed chunk on a node's stack: which grow created it and who
+/// it is attributed to.
 #[derive(Debug, Clone, Copy)]
+struct Chunk {
+    generation: u64,
+    tenant: u32,
+}
+
+/// Per-node controller state.
+#[derive(Debug, Clone)]
 struct NodeState {
-    /// Confirmed chunks held.
-    chunks: u32,
-    /// Tick of the last grow decision (confirmed or denied).
+    /// Confirmed chunks held, oldest first.
+    chunks: Vec<Chunk>,
+    /// Tick of the last grow decision (confirmed, denied, or
+    /// quota-refused).
     last_grow_tick: Option<u64>,
+    /// Tick of the last revoke decision by this node as a donor.
+    last_revoke_tick: Option<u64>,
     /// Consecutive calm ticks observed.
     calm_ticks: u32,
+    /// Depth observed last tick (slope input). Starts at 0: the manager
+    /// is created at cluster bootstrap, before traffic, so the first
+    /// tick's slope measures a *genuine* ramp from idle — which is
+    /// exactly the burst-onset signal the predictor exists to catch.
+    prev_depth: u32,
+    /// EWMA of the per-tick depth delta.
+    slope: f64,
+}
+
+impl NodeState {
+    fn new() -> Self {
+        NodeState {
+            chunks: Vec::new(),
+            last_grow_tick: None,
+            last_revoke_tick: None,
+            calm_ticks: 0,
+            prev_depth: 0,
+            slope: 0.0,
+        }
+    }
 }
 
 /// The cluster-wide elastic lease manager.
@@ -77,11 +200,21 @@ struct NodeState {
 pub struct LeaseManager {
     config: LeaseConfig,
     nodes: Vec<NodeState>,
+    /// Byte quota per tenant (empty: no quota enforcement).
+    quotas: Vec<u64>,
+    /// Confirmed bytes per tenant (grown on demand as tenants appear).
+    tenant_bytes: Vec<u64>,
+    /// Confirmed bytes not attributed to any tenant (bootstrap floor).
+    unattributed_bytes: u64,
     tick: u64,
     generation: u64,
     grows: u64,
+    predictive_grows: u64,
     shrinks: u64,
+    revokes: u64,
+    revoke_denials: u64,
     denials: u64,
+    quota_denials: u64,
     total_bytes: u64,
     peak_bytes: u64,
     /// Time-weighted byte integral for mean-provisioning accounting.
@@ -91,29 +224,42 @@ pub struct LeaseManager {
 }
 
 impl LeaseManager {
-    /// Creates a manager for `nodes` nodes, all starting at zero chunks
-    /// (apply [`LeaseManager::bootstrap`] to reach the configured floor).
+    /// Creates a manager for `nodes` nodes with no tenant quotas, all
+    /// starting at zero chunks (apply [`LeaseManager::bootstrap`] to
+    /// reach the configured floor).
     ///
     /// # Panics
     ///
     /// Panics if `config` is inconsistent (see [`LeaseConfig::validate`]).
     pub fn new(config: LeaseConfig, nodes: u16) -> Self {
+        Self::with_quotas(config, nodes, Vec::new())
+    }
+
+    /// As [`LeaseManager::new`], with a byte quota per tenant index
+    /// (`u64::MAX` entries are effectively unlimited). Grows attributed
+    /// to a tenant whose ledger would exceed its quota are refused
+    /// locally and recorded as [`LeaseEventKind::QuotaDenied`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is inconsistent (see [`LeaseConfig::validate`]).
+    pub fn with_quotas(config: LeaseConfig, nodes: u16, quotas: Vec<u64>) -> Self {
         config.validate();
         LeaseManager {
             config,
-            nodes: vec![
-                NodeState {
-                    chunks: 0,
-                    last_grow_tick: None,
-                    calm_ticks: 0,
-                };
-                nodes as usize
-            ],
+            nodes: vec![NodeState::new(); nodes as usize],
+            tenant_bytes: vec![0; quotas.len()],
+            quotas,
+            unattributed_bytes: 0,
             tick: 0,
             generation: 0,
             grows: 0,
+            predictive_grows: 0,
             shrinks: 0,
+            revokes: 0,
+            revoke_denials: 0,
             denials: 0,
+            quota_denials: 0,
             total_bytes: 0,
             peak_bytes: 0,
             byte_ps_integral: 0,
@@ -132,113 +278,337 @@ impl LeaseManager {
     pub fn bootstrap(&self) -> Vec<LeaseAction> {
         let mut out = Vec::new();
         for (i, n) in self.nodes.iter().enumerate() {
-            for _ in n.chunks..self.config.min_chunks {
-                out.push(LeaseAction::Grow { node: i as u16 });
+            for _ in n.chunks.len() as u32..self.config.min_chunks {
+                out.push(LeaseAction::Grow {
+                    node: i as u16,
+                    predictive: false,
+                });
             }
         }
         out
     }
 
-    /// One control-loop step at simulated time `now`: `depths[i]` is node
-    /// `i`'s current queue depth. Returns at most one action per node.
+    /// One control-loop step at simulated time `now`: `signals[i]` is
+    /// node `i`'s current observation. Returns at most one grow-or-shrink
+    /// action plus one revoke per node.
+    ///
+    /// The slope predictor treats the instant before the first tick as
+    /// **idle** (depth 0 on every node): the manager is built at cluster
+    /// bootstrap, so the first tick's rise from zero is a genuine
+    /// burst-onset signal, not an artifact. A caller attaching a fresh
+    /// manager to an *already-loaded* system mid-run should feed one
+    /// warm-up tick and discard its actions, or the first observation
+    /// reads as a full-depth ramp.
     ///
     /// # Panics
     ///
-    /// Panics if `depths` does not cover every node.
-    pub fn tick(&mut self, _now: Time, depths: &[u32]) -> Vec<LeaseAction> {
-        assert_eq!(depths.len(), self.nodes.len(), "one depth per node");
+    /// Panics if `signals` does not cover every node.
+    pub fn tick(&mut self, now: Time, signals: &[NodeSignal]) -> Vec<LeaseAction> {
+        assert_eq!(signals.len(), self.nodes.len(), "one signal per node");
         self.tick += 1;
         let tick = self.tick;
         let mut actions = Vec::new();
-        for (i, depth) in depths.iter().enumerate() {
+        let mut quota_refusals = Vec::new();
+        // Bytes already promised to each tenant by *this* tick's earlier
+        // grow actions: the quota check must count them, or several nodes
+        // growing for one tenant in the same tick would each pass against
+        // the stale pre-tick ledger and jointly overshoot the quota.
+        let mut promised: Vec<(u32, u64)> = Vec::new();
+        for (i, sig) in signals.iter().enumerate() {
+            let config = self.config;
             let node = &mut self.nodes[i];
-            if *depth >= self.config.high_watermark {
+            // Slope first, so the predictor sees this tick's movement.
+            let observed = sig.depth as f64 - node.prev_depth as f64;
+            node.slope = config.slope_alpha * observed + (1.0 - config.slope_alpha) * node.slope;
+            node.prev_depth = sig.depth;
+
+            let reactive = sig.depth >= config.high_watermark;
+            // Predict only from the *upper half* of the hysteresis band
+            // on a rising trend: the predictor's job is to skip the last
+            // stretch of an already-demonstrated climb, not to grow
+            // half-idle nodes whose burst-time noise briefly slopes
+            // upward — that would fan capacity out to every node at each
+            // burst onset and starve the genuinely hot ones (measured:
+            // it doubles peak provisioning and adds cluster denials).
+            let midpoint = (config.low_watermark + config.high_watermark) / 2;
+            let predicted = !reactive
+                && config.predict_horizon_ticks > 0
+                && sig.depth > midpoint
+                && node.slope > 0.0
+                && sig.depth as f64 + node.slope * config.predict_horizon_ticks as f64
+                    >= config.high_watermark as f64;
+            // A donor revoke may have pulled the node below its floor —
+            // the floor is the controller's to maintain (bootstrap only
+            // establishes it), so an under-floor node re-grows on any
+            // demand signal, watermarks notwithstanding.
+            let under_floor = (node.chunks.len() as u32) < config.min_chunks;
+            if reactive || predicted || under_floor {
                 node.calm_ticks = 0;
                 let cooled = match node.last_grow_tick {
                     None => true,
-                    Some(last) => tick - last >= self.config.grow_cooldown_ticks as u64,
+                    Some(last) => tick - last >= config.grow_cooldown_ticks as u64,
                 };
-                if node.chunks < self.config.max_chunks && cooled {
+                if (node.chunks.len() as u32) < config.max_chunks && cooled {
                     // Cooldown starts at the decision, not the outcome, so
-                    // a denied grow also backs off instead of hammering a
-                    // full cluster every tick.
+                    // a denied (or quota-refused) grow also backs off
+                    // instead of hammering every tick.
                     node.last_grow_tick = Some(tick);
-                    actions.push(LeaseAction::Grow { node: i as u16 });
+                    let already = promised
+                        .iter()
+                        .find(|&&(t, _)| t == sig.tenant)
+                        .map(|&(_, b)| b)
+                        .unwrap_or(0);
+                    if self.quota_blocks_with(sig.tenant, already) {
+                        quota_refusals.push((i as u16, sig.tenant, sig.priority));
+                    } else {
+                        if sig.tenant != NO_TENANT {
+                            match promised.iter_mut().find(|(t, _)| *t == sig.tenant) {
+                                Some((_, b)) => *b += config.chunk_bytes,
+                                None => promised.push((sig.tenant, config.chunk_bytes)),
+                            }
+                        }
+                        actions.push(LeaseAction::Grow {
+                            node: i as u16,
+                            predictive: predicted,
+                        });
+                    }
                 }
-            } else if *depth <= self.config.low_watermark {
+            } else if sig.depth <= config.low_watermark {
                 node.calm_ticks = node.calm_ticks.saturating_add(1);
-                if node.calm_ticks >= self.config.release_cooldown_ticks
-                    && node.chunks > self.config.min_chunks
+                if node.calm_ticks >= config.release_cooldown_ticks
+                    && node.chunks.len() as u32 > config.min_chunks
                 {
                     node.calm_ticks = 0;
                     actions.push(LeaseAction::Shrink { node: i as u16 });
                 }
             } else {
-                // Inside the hysteresis band: hold everything.
+                // Inside the hysteresis band with no predicted crossing:
+                // hold everything.
                 node.calm_ticks = 0;
             }
+
+            // Donor-side reclaim is judged independently of the node's
+            // borrow-side state: a node can be a pressured donor and a
+            // (quota-blocked) would-be borrower in the same tick.
+            if config.donor_high_watermark > 0
+                && sig.depth >= config.donor_high_watermark
+                && sig.lent_chunks > 0
+            {
+                let node = &mut self.nodes[i];
+                let cooled = match node.last_revoke_tick {
+                    None => true,
+                    Some(last) => tick - last >= config.revoke_cooldown_ticks as u64,
+                };
+                if cooled {
+                    // The cooldown is charged at the decision — like a
+                    // grow's — so a surrendered revoke (nothing visible
+                    // to reclaim) must be reported back through
+                    // [`LeaseManager::deny_revoke`] to stay auditable.
+                    node.last_revoke_tick = Some(tick);
+                    actions.push(LeaseAction::Revoke { donor: i as u16 });
+                }
+            }
+        }
+        for (node, tenant, priority) in quota_refusals {
+            self.quota_denials += 1;
+            let chunks_after = self.nodes[node as usize].chunks.len() as u32;
+            let tenant_bytes_after = self.bucket(tenant);
+            self.log(LeaseEvent {
+                at: now,
+                node,
+                donor: NO_NODE,
+                kind: LeaseEventKind::QuotaDenied,
+                chunks_after,
+                generation: 0,
+                total_bytes_after: self.total_bytes,
+                tenant,
+                tenant_bytes_after,
+                priority,
+            });
         }
         actions
     }
 
-    /// Records a successful grow of `node` at `now`, attributed to a
-    /// tenant of `priority`. Returns the new lease's generation.
-    pub fn confirm_grow(&mut self, now: Time, node: u16, priority: Priority) -> u64 {
+    /// Whether confirming one more chunk for `tenant` would exceed its
+    /// quota (always `false` for [`NO_TENANT`], tenants past the quota
+    /// table, or a manager built without quotas).
+    pub fn quota_blocks(&self, tenant: u32) -> bool {
+        self.quota_blocks_with(tenant, 0)
+    }
+
+    /// As [`LeaseManager::quota_blocks`], with `promised` bytes already
+    /// granted to the tenant by this tick's earlier decisions counted in.
+    fn quota_blocks_with(&self, tenant: u32, promised: u64) -> bool {
+        tenant != NO_TENANT
+            && (tenant as usize) < self.quotas.len()
+            && self.bucket(tenant) + promised + self.config.chunk_bytes
+                > self.quotas[tenant as usize]
+    }
+
+    /// Records a successful grow of `node` at `now`, attributed to
+    /// `tenant` (ledger and quota accounting) at `priority`. Returns the
+    /// new lease's generation.
+    pub fn confirm_grow(
+        &mut self,
+        now: Time,
+        node: u16,
+        tenant: u32,
+        predictive: bool,
+        priority: Priority,
+    ) -> u64 {
         self.integrate(now);
-        let n = &mut self.nodes[node as usize];
-        n.chunks += 1;
-        let chunks_after = n.chunks;
         self.generation += 1;
+        let generation = self.generation;
+        let n = &mut self.nodes[node as usize];
+        n.chunks.push(Chunk { generation, tenant });
+        let chunks_after = n.chunks.len() as u32;
         self.grows += 1;
+        let kind = if predictive {
+            self.predictive_grows += 1;
+            LeaseEventKind::GrewPredictive
+        } else {
+            LeaseEventKind::Grew
+        };
         self.total_bytes += self.config.chunk_bytes;
         self.peak_bytes = self.peak_bytes.max(self.total_bytes);
+        let tenant_bytes_after = self.bucket_add(tenant, self.config.chunk_bytes);
         self.log(LeaseEvent {
             at: now,
             node,
-            kind: LeaseEventKind::Grew,
+            donor: NO_NODE,
+            kind,
             chunks_after,
-            generation: self.generation,
+            generation,
             total_bytes_after: self.total_bytes,
+            tenant,
+            tenant_bytes_after,
             priority,
         });
-        self.generation
+        generation
     }
 
     /// Records a grow refused by the cluster (donor capacity exhausted).
-    pub fn deny_grow(&mut self, now: Time, node: u16, priority: Priority) {
+    pub fn deny_grow(&mut self, now: Time, node: u16, tenant: u32, priority: Priority) {
         self.denials += 1;
-        let chunks_after = self.nodes[node as usize].chunks;
+        let chunks_after = self.nodes[node as usize].chunks.len() as u32;
+        let tenant_bytes_after = self.bucket(tenant);
         self.log(LeaseEvent {
             at: now,
             node,
+            donor: NO_NODE,
             kind: LeaseEventKind::Denied,
             chunks_after,
             generation: 0,
             total_bytes_after: self.total_bytes,
+            tenant,
+            tenant_bytes_after,
             priority,
         });
     }
 
-    /// Records a successful release of `node`'s newest chunk at `now`.
+    /// Records a successful release of `node`'s lease `generation` at
+    /// `now`. The caller names the lease explicitly because its view of
+    /// "newest" may lag the manager's: a revoke-pending chunk stays on
+    /// the manager's stack until its teardown confirms, so a shrink
+    /// landing inside that window releases the newest *still-releasable*
+    /// lease, not the manager's top of stack — a positional pop here
+    /// would repay the wrong tenant and panic the later revoke confirm.
+    /// Strictly LIFO callers can pass
+    /// [`LeaseManager::newest_generation`].
     ///
     /// # Panics
     ///
-    /// Panics if the node holds no chunks (accounting bug in the caller).
-    pub fn confirm_shrink(&mut self, now: Time, node: u16, priority: Priority) {
+    /// Panics if the node holds no chunk of that generation (accounting
+    /// bug in the caller).
+    pub fn confirm_shrink(&mut self, now: Time, node: u16, generation: u64, priority: Priority) {
         self.integrate(now);
         let n = &mut self.nodes[node as usize];
-        assert!(n.chunks > 0, "shrink of an empty node");
-        n.chunks -= 1;
-        let chunks_after = n.chunks;
+        let idx = n
+            .chunks
+            .iter()
+            .position(|c| c.generation == generation)
+            .expect("shrink of a generation the node does not hold");
+        let chunk = n.chunks.remove(idx);
+        let chunks_after = n.chunks.len() as u32;
         self.shrinks += 1;
         self.total_bytes -= self.config.chunk_bytes;
+        let tenant_bytes_after = self.bucket_sub(chunk.tenant, self.config.chunk_bytes);
         self.log(LeaseEvent {
             at: now,
             node,
+            donor: NO_NODE,
             kind: LeaseEventKind::Shrank,
+            chunks_after,
+            generation: chunk.generation,
+            total_bytes_after: self.total_bytes,
+            tenant: chunk.tenant,
+            tenant_bytes_after,
+            priority,
+        });
+    }
+
+    /// Records `donor`'s revoke demand that found nothing reclaimable —
+    /// every grant it has lent out is still mid-establish on its
+    /// recipient. The cooldown was already charged at the decision, so
+    /// without this record a pressured donor's wait would be invisible
+    /// on the timeline.
+    pub fn deny_revoke(&mut self, now: Time, donor: u16, priority: Priority) {
+        self.revoke_denials += 1;
+        let chunks_after = self.nodes[donor as usize].chunks.len() as u32;
+        self.log(LeaseEvent {
+            at: now,
+            node: donor,
+            donor,
+            kind: LeaseEventKind::RevokeDenied,
             chunks_after,
             generation: 0,
             total_bytes_after: self.total_bytes,
+            tenant: NO_TENANT,
+            tenant_bytes_after: self.unattributed_bytes,
+            priority,
+        });
+    }
+
+    /// Records `donor`'s successful revoke of the lease `generation` held
+    /// by `recipient` at `now`. Unlike a shrink, the revoked chunk may
+    /// sit anywhere in the recipient's stack — the donor demands *its*
+    /// newest lent chunk, which is not necessarily the recipient's
+    /// newest borrow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recipient` holds no chunk of that generation
+    /// (accounting bug in the caller).
+    pub fn confirm_revoke(
+        &mut self,
+        now: Time,
+        donor: u16,
+        recipient: u16,
+        generation: u64,
+        priority: Priority,
+    ) {
+        self.integrate(now);
+        let n = &mut self.nodes[recipient as usize];
+        let idx = n
+            .chunks
+            .iter()
+            .position(|c| c.generation == generation)
+            .expect("revoke of a generation the recipient does not hold");
+        let chunk = n.chunks.remove(idx);
+        let chunks_after = n.chunks.len() as u32;
+        self.revokes += 1;
+        self.total_bytes -= self.config.chunk_bytes;
+        let tenant_bytes_after = self.bucket_sub(chunk.tenant, self.config.chunk_bytes);
+        self.log(LeaseEvent {
+            at: now,
+            node: recipient,
+            donor,
+            kind: LeaseEventKind::Revoked,
+            chunks_after,
+            generation,
+            total_bytes_after: self.total_bytes,
+            tenant: chunk.tenant,
+            tenant_bytes_after,
             priority,
         });
     }
@@ -257,9 +627,54 @@ impl LeaseManager {
         self.last_change_at = now;
     }
 
+    /// The ledger bucket `tenant` maps to, read-only.
+    fn bucket(&self, tenant: u32) -> u64 {
+        if tenant == NO_TENANT {
+            self.unattributed_bytes
+        } else {
+            self.tenant_bytes.get(tenant as usize).copied().unwrap_or(0)
+        }
+    }
+
+    /// Adds `bytes` to `tenant`'s bucket, returning the new value.
+    fn bucket_add(&mut self, tenant: u32, bytes: u64) -> u64 {
+        if tenant == NO_TENANT {
+            self.unattributed_bytes += bytes;
+            self.unattributed_bytes
+        } else {
+            let idx = tenant as usize;
+            if idx >= self.tenant_bytes.len() {
+                self.tenant_bytes.resize(idx + 1, 0);
+            }
+            self.tenant_bytes[idx] += bytes;
+            self.tenant_bytes[idx]
+        }
+    }
+
+    /// Subtracts `bytes` from `tenant`'s bucket, returning the new value.
+    fn bucket_sub(&mut self, tenant: u32, bytes: u64) -> u64 {
+        if tenant == NO_TENANT {
+            self.unattributed_bytes -= bytes;
+            self.unattributed_bytes
+        } else {
+            let idx = tenant as usize;
+            self.tenant_bytes[idx] -= bytes;
+            self.tenant_bytes[idx]
+        }
+    }
+
     /// Chunks `node` currently holds.
     pub fn chunks(&self, node: u16) -> u32 {
-        self.nodes[node as usize].chunks
+        self.nodes[node as usize].chunks.len() as u32
+    }
+
+    /// The generation of `node`'s newest confirmed chunk (`None` when it
+    /// holds nothing) — what a strictly LIFO caller is about to release.
+    pub fn newest_generation(&self, node: u16) -> Option<u64> {
+        self.nodes[node as usize]
+            .chunks
+            .last()
+            .map(|c| c.generation)
     }
 
     /// Bytes `node` currently holds.
@@ -277,6 +692,22 @@ impl LeaseManager {
         self.peak_bytes
     }
 
+    /// `tenant`'s confirmed ledger bytes right now.
+    pub fn tenant_bytes(&self, tenant: u32) -> u64 {
+        self.bucket(tenant)
+    }
+
+    /// The per-tenant ledger (indexed by tenant id; tenants that never
+    /// drove a lease hold 0).
+    pub fn tenant_ledger(&self) -> &[u64] {
+        &self.tenant_bytes
+    }
+
+    /// Confirmed bytes not attributed to any tenant (bootstrap floor).
+    pub fn unattributed_bytes(&self) -> u64 {
+        self.unattributed_bytes
+    }
+
     /// Time-weighted mean of cluster-wide borrowed bytes over `[0, end]`
     /// — or over `[0, last event]` when events were confirmed past `end`,
     /// so a too-short `end` can never inflate the mean beyond what was
@@ -291,9 +722,14 @@ impl LeaseManager {
         (integral / end.as_ps() as u128) as u64
     }
 
-    /// Successful grows so far.
+    /// Successful grows so far (predictive ones included).
     pub fn grows(&self) -> u64 {
         self.grows
+    }
+
+    /// Grows fired by the slope predictor before the watermark tripped.
+    pub fn predictive_grows(&self) -> u64 {
+        self.predictive_grows
     }
 
     /// Successful shrinks so far.
@@ -301,9 +737,24 @@ impl LeaseManager {
         self.shrinks
     }
 
-    /// Denied grows so far.
+    /// Successful donor-demanded revokes so far.
+    pub fn revokes(&self) -> u64 {
+        self.revokes
+    }
+
+    /// Revoke demands that found nothing reclaimable so far.
+    pub fn revoke_denials(&self) -> u64 {
+        self.revoke_denials
+    }
+
+    /// Cluster-refused grows so far.
     pub fn denials(&self) -> u64 {
         self.denials
+    }
+
+    /// Quota-refused grows so far.
+    pub fn quota_denials(&self) -> u64 {
+        self.quota_denials
     }
 
     /// The full decision timeline.
@@ -326,17 +777,26 @@ mod tests {
             grow_cooldown_ticks: 2,
             release_cooldown_ticks: 3,
             tick_interval: Time::from_ms(1),
+            ..LeaseConfig::default()
         }
+    }
+
+    fn depths(values: &[u32]) -> Vec<NodeSignal> {
+        values.iter().map(|&d| NodeSignal::depth(d)).collect()
     }
 
     /// Applies every action immediately, confirming grows.
     fn apply_all(m: &mut LeaseManager, now: Time, actions: &[LeaseAction]) {
         for a in actions {
             match *a {
-                LeaseAction::Grow { node } => {
-                    m.confirm_grow(now, node, Priority::Normal);
+                LeaseAction::Grow { node, predictive } => {
+                    m.confirm_grow(now, node, NO_TENANT, predictive, Priority::Normal);
                 }
-                LeaseAction::Shrink { node } => m.confirm_shrink(now, node, Priority::Normal),
+                LeaseAction::Shrink { node } => {
+                    let g = m.newest_generation(node).expect("shrink of an empty node");
+                    m.confirm_shrink(now, node, g, Priority::Normal);
+                }
+                LeaseAction::Revoke { .. } => unreachable!("no revokes in these tests"),
             }
         }
     }
@@ -352,6 +812,7 @@ mod tests {
         }
         assert!(m.bootstrap().is_empty());
         assert_eq!(m.total_bytes(), 4 * (64 << 20));
+        assert_eq!(m.unattributed_bytes(), 4 * (64 << 20));
     }
 
     #[test]
@@ -362,7 +823,7 @@ mod tests {
         let mut grow_ticks = Vec::new();
         for t in 1..=20u64 {
             let now = Time::from_ms(t);
-            let actions = m.tick(now, &[100]);
+            let actions = m.tick(now, &depths(&[100]));
             if !actions.is_empty() {
                 grow_ticks.push(t);
             }
@@ -376,7 +837,7 @@ mod tests {
             assert!(w[1] - w[0] >= 2, "grows too close: {grow_ticks:?}");
         }
         // At the cap, pressure produces no further actions.
-        assert!(m.tick(Time::from_ms(30), &[100]).is_empty());
+        assert!(m.tick(Time::from_ms(30), &depths(&[100])).is_empty());
     }
 
     #[test]
@@ -387,7 +848,7 @@ mod tests {
         // Pump to the cap.
         for t in 1..=10u64 {
             let now = Time::from_ms(t);
-            let a = m.tick(now, &[50]);
+            let a = m.tick(now, &depths(&[50]));
             apply_all(&mut m, now, &a);
         }
         assert_eq!(m.chunks(0), 4);
@@ -396,7 +857,7 @@ mod tests {
         let mut shrink_ticks = Vec::new();
         for t in 11..=30u64 {
             let now = Time::from_ms(t);
-            let a = m.tick(now, &[0]);
+            let a = m.tick(now, &depths(&[0]));
             if !a.is_empty() {
                 assert_eq!(a, vec![LeaseAction::Shrink { node: 0 }]);
                 shrink_ticks.push(t);
@@ -412,16 +873,18 @@ mod tests {
         let mut m = LeaseManager::new(cfg(), 1);
         let boot = m.bootstrap();
         apply_all(&mut m, Time::ZERO, &boot);
-        // Depth oscillating strictly inside (low, high): no actions ever.
+        // Depth oscillating strictly inside (low, high): no actions ever
+        // (the oscillation's EWMA slope never projects a crossing — it
+        // alternates sign, so the predictor stays quiet even when armed).
         for t in 1..=100u64 {
             let depth = if t % 2 == 0 { 3 } else { 7 };
-            assert!(m.tick(Time::from_ms(t), &[depth]).is_empty());
+            assert!(m.tick(Time::from_ms(t), &depths(&[depth])).is_empty());
         }
         // Even calm ticks interleaved with in-band ticks never release:
         // the calm counter resets inside the band.
         for t in 101..=200u64 {
             let depth = if t % 2 == 0 { 0 } else { 5 };
-            assert!(m.tick(Time::from_ms(t), &[depth]).is_empty());
+            assert!(m.tick(Time::from_ms(t), &depths(&[depth])).is_empty());
         }
     }
 
@@ -430,26 +893,246 @@ mod tests {
         let mut m = LeaseManager::new(cfg(), 1);
         let boot = m.bootstrap();
         apply_all(&mut m, Time::ZERO, &boot);
-        let a = m.tick(Time::from_ms(1), &[99]);
+        let a = m.tick(Time::from_ms(1), &depths(&[99]));
         assert_eq!(a.len(), 1);
-        m.deny_grow(Time::from_ms(1), 0, Priority::Normal);
+        m.deny_grow(Time::from_ms(1), 0, NO_TENANT, Priority::Normal);
         // The very next tick must not retry (cooldown applies to the
         // decision, confirmed or not).
-        assert!(m.tick(Time::from_ms(2), &[99]).is_empty());
+        assert!(m.tick(Time::from_ms(2), &depths(&[99])).is_empty());
         assert_eq!(m.denials(), 1);
-        assert!(!m.tick(Time::from_ms(3), &[99]).is_empty());
+        assert!(!m.tick(Time::from_ms(3), &depths(&[99])).is_empty());
     }
 
     #[test]
-    fn accounting_tracks_peak_and_mean() {
+    fn predictor_grows_before_the_watermark_trips() {
+        let config = LeaseConfig {
+            predict_horizon_ticks: 10,
+            slope_alpha: 0.5,
+            ..cfg()
+        };
+        let mut reactive = LeaseManager::new(cfg(), 1);
+        let mut predictive = LeaseManager::new(config, 1);
+        let boot = reactive.bootstrap();
+        apply_all(&mut reactive, Time::ZERO, &boot);
+        let boot = predictive.bootstrap();
+        apply_all(&mut predictive, Time::ZERO, &boot);
+        // A steady ramp: depth t at tick t — crosses high_watermark=8 at
+        // tick 8, but the slope (~1/tick) projects the crossing 10 ticks
+        // out as soon as the depth clears the low watermark.
+        let mut first_reactive = None;
+        let mut first_predictive = None;
+        for t in 1..=10u64 {
+            let now = Time::from_ms(t);
+            let d = depths(&[t as u32]);
+            if !reactive.tick(now, &d).is_empty() && first_reactive.is_none() {
+                first_reactive = Some(t);
+            }
+            let acts = predictive.tick(now, &d);
+            if let Some(LeaseAction::Grow { predictive: p, .. }) = acts.first() {
+                if first_predictive.is_none() {
+                    first_predictive = Some(t);
+                    assert!(*p, "early grow must be flagged predictive");
+                    predictive.confirm_grow(now, 0, 7, true, Priority::High);
+                }
+            }
+        }
+        let (r, p) = (first_reactive.unwrap(), first_predictive.unwrap());
+        assert!(p < r, "predictive grow at tick {p} not before reactive {r}");
+        assert_eq!(predictive.predictive_grows(), 1);
+        let last = predictive.timeline().last().unwrap().1;
+        assert_eq!(last.kind, LeaseEventKind::GrewPredictive);
+        assert_eq!(last.tenant, 7);
+    }
+
+    #[test]
+    fn calm_nodes_never_grow_predictively() {
+        // Depth at/below the low watermark stays in the shrink regime no
+        // matter how steep the (noise) slope is.
+        let config = LeaseConfig {
+            predict_horizon_ticks: 100,
+            ..cfg()
+        };
+        let mut m = LeaseManager::new(config, 1);
+        let boot = m.bootstrap();
+        apply_all(&mut m, Time::ZERO, &boot);
+        for t in 1..=50u64 {
+            let depth = (t % 3) as u32; // 0,1,2 — never above low=2
+            let acts = m.tick(Time::from_ms(t), &depths(&[depth]));
+            assert!(
+                !acts.iter().any(|a| matches!(a, LeaseAction::Grow { .. })),
+                "tick {t}: grew on calm noise"
+            );
+        }
+    }
+
+    #[test]
+    fn pressured_donor_revokes_with_cooldown() {
+        let config = LeaseConfig {
+            donor_high_watermark: 6,
+            revoke_cooldown_ticks: 4,
+            ..cfg()
+        };
+        let mut m = LeaseManager::new(config, 2);
+        let boot = m.bootstrap();
+        apply_all(&mut m, Time::ZERO, &boot);
+        // Node 1 borrowed a chunk (generation of its newest lease).
+        let generation = m.confirm_grow(Time::from_us(10), 1, 3, false, Priority::Normal);
+        // Node 0 is a pressured donor: depth 9 >= donor watermark 6, one
+        // chunk lent out. But node 0's depth also exceeds the high
+        // watermark — it may grow *and* revoke in the same tick.
+        let signal = |lent| NodeSignal {
+            depth: 9,
+            lent_chunks: lent,
+            tenant: NO_TENANT,
+            priority: Priority::Normal,
+        };
+        let acts = m.tick(Time::from_ms(1), &[signal(1), NodeSignal::depth(5)]);
+        assert!(acts.contains(&LeaseAction::Revoke { donor: 0 }));
+        m.confirm_revoke(Time::from_ms(1), 0, 1, generation, Priority::Normal);
+        assert_eq!(m.revokes(), 1);
+        assert_eq!(m.chunks(1), 1, "revoke removed the borrowed chunk");
+        assert_eq!(m.tenant_bytes(3), 0, "tenant ledger repaid");
+        // Cooldown: the next three ticks may not revoke again.
+        for t in 2..=4u64 {
+            let acts = m.tick(Time::from_ms(t), &[signal(1), NodeSignal::depth(5)]);
+            assert!(
+                !acts.iter().any(|a| matches!(a, LeaseAction::Revoke { .. })),
+                "tick {t}: revoked inside cooldown"
+            );
+        }
+        let acts = m.tick(Time::from_ms(5), &[signal(1), NodeSignal::depth(5)]);
+        assert!(acts.contains(&LeaseAction::Revoke { donor: 0 }));
+        // A donor with nothing lent never revokes, however pressured.
+        let acts = m.tick(Time::from_ms(20), &[signal(0), NodeSignal::depth(5)]);
+        assert!(!acts.iter().any(|a| matches!(a, LeaseAction::Revoke { .. })));
+    }
+
+    #[test]
+    fn revoked_below_floor_regrows_without_a_watermark() {
+        // A donor pulls a floor chunk back; the recipient sits below
+        // min_chunks with in-band demand (no watermark trip). The floor
+        // is the controller's to maintain: it re-grows anyway.
+        let mut m = LeaseManager::new(cfg(), 1);
+        let g = m.confirm_grow(Time::ZERO, 0, NO_TENANT, false, Priority::Normal);
+        assert_eq!(m.chunks(0), 1); // at the floor
+        m.confirm_revoke(Time::from_ms(1), 1, 0, g, Priority::Normal);
+        assert_eq!(m.chunks(0), 0, "revoked below the floor");
+        // Depth 5 sits strictly inside the (2, 8) band: neither
+        // watermark would fire, but the under-floor grow does.
+        let acts = m.tick(Time::from_ms(2), &depths(&[5]));
+        assert_eq!(
+            acts,
+            vec![LeaseAction::Grow {
+                node: 0,
+                predictive: false
+            }]
+        );
+        m.confirm_grow(Time::from_ms(2), 0, NO_TENANT, false, Priority::Normal);
+        assert_eq!(m.chunks(0), 1, "floor restored");
+        // Back at the floor: the same in-band demand is quiet again.
+        for t in 4..=8u64 {
+            assert!(m.tick(Time::from_ms(t), &depths(&[5])).is_empty());
+        }
+    }
+
+    #[test]
+    fn surrendered_revokes_are_denied_on_the_timeline() {
+        let config = LeaseConfig {
+            donor_high_watermark: 6,
+            revoke_cooldown_ticks: 4,
+            ..cfg()
+        };
+        let mut m = LeaseManager::new(config, 1);
+        let sig = NodeSignal {
+            depth: 9,
+            lent_chunks: 1,
+            tenant: NO_TENANT,
+            priority: Priority::High,
+        };
+        let acts = m.tick(Time::from_ms(1), &[sig]);
+        assert!(acts.contains(&LeaseAction::Revoke { donor: 0 }));
+        // The caller found nothing visible to reclaim: the surrender is
+        // recorded, and the cooldown (charged at the decision) shows as
+        // a denial instead of silence.
+        m.deny_revoke(Time::from_ms(1), 0, Priority::High);
+        assert_eq!(m.revoke_denials(), 1);
+        assert_eq!(m.revokes(), 0);
+        let last = m.timeline().last().unwrap().1;
+        assert_eq!(last.kind, LeaseEventKind::RevokeDenied);
+        assert_eq!(last.donor, 0);
+        assert_eq!(last.priority, Priority::High);
+        // Still cooling: no retry next tick.
+        assert!(!m
+            .tick(Time::from_ms(2), &[sig])
+            .contains(&LeaseAction::Revoke { donor: 0 }));
+    }
+
+    #[test]
+    fn revoke_removes_mid_stack_chunks() {
+        let mut m = LeaseManager::new(cfg(), 2);
+        let g1 = m.confirm_grow(Time::from_us(1), 0, 1, false, Priority::Normal);
+        let g2 = m.confirm_grow(Time::from_us(2), 0, 2, false, Priority::Normal);
+        // Revoke the *older* lease (donor LIFO picked it): the newer one
+        // survives untouched.
+        m.confirm_revoke(Time::from_us(3), 1, 0, g1, Priority::Normal);
+        assert_eq!(m.chunks(0), 1);
+        assert_eq!(m.tenant_bytes(1), 0);
+        assert_eq!(m.tenant_bytes(2), 64 << 20);
+        // A shrink now pops the surviving lease.
+        assert_eq!(m.newest_generation(0), Some(g2));
+        m.confirm_shrink(Time::from_us(4), 0, g2, Priority::Normal);
+        let last = m.timeline().last().unwrap().1;
+        assert_eq!(last.generation, g2);
+        assert_eq!(m.total_bytes(), 0);
+    }
+
+    #[test]
+    fn quota_refuses_grow_locally_and_backs_off() {
+        // One tenant with a one-chunk quota.
+        let config = cfg();
+        let mut m = LeaseManager::with_quotas(config, 1, vec![config.chunk_bytes]);
+        let sig = |tenant| NodeSignal {
+            depth: 50,
+            lent_chunks: 0,
+            tenant,
+            priority: Priority::Low,
+        };
+        let acts = m.tick(Time::from_ms(1), &[sig(0)]);
+        assert_eq!(acts.len(), 1, "first grow is inside quota");
+        m.confirm_grow(Time::from_ms(1), 0, 0, false, Priority::Low);
+        assert!(m.quota_blocks(0));
+        // Tick 2 sits inside the grow cooldown — nothing happens, not
+        // even a quota refusal (the decision gate never opens).
+        assert!(m.tick(Time::from_ms(2), &[sig(0)]).is_empty());
+        assert_eq!(m.quota_denials(), 0);
+        // Tick 3 is grow-eligible again: the grow is quota-refused,
+        // logged, and restarts the cooldown (no hammering).
+        let acts = m.tick(Time::from_ms(3), &[sig(0)]);
+        assert!(acts.is_empty());
+        assert_eq!(m.quota_denials(), 1);
+        let last = m.timeline().last().unwrap().1;
+        assert_eq!(last.kind, LeaseEventKind::QuotaDenied);
+        assert_eq!(last.tenant, 0);
+        assert_eq!(last.priority, Priority::Low);
+        assert!(m.tick(Time::from_ms(4), &[sig(0)]).is_empty(), "cooldown");
+        assert_eq!(m.quota_denials(), 1, "cooldown also bounds refusals");
+        // A different (unquota'd) tenant may still grow.
+        let acts = m.tick(Time::from_ms(5), &[sig(9)]);
+        assert_eq!(acts.len(), 1);
+    }
+
+    #[test]
+    fn accounting_tracks_peak_mean_and_ledger() {
         let mut m = LeaseManager::new(cfg(), 2);
         let c = 64 << 20u64;
-        m.confirm_grow(Time::ZERO, 0, Priority::High);
-        m.confirm_grow(Time::ZERO, 1, Priority::Low);
+        m.confirm_grow(Time::ZERO, 0, 0, false, Priority::High);
+        m.confirm_grow(Time::ZERO, 1, 1, false, Priority::Low);
         // Hold 2 chunks for 10 ms, then drop to 1 for 10 ms.
-        m.confirm_shrink(Time::from_ms(10), 1, Priority::Low);
+        m.confirm_shrink(Time::from_ms(10), 1, 2, Priority::Low);
         assert_eq!(m.peak_bytes(), 2 * c);
         assert_eq!(m.total_bytes(), c);
+        assert_eq!(m.tenant_bytes(0), c);
+        assert_eq!(m.tenant_bytes(1), 0);
         let mean = m.mean_bytes(Time::from_ms(20));
         // Time-weighted: (2c*10 + 1c*10) / 20 = 1.5c.
         assert_eq!(mean, 3 * c / 2);
@@ -457,8 +1140,21 @@ mod tests {
         assert_eq!(tl.len(), 3);
         assert_eq!(tl.events()[0].1.generation, 1);
         assert_eq!(tl.events()[1].1.generation, 2);
-        assert_eq!(tl.events()[2].1.kind, LeaseEventKind::Shrank);
-        assert_eq!(tl.events()[2].1.priority, Priority::Low);
+        let shrank = tl.events()[2].1;
+        assert_eq!(shrank.kind, LeaseEventKind::Shrank);
+        assert_eq!(shrank.priority, Priority::Low);
+        // The shrink names the lease it released and repays its tenant.
+        assert_eq!(shrank.generation, 2);
+        assert_eq!(shrank.tenant, 1);
+        assert_eq!(shrank.tenant_bytes_after, 0);
+        // Conservation at every event: replaying per-tenant ledger values
+        // reproduces the running total.
+        let mut ledger = std::collections::BTreeMap::new();
+        for (_, e) in tl.iter() {
+            ledger.insert(e.tenant, e.tenant_bytes_after);
+            let sum: u64 = ledger.values().sum();
+            assert_eq!(sum, e.total_bytes_after);
+        }
     }
 
     #[test]
@@ -469,12 +1165,12 @@ mod tests {
             apply_all(&mut m, Time::ZERO, &boot);
             for t in 1..=50u64 {
                 let now = Time::from_ms(t);
-                let depths = [
+                let signals = depths(&[
                     ((t * 7) % 13) as u32,
                     ((t * 3) % 11) as u32,
                     ((t * 5) % 17) as u32,
-                ];
-                let a = m.tick(now, &depths);
+                ]);
+                let a = m.tick(now, &signals);
                 apply_all(&mut m, now, &a);
             }
             m.timeline().clone()

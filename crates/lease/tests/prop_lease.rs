@@ -1,15 +1,31 @@
 //! Property tests for the lease manager's headline guarantees:
 //! determinism (identical inputs → bit-identical action streams and
-//! timelines) and hysteresis (the borrow/release rate is bounded by the
-//! cooldowns, no matter how adversarial the demand signal).
+//! timelines), hysteresis (the borrow/release rate is bounded by the
+//! cooldowns, no matter how adversarial the demand signal), per-node
+//! cooldown keying (one node's release never starves another's), and
+//! ledger conservation (per-tenant buckets always sum to the cluster
+//! total, at every timeline event).
+
+use std::collections::BTreeMap;
 
 use proptest::prelude::*;
-use venice_lease::{LeaseAction, LeaseConfig, LeaseManager, Priority, Timeline};
+use venice_lease::{
+    LeaseAction, LeaseConfig, LeaseManager, NodeSignal, Priority, Timeline, NO_TENANT,
+};
 use venice_sim::Time;
 
+/// Deterministic pseudo-demand for node `i` at tick `t`.
+fn demand(salt: u64, i: u16, t: u64) -> u32 {
+    let x = t
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(salt ^ (i as u64) << 32);
+    ((x >> 48) % 24) as u32
+}
+
 /// Drives `manager` with a synthetic per-node demand stream derived from
-/// `salt`, applying (and confirming) every action. Returns the action
-/// stream and final timeline length.
+/// `salt`, applying (and confirming) every action. Tenant attribution
+/// rotates with the tick so the ledger sees several tenants. Returns the
+/// action stream and final timeline length.
 fn drive(
     config: LeaseConfig,
     nodes: u16,
@@ -19,31 +35,39 @@ fn drive(
     let mut m = LeaseManager::new(config, nodes);
     let boot = m.bootstrap();
     for a in &boot {
-        let LeaseAction::Grow { node } = *a else {
+        let LeaseAction::Grow { node, .. } = *a else {
             panic!("bootstrap only grows")
         };
-        m.confirm_grow(Time::ZERO, node, Priority::Normal);
+        m.confirm_grow(Time::ZERO, node, NO_TENANT, false, Priority::Normal);
     }
     let mut actions = Vec::new();
     for t in 1..=ticks {
         let now = Time::from_us(t * 100);
-        // Deterministic pseudo-demand: per-node mix of quiet spells and
-        // pressure spikes.
-        let depths: Vec<u32> = (0..nodes)
-            .map(|i| {
-                let x = t
-                    .wrapping_mul(0x9E3779B97F4A7C15)
-                    .wrapping_add(salt ^ (i as u64) << 32);
-                ((x >> 48) % 24) as u32
+        let signals: Vec<NodeSignal> = (0..nodes)
+            .map(|i| NodeSignal {
+                depth: demand(salt, i, t),
+                lent_chunks: 0,
+                tenant: ((t + i as u64) % 3) as u32,
+                priority: Priority::Normal,
             })
             .collect();
-        for a in m.tick(now, &depths) {
+        for a in m.tick(now, &signals) {
             actions.push((t, a));
             match a {
-                LeaseAction::Grow { node } => {
-                    m.confirm_grow(now, node, Priority::Normal);
+                LeaseAction::Grow { node, predictive } => {
+                    m.confirm_grow(
+                        now,
+                        node,
+                        signals[node as usize].tenant,
+                        predictive,
+                        Priority::Normal,
+                    );
                 }
-                LeaseAction::Shrink { node } => m.confirm_shrink(now, node, Priority::Normal),
+                LeaseAction::Shrink { node } => {
+                    let g = m.newest_generation(node).expect("shrink of an empty node");
+                    m.confirm_shrink(now, node, g, Priority::Normal);
+                }
+                LeaseAction::Revoke { .. } => unreachable!("no lent chunks signalled"),
             }
         }
     }
@@ -53,14 +77,19 @@ fn drive(
 proptest! {
     /// Identical configs and demand streams produce bit-identical action
     /// streams; different demand diverges (almost surely, given enough
-    /// ticks and spread).
+    /// ticks and spread). Holds with the slope predictor armed: the EWMA
+    /// is a pure function of the depth stream.
     #[test]
     fn same_inputs_same_actions(
         salt in 0u64..1_000_000,
         nodes in 1u16..9,
         ticks in 50u64..300,
+        horizon in prop_oneof![Just(0u32), 5u32..40],
     ) {
-        let config = LeaseConfig::default();
+        let config = LeaseConfig {
+            predict_horizon_ticks: horizon,
+            ..LeaseConfig::default()
+        };
         let (a, la) = drive(config, nodes, ticks, salt);
         let (b, lb) = drive(config, nodes, ticks, salt);
         prop_assert_eq!(&a, &b);
@@ -88,7 +117,7 @@ proptest! {
         for node in 0..nodes {
             let grow_ticks: Vec<u64> = actions
                 .iter()
-                .filter(|(_, a)| matches!(a, LeaseAction::Grow { node: n } if *n == node))
+                .filter(|(_, a)| matches!(a, LeaseAction::Grow { node: n, .. } if *n == node))
                 .map(|(t, _)| *t)
                 .collect();
             for w in grow_ticks.windows(2) {
@@ -125,6 +154,63 @@ proptest! {
         }
     }
 
+    /// Regression (ISSUE 3): release cooldowns are keyed **per node** —
+    /// N nodes fed identical calm streams all release in the *same*
+    /// tick, every `release_cooldown_ticks`. A globally keyed cooldown
+    /// would let the first node's shrink push every other node's
+    /// release back indefinitely.
+    #[test]
+    fn release_cooldown_is_per_node(
+        nodes in 2u16..9,
+        release_cd in 2u32..20,
+    ) {
+        let config = LeaseConfig {
+            release_cooldown_ticks: release_cd,
+            min_chunks: 0,
+            max_chunks: 2,
+            ..LeaseConfig::default()
+        };
+        let mut m = LeaseManager::new(config, nodes);
+        // Two chunks everywhere (bootstrap floor is 0 here).
+        for node in 0..nodes {
+            for _ in 0..2 {
+                m.confirm_grow(Time::ZERO, node, NO_TENANT, false, Priority::Normal);
+            }
+        }
+        // All nodes calm forever: each release round must cover *every*
+        // node at once, exactly on the cooldown boundary.
+        let mut release_rounds = Vec::new();
+        for t in 1..=(2 * release_cd as u64 + 2) {
+            let now = Time::from_ms(t);
+            let signals: Vec<NodeSignal> =
+                (0..nodes).map(|_| NodeSignal::depth(0)).collect();
+            let actions = m.tick(now, &signals);
+            if !actions.is_empty() {
+                prop_assert_eq!(
+                    actions.len(),
+                    nodes as usize,
+                    "tick {}: a partial release round means some node was starved",
+                    t
+                );
+                release_rounds.push(t);
+            }
+            for a in actions {
+                let LeaseAction::Shrink { node } = a else {
+                    panic!("calm nodes only shrink")
+                };
+                let g = m.newest_generation(node).expect("shrink of an empty node");
+                m.confirm_shrink(now, node, g, Priority::Normal);
+            }
+        }
+        prop_assert_eq!(
+            release_rounds,
+            vec![release_cd as u64, 2 * release_cd as u64]
+        );
+        for node in 0..nodes {
+            prop_assert_eq!(m.chunks(node), 0);
+        }
+    }
+
     /// Chunk counts always stay inside the configured [min, max] band
     /// when driven from bootstrap, and accounting never goes negative.
     #[test]
@@ -137,20 +223,24 @@ proptest! {
         let mut m = LeaseManager::new(config, nodes);
         let boot = m.bootstrap();
         for a in &boot {
-            let LeaseAction::Grow { node } = *a else { panic!() };
-            m.confirm_grow(Time::ZERO, node, Priority::High);
+            let LeaseAction::Grow { node, .. } = *a else { panic!() };
+            m.confirm_grow(Time::ZERO, node, NO_TENANT, false, Priority::High);
         }
         for t in 1..=ticks {
             let now = Time::from_us(t * 100);
-            let depths: Vec<u32> = (0..nodes)
-                .map(|i| ((salt ^ t.wrapping_mul(i as u64 + 3)) % 20) as u32)
+            let signals: Vec<NodeSignal> = (0..nodes)
+                .map(|i| NodeSignal::depth(((salt ^ t.wrapping_mul(i as u64 + 3)) % 20) as u32))
                 .collect();
-            for a in m.tick(now, &depths) {
+            for a in m.tick(now, &signals) {
                 match a {
-                    LeaseAction::Grow { node } => {
-                        m.confirm_grow(now, node, Priority::High);
+                    LeaseAction::Grow { node, predictive } => {
+                        m.confirm_grow(now, node, NO_TENANT, predictive, Priority::High);
                     }
-                    LeaseAction::Shrink { node } => m.confirm_shrink(now, node, Priority::High),
+                    LeaseAction::Shrink { node } => {
+                        let g = m.newest_generation(node).expect("shrink of an empty node");
+                        m.confirm_shrink(now, node, g, Priority::High);
+                    }
+                    LeaseAction::Revoke { .. } => unreachable!("no lent chunks signalled"),
                 }
             }
             for node in 0..nodes {
@@ -168,6 +258,103 @@ proptest! {
             );
             prop_assert!(m.peak_bytes() >= m.total_bytes());
         }
+    }
+
+    /// Conservation (ISSUE 3): under adversarial demand with rotating
+    /// tenant attribution, quotas, and donor revokes, the per-tenant
+    /// ledger buckets (plus the unattributed bootstrap bucket) sum to
+    /// the manager's total at **every** timeline event, no tenant ever
+    /// exceeds its quota, and no bucket underflows.
+    #[test]
+    fn quota_ledger_conserves_bytes(
+        salt in 0u64..1_000_000,
+        nodes in 2u16..6,
+        ticks in 50u64..250,
+        quota_chunks in 1u64..5,
+    ) {
+        let config = LeaseConfig {
+            donor_high_watermark: 12,
+            revoke_cooldown_ticks: 7,
+            predict_horizon_ticks: 20,
+            ..LeaseConfig::default()
+        };
+        let tenants = 3u32;
+        let quotas: Vec<u64> =
+            (0..tenants).map(|_| quota_chunks * config.chunk_bytes).collect();
+        let mut m = LeaseManager::with_quotas(config, nodes, quotas.clone());
+        for a in &m.bootstrap() {
+            let LeaseAction::Grow { node, .. } = *a else { panic!() };
+            m.confirm_grow(Time::ZERO, node, NO_TENANT, false, Priority::Normal);
+        }
+        // Live view of who holds which generation, for revoke plumbing:
+        // generation -> recipient, newest last.
+        let mut held: Vec<(u64, u16)> = Vec::new();
+        for t in 1..=ticks {
+            let now = Time::from_us(t * 100);
+            let signals: Vec<NodeSignal> = (0..nodes)
+                .map(|i| NodeSignal {
+                    depth: demand(salt, i, t),
+                    // Pretend each node lent whatever is outstanding on
+                    // its right neighbor (enough to exercise revokes —
+                    // the manager only checks lent_chunks > 0).
+                    lent_chunks: (demand(salt, i, t * 31) % 3).min(held.len() as u32),
+                    tenant: ((t + i as u64) % tenants as u64) as u32,
+                    priority: Priority::Normal,
+                })
+                .collect();
+            for a in m.tick(now, &signals) {
+                match a {
+                    LeaseAction::Grow { node, predictive } => {
+                        let tenant = signals[node as usize].tenant;
+                        let g = m.confirm_grow(now, node, tenant, predictive, Priority::Normal);
+                        held.push((g, node));
+                    }
+                    LeaseAction::Shrink { node } => {
+                        // Release the node's newest chunk, named by
+                        // generation (the engine's protocol).
+                        let g = m.newest_generation(node).expect("shrink of an empty node");
+                        m.confirm_shrink(now, node, g, Priority::Normal);
+                        if let Some(idx) = held.iter().position(|&(gen, _)| gen == g) {
+                            held.remove(idx);
+                        }
+                    }
+                    LeaseAction::Revoke { donor } => {
+                        // Donor LIFO preference: the newest outstanding
+                        // chunk anywhere stands in for "the donor's
+                        // newest lent chunk" in this synthetic harness.
+                        if let Some((g, recipient)) = held.pop() {
+                            m.confirm_revoke(now, donor, recipient, g, Priority::Normal);
+                        }
+                    }
+                }
+            }
+            // Quota is never exceeded.
+            for tenant in 0..tenants {
+                prop_assert!(
+                    m.tenant_bytes(tenant) <= quotas[tenant as usize],
+                    "tenant {tenant} over quota: {} > {}",
+                    m.tenant_bytes(tenant),
+                    quotas[tenant as usize]
+                );
+            }
+        }
+        // Conservation at every event, replayed from the timeline alone.
+        let mut ledger: BTreeMap<u32, u64> = BTreeMap::new();
+        for (at, e) in m.timeline().iter() {
+            prop_assert_eq!(*at, e.at);
+            ledger.insert(e.tenant, e.tenant_bytes_after);
+            let sum: u64 = ledger.values().sum();
+            prop_assert_eq!(
+                sum,
+                e.total_bytes_after,
+                "ledger sum diverged at {:?}",
+                e
+            );
+        }
+        // And the final live state agrees with the last event.
+        let live: u64 =
+            (0..tenants).map(|t| m.tenant_bytes(t)).sum::<u64>() + m.unattributed_bytes();
+        prop_assert_eq!(live, m.total_bytes());
     }
 }
 

@@ -16,7 +16,10 @@
 //!    consume only its [`Priority::capacity_share`] of the node's
 //!    concurrency bound, so as a node saturates, low-priority tenants are
 //!    shed first while high-priority traffic still gets through (SLO-style
-//!    shedding instead of FIFO).
+//!    shedding instead of FIFO). Tenants sitting **at their lease quota**
+//!    are clamped harder still ([`OVER_QUOTA_SHARE`]): a tenant that has
+//!    exhausted its borrowed-memory budget is the first shed at the front
+//!    door too, whatever its nominal priority.
 //!
 //! A third, *transport-level* backpressure mechanism lives in the engine:
 //! each node's QPair has finite receiver credits, and requests that find
@@ -73,6 +76,11 @@ pub enum Decision {
     Shed(ShedReason),
 }
 
+/// The in-flight capacity share of a tenant sitting at its lease quota —
+/// below even [`Priority::Low`]'s share, so over-quota tenants are shed
+/// first under contention regardless of nominal priority.
+pub const OVER_QUOTA_SHARE: f64 = 0.35;
+
 /// Stateful per-node admission controller (deterministic: a pure function
 /// of the arrival sequence).
 #[derive(Debug, Clone)]
@@ -120,14 +128,22 @@ impl AdmissionControl {
         self.inflight
     }
 
-    /// The in-flight cap as seen by `priority`.
-    fn cap_for(&self, priority: Priority) -> u32 {
-        ((self.config.max_inflight as f64 * priority.capacity_share()).floor() as u32).max(1)
+    /// The in-flight cap as seen by `priority` (clamped to
+    /// [`OVER_QUOTA_SHARE`] when the tenant is at its lease quota).
+    fn cap_for(&self, priority: Priority, over_quota: bool) -> u32 {
+        let share = if over_quota {
+            priority.capacity_share().min(OVER_QUOTA_SHARE)
+        } else {
+            priority.capacity_share()
+        };
+        ((self.config.max_inflight as f64 * share).floor() as u32).max(1)
     }
 
     /// Judges an arrival of a `priority`-class request at simulated time
-    /// `now`.
-    pub fn on_arrival(&mut self, now: Time, priority: Priority) -> Decision {
+    /// `now`. `over_quota` marks a tenant sitting at its elastic-lease
+    /// byte quota: its effective in-flight share collapses to
+    /// [`OVER_QUOTA_SHARE`], so it is shed first as the node fills.
+    pub fn on_arrival(&mut self, now: Time, priority: Priority, over_quota: bool) -> Decision {
         if self.config.rate_limit_rps.is_finite() {
             let elapsed = now.saturating_sub(self.last_refill).as_secs_f64();
             self.tokens =
@@ -137,7 +153,7 @@ impl AdmissionControl {
                 return Decision::Shed(ShedReason::RateLimit);
             }
         }
-        if self.inflight >= self.cap_for(priority) {
+        if self.inflight >= self.cap_for(priority, over_quota) {
             return Decision::Shed(ShedReason::Overload);
         }
         if self.config.rate_limit_rps.is_finite() {
@@ -169,15 +185,15 @@ mod tests {
             ..AdmissionConfig::default()
         });
         let t = Time::from_us(1);
-        assert_eq!(ac.on_arrival(t, Priority::High), Decision::Admit);
-        assert_eq!(ac.on_arrival(t, Priority::High), Decision::Admit);
-        assert_eq!(ac.on_arrival(t, Priority::High), Decision::Admit);
+        assert_eq!(ac.on_arrival(t, Priority::High, false), Decision::Admit);
+        assert_eq!(ac.on_arrival(t, Priority::High, false), Decision::Admit);
+        assert_eq!(ac.on_arrival(t, Priority::High, false), Decision::Admit);
         assert_eq!(
-            ac.on_arrival(t, Priority::High),
+            ac.on_arrival(t, Priority::High, false),
             Decision::Shed(ShedReason::Overload)
         );
         ac.on_completion();
-        assert_eq!(ac.on_arrival(t, Priority::High), Decision::Admit);
+        assert_eq!(ac.on_arrival(t, Priority::High, false), Decision::Admit);
     }
 
     #[test]
@@ -189,25 +205,51 @@ mod tests {
         let t = Time::from_us(1);
         // Fill half the node with high-priority work.
         for _ in 0..5 {
-            assert_eq!(ac.on_arrival(t, Priority::High), Decision::Admit);
+            assert_eq!(ac.on_arrival(t, Priority::High, false), Decision::Admit);
         }
         // Low priority sees a 50% cap (5): already at it, shed.
         assert_eq!(
-            ac.on_arrival(t, Priority::Low),
+            ac.on_arrival(t, Priority::Low, false),
             Decision::Shed(ShedReason::Overload)
         );
         // Normal (85% -> 8) and High (100% -> 10) still get through.
-        assert_eq!(ac.on_arrival(t, Priority::Normal), Decision::Admit);
-        assert_eq!(ac.on_arrival(t, Priority::High), Decision::Admit);
+        assert_eq!(ac.on_arrival(t, Priority::Normal, false), Decision::Admit);
+        assert_eq!(ac.on_arrival(t, Priority::High, false), Decision::Admit);
         for _ in 0..3 {
-            ac.on_arrival(t, Priority::High);
+            ac.on_arrival(t, Priority::High, false);
         }
         assert_eq!(ac.inflight(), 10);
         // Saturated: even high priority sheds now.
         assert_eq!(
-            ac.on_arrival(t, Priority::High),
+            ac.on_arrival(t, Priority::High, false),
             Decision::Shed(ShedReason::Overload)
         );
+    }
+
+    #[test]
+    fn over_quota_tenants_are_clamped_below_low_priority() {
+        let mut ac = AdmissionControl::new(AdmissionConfig {
+            max_inflight: 10,
+            ..AdmissionConfig::default()
+        });
+        let t = Time::from_us(1);
+        // Fill 3 slots (below the over-quota cap of 3.5 -> 3).
+        for _ in 0..3 {
+            assert_eq!(ac.on_arrival(t, Priority::High, false), Decision::Admit);
+        }
+        // An over-quota tenant — even at High priority — sees the 35%
+        // cap (3): already at it, shed.
+        assert_eq!(
+            ac.on_arrival(t, Priority::High, true),
+            Decision::Shed(ShedReason::Overload)
+        );
+        // Low priority within quota (50% -> 5) still gets through.
+        assert_eq!(ac.on_arrival(t, Priority::Low, false), Decision::Admit);
+        // And once load drains, the over-quota tenant admits again.
+        for _ in 0..2 {
+            ac.on_completion();
+        }
+        assert_eq!(ac.on_arrival(t, Priority::High, true), Decision::Admit);
     }
 
     #[test]
@@ -248,7 +290,7 @@ mod tests {
         let mut admitted = 0;
         for i in 0..100u64 {
             let t = Time::from_us(10 * i);
-            if ac.on_arrival(t, Priority::Normal) == Decision::Admit {
+            if ac.on_arrival(t, Priority::Normal, false) == Decision::Admit {
                 admitted += 1;
                 ac.on_completion();
             }
@@ -263,15 +305,18 @@ mod tests {
             burst: 1,
             ..AdmissionConfig::default()
         });
-        assert_eq!(ac.on_arrival(Time::ZERO, Priority::Normal), Decision::Admit);
+        assert_eq!(
+            ac.on_arrival(Time::ZERO, Priority::Normal, false),
+            Decision::Admit
+        );
         ac.on_completion();
         assert_eq!(
-            ac.on_arrival(Time::from_us(100), Priority::Normal),
+            ac.on_arrival(Time::from_us(100), Priority::Normal, false),
             Decision::Shed(ShedReason::RateLimit)
         );
         // 10 ms at 100 rps buys one token back.
         assert_eq!(
-            ac.on_arrival(Time::from_ms(10), Priority::Normal),
+            ac.on_arrival(Time::from_ms(10), Priority::Normal, false),
             Decision::Admit
         );
     }

@@ -67,6 +67,7 @@ pub fn lease_policy() -> LeaseConfig {
         grow_cooldown_ticks: 2,
         release_cooldown_ticks: 250,
         tick_interval: Time::from_ms(1),
+        ..LeaseConfig::default()
     }
 }
 
@@ -253,7 +254,7 @@ mod tests {
 
     #[test]
     fn provisioning_curve_tracks_events() {
-        use venice_lease::{LeaseEvent, LeaseEventKind, Priority};
+        use venice_lease::{LeaseEvent, LeaseEventKind, Priority, NO_NODE, NO_TENANT};
         use venice_sim::Time;
         let mut r = engine_stub();
         r.duration = Time::from_ms(100);
@@ -261,19 +262,25 @@ mod tests {
             LeaseEvent {
                 at: Time::from_ms(10),
                 node: 0,
+                donor: NO_NODE,
                 kind: LeaseEventKind::Grew,
                 chunks_after: 1,
                 generation: 1,
                 total_bytes_after: 128 << 20,
+                tenant: NO_TENANT,
+                tenant_bytes_after: 128 << 20,
                 priority: Priority::Normal,
             },
             LeaseEvent {
                 at: Time::from_ms(60),
                 node: 0,
+                donor: NO_NODE,
                 kind: LeaseEventKind::Shrank,
                 chunks_after: 0,
-                generation: 0,
+                generation: 1,
                 total_bytes_after: 64 << 20,
+                tenant: NO_TENANT,
+                tenant_bytes_after: 64 << 20,
                 priority: Priority::Normal,
             },
         ];

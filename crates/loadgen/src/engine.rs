@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 
 use venice::cluster::Cluster;
 use venice::NodeId;
-use venice_lease::{LeaseAction, LeaseConfig, LeaseManager, Priority};
+use venice_lease::{LeaseAction, LeaseConfig, LeaseManager, NodeSignal, Priority, NO_TENANT};
 use venice_sim::{Kernel, LogHistogram, Scheduler, SimRng, Time};
 use venice_transport::qpair::QpairError;
 use venice_transport::{PathModel, QpairConfig, QueuePair};
@@ -32,8 +32,9 @@ use crate::trace::{RequestOutcome, RequestRecord, Trace};
 /// Local DRAM miss latency used for the non-borrowed tier.
 const LOCAL_MISS: Time = Time::from_ns(100);
 
-/// Tag value for "no tenant has driven a lease on this node yet".
-const NO_TAG: u32 = u32::MAX;
+/// Tag value for "no tenant has driven a lease on this node yet"
+/// (doubles as the lease manager's unattributed-tenant sentinel).
+const NO_TAG: u32 = NO_TENANT;
 
 /// Full configuration of one loadgen run.
 #[derive(Debug, Clone, PartialEq)]
@@ -165,14 +166,36 @@ struct ElasticTier {
     /// Each node's *visible* leases (generation, lease), oldest first.
     /// A mid-run grow joins only after its Fig 2 establish flow
     /// completes; shrinks pop from this stack, so an in-flight grow can
-    /// never be released before it lands.
+    /// never be released before it lands. Revokes may remove from the
+    /// middle (the donor demands *its* newest grant, not the
+    /// recipient's newest borrow).
     leases: Vec<Vec<(u64, venice::MemoryLease)>>,
+    /// Per-class quota flags refreshed each lease tick: `true` while the
+    /// class's ledger sits at its byte quota, which collapses its
+    /// admission share (over-quota tenants shed first).
+    over_quota: Vec<bool>,
 }
 
 impl ElasticTier {
     /// The newest visible lease generation on `node` (0 = none).
     fn newest_generation(&self, node: usize) -> u64 {
         self.leases[node].last().map(|&(g, _)| g).unwrap_or(0)
+    }
+
+    /// The newest *visible* lease lent by `donor`, as
+    /// `(recipient, stack index, generation)` — the revoke target under
+    /// recipient-side LIFO preference. Leases still in their establish
+    /// flow are not on any stack yet and cannot be revoked.
+    fn newest_visible_from(&self, donor: u16) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for (recipient, stack) in self.leases.iter().enumerate() {
+            for (idx, &(generation, lease)) in stack.iter().enumerate() {
+                if lease.donor.0 == donor && best.map(|(_, _, g)| generation > g).unwrap_or(true) {
+                    best = Some((recipient, idx, generation));
+                }
+            }
+        }
+        best
     }
 }
 
@@ -203,17 +226,19 @@ fn grow_lease(
     manager: &mut LeaseManager,
     now: Time,
     node: u16,
+    tenant: u32,
+    predictive: bool,
     priority: Priority,
 ) -> Option<(u64, venice::MemoryLease, Time)> {
     let chunk = manager.config().chunk_bytes;
     match cluster.borrow_memory(NodeId(node), chunk) {
         Ok(lease) => {
             let lat = measure_crma(cluster, NodeId(node), lease.local_base);
-            let generation = manager.confirm_grow(now, node, priority);
+            let generation = manager.confirm_grow(now, node, tenant, predictive, priority);
             Some((generation, lease, lat))
         }
         Err(_) => {
-            manager.deny_grow(now, node, priority);
+            manager.deny_grow(now, node, tenant, priority);
             None
         }
     }
@@ -376,7 +401,12 @@ fn issue_with(w: &mut World, s: &mut Scheduler<World>, now: Time, class: usize, 
         .map(|t| t.newest_generation(node))
         .unwrap_or(0);
     let priority = w.classes[class].priority;
-    match w.admissions[node].on_arrival(now, priority) {
+    let over_quota = w
+        .elastic
+        .as_ref()
+        .map(|t| t.over_quota[class])
+        .unwrap_or(false);
+    match w.admissions[node].on_arrival(now, priority, over_quota) {
         Decision::Shed(reason) => {
             let st = &mut w.stats[class];
             let outcome = match reason {
@@ -564,8 +594,35 @@ fn dominant_class(w: &World, node: usize) -> Option<usize> {
     best
 }
 
-/// Periodic elastic-lease control tick: sample per-node queue depth, let
-/// the manager decide, and apply grows/shrinks against the live cluster.
+/// Applies a donor-demanded revoke once its modeled teardown flow
+/// completes: the grant is pulled back through the real Monitor–Node
+/// path ([`Cluster::revoke`]), the manager's ledger is repaid, and the
+/// recipient's visible capacity drops. Until this fires the recipient
+/// keeps serving from the window — a revoke notice takes effect when the
+/// unmap lands, not when the donor asks.
+#[allow(clippy::too_many_arguments)]
+fn apply_revoke(
+    w: &mut World,
+    now: Time,
+    donor: u16,
+    recipient: usize,
+    generation: u64,
+    lease: venice::MemoryLease,
+    priority: Priority,
+) {
+    w.cluster
+        .revoke(NodeId(donor), lease.grant_id)
+        .expect("revoked lease releases cleanly");
+    let tier = w.elastic.as_mut().expect("elastic run");
+    tier.manager
+        .confirm_revoke(now, donor, recipient as u16, generation, priority);
+    let model = &mut w.servers[recipient].model;
+    model.remote_bytes = model.remote_bytes.saturating_sub(lease.bytes);
+}
+
+/// Periodic elastic-lease control tick: sample per-node queue depth and
+/// donor pressure, let the manager decide, and apply
+/// grows/shrinks/revokes against the live cluster.
 fn lease_tick(w: &mut World, s: &mut Scheduler<World>) {
     // A tick scheduled while the last requests were in flight can fire
     // after the final completion; acting there would put lease events
@@ -575,33 +632,55 @@ fn lease_tick(w: &mut World, s: &mut Scheduler<World>) {
         return;
     }
     let now = s.now();
-    let depths: Vec<u32> = w
+    // Chunks each node has lent out, from the cluster's live ledger
+    // (includes grants still in their recipient-side establish flow —
+    // the donor's memory is committed either way).
+    let mut lent = vec![0u32; w.servers.len()];
+    for lease in w.cluster.active_leases() {
+        lent[lease.donor.0 as usize] += 1;
+    }
+    let signals: Vec<NodeSignal> = w
         .servers
         .iter()
-        .map(|srv| {
+        .enumerate()
+        .map(|(i, srv)| {
             let busy = srv.slots.iter().filter(|&&t| t > now).count();
-            (srv.backlog.len() + busy) as u32
+            let tenant = dominant_class(w, i).map(|c| c as u32).unwrap_or(NO_TAG);
+            NodeSignal {
+                depth: (srv.backlog.len() + busy) as u32,
+                lent_chunks: lent[i],
+                tenant,
+                priority: if tenant == NO_TAG {
+                    Priority::Normal
+                } else {
+                    w.classes[tenant as usize].priority
+                },
+            }
         })
         .collect();
     let tier = w.elastic.as_mut().expect("lease tick without elastic tier");
-    let actions = tier.manager.tick(now, &depths);
+    let actions = tier.manager.tick(now, &signals);
     for action in actions {
         match action {
-            LeaseAction::Grow { node } => {
-                let class = dominant_class(w, node as usize);
-                let priority = class
-                    .map(|c| w.classes[c].priority)
-                    .unwrap_or(Priority::Normal);
+            LeaseAction::Grow { node, predictive } => {
+                let tenant = signals[node as usize].tenant;
+                let priority = signals[node as usize].priority;
                 let tier = w.elastic.as_mut().expect("checked above");
-                if let Some((generation, lease, lat)) =
-                    grow_lease(&mut w.cluster, &mut tier.manager, now, node, priority)
-                {
+                if let Some((generation, lease, lat)) = grow_lease(
+                    &mut w.cluster,
+                    &mut tier.manager,
+                    now,
+                    node,
+                    tenant,
+                    predictive,
+                    priority,
+                ) {
                     // The Fig 2 establish flow takes real time (tens of
                     // milliseconds for a 64 MB window): the borrowed
                     // capacity must not serve requests before the flow
                     // completes, or the elastic-vs-static comparison
                     // would credit elastic with instant provisioning.
-                    let class_tag = class.map(|c| c as u32);
+                    let class_tag = (tenant != NO_TAG).then_some(tenant);
                     s.schedule_in(lease.setup_time, move |w: &mut World, _| {
                         let tier = w.elastic.as_mut().expect("elastic run");
                         tier.leases[node as usize].push((generation, lease));
@@ -623,12 +702,15 @@ fn lease_tick(w: &mut World, s: &mut Scheduler<World>) {
                     w.classes[tag as usize].priority
                 };
                 // Only a *visible* lease can be released — a grow still
-                // in its establish flow is not on the stack yet.
-                if let Some((_, lease)) = tier.leases[node as usize].pop() {
+                // in its establish flow is not on the stack yet, and a
+                // revoke-pending chunk is already off this stack. The
+                // popped lease's generation names the chunk for the
+                // manager: its own newest may be the revoke-pending one.
+                if let Some((generation, lease)) = tier.leases[node as usize].pop() {
                     w.cluster
                         .release(lease)
                         .expect("visible lease releases cleanly");
-                    tier.manager.confirm_shrink(now, node, priority);
+                    tier.manager.confirm_shrink(now, node, generation, priority);
                     let model = &mut w.servers[node as usize].model;
                     model.remote_bytes = model.remote_bytes.saturating_sub(lease.bytes);
                 }
@@ -637,7 +719,38 @@ fn lease_tick(w: &mut World, s: &mut Scheduler<World>) {
                 // manager keeps its chunk count and a later calm spell
                 // re-triggers the release.
             }
+            LeaseAction::Revoke { donor } => {
+                // The pressured donor demands its newest *visible* lent
+                // chunk back. A grant still establishing on its
+                // recipient cannot be torn down mid-flow: the demand is
+                // denied — on the timeline, since the revoke cooldown
+                // was already charged — and donor pressure re-triggers
+                // it once something lands.
+                let tier = w.elastic.as_mut().expect("checked above");
+                let Some((recipient, idx, generation)) = tier.newest_visible_from(donor) else {
+                    tier.manager
+                        .deny_revoke(now, donor, signals[donor as usize].priority);
+                    continue;
+                };
+                // Off the visible stack immediately — the recipient may
+                // not release (or double-revoke) a chunk already being
+                // reclaimed — but the capacity and the ledger move only
+                // when the modeled teardown flow completes.
+                let (_, lease) = tier.leases[recipient].remove(idx);
+                let teardown = w.cluster.flow.teardown(lease.bytes);
+                let priority = signals[donor as usize].priority;
+                s.schedule_in(teardown, move |w: &mut World, s| {
+                    apply_revoke(w, s.now(), donor, recipient, generation, lease, priority);
+                });
+            }
         }
+    }
+    // Refresh the per-class quota flags the admission layer reads: a
+    // class at its byte quota is clamped to the over-quota share until
+    // its ledger drains (shrinks/revokes repay it).
+    let tier = w.elastic.as_mut().expect("checked above");
+    for (class, flag) in tier.over_quota.iter_mut().enumerate() {
+        *flag = tier.manager.quota_blocks(class as u32);
     }
     // Keep ticking while the run is alive (arrivals pending or requests
     // in flight); afterwards the queue drains and the kernel stops.
@@ -766,22 +879,27 @@ fn run_core(
             let mut tier = ElasticTier {
                 tags: vec![NO_TAG; n],
                 leases: vec![Vec::new(); n],
-                manager: LeaseManager::new(*lease_config, n as u16),
+                manager: LeaseManager::with_quotas(*lease_config, n as u16, config.mix.quotas()),
+                over_quota: vec![false; config.mix.classes.len()],
             };
             let boot = tier.manager.bootstrap();
             for action in boot {
-                let LeaseAction::Grow { node } = action else {
+                let LeaseAction::Grow { node, .. } = action else {
                     unreachable!("bootstrap only grows");
                 };
                 // A refused bootstrap grow is already recorded by
                 // grow_lease as a manager denial (lease.denials);
                 // borrow_failures stays a static-provisioning counter so
-                // the two never double-count.
+                // the two never double-count. Bootstrap capacity is
+                // unattributed: no tenant's backlog asked for it, so no
+                // tenant's quota pays for it.
                 if let Some((generation, lease, lat)) = grow_lease(
                     &mut cluster,
                     &mut tier.manager,
                     Time::ZERO,
                     node,
+                    NO_TAG,
+                    false,
                     Priority::Normal,
                 ) {
                     // Setup-time provisioning is visible immediately
@@ -963,14 +1081,32 @@ fn run_core(
         duration,
     );
     let lease = match &w.elastic {
-        Some(tier) => LeaseSummary {
-            grows: tier.manager.grows(),
-            shrinks: tier.manager.shrinks(),
-            denials: tier.manager.denials(),
-            peak_bytes: tier.manager.peak_bytes(),
-            mean_bytes: tier.manager.mean_bytes(duration),
-            events: tier.manager.timeline().iter().map(|(_, e)| *e).collect(),
-        },
+        Some(tier) => {
+            // Conservation, checked against the *cluster's* ledger: every
+            // byte the manager thinks is out really is borrowed through
+            // the Monitor-Node flow, and vice versa.
+            assert_eq!(
+                w.cluster.borrowed_bytes(),
+                tier.manager.total_bytes(),
+                "lease-manager ledger diverged from the cluster ledger"
+            );
+            let classes = w.classes.len();
+            let mut tenant_bytes: Vec<u64> = tier.manager.tenant_ledger().to_vec();
+            tenant_bytes.resize(classes, 0);
+            LeaseSummary {
+                grows: tier.manager.grows(),
+                predictive_grows: tier.manager.predictive_grows(),
+                shrinks: tier.manager.shrinks(),
+                revokes: tier.manager.revokes(),
+                revoke_denials: tier.manager.revoke_denials(),
+                denials: tier.manager.denials(),
+                quota_denials: tier.manager.quota_denials(),
+                peak_bytes: tier.manager.peak_bytes(),
+                mean_bytes: tier.manager.mean_bytes(duration),
+                tenant_bytes,
+                events: tier.manager.timeline().iter().map(|(_, e)| *e).collect(),
+            }
+        }
         None => {
             // A static tier never changes after setup, so the models
             // still hold exactly what was provisioned — including the

@@ -58,6 +58,7 @@
 pub mod admission;
 pub mod arrival;
 pub mod elastic;
+pub mod elastic_v2;
 pub mod engine;
 pub mod report;
 pub mod scenarios;

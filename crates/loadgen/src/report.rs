@@ -11,14 +11,28 @@ use venice_sim::{LogHistogram, Time};
 pub struct LeaseSummary {
     /// Successful borrows (setup borrows included).
     pub grows: u64,
+    /// Borrows fired by the slope predictor before the high watermark
+    /// tripped (subset of `grows`).
+    pub predictive_grows: u64,
     /// Successful releases.
     pub shrinks: u64,
+    /// Chunks pulled back early by their pressured donors.
+    pub revokes: u64,
+    /// Revoke demands that found nothing reclaimable (every lent grant
+    /// still mid-establish); the donor's cooldown was charged anyway.
+    pub revoke_denials: u64,
     /// Borrows refused by the Monitor Node (donor capacity exhausted).
     pub denials: u64,
+    /// Borrows refused locally because the driving tenant sat at its
+    /// byte quota.
+    pub quota_denials: u64,
     /// Highest cluster-wide borrowed bytes at any instant.
     pub peak_bytes: u64,
     /// Time-weighted mean of cluster-wide borrowed bytes.
     pub mean_bytes: u64,
+    /// Final per-tenant lease ledger, in mix class order (bytes each
+    /// tenant's backlog still held borrowed at the end of the run).
+    pub tenant_bytes: Vec<u64>,
     /// The full borrow/release timeline (empty for static provisioning,
     /// which never changes after setup).
     pub events: Vec<LeaseEvent>,
@@ -31,11 +45,9 @@ impl LeaseSummary {
     pub fn static_tier(grows: u64, total_bytes: u64) -> Self {
         LeaseSummary {
             grows,
-            shrinks: 0,
-            denials: 0,
             peak_bytes: total_bytes,
             mean_bytes: total_bytes,
-            events: Vec::new(),
+            ..LeaseSummary::default()
         }
     }
 }
@@ -171,10 +183,14 @@ impl LoadReport {
             self.remote_leases, self.nodes, self.credit_waits,
         ));
         out.push_str(&format!(
-            "lease tier: {} grows / {} shrinks / {} denials, peak {} MB, mean {} MB\n",
+            "lease tier: {} grows ({} predictive) / {} shrinks / {} revokes / {} denials \
+             ({} quota), peak {} MB, mean {} MB\n",
             self.lease.grows,
+            self.lease.predictive_grows,
             self.lease.shrinks,
+            self.lease.revokes,
             self.lease.denials,
+            self.lease.quota_denials,
             self.lease.peak_bytes >> 20,
             self.lease.mean_bytes >> 20,
         ));

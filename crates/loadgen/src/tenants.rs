@@ -179,8 +179,8 @@ impl RequestProfile {
     }
 }
 
-/// One tenant class: a named request profile with a traffic weight and a
-/// shedding priority.
+/// One tenant class: a named request profile with a traffic weight, a
+/// shedding priority, and an elastic-lease byte quota.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantClass {
     /// Tenant name (figure label).
@@ -192,22 +192,35 @@ pub struct TenantClass {
     /// Admission priority: under contention, lower priorities are shed
     /// first (see [`Priority::capacity_share`]).
     pub priority: Priority,
+    /// Elastic-lease byte quota: the most borrowed remote memory the
+    /// lease manager may attribute to this tenant at once. Grows past it
+    /// are refused locally, and while the tenant sits at its quota the
+    /// admission layer clamps its in-flight share (over-quota tenants
+    /// shed first). `u64::MAX` (the default) is effectively unlimited.
+    pub quota_bytes: u64,
 }
 
 impl TenantClass {
-    /// Creates a class at [`Priority::Normal`].
+    /// Creates a class at [`Priority::Normal`] with an unlimited quota.
     pub fn new(name: impl Into<String>, profile: RequestProfile, weight: f64) -> Self {
         TenantClass {
             name: name.into(),
             profile,
             weight,
             priority: Priority::Normal,
+            quota_bytes: u64::MAX,
         }
     }
 
     /// Sets the class priority (builder style).
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Sets the elastic-lease byte quota (builder style).
+    pub fn with_quota(mut self, quota_bytes: u64) -> Self {
+        self.quota_bytes = quota_bytes;
         self
     }
 }
@@ -253,6 +266,12 @@ impl TenantMix {
     /// The per-class weights, in class order.
     pub fn weights(&self) -> Vec<f64> {
         self.classes.iter().map(|c| c.weight).collect()
+    }
+
+    /// The per-class lease quotas, in class order (what the engine hands
+    /// to [`venice_lease::LeaseManager::with_quotas`]).
+    pub fn quotas(&self) -> Vec<u64> {
+        self.classes.iter().map(|c| c.quota_bytes).collect()
     }
 
     /// The user-activity sampler for this population.

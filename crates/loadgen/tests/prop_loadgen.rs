@@ -5,7 +5,10 @@
 //! exact quantiles within the configured bucket resolution; and the
 //! request-conservation invariants hold for arbitrary configurations.
 
+use std::collections::BTreeMap;
+
 use proptest::prelude::*;
+use venice_lease::LeaseConfig;
 use venice_loadgen::arrival::PoissonArrivals;
 use venice_loadgen::{engine, ArrivalProcess, LoadgenConfig, TenantMix};
 use venice_sim::{LogHistogram, Time};
@@ -70,6 +73,61 @@ proptest! {
         let sum: u64 = r.tenants.iter().map(|t| t.completed).sum();
         prop_assert_eq!(sum, r.completed);
         prop_assert_eq!(r, engine::run(&config));
+    }
+
+    /// Elastic v2 runs — predictor and donor reclaim armed, a tight
+    /// quota on every class — conserve the lease ledger at every
+    /// timeline event under arbitrary bursty traffic, and no tenant ever
+    /// exceeds its quota. (The engine additionally cross-checks its
+    /// manager ledger against `Cluster::borrowed_bytes` at the end of
+    /// every elastic run; any divergence panics the run itself.)
+    #[test]
+    fn elastic_v2_ledger_conserves_under_arbitrary_traffic(
+        seed in 0u64..10_000,
+        burst in 40_000.0f64..200_000.0,
+        requests in 2_000u64..6_000,
+        quota_chunks in 2u64..8,
+        donor_wm in 8u32..20,
+    ) {
+        let chunk = 64u64 << 20;
+        let mut mix = TenantMix::web_frontend();
+        for class in &mut mix.classes {
+            class.quota_bytes = quota_chunks * chunk;
+        }
+        let config = LoadgenConfig {
+            arrival: ArrivalProcess::Bursty {
+                base_rps: 4_000.0,
+                burst_rps: burst,
+                period: Time::from_ms(400),
+                burst_len: Time::from_ms(150),
+                crowd_users: 4,
+                crowd_share: 0.7,
+            },
+            requests,
+            mix,
+            lease: Some(LeaseConfig {
+                max_chunks: 6,
+                donor_high_watermark: donor_wm,
+                predict_horizon_ticks: 33,
+                release_cooldown_ticks: 60,
+                ..LeaseConfig::default()
+            }),
+            ..LoadgenConfig::new(seed, TenantMix::web_frontend())
+        };
+        let r = engine::run(&config);
+        let mut ledger: BTreeMap<u32, u64> = BTreeMap::new();
+        for e in &r.lease.events {
+            ledger.insert(e.tenant, e.tenant_bytes_after);
+            let sum: u64 = ledger.values().sum();
+            prop_assert_eq!(sum, e.total_bytes_after, "diverged at {:?}", e);
+        }
+        for (class, &held) in r.lease.tenant_bytes.iter().enumerate() {
+            prop_assert!(
+                held <= quota_chunks * chunk,
+                "class {class} holds {held} over quota"
+            );
+        }
+        prop_assert_eq!(&r, &engine::run(&config));
     }
 
     /// Closed-loop runs complete every admitted request (the loop

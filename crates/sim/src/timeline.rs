@@ -69,6 +69,16 @@ impl<E> Timeline<E> {
         self.events.iter()
     }
 
+    /// The events recorded in the half-open interval `[from, to)`, as a
+    /// contiguous slice (binary search over the time-ordered record):
+    /// "what happened during this burst?" without scanning the whole
+    /// run.
+    pub fn window(&self, from: Time, to: Time) -> &[(Time, E)] {
+        let lo = self.events.partition_point(|(t, _)| *t < from);
+        let hi = self.events.partition_point(|(t, _)| *t < to);
+        &self.events[lo..hi]
+    }
+
     /// Consumes the timeline, returning the ordered event vector.
     pub fn into_events(self) -> Vec<(Time, E)> {
         self.events
@@ -102,6 +112,21 @@ mod tests {
         let mut t = Timeline::new();
         t.record(Time::from_us(5), 1u32);
         t.record(Time::from_us(4), 2u32);
+    }
+
+    #[test]
+    fn window_slices_by_time() {
+        let mut t = Timeline::new();
+        for us in [1u64, 1, 3, 5, 8] {
+            t.record(Time::from_us(us), us);
+        }
+        assert_eq!(t.window(Time::ZERO, Time::from_us(100)).len(), 5);
+        // Half-open: [1, 5) takes both 1s and the 3, not the 5.
+        let w = t.window(Time::from_us(1), Time::from_us(5));
+        assert_eq!(w.iter().map(|&(_, e)| e).collect::<Vec<_>>(), vec![1, 1, 3]);
+        assert!(t.window(Time::from_us(6), Time::from_us(8)).is_empty());
+        let empty: Timeline<u8> = Timeline::new();
+        assert!(empty.window(Time::ZERO, Time::from_us(9)).is_empty());
     }
 
     #[test]
