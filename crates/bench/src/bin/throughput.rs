@@ -1,0 +1,270 @@
+//! Wall-clock throughput of the event core: typed vs boxed, measured.
+//!
+//! ```text
+//! throughput [--out PATH] [--requests N] [--iters K]
+//! throughput --check PATH
+//! ```
+//!
+//! Runs the storm scenarios (three tenant mixes, ≥ 1 M requests total at
+//! full scale) and the elastic-v2 controller scenarios (predictive
+//! growth, donor reclaim) through **both** engines — the typed
+//! zero-allocation event core (`venice_loadgen::engine`) and the frozen
+//! boxed-closure baseline (`venice_loadgen::legacy`) — on identical
+//! configurations, and writes the measured trajectory to
+//! `BENCH_perf.json`: wall time (best of `--iters`), events/sec,
+//! requests/sec, peak event-queue depth, and the per-scenario speedup.
+//!
+//! Two gates ride along:
+//!
+//! * **Determinism.** For every scenario the two engines' reports are
+//!   serialized and byte-compared; any divergence fails the run. The
+//!   perf numbers are only comparable because the work is bit-identical.
+//! * **Validation.** The artifact is checked against
+//!   [`venice_bench::validate_perf`] before it is written, and
+//!   `--check PATH` re-validates a committed artifact (CI runs this on
+//!   a reduced-count smoke artifact; the speedup floor is asserted on
+//!   the committed full-scale file by the test suite, not here — smoke
+//!   machines time whatever they time).
+//!
+//! Wall times are machine-dependent, so unlike `BENCH_figures.json`
+//! this artifact is **not** freshness-diffed in CI; refresh it with
+//! `cargo run --release -p venice-bench --bin throughput` when the
+//! event core changes materially.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use venice_bench::{validate_perf, PerfEntry, PerfReport, PERF_SCHEMA};
+use venice_loadgen::{elastic_v2, engine, legacy, scenarios, EngineMetrics, LoadgenConfig};
+
+/// Default timing iterations (best-of is kept).
+const DEFAULT_ITERS: u32 = 3;
+
+struct Args {
+    out: Option<String>,
+    requests: Option<u64>,
+    iters: u32,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: None,
+        requests: None,
+        iters: DEFAULT_ITERS,
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--out" => args.out = Some(take("--out")?),
+            "--requests" => {
+                args.requests = Some(
+                    take("--requests")?
+                        .parse()
+                        .map_err(|e| format!("--requests: {e}"))?,
+                )
+            }
+            "--iters" => {
+                args.iters = take("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+                if args.iters == 0 {
+                    return Err("--iters must be at least 1".to_string());
+                }
+            }
+            "--check" => args.check = Some(take("--check")?),
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}`\n\
+                     usage: throughput [--out PATH] [--requests N] [--iters K] | --check PATH"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// The scenario grid: (family, label, config) at full published scale.
+fn grid() -> Vec<(&'static str, String, LoadgenConfig)> {
+    let mut out = Vec::new();
+    for config in scenarios::storm_configs(scenarios::SCENARIO_SEED) {
+        out.push(("storm", config.mix.name.clone(), config));
+    }
+    for (label, config) in elastic_v2::comparison_configs(elastic_v2::V2_SEED) {
+        // The predictor and the donor-reclaim rows cover every v2
+        // control path (predictive grows, revokes, quotas) without
+        // timing near-duplicate baselines.
+        if label == "venice-predictive" || label == "donor-reclaim" {
+            let mut config = config;
+            config.requests = 400_000;
+            out.push(("elastic-v2", label, config));
+        }
+    }
+    out
+}
+
+/// One timed call of `f`, in milliseconds.
+fn time_once<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let r = f();
+    (start.elapsed().as_secs_f64() * 1e3, r)
+}
+
+fn measure(
+    iters: u32,
+    family: &str,
+    label: &str,
+    config: &LoadgenConfig,
+) -> Result<PerfEntry, String> {
+    // The two engines are timed in *interleaved* iterations (typed,
+    // boxed, typed, boxed, …) and each keeps its best wall time:
+    // background load on a shared machine then degrades both sides of a
+    // pair instead of silently skewing whichever engine ran during the
+    // noisy window.
+    let mut typed_wall_ms = f64::INFINITY;
+    let mut boxed_wall_ms = f64::INFINITY;
+    let mut typed_result: Option<(_, EngineMetrics)> = None;
+    let mut boxed_result = None;
+    for _ in 0..iters {
+        let (wall, r) = time_once(|| engine::run_metered(config));
+        typed_wall_ms = typed_wall_ms.min(wall);
+        typed_result = Some(r);
+        let (wall, r) = time_once(|| legacy::run(config));
+        boxed_wall_ms = boxed_wall_ms.min(wall);
+        boxed_result = Some(r);
+    }
+    let (typed_report, metrics) = typed_result.expect("iters >= 1");
+    let boxed_report = boxed_result.expect("iters >= 1");
+
+    // The determinism gate: identical configurations must produce
+    // byte-identical report JSON through both event cores.
+    let typed_json = serde_json::to_string(&typed_report).expect("report serializes");
+    let boxed_json = serde_json::to_string(&boxed_report).expect("report serializes");
+    if typed_json != boxed_json {
+        return Err(format!(
+            "{family}/{label}: typed and boxed engines diverged (typed {} bytes, boxed {} bytes)",
+            typed_json.len(),
+            boxed_json.len()
+        ));
+    }
+
+    let eps = |wall_ms: f64| metrics.events as f64 / (wall_ms / 1e3);
+    let rps = |wall_ms: f64| typed_report.issued as f64 / (wall_ms / 1e3);
+    Ok(PerfEntry {
+        family: family.to_string(),
+        label: label.to_string(),
+        requests: typed_report.issued,
+        events: metrics.events,
+        peak_queue_depth: metrics.peak_queue_depth as u64,
+        typed_wall_ms,
+        typed_events_per_sec: eps(typed_wall_ms),
+        typed_requests_per_sec: rps(typed_wall_ms),
+        boxed_wall_ms,
+        boxed_events_per_sec: eps(boxed_wall_ms),
+        boxed_requests_per_sec: rps(boxed_wall_ms),
+        speedup: boxed_wall_ms / typed_wall_ms,
+    })
+}
+
+fn check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("throughput: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report: PerfReport = match serde_json::from_str(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("throughput: {path} does not parse as a perf artifact: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let problems = validate_perf(&report);
+    if problems.is_empty() {
+        println!(
+            "throughput: {path} valid ({} entries, families covered)",
+            report.entries.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("throughput: {path} is invalid:");
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("throughput: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &args.check {
+        return check(path);
+    }
+
+    let mut entries = Vec::new();
+    for (family, label, mut config) in grid() {
+        if let Some(n) = args.requests {
+            config.requests = n;
+        }
+        match measure(args.iters, family, &label, &config) {
+            Ok(entry) => {
+                println!(
+                    "{family:<10} {label:<18} {:>9} req  typed {:>8.1} ms ({:>5.2} M ev/s)  \
+                     boxed {:>8.1} ms  speedup {:.2}x  peak depth {}",
+                    entry.requests,
+                    entry.typed_wall_ms,
+                    entry.typed_events_per_sec / 1e6,
+                    entry.boxed_wall_ms,
+                    entry.speedup,
+                    entry.peak_queue_depth,
+                );
+                entries.push(entry);
+            }
+            Err(e) => {
+                eprintln!("throughput: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = PerfReport {
+        schema: PERF_SCHEMA.to_string(),
+        iters: args.iters,
+        requests_override: args.requests,
+        entries,
+    };
+    let problems = validate_perf(&report);
+    if !problems.is_empty() {
+        eprintln!("throughput: produced an invalid artifact:");
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let storm_min = report
+        .entries
+        .iter()
+        .filter(|e| e.family == "storm")
+        .map(|e| e.speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("minimum storm speedup: {storm_min:.2}x");
+
+    let path = args.out.unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&path, json + "\n") {
+        eprintln!("throughput: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+    ExitCode::SUCCESS
+}

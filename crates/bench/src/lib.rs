@@ -7,7 +7,116 @@
 //! JSON for EXPERIMENTS.md. The Criterion benches under `benches/` time
 //! the scenario generators and the hot substrate paths.
 
+use serde::{Deserialize, Serialize};
 use venice::Figure;
+
+/// Schema tag stamped into `BENCH_perf.json` so the validator can
+/// reject artifacts written by an incompatible harness version.
+pub const PERF_SCHEMA: &str = "venice-perf-v1";
+
+/// Scenario families the wall-clock perf trajectory must cover. The
+/// `throughput` bin times each family on both event cores; a
+/// `BENCH_perf.json` missing a family fails validation, so the
+/// trajectory can never silently lose coverage.
+pub const PERF_FAMILIES: &[&str] = &["storm", "elastic-v2"];
+
+/// One timed scenario in `BENCH_perf.json`: the same configuration run
+/// through the typed event core and the boxed-closure baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfEntry {
+    /// Scenario family (one of [`PERF_FAMILIES`]).
+    pub family: String,
+    /// Scenario label within the family (tenant mix or controller row).
+    pub label: String,
+    /// Requests issued by the run.
+    pub requests: u64,
+    /// Kernel events executed (identical across the two cores — their
+    /// event streams are bit-identical, which the bin gates on).
+    pub events: u64,
+    /// Peak event-queue depth over the run.
+    pub peak_queue_depth: u64,
+    /// Best wall time of the typed event core, milliseconds.
+    pub typed_wall_ms: f64,
+    /// Typed-core events per wall-clock second.
+    pub typed_events_per_sec: f64,
+    /// Typed-core requests per wall-clock second.
+    pub typed_requests_per_sec: f64,
+    /// Best wall time of the boxed-closure baseline, milliseconds.
+    pub boxed_wall_ms: f64,
+    /// Baseline events per wall-clock second.
+    pub boxed_events_per_sec: f64,
+    /// Baseline requests per wall-clock second.
+    pub boxed_requests_per_sec: f64,
+    /// `boxed_wall_ms / typed_wall_ms` — how much faster the typed core
+    /// ran this scenario.
+    pub speedup: f64,
+}
+
+/// The whole `BENCH_perf.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Must equal [`PERF_SCHEMA`].
+    pub schema: String,
+    /// Timing iterations per scenario (best-of-N wall time is kept).
+    pub iters: u32,
+    /// Per-run request override used for reduced smoke runs; `null` in
+    /// the committed full-scale artifact.
+    pub requests_override: Option<u64>,
+    /// One row per timed scenario.
+    pub entries: Vec<PerfEntry>,
+}
+
+/// Validates a perf artifact: schema tag, every family of
+/// [`PERF_FAMILIES`] present, and every row internally sane (positive
+/// finite times and rates, speedup consistent with the recorded walls).
+/// Returns human-readable problems (empty = valid). Deliberately does
+/// **not** enforce a speedup floor: smoke runs on loaded CI machines
+/// time whatever they time — the floor is asserted on the committed
+/// full-scale artifact by the test suite instead.
+pub fn validate_perf(report: &PerfReport) -> Vec<String> {
+    let mut problems = Vec::new();
+    if report.schema != PERF_SCHEMA {
+        problems.push(format!("schema `{}` is not `{PERF_SCHEMA}`", report.schema));
+    }
+    if report.iters == 0 {
+        problems.push("iters is zero".to_string());
+    }
+    for &family in PERF_FAMILIES {
+        if !report.entries.iter().any(|e| e.family == family) {
+            problems.push(format!("missing scenario family `{family}`"));
+        }
+    }
+    for e in &report.entries {
+        let tag = format!("{}/{}", e.family, e.label);
+        if !PERF_FAMILIES.contains(&e.family.as_str()) {
+            problems.push(format!("{tag}: unregistered family"));
+        }
+        if e.requests == 0 || e.events == 0 {
+            problems.push(format!("{tag}: empty run"));
+        }
+        for (name, x) in [
+            ("typed_wall_ms", e.typed_wall_ms),
+            ("typed_events_per_sec", e.typed_events_per_sec),
+            ("typed_requests_per_sec", e.typed_requests_per_sec),
+            ("boxed_wall_ms", e.boxed_wall_ms),
+            ("boxed_events_per_sec", e.boxed_events_per_sec),
+            ("boxed_requests_per_sec", e.boxed_requests_per_sec),
+            ("speedup", e.speedup),
+        ] {
+            if !(x.is_finite() && x > 0.0) {
+                problems.push(format!("{tag}: {name} = {x} is not positive finite"));
+            }
+        }
+        let implied = e.boxed_wall_ms / e.typed_wall_ms;
+        if e.speedup > 0.0 && (implied - e.speedup).abs() > 0.01 * e.speedup.max(1.0) {
+            problems.push(format!(
+                "{tag}: speedup {:.3} inconsistent with walls ({implied:.3})",
+                e.speedup
+            ));
+        }
+    }
+    problems
+}
 
 /// Renders figures as text, one after another.
 pub fn render_all(figures: &[Figure]) -> String {
@@ -168,6 +277,118 @@ mod tests {
         assert!(validate_figures(&figs)
             .iter()
             .any(|p| p.contains("not registered")));
+    }
+
+    fn perf_entry(family: &str, label: &str) -> PerfEntry {
+        PerfEntry {
+            family: family.to_string(),
+            label: label.to_string(),
+            requests: 1_000,
+            events: 2_500,
+            peak_queue_depth: 40,
+            typed_wall_ms: 10.0,
+            typed_events_per_sec: 250_000.0,
+            typed_requests_per_sec: 100_000.0,
+            boxed_wall_ms: 16.0,
+            boxed_events_per_sec: 156_250.0,
+            boxed_requests_per_sec: 62_500.0,
+            speedup: 1.6,
+        }
+    }
+
+    #[test]
+    fn perf_validation_accepts_a_sane_artifact_and_round_trips() {
+        let report = PerfReport {
+            schema: PERF_SCHEMA.to_string(),
+            iters: 3,
+            requests_override: None,
+            entries: vec![
+                perf_entry("storm", "web-frontend"),
+                perf_entry("elastic-v2", "venice-predictive"),
+            ],
+        };
+        assert!(validate_perf(&report).is_empty());
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        assert!(validate_perf(&back).is_empty());
+    }
+
+    #[test]
+    fn perf_validation_catches_coverage_and_sanity_problems() {
+        let good = PerfReport {
+            schema: PERF_SCHEMA.to_string(),
+            iters: 3,
+            requests_override: None,
+            entries: vec![
+                perf_entry("storm", "web-frontend"),
+                perf_entry("elastic-v2", "venice-predictive"),
+            ],
+        };
+        // Dropping a family fails.
+        let mut dropped = good.clone();
+        dropped.entries.retain(|e| e.family != "elastic-v2");
+        assert!(validate_perf(&dropped)
+            .iter()
+            .any(|p| p.contains("missing scenario family `elastic-v2`")));
+        // A wrong schema tag fails.
+        let mut schema = good.clone();
+        schema.schema = "venice-perf-v0".to_string();
+        assert!(!validate_perf(&schema).is_empty());
+        // A non-positive wall time fails.
+        let mut wall = good.clone();
+        wall.entries[0].typed_wall_ms = 0.0;
+        assert!(validate_perf(&wall)
+            .iter()
+            .any(|p| p.contains("typed_wall_ms")));
+        // A speedup inconsistent with the recorded walls fails.
+        let mut skewed = good.clone();
+        skewed.entries[0].speedup = 9.0;
+        assert!(validate_perf(&skewed)
+            .iter()
+            .any(|p| p.contains("inconsistent")));
+        // An unregistered family fails.
+        let mut rogue = good;
+        rogue.entries.push(perf_entry("warmup", "x"));
+        assert!(validate_perf(&rogue)
+            .iter()
+            .any(|p| p.contains("unregistered family")));
+    }
+
+    #[test]
+    fn committed_perf_artifact_is_valid_and_clears_the_storm_bar() {
+        // BENCH_perf.json is the recorded wall-clock trajectory; unlike
+        // BENCH_figures.json it cannot be freshness-diffed (wall times
+        // are machine-dependent), so this test pins the *committed*
+        // numbers instead: the artifact must parse, validate, and show
+        // the typed event core >= 1.5x the boxed-closure baseline on
+        // every storm entry. A refresh that regresses below the bar
+        // fails here and needs investigating, not committing.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
+        let text = std::fs::read_to_string(path).expect("BENCH_perf.json is committed");
+        let report: PerfReport = serde_json::from_str(&text).expect("artifact parses");
+        assert_eq!(validate_perf(&report), Vec::<String>::new());
+        assert_eq!(
+            report.requests_override, None,
+            "committed artifact must be full-scale"
+        );
+        let storm: Vec<&PerfEntry> = report
+            .entries
+            .iter()
+            .filter(|e| e.family == "storm")
+            .collect();
+        assert!(storm.len() >= 3, "all three storm mixes recorded");
+        let total: u64 = storm.iter().map(|e| e.requests).sum();
+        assert!(total >= 1_000_000, "storm below production scale: {total}");
+        for e in &storm {
+            assert!(
+                e.speedup >= 1.5,
+                "storm/{} speedup {:.2} below the 1.5x bar",
+                e.label,
+                e.speedup
+            );
+            assert!(e.typed_events_per_sec >= 1.5 * e.boxed_events_per_sec);
+        }
     }
 
     #[test]

@@ -1,47 +1,197 @@
-//! The traffic engine: a discrete-event load generator over the cluster.
+//! The seed (PR 1–3) boxed-closure traffic engine, frozen as the
+//! measured performance baseline and differential-testing oracle.
 //!
-//! One [`run`] call builds a real [`Cluster`] (Monitor-Node memory
-//! borrowing included), provisions the remote tier — **statically** at
-//! setup, or **elastically** through a [`venice_lease::LeaseManager`]
-//! that borrows and releases capacity *during* the run as per-node queue
-//! depth crosses its watermarks — and then drives the configured
-//! [`ArrivalProcess`] through per-node admission (priority-scaled caps),
-//! locality-aware routing, a per-node QPair (finite credits — transport
-//! backpressure), and per-node service slots. Every stochastic draw comes
-//! from one seeded [`SimRng`] consumed in event order, so a seed fully
-//! determines the run: identical seeds produce identical [`LoadReport`]s
-//! — and identical lease timelines — bit for bit.
+//! This module is the pre-rewrite [`crate::engine`] preserved verbatim
+//! on [`venice_sim::boxed`] — every event is a heap-allocated
+//! `Box<dyn FnOnce>` closure popped from the original fat-entry
+//! `BinaryHeap` queue, the per-tick `Vec` clones are kept, and `replay`
+//! still clones its input trace. It exists for exactly two callers:
 //!
-//! # The typed, zero-allocation event core
+//! * the `throughput` bench bin, which times [`run`] next to the typed
+//!   engine on identical configurations and records both in
+//!   `BENCH_perf.json` — the speedup claim is measured against the real
+//!   predecessor, not a strawman; and
+//! * the differential tests (`tests/prop_typed_vs_legacy.rs` and the
+//!   bench bin's own report-equality gate), which pin the typed engine
+//!   to **bit-identical** traces and reports against this code.
 //!
-//! The engine runs on `Kernel<World, EngineEvent>`: every scheduled
-//! occurrence is a plain `EngineEvent` enum value fired through one
-//! `match`, not a heap-allocated `Box<dyn FnOnce>` closure. In-flight
-//! request state is pooled in a free-list slab (`RequestSlab` below),
-//! so a `Finish` event carries a 4-byte slot index instead of the whole
-//! request, steady-state traffic performs **zero allocations per
-//! request**, and per-request transport latency is precomputed per
-//! (node, tenant class) instead of re-derived on every dispatch. The
-//! pre-rewrite closure engine is preserved bit-for-bit compatible in
-//! [`crate::legacy`]; `cargo run --release -p venice-bench --bin
-//! throughput` times the two side by side into `BENCH_perf.json`.
+//! Behavioral changes belong in [`crate::engine`]; if one is intentional
+//! this baseline must be updated in lockstep or retired — the
+//! differential gate fails loudly either way.
 
 use std::collections::VecDeque;
 
 use venice::cluster::Cluster;
-use venice::{MemoryLease, NodeId};
-use venice_lease::{LeaseAction, LeaseConfig, LeaseManager, NodeSignal, Priority, NO_TENANT};
-use venice_sim::{Kernel, LogHistogram, Scheduler, SimEvent, SimRng, Time};
+use venice::NodeId;
+use venice_lease::{LeaseAction, LeaseManager, NodeSignal, Priority, NO_TENANT};
+use venice_sim::boxed::{Kernel, Scheduler};
+use venice_sim::{LogHistogram, SimRng, Time};
 use venice_transport::qpair::QpairError;
-use venice_transport::{QpairConfig, QueuePair};
-use venice_workloads::ZipfSampler;
+use venice_transport::{PathModel, QpairConfig, QueuePair};
 
-use crate::admission::{AdmissionConfig, AdmissionControl, Decision, ShedReason};
-use crate::arrival::{exponential, ArrivalProcess};
+use crate::admission::{AdmissionControl, Decision, ShedReason};
+use crate::arrival::ArrivalProcess;
+use crate::engine::LoadgenConfig;
 use crate::report::{LeaseSummary, LoadReport, TenantReport};
 use crate::stacks::RemoteStack;
-use crate::tenants::{CompiledService, NodeModel, TenantClass, TenantMix};
+use crate::tenants::{NodeModel, RequestProfile, TenantClass};
 use crate::trace::{RequestOutcome, RequestRecord, Trace};
+
+// # Seed-cost substrate
+//
+// The baseline's job is to measure the engine this PR replaced, and
+// that engine's hot path also included substrate costs that have since
+// been optimized *bit-identically* (a `powf` per zipf draw, an `fdiv`
+// per uniform draw, a weight sum per class draw, per-request service
+// model re-derivation). If the frozen engine silently inherited those
+// improvements, the recorded baseline would understate the predecessor
+// and the perf trajectory would under-report this PR's speedup. The
+// helpers below therefore reproduce the seed's *instruction streams*
+// while producing exactly the values the shared substrate produces
+// today — an equivalence the typed-vs-legacy differential gates verify
+// on every run, since any drift would break bit-identical reports.
+
+/// The seed's uniform draw in `[0, 1)`: division by `2^53` (the shared
+/// substrate now multiplies by the exact reciprocal — same bits).
+#[inline(never)]
+fn unit_seed(rng: &mut SimRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The seed's Bernoulli draw (`SimRng::chance` before the reciprocal
+/// rewrite).
+fn chance_seed(rng: &mut SimRng, p: f64) -> bool {
+    let p = p.clamp(0.0, 1.0);
+    unit_seed(rng) < p
+}
+
+/// The seed's weighted class draw: the weight sum recomputed per call.
+fn weighted_index_seed(rng: &mut SimRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(
+        !weights.is_empty() && total > 0.0,
+        "weights must be non-empty with positive sum"
+    );
+    let mut x = unit_seed(rng) * total;
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// The seed's exponential draw (`arrival::exponential` over the seed's
+/// uniform).
+fn exponential_seed(rng: &mut SimRng, mean: Time) -> Time {
+    let u = unit_seed(rng).min(1.0 - 1e-12);
+    mean.scale(-(1.0 - u).ln())
+}
+
+/// The seed's zipfian sampler: identical constants to
+/// [`venice_workloads::ZipfSampler`], with the rank-1 threshold's `powf`
+/// re-evaluated on every draw as the seed did.
+struct SeedZipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl SeedZipf {
+    fn zeta(n: u64, theta: f64) -> f64 {
+        const EXACT: u64 = 100_000;
+        if n <= EXACT {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=EXACT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let a = EXACT as f64;
+            let b = n as f64;
+            head + (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta)
+        }
+    }
+
+    fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        SeedZipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = unit_seed(rng);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// The seed's service-time evaluation: every node-state constant
+/// re-derived per request (the typed engine compiles them per node and
+/// invalidates on lease events instead).
+fn service_time_seed(profile: &RequestProfile, rng: &mut SimRng, node: &NodeModel) -> Time {
+    use venice_workloads::kv::CacheMemory;
+    use venice_workloads::OltpWorkload;
+    let base = match profile {
+        RequestProfile::Kv {
+            cache,
+            capacity_bytes,
+        } => {
+            let memory = if node.has_remote() {
+                CacheMemory::RemoteCrma(node.remote_miss)
+            } else {
+                CacheMemory::Local
+            };
+            let capacity = (cache.local_floor_bytes + node.remote_bytes).min(*capacity_bytes);
+            if chance_seed(rng, cache.miss_rate(capacity)) {
+                cache.backend_cost
+            } else {
+                cache.hit_time(capacity, memory)
+            }
+        }
+        RequestProfile::Oltp {
+            workload,
+            remote_fraction,
+        } => {
+            let f = *remote_fraction * node.fill();
+            workload
+                .profile()
+                .op_time_split(f, node.remote_miss, node.local_miss)
+                * OltpWorkload::QUERIES_PER_TXN
+        }
+        RequestProfile::PageRank {
+            kernel,
+            edges_per_request,
+            footprint_bytes,
+            remote_fraction,
+        } => {
+            let f = *remote_fraction * node.fill();
+            kernel
+                .profile(*footprint_bytes)
+                .op_time_split(f, node.remote_miss, node.local_miss)
+                .scale(*edges_per_request as f64)
+        }
+        RequestProfile::Iperf { server_cpu, .. } => *server_cpu,
+    };
+    base.scale(0.9 + 0.2 * unit_seed(rng))
+}
 
 /// Local DRAM miss latency used for the non-borrowed tier.
 const LOCAL_MISS: Time = Time::from_ns(100);
@@ -50,95 +200,7 @@ const LOCAL_MISS: Time = Time::from_ns(100);
 /// (doubles as the lease manager's unattributed-tenant sentinel).
 const NO_TAG: u32 = NO_TENANT;
 
-/// Full configuration of one loadgen run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LoadgenConfig {
-    /// Experiment seed; fully determines the run.
-    pub seed: u64,
-    /// Mesh dimensions (`dx`, `dy`, `dz`); the cluster has `dx*dy*dz`
-    /// nodes.
-    pub mesh: (u16, u16, u16),
-    /// Tenant mix to generate.
-    pub mix: TenantMix,
-    /// Arrival process.
-    pub arrival: ArrivalProcess,
-    /// Total requests to generate (issued, whether or not admitted).
-    pub requests: u64,
-    /// Service slots per node (cores dedicated to request work).
-    pub per_node_concurrency: u32,
-    /// Front-door admission control (cluster-wide budgets, split across
-    /// nodes).
-    pub admission: AdmissionConfig,
-    /// Remote memory each node provisions at setup under static
-    /// provisioning, and the full-tier reference level under elastic
-    /// leases (0 disables the remote tier).
-    pub remote_memory_per_node: u64,
-    /// Remote-memory stack serving the borrowed tier.
-    pub stack: RemoteStack,
-    /// Elastic lease management. `None` provisions
-    /// `remote_memory_per_node` once at setup and holds it (PR 1
-    /// behavior); `Some` starts every node at the lease floor and lets
-    /// the manager grow/shrink the tier mid-run. Requires a stack with
-    /// [`RemoteStack::supports_elastic`].
-    pub lease: Option<LeaseConfig>,
-}
-
-impl LoadgenConfig {
-    /// A sensible default configuration over `mix`: the paper's 8-node
-    /// mesh, 20 krps open-loop Poisson arrivals, 50 k requests, 8 service
-    /// slots per node, 256 MB borrowed per node, Venice CRMA stack,
-    /// static provisioning.
-    pub fn new(seed: u64, mix: TenantMix) -> Self {
-        LoadgenConfig {
-            seed,
-            mesh: (2, 2, 2),
-            mix,
-            arrival: ArrivalProcess::OpenPoisson { rate_rps: 20_000.0 },
-            requests: 50_000,
-            per_node_concurrency: 8,
-            admission: AdmissionConfig::default(),
-            remote_memory_per_node: 256 << 20,
-            stack: RemoteStack::VeniceCrma,
-            lease: None,
-        }
-    }
-
-    /// Number of nodes described by `mesh`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the mesh exceeds the `u16` `NodeId` space.
-    pub fn nodes(&self) -> u16 {
-        let n = self.mesh.0 as u32 * self.mesh.1 as u32 * self.mesh.2 as u32;
-        u16::try_from(n)
-            .unwrap_or_else(|_| panic!("mesh {:?} exceeds the u16 NodeId space", self.mesh))
-    }
-}
-
-/// Side-channel counters from one engine run.
-///
-/// Kept out of [`LoadReport`] deliberately: the report's JSON shape is
-/// frozen by the determinism gate (its serialization is byte-diffed
-/// across thread counts and against the legacy engine), while these
-/// loop-level counters exist for the `throughput` bench.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EngineMetrics {
-    /// Logical events processed over the whole run: kernel-dispatched
-    /// events plus arrivals absorbed by lookahead fusion. This equals
-    /// the event count the boxed-closure engine executes for the same
-    /// configuration, so events/sec is comparable across the two cores.
-    pub events: u64,
-    /// Arrivals processed in place by lookahead fusion (never enqueued).
-    pub fused_arrivals: u64,
-    /// Peak number of simultaneously pending events (peak event-queue
-    /// depth).
-    pub peak_queue_depth: usize,
-}
-
-/// One in-flight request (plain data; pooled in [`RequestSlab`]).
-/// Request/response payload sizes are class constants and live in
-/// per-class tables on the world, not here — the slab entry stays at
-/// 48 bytes.
+/// One in-flight request (plain data so completion closures stay small).
 #[derive(Debug, Clone, Copy)]
 struct Request {
     seq: u64,
@@ -147,58 +209,10 @@ struct Request {
     node: u16,
     arrival: Time,
     service: Time,
+    req_bytes: u64,
+    resp_bytes: u64,
     /// Newest lease generation on the serving node at arrival.
     generation: u64,
-}
-
-/// Free-list slab pooling in-flight [`Request`] state.
-///
-/// A request lives in the slab from admission until it completes (or is
-/// dropped at backlog overflow); events and backlogs carry its 4-byte
-/// slot index. Freed slots are reused LIFO, so the slab stops growing
-/// once it reaches the peak in-flight population and the steady state
-/// allocates nothing.
-struct RequestSlab {
-    entries: Vec<Request>,
-    free: Vec<u32>,
-}
-
-impl RequestSlab {
-    fn new() -> Self {
-        RequestSlab {
-            entries: Vec::new(),
-            free: Vec::new(),
-        }
-    }
-
-    /// Stores `req`, returning its slot.
-    #[inline]
-    fn insert(&mut self, req: Request) -> u32 {
-        match self.free.pop() {
-            Some(slot) => {
-                self.entries[slot as usize] = req;
-                slot
-            }
-            None => {
-                let slot = u32::try_from(self.entries.len()).expect("request slab overflow");
-                self.entries.push(req);
-                slot
-            }
-        }
-    }
-
-    /// Shared access to the request in `slot`.
-    #[inline]
-    fn get(&self, slot: u32) -> &Request {
-        &self.entries[slot as usize]
-    }
-
-    /// Removes and returns the request in `slot`, freeing it for reuse.
-    #[inline]
-    fn take(&mut self, slot: u32) -> Request {
-        self.free.push(slot);
-        self.entries[slot as usize]
-    }
 }
 
 /// Per-node server state.
@@ -207,8 +221,8 @@ struct Server {
     qp: QueuePair,
     /// Busy-until time of each service slot.
     slots: Vec<Time>,
-    /// Slab slots of requests waiting for a QPair credit.
-    backlog: VecDeque<u32>,
+    /// Requests waiting for a QPair credit.
+    backlog: VecDeque<Request>,
     /// Measured latency context (mutated mid-run by elastic leases).
     model: NodeModel,
     /// Times a request found no credit and had to wait (or was shed).
@@ -218,17 +232,6 @@ struct Server {
     /// reads (the grow trigger counts busy slots, so attribution must
     /// see in-service work too, not just the backlog).
     inflight_by_class: Vec<u32>,
-    /// Precomputed gateway→node QPair message latency per tenant class
-    /// (request payload sizes are class constants, and the latency model
-    /// is state-free — hoisting it off the dispatch path is pure
-    /// savings).
-    msg_lat_by_class: Vec<Time>,
-    /// Each tenant class's service model compiled against this node's
-    /// current [`NodeModel`] ([`RequestProfile::compile`]); recompiled
-    /// whenever a lease event moves the node's remote tier.
-    ///
-    /// [`RequestProfile::compile`]: crate::tenants::RequestProfile::compile
-    service_by_class: Vec<CompiledService>,
 }
 
 /// Per-tenant accumulators.
@@ -252,14 +255,6 @@ impl Stats {
             shed_backpressure: 0,
         }
     }
-
-    /// Books one completion in a single call: latency into the histogram,
-    /// payload bytes into the goodput ledger.
-    #[inline]
-    fn on_complete(&mut self, latency: Time, bytes: u64) {
-        self.hist.record(latency);
-        self.bytes += bytes;
-    }
 }
 
 /// Elastic-tier state threaded through lease ticks.
@@ -273,7 +268,7 @@ struct ElasticTier {
     /// never be released before it lands. Revokes may remove from the
     /// middle (the donor demands *its* newest grant, not the
     /// recipient's newest borrow).
-    leases: Vec<Vec<(u64, MemoryLease)>>,
+    leases: Vec<Vec<(u64, venice::MemoryLease)>>,
     /// Per-class quota flags refreshed each lease tick: `true` while the
     /// class's ledger sits at its byte quota, which collapses its
     /// admission share (over-quota tenants shed first).
@@ -333,7 +328,7 @@ fn grow_lease(
     tenant: u32,
     predictive: bool,
     priority: Priority,
-) -> Option<(u64, MemoryLease, Time)> {
+) -> Option<(u64, venice::MemoryLease, Time)> {
     let chunk = manager.config().chunk_bytes;
     match cluster.borrow_memory(NodeId(node), chunk) {
         Ok(lease) => {
@@ -348,122 +343,8 @@ fn grow_lease(
     }
 }
 
-/// One scheduled occurrence in the typed engine: a plain enum value,
-/// scheduled by value and fired through a single `match` — no `Box`, no
-/// vtable on the per-request path. The hot variants (arrivals,
-/// completions, ticks) carry at most a 4-byte slab slot, keeping the
-/// enum at 16 bytes so queue pushes and pops move almost nothing; the
-/// rare lease-flow completions (a few hundred per run, vs millions of
-/// requests) box their fat payloads rather than inflating every event.
-enum EngineEvent {
-    /// Open-loop arrival: issue one request, schedule the next at the
-    /// process's instantaneous rate.
-    Arrival,
-    /// Closed-loop session fires its next request.
-    SessionNext,
-    /// Replay cursor re-drives the next recorded request.
-    ReplayNext,
-    /// A dispatched request finishes service; payload is its
-    /// [`RequestSlab`] slot.
-    Finish(u32),
-    /// Periodic elastic-lease control tick.
-    LeaseTick,
-    /// A mid-run grow's Fig 2 establish flow completes: the borrowed
-    /// chunk becomes visible to routing and the service model.
-    LeaseEstablished(Box<LeaseEstablish>),
-    /// A donor-demanded revoke's modeled teardown flow completes: the
-    /// grant is pulled back through the Monitor–Node path.
-    RevokeTorndown(Box<RevokeTeardown>),
-}
-
-/// Payload of [`EngineEvent::LeaseEstablished`].
-struct LeaseEstablish {
-    /// Recipient node.
-    node: u16,
-    /// Lease generation assigned by the manager at confirm time.
-    generation: u64,
-    /// The established lease.
-    lease: MemoryLease,
-    /// Tenant class that drove the grow (`NO_TAG` = unattributed).
-    class_tag: u32,
-    /// Measured CRMA latency of the new window.
-    lat: Time,
-}
-
-/// Payload of [`EngineEvent::RevokeTorndown`].
-struct RevokeTeardown {
-    /// Pressured donor demanding its memory back.
-    donor: u16,
-    /// Node the chunk is reclaimed from.
-    recipient: u16,
-    /// Generation of the revoked lease.
-    generation: u64,
-    /// The lease being torn down.
-    lease: MemoryLease,
-    /// Priority carried on the revoke decision.
-    priority: Priority,
-}
-
-/// The engine's scheduler flavor: typed events over the world.
-type Sched<'a> = Scheduler<World<'a>, EngineEvent>;
-
-impl<'a> SimEvent<World<'a>> for EngineEvent {
-    fn fire(self, w: &mut World<'a>, s: &mut Sched<'a>) {
-        match self {
-            EngineEvent::Arrival => open_arrival(w, s),
-            EngineEvent::SessionNext => session_arrival(w, s),
-            EngineEvent::ReplayNext => replay_arrival(w, s),
-            EngineEvent::Finish(slot) => finish(w, s, slot),
-            EngineEvent::LeaseTick => lease_tick(w, s),
-            EngineEvent::LeaseEstablished(est) => {
-                let LeaseEstablish {
-                    node,
-                    generation,
-                    lease,
-                    class_tag,
-                    lat,
-                } = *est;
-                let tier = w.elastic.as_mut().expect("elastic run");
-                tier.leases[node as usize].push((generation, lease));
-                if class_tag != NO_TAG {
-                    tier.tags[node as usize] = class_tag;
-                }
-                let model = &mut w.servers[node as usize].model;
-                model.remote_bytes += lease.bytes;
-                model.remote_miss = lat;
-                recompile_service(w, node as usize);
-            }
-            EngineEvent::RevokeTorndown(rev) => {
-                let RevokeTeardown {
-                    donor,
-                    recipient,
-                    generation,
-                    lease,
-                    priority,
-                } = *rev;
-                apply_revoke(
-                    w,
-                    s.now(),
-                    donor,
-                    recipient as usize,
-                    generation,
-                    lease,
-                    priority,
-                );
-            }
-        }
-    }
-}
-
-/// Replay input: a borrowed record stream plus a cursor — the trace is
-/// **not** cloned into the world.
-struct ReplayCursor<'a> {
-    records: &'a [RequestRecord],
-    next: usize,
-}
-
 /// The simulated world threaded through every event.
-struct World<'a> {
+struct World {
     /// Arrival-side randomness: interarrival gaps, tenant classes, users.
     /// Kept separate from `service_rng` so two *open-loop* (Poisson or
     /// bursty) runs with the same seed but different stacks/configs see
@@ -476,32 +357,17 @@ struct World<'a> {
     service_rng: SimRng,
     classes: Vec<TenantClass>,
     weights: Vec<f64>,
-    /// `weights.iter().sum()`, hoisted for the per-arrival class draw.
-    weight_total: f64,
-    zipf: ZipfSampler,
+    zipf: SeedZipf,
     /// One admission controller per node.
     admissions: Vec<AdmissionControl>,
     servers: Vec<Server>,
-    /// Pooled in-flight request state; events carry slots into this.
-    requests: RequestSlab,
+    path: PathModel,
     stats: Vec<Stats>,
-    /// Per-class request payload bytes (class constants, hoisted off the
-    /// per-request path; the slab [`Request`] carries no byte fields).
-    req_bytes_by_class: Vec<u64>,
-    /// Per-class response payload bytes.
-    resp_bytes_by_class: Vec<u64>,
     issued: u64,
     target: u64,
     completed: u64,
-    /// Arrivals processed by lookahead fusion instead of the queue.
-    fused: u64,
     end: Time,
     arrival: ArrivalProcess,
-    /// Precomputed `(off-burst, in-burst)` exponential gap means of the
-    /// open-loop arrival process — the per-arrival division and
-    /// float→[`Time`] conversion hoisted to setup (both halves equal for
-    /// plain Poisson; `None` for closed-loop/replay runs).
-    open_gaps: Option<(Time, Time)>,
     /// Mean think time when the arrival process is closed-loop.
     think: Option<Time>,
     backlog_cap: usize,
@@ -514,10 +380,10 @@ struct World<'a> {
     /// Per-request records when tracing.
     trace: Option<Vec<RequestRecord>>,
     /// Recorded arrivals to re-drive instead of drawing fresh traffic.
-    replay: Option<ReplayCursor<'a>>,
+    replay: Option<VecDeque<RequestRecord>>,
 }
 
-impl World<'_> {
+impl World {
     /// Mutable access to the engine RNG (used to stagger closed-loop
     /// session starts).
     fn rng_mut(&mut self) -> &mut SimRng {
@@ -533,42 +399,18 @@ impl World<'_> {
 /// Open-loop arrival event: issue one request, schedule the next at the
 /// process's instantaneous rate (constant for Poisson, phase-dependent
 /// for bursty traffic).
-fn open_arrival<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
-    let mut now = s.now();
-    loop {
-        issue(w, s, now);
-        if w.issued >= w.target {
-            return;
-        }
-        let (base, burst) = w.open_gaps.expect("open loop has a rate");
-        // Phase selection mirrors ArrivalProcess::rate_at exactly; the
-        // per-phase mean gaps were precomputed from the same rates.
-        let mean = if w.arrival.in_burst(now) { burst } else { base };
-        let gap = exponential(&mut w.rng, mean);
-        let at = now.checked_add(gap).expect("simulated time overflow");
-        // Lookahead fusion: when the next arrival lands strictly before
-        // every pending event it would be the very next pop anyway —
-        // process it in place instead of round-tripping it through the
-        // queue. (Strictly: on a timestamp tie the pending event's older
-        // sequence number wins, so a tied arrival must be enqueued.)
-        // The RNG draw order and all model state transitions are
-        // identical either way; only the queue traffic disappears.
-        match s.next_event_time() {
-            Some(next) if at >= next => {
-                s.schedule_event_at(at, EngineEvent::Arrival);
-                return;
-            }
-            _ => {
-                s.advance_to(at);
-                w.fused += 1;
-                now = at;
-            }
-        }
+fn open_arrival(w: &mut World, s: &mut Scheduler<World>) {
+    let now = s.now();
+    issue(w, s, now);
+    if w.issued < w.target {
+        let rate = w.arrival.rate_at(now).expect("open loop has a rate");
+        let gap = exponential_seed(&mut w.rng, Time::from_secs_f64(1.0 / rate));
+        s.schedule_in(gap, open_arrival);
     }
 }
 
 /// Closed-loop session event: issue the session's next request.
-fn session_arrival<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
+fn session_arrival(w: &mut World, s: &mut Scheduler<World>) {
     if w.issued >= w.target {
         return; // session retires
     }
@@ -577,32 +419,28 @@ fn session_arrival<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
 }
 
 /// Replay arrival event: re-drive the next recorded request.
-fn replay_arrival<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
+fn replay_arrival(w: &mut World, s: &mut Scheduler<World>) {
     let now = s.now();
-    let Some(rec) = w.replay.as_mut().and_then(|cur| {
-        let rec = cur.records.get(cur.next).copied();
-        cur.next += 1;
-        rec
-    }) else {
+    let Some(rec) = w.replay.as_mut().and_then(|q| q.pop_front()) else {
         return;
     };
     issue_with(w, s, now, rec.tenant as usize, rec.user);
     let next = w
         .replay
         .as_ref()
-        .and_then(|cur| cur.records.get(cur.next))
+        .and_then(|q| q.front())
         .map(|r| Time::from_ns(r.at_ns));
     if let Some(at) = next {
-        s.schedule_event_at(at.max(now), EngineEvent::ReplayNext);
+        s.schedule_at(at.max(now), replay_arrival);
     }
 }
 
 /// Schedules the closed-loop session's next request, if any remain.
-fn schedule_next_session<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
+fn schedule_next_session(w: &mut World, s: &mut Scheduler<World>) {
     if let Some(think) = w.think {
         if w.issued < w.target {
-            let gap = exponential(&mut w.rng, think);
-            s.schedule_event_in(gap, EngineEvent::SessionNext);
+            let gap = exponential_seed(&mut w.rng, think);
+            s.schedule_in(gap, session_arrival);
         }
     }
 }
@@ -611,15 +449,15 @@ fn schedule_next_session<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
 /// admission. During a bursty process's burst window, a `crowd_share`
 /// fraction of arrivals comes from the flash-crowd population instead of
 /// the mix's Zipf tail.
-fn issue<'a>(w: &mut World<'a>, s: &mut Sched<'a>, now: Time) {
-    let class = w.rng.weighted_index_with_total(&w.weights, w.weight_total);
+fn issue(w: &mut World, s: &mut Scheduler<World>, now: Time) {
+    let class = weighted_index_seed(&mut w.rng, &w.weights);
     let user = if let ArrivalProcess::Bursty {
         crowd_users,
         crowd_share,
         ..
     } = w.arrival
     {
-        if crowd_users > 0 && w.arrival.in_burst(now) && w.rng.chance(crowd_share) {
+        if crowd_users > 0 && w.arrival.in_burst(now) && chance_seed(&mut w.rng, crowd_share) {
             w.rng.gen_range(0..crowd_users)
         } else {
             w.zipf.sample(&mut w.rng)
@@ -633,7 +471,7 @@ fn issue<'a>(w: &mut World<'a>, s: &mut Sched<'a>, now: Time) {
 /// Routes `user`'s request: home node by population hash, except that a
 /// home node whose remote tier is empty defers to a mesh neighbor already
 /// holding a lease driven by this tenant (locality: follow the memory).
-fn route(w: &World<'_>, class: usize, user: u64) -> usize {
+fn route(w: &World, class: usize, user: u64) -> usize {
     let n = w.servers.len();
     let home = (user % n as u64) as usize;
     let Some(tier) = &w.elastic else {
@@ -652,7 +490,7 @@ fn route(w: &World<'_>, class: usize, user: u64) -> usize {
 }
 
 /// Runs one generated request through per-node admission and dispatch.
-fn issue_with<'a>(w: &mut World<'a>, s: &mut Sched<'a>, now: Time, class: usize, user: u64) {
+fn issue_with(w: &mut World, s: &mut Scheduler<World>, now: Time, class: usize, user: u64) {
     let seq = w.issued;
     w.issued += 1;
     let node = route(w, class, user);
@@ -701,20 +539,23 @@ fn issue_with<'a>(w: &mut World<'a>, s: &mut Sched<'a>, now: Time, class: usize,
         }
         Decision::Admit => {
             w.stats[class].admitted += 1;
-            // The compiled model replays service_time() bit-for-bit
-            // (same rng draws) without re-deriving the node-state
-            // constants per request.
-            let service = w.servers[node].service_by_class[class].sample(&mut w.service_rng);
-            let slot = w.requests.insert(Request {
+            let service = service_time_seed(
+                &w.classes[class].profile,
+                &mut w.service_rng,
+                &w.servers[node].model,
+            );
+            let req = Request {
                 seq,
                 class: class as u32,
                 user,
                 node: node as u16,
                 arrival: now,
                 service,
+                req_bytes: w.classes[class].profile.request_bytes(),
+                resp_bytes: w.classes[class].profile.response_bytes(),
                 generation,
-            });
-            dispatch(w, s, slot);
+            };
+            dispatch(w, s, req);
         }
     }
 }
@@ -722,7 +563,7 @@ fn issue_with<'a>(w: &mut World<'a>, s: &mut Sched<'a>, now: Time, class: usize,
 /// Appends a trace record if tracing is on.
 #[allow(clippy::too_many_arguments)]
 fn record(
-    w: &mut World<'_>,
+    w: &mut World,
     seq: u64,
     at: Time,
     class: usize,
@@ -747,19 +588,19 @@ fn record(
 }
 
 /// Sends an admitted request toward its node, or parks it under
-/// backpressure. `slot` indexes the request slab.
-fn dispatch<'a>(w: &mut World<'a>, s: &mut Sched<'a>, slot: u32) {
+/// backpressure.
+fn dispatch(w: &mut World, s: &mut Scheduler<World>, req: Request) {
     let now = s.now();
-    let req = *w.requests.get(slot);
     let node = req.node as usize;
-    // One bounds-checked server borrow for the whole hot path (the
-    // other touched fields are disjoint, so the borrows coexist).
-    let srv = &mut w.servers[node];
-    match srv.qp.post_send(w.req_bytes_by_class[req.class as usize]) {
+    match w.servers[node].qp.post_send(req.req_bytes) {
         Ok(()) => {
-            let deliver = now + srv.msg_lat_by_class[req.class as usize];
-            let best_slot = {
-                let slots = &srv.slots;
+            let lat = w.servers[node]
+                .qp
+                .message_latency(&w.path, req.req_bytes)
+                .expect("request payloads are bounded");
+            let deliver = now + lat;
+            let slot = {
+                let slots = &w.servers[node].slots;
                 let mut best = 0;
                 for (i, &t) in slots.iter().enumerate() {
                     if t < slots[best] {
@@ -768,20 +609,19 @@ fn dispatch<'a>(w: &mut World<'a>, s: &mut Sched<'a>, slot: u32) {
                 }
                 best
             };
-            let start = deliver.max(srv.slots[best_slot]);
+            let start = deliver.max(w.servers[node].slots[slot]);
             let comp = start + req.service;
-            srv.slots[best_slot] = comp;
-            srv.inflight_by_class[req.class as usize] += 1;
-            s.schedule_event_at(comp, EngineEvent::Finish(slot));
+            w.servers[node].slots[slot] = comp;
+            w.servers[node].inflight_by_class[req.class as usize] += 1;
+            s.schedule_at(comp, move |w: &mut World, s| finish(w, s, req));
         }
         Err(QpairError::NoCredit) | Err(QpairError::QueueFull) => {
-            srv.credit_waits += 1;
-            if srv.backlog.len() < w.backlog_cap {
-                srv.backlog.push_back(slot);
+            w.servers[node].credit_waits += 1;
+            if w.servers[node].backlog.len() < w.backlog_cap {
+                w.servers[node].backlog.push_back(req);
             } else {
                 // The node is saturated beyond its backlog: drop the
                 // request and free its in-flight slot.
-                let req = w.requests.take(slot);
                 w.stats[req.class as usize].shed_backpressure += 1;
                 w.admissions[node].on_completion();
                 record(
@@ -804,37 +644,33 @@ fn dispatch<'a>(w: &mut World<'a>, s: &mut Sched<'a>, slot: u32) {
 
 /// Completion event: account the request, return the credit, and drain
 /// the node's backlog.
-fn finish<'a>(w: &mut World<'a>, s: &mut Sched<'a>, slot: u32) {
-    let req = w.requests.take(slot);
+fn finish(w: &mut World, s: &mut Scheduler<World>, req: Request) {
     let now = s.now();
     let latency = now - req.arrival;
-    let class = req.class as usize;
-    w.stats[class].on_complete(
-        latency,
-        w.req_bytes_by_class[class] + w.resp_bytes_by_class[class],
-    );
+    let st = &mut w.stats[req.class as usize];
+    st.hist.record(latency);
+    st.bytes += req.req_bytes + req.resp_bytes;
     w.completed += 1;
     if now > w.end {
         w.end = now;
     }
     let node = req.node as usize;
     w.admissions[node].on_completion();
-    w.servers[node].inflight_by_class[class] -= 1;
+    w.servers[node].inflight_by_class[req.class as usize] -= 1;
     record(
         w,
         req.seq,
         req.arrival,
-        class,
+        req.class as usize,
         req.user,
         node,
         RequestOutcome::Completed,
         latency,
         req.generation,
     );
-    let srv = &mut w.servers[node];
-    srv.qp.drain_one();
-    srv.qp.credit_update(1);
-    if let Some(next) = srv.backlog.pop_front() {
+    w.servers[node].qp.drain_one();
+    w.servers[node].qp.credit_update(1);
+    if let Some(next) = w.servers[node].backlog.pop_front() {
         dispatch(w, s, next);
     }
     schedule_next_session(w, s);
@@ -845,40 +681,18 @@ fn finish<'a>(w: &mut World<'a>, s: &mut Sched<'a>, slot: u32) {
 /// tenant driving it. Must mirror the grow trigger's demand signal —
 /// backlog plus busy slots — or grows fired by pure in-service pressure
 /// would have no class to attribute to.
-///
-/// The argmax is computed in place — per class, in-flight count plus a
-/// scan of the (bounded) backlog — instead of cloning
-/// `inflight_by_class` into a scratch `Vec` every lease tick.
-fn dominant_class(w: &World<'_>, node: usize) -> Option<usize> {
-    let srv = &w.servers[node];
-    let mut best: Option<(usize, u32)> = None;
-    for (class, &inflight) in srv.inflight_by_class.iter().enumerate() {
-        let queued = srv
-            .backlog
-            .iter()
-            .filter(|&&slot| w.requests.get(slot).class as usize == class)
-            .count() as u32;
-        let count = inflight + queued;
-        if count > 0 && best.map(|(_, b)| count > b).unwrap_or(true) {
-            best = Some((class, count));
+fn dominant_class(w: &World, node: usize) -> Option<usize> {
+    let mut counts = w.servers[node].inflight_by_class.clone();
+    for r in &w.servers[node].backlog {
+        counts[r.class as usize] += 1;
+    }
+    let mut best: Option<usize> = None;
+    for (i, &c) in counts.iter().enumerate() {
+        if c > 0 && best.map(|b| c > counts[b]).unwrap_or(true) {
+            best = Some(i);
         }
     }
-    best.map(|(class, _)| class)
-}
-
-/// Recompiles every tenant class's service model against `node`'s
-/// current [`NodeModel`]. Called from the three places a node's remote
-/// tier moves (establish lands, shrink, revoke lands) — rare events, so
-/// the per-request path never re-derives model constants.
-fn recompile_service(w: &mut World<'_>, node: usize) {
-    let model = w.servers[node].model;
-    for (class, slot) in w
-        .classes
-        .iter()
-        .zip(w.servers[node].service_by_class.iter_mut())
-    {
-        *slot = class.profile.compile(&model);
-    }
+    best
 }
 
 /// Applies a donor-demanded revoke once its modeled teardown flow
@@ -889,12 +703,12 @@ fn recompile_service(w: &mut World<'_>, node: usize) {
 /// unmap lands, not when the donor asks.
 #[allow(clippy::too_many_arguments)]
 fn apply_revoke(
-    w: &mut World<'_>,
+    w: &mut World,
     now: Time,
     donor: u16,
     recipient: usize,
     generation: u64,
-    lease: MemoryLease,
+    lease: venice::MemoryLease,
     priority: Priority,
 ) {
     w.cluster
@@ -905,13 +719,12 @@ fn apply_revoke(
         .confirm_revoke(now, donor, recipient as u16, generation, priority);
     let model = &mut w.servers[recipient].model;
     model.remote_bytes = model.remote_bytes.saturating_sub(lease.bytes);
-    recompile_service(w, recipient);
 }
 
 /// Periodic elastic-lease control tick: sample per-node queue depth and
 /// donor pressure, let the manager decide, and apply
 /// grows/shrinks/revokes against the live cluster.
-fn lease_tick<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
+fn lease_tick(w: &mut World, s: &mut Scheduler<World>) {
     // A tick scheduled while the last requests were in flight can fire
     // after the final completion; acting there would put lease events
     // past the report's duration (skewing the time-weighted mean), so a
@@ -968,16 +781,17 @@ fn lease_tick<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
                     // capacity must not serve requests before the flow
                     // completes, or the elastic-vs-static comparison
                     // would credit elastic with instant provisioning.
-                    s.schedule_event_in(
-                        lease.setup_time,
-                        EngineEvent::LeaseEstablished(Box::new(LeaseEstablish {
-                            node,
-                            generation,
-                            lease,
-                            class_tag: tenant,
-                            lat,
-                        })),
-                    );
+                    let class_tag = (tenant != NO_TAG).then_some(tenant);
+                    s.schedule_in(lease.setup_time, move |w: &mut World, _| {
+                        let tier = w.elastic.as_mut().expect("elastic run");
+                        tier.leases[node as usize].push((generation, lease));
+                        if let Some(c) = class_tag {
+                            tier.tags[node as usize] = c;
+                        }
+                        let model = &mut w.servers[node as usize].model;
+                        model.remote_bytes += lease.bytes;
+                        model.remote_miss = lat;
+                    });
                 }
             }
             LeaseAction::Shrink { node } => {
@@ -1000,7 +814,6 @@ fn lease_tick<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
                     tier.manager.confirm_shrink(now, node, generation, priority);
                     let model = &mut w.servers[node as usize].model;
                     model.remote_bytes = model.remote_bytes.saturating_sub(lease.bytes);
-                    recompile_service(w, node as usize);
                 }
                 // When nothing is visible (the node's only chunks are
                 // still establishing) the decision is surrendered: the
@@ -1027,16 +840,9 @@ fn lease_tick<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
                 let (_, lease) = tier.leases[recipient].remove(idx);
                 let teardown = w.cluster.flow.teardown(lease.bytes);
                 let priority = signals[donor as usize].priority;
-                s.schedule_event_in(
-                    teardown,
-                    EngineEvent::RevokeTorndown(Box::new(RevokeTeardown {
-                        donor,
-                        recipient: recipient as u16,
-                        generation,
-                        lease,
-                        priority,
-                    })),
-                );
+                s.schedule_in(teardown, move |w: &mut World, s| {
+                    apply_revoke(w, s.now(), donor, recipient, generation, lease, priority);
+                });
             }
         }
     }
@@ -1057,7 +863,7 @@ fn lease_tick<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
             .manager
             .config()
             .tick_interval;
-        s.schedule_event_in(interval, EngineEvent::LeaseTick);
+        s.schedule_in(interval, lease_tick);
     }
 }
 
@@ -1070,18 +876,6 @@ fn lease_tick<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
 /// hot-plug support).
 pub fn run(config: &LoadgenConfig) -> LoadReport {
     run_core(config, None, false).0
-}
-
-/// Runs one experiment and additionally returns the kernel-level
-/// [`EngineMetrics`] (events executed, peak event-queue depth) the
-/// `throughput` bench reports.
-///
-/// # Panics
-///
-/// As [`run`].
-pub fn run_metered(config: &LoadgenConfig) -> (LoadReport, EngineMetrics) {
-    let (report, _, metrics) = run_full(config, None, false);
-    (report, metrics)
 }
 
 /// Runs one experiment and captures the per-request [`Trace`].
@@ -1097,8 +891,7 @@ pub fn run_traced(config: &LoadgenConfig) -> (LoadReport, Trace) {
 /// Re-drives a recorded trace through the engine: arrival instants,
 /// tenant classes, and users come from `trace`; admission, routing,
 /// service, and (if configured) elastic leasing run live under `config`.
-/// `config.arrival` and `config.requests` are ignored. The trace is
-/// borrowed for the duration of the run, not cloned.
+/// `config.arrival` and `config.requests` are ignored.
 ///
 /// # Panics
 ///
@@ -1113,23 +906,14 @@ pub fn replay(config: &LoadgenConfig, trace: &Trace) -> LoadReport {
             bad.seq, bad.tenant, config.mix.name, classes
         );
     }
-    run_core(config, Some(trace), false).0
+    run_core(config, Some(trace.clone()), false).0
 }
 
 fn run_core(
     config: &LoadgenConfig,
-    replay_trace: Option<&Trace>,
+    replay_trace: Option<Trace>,
     capture: bool,
 ) -> (LoadReport, Option<Trace>) {
-    let (report, trace, _) = run_full(config, replay_trace, capture);
-    (report, trace)
-}
-
-fn run_full(
-    config: &LoadgenConfig,
-    replay_trace: Option<&Trace>,
-    capture: bool,
-) -> (LoadReport, Option<Trace>, EngineMetrics) {
     assert!(config.requests > 0, "need at least one request");
     assert!(config.per_node_concurrency > 0, "need at least one slot");
     config.arrival.validate();
@@ -1156,31 +940,16 @@ fn run_full(
 
     // 2. Build the per-node transport and measure each stack's per-miss
     //    latency ingredients (a 64 B QPair message for the soNUMA-style
-    //    stack; CRMA reads are measured at borrow time). The per-class
-    //    request-message latency is precomputed here once — payload sizes
-    //    are class constants and the latency model is state-free, so the
-    //    dispatch path just indexes it.
+    //    stack; CRMA reads are measured at borrow time).
     let gateway = NodeId(0);
     let path = cluster.path.clone();
     let mut qpair_lat = Vec::with_capacity(n);
     let mut qps = Vec::with_capacity(n);
-    let mut msg_lat = Vec::with_capacity(n);
     for i in 0..n as u16 {
         let mut qp = QueuePair::new(gateway, NodeId(i), QpairConfig::on_chip());
         qpair_lat.push(
             qp.message_latency(&path, 64)
                 .expect("64 B control message fits any qpair"),
-        );
-        msg_lat.push(
-            config
-                .mix
-                .classes
-                .iter()
-                .map(|class| {
-                    qp.message_latency(&path, class.profile.request_bytes())
-                        .expect("request payloads are bounded")
-                })
-                .collect::<Vec<Time>>(),
         );
         qps.push(qp);
     }
@@ -1297,21 +1066,13 @@ fn run_full(
     let servers: Vec<Server> = qps
         .into_iter()
         .zip(&models)
-        .zip(msg_lat)
-        .map(|((qp, &model), msg_lat_by_class)| Server {
+        .map(|(qp, &model)| Server {
             qp,
             slots: vec![Time::ZERO; config.per_node_concurrency as usize],
             backlog: VecDeque::new(),
             model,
             credit_waits: 0,
             inflight_by_class: vec![0; config.mix.classes.len()],
-            msg_lat_by_class,
-            service_by_class: config
-                .mix
-                .classes
-                .iter()
-                .map(|class| class.profile.compile(&model))
-                .collect(),
         })
         .collect();
     let mut rng = SimRng::seed(config.seed);
@@ -1324,93 +1085,53 @@ fn run_full(
         _ => None,
     };
     let target = replay_trace
+        .as_ref()
         .map(|t| t.len() as u64)
         .unwrap_or(config.requests);
-    // Per-phase mean gaps, computed once with the exact expression the
-    // per-arrival path used to evaluate (`1/rate` through
-    // `Time::from_secs_f64`), so the hoisted values are bit-identical.
-    let open_gaps = match config.arrival {
-        ArrivalProcess::OpenPoisson { rate_rps } => {
-            let gap = Time::from_secs_f64(1.0 / rate_rps);
-            Some((gap, gap))
-        }
-        ArrivalProcess::Bursty {
-            base_rps,
-            burst_rps,
-            ..
-        } => Some((
-            Time::from_secs_f64(1.0 / base_rps),
-            Time::from_secs_f64(1.0 / burst_rps),
-        )),
-        ArrivalProcess::ClosedLoop { .. } => None,
-    };
     let world = World {
         rng: engine_rng,
         service_rng,
         classes: config.mix.classes.clone(),
-        weight_total: config.mix.weights().iter().sum(),
         weights: config.mix.weights(),
-        zipf: config.mix.user_sampler(),
+        zipf: SeedZipf::new(config.mix.users, config.mix.skew),
         admissions: (0..n)
             .map(|_| AdmissionControl::per_node(config.admission, n as u32))
             .collect(),
         servers,
-        requests: RequestSlab::new(),
-        req_bytes_by_class: config
-            .mix
-            .classes
-            .iter()
-            .map(|c| c.profile.request_bytes())
-            .collect(),
-        resp_bytes_by_class: config
-            .mix
-            .classes
-            .iter()
-            .map(|c| c.profile.response_bytes())
-            .collect(),
+        path,
         stats: (0..config.mix.classes.len())
             .map(|_| Stats::new())
             .collect(),
         issued: 0,
         target,
         completed: 0,
-        fused: 0,
         end: Time::ZERO,
         arrival: config.arrival,
-        open_gaps,
         think,
         backlog_cap: config.admission.backlog_per_node,
         cluster,
         neighbors,
         elastic,
         trace: capture.then(Vec::new),
-        replay: replay_trace.map(|t| ReplayCursor {
-            records: &t.records,
-            next: 0,
-        }),
+        replay: replay_trace.map(|t| t.records.into()),
     };
 
     // 5. Seed the event queue and run to completion.
-    let mut kernel: Kernel<World<'_>, EngineEvent> =
-        Kernel::new(world).with_event_limit(target.saturating_mul(8) + 500_000);
+    let mut kernel = Kernel::new(world).with_event_limit(target.saturating_mul(8) + 500_000);
     if kernel.state().replay.is_some() {
-        let first = kernel
-            .state()
-            .replay
-            .as_ref()
-            .and_then(|cur| cur.records.first());
+        let first = kernel.state().replay.as_ref().and_then(|q| q.front());
         let at = first.map(|r| Time::from_ns(r.at_ns)).unwrap_or(Time::ZERO);
-        kernel.schedule_event(at, EngineEvent::ReplayNext);
+        kernel.schedule(at, replay_arrival);
     } else {
         match config.arrival {
             ArrivalProcess::OpenPoisson { .. } | ArrivalProcess::Bursty { .. } => {
-                kernel.schedule_event(Time::ZERO, EngineEvent::Arrival);
+                kernel.schedule(Time::ZERO, open_arrival);
             }
             ArrivalProcess::ClosedLoop { sessions, think } => {
                 assert!(sessions > 0, "closed loop needs at least one session");
                 for _ in 0..sessions {
-                    let start = exponential(kernel.state_mut().rng_mut(), think);
-                    kernel.schedule_event(start, EngineEvent::SessionNext);
+                    let start = exponential_seed(kernel.state_mut().rng_mut(), think);
+                    kernel.schedule(start, session_arrival);
                 }
             }
         }
@@ -1424,14 +1145,9 @@ fn run_full(
             .manager
             .config()
             .tick_interval;
-        kernel.schedule_event(interval, EngineEvent::LeaseTick);
+        kernel.schedule(interval, lease_tick);
     }
     kernel.run();
-    let metrics = EngineMetrics {
-        events: kernel.executed() + kernel.state().fused,
-        fused_arrivals: kernel.state().fused,
-        peak_queue_depth: kernel.peak_pending(),
-    };
 
     // 6. Summarize.
     let w = kernel.into_state();
@@ -1537,13 +1253,14 @@ fn run_full(
         total,
         tenants,
     };
-    (report, trace, metrics)
+    (report, trace)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::tenants::TenantMix;
+    use venice_lease::LeaseConfig;
 
     fn small(seed: u64) -> LoadgenConfig {
         LoadgenConfig {
@@ -1552,25 +1269,22 @@ mod tests {
         }
     }
 
+    // The full behavioral suite lives on the typed engine in
+    // `crate::engine`; these smoke tests only guard the oracle itself —
+    // if the frozen baseline stops conserving requests or replaying
+    // deterministically, every differential result is meaningless.
+
     #[test]
-    fn runs_complete_and_conserve_requests() {
+    fn legacy_runs_complete_and_conserve_requests() {
         let r = run(&small(1));
         assert_eq!(r.issued, 3_000);
         assert_eq!(r.issued, r.admitted + r.shed_rate + r.shed_overload);
-        // Every admitted request either completed or was dropped under
-        // backpressure.
         assert_eq!(r.admitted, r.completed + r.shed_backpressure);
         assert!(r.completed > 0);
-        assert!(r.duration > Time::ZERO);
-        assert_eq!(r.nodes, 8);
-        assert_eq!(r.remote_leases + r.borrow_failures, 8);
-        // Static provisioning: the tier never moves.
-        assert_eq!(r.lease.shrinks, 0);
-        assert_eq!(r.lease.peak_bytes, r.remote_leases * (256 << 20));
     }
 
     #[test]
-    fn identical_seeds_replay_identically() {
+    fn legacy_identical_seeds_replay_identically() {
         let a = run(&small(42));
         let b = run(&small(42));
         assert_eq!(a, b);
@@ -1579,132 +1293,7 @@ mod tests {
     }
 
     #[test]
-    fn per_tenant_rows_cover_all_completions() {
-        let r = run(&small(7));
-        let sum: u64 = r.tenants.iter().map(|t| t.completed).sum();
-        assert_eq!(sum, r.completed);
-        for t in &r.tenants {
-            if t.completed > 0 {
-                assert!(t.p50_us > 0.0);
-                assert!(t.p50_us <= t.p99_us + 1e-9);
-                assert!(t.p99_us <= t.p999_us + 1e-9);
-            }
-        }
-    }
-
-    #[test]
-    fn closed_loop_self_limits() {
-        let config = LoadgenConfig {
-            arrival: ArrivalProcess::ClosedLoop {
-                sessions: 64,
-                think: Time::from_ms(1),
-            },
-            requests: 2_000,
-            ..LoadgenConfig::new(5, TenantMix::messaging())
-        };
-        let r = run(&config);
-        assert_eq!(r.issued, 2_000);
-        // A 64-session closed loop cannot overload the per-node caps.
-        assert_eq!(r.shed_overload, 0);
-        assert_eq!(r.completed, r.admitted);
-    }
-
-    #[test]
-    fn overload_sheds_and_backpressure_engages() {
-        let config = LoadgenConfig {
-            arrival: ArrivalProcess::OpenPoisson {
-                rate_rps: 2_000_000.0,
-            },
-            requests: 20_000,
-            admission: AdmissionConfig {
-                max_inflight: 256,
-                backlog_per_node: 16,
-                ..AdmissionConfig::default()
-            },
-            ..LoadgenConfig::new(11, TenantMix::web_frontend())
-        };
-        let r = run(&config);
-        assert!(r.shed_overload > 0, "no overload shedding at 2 Mrps");
-        assert!(r.credit_waits > 0, "qpair credits never exhausted");
-    }
-
-    #[test]
-    fn priority_shedding_spares_high_priority_tenants() {
-        // Saturate the cluster: the low-priority telemetry tenant must
-        // shed a larger *fraction* than the high-priority kv tenant.
-        let config = LoadgenConfig {
-            arrival: ArrivalProcess::OpenPoisson {
-                rate_rps: 2_000_000.0,
-            },
-            requests: 30_000,
-            admission: AdmissionConfig {
-                max_inflight: 128,
-                backlog_per_node: 16,
-                ..AdmissionConfig::default()
-            },
-            ..LoadgenConfig::new(17, TenantMix::web_frontend())
-        };
-        let r = run(&config);
-        let frac = |name: &str| {
-            let t = r.tenants.iter().find(|t| t.tenant == name).unwrap();
-            t.shed as f64 / (t.completed + t.shed).max(1) as f64
-        };
-        let low = frac("telemetry"); // Priority::Low
-        let high = frac("kv-cache"); // Priority::High
-        assert!(
-            low > high + 0.05,
-            "low-priority shed fraction {low:.3} not above high-priority {high:.3}"
-        );
-    }
-
-    #[test]
-    fn remote_tier_disabled_falls_back_to_local() {
-        let config = LoadgenConfig {
-            remote_memory_per_node: 0,
-            requests: 2_000,
-            ..LoadgenConfig::new(3, TenantMix::web_frontend())
-        };
-        let r = run(&config);
-        assert_eq!(r.remote_leases, 0);
-        // Cold caches miss to the slow backend: the tail is much worse
-        // than with the borrowed tier.
-        let with_remote = run(&small(3));
-        assert!(r.total.p99_us > with_remote.total.p99_us);
-    }
-
-    #[test]
-    fn baseline_stacks_run_identical_traffic_slower() {
-        let venice = run(&small(21));
-        let eth = run(&LoadgenConfig {
-            stack: RemoteStack::SwapEthernet,
-            ..small(21)
-        });
-        // Identical traffic: the arrival rng is insulated from admission
-        // divergence, so the per-tenant arrival split matches exactly.
-        // (completed + shed counts every arrival exactly once; admitted
-        // also includes requests later dropped at backlog overflow.)
-        assert_eq!(venice.issued, eth.issued);
-        for (v, e) in venice.tenants.iter().zip(&eth.tenants) {
-            assert_eq!(
-                v.completed + v.shed,
-                e.completed + e.shed,
-                "tenant {}",
-                v.tenant
-            );
-        }
-        assert_eq!(eth.remote_leases, 0, "baselines bypass the Monitor Node");
-        // The commodity stack pays far more per remote miss; the mean
-        // can only degrade.
-        assert!(
-            eth.total.mean_us > venice.total.mean_us,
-            "ethernet swap {} not above venice {}",
-            eth.total.mean_us,
-            venice.total.mean_us
-        );
-    }
-
-    #[test]
-    fn elastic_lease_grows_under_pressure_and_replays_bit_identically() {
+    fn legacy_elastic_run_is_deterministic() {
         let config = LoadgenConfig {
             arrival: ArrivalProcess::Bursty {
                 base_rps: 4_000.0,
@@ -1719,164 +1308,7 @@ mod tests {
             ..LoadgenConfig::new(9, TenantMix::web_frontend())
         };
         let r = run(&config);
-        assert!(
-            r.lease.grows > 8,
-            "elastic tier never grew past bootstrap: {} grows",
-            r.lease.grows
-        );
-        assert!(!r.lease.events.is_empty());
-        assert!(r.lease.peak_bytes > 8 * (64 << 20), "no mid-run growth");
-        assert_eq!(r, run(&config), "elastic run not deterministic");
-    }
-
-    #[test]
-    #[should_panic(expected = "names tenant")]
-    fn replay_rejects_traces_from_a_foreign_mix() {
-        // web-frontend has 3 classes; a trace naming class 2 cannot be
-        // replayed through the 2-class messaging mix.
-        let (_, trace) = run_traced(&small(3));
-        assert!(trace.records.iter().any(|r| r.tenant == 2));
-        let config = LoadgenConfig {
-            requests: 3_000,
-            ..LoadgenConfig::new(3, TenantMix::messaging())
-        };
-        replay(&config, &trace);
-    }
-
-    #[test]
-    fn closed_loop_replay_does_not_spawn_sessions() {
-        // config.arrival is documented as ignored during replay: the
-        // trace supplies every arrival, so a closed-loop config must not
-        // add synthetic session traffic on top.
-        let config = LoadgenConfig {
-            arrival: ArrivalProcess::ClosedLoop {
-                sessions: 16,
-                think: Time::from_ms(1),
-            },
-            requests: 500,
-            ..LoadgenConfig::new(5, TenantMix::messaging())
-        };
-        let (report, trace) = run_traced(&config);
-        let replayed = replay(&config, &trace);
-        assert_eq!(replayed.issued, report.issued);
-        assert_eq!(replayed.issued, trace.len() as u64);
-    }
-
-    #[test]
-    fn locality_routing_follows_the_tenants_lease() {
-        // A zero-floor lease policy leaves cold nodes without any remote
-        // tier; their users' requests must defer to a mesh neighbor
-        // already holding a lease driven by the same tenant.
-        let config = LoadgenConfig {
-            arrival: ArrivalProcess::Bursty {
-                base_rps: 3_000.0,
-                burst_rps: 120_000.0,
-                period: Time::from_ms(400),
-                burst_len: Time::from_ms(200),
-                crowd_users: 4,
-                crowd_share: 0.9,
-            },
-            requests: 10_000,
-            lease: Some(LeaseConfig {
-                min_chunks: 0,
-                max_chunks: 6,
-                high_watermark: 4,
-                ..LeaseConfig::default()
-            }),
-            ..LoadgenConfig::new(31, TenantMix::web_frontend())
-        };
-        let (report, trace) = run_traced(&config);
-        assert!(report.lease.grows > 0, "tier never grew");
-        let n = report.nodes as u64;
-        let rerouted = trace
-            .records
-            .iter()
-            .filter(|r| r.node as u64 != r.user % n)
-            .count();
-        assert!(rerouted > 0, "locality routing never engaged");
-        // Rerouted requests land on nodes that actually hold a lease.
-        assert!(
-            trace
-                .records
-                .iter()
-                .filter(|r| r.node as u64 != r.user % n)
-                .all(|r| r.lease_generation > 0),
-            "rerouted request landed on a lease-less node"
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "hot-plug")]
-    fn elastic_on_a_swap_stack_is_rejected() {
-        let config = LoadgenConfig {
-            stack: RemoteStack::SwapInfiniband,
-            lease: Some(LeaseConfig::default()),
-            ..small(1)
-        };
-        run(&config);
-    }
-
-    #[test]
-    fn traced_runs_capture_every_request_and_replay() {
-        let config = small(33);
-        let (report, trace) = run_traced(&config);
-        assert_eq!(trace.len() as u64, report.issued);
-        // Records are in issue order with non-decreasing arrival times.
-        assert!(trace
-            .records
-            .windows(2)
-            .all(|w| w[0].seq + 1 == w[1].seq && w[0].at_ns <= w[1].at_ns));
-        let completed = trace
-            .records
-            .iter()
-            .filter(|r| r.outcome == RequestOutcome::Completed)
-            .count() as u64;
-        assert_eq!(completed, report.completed);
-        // Replay re-drives the same arrivals: same issue count, same
-        // per-tenant arrival split, and bit-identical across replays.
-        let a = replay(&config, &trace);
-        assert_eq!(a.issued, report.issued);
-        let b = replay(&config, &trace);
-        assert_eq!(a, b);
-        // The replayed per-tenant issue counts match the recorded ones.
-        for (i, t) in a.tenants.iter().enumerate() {
-            let recorded = trace
-                .records
-                .iter()
-                .filter(|r| r.tenant == i as u32)
-                .count() as u64;
-            // completed + shed counts every arrival exactly once
-            // (admitted also includes backlog-overflow drops).
-            assert_eq!(t.completed + t.shed, recorded, "tenant {}", t.tenant);
-        }
-    }
-
-    #[test]
-    fn metered_runs_report_loop_counters_without_changing_the_report() {
-        let config = small(13);
-        let (report, metrics) = run_metered(&config);
-        assert_eq!(report, run(&config), "metering changed the run");
-        // At least one event per issued request (arrivals), plus
-        // completions.
-        assert!(metrics.events > report.issued);
-        assert!(metrics.peak_queue_depth > 0);
-    }
-
-    #[test]
-    fn typed_engine_matches_the_legacy_oracle_bit_for_bit() {
-        // The headline differential check at unit-test granularity (the
-        // property test sweeps arbitrary configs; CI byte-diffs the
-        // bench bin): same seed, same config → identical report AND
-        // identical trace through both event cores.
-        let config = small(77);
-        let (typed_report, typed_trace) = run_traced(&config);
-        let (legacy_report, legacy_trace) = crate::legacy::run_traced(&config);
-        assert_eq!(typed_report, legacy_report);
-        assert_eq!(typed_trace, legacy_trace);
-        // And replay agrees on the borrowed-trace path too.
-        assert_eq!(
-            replay(&config, &typed_trace),
-            crate::legacy::replay(&config, &legacy_trace)
-        );
+        assert!(r.lease.grows > 8, "elastic tier never grew past bootstrap");
+        assert_eq!(r, run(&config), "legacy elastic run not deterministic");
     }
 }

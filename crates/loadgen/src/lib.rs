@@ -60,6 +60,7 @@ pub mod arrival;
 pub mod elastic;
 pub mod elastic_v2;
 pub mod engine;
+pub mod legacy;
 pub mod report;
 pub mod scenarios;
 pub mod stacks;
@@ -69,7 +70,7 @@ pub mod trace;
 
 pub use admission::AdmissionConfig;
 pub use arrival::ArrivalProcess;
-pub use engine::LoadgenConfig;
+pub use engine::{EngineMetrics, LoadgenConfig};
 pub use report::{LeaseSummary, LoadReport, TenantReport};
 pub use stacks::RemoteStack;
 pub use sweep::{SweepPoint, SweepSpec};

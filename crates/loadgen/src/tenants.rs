@@ -177,6 +177,110 @@ impl RequestProfile {
         // without changing means materially.
         base.scale(0.9 + 0.2 * rng.unit())
     }
+
+    /// Compiles this profile against a fixed [`NodeModel`] into a
+    /// [`CompiledService`] whose [`sample`](CompiledService::sample) is
+    /// **bit-identical** to [`service_time`](Self::service_time) — same
+    /// RNG draw sequence, same float expressions, hoisted once instead
+    /// of re-derived per request.
+    ///
+    /// The node model only changes on lease events (grow/shrink/revoke
+    /// land), so the typed engine compiles per (node, class) at setup
+    /// and recompiles the affected node when its tier moves; the
+    /// per-request path collapses to at most one Bernoulli draw plus the
+    /// jitter draw. The equivalence is pinned by a property test and by
+    /// the engine-level typed-vs-legacy differential gates.
+    pub fn compile(&self, node: &NodeModel) -> CompiledService {
+        match self {
+            RequestProfile::Kv {
+                cache,
+                capacity_bytes,
+            } => {
+                let memory = if node.has_remote() {
+                    CacheMemory::RemoteCrma(node.remote_miss)
+                } else {
+                    CacheMemory::Local
+                };
+                let capacity = (cache.local_floor_bytes + node.remote_bytes).min(*capacity_bytes);
+                CompiledService::Coin {
+                    miss_rate: cache.miss_rate(capacity),
+                    miss: cache.backend_cost,
+                    hit: cache.hit_time(capacity, memory),
+                }
+            }
+            RequestProfile::Oltp {
+                workload,
+                remote_fraction,
+            } => {
+                let f = *remote_fraction * node.fill();
+                CompiledService::Fixed(
+                    workload
+                        .profile()
+                        .op_time_split(f, node.remote_miss, node.local_miss)
+                        * OltpWorkload::QUERIES_PER_TXN,
+                )
+            }
+            RequestProfile::PageRank {
+                kernel,
+                edges_per_request,
+                footprint_bytes,
+                remote_fraction,
+            } => {
+                let f = *remote_fraction * node.fill();
+                CompiledService::Fixed(
+                    kernel
+                        .profile(*footprint_bytes)
+                        .op_time_split(f, node.remote_miss, node.local_miss)
+                        .scale(*edges_per_request as f64),
+                )
+            }
+            RequestProfile::Iperf { server_cpu, .. } => CompiledService::Fixed(*server_cpu),
+        }
+    }
+}
+
+/// A [`RequestProfile`] pre-evaluated against one [`NodeModel`]: the
+/// node-state-dependent constants of the service-time model, hoisted off
+/// the per-request path. Produced by [`RequestProfile::compile`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompiledService {
+    /// Deterministic base cost (OLTP, PageRank, iperf) — only the jitter
+    /// draw remains per request.
+    Fixed(Time),
+    /// KV cache: one Bernoulli miss draw selects between two
+    /// precomputed costs.
+    Coin {
+        /// Miss probability at the node's current cache capacity.
+        miss_rate: f64,
+        /// Cost of a miss (backend query).
+        miss: Time,
+        /// Cost of a hit at the node's current capacity/memory.
+        hit: Time,
+    },
+}
+
+impl CompiledService {
+    /// Draws one service time; bit-identical to
+    /// [`RequestProfile::service_time`] on the node this was compiled
+    /// against (same draws from `rng`, same arithmetic).
+    #[inline]
+    pub fn sample(&self, rng: &mut SimRng) -> Time {
+        let base = match self {
+            CompiledService::Fixed(t) => *t,
+            CompiledService::Coin {
+                miss_rate,
+                miss,
+                hit,
+            } => {
+                if rng.chance(*miss_rate) {
+                    *miss
+                } else {
+                    *hit
+                }
+            }
+        };
+        base.scale(0.9 + 0.2 * rng.unit())
+    }
 }
 
 /// One tenant class: a named request profile with a traffic weight, a
@@ -468,5 +572,46 @@ mod tests {
     #[should_panic]
     fn empty_mix_rejected() {
         TenantMix::new("x", vec![], 10, 0.5);
+    }
+
+    #[test]
+    fn compiled_service_is_bit_identical_to_interpreted() {
+        // The typed engine's hot path relies on compile()+sample()
+        // replaying service_time() exactly: same rng draw count, same
+        // bits out, across every preset profile and node state.
+        let nodes = [
+            NodeModel::local_only(Time::from_ns(100)),
+            NodeModel {
+                local_miss: Time::from_ns(100),
+                remote_miss: Time::from_us(3),
+                remote_bytes: 256 << 20,
+                full_bytes: 256 << 20,
+            },
+            NodeModel {
+                local_miss: Time::from_ns(100),
+                remote_miss: Time::from_us(7),
+                remote_bytes: 64 << 20,
+                full_bytes: 512 << 20,
+            },
+        ];
+        for mix in TenantMix::presets() {
+            for class in &mix.classes {
+                for node in &nodes {
+                    let compiled = class.profile.compile(node);
+                    let mut a = SimRng::seed(0xC0FFEE);
+                    let mut b = SimRng::seed(0xC0FFEE);
+                    for i in 0..2_000 {
+                        let interp = class.profile.service_time(&mut a, node);
+                        let fast = compiled.sample(&mut b);
+                        assert_eq!(
+                            interp.as_ps(),
+                            fast.as_ps(),
+                            "{} sample {i} diverged",
+                            class.name
+                        );
+                    }
+                }
+            }
+        }
     }
 }

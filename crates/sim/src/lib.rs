@@ -10,6 +10,14 @@
 //! randomness, and the measurement utilities (counters, histograms,
 //! throughput meters, rate limiters) the evaluation harness needs.
 //!
+//! Events come in two flavors sharing one loop: **typed events** — a
+//! plain enum implementing [`SimEvent`], scheduled by value with zero
+//! heap allocation (the hot path; see [`kernel`]) — and the original
+//! **boxed closures**, kept as a thin compatibility layer (the default
+//! `Kernel<S>` below). The pre-rewrite closure core survives unchanged
+//! in [`boxed`] as the measured perf baseline and differential-testing
+//! oracle.
+//!
 //! # Example
 //!
 //! ```
@@ -29,6 +37,7 @@
 //! assert_eq!(kernel.now(), Time::from_us(10));
 //! ```
 
+pub mod boxed;
 pub mod kernel;
 pub mod queue;
 pub mod rate;
@@ -37,7 +46,7 @@ pub mod stats;
 pub mod time;
 pub mod timeline;
 
-pub use kernel::{Kernel, Scheduler};
+pub use kernel::{ClosureEvent, Kernel, Scheduler, SimEvent};
 pub use queue::EventQueue;
 pub use rate::TokenBucket;
 pub use rng::SimRng;

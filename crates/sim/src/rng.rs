@@ -39,6 +39,7 @@ impl SimRng {
     }
 
     /// Next raw 64-bit draw.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         self.0.next_u64()
     }
@@ -53,12 +54,14 @@ impl SimRng {
     }
 
     /// Bernoulli draw with probability `p` (clamped to [0, 1]).
+    #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
         self.0.gen_bool(p)
     }
 
     /// Uniform draw in [0, 1).
+    #[inline]
     pub fn unit(&mut self) -> f64 {
         self.0.gen::<f64>()
     }
@@ -69,8 +72,22 @@ impl SimRng {
     /// # Panics
     ///
     /// Panics if `weights` is empty or sums to zero.
+    #[inline]
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
+        self.weighted_index_with_total(weights, total)
+    }
+
+    /// As [`weighted_index`](Self::weighted_index) with the weights' sum
+    /// precomputed by the caller — bit-identical draws (the sum is the
+    /// same value the per-call path would compute), minus the per-draw
+    /// summation on hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or `total` is not positive.
+    #[inline]
+    pub fn weighted_index_with_total(&mut self, weights: &[f64], total: f64) -> usize {
         assert!(
             !weights.is_empty() && total > 0.0,
             "weights must be non-empty with positive sum"

@@ -82,6 +82,7 @@ impl Histogram {
     }
 
     /// Records one latency sample.
+    #[inline]
     pub fn record(&mut self, sample: Time) {
         let ns = sample.as_ns();
         let idx = if ns == 0 {
@@ -245,6 +246,7 @@ impl LogHistogram {
     }
 
     /// Records one sample.
+    #[inline]
     pub fn record(&mut self, sample: Time) {
         let idx = self.index_of(sample.as_ps());
         self.buckets[idx] += 1;

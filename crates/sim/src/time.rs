@@ -72,6 +72,7 @@ impl Time {
     /// # Panics
     ///
     /// Panics if `s` is negative or not finite.
+    #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
         assert!(s.is_finite() && s >= 0.0, "invalid time in seconds: {s}");
         Time((s * 1e12).round() as u64)
@@ -154,6 +155,7 @@ impl Time {
     /// # Panics
     ///
     /// Panics if `f` is negative or not finite.
+    #[inline]
     pub fn scale(self, f: f64) -> Time {
         assert!(f.is_finite() && f >= 0.0, "invalid scale factor {f}");
         Time((self.0 as f64 * f).round() as u64)

@@ -174,6 +174,7 @@ impl QueuePair {
     ///
     /// [`QpairError::QueueFull`] when the send queue is at depth;
     /// [`QpairError::NoCredit`] when the receiver advertised no buffers.
+    #[inline]
     pub fn post_send(&mut self, bytes: u64) -> Result<(), QpairError> {
         if self.send_queue.len() >= self.config.depth {
             return Err(QpairError::QueueFull);
@@ -188,6 +189,7 @@ impl QueuePair {
     }
 
     /// Hardware drains one queued message (it is now on the wire).
+    #[inline]
     pub fn drain_one(&mut self) -> Option<u64> {
         self.send_queue.pop_front()
     }
@@ -197,6 +199,7 @@ impl QueuePair {
     /// # Panics
     ///
     /// Panics on credit overflow (protocol bug).
+    #[inline]
     pub fn credit_update(&mut self, n: u32) {
         self.credit.grant(n);
     }

@@ -30,6 +30,10 @@ pub struct ZipfSampler {
     zetan: f64,
     eta: f64,
     zeta2: f64,
+    /// `0.5^theta`, hoisted out of [`ZipfSampler::sample`]: the rank-1
+    /// threshold is a constant of the distribution, and `powf` per draw
+    /// was the sampler's single largest cost on the loadgen hot path.
+    half_pow_theta: f64,
 }
 
 fn zeta(n: u64, theta: f64) -> f64 {
@@ -67,6 +71,7 @@ impl ZipfSampler {
             zetan,
             eta,
             zeta2: zeta2.max(0.0),
+            half_pow_theta: 0.5f64.powf(theta),
         }
     }
 
@@ -76,6 +81,7 @@ impl ZipfSampler {
     }
 
     /// Draws an item rank in `[0, n)`; rank 0 is the most popular.
+    #[inline]
     pub fn sample(&self, rng: &mut SimRng) -> u64 {
         let _ = self.zeta2;
         let u = rng.unit();
@@ -83,7 +89,7 @@ impl ZipfSampler {
         if uz < 1.0 {
             return 0;
         }
-        if uz < 1.0 + 0.5f64.powf(self.theta) {
+        if uz < 1.0 + self.half_pow_theta {
             return 1;
         }
         let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
