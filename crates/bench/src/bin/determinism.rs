@@ -21,7 +21,7 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use venice_loadgen::sweep::{self, SweepSpec};
-use venice_loadgen::{elastic, elastic_v2, engine, scenarios, RemoteStack, TenantMix};
+use venice_loadgen::{economy, elastic, elastic_v2, engine, scenarios, RemoteStack, TenantMix};
 
 /// Seed for the gate's runs (distinct from every published figure seed,
 /// so the gate can never mask a figure regression by caching).
@@ -69,6 +69,19 @@ fn main() -> ExitCode {
         writeln!(
             artifact,
             "elastic-v2 {label} {}",
+            serde_json::to_string(report).expect("report serializes")
+        )
+        .unwrap();
+    }
+
+    // 2b. The v3 lease-economy comparison (donor pressure term,
+    //     pressure-aware revokes, sublease market — the new ledger and
+    //     service-model paths under rayon).
+    let reports = economy::comparison_reports_scaled(GATE_SEED, GATE_REQUESTS);
+    for (label, report) in &reports {
+        writeln!(
+            artifact,
+            "economy {label} {}",
             serde_json::to_string(report).expect("report serializes")
         )
         .unwrap();

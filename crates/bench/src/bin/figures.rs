@@ -6,7 +6,8 @@
 //!          fig16a fig16b fig17 fig18 table1 cost validation
 //!          loadgen-p99-8n loadgen-tput-8n loadgen-p99-16n loadgen-tput-16n
 //!          loadgen-elastic-8n loadgen-elastic-timeline-8n
-//!          loadgen-elastic-v2-8n loadgen-donor-pressure-8n]
+//!          loadgen-elastic-v2-8n loadgen-donor-pressure-8n
+//!          loadgen-donor-benefit-8n loadgen-quota-market-8n]
 //! ```
 //!
 //! With no arguments, prints all figures as aligned text tables (measured
@@ -36,7 +37,8 @@ fn main() -> ExitCode {
                  fig18 table1 cost validation\n\
                  loadgen ids: loadgen-p99-8n loadgen-tput-8n loadgen-p99-16n \
                  loadgen-tput-16n loadgen-elastic-8n loadgen-elastic-timeline-8n \
-                 loadgen-elastic-v2-8n loadgen-donor-pressure-8n"
+                 loadgen-elastic-v2-8n loadgen-donor-pressure-8n \
+                 loadgen-donor-benefit-8n loadgen-quota-market-8n"
             );
             return ExitCode::SUCCESS;
         } else {

@@ -165,6 +165,8 @@ pub const EXPECTED_FIGURE_IDS: &[&str] = &[
     "loadgen-elastic-timeline-8n",
     "loadgen-elastic-v2-8n",
     "loadgen-donor-pressure-8n",
+    "loadgen-donor-benefit-8n",
+    "loadgen-quota-market-8n",
 ];
 
 /// Validates a committed figure artifact against
@@ -389,6 +391,37 @@ mod tests {
             );
             assert!(e.typed_events_per_sec >= 1.5 * e.boxed_events_per_sec);
         }
+    }
+
+    #[test]
+    fn architecture_doc_covers_every_crate() {
+        // The in-tree mirror of the CI docs guard: ARCHITECTURE.md's
+        // workspace map must mention every directory under crates/ (and
+        // the shims), so the contributor map can never silently rot as
+        // the workspace grows.
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let doc = std::fs::read_to_string(format!("{root}/ARCHITECTURE.md"))
+            .expect("ARCHITECTURE.md is committed at the repo root");
+        let mut missing = Vec::new();
+        for entry in std::fs::read_dir(format!("{root}/crates")).expect("crates/ exists") {
+            let entry = entry.expect("readable dir entry");
+            if entry.file_type().expect("file type").is_dir() {
+                let name = entry.file_name().into_string().expect("utf-8 crate name");
+                // Anchored in backticks (the workspace-map cell format),
+                // so a crate whose name merely prefixes another cannot
+                // satisfy the guard.
+                if !doc.contains(&format!("`crates/{name}`")) {
+                    missing.push(name);
+                }
+            }
+        }
+        assert!(
+            missing.is_empty(),
+            "ARCHITECTURE.md does not mention crates/{{{}}} — add the new crate(s) \
+             to the workspace map",
+            missing.join(", ")
+        );
+        assert!(doc.contains("shims/"), "the shims story is part of the map");
     }
 
     #[test]

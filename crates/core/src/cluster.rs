@@ -44,6 +44,8 @@ pub enum ShareError {
     NotRemote,
     /// The node holds no active lease to release.
     NoLease,
+    /// The grant already carries a sublease annotation.
+    AlreadySubleased,
 }
 
 impl std::fmt::Display for ShareError {
@@ -55,6 +57,7 @@ impl std::fmt::Display for ShareError {
             ShareError::NoSuchNode => f.write_str("unknown node"),
             ShareError::NotRemote => f.write_str("address is not remote-mapped"),
             ShareError::NoLease => f.write_str("node holds no active lease"),
+            ShareError::AlreadySubleased => f.write_str("grant is already subleased"),
         }
     }
 }
@@ -79,6 +82,22 @@ pub struct Node {
     /// region below a still-lent one stays parked here until the stack
     /// above it unwinds (see [`Cluster::release`]).
     reclaim_holes: Vec<(u64, u64)>,
+}
+
+/// A sublease annotation on an active grant: the tenant-economy chain
+/// behind the node-level loan. The cluster does not interpret tenant
+/// ids; it guarantees the chain lives and dies with the grant, so a
+/// teardown (voluntary release *or* donor-demanded revoke) can never
+/// leave a dangling sublease — and the lease layer's market ledger has
+/// an independent source of truth to reconcile against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubleaseChain {
+    /// Monitor-Node allocation id of the annotated grant.
+    pub grant_id: u64,
+    /// Tenant whose quota headroom pays for the grant.
+    pub lessor: u32,
+    /// Tenant whose backlog the grant serves.
+    pub tenant: u32,
 }
 
 /// An established memory loan.
@@ -119,6 +138,10 @@ pub struct Cluster {
     /// Callers holding their own lease handles may release them directly
     /// through [`Cluster::release`]; the ledger tracks both styles.
     active: Vec<MemoryLease>,
+    /// Sublease chains annotated onto active grants
+    /// ([`Cluster::mark_sublease`]); cleared by the teardown path, so an
+    /// annotation can never outlive its grant.
+    subleases: Vec<SubleaseChain>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -183,6 +206,7 @@ impl Cluster {
             flow: FlowTiming::default(),
             now: Time::ZERO,
             active: Vec::new(),
+            subleases: Vec::new(),
         };
         cluster.tick_heartbeats();
         cluster
@@ -369,6 +393,9 @@ impl Cluster {
         self.monitor.release(lease.grant_id);
         self.now += self.flow.teardown(lease.bytes);
         self.active.retain(|l| l.grant_id != lease.grant_id);
+        // The sublease chain dies with its grant — releases and revokes
+        // route through here, so no annotation can dangle.
+        self.subleases.retain(|s| s.grant_id != lease.grant_id);
         Ok(())
     }
 
@@ -430,6 +457,82 @@ impl Cluster {
             .ok_or(ShareError::NoLease)?
             .grant_id;
         self.revoke(donor, grant_id)
+    }
+
+    /// Annotates the active grant `grant_id` with a sublease chain: the
+    /// chunk serves `tenant` but `lessor`'s quota pays for it. The
+    /// cluster keeps the chain on the active-lease ledger so teardown —
+    /// voluntary release or donor revoke, holes parked and all — also
+    /// retires the chain, and so the lease layer's market ledger can be
+    /// reconciled against an independent accounting view.
+    ///
+    /// # Errors
+    ///
+    /// [`ShareError::NoLease`] when no active grant has that id;
+    /// [`ShareError::AlreadySubleased`] when the grant already carries a
+    /// chain (one chunk, one paying tenant).
+    pub fn mark_sublease(
+        &mut self,
+        grant_id: u64,
+        lessor: u32,
+        tenant: u32,
+    ) -> Result<(), ShareError> {
+        if !self.active.iter().any(|l| l.grant_id == grant_id) {
+            return Err(ShareError::NoLease);
+        }
+        if self.subleases.iter().any(|s| s.grant_id == grant_id) {
+            return Err(ShareError::AlreadySubleased);
+        }
+        self.subleases.push(SubleaseChain {
+            grant_id,
+            lessor,
+            tenant,
+        });
+        Ok(())
+    }
+
+    /// The sublease chain annotated on `grant_id`, if any.
+    pub fn sublease_of(&self, grant_id: u64) -> Option<SubleaseChain> {
+        self.subleases
+            .iter()
+            .find(|s| s.grant_id == grant_id)
+            .copied()
+    }
+
+    /// All live sublease chains, in annotation order.
+    pub fn active_subleases(&self) -> &[SubleaseChain] {
+        &self.subleases
+    }
+
+    /// Total bytes currently held under a sublease chain (the market
+    /// half of [`Cluster::borrowed_bytes`]).
+    pub fn subleased_bytes(&self) -> u64 {
+        self.subleases
+            .iter()
+            .map(|s| {
+                self.active
+                    .iter()
+                    .find(|l| l.grant_id == s.grant_id)
+                    .map(|l| l.bytes)
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Bytes of live grants charged against `lessor`'s quota through
+    /// sublease chains.
+    pub fn subleased_bytes_charged_to(&self, lessor: u32) -> u64 {
+        self.subleases
+            .iter()
+            .filter(|s| s.lessor == lessor)
+            .map(|s| {
+                self.active
+                    .iter()
+                    .find(|l| l.grant_id == s.grant_id)
+                    .map(|l| l.bytes)
+                    .unwrap_or(0)
+            })
+            .sum()
     }
 
     /// All leases established and not yet released, in establishment order.
@@ -690,6 +793,65 @@ mod tests {
             "only the lease's donor may revoke it"
         );
         c.release(l3).unwrap();
+    }
+
+    #[test]
+    fn sublease_chains_live_and_die_with_their_grants() {
+        // A 2-node mesh: node 1 is the only donor for node 0.
+        let mut c = Cluster::mesh(2, 1, 1, 1 << 30, 512 << 20);
+        let l1 = c.borrow_memory(NodeId(0), 128 << 20).unwrap();
+        let l2 = c.borrow_memory(NodeId(0), 128 << 20).unwrap();
+        // Annotate the *older* grant: tenant 3 uses it, tenant 7 pays.
+        c.mark_sublease(l1.grant_id, 7, 3).unwrap();
+        assert_eq!(
+            c.sublease_of(l1.grant_id),
+            Some(SubleaseChain {
+                grant_id: l1.grant_id,
+                lessor: 7,
+                tenant: 3
+            })
+        );
+        assert_eq!(c.sublease_of(l2.grant_id), None);
+        assert_eq!(c.subleased_bytes(), 128 << 20);
+        assert_eq!(c.subleased_bytes_charged_to(7), 128 << 20);
+        assert_eq!(c.subleased_bytes_charged_to(3), 0);
+        // One chunk, one paying tenant: double-marking is refused, and
+        // an unknown grant cannot be marked.
+        assert_eq!(
+            c.mark_sublease(l1.grant_id, 9, 3),
+            Err(ShareError::AlreadySubleased)
+        );
+        assert_eq!(c.mark_sublease(0xDEAD, 7, 3), Err(ShareError::NoLease));
+        // The donor revokes the subleased grant — mid-stack, so the
+        // reclaimed region parks as a hole under the still-lent l2. The
+        // chain must die with the grant and the hole must stay parked
+        // (no mis-grant from inside l2's window).
+        let revoked = c.revoke(NodeId(1), l1.grant_id).unwrap();
+        assert_eq!(revoked.grant_id, l1.grant_id);
+        assert_eq!(c.sublease_of(l1.grant_id), None);
+        assert_eq!(c.subleased_bytes(), 0);
+        assert!(c.memory_consistent());
+        // The donor's remaining capacity excludes the parked hole: a
+        // 384 MB grant (the untouched top) fits, the hole does not rejoin
+        // until l2 unwinds.
+        let l3 = c.borrow_memory(NodeId(0), 256 << 20).unwrap();
+        assert!(
+            l3.donor_base >= l2.donor_base + l2.bytes,
+            "grant {:#x} collides with the still-lent window at {:#x}",
+            l3.donor_base,
+            l2.donor_base
+        );
+        // Voluntary release also retires a chain.
+        c.mark_sublease(l3.grant_id, 1, 2).unwrap();
+        assert_eq!(c.subleased_bytes(), 256 << 20);
+        c.release(l3).unwrap();
+        assert_eq!(c.sublease_of(l3.grant_id), None);
+        assert_eq!(c.subleased_bytes(), 0);
+        c.release(l2).unwrap();
+        assert_eq!(c.borrowed_bytes(), 0);
+        let big = c.borrow_memory(NodeId(0), 512 << 20).unwrap();
+        assert!(c.memory_consistent());
+        c.release(big).unwrap();
     }
 
     #[test]

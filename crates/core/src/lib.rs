@@ -43,7 +43,7 @@ pub mod metrics;
 pub mod scenarios;
 
 pub use channels::{ChannelConfig, ChannelLatencies};
-pub use cluster::{Cluster, MemoryLease, ShareError};
+pub use cluster::{Cluster, MemoryLease, ShareError, SubleaseChain};
 pub use config::PlatformConfig;
 pub use costmodel::CostModel;
 pub use metrics::{Figure, Series};

@@ -4,6 +4,12 @@
 //! space under a live lease — every out-of-order reclaim is parked as a
 //! hole until the stack above it unwinds — and the full lendable
 //! capacity always returns once everything is back.
+//!
+//! Extended for ISSUE 5: a rotating subset of grants is annotated with
+//! sublease chains. A chain must never outlive its grant (release and
+//! revoke both retire it), the annotated-byte view must track exactly the
+//! live annotated grants, and revoking a *subleased* grant obeys the same
+//! hole-parking guarantees as any other.
 
 use proptest::prelude::*;
 use venice::cluster::{Cluster, ShareError};
@@ -24,11 +30,24 @@ proptest! {
         let mut held: Vec<venice::MemoryLease> = Vec::new();
         for (step, op) in ops.iter().enumerate() {
             match op {
-                // Borrow one chunk for a rotating recipient.
+                // Borrow one chunk for a rotating recipient; every
+                // third borrow is annotated as a market sublease.
                 0..=2 => {
                     let r = NodeId((step as u16) % borrowers);
                     match c.borrow_memory(r, CHUNK) {
-                        Ok(lease) => held.push(lease),
+                        Ok(lease) => {
+                            if step % 3 == 0 {
+                                let lessor = (step % 5) as u32;
+                                let tenant = (step % 7) as u32 + 10;
+                                c.mark_sublease(lease.grant_id, lessor, tenant).unwrap();
+                                // One chunk, one paying tenant.
+                                prop_assert_eq!(
+                                    c.mark_sublease(lease.grant_id, lessor, tenant),
+                                    Err(ShareError::AlreadySubleased)
+                                );
+                            }
+                            held.push(lease);
+                        }
                         Err(ShareError::Alloc(_)) => {} // capacity exhausted: fine
                         Err(e) => prop_assert!(false, "borrow failed oddly: {e}"),
                     }
@@ -65,6 +84,24 @@ proptest! {
             // donor region is simultaneously online locally and mapped
             // remotely, revokes included.
             prop_assert!(c.memory_consistent(), "inconsistent after step {step}");
+            // Sublease chains track exactly the live annotated grants:
+            // no chain without its grant, and the annotated-byte view
+            // sums the chained grants' real sizes.
+            let mut chained_bytes = 0u64;
+            for s in c.active_subleases() {
+                let lease = c
+                    .active_leases()
+                    .iter()
+                    .find(|l| l.grant_id == s.grant_id);
+                prop_assert!(
+                    lease.is_some(),
+                    "chain {:?} outlived its grant at step {}",
+                    s,
+                    step
+                );
+                chained_bytes += lease.unwrap().bytes;
+            }
+            prop_assert_eq!(chained_bytes, c.subleased_bytes());
             // A fresh borrow can never land inside a still-lent window
             // of the same donor (the hole-parking guarantee, observed
             // through the public API).
@@ -94,6 +131,8 @@ proptest! {
             c.release(lease).unwrap();
         }
         prop_assert_eq!(c.borrowed_bytes(), 0);
+        prop_assert_eq!(c.subleased_bytes(), 0, "a chain survived full teardown");
+        prop_assert!(c.active_subleases().is_empty());
         let big = c.borrow_memory(NodeId(0), LENDABLE).unwrap();
         prop_assert_eq!(big.bytes, LENDABLE);
         prop_assert!(c.memory_consistent());

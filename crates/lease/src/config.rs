@@ -98,6 +98,30 @@ pub struct LeaseConfig {
     pub donor_high_watermark: u32,
     /// Minimum ticks between two revoke decisions by one donor.
     pub revoke_cooldown_ticks: u32,
+    /// Depth-equivalents a donor's revoke trigger gains at *full*
+    /// lendable-pool consumption: the effective revoke depth is
+    /// `depth + donor_pressure_weight * lent_pressure`, so a heavily
+    /// lent donor reclaims **before** its raw queue depth reaches
+    /// [`LeaseConfig::donor_high_watermark`] — the revoke decision is
+    /// cost-aware, not watermark-only. `0.0` (the default) reproduces
+    /// the PR 3 watermark-only trigger exactly.
+    pub donor_pressure_weight: f64,
+    /// Maximum fractional service-time slowdown a donor suffers at full
+    /// lendable-pool consumption (the lent-memory pressure term the
+    /// traffic engine applies to its `NodeModel`): a donor with fraction
+    /// `f` of its pool lent out serves requests
+    /// `1 + donor_pressure_slowdown * f` times slower, degrading
+    /// continuously as chunks leave and recovering as revokes/releases
+    /// land. `0.0` (the default) models lending as free for the donor —
+    /// the PR 1–4 behavior, bit-identical.
+    pub donor_pressure_slowdown: f64,
+    /// Arms the cross-tenant sublease market: a grow that would be
+    /// locally refused ([`crate::LeaseEventKind::QuotaDenied`]) is
+    /// instead matched against the idle quota headroom of another
+    /// finite-quota tenant, emitting [`crate::LeaseAction::Sublease`]
+    /// and charging the *lessor*'s quota. `false` (the default) keeps
+    /// hard quotas: over-quota grows are refused outright.
+    pub sublease_market: bool,
 }
 
 impl Default for LeaseConfig {
@@ -115,6 +139,9 @@ impl Default for LeaseConfig {
             predict_horizon_ticks: 0,
             donor_high_watermark: 0,
             revoke_cooldown_ticks: 50,
+            donor_pressure_weight: 0.0,
+            donor_pressure_slowdown: 0.0,
+            sublease_market: false,
         }
     }
 }
@@ -155,6 +182,16 @@ impl LeaseConfig {
         assert!(
             self.revoke_cooldown_ticks > 0,
             "revoke cooldown must be >= 1"
+        );
+        assert!(
+            self.donor_pressure_weight.is_finite() && self.donor_pressure_weight >= 0.0,
+            "donor_pressure_weight {} must be finite and non-negative",
+            self.donor_pressure_weight
+        );
+        assert!(
+            self.donor_pressure_slowdown.is_finite() && self.donor_pressure_slowdown >= 0.0,
+            "donor_pressure_slowdown {} must be finite and non-negative",
+            self.donor_pressure_slowdown
         );
     }
 }

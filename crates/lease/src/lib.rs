@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # venice-lease: elastic memory-lease management
 //!
@@ -11,7 +11,7 @@
 //! another chunk of remote memory through the Monitor-Node flow) or
 //! *shrink* (release its newest lease back to the donor).
 //!
-//! Six mechanisms keep the loop stable, fair, and ahead of demand:
+//! Seven mechanisms keep the loop stable, fair, and ahead of demand:
 //!
 //! * **watermarks** — a node grows only while its queue depth sits at or
 //!   above the high watermark, and becomes release-eligible only at or
@@ -32,13 +32,31 @@
 //!   a donor whose depth crosses [`LeaseConfig::donor_high_watermark`]
 //!   while it has chunks lent out emits [`LeaseAction::Revoke`],
 //!   demanding its newest lent chunk back through the caller's real
-//!   Monitor–Node teardown path;
+//!   Monitor–Node teardown path. With
+//!   [`LeaseConfig::donor_pressure_weight`] armed the trigger is
+//!   **cost-aware**: each [`NodeSignal`] carries the lent fraction of
+//!   the donor's pool, and a heavily lent (hence, under the engine's
+//!   lent-memory pressure term, visibly degraded) donor reclaims before
+//!   its raw queue depth alone would justify it;
 //! * **per-tenant quotas** — every confirmed chunk is attributed to a
 //!   tenant on a byte ledger ([`LeaseManager::tenant_ledger`]); grows
 //!   that would push a tenant past its quota are refused locally
 //!   ([`LeaseEventKind::QuotaDenied`]) before any cluster traffic, and
 //!   the ledger conserves bytes (per-tenant buckets always sum to
 //!   [`LeaseManager::total_bytes`] — a property test pins it);
+//! * **the sublease market** — with [`LeaseConfig::sublease_market`]
+//!   armed, a grow that would be quota-refused is instead matched
+//!   against the finite-quota tenant holding the most idle headroom
+//!   ([`LeaseAction::Sublease`] → [`LeaseManager::confirm_sublease`]):
+//!   the chunk serves the requester (the *usage* ledger) while the
+//!   lessor's quota pays for it (the *charged* ledger,
+//!   [`LeaseManager::charged_ledger`]). Returns and revokes repay the
+//!   lessor ([`LeaseEventKind::SubleaseReturned`]; a revoked market
+//!   chunk stays [`LeaseEventKind::Revoked`] with
+//!   [`LeaseEvent::lessor`] naming the repayment), and the same
+//!   promised-bytes reservation that stops same-tick grows from
+//!   overshooting a quota stops same-tick matches from overshooting a
+//!   lessor's headroom;
 //! * **priorities** — leases carry the [`Priority`] of the tenant whose
 //!   backlog triggered them, and under cluster-wide contention admission
 //!   layers shed low-priority tenants first instead of FIFO (the

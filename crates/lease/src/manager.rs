@@ -55,6 +55,14 @@ pub struct NodeSignal {
     /// pressure signal's memory half; the cluster ledger is the source
     /// of truth).
     pub lent_chunks: u32,
+    /// Fraction of the node's lendable pool currently consumed by
+    /// outstanding grants, in `[0, 1]` — the donor-benefit signal. At
+    /// [`LeaseConfig::donor_pressure_weight`] `> 0` the revoke trigger
+    /// adds `weight * lent_pressure` depth-equivalents, so a donor whose
+    /// own service path is degraded by lending reclaims earlier than a
+    /// barely lent one at the same queue depth. Ignored (any value) when
+    /// the weight is `0.0`.
+    pub lent_pressure: f64,
     /// Tenant currently dominating the node's backlog ([`NO_TENANT`]
     /// when idle); grows are attributed — and quota-checked — against it.
     pub tenant: u32,
@@ -69,6 +77,7 @@ impl NodeSignal {
         NodeSignal {
             depth,
             lent_chunks: 0,
+            lent_pressure: 0.0,
             tenant: NO_TENANT,
             priority: Priority::Normal,
         }
@@ -97,6 +106,17 @@ pub enum LeaseAction {
         /// The pressured lending node.
         donor: u16,
     },
+    /// Borrow one more chunk for `node` on the sublease market: the
+    /// requesting tenant sat at its own quota, so the chunk is charged
+    /// against `lessor`'s idle headroom instead. Applied like a grow
+    /// (same borrow flow), confirmed via
+    /// [`LeaseManager::confirm_sublease`].
+    Sublease {
+        /// The node that should borrow.
+        node: u16,
+        /// Tenant whose idle quota headroom pays for the chunk.
+        lessor: u32,
+    },
 }
 
 /// What happened to a lease decision.
@@ -120,6 +140,15 @@ pub enum LeaseEventKind {
     /// grant still mid-establish on its recipient); the revoke cooldown
     /// was still charged.
     RevokeDenied,
+    /// A chunk was borrowed on the sublease market: the driving tenant
+    /// was at its own quota, so the bytes are charged against the
+    /// [`LeaseEvent::lessor`]'s idle headroom instead of refused.
+    Subleased,
+    /// A subleased chunk was released by its calm recipient; the
+    /// lessor's quota headroom is repaid. (A *revoked* subleased chunk
+    /// stays [`LeaseEventKind::Revoked`] — the `lessor` field on the
+    /// event marks the repayment.)
+    SubleaseReturned,
 }
 
 /// One entry on the lease timeline.
@@ -149,16 +178,27 @@ pub struct LeaseEvent {
     /// value per tenant at any prefix of the timeline reproduces
     /// `total_bytes_after`, the conservation law the property tests pin.
     pub tenant_bytes_after: u64,
+    /// Tenant whose *quota* the affected chunk is charged against when
+    /// that differs from `tenant` — i.e. the chunk was matched on the
+    /// sublease market ([`LeaseEventKind::Subleased`], and the return
+    /// half on [`LeaseEventKind::SubleaseReturned`] /
+    /// [`LeaseEventKind::Revoked`]). [`NO_TENANT`] on every
+    /// self-charged event. Replaying `(kind, tenant, lessor)` over the
+    /// timeline reconstructs the per-tenant *charged* ledger, which the
+    /// quota property test pins against the quotas at every event.
+    pub lessor: u32,
     /// Priority of the tenant whose backlog drove the decision.
     pub priority: Priority,
 }
 
-/// One confirmed chunk on a node's stack: which grow created it and who
-/// it is attributed to.
+/// One confirmed chunk on a node's stack: which grow created it, who
+/// uses it, and whose quota pays for it (`lessor == tenant` except for
+/// market-matched subleases).
 #[derive(Debug, Clone, Copy)]
 struct Chunk {
     generation: u64,
     tenant: u32,
+    lessor: u32,
 }
 
 /// Per-node controller state.
@@ -180,6 +220,10 @@ struct NodeState {
     prev_depth: u32,
     /// EWMA of the per-tick depth delta.
     slope: f64,
+    /// Whether any signal ever reported this node lending (a positive
+    /// `lent_chunks`) — the donor-benefit figures evaluate donor-side
+    /// latency over exactly this set.
+    lent_seen: bool,
 }
 
 impl NodeState {
@@ -191,21 +235,77 @@ impl NodeState {
             calm_ticks: 0,
             prev_depth: 0,
             slope: 0.0,
+            lent_seen: false,
         }
     }
 }
 
 /// The cluster-wide elastic lease manager.
+///
+/// # Example: a minimal grow/shrink loop
+///
+/// One node, driven by hand: pressure above the high watermark grows
+/// the remote tier (the caller applies the borrow and *confirms*);
+/// sustained calm below the low watermark releases back to the floor.
+///
+/// ```
+/// use venice_lease::{LeaseAction, LeaseConfig, LeaseManager, NodeSignal, Priority, NO_TENANT};
+/// use venice_sim::Time;
+///
+/// let config = LeaseConfig {
+///     min_chunks: 0,
+///     max_chunks: 4,
+///     high_watermark: 8,
+///     low_watermark: 2,
+///     release_cooldown_ticks: 3,
+///     ..LeaseConfig::default()
+/// };
+/// let mut m = LeaseManager::new(config, 1);
+///
+/// // Tick 1: depth 12 is above the high watermark — the manager asks
+/// // for one chunk. The caller borrows through its cluster and confirms.
+/// let actions = m.tick(Time::from_ms(1), &[NodeSignal::depth(12)]);
+/// assert_eq!(actions, vec![LeaseAction::Grow { node: 0, predictive: false }]);
+/// let generation = m.confirm_grow(Time::from_ms(1), 0, NO_TENANT, false, Priority::Normal);
+/// assert_eq!(m.chunks(0), 1);
+///
+/// // Three consecutive calm ticks (depth 0 at/below the low watermark)
+/// // satisfy the release cooldown: the manager asks for a shrink, and
+/// // the caller releases the lease it is actually holding, by name.
+/// let mut shrink = None;
+/// for t in 2..=4u64 {
+///     for action in m.tick(Time::from_ms(t), &[NodeSignal::depth(0)]) {
+///         shrink = Some((t, action));
+///     }
+/// }
+/// assert_eq!(shrink, Some((4, LeaseAction::Shrink { node: 0 })));
+/// assert_eq!(m.newest_generation(0), Some(generation));
+/// m.confirm_shrink(Time::from_ms(4), 0, generation, Priority::Normal);
+/// assert_eq!(m.chunks(0), 0);
+/// assert_eq!(m.total_bytes(), 0);
+/// // Every decision is on the auditable timeline: grow then shrink.
+/// assert_eq!(m.timeline().len(), 2);
+/// ```
 #[derive(Debug, Clone)]
 pub struct LeaseManager {
     config: LeaseConfig,
     nodes: Vec<NodeState>,
     /// Byte quota per tenant (empty: no quota enforcement).
     quotas: Vec<u64>,
-    /// Confirmed bytes per tenant (grown on demand as tenants appear).
+    /// Confirmed bytes per tenant — the *usage* ledger: bytes whose
+    /// chunks serve this tenant's backlog, subleased-in ones included
+    /// (grown on demand as tenants appear).
     tenant_bytes: Vec<u64>,
+    /// Bytes *charged against* each tenant's quota: own chunks plus
+    /// chunks subleased out to other tenants. Identical to
+    /// `tenant_bytes` until the sublease market moves them apart; the
+    /// quota check always reads this ledger.
+    charged_bytes: Vec<u64>,
     /// Confirmed bytes not attributed to any tenant (bootstrap floor).
     unattributed_bytes: u64,
+    /// Bytes currently held under a sublease (chunks whose lessor is
+    /// not their tenant) — mirrors the cluster's sublease annotations.
+    subleased_bytes: u64,
     tick: u64,
     generation: u64,
     grows: u64,
@@ -215,6 +315,8 @@ pub struct LeaseManager {
     revoke_denials: u64,
     denials: u64,
     quota_denials: u64,
+    subleases: u64,
+    sublease_returns: u64,
     total_bytes: u64,
     peak_bytes: u64,
     /// Time-weighted byte integral for mean-provisioning accounting.
@@ -249,8 +351,10 @@ impl LeaseManager {
             config,
             nodes: vec![NodeState::new(); nodes as usize],
             tenant_bytes: vec![0; quotas.len()],
+            charged_bytes: vec![0; quotas.len()],
             quotas,
             unattributed_bytes: 0,
+            subleased_bytes: 0,
             tick: 0,
             generation: 0,
             grows: 0,
@@ -260,6 +364,8 @@ impl LeaseManager {
             revoke_denials: 0,
             denials: 0,
             quota_denials: 0,
+            subleases: 0,
+            sublease_returns: 0,
             total_bytes: 0,
             peak_bytes: 0,
             byte_ps_integral: 0,
@@ -309,10 +415,14 @@ impl LeaseManager {
         let tick = self.tick;
         let mut actions = Vec::new();
         let mut quota_refusals = Vec::new();
-        // Bytes already promised to each tenant by *this* tick's earlier
-        // grow actions: the quota check must count them, or several nodes
-        // growing for one tenant in the same tick would each pass against
-        // the stale pre-tick ledger and jointly overshoot the quota.
+        // Bytes already promised against each tenant's *quota* by this
+        // tick's earlier grow/sublease actions: the quota check must
+        // count them, or several nodes growing for one tenant in the
+        // same tick would each pass against the stale pre-tick ledger
+        // and jointly overshoot the quota. Keyed by the tenant whose
+        // quota pays — the lessor, for market matches — so concurrent
+        // sublease matches cannot jointly overshoot a lessor's headroom
+        // either.
         let mut promised: Vec<(u32, u64)> = Vec::new();
         for (i, sig) in signals.iter().enumerate() {
             let config = self.config;
@@ -321,6 +431,10 @@ impl LeaseManager {
             let observed = sig.depth as f64 - node.prev_depth as f64;
             node.slope = config.slope_alpha * observed + (1.0 - config.slope_alpha) * node.slope;
             node.prev_depth = sig.depth;
+
+            if sig.lent_chunks > 0 {
+                node.lent_seen = true;
+            }
 
             let reactive = sig.depth >= config.high_watermark;
             // Predict only from the *upper half* of the hysteresis band
@@ -359,7 +473,28 @@ impl LeaseManager {
                         .map(|&(_, b)| b)
                         .unwrap_or(0);
                     if self.quota_blocks_with(sig.tenant, already) {
-                        quota_refusals.push((i as u16, sig.tenant, sig.priority));
+                        // Over own quota: match against another tenant's
+                        // idle headroom (market armed), else refuse.
+                        let lessor = if config.sublease_market {
+                            self.match_lessor(sig.tenant, &promised)
+                        } else {
+                            None
+                        };
+                        match lessor {
+                            Some(lessor) => {
+                                match promised.iter_mut().find(|(t, _)| *t == lessor) {
+                                    Some((_, b)) => *b += config.chunk_bytes,
+                                    None => promised.push((lessor, config.chunk_bytes)),
+                                }
+                                actions.push(LeaseAction::Sublease {
+                                    node: i as u16,
+                                    lessor,
+                                });
+                            }
+                            None => {
+                                quota_refusals.push((i as u16, sig.tenant, sig.priority));
+                            }
+                        }
                     } else {
                         if sig.tenant != NO_TENANT {
                             match promised.iter_mut().find(|(t, _)| *t == sig.tenant) {
@@ -389,11 +524,16 @@ impl LeaseManager {
 
             // Donor-side reclaim is judged independently of the node's
             // borrow-side state: a node can be a pressured donor and a
-            // (quota-blocked) would-be borrower in the same tick.
-            if config.donor_high_watermark > 0
-                && sig.depth >= config.donor_high_watermark
-                && sig.lent_chunks > 0
-            {
+            // (quota-blocked) would-be borrower in the same tick. With
+            // `donor_pressure_weight` armed the trigger is cost-aware:
+            // the lent-pressure signal adds depth-equivalents, so a
+            // donor whose own service path is degraded by heavy lending
+            // reclaims before its raw depth reaches the watermark.
+            let donor_pressured = sig.depth >= config.donor_high_watermark
+                || (config.donor_pressure_weight > 0.0
+                    && sig.depth as f64 + config.donor_pressure_weight * sig.lent_pressure
+                        >= config.donor_high_watermark as f64);
+            if config.donor_high_watermark > 0 && donor_pressured && sig.lent_chunks > 0 {
                 let node = &mut self.nodes[i];
                 let cooled = match node.last_revoke_tick {
                     None => true,
@@ -423,6 +563,7 @@ impl LeaseManager {
                 total_bytes_after: self.total_bytes,
                 tenant,
                 tenant_bytes_after,
+                lessor: NO_TENANT,
                 priority,
             });
         }
@@ -431,18 +572,48 @@ impl LeaseManager {
 
     /// Whether confirming one more chunk for `tenant` would exceed its
     /// quota (always `false` for [`NO_TENANT`], tenants past the quota
-    /// table, or a manager built without quotas).
+    /// table, or a manager built without quotas). Judged against the
+    /// *charged* ledger: bytes the tenant has subleased out count
+    /// against it, bytes it holds via sublease do not.
     pub fn quota_blocks(&self, tenant: u32) -> bool {
         self.quota_blocks_with(tenant, 0)
     }
 
     /// As [`LeaseManager::quota_blocks`], with `promised` bytes already
-    /// granted to the tenant by this tick's earlier decisions counted in.
+    /// charged to the tenant by this tick's earlier decisions counted in.
     fn quota_blocks_with(&self, tenant: u32, promised: u64) -> bool {
         tenant != NO_TENANT
             && (tenant as usize) < self.quotas.len()
-            && self.bucket(tenant) + promised + self.config.chunk_bytes
+            && self.charged(tenant) + promised + self.config.chunk_bytes
                 > self.quotas[tenant as usize]
+    }
+
+    /// Market matching: the finite-quota tenant (other than `tenant`)
+    /// with the most idle headroom — quota minus charged bytes minus
+    /// this tick's already-promised bytes — provided at least one chunk
+    /// fits. Ties break to the lowest tenant index; tenants with
+    /// unlimited (`u64::MAX`) quotas never lease headroom they do not
+    /// meaningfully own. Deterministic by construction.
+    fn match_lessor(&self, tenant: u32, promised: &[(u32, u64)]) -> Option<u32> {
+        let chunk = self.config.chunk_bytes;
+        let mut best: Option<(u32, u64)> = None;
+        for l in 0..self.quotas.len() as u32 {
+            if l == tenant || self.quotas[l as usize] == u64::MAX {
+                continue;
+            }
+            let reserved = promised
+                .iter()
+                .find(|&&(t, _)| t == l)
+                .map(|&(_, b)| b)
+                .unwrap_or(0);
+            let headroom = self.quotas[l as usize]
+                .saturating_sub(self.charged(l))
+                .saturating_sub(reserved);
+            if headroom >= chunk && best.map(|(_, h)| headroom > h).unwrap_or(true) {
+                best = Some((l, headroom));
+            }
+        }
+        best.map(|(l, _)| l)
     }
 
     /// Records a successful grow of `node` at `now`, attributed to
@@ -460,7 +631,11 @@ impl LeaseManager {
         self.generation += 1;
         let generation = self.generation;
         let n = &mut self.nodes[node as usize];
-        n.chunks.push(Chunk { generation, tenant });
+        n.chunks.push(Chunk {
+            generation,
+            tenant,
+            lessor: tenant,
+        });
         let chunks_after = n.chunks.len() as u32;
         self.grows += 1;
         let kind = if predictive {
@@ -472,6 +647,7 @@ impl LeaseManager {
         self.total_bytes += self.config.chunk_bytes;
         self.peak_bytes = self.peak_bytes.max(self.total_bytes);
         let tenant_bytes_after = self.bucket_add(tenant, self.config.chunk_bytes);
+        self.charged_add(tenant, self.config.chunk_bytes);
         self.log(LeaseEvent {
             at: now,
             node,
@@ -482,6 +658,58 @@ impl LeaseManager {
             total_bytes_after: self.total_bytes,
             tenant,
             tenant_bytes_after,
+            lessor: NO_TENANT,
+            priority,
+        });
+        generation
+    }
+
+    /// Records a successful market-matched grow of `node` at `now`: the
+    /// chunk serves `tenant`'s backlog but is charged against `lessor`'s
+    /// idle quota headroom. Returns the new lease's generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lessor` equals `tenant` (that is a plain grow — use
+    /// [`LeaseManager::confirm_grow`]) or is [`NO_TENANT`] (unattributed
+    /// capacity cannot lease headroom).
+    pub fn confirm_sublease(
+        &mut self,
+        now: Time,
+        node: u16,
+        tenant: u32,
+        lessor: u32,
+        priority: Priority,
+    ) -> u64 {
+        assert_ne!(lessor, tenant, "self-sublease is a plain grow");
+        assert_ne!(lessor, NO_TENANT, "sublease needs a real lessor");
+        self.integrate(now);
+        self.generation += 1;
+        let generation = self.generation;
+        let n = &mut self.nodes[node as usize];
+        n.chunks.push(Chunk {
+            generation,
+            tenant,
+            lessor,
+        });
+        let chunks_after = n.chunks.len() as u32;
+        self.subleases += 1;
+        self.total_bytes += self.config.chunk_bytes;
+        self.peak_bytes = self.peak_bytes.max(self.total_bytes);
+        self.subleased_bytes += self.config.chunk_bytes;
+        let tenant_bytes_after = self.bucket_add(tenant, self.config.chunk_bytes);
+        self.charged_add(lessor, self.config.chunk_bytes);
+        self.log(LeaseEvent {
+            at: now,
+            node,
+            donor: NO_NODE,
+            kind: LeaseEventKind::Subleased,
+            chunks_after,
+            generation,
+            total_bytes_after: self.total_bytes,
+            tenant,
+            tenant_bytes_after,
+            lessor,
             priority,
         });
         generation
@@ -502,6 +730,7 @@ impl LeaseManager {
             total_bytes_after: self.total_bytes,
             tenant,
             tenant_bytes_after,
+            lessor: NO_TENANT,
             priority,
         });
     }
@@ -533,16 +762,28 @@ impl LeaseManager {
         self.shrinks += 1;
         self.total_bytes -= self.config.chunk_bytes;
         let tenant_bytes_after = self.bucket_sub(chunk.tenant, self.config.chunk_bytes);
+        self.charged_sub(chunk.lessor, self.config.chunk_bytes);
+        // Releasing a market-matched chunk repays the lessor's headroom:
+        // the event kind says so, and the `lessor` field names them.
+        let subleased = chunk.lessor != chunk.tenant;
+        let kind = if subleased {
+            self.sublease_returns += 1;
+            self.subleased_bytes -= self.config.chunk_bytes;
+            LeaseEventKind::SubleaseReturned
+        } else {
+            LeaseEventKind::Shrank
+        };
         self.log(LeaseEvent {
             at: now,
             node,
             donor: NO_NODE,
-            kind: LeaseEventKind::Shrank,
+            kind,
             chunks_after,
             generation: chunk.generation,
             total_bytes_after: self.total_bytes,
             tenant: chunk.tenant,
             tenant_bytes_after,
+            lessor: if subleased { chunk.lessor } else { NO_TENANT },
             priority,
         });
     }
@@ -565,6 +806,7 @@ impl LeaseManager {
             total_bytes_after: self.total_bytes,
             tenant: NO_TENANT,
             tenant_bytes_after: self.unattributed_bytes,
+            lessor: NO_TENANT,
             priority,
         });
     }
@@ -599,6 +841,15 @@ impl LeaseManager {
         self.revokes += 1;
         self.total_bytes -= self.config.chunk_bytes;
         let tenant_bytes_after = self.bucket_sub(chunk.tenant, self.config.chunk_bytes);
+        self.charged_sub(chunk.lessor, self.config.chunk_bytes);
+        // A revoked market chunk also repays its lessor; the kind stays
+        // `Revoked` (the donor's demand is the story) and the `lessor`
+        // field carries the repayment.
+        let subleased = chunk.lessor != chunk.tenant;
+        if subleased {
+            self.sublease_returns += 1;
+            self.subleased_bytes -= self.config.chunk_bytes;
+        }
         self.log(LeaseEvent {
             at: now,
             node: recipient,
@@ -609,6 +860,7 @@ impl LeaseManager {
             total_bytes_after: self.total_bytes,
             tenant: chunk.tenant,
             tenant_bytes_after,
+            lessor: if subleased { chunk.lessor } else { NO_TENANT },
             priority,
         });
     }
@@ -663,6 +915,41 @@ impl LeaseManager {
         }
     }
 
+    /// Bytes charged against `tenant`'s quota right now. Unattributed
+    /// capacity is always self-charged, so the [`NO_TENANT`] bucket is
+    /// the unattributed one.
+    fn charged(&self, tenant: u32) -> u64 {
+        if tenant == NO_TENANT {
+            self.unattributed_bytes
+        } else {
+            self.charged_bytes
+                .get(tenant as usize)
+                .copied()
+                .unwrap_or(0)
+        }
+    }
+
+    /// Adds `bytes` to `tenant`'s charged bucket. [`NO_TENANT`] is a
+    /// no-op: the unattributed bucket is shared with the usage ledger
+    /// and already moved by [`LeaseManager::bucket_add`].
+    fn charged_add(&mut self, tenant: u32, bytes: u64) {
+        if tenant != NO_TENANT {
+            let idx = tenant as usize;
+            if idx >= self.charged_bytes.len() {
+                self.charged_bytes.resize(idx + 1, 0);
+            }
+            self.charged_bytes[idx] += bytes;
+        }
+    }
+
+    /// Subtracts `bytes` from `tenant`'s charged bucket ([`NO_TENANT`]:
+    /// no-op, see [`LeaseManager::charged_add`]).
+    fn charged_sub(&mut self, tenant: u32, bytes: u64) {
+        if tenant != NO_TENANT {
+            self.charged_bytes[tenant as usize] -= bytes;
+        }
+    }
+
     /// Chunks `node` currently holds.
     pub fn chunks(&self, node: u16) -> u32 {
         self.nodes[node as usize].chunks.len() as u32
@@ -697,10 +984,31 @@ impl LeaseManager {
         self.bucket(tenant)
     }
 
-    /// The per-tenant ledger (indexed by tenant id; tenants that never
-    /// drove a lease hold 0).
+    /// The per-tenant usage ledger (indexed by tenant id; tenants that
+    /// never drove a lease hold 0). Counts the bytes whose chunks serve
+    /// each tenant's backlog — subleased-in chunks included.
     pub fn tenant_ledger(&self) -> &[u64] {
         &self.tenant_bytes
+    }
+
+    /// Bytes charged against `tenant`'s quota right now: its own chunks
+    /// plus chunks it subleased out. Equals
+    /// [`LeaseManager::tenant_bytes`] until the market moves them apart.
+    pub fn charged_bytes_of(&self, tenant: u32) -> u64 {
+        self.charged(tenant)
+    }
+
+    /// The per-tenant charged ledger (what the quota check reads), in
+    /// tenant-index order.
+    pub fn charged_ledger(&self) -> &[u64] {
+        &self.charged_bytes
+    }
+
+    /// Bytes currently held under a market sublease (chunks whose
+    /// paying tenant is not their using tenant). The engine cross-checks
+    /// this against the cluster's sublease annotations at end of run.
+    pub fn subleased_bytes(&self) -> u64 {
+        self.subleased_bytes
     }
 
     /// Confirmed bytes not attributed to any tenant (bootstrap floor).
@@ -752,9 +1060,34 @@ impl LeaseManager {
         self.denials
     }
 
-    /// Quota-refused grows so far.
+    /// Quota-refused grows so far. With the market armed these are the
+    /// refusals *no lessor* could absorb — the matched ones are counted
+    /// by [`LeaseManager::subleases`] instead.
     pub fn quota_denials(&self) -> u64 {
         self.quota_denials
+    }
+
+    /// Market-matched grows so far (quota refusals converted into
+    /// subleases).
+    pub fn subleases(&self) -> u64 {
+        self.subleases
+    }
+
+    /// Subleased chunks returned so far (calm releases *and* donor
+    /// revokes of market chunks — both repay the lessor).
+    pub fn sublease_returns(&self) -> u64 {
+        self.sublease_returns
+    }
+
+    /// Nodes that ever reported chunks lent out in a tick signal, in
+    /// node order — the donor set the donor-benefit figures evaluate.
+    pub fn donor_nodes(&self) -> Vec<u16> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.lent_seen)
+            .map(|(i, _)| i as u16)
+            .collect()
     }
 
     /// The full decision timeline.
@@ -796,7 +1129,9 @@ mod tests {
                     let g = m.newest_generation(node).expect("shrink of an empty node");
                     m.confirm_shrink(now, node, g, Priority::Normal);
                 }
-                LeaseAction::Revoke { .. } => unreachable!("no revokes in these tests"),
+                LeaseAction::Revoke { .. } | LeaseAction::Sublease { .. } => {
+                    unreachable!("no revokes or subleases in these tests")
+                }
             }
         }
     }
@@ -983,6 +1318,7 @@ mod tests {
         let signal = |lent| NodeSignal {
             depth: 9,
             lent_chunks: lent,
+            lent_pressure: 0.0,
             tenant: NO_TENANT,
             priority: Priority::Normal,
         };
@@ -1046,6 +1382,7 @@ mod tests {
         let sig = NodeSignal {
             depth: 9,
             lent_chunks: 1,
+            lent_pressure: 0.0,
             tenant: NO_TENANT,
             priority: Priority::High,
         };
@@ -1094,6 +1431,7 @@ mod tests {
         let sig = |tenant| NodeSignal {
             depth: 50,
             lent_chunks: 0,
+            lent_pressure: 0.0,
             tenant,
             priority: Priority::Low,
         };
@@ -1119,6 +1457,166 @@ mod tests {
         // A different (unquota'd) tenant may still grow.
         let acts = m.tick(Time::from_ms(5), &[sig(9)]);
         assert_eq!(acts.len(), 1);
+    }
+
+    #[test]
+    fn market_converts_quota_refusals_into_subleases() {
+        // Tenant 0: one-chunk quota. Tenant 1: four chunks, all idle.
+        let config = LeaseConfig {
+            sublease_market: true,
+            ..cfg()
+        };
+        let chunk = config.chunk_bytes;
+        let mut m = LeaseManager::with_quotas(config, 1, vec![chunk, 4 * chunk]);
+        let sig = NodeSignal {
+            depth: 50,
+            lent_chunks: 0,
+            lent_pressure: 0.0,
+            tenant: 0,
+            priority: Priority::High,
+        };
+        // First grow is inside tenant 0's own quota.
+        let acts = m.tick(Time::from_ms(1), &[sig]);
+        assert_eq!(
+            acts,
+            vec![LeaseAction::Grow {
+                node: 0,
+                predictive: false
+            }]
+        );
+        m.confirm_grow(Time::from_ms(1), 0, 0, false, Priority::High);
+        assert!(m.quota_blocks(0));
+        // Tick 2 sits inside the grow cooldown: nothing happens.
+        assert!(m.tick(Time::from_ms(2), &[sig]).is_empty());
+        // Next eligible grow would be quota-refused — the market matches
+        // tenant 1's idle headroom instead.
+        let acts = m.tick(Time::from_ms(3), &[sig]);
+        assert_eq!(acts, vec![LeaseAction::Sublease { node: 0, lessor: 1 }]);
+        let g = m.confirm_sublease(Time::from_ms(3), 0, 0, 1, Priority::High);
+        assert_eq!(m.subleases(), 1);
+        assert_eq!(m.quota_denials(), 0, "the refusal was converted");
+        // Usage follows the user; the charge follows the lessor.
+        assert_eq!(m.tenant_bytes(0), 2 * chunk);
+        assert_eq!(m.tenant_bytes(1), 0);
+        assert_eq!(m.charged_bytes_of(0), chunk);
+        assert_eq!(m.charged_bytes_of(1), chunk);
+        assert_eq!(m.subleased_bytes(), chunk);
+        let last = m.timeline().last().unwrap().1;
+        assert_eq!(last.kind, LeaseEventKind::Subleased);
+        assert_eq!(last.tenant, 0);
+        assert_eq!(last.lessor, 1);
+        // Returning the chunk repays the lessor's headroom.
+        m.confirm_shrink(Time::from_ms(5), 0, g, Priority::High);
+        assert_eq!(m.sublease_returns(), 1);
+        assert_eq!(m.subleased_bytes(), 0);
+        assert_eq!(m.tenant_bytes(0), chunk);
+        assert_eq!(m.charged_bytes_of(1), 0);
+        let last = m.timeline().last().unwrap().1;
+        assert_eq!(last.kind, LeaseEventKind::SubleaseReturned);
+        assert_eq!(last.lessor, 1);
+    }
+
+    #[test]
+    fn market_exhausts_headroom_then_denies() {
+        // Lessor (tenant 1) has exactly one chunk of headroom; tenant 2's
+        // quota is unlimited and must never be matched as a lessor.
+        let config = LeaseConfig {
+            sublease_market: true,
+            ..cfg()
+        };
+        let chunk = config.chunk_bytes;
+        let mut m = LeaseManager::with_quotas(config, 1, vec![chunk, chunk, u64::MAX]);
+        let sig = NodeSignal {
+            depth: 50,
+            lent_chunks: 0,
+            lent_pressure: 0.0,
+            tenant: 0,
+            priority: Priority::Normal,
+        };
+        let acts = m.tick(Time::from_ms(1), &[sig]);
+        assert_eq!(acts.len(), 1, "own-quota grow");
+        m.confirm_grow(Time::from_ms(1), 0, 0, false, Priority::Normal);
+        assert!(m.tick(Time::from_ms(2), &[sig]).is_empty(), "cooldown");
+        let acts = m.tick(Time::from_ms(3), &[sig]);
+        assert_eq!(acts, vec![LeaseAction::Sublease { node: 0, lessor: 1 }]);
+        m.confirm_sublease(Time::from_ms(3), 0, 0, 1, Priority::Normal);
+        // Tenant 1's headroom is now gone and tenant 2 (unlimited) does
+        // not lease: the next over-quota grow is a hard refusal again.
+        assert!(m.tick(Time::from_ms(4), &[sig]).is_empty(), "cooldown");
+        let acts = m.tick(Time::from_ms(5), &[sig]);
+        assert!(acts.is_empty());
+        assert_eq!(m.quota_denials(), 1);
+        assert_eq!(m.subleases(), 1);
+        let last = m.timeline().last().unwrap().1;
+        assert_eq!(last.kind, LeaseEventKind::QuotaDenied);
+    }
+
+    #[test]
+    fn same_tick_matches_cannot_overshoot_the_lessors_headroom() {
+        // Two nodes, both quota-blocked for tenant 0 in the same tick;
+        // the lessor has one chunk of headroom. Exactly one sublease may
+        // fire — the promised-bytes reservation covers the lessor too.
+        let config = LeaseConfig {
+            sublease_market: true,
+            min_chunks: 0,
+            ..cfg()
+        };
+        let chunk = config.chunk_bytes;
+        let mut m = LeaseManager::with_quotas(config, 2, vec![0, chunk]);
+        let sig = NodeSignal {
+            depth: 50,
+            lent_chunks: 0,
+            lent_pressure: 0.0,
+            tenant: 0,
+            priority: Priority::Normal,
+        };
+        let acts = m.tick(Time::from_ms(1), &[sig, sig]);
+        let subleases = acts
+            .iter()
+            .filter(|a| matches!(a, LeaseAction::Sublease { .. }))
+            .count();
+        assert_eq!(subleases, 1, "headroom fits one chunk, got {acts:?}");
+        assert_eq!(m.quota_denials(), 1, "the other node was refused");
+    }
+
+    #[test]
+    fn pressure_aware_revoke_fires_below_the_raw_watermark() {
+        let base = LeaseConfig {
+            donor_high_watermark: 10,
+            revoke_cooldown_ticks: 4,
+            ..cfg()
+        };
+        let sig = NodeSignal {
+            depth: 6, // below the donor watermark
+            lent_chunks: 2,
+            lent_pressure: 0.9, // but the pool is almost fully lent
+            tenant: NO_TENANT,
+            priority: Priority::Normal,
+        };
+        // Watermark-only: depth 6 < 10, no revoke however lent.
+        let mut watermark_only = LeaseManager::new(base, 1);
+        let acts = watermark_only.tick(Time::from_ms(1), &[sig]);
+        assert!(
+            !acts.iter().any(|a| matches!(a, LeaseAction::Revoke { .. })),
+            "watermark-only trigger fired below the watermark"
+        );
+        // Pressure-aware: 6 + 8 * 0.9 = 13.2 >= 10 — the heavily lent
+        // donor reclaims early.
+        let armed = LeaseConfig {
+            donor_pressure_weight: 8.0,
+            ..base
+        };
+        let mut aware = LeaseManager::new(armed, 1);
+        let acts = aware.tick(Time::from_ms(1), &[sig]);
+        assert!(acts.contains(&LeaseAction::Revoke { donor: 0 }));
+        // An unlent donor never revokes, whatever the weight says.
+        let unlent = NodeSignal {
+            lent_chunks: 0,
+            lent_pressure: 0.0,
+            ..sig
+        };
+        let acts = aware.tick(Time::from_ms(10), &[unlent]);
+        assert!(!acts.iter().any(|a| matches!(a, LeaseAction::Revoke { .. })));
     }
 
     #[test]

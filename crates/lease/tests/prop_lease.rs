@@ -10,7 +10,8 @@ use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 use venice_lease::{
-    LeaseAction, LeaseConfig, LeaseManager, NodeSignal, Priority, Timeline, NO_TENANT,
+    LeaseAction, LeaseConfig, LeaseEventKind, LeaseManager, NodeSignal, Priority, Timeline,
+    NO_TENANT,
 };
 use venice_sim::Time;
 
@@ -47,6 +48,7 @@ fn drive(
             .map(|i| NodeSignal {
                 depth: demand(salt, i, t),
                 lent_chunks: 0,
+                lent_pressure: 0.0,
                 tenant: ((t + i as u64) % 3) as u32,
                 priority: Priority::Normal,
             })
@@ -67,7 +69,9 @@ fn drive(
                     let g = m.newest_generation(node).expect("shrink of an empty node");
                     m.confirm_shrink(now, node, g, Priority::Normal);
                 }
-                LeaseAction::Revoke { .. } => unreachable!("no lent chunks signalled"),
+                LeaseAction::Revoke { .. } | LeaseAction::Sublease { .. } => {
+                    unreachable!("no lent chunks or market signalled")
+                }
             }
         }
     }
@@ -240,7 +244,9 @@ proptest! {
                         let g = m.newest_generation(node).expect("shrink of an empty node");
                         m.confirm_shrink(now, node, g, Priority::High);
                     }
-                    LeaseAction::Revoke { .. } => unreachable!("no lent chunks signalled"),
+                    LeaseAction::Revoke { .. } | LeaseAction::Sublease { .. } => {
+                    unreachable!("no lent chunks or market signalled")
+                }
                 }
             }
             for node in 0..nodes {
@@ -298,6 +304,7 @@ proptest! {
                     // its right neighbor (enough to exercise revokes —
                     // the manager only checks lent_chunks > 0).
                     lent_chunks: (demand(salt, i, t * 31) % 3).min(held.len() as u32),
+                    lent_pressure: 0.0,
                     tenant: ((t + i as u64) % tenants as u64) as u32,
                     priority: Priority::Normal,
                 })
@@ -325,6 +332,9 @@ proptest! {
                         if let Some((g, recipient)) = held.pop() {
                             m.confirm_revoke(now, donor, recipient, g, Priority::Normal);
                         }
+                    }
+                    LeaseAction::Sublease { .. } => {
+                        unreachable!("market disarmed in this config")
                     }
                 }
             }
@@ -355,6 +365,165 @@ proptest! {
         let live: u64 =
             (0..tenants).map(|t| m.tenant_bytes(t)).sum::<u64>() + m.unattributed_bytes();
         prop_assert_eq!(live, m.total_bytes());
+    }
+}
+
+proptest! {
+    /// Sublease-market conservation (ISSUE 5): with the market armed
+    /// under adversarial demand, rotating tenants, tight quotas, and
+    /// donor revokes —
+    ///
+    /// * the *usage* ledger still conserves bytes at every event
+    ///   (per-tenant buckets sum to the running total);
+    /// * the *charged* ledger, replayed from `(kind, tenant, lessor)`
+    ///   on the timeline alone, matches the live ledger and never
+    ///   exceeds any tenant's quota at any event;
+    /// * subleased bytes tracked by the manager equal the
+    ///   subleases-minus-returns visible on the timeline.
+    #[test]
+    fn sublease_market_conserves_and_respects_quotas(
+        salt in 0u64..1_000_000,
+        nodes in 2u16..6,
+        ticks in 50u64..250,
+        quota_chunks in 1u64..4,
+        lessor_chunks in 2u64..8,
+    ) {
+        let config = LeaseConfig {
+            donor_high_watermark: 12,
+            revoke_cooldown_ticks: 7,
+            predict_horizon_ticks: 20,
+            sublease_market: true,
+            ..LeaseConfig::default()
+        };
+        // Tenants 0..2 rotate through the demand stream with tight
+        // quotas; tenant 3 never drives demand and holds the big idle
+        // headroom the market can sublease.
+        let tenants = 3u32;
+        let mut quotas: Vec<u64> =
+            (0..tenants).map(|_| quota_chunks * config.chunk_bytes).collect();
+        quotas.push(lessor_chunks * config.chunk_bytes);
+        let mut m = LeaseManager::with_quotas(config, nodes, quotas.clone());
+        for a in &m.bootstrap() {
+            let LeaseAction::Grow { node, .. } = *a else { panic!() };
+            m.confirm_grow(Time::ZERO, node, NO_TENANT, false, Priority::Normal);
+        }
+        let mut held: Vec<(u64, u16)> = Vec::new();
+        for t in 1..=ticks {
+            let now = Time::from_us(t * 100);
+            let signals: Vec<NodeSignal> = (0..nodes)
+                .map(|i| NodeSignal {
+                    depth: demand(salt, i, t),
+                    lent_chunks: (demand(salt, i, t * 31) % 3).min(held.len() as u32),
+                    lent_pressure: (demand(salt, i, t * 17) % 5) as f64 / 4.0,
+                    tenant: ((t + i as u64) % tenants as u64) as u32,
+                    priority: Priority::Normal,
+                })
+                .collect();
+            for a in m.tick(now, &signals) {
+                match a {
+                    LeaseAction::Grow { node, predictive } => {
+                        let tenant = signals[node as usize].tenant;
+                        let g = m.confirm_grow(now, node, tenant, predictive, Priority::Normal);
+                        held.push((g, node));
+                    }
+                    LeaseAction::Sublease { node, lessor } => {
+                        let tenant = signals[node as usize].tenant;
+                        prop_assert_ne!(lessor, tenant, "self-sublease matched");
+                        let g = m.confirm_sublease(now, node, tenant, lessor, Priority::Normal);
+                        held.push((g, node));
+                    }
+                    LeaseAction::Shrink { node } => {
+                        let g = m.newest_generation(node).expect("shrink of an empty node");
+                        m.confirm_shrink(now, node, g, Priority::Normal);
+                        if let Some(idx) = held.iter().position(|&(gen, _)| gen == g) {
+                            held.remove(idx);
+                        }
+                    }
+                    LeaseAction::Revoke { donor } => {
+                        if let Some((g, recipient)) = held.pop() {
+                            m.confirm_revoke(now, donor, recipient, g, Priority::Normal);
+                        }
+                    }
+                }
+            }
+            // The charged ledger never exceeds any quota, live.
+            for tenant in 0..quotas.len() as u32 {
+                prop_assert!(
+                    m.charged_bytes_of(tenant) <= quotas[tenant as usize],
+                    "tenant {tenant} charged over quota: {} > {}",
+                    m.charged_bytes_of(tenant),
+                    quotas[tenant as usize]
+                );
+            }
+        }
+        // Usage-ledger conservation at every event, from the timeline.
+        let mut ledger: BTreeMap<u32, u64> = BTreeMap::new();
+        for (_, e) in m.timeline().iter() {
+            ledger.insert(e.tenant, e.tenant_bytes_after);
+            let sum: u64 = ledger.values().sum();
+            prop_assert_eq!(sum, e.total_bytes_after, "usage ledger diverged at {:?}", e);
+        }
+        // Charged-ledger replay from (kind, tenant, lessor) alone:
+        // every intermediate state respects the quotas, and the final
+        // state matches the live ledger — including the subleased-bytes
+        // balance.
+        let chunk = config.chunk_bytes;
+        let mut charged: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut subleased: u64 = 0;
+        for (_, e) in m.timeline().iter() {
+            match e.kind {
+                LeaseEventKind::Grew | LeaseEventKind::GrewPredictive => {
+                    if e.tenant != NO_TENANT {
+                        *charged.entry(e.tenant).or_default() += chunk;
+                    }
+                }
+                LeaseEventKind::Subleased => {
+                    prop_assert_ne!(e.lessor, NO_TENANT, "sublease without a lessor: {:?}", e);
+                    *charged.entry(e.lessor).or_default() += chunk;
+                    subleased += chunk;
+                }
+                LeaseEventKind::Shrank => {
+                    if e.tenant != NO_TENANT {
+                        *charged.entry(e.tenant).or_default() -= chunk;
+                    }
+                }
+                LeaseEventKind::SubleaseReturned => {
+                    *charged.entry(e.lessor).or_default() -= chunk;
+                    subleased -= chunk;
+                }
+                LeaseEventKind::Revoked => {
+                    let payer = if e.lessor != NO_TENANT {
+                        subleased -= chunk;
+                        e.lessor
+                    } else {
+                        e.tenant
+                    };
+                    if payer != NO_TENANT {
+                        *charged.entry(payer).or_default() -= chunk;
+                    }
+                }
+                LeaseEventKind::Denied
+                | LeaseEventKind::QuotaDenied
+                | LeaseEventKind::RevokeDenied => {}
+            }
+            for (&tenant, &bytes) in &charged {
+                prop_assert!(
+                    bytes <= quotas[tenant as usize],
+                    "replayed charge for tenant {tenant} over quota at {:?}",
+                    e
+                );
+            }
+        }
+        for tenant in 0..quotas.len() as u32 {
+            prop_assert_eq!(
+                charged.get(&tenant).copied().unwrap_or(0),
+                m.charged_bytes_of(tenant),
+                "replayed charged ledger diverged for tenant {}",
+                tenant
+            );
+        }
+        prop_assert_eq!(subleased, m.subleased_bytes());
+        prop_assert_eq!(m.subleases() - m.sublease_returns(), subleased / chunk);
     }
 }
 

@@ -269,6 +269,7 @@ mod tests {
                 total_bytes_after: 128 << 20,
                 tenant: NO_TENANT,
                 tenant_bytes_after: 128 << 20,
+                lessor: NO_TENANT,
                 priority: Priority::Normal,
             },
             LeaseEvent {
@@ -281,6 +282,7 @@ mod tests {
                 total_bytes_after: 64 << 20,
                 tenant: NO_TENANT,
                 tenant_bytes_after: 64 << 20,
+                lessor: NO_TENANT,
                 priority: Priority::Normal,
             },
         ];

@@ -46,6 +46,11 @@ use crate::trace::{RequestOutcome, RequestRecord, Trace};
 /// Local DRAM miss latency used for the non-borrowed tier.
 const LOCAL_MISS: Time = Time::from_ns(100);
 
+/// Lendable pool per node — what each node offers the cluster (the
+/// second argument of the `Cluster::mesh` call below), and therefore the
+/// denominator of the donor-pressure fraction.
+const LENDABLE_PER_NODE: u64 = 512 << 20;
+
 /// Tag value for "no tenant has driven a lease on this node yet"
 /// (doubles as the lease manager's unattributed-tenant sentinel).
 const NO_TAG: u32 = NO_TENANT;
@@ -325,6 +330,12 @@ fn measure_crma(cluster: &mut Cluster, node: NodeId, local_base: u64) -> Time {
 /// drift apart — the two callers differ only in *when* the capacity
 /// becomes visible (instantly at setup; after the lease's establish
 /// flow mid-run).
+///
+/// With `lessor` set the chunk is a market match: the manager confirms
+/// it as a sublease and the cluster annotates the grant with the
+/// lessor→tenant chain, so the two ledgers can be reconciled at end of
+/// run.
+#[allow(clippy::too_many_arguments)]
 fn grow_lease(
     cluster: &mut Cluster,
     manager: &mut LeaseManager,
@@ -333,18 +344,83 @@ fn grow_lease(
     tenant: u32,
     predictive: bool,
     priority: Priority,
+    lessor: Option<u32>,
 ) -> Option<(u64, MemoryLease, Time)> {
     let chunk = manager.config().chunk_bytes;
     match cluster.borrow_memory(NodeId(node), chunk) {
         Ok(lease) => {
             let lat = measure_crma(cluster, NodeId(node), lease.local_base);
-            let generation = manager.confirm_grow(now, node, tenant, predictive, priority);
+            let generation = match lessor {
+                Some(lessor) => {
+                    let generation = manager.confirm_sublease(now, node, tenant, lessor, priority);
+                    cluster
+                        .mark_sublease(lease.grant_id, lessor, tenant)
+                        .expect("fresh grant accepts its sublease chain");
+                    generation
+                }
+                None => manager.confirm_grow(now, node, tenant, predictive, priority),
+            };
             Some((generation, lease, lat))
         }
         Err(_) => {
             manager.deny_grow(now, node, tenant, priority);
             None
         }
+    }
+}
+
+/// Applies a mid-run `Grow` or `Sublease` decision: borrow through the
+/// shared flow, schedule the Fig 2 establish completion — the borrowed
+/// capacity must not serve requests before the flow completes, or the
+/// elastic-vs-static comparison would credit elastic with instant
+/// provisioning — and bump the donor's lent pressure (its memory is
+/// committed at borrow time, even though the recipient's visibility
+/// waits on the establish flow). `lessor` marks a market match.
+fn apply_grow<'a>(
+    w: &mut World<'a>,
+    s: &mut Sched<'a>,
+    now: Time,
+    signals: &[NodeSignal],
+    node: u16,
+    predictive: bool,
+    lessor: Option<u32>,
+) {
+    let tenant = signals[node as usize].tenant;
+    let priority = signals[node as usize].priority;
+    let tier = w.elastic.as_mut().expect("elastic run");
+    if let Some((generation, lease, lat)) = grow_lease(
+        &mut w.cluster,
+        &mut tier.manager,
+        now,
+        node,
+        tenant,
+        predictive,
+        priority,
+        lessor,
+    ) {
+        s.schedule_event_in(
+            lease.setup_time,
+            EngineEvent::LeaseEstablished(Box::new(LeaseEstablish {
+                node,
+                generation,
+                lease,
+                class_tag: tenant,
+                lat,
+            })),
+        );
+        sync_donor_pressure(w, lease.donor.0);
+    }
+}
+
+/// Refreshes `donor`'s lent-memory pressure from the cluster ledger and
+/// recompiles its service models — called wherever a grant involving the
+/// donor is established or torn down. A no-op unless the pressure term
+/// is armed, so untouched configurations never recompile here.
+fn sync_donor_pressure(w: &mut World<'_>, donor: u16) {
+    if w.servers[donor as usize].model.lent_slowdown > 0.0 {
+        let lent = w.cluster.lent_bytes_of(NodeId(donor));
+        w.servers[donor as usize].model.lent_bytes = lent;
+        recompile_service(w, donor as usize);
     }
 }
 
@@ -906,6 +982,9 @@ fn apply_revoke(
     let model = &mut w.servers[recipient].model;
     model.remote_bytes = model.remote_bytes.saturating_sub(lease.bytes);
     recompile_service(w, recipient);
+    // The reclaimed pool speeds the donor back up — the whole point of
+    // a cost-aware revoke.
+    sync_donor_pressure(w, donor);
 }
 
 /// Periodic elastic-lease control tick: sample per-node queue depth and
@@ -920,12 +999,14 @@ fn lease_tick<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
         return;
     }
     let now = s.now();
-    // Chunks each node has lent out, from the cluster's live ledger
-    // (includes grants still in their recipient-side establish flow —
-    // the donor's memory is committed either way).
+    // Chunks and bytes each node has lent out, from the cluster's live
+    // ledger (includes grants still in their recipient-side establish
+    // flow — the donor's memory is committed either way).
     let mut lent = vec![0u32; w.servers.len()];
+    let mut lent_bytes = vec![0u64; w.servers.len()];
     for lease in w.cluster.active_leases() {
         lent[lease.donor.0 as usize] += 1;
+        lent_bytes[lease.donor.0 as usize] += lease.bytes;
     }
     let signals: Vec<NodeSignal> = w
         .servers
@@ -937,6 +1018,7 @@ fn lease_tick<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
             NodeSignal {
                 depth: (srv.backlog.len() + busy) as u32,
                 lent_chunks: lent[i],
+                lent_pressure: (lent_bytes[i] as f64 / LENDABLE_PER_NODE as f64).min(1.0),
                 tenant,
                 priority: if tenant == NO_TAG {
                     Priority::Normal
@@ -951,34 +1033,12 @@ fn lease_tick<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
     for action in actions {
         match action {
             LeaseAction::Grow { node, predictive } => {
-                let tenant = signals[node as usize].tenant;
-                let priority = signals[node as usize].priority;
-                let tier = w.elastic.as_mut().expect("checked above");
-                if let Some((generation, lease, lat)) = grow_lease(
-                    &mut w.cluster,
-                    &mut tier.manager,
-                    now,
-                    node,
-                    tenant,
-                    predictive,
-                    priority,
-                ) {
-                    // The Fig 2 establish flow takes real time (tens of
-                    // milliseconds for a 64 MB window): the borrowed
-                    // capacity must not serve requests before the flow
-                    // completes, or the elastic-vs-static comparison
-                    // would credit elastic with instant provisioning.
-                    s.schedule_event_in(
-                        lease.setup_time,
-                        EngineEvent::LeaseEstablished(Box::new(LeaseEstablish {
-                            node,
-                            generation,
-                            lease,
-                            class_tag: tenant,
-                            lat,
-                        })),
-                    );
-                }
+                apply_grow(w, s, now, &signals, node, predictive, None);
+            }
+            // A market match borrows through the identical flow; it
+            // differs only in whose quota the confirm charges.
+            LeaseAction::Sublease { node, lessor } => {
+                apply_grow(w, s, now, &signals, node, false, Some(lessor));
             }
             LeaseAction::Shrink { node } => {
                 let tier = w.elastic.as_mut().expect("checked above");
@@ -1001,6 +1061,8 @@ fn lease_tick<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
                     let model = &mut w.servers[node as usize].model;
                     model.remote_bytes = model.remote_bytes.saturating_sub(lease.bytes);
                     recompile_service(w, node as usize);
+                    // The release repays the donor's pool immediately.
+                    sync_donor_pressure(w, lease.donor.0);
                 }
                 // When nothing is visible (the node's only chunks are
                 // still establishing) the decision is surrendered: the
@@ -1146,7 +1208,7 @@ fn run_full(
     }
 
     // 1. Build the cluster; record mesh adjacency for locality routing.
-    let mut cluster = Cluster::mesh(dx, dy, dz, 1 << 30, 512 << 20);
+    let mut cluster = Cluster::mesh(dx, dy, dz, 1 << 30, LENDABLE_PER_NODE);
     let n = cluster.len();
     let neighbors: Vec<Vec<u16>> = cluster
         .nodes
@@ -1206,6 +1268,9 @@ fn run_full(
                     remote_miss: Time::ZERO,
                     remote_bytes: 0,
                     full_bytes: full,
+                    lent_bytes: 0,
+                    lendable_bytes: LENDABLE_PER_NODE,
+                    lent_slowdown: lease_config.donor_pressure_slowdown,
                 });
             }
             let mut tier = ElasticTier {
@@ -1233,6 +1298,7 @@ fn run_full(
                     NO_TAG,
                     false,
                     Priority::Normal,
+                    None,
                 ) {
                     // Setup-time provisioning is visible immediately
                     // (the run starts after setup, like the static
@@ -1242,12 +1308,20 @@ fn run_full(
                     model.remote_bytes += lease.bytes;
                     model.remote_miss = lat;
                     remote_leases += 1;
+                    // Bootstrap grants pressure their donors from t = 0
+                    // when the term is armed.
+                    let donor = lease.donor.0 as usize;
+                    if models[donor].lent_slowdown > 0.0 {
+                        models[donor].lent_bytes = cluster.lent_bytes_of(lease.donor);
+                    }
                 }
             }
             elastic = Some(tier);
         }
         (None, RemoteStack::VeniceCrma) => {
-            // Static: the PR 1 one-shot provisioning path.
+            // Static: the PR 1 one-shot provisioning path. The donor
+            // pressure term is a lease-policy knob, so static tiers
+            // model lending as free (as they always have).
             for id in 0..n as u16 {
                 let model = if config.remote_memory_per_node > 0 {
                     match cluster.borrow_memory(NodeId(id), config.remote_memory_per_node) {
@@ -1259,6 +1333,9 @@ fn run_full(
                                 remote_miss: lat,
                                 remote_bytes: lease.bytes,
                                 full_bytes: lease.bytes,
+                                lent_bytes: 0,
+                                lendable_bytes: LENDABLE_PER_NODE,
+                                lent_slowdown: 0.0,
                             }
                         }
                         Err(_) => {
@@ -1283,6 +1360,9 @@ fn run_full(
                         remote_miss: stack.remote_miss(Time::ZERO, qp_lat),
                         remote_bytes: config.remote_memory_per_node,
                         full_bytes: config.remote_memory_per_node,
+                        lent_bytes: 0,
+                        lendable_bytes: 0,
+                        lent_slowdown: 0.0,
                     }
                 } else {
                     NodeModel::local_only(LOCAL_MISS)
@@ -1475,9 +1555,19 @@ fn run_full(
                 tier.manager.total_bytes(),
                 "lease-manager ledger diverged from the cluster ledger"
             );
+            // The market's second conservation law: every byte the
+            // manager accounts as subleased is annotated as a chain on
+            // the cluster's active-lease ledger, and vice versa.
+            assert_eq!(
+                w.cluster.subleased_bytes(),
+                tier.manager.subleased_bytes(),
+                "sublease ledger diverged from the cluster's chains"
+            );
             let classes = w.classes.len();
             let mut tenant_bytes: Vec<u64> = tier.manager.tenant_ledger().to_vec();
             tenant_bytes.resize(classes, 0);
+            let mut charged_bytes: Vec<u64> = tier.manager.charged_ledger().to_vec();
+            charged_bytes.resize(classes, 0);
             LeaseSummary {
                 grows: tier.manager.grows(),
                 predictive_grows: tier.manager.predictive_grows(),
@@ -1486,9 +1576,13 @@ fn run_full(
                 revoke_denials: tier.manager.revoke_denials(),
                 denials: tier.manager.denials(),
                 quota_denials: tier.manager.quota_denials(),
+                subleases: tier.manager.subleases(),
+                sublease_returns: tier.manager.sublease_returns(),
                 peak_bytes: tier.manager.peak_bytes(),
                 mean_bytes: tier.manager.mean_bytes(duration),
                 tenant_bytes,
+                charged_bytes,
+                donor_nodes: tier.manager.donor_nodes(),
                 events: tier.manager.timeline().iter().map(|(_, e)| *e).collect(),
             }
         }

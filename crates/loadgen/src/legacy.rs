@@ -750,6 +750,10 @@ fn lease_tick(w: &mut World, s: &mut Scheduler<World>) {
             NodeSignal {
                 depth: (srv.backlog.len() + busy) as u32,
                 lent_chunks: lent[i],
+                // The frozen baseline predates the donor-pressure term;
+                // the manager ignores this field at weight 0, the only
+                // regime the oracle is ever run in.
+                lent_pressure: 0.0,
                 tenant,
                 priority: if tenant == NO_TAG {
                     Priority::Normal
@@ -843,6 +847,12 @@ fn lease_tick(w: &mut World, s: &mut Scheduler<World>) {
                 s.schedule_in(teardown, move |w: &mut World, s| {
                     apply_revoke(w, s.now(), donor, recipient, generation, lease, priority);
                 });
+            }
+            LeaseAction::Sublease { .. } => {
+                unreachable!(
+                    "the frozen baseline predates the sublease market and \
+                     is never run with it armed"
+                );
             }
         }
     }
@@ -975,6 +985,9 @@ fn run_core(
                     remote_miss: Time::ZERO,
                     remote_bytes: 0,
                     full_bytes: full,
+                    lent_bytes: 0,
+                    lendable_bytes: 0,
+                    lent_slowdown: 0.0,
                 });
             }
             let mut tier = ElasticTier {
@@ -1028,6 +1041,9 @@ fn run_core(
                                 remote_miss: lat,
                                 remote_bytes: lease.bytes,
                                 full_bytes: lease.bytes,
+                                lent_bytes: 0,
+                                lendable_bytes: 0,
+                                lent_slowdown: 0.0,
                             }
                         }
                         Err(_) => {
@@ -1052,6 +1068,9 @@ fn run_core(
                         remote_miss: stack.remote_miss(Time::ZERO, qp_lat),
                         remote_bytes: config.remote_memory_per_node,
                         full_bytes: config.remote_memory_per_node,
+                        lent_bytes: 0,
+                        lendable_bytes: 0,
+                        lent_slowdown: 0.0,
                     }
                 } else {
                     NodeModel::local_only(LOCAL_MISS)
@@ -1194,6 +1213,8 @@ fn run_core(
             let classes = w.classes.len();
             let mut tenant_bytes: Vec<u64> = tier.manager.tenant_ledger().to_vec();
             tenant_bytes.resize(classes, 0);
+            let mut charged_bytes: Vec<u64> = tier.manager.charged_ledger().to_vec();
+            charged_bytes.resize(classes, 0);
             LeaseSummary {
                 grows: tier.manager.grows(),
                 predictive_grows: tier.manager.predictive_grows(),
@@ -1202,9 +1223,13 @@ fn run_core(
                 revoke_denials: tier.manager.revoke_denials(),
                 denials: tier.manager.denials(),
                 quota_denials: tier.manager.quota_denials(),
+                subleases: tier.manager.subleases(),
+                sublease_returns: tier.manager.sublease_returns(),
                 peak_bytes: tier.manager.peak_bytes(),
                 mean_bytes: tier.manager.mean_bytes(duration),
                 tenant_bytes,
+                charged_bytes,
+                donor_nodes: tier.manager.donor_nodes(),
                 events: tier.manager.timeline().iter().map(|(_, e)| *e).collect(),
             }
         }

@@ -57,6 +57,7 @@
 
 pub mod admission;
 pub mod arrival;
+pub mod economy;
 pub mod elastic;
 pub mod elastic_v2;
 pub mod engine;

@@ -24,8 +24,16 @@ pub struct LeaseSummary {
     /// Borrows refused by the Monitor Node (donor capacity exhausted).
     pub denials: u64,
     /// Borrows refused locally because the driving tenant sat at its
-    /// byte quota.
+    /// byte quota. With the sublease market armed, only the refusals no
+    /// lessor could absorb land here — the converted ones count as
+    /// `subleases`.
     pub quota_denials: u64,
+    /// Quota refusals converted on the sublease market: the chunk was
+    /// borrowed anyway, charged against another tenant's idle headroom.
+    pub subleases: u64,
+    /// Subleased chunks returned to their lessors (calm releases and
+    /// donor revokes of market chunks alike).
+    pub sublease_returns: u64,
     /// Highest cluster-wide borrowed bytes at any instant.
     pub peak_bytes: u64,
     /// Time-weighted mean of cluster-wide borrowed bytes.
@@ -33,6 +41,15 @@ pub struct LeaseSummary {
     /// Final per-tenant lease ledger, in mix class order (bytes each
     /// tenant's backlog still held borrowed at the end of the run).
     pub tenant_bytes: Vec<u64>,
+    /// Final per-tenant *charged* ledger, in mix class order: bytes
+    /// counted against each tenant's quota (own chunks plus chunks
+    /// subleased out). Differs from `tenant_bytes` only when the
+    /// sublease market moved headroom between tenants.
+    pub charged_bytes: Vec<u64>,
+    /// Nodes that lent memory at any point of the run (donor set), in
+    /// node order — what the donor-benefit figures compute donor-side
+    /// latency over. Empty for static provisioning.
+    pub donor_nodes: Vec<u16>,
     /// The full borrow/release timeline (empty for static provisioning,
     /// which never changes after setup).
     pub events: Vec<LeaseEvent>,
@@ -184,13 +201,14 @@ impl LoadReport {
         ));
         out.push_str(&format!(
             "lease tier: {} grows ({} predictive) / {} shrinks / {} revokes / {} denials \
-             ({} quota), peak {} MB, mean {} MB\n",
+             ({} quota, {} subleased), peak {} MB, mean {} MB\n",
             self.lease.grows,
             self.lease.predictive_grows,
             self.lease.shrinks,
             self.lease.revokes,
             self.lease.denials,
             self.lease.quota_denials,
+            self.lease.subleases,
             self.lease.peak_bytes >> 20,
             self.lease.mean_bytes >> 20,
         ));

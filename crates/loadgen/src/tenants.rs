@@ -17,6 +17,15 @@ use venice_workloads::{KvCache, OltpWorkload, PageRank, ZipfSampler};
 /// holds *right now*. With elastic leases this changes mid-run — the
 /// model is continuous in `remote_bytes`, so every borrowed chunk buys a
 /// proportional capacity/locality benefit instead of a binary flip.
+///
+/// The model also carries the node's **donor side**: how much of its
+/// lendable pool is currently granted out (`lent_bytes` of
+/// `lendable_bytes`). With `lent_slowdown > 0` the service-time model
+/// degrades continuously in the lent fraction — lending costs the donor
+/// spare capacity it would otherwise use itself — and recovers as
+/// revokes and releases land. At the default `lent_slowdown == 0.0`
+/// lending is modeled as free and every service time is bit-identical
+/// to the pre-pressure model (the frozen-baseline guarantee).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeModel {
     /// Local DRAM miss service latency.
@@ -29,6 +38,16 @@ pub struct NodeModel {
     /// The fully provisioned reference level (what a static setup would
     /// borrow); `remote_bytes / full_bytes` is the tier's fill fraction.
     pub full_bytes: u64,
+    /// Bytes this node currently has lent out to other nodes (mirrors
+    /// the cluster's donor-side ledger; maintained by the engine).
+    pub lent_bytes: u64,
+    /// The node's full lendable pool; `lent_bytes / lendable_bytes` is
+    /// the donor-pressure fraction.
+    pub lendable_bytes: u64,
+    /// Maximum fractional service-time slowdown at full pool
+    /// consumption ([`venice_lease::LeaseConfig::donor_pressure_slowdown`]);
+    /// `0.0` disables the pressure term entirely.
+    pub lent_slowdown: f64,
 }
 
 impl NodeModel {
@@ -39,12 +58,39 @@ impl NodeModel {
             remote_miss: Time::ZERO,
             remote_bytes: 0,
             full_bytes: 0,
+            lent_bytes: 0,
+            lendable_bytes: 0,
+            lent_slowdown: 0.0,
         }
     }
 
     /// Whether the node holds any borrowed remote memory.
     pub fn has_remote(&self) -> bool {
         self.remote_bytes > 0
+    }
+
+    /// Fraction of the lendable pool currently granted out, in `[0, 1]`
+    /// (0 when the node has no pool). This is the donor-benefit signal
+    /// the engine feeds to [`venice_lease::NodeSignal::lent_pressure`].
+    pub fn lent_pressure(&self) -> f64 {
+        if self.lendable_bytes == 0 {
+            0.0
+        } else {
+            (self.lent_bytes as f64 / self.lendable_bytes as f64).min(1.0)
+        }
+    }
+
+    /// The service-time multiplier the donor pays for lending right now:
+    /// `1 + lent_slowdown * lent_pressure`. Exactly `1.0` — and the hot
+    /// path skips the multiply entirely — while the pressure term is
+    /// disabled or nothing is lent, preserving bit-identity with the
+    /// pressure-free model.
+    pub fn lent_factor(&self) -> f64 {
+        if self.lent_slowdown > 0.0 && self.lent_bytes > 0 {
+            1.0 + self.lent_slowdown * self.lent_pressure()
+        } else {
+            1.0
+        }
     }
 
     /// Fraction of the full provisioning level currently held, in
@@ -173,6 +219,16 @@ impl RequestProfile {
             }
             RequestProfile::Iperf { server_cpu, .. } => *server_cpu,
         };
+        // Donor pressure: a lending node serves slower in proportion to
+        // how much of its pool is out. The factor is exactly 1.0 (and
+        // the scale is skipped) when the term is disabled, so untouched
+        // configurations stay bit-identical.
+        let factor = node.lent_factor();
+        let base = if factor != 1.0 {
+            base.scale(factor)
+        } else {
+            base
+        };
         // ±10 % service jitter: dispersion that keeps the tail honest
         // without changing means materially.
         base.scale(0.9 + 0.2 * rng.unit())
@@ -191,7 +247,7 @@ impl RequestProfile {
     /// jitter draw. The equivalence is pinned by a property test and by
     /// the engine-level typed-vs-legacy differential gates.
     pub fn compile(&self, node: &NodeModel) -> CompiledService {
-        match self {
+        let compiled = match self {
             RequestProfile::Kv {
                 cache,
                 capacity_bytes,
@@ -235,6 +291,25 @@ impl RequestProfile {
                 )
             }
             RequestProfile::Iperf { server_cpu, .. } => CompiledService::Fixed(*server_cpu),
+        };
+        // Bake the donor-pressure factor into the compiled costs with
+        // the *same* `Time::scale` call the interpreted path applies, so
+        // compiled and interpreted stay bit-identical draw for draw.
+        let factor = node.lent_factor();
+        if factor == 1.0 {
+            return compiled;
+        }
+        match compiled {
+            CompiledService::Fixed(t) => CompiledService::Fixed(t.scale(factor)),
+            CompiledService::Coin {
+                miss_rate,
+                miss,
+                hit,
+            } => CompiledService::Coin {
+                miss_rate,
+                miss: miss.scale(factor),
+                hit: hit.scale(factor),
+            },
         }
     }
 }
@@ -517,6 +592,9 @@ mod tests {
             remote_miss: Time::from_us(3),
             remote_bytes: 384 << 20,
             full_bytes: 384 << 20,
+            lent_bytes: 0,
+            lendable_bytes: 0,
+            lent_slowdown: 0.0,
         }
     }
 
@@ -569,6 +647,44 @@ mod tests {
     }
 
     #[test]
+    fn lent_pressure_degrades_continuously_and_recovers() {
+        let mut n = node();
+        n.lendable_bytes = 512 << 20;
+        n.lent_slowdown = 0.5;
+        assert_eq!(n.lent_factor(), 1.0, "nothing lent: no pressure");
+        let base = |n: &NodeModel| {
+            let mut rng = SimRng::seed(3);
+            let kv = RequestProfile::Kv {
+                cache: TenantMix::service_kv(),
+                capacity_bytes: 512 << 20,
+            };
+            let total: Time = (0..500).map(|_| kv.service_time(&mut rng, n)).sum();
+            total
+        };
+        let unlent = base(&n);
+        // Half the pool out: factor 1.25, service times strictly slower.
+        n.lent_bytes = 256 << 20;
+        assert!((n.lent_factor() - 1.25).abs() < 1e-12);
+        let half = base(&n);
+        assert!(half > unlent, "lending did not slow the donor");
+        // The whole pool out: factor 1.5, slower still (continuous, not
+        // a binary flip).
+        n.lent_bytes = 512 << 20;
+        assert!((n.lent_factor() - 1.5).abs() < 1e-12);
+        let full = base(&n);
+        assert!(full > half);
+        // Revoke lands: the pool returns and so does the service time,
+        // bit for bit.
+        n.lent_bytes = 0;
+        assert_eq!(base(&n), unlent, "recovery must be exact");
+        // Disabled term: lent bytes are free, bit-identical to unlent.
+        let mut disabled = n;
+        disabled.lent_bytes = 512 << 20;
+        disabled.lent_slowdown = 0.0;
+        assert_eq!(base(&disabled), unlent);
+    }
+
+    #[test]
     #[should_panic]
     fn empty_mix_rejected() {
         TenantMix::new("x", vec![], 10, 0.5);
@@ -586,12 +702,30 @@ mod tests {
                 remote_miss: Time::from_us(3),
                 remote_bytes: 256 << 20,
                 full_bytes: 256 << 20,
+                lent_bytes: 0,
+                lendable_bytes: 0,
+                lent_slowdown: 0.0,
             },
             NodeModel {
                 local_miss: Time::from_ns(100),
                 remote_miss: Time::from_us(7),
                 remote_bytes: 64 << 20,
                 full_bytes: 512 << 20,
+                lent_bytes: 0,
+                lendable_bytes: 0,
+                lent_slowdown: 0.0,
+            },
+            // A pressured donor: half its pool lent at a 60 % max
+            // slowdown — the pressure term must stay bit-identical
+            // between the interpreted and compiled paths too.
+            NodeModel {
+                local_miss: Time::from_ns(100),
+                remote_miss: Time::from_us(3),
+                remote_bytes: 128 << 20,
+                full_bytes: 256 << 20,
+                lent_bytes: 256 << 20,
+                lendable_bytes: 512 << 20,
+                lent_slowdown: 0.6,
             },
         ];
         for mix in TenantMix::presets() {

@@ -226,7 +226,7 @@ impl<S, E> std::fmt::Debug for Scheduler<S, E> {
 /// `Kernel<S>` is the closure-compatible flavor; `Kernel<S, E>` with a
 /// typed `E: SimEvent<S>` is the zero-allocation fast path.
 ///
-/// # Example
+/// # Example: closures (compat flavor)
 ///
 /// ```
 /// use venice_sim::{Kernel, Time};
@@ -234,6 +234,56 @@ impl<S, E> std::fmt::Debug for Scheduler<S, E> {
 /// k.schedule(Time::from_ns(1), |n: &mut u32, _| *n += 1);
 /// k.run();
 /// assert_eq!(*k.state(), 1);
+/// ```
+///
+/// # Example: a minimal typed-event simulation
+///
+/// A tiny server: arrivals every 10 µs, a fixed 25 µs service time, one
+/// slot — a request either starts service immediately or queues behind
+/// the busy slot. The whole simulation is one enum and one `match`, and
+/// every event is scheduled by value (no `Box`, no vtable):
+///
+/// ```
+/// use venice_sim::{Kernel, Scheduler, SimEvent, Time};
+///
+/// struct Server { queued: u32, busy_until: Time, served: u32 }
+///
+/// enum Ev { Arrive(u32), Finish }
+///
+/// impl SimEvent<Server> for Ev {
+///     fn fire(self, w: &mut Server, s: &mut Scheduler<Server, Ev>) {
+///         match self {
+///             Ev::Arrive(remaining) => {
+///                 w.queued += 1;
+///                 if w.busy_until <= s.now() {
+///                     // Idle slot: start service now.
+///                     w.busy_until = s.now() + Time::from_us(25);
+///                     s.schedule_event_at(w.busy_until, Ev::Finish);
+///                 }
+///                 if remaining > 0 {
+///                     s.schedule_event_in(Time::from_us(10), Ev::Arrive(remaining - 1));
+///                 }
+///             }
+///             Ev::Finish => {
+///                 w.queued -= 1;
+///                 w.served += 1;
+///                 if w.queued > 0 {
+///                     // Next in line takes the slot.
+///                     w.busy_until = s.now() + Time::from_us(25);
+///                     s.schedule_event_at(w.busy_until, Ev::Finish);
+///                 }
+///             }
+///         }
+///     }
+/// }
+///
+/// let server = Server { queued: 0, busy_until: Time::ZERO, served: 0 };
+/// let mut k: Kernel<Server, Ev> = Kernel::new(server);
+/// k.schedule_event(Time::ZERO, Ev::Arrive(3)); // 4 arrivals in all
+/// k.run();
+/// assert_eq!(k.state().served, 4);
+/// // Arrivals outpace the 25 µs service: the last departure is at 100 µs.
+/// assert_eq!(k.now(), Time::from_us(100));
 /// ```
 pub struct Kernel<S, E = ClosureEvent<S>> {
     state: S,

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Deterministic discrete-event simulation kernel for the Venice
 //! reproduction.
