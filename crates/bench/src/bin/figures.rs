@@ -19,6 +19,33 @@
 
 use std::process::ExitCode;
 
+/// Appends a text-only engine-metrics table (events executed, lookahead
+/// fusion rate, peak event-queue depth) for a reduced-count run of each
+/// storm mix. Deliberately not part of the JSON artifact: these are
+/// loop-level counters, and `BENCH_figures.json`'s shape is frozen by
+/// the freshness diff.
+fn print_engine_metrics() {
+    use venice_loadgen::{engine, scenarios};
+
+    println!("\n== engine metrics (storm mixes, 40k requests each) ==");
+    println!(
+        "{:<16} {:>10} {:>10} {:>7} {:>11}",
+        "mix", "events", "fused", "fused%", "peak depth"
+    );
+    for mut config in scenarios::storm_configs(scenarios::SCENARIO_SEED) {
+        config.requests = 40_000;
+        let (_, m) = engine::run_metered(&config);
+        println!(
+            "{:<16} {:>10} {:>10} {:>6.1}% {:>11}",
+            config.mix.name,
+            m.events,
+            m.fused_arrivals,
+            m.fused_arrivals as f64 * 100.0 / m.events.max(1) as f64,
+            m.peak_queue_depth,
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let mut json_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
@@ -64,6 +91,9 @@ fn main() -> ExitCode {
         println!("shape check: all measured series match the paper's orderings");
     } else {
         println!("shape check FAILURES: {mismatches:?}");
+    }
+    if loadgen {
+        print_engine_metrics();
     }
     // The canonical machine-readable artifact, anchored to the repo root
     // regardless of the invocation CWD. Only a full run (no id filter,

@@ -1,0 +1,251 @@
+//! Hot-path profiles and the `venice-telemetry-v1` artifact.
+//!
+//! ```text
+//! profile [--out PATH] [--requests N] [--tick-ms T] [--cap N]
+//!         [--iters K] [--gate-overhead PCT]
+//! ```
+//!
+//! Runs the storm scenarios (three tenant mixes), the elastic-v2
+//! predictive controller, and the economy quota-market scenario with a
+//! [`venice_telemetry::RecordingProbe`] threaded through the engine,
+//! then:
+//!
+//! * prints each scenario's text profile (top event kinds by count and
+//!   attributed sim time, queue traffic, per-node utilization, lease
+//!   span summary);
+//! * **gates** every probed run against a no-op-probe run of the same
+//!   configuration — the two `LoadReport`s must serialize to
+//!   byte-identical JSON, or observing the run perturbed it and the run
+//!   fails;
+//! * concatenates the per-scenario `venice-telemetry-v1` JSONL blocks
+//!   into `BENCH_telemetry.jsonl` (CI regenerates a reduced-count copy
+//!   at rayon widths 1 and 8 and byte-compares them).
+//!
+//! With `--gate-overhead PCT`, the no-op and probed runs are also timed
+//! in interleaved best-of-`--iters` pairs and the run fails if the
+//! probed engine's best wall time exceeds the no-op best by more than
+//! `PCT` percent — the "cheap enough to leave on" claim, measured.
+//!
+//! Sampling cadence is `--tick-ms` (sim time) with a ring retaining the
+//! last `--cap` rows per scenario, so artifact size is bounded no
+//! matter the request count. Like `BENCH_perf.json`, the committed
+//! artifact is regenerated manually (`cargo run --release -p
+//! venice-bench --bin profile`), not freshness-diffed: its byte content
+//! is machine-independent, but regeneration is only meaningful when the
+//! engine's event flow changes.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use venice_loadgen::telemetry::{profile_run, EVENT_KIND_LABELS};
+use venice_loadgen::{economy, elastic_v2, engine, scenarios, LoadgenConfig};
+use venice_sim::Time;
+use venice_telemetry::export_jsonl;
+
+/// Default timing iterations for the overhead gate (best-of is kept).
+const DEFAULT_ITERS: u32 = 3;
+/// Default sim-time sampling tick, in milliseconds.
+const DEFAULT_TICK_MS: u64 = 25;
+/// Default ring capacity (retained sample rows per scenario).
+const DEFAULT_CAP: usize = 48;
+
+struct Args {
+    out: Option<String>,
+    requests: Option<u64>,
+    tick_ms: u64,
+    cap: usize,
+    iters: u32,
+    gate_overhead_pct: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: None,
+        requests: None,
+        tick_ms: DEFAULT_TICK_MS,
+        cap: DEFAULT_CAP,
+        iters: DEFAULT_ITERS,
+        gate_overhead_pct: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--out" => args.out = Some(take("--out")?),
+            "--requests" => {
+                args.requests = Some(
+                    take("--requests")?
+                        .parse()
+                        .map_err(|e| format!("--requests: {e}"))?,
+                )
+            }
+            "--tick-ms" => {
+                args.tick_ms = take("--tick-ms")?
+                    .parse()
+                    .map_err(|e| format!("--tick-ms: {e}"))?;
+                if args.tick_ms == 0 {
+                    return Err("--tick-ms must be at least 1".to_string());
+                }
+            }
+            "--cap" => {
+                args.cap = take("--cap")?.parse().map_err(|e| format!("--cap: {e}"))?;
+                if args.cap == 0 {
+                    return Err("--cap must be at least 1".to_string());
+                }
+            }
+            "--iters" => {
+                args.iters = take("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+                if args.iters == 0 {
+                    return Err("--iters must be at least 1".to_string());
+                }
+            }
+            "--gate-overhead" => {
+                args.gate_overhead_pct = Some(
+                    take("--gate-overhead")?
+                        .parse()
+                        .map_err(|e| format!("--gate-overhead: {e}"))?,
+                )
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}`\n\
+                     usage: profile [--out PATH] [--requests N] [--tick-ms T] \
+                     [--cap N] [--iters K] [--gate-overhead PCT]"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// The scenario grid: every control path the probe can light up —
+/// static storms (pure event-core traffic), the predictive lease
+/// controller (grow/establish/shrink spans), and the quota market
+/// (denials, subleases, teardowns).
+fn grid() -> Vec<(String, LoadgenConfig)> {
+    let mut out = Vec::new();
+    for config in scenarios::storm_configs(scenarios::SCENARIO_SEED) {
+        out.push((format!("storm-{}", config.mix.name), config));
+    }
+    let mut predictive = elastic_v2::predictive_config(elastic_v2::V2_SEED);
+    predictive.requests = 400_000;
+    out.push(("elastic-v2-predictive".to_string(), predictive));
+    out.push((
+        "economy-market".to_string(),
+        economy::market_config(economy::ECONOMY_SEED),
+    ));
+    out
+}
+
+/// One timed call of `f`, in milliseconds.
+fn time_once<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let r = f();
+    (start.elapsed().as_secs_f64() * 1e3, r)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("profile: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tick = Time::from_ms(args.tick_ms);
+
+    let mut artifact = String::new();
+    let mut worst_overhead_pct = f64::NEG_INFINITY;
+    for (scenario, mut config) in grid() {
+        if let Some(n) = args.requests {
+            config.requests = n;
+        }
+
+        // Timing iterations are interleaved (no-op, probed, no-op,
+        // probed, …), each side keeping its best wall time, so shared-
+        // machine noise degrades both sides of a pair instead of
+        // skewing whichever ran in the noisy window. The reports come
+        // from the final iteration; every iteration is bit-identical.
+        let iters = if args.gate_overhead_pct.is_some() {
+            args.iters
+        } else {
+            1
+        };
+        let mut noop_wall_ms = f64::INFINITY;
+        let mut probed_wall_ms = f64::INFINITY;
+        let mut noop_report = None;
+        let mut probed = None;
+        for _ in 0..iters {
+            let (wall, r) = time_once(|| engine::run(&config));
+            noop_wall_ms = noop_wall_ms.min(wall);
+            noop_report = Some(r);
+            let (wall, r) = time_once(|| profile_run(&scenario, &config, tick, args.cap));
+            probed_wall_ms = probed_wall_ms.min(wall);
+            probed = Some(r);
+        }
+        let noop_report = noop_report.expect("iters >= 1");
+        let (text, probed_report, probe) = probed.expect("iters >= 1");
+
+        // The perturbation gate: a probed run must report *exactly*
+        // what a no-op run reports, byte for byte.
+        let noop_json = serde_json::to_string(&noop_report).expect("report serializes");
+        let probed_json = serde_json::to_string(&probed_report).expect("report serializes");
+        if noop_json != probed_json {
+            eprintln!(
+                "profile: {scenario}: probed run diverged from the no-op run \
+                 (no-op {} bytes, probed {} bytes)",
+                noop_json.len(),
+                probed_json.len()
+            );
+            return ExitCode::FAILURE;
+        }
+
+        print!("{text}");
+        println!(
+            "gate: probed report matches the no-op report byte for byte ({} bytes)",
+            noop_json.len()
+        );
+        if args.gate_overhead_pct.is_some() {
+            let overhead_pct = (probed_wall_ms / noop_wall_ms - 1.0) * 100.0;
+            worst_overhead_pct = worst_overhead_pct.max(overhead_pct);
+            println!(
+                "timing: no-op {noop_wall_ms:.1} ms, probed {probed_wall_ms:.1} ms \
+                 (overhead {overhead_pct:+.1}%, best of {iters})"
+            );
+        }
+        println!();
+
+        // Export from the probe we already have rather than re-running
+        // through `telemetry::artifact_run` — same rendering path,
+        // identical bytes (the loadgen tests pin that equivalence).
+        artifact.push_str(&export_jsonl(
+            &scenario,
+            config.seed,
+            &probe,
+            &EVENT_KIND_LABELS,
+        ));
+    }
+
+    if let Some(limit) = args.gate_overhead_pct {
+        if worst_overhead_pct > limit {
+            eprintln!(
+                "profile: probe overhead gate FAILED: worst {worst_overhead_pct:+.1}% \
+                 exceeds the {limit}% budget"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("overhead gate: worst {worst_overhead_pct:+.1}% within the {limit}% budget");
+    }
+
+    let path = args
+        .out
+        .unwrap_or_else(|| "BENCH_telemetry.jsonl".to_string());
+    if let Err(e) = std::fs::write(&path, &artifact) {
+        eprintln!("profile: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path} ({} lines)", artifact.lines().count());
+    ExitCode::SUCCESS
+}

@@ -535,6 +535,22 @@ impl Cluster {
             .sum()
     }
 
+    /// Bytes `recipient` currently holds under sublease chains (the
+    /// market-charged slice of [`Cluster::borrowed_bytes_of`]) — the
+    /// per-node gauge the telemetry sampler reads.
+    pub fn subleased_bytes_of(&self, recipient: NodeId) -> u64 {
+        self.subleases
+            .iter()
+            .map(|s| {
+                self.active
+                    .iter()
+                    .find(|l| l.grant_id == s.grant_id && l.recipient == recipient)
+                    .map(|l| l.bytes)
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
     /// All leases established and not yet released, in establishment order.
     pub fn active_leases(&self) -> &[MemoryLease] {
         &self.active
@@ -815,6 +831,9 @@ mod tests {
         assert_eq!(c.subleased_bytes(), 128 << 20);
         assert_eq!(c.subleased_bytes_charged_to(7), 128 << 20);
         assert_eq!(c.subleased_bytes_charged_to(3), 0);
+        // The per-node view attributes the chain to the recipient.
+        assert_eq!(c.subleased_bytes_of(NodeId(0)), 128 << 20);
+        assert_eq!(c.subleased_bytes_of(NodeId(1)), 0);
         // One chunk, one paying tenant: double-marking is refused, and
         // an unknown grant cannot be marked.
         assert_eq!(

@@ -151,6 +151,36 @@ pub enum LeaseEventKind {
     SubleaseReturned,
 }
 
+impl LeaseEventKind {
+    /// Whether this event added a borrowed chunk to its node — the
+    /// open edge of a lease lifecycle (telemetry span tracing and
+    /// churn accounting key off this classification).
+    pub fn opens_chunk(self) -> bool {
+        matches!(
+            self,
+            LeaseEventKind::Grew | LeaseEventKind::GrewPredictive | LeaseEventKind::Subleased
+        )
+    }
+
+    /// Whether this event removed a borrowed chunk from its node — the
+    /// close edge of a lease lifecycle.
+    pub fn closes_chunk(self) -> bool {
+        matches!(
+            self,
+            LeaseEventKind::Shrank | LeaseEventKind::Revoked | LeaseEventKind::SubleaseReturned
+        )
+    }
+
+    /// Whether this event refused a request and left every ledger
+    /// unchanged (chunk counts, byte totals, and quota all hold).
+    pub fn is_denial(self) -> bool {
+        matches!(
+            self,
+            LeaseEventKind::Denied | LeaseEventKind::QuotaDenied | LeaseEventKind::RevokeDenied
+        )
+    }
+}
+
 /// One entry on the lease timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LeaseEvent {
@@ -1674,5 +1704,33 @@ mod tests {
             m.timeline().clone()
         };
         assert_eq!(drive(), drive());
+    }
+
+    #[test]
+    fn event_kinds_partition_into_open_close_denial() {
+        use LeaseEventKind::*;
+        // Every kind is exactly one of open/close/denial — the
+        // classification telemetry folds the timeline with.
+        for kind in [
+            Grew,
+            GrewPredictive,
+            Denied,
+            QuotaDenied,
+            Shrank,
+            Revoked,
+            RevokeDenied,
+            Subleased,
+            SubleaseReturned,
+        ] {
+            let classes = [kind.opens_chunk(), kind.closes_chunk(), kind.is_denial()];
+            assert_eq!(
+                classes.iter().filter(|&&c| c).count(),
+                1,
+                "{kind:?} must fall in exactly one class"
+            );
+        }
+        assert!(Grew.opens_chunk() && Subleased.opens_chunk());
+        assert!(Revoked.closes_chunk() && SubleaseReturned.closes_chunk());
+        assert!(QuotaDenied.is_denial() && RevokeDenied.is_denial());
     }
 }

@@ -32,6 +32,7 @@ use venice::cluster::Cluster;
 use venice::{MemoryLease, NodeId};
 use venice_lease::{LeaseAction, LeaseConfig, LeaseManager, NodeSignal, Priority, NO_TENANT};
 use venice_sim::{Kernel, LogHistogram, Scheduler, SimEvent, SimRng, Time};
+use venice_telemetry::{NodeGauges, NoopProbe, Probe, SampleRow, SpanKind, TenantCounters};
 use venice_transport::qpair::QpairError;
 use venice_transport::{QpairConfig, QueuePair};
 use venice_workloads::ZipfSampler;
@@ -376,9 +377,9 @@ fn grow_lease(
 /// provisioning — and bump the donor's lent pressure (its memory is
 /// committed at borrow time, even though the recipient's visibility
 /// waits on the establish flow). `lessor` marks a market match.
-fn apply_grow<'a>(
-    w: &mut World<'a>,
-    s: &mut Sched<'a>,
+fn apply_grow<'a, P: Probe>(
+    w: &mut World<'a, P>,
+    s: &mut Sched<'a, P>,
     now: Time,
     signals: &[NodeSignal],
     node: u16,
@@ -409,6 +410,10 @@ fn apply_grow<'a>(
             })),
         );
         sync_donor_pressure(w, lease.donor.0);
+        if P::ENABLED {
+            w.probe
+                .span_open(SpanKind::Establish, node, generation, now);
+        }
     }
 }
 
@@ -416,7 +421,7 @@ fn apply_grow<'a>(
 /// recompiles its service models — called wherever a grant involving the
 /// donor is established or torn down. A no-op unless the pressure term
 /// is armed, so untouched configurations never recompile here.
-fn sync_donor_pressure(w: &mut World<'_>, donor: u16) {
+fn sync_donor_pressure<P: Probe>(w: &mut World<'_, P>, donor: u16) {
     if w.servers[donor as usize].model.lent_slowdown > 0.0 {
         let lent = w.cluster.lent_bytes_of(NodeId(donor));
         w.servers[donor as usize].model.lent_bytes = lent;
@@ -452,6 +457,22 @@ enum EngineEvent {
     RevokeTorndown(Box<RevokeTeardown>),
 }
 
+impl EngineEvent {
+    /// Stable probe slot for this event kind; must stay in step with
+    /// [`crate::telemetry::EVENT_KIND_LABELS`].
+    fn kind(&self) -> u8 {
+        match self {
+            EngineEvent::Arrival => 0,
+            EngineEvent::SessionNext => 1,
+            EngineEvent::ReplayNext => 2,
+            EngineEvent::Finish(_) => 3,
+            EngineEvent::LeaseTick => 4,
+            EngineEvent::LeaseEstablished(_) => 5,
+            EngineEvent::RevokeTorndown(_) => 6,
+        }
+    }
+}
+
 /// Payload of [`EngineEvent::LeaseEstablished`].
 struct LeaseEstablish {
     /// Recipient node.
@@ -481,10 +502,13 @@ struct RevokeTeardown {
 }
 
 /// The engine's scheduler flavor: typed events over the world.
-type Sched<'a> = Scheduler<World<'a>, EngineEvent>;
+type Sched<'a, P> = Scheduler<World<'a, P>, EngineEvent>;
 
-impl<'a> SimEvent<World<'a>> for EngineEvent {
-    fn fire(self, w: &mut World<'a>, s: &mut Sched<'a>) {
+impl<'a, P: Probe> SimEvent<World<'a, P>> for EngineEvent {
+    fn fire(self, w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
+        if P::ENABLED {
+            pulse(w, s, self.kind());
+        }
         match self {
             EngineEvent::Arrival => open_arrival(w, s),
             EngineEvent::SessionNext => session_arrival(w, s),
@@ -508,6 +532,12 @@ impl<'a> SimEvent<World<'a>> for EngineEvent {
                 model.remote_bytes += lease.bytes;
                 model.remote_miss = lat;
                 recompile_service(w, node as usize);
+                if P::ENABLED {
+                    let now = s.now();
+                    w.probe
+                        .span_close(SpanKind::Establish, node, generation, now);
+                    w.probe.span_open(SpanKind::Active, node, generation, now);
+                }
             }
             EngineEvent::RevokeTorndown(rev) => {
                 let RevokeTeardown {
@@ -539,7 +569,11 @@ struct ReplayCursor<'a> {
 }
 
 /// The simulated world threaded through every event.
-struct World<'a> {
+struct World<'a, P: Probe> {
+    /// Observation hooks ([`venice_telemetry::Probe`]); `NoopProbe` in
+    /// every default entry point, so the hooks compile away and the
+    /// report stays bit-identical to the unprobed engine.
+    probe: P,
     /// Arrival-side randomness: interarrival gaps, tenant classes, users.
     /// Kept separate from `service_rng` so two *open-loop* (Poisson or
     /// bursty) runs with the same seed but different stacks/configs see
@@ -587,13 +621,18 @@ struct World<'a> {
     /// Mesh adjacency (from the node agents) for locality-aware routing.
     neighbors: Vec<Vec<u16>>,
     elastic: Option<ElasticTier>,
+    /// Cursor into the lease timeline for incremental per-tenant denial
+    /// accounting at probe samples; never advanced on the no-op path.
+    denied_scan: usize,
+    /// Per-class denial counts accumulated by that cursor.
+    denied_counts: Vec<u64>,
     /// Per-request records when tracing.
     trace: Option<Vec<RequestRecord>>,
     /// Recorded arrivals to re-drive instead of drawing fresh traffic.
     replay: Option<ReplayCursor<'a>>,
 }
 
-impl World<'_> {
+impl<P: Probe> World<'_, P> {
     /// Mutable access to the engine RNG (used to stagger closed-loop
     /// session starts).
     fn rng_mut(&mut self) -> &mut SimRng {
@@ -606,10 +645,84 @@ impl World<'_> {
     }
 }
 
+/// Per-event probe pulse: counts the event and, when a sample tick
+/// boundary was crossed, snapshots the world into a [`SampleRow`].
+/// Called only under `if P::ENABLED`, and never from the no-op path —
+/// sampling piggybacks on events the kernel was executing anyway, so
+/// the probed event stream is the unprobed one, exactly.
+fn pulse<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, kind: u8) {
+    let now = s.now();
+    w.probe.on_event(kind, now);
+    if let Some(at) = w.probe.sample_due(now) {
+        let row = build_sample(w, s.pending(), s.slab_occupancy().0);
+        w.probe.on_sample(at, row);
+    }
+}
+
+/// Snapshots per-node gauges and per-tenant counters for one sample.
+/// Reads the same ledgers the report reads (cluster byte positions,
+/// admission stats, the lease timeline) — observation only.
+fn build_sample<P: Probe>(w: &mut World<'_, P>, pending: usize, slab_live: usize) -> SampleRow {
+    let nodes = w
+        .servers
+        .iter()
+        .enumerate()
+        .map(|(i, srv)| NodeGauges {
+            depth: srv.backlog.len() as u32,
+            inflight: srv.inflight_by_class.iter().sum(),
+            borrowed: w.cluster.borrowed_bytes_of(NodeId(i as u16)),
+            lent: w.cluster.lent_bytes_of(NodeId(i as u16)),
+            subleased: w.cluster.subleased_bytes_of(NodeId(i as u16)),
+        })
+        .collect();
+    // Denials accumulate incrementally: only timeline entries recorded
+    // since the previous sample are scanned, keeping a sample O(new
+    // events) instead of O(whole run) — the full-scan version showed up
+    // in the profile bin's own overhead gate.
+    let World {
+        elastic,
+        denied_scan,
+        denied_counts,
+        ..
+    } = w;
+    if let Some(tier) = elastic {
+        let events = tier.manager.timeline().events();
+        for (_, e) in &events[*denied_scan..] {
+            if e.kind.is_denial() {
+                if let Some(slot) = denied_counts.get_mut(e.tenant as usize) {
+                    *slot += 1;
+                }
+            }
+        }
+        *denied_scan = events.len();
+    }
+    let tenants = w
+        .stats
+        .iter()
+        .enumerate()
+        .map(|(class, st)| TenantCounters {
+            admitted: st.admitted,
+            shed: st.shed_rate + st.shed_overload + st.shed_backpressure,
+            denied: w.denied_counts[class],
+            quota_bytes: w
+                .elastic
+                .as_ref()
+                .and_then(|t| t.manager.tenant_ledger().get(class).copied())
+                .unwrap_or(0),
+        })
+        .collect();
+    SampleRow {
+        nodes,
+        tenants,
+        slab_live: slab_live as u32,
+        pending_events: pending as u32,
+    }
+}
+
 /// Open-loop arrival event: issue one request, schedule the next at the
 /// process's instantaneous rate (constant for Poisson, phase-dependent
 /// for bursty traffic).
-fn open_arrival<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
+fn open_arrival<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
     let mut now = s.now();
     loop {
         issue(w, s, now);
@@ -637,6 +750,9 @@ fn open_arrival<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
             _ => {
                 s.advance_to(at);
                 w.fused += 1;
+                if P::ENABLED {
+                    w.probe.on_fused_arrival(at);
+                }
                 now = at;
             }
         }
@@ -644,7 +760,7 @@ fn open_arrival<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
 }
 
 /// Closed-loop session event: issue the session's next request.
-fn session_arrival<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
+fn session_arrival<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
     if w.issued >= w.target {
         return; // session retires
     }
@@ -653,7 +769,7 @@ fn session_arrival<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
 }
 
 /// Replay arrival event: re-drive the next recorded request.
-fn replay_arrival<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
+fn replay_arrival<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
     let now = s.now();
     let Some(rec) = w.replay.as_mut().and_then(|cur| {
         let rec = cur.records.get(cur.next).copied();
@@ -674,7 +790,7 @@ fn replay_arrival<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
 }
 
 /// Schedules the closed-loop session's next request, if any remain.
-fn schedule_next_session<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
+fn schedule_next_session<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
     if let Some(think) = w.think {
         if w.issued < w.target {
             let gap = exponential(&mut w.rng, think);
@@ -687,7 +803,7 @@ fn schedule_next_session<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
 /// admission. During a bursty process's burst window, a `crowd_share`
 /// fraction of arrivals comes from the flash-crowd population instead of
 /// the mix's Zipf tail.
-fn issue<'a>(w: &mut World<'a>, s: &mut Sched<'a>, now: Time) {
+fn issue<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, now: Time) {
     let class = w.rng.weighted_index_with_total(&w.weights, w.weight_total);
     let user = if let ArrivalProcess::Bursty {
         crowd_users,
@@ -709,7 +825,7 @@ fn issue<'a>(w: &mut World<'a>, s: &mut Sched<'a>, now: Time) {
 /// Routes `user`'s request: home node by population hash, except that a
 /// home node whose remote tier is empty defers to a mesh neighbor already
 /// holding a lease driven by this tenant (locality: follow the memory).
-fn route(w: &World<'_>, class: usize, user: u64) -> usize {
+fn route<P: Probe>(w: &World<'_, P>, class: usize, user: u64) -> usize {
     let n = w.servers.len();
     let home = (user % n as u64) as usize;
     let Some(tier) = &w.elastic else {
@@ -728,7 +844,13 @@ fn route(w: &World<'_>, class: usize, user: u64) -> usize {
 }
 
 /// Runs one generated request through per-node admission and dispatch.
-fn issue_with<'a>(w: &mut World<'a>, s: &mut Sched<'a>, now: Time, class: usize, user: u64) {
+fn issue_with<'a, P: Probe>(
+    w: &mut World<'a, P>,
+    s: &mut Sched<'a, P>,
+    now: Time,
+    class: usize,
+    user: u64,
+) {
     let seq = w.issued;
     w.issued += 1;
     let node = route(w, class, user);
@@ -797,8 +919,8 @@ fn issue_with<'a>(w: &mut World<'a>, s: &mut Sched<'a>, now: Time, class: usize,
 
 /// Appends a trace record if tracing is on.
 #[allow(clippy::too_many_arguments)]
-fn record(
-    w: &mut World<'_>,
+fn record<P: Probe>(
+    w: &mut World<'_, P>,
     seq: u64,
     at: Time,
     class: usize,
@@ -824,7 +946,7 @@ fn record(
 
 /// Sends an admitted request toward its node, or parks it under
 /// backpressure. `slot` indexes the request slab.
-fn dispatch<'a>(w: &mut World<'a>, s: &mut Sched<'a>, slot: u32) {
+fn dispatch<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, slot: u32) {
     let now = s.now();
     let req = *w.requests.get(slot);
     let node = req.node as usize;
@@ -880,7 +1002,7 @@ fn dispatch<'a>(w: &mut World<'a>, s: &mut Sched<'a>, slot: u32) {
 
 /// Completion event: account the request, return the credit, and drain
 /// the node's backlog.
-fn finish<'a>(w: &mut World<'a>, s: &mut Sched<'a>, slot: u32) {
+fn finish<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, slot: u32) {
     let req = w.requests.take(slot);
     let now = s.now();
     let latency = now - req.arrival;
@@ -925,7 +1047,7 @@ fn finish<'a>(w: &mut World<'a>, s: &mut Sched<'a>, slot: u32) {
 /// The argmax is computed in place — per class, in-flight count plus a
 /// scan of the (bounded) backlog — instead of cloning
 /// `inflight_by_class` into a scratch `Vec` every lease tick.
-fn dominant_class(w: &World<'_>, node: usize) -> Option<usize> {
+fn dominant_class<P: Probe>(w: &World<'_, P>, node: usize) -> Option<usize> {
     let srv = &w.servers[node];
     let mut best: Option<(usize, u32)> = None;
     for (class, &inflight) in srv.inflight_by_class.iter().enumerate() {
@@ -946,7 +1068,7 @@ fn dominant_class(w: &World<'_>, node: usize) -> Option<usize> {
 /// current [`NodeModel`]. Called from the three places a node's remote
 /// tier moves (establish lands, shrink, revoke lands) — rare events, so
 /// the per-request path never re-derives model constants.
-fn recompile_service(w: &mut World<'_>, node: usize) {
+fn recompile_service<P: Probe>(w: &mut World<'_, P>, node: usize) {
     let model = w.servers[node].model;
     for (class, slot) in w
         .classes
@@ -964,8 +1086,8 @@ fn recompile_service(w: &mut World<'_>, node: usize) {
 /// keeps serving from the window — a revoke notice takes effect when the
 /// unmap lands, not when the donor asks.
 #[allow(clippy::too_many_arguments)]
-fn apply_revoke(
-    w: &mut World<'_>,
+fn apply_revoke<P: Probe>(
+    w: &mut World<'_, P>,
     now: Time,
     donor: u16,
     recipient: usize,
@@ -985,12 +1107,18 @@ fn apply_revoke(
     // The reclaimed pool speeds the donor back up — the whole point of
     // a cost-aware revoke.
     sync_donor_pressure(w, donor);
+    if P::ENABLED {
+        let node = recipient as u16;
+        w.probe
+            .span_close(SpanKind::Teardown, node, generation, now);
+        w.probe.span_close(SpanKind::Active, node, generation, now);
+    }
 }
 
 /// Periodic elastic-lease control tick: sample per-node queue depth and
 /// donor pressure, let the manager decide, and apply
 /// grows/shrinks/revokes against the live cluster.
-fn lease_tick<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
+fn lease_tick<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
     // A tick scheduled while the last requests were in flight can fire
     // after the final completion; acting there would put lease events
     // past the report's duration (skewing the time-weighted mean), so a
@@ -1063,6 +1191,9 @@ fn lease_tick<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
                     recompile_service(w, node as usize);
                     // The release repays the donor's pool immediately.
                     sync_donor_pressure(w, lease.donor.0);
+                    if P::ENABLED {
+                        w.probe.span_close(SpanKind::Active, node, generation, now);
+                    }
                 }
                 // When nothing is visible (the node's only chunks are
                 // still establishing) the decision is surrendered: the
@@ -1099,6 +1230,10 @@ fn lease_tick<'a>(w: &mut World<'a>, s: &mut Sched<'a>) {
                         priority,
                     })),
                 );
+                if P::ENABLED {
+                    w.probe
+                        .span_open(SpanKind::Teardown, recipient as u16, generation, now);
+                }
             }
         }
     }
@@ -1142,8 +1277,21 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
 ///
 /// As [`run`].
 pub fn run_metered(config: &LoadgenConfig) -> (LoadReport, EngineMetrics) {
-    let (report, _, metrics) = run_full(config, None, false);
+    let (report, _, metrics, _) = run_full(config, None, false, NoopProbe);
     (report, metrics)
+}
+
+/// Runs one experiment with `probe` threaded through the engine's hook
+/// sites, returning the probe alongside the report. The report is
+/// byte-identical to [`run`]'s — probes observe the event stream, they
+/// never perturb it — which the `profile` bench bin gates.
+///
+/// # Panics
+///
+/// As [`run`].
+pub fn run_probed<P: Probe>(config: &LoadgenConfig, probe: P) -> (LoadReport, P) {
+    let (report, _, _, probe) = run_full(config, None, false, probe);
+    (report, probe)
 }
 
 /// Runs one experiment and captures the per-request [`Trace`].
@@ -1183,15 +1331,16 @@ fn run_core(
     replay_trace: Option<&Trace>,
     capture: bool,
 ) -> (LoadReport, Option<Trace>) {
-    let (report, trace, _) = run_full(config, replay_trace, capture);
+    let (report, trace, _, _) = run_full(config, replay_trace, capture, NoopProbe);
     (report, trace)
 }
 
-fn run_full(
+fn run_full<P: Probe>(
     config: &LoadgenConfig,
     replay_trace: Option<&Trace>,
     capture: bool,
-) -> (LoadReport, Option<Trace>, EngineMetrics) {
+    mut probe: P,
+) -> (LoadReport, Option<Trace>, EngineMetrics, P) {
     assert!(config.requests > 0, "need at least one request");
     assert!(config.per_node_concurrency > 0, "need at least one slot");
     config.arrival.validate();
@@ -1304,6 +1453,12 @@ fn run_full(
                     // (the run starts after setup, like the static
                     // path).
                     tier.leases[node as usize].push((generation, lease));
+                    if P::ENABLED {
+                        // Bootstrap capacity is usable from t = 0: its
+                        // active span starts at the epoch, no establish
+                        // phase (setup happens before the clock runs).
+                        probe.span_open(SpanKind::Active, node, generation, Time::ZERO);
+                    }
                     let model = &mut models[node as usize];
                     model.remote_bytes += lease.bytes;
                     model.remote_miss = lat;
@@ -1425,6 +1580,7 @@ fn run_full(
         ArrivalProcess::ClosedLoop { .. } => None,
     };
     let world = World {
+        probe,
         rng: engine_rng,
         service_rng,
         classes: config.mix.classes.clone(),
@@ -1463,6 +1619,8 @@ fn run_full(
         cluster,
         neighbors,
         elastic,
+        denied_scan: 0,
+        denied_counts: vec![0; config.mix.classes.len()],
         trace: capture.then(Vec::new),
         replay: replay_trace.map(|t| ReplayCursor {
             records: &t.records,
@@ -1471,7 +1629,7 @@ fn run_full(
     };
 
     // 5. Seed the event queue and run to completion.
-    let mut kernel: Kernel<World<'_>, EngineEvent> =
+    let mut kernel: Kernel<World<'_, P>, EngineEvent> =
         Kernel::new(world).with_event_limit(target.saturating_mul(8) + 500_000);
     if kernel.state().replay.is_some() {
         let first = kernel
@@ -1512,6 +1670,15 @@ fn run_full(
         fused_arrivals: kernel.state().fused,
         peak_queue_depth: kernel.peak_pending(),
     };
+    if P::ENABLED {
+        let queue_stats = kernel.queue_stats();
+        let slab = kernel.slab_occupancy();
+        let peak = kernel.peak_pending();
+        kernel
+            .state_mut()
+            .probe
+            .on_queue_stats(queue_stats, slab, peak);
+    }
 
     // 6. Summarize.
     let w = kernel.into_state();
@@ -1631,7 +1798,7 @@ fn run_full(
         total,
         tenants,
     };
-    (report, trace, metrics)
+    (report, trace, metrics, w.probe)
 }
 
 #[cfg(test)]

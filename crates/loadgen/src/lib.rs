@@ -66,6 +66,7 @@ pub mod report;
 pub mod scenarios;
 pub mod stacks;
 pub mod sweep;
+pub mod telemetry;
 pub mod tenants;
 pub mod trace;
 

@@ -1,0 +1,108 @@
+//! Telemetry over engine runs: probe wiring and the `venice-telemetry-v1`
+//! artifact.
+//!
+//! The engine's probe hooks ([`crate::engine::run_probed`]) are generic
+//! plumbing; this module binds them to concrete observability: the
+//! event-kind labels for the engine's event enum, a one-call probed run
+//! with a [`venice_telemetry::RecordingProbe`], and the JSONL artifact
+//! renderer the `venice-bench` `profile` bin (and the determinism
+//! tests) consume. Everything here inherits the engine's determinism:
+//! same config, same artifact, byte for byte.
+
+use venice_sim::Time;
+use venice_telemetry::{export_jsonl, render_profile, RecordingProbe};
+
+use crate::engine::{run_probed, LoadgenConfig};
+use crate::report::LoadReport;
+
+/// Human labels for the engine's probe event-kind slots, indexed by the
+/// engine event enum's probe slot (kept in step with
+/// `EngineEvent::kind` in the engine).
+pub const EVENT_KIND_LABELS: [&str; 7] = [
+    "arrival",
+    "session-next",
+    "replay-next",
+    "finish",
+    "lease-tick",
+    "lease-established",
+    "revoke-torndown",
+];
+
+/// Runs `config` with a [`RecordingProbe`] sampling every `tick` and
+/// retaining `cap` rows; returns the (probe-invariant) report and the
+/// filled probe.
+///
+/// # Panics
+///
+/// As [`crate::engine::run`], or if `tick`/`cap` are zero.
+pub fn probed_run(config: &LoadgenConfig, tick: Time, cap: usize) -> (LoadReport, RecordingProbe) {
+    run_probed(config, RecordingProbe::new(tick, cap))
+}
+
+/// Runs `config` probed and renders the `venice-telemetry-v1` JSONL
+/// artifact named `scenario`, alongside the run's report.
+///
+/// # Panics
+///
+/// As [`probed_run`].
+pub fn artifact_run(
+    scenario: &str,
+    config: &LoadgenConfig,
+    tick: Time,
+    cap: usize,
+) -> (String, LoadReport) {
+    let (report, probe) = probed_run(config, tick, cap);
+    let artifact = export_jsonl(scenario, config.seed, &probe, &EVENT_KIND_LABELS);
+    (artifact, report)
+}
+
+/// Runs `config` probed and renders the text profile report.
+///
+/// # Panics
+///
+/// As [`probed_run`].
+pub fn profile_run(
+    scenario: &str,
+    config: &LoadgenConfig,
+    tick: Time,
+    cap: usize,
+) -> (String, LoadReport, RecordingProbe) {
+    let (report, probe) = probed_run(config, tick, cap);
+    let text = render_profile(scenario, &probe, &EVENT_KIND_LABELS);
+    (text, report, probe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine;
+    use crate::tenants::TenantMix;
+
+    fn small(seed: u64) -> LoadgenConfig {
+        LoadgenConfig {
+            requests: 3_000,
+            ..LoadgenConfig::new(seed, TenantMix::web_frontend())
+        }
+    }
+
+    #[test]
+    fn probed_report_matches_the_noop_report() {
+        let config = small(19);
+        let plain = engine::run(&config);
+        let (probed, probe) = probed_run(&config, Time::from_ms(5), 512);
+        assert_eq!(plain, probed, "probe perturbed the run");
+        assert!(probe.total_events() > 0);
+        assert!(!probe.series().is_empty(), "no samples over a 3k-request run");
+        assert!(probe.queue_stats().pops() > 0);
+    }
+
+    #[test]
+    fn artifact_is_stable_across_reruns() {
+        let config = small(23);
+        let (a, _) = artifact_run("unit", &config, Time::from_ms(5), 512);
+        let (b, _) = artifact_run("unit", &config, Time::from_ms(5), 512);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"kind\":\"header\""));
+        assert!(a.lines().last().unwrap().starts_with("{\"kind\":\"end\""));
+    }
+}

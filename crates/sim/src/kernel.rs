@@ -22,7 +22,7 @@
 
 use std::marker::PhantomData;
 
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, QueueStats};
 use crate::time::Time;
 
 /// A typed simulation event over world state `S`.
@@ -150,6 +150,18 @@ impl<S, E> Scheduler<S, E> {
     /// Peak number of simultaneously pending events so far.
     pub fn peak_pending(&self) -> usize {
         self.queue.peak_len()
+    }
+
+    /// Cumulative event-queue traffic counters (near-buffer hits, heap
+    /// sifts, pops); see [`QueueStats`].
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    /// `(live, capacity)` of the heap's event slab: entries currently
+    /// holding a pending heap event versus slots ever allocated.
+    pub fn slab_occupancy(&self) -> (usize, usize) {
+        self.queue.slab_occupancy()
     }
 
     /// Timestamp of the next pending event, if any.
@@ -362,6 +374,17 @@ impl<S, E> Kernel<S, E> {
     /// event-queue depth).
     pub fn peak_pending(&self) -> usize {
         self.sched.peak_pending()
+    }
+
+    /// Cumulative event-queue traffic counters (near-buffer hits, heap
+    /// sifts, pops); see [`QueueStats`].
+    pub fn queue_stats(&self) -> QueueStats {
+        self.sched.queue_stats()
+    }
+
+    /// `(live, capacity)` of the heap's event slab.
+    pub fn slab_occupancy(&self) -> (usize, usize) {
+        self.sched.slab_occupancy()
     }
 }
 

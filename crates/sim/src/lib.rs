@@ -47,7 +47,7 @@ pub mod time;
 pub mod timeline;
 
 pub use kernel::{ClosureEvent, Kernel, Scheduler, SimEvent};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueStats};
 pub use rate::TokenBucket;
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, LogHistogram, ThroughputMeter};

@@ -65,6 +65,42 @@ impl Key {
 /// single cache line's worth of moves.
 const NEAR_CAP: usize = 16;
 
+/// Passive work counters of one [`EventQueue`], exposed for telemetry.
+///
+/// These are cheap whole-operation counters (one increment per push or
+/// pop, the same cost class as the existing peak-depth tracking), **not**
+/// per-sift-step instrumentation — the queue's hot loops are untouched.
+/// They answer the profile questions the near-buffer design raises: how
+/// much traffic circulates sift-free through the buffer versus paying a
+/// real heap sift, and how often the buffer spills.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Pushes absorbed by the near buffer (no heap sift on entry).
+    pub near_hits: u64,
+    /// Pushes that went straight into the heap (one sift-up each).
+    pub heap_pushes: u64,
+    /// Near-buffer overflows: the buffer's largest entry was spilled
+    /// into the heap (one sift-up each, on top of `heap_pushes`).
+    pub near_spills: u64,
+    /// Pops served from the near buffer (no sift).
+    pub near_pops: u64,
+    /// Pops served from the heap (one sift-down each).
+    pub heap_pops: u64,
+}
+
+impl QueueStats {
+    /// Total sift operations performed (heap pushes + spills + heap
+    /// pops) — the work the near buffer exists to avoid.
+    pub fn sifts(&self) -> u64 {
+        self.heap_pushes + self.near_spills + self.heap_pops
+    }
+
+    /// Total pops served.
+    pub fn pops(&self) -> u64 {
+        self.near_pops + self.heap_pops
+    }
+}
+
 /// A time-ordered, insertion-stable event queue.
 ///
 /// # Example
@@ -92,6 +128,7 @@ pub struct EventQueue<E> {
     free: Vec<u32>,
     next_seq: u64,
     peak: usize,
+    stats: QueueStats,
 }
 
 // # The near buffer
@@ -119,6 +156,7 @@ impl<E> EventQueue<E> {
             free: Vec::new(),
             next_seq: 0,
             peak: 0,
+            stats: QueueStats::default(),
         }
     }
 
@@ -142,13 +180,16 @@ impl<E> EventQueue<E> {
             // Into the sorted buffer (descending; minimum at the end).
             let pos = self.near.partition_point(|(k, _)| k.packed > packed);
             self.near.insert(pos, (key, event));
+            self.stats.near_hits += 1;
             if self.near.len() > NEAR_CAP {
                 // Spill the buffer's largest into the heap.
                 let (k, e) = self.near.remove(0);
                 self.heap_push(k.packed, e);
+                self.stats.near_spills += 1;
             }
         } else {
             self.heap_push(packed, event);
+            self.stats.heap_pushes += 1;
         }
         let pending = self.heap.len() + self.near.len();
         if pending > self.peak {
@@ -177,12 +218,19 @@ impl<E> EventQueue<E> {
     /// insertion order.
     pub fn pop(&mut self) -> Option<(Time, E)> {
         match (self.near.last(), self.heap.first()) {
-            (Some((nk, _)), Some(root)) if root.packed < nk.packed => self.heap_pop(),
+            (Some((nk, _)), Some(root)) if root.packed < nk.packed => {
+                self.stats.heap_pops += 1;
+                self.heap_pop()
+            }
             (Some(_), _) => {
                 let (key, event) = self.near.pop().expect("checked occupied");
+                self.stats.near_pops += 1;
                 Some((key.at(), event))
             }
-            (None, Some(_)) => self.heap_pop(),
+            (None, Some(_)) => {
+                self.stats.heap_pops += 1;
+                self.heap_pop()
+            }
             (None, None) => None,
         }
     }
@@ -242,6 +290,19 @@ impl<E> EventQueue<E> {
     /// (peak event-queue depth; not reset by [`clear`](Self::clear)).
     pub fn peak_len(&self) -> usize {
         self.peak
+    }
+
+    /// Work counters accumulated over the queue's lifetime (near-buffer
+    /// hits, heap sifts, spills; not reset by [`clear`](Self::clear)).
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Live slab occupancy as `(live, capacity)`: events currently
+    /// resident in the heap slab, and the slab's high-water footprint
+    /// (allocated entries, free or live).
+    pub fn slab_occupancy(&self) -> (usize, usize) {
+        (self.slab.len() - self.free.len(), self.slab.len())
     }
 
     /// Removes all pending events.
@@ -458,6 +519,69 @@ mod tests {
         }
         q.push(Time::from_ns(1), 1);
         assert_eq!(q.peak_len(), 10);
+    }
+
+    #[test]
+    fn stats_split_near_buffer_and_heap_traffic() {
+        let mut q = EventQueue::new();
+        // Descending pushes each beat the buffer's max, so a short chain
+        // circulates entirely through the near buffer.
+        for i in (0..8u64).rev() {
+            q.push(Time::from_ns(i), i);
+        }
+        for _ in 0..8 {
+            q.pop();
+        }
+        let s = q.stats();
+        assert_eq!(s.near_hits, 8);
+        assert_eq!(s.near_pops, 8);
+        assert_eq!(s.heap_pushes, 0);
+        assert_eq!(s.heap_pops, 0);
+        assert_eq!(s.sifts(), 0, "short chains must be sift-free");
+        assert_eq!(s.pops(), 8);
+
+        // Push far-future events behind a near-buffer occupant: they go
+        // straight to the heap and pop through it.
+        q.push(Time::from_ns(10), 0);
+        for i in 0..4u64 {
+            q.push(Time::from_ns(1_000 + i), i);
+        }
+        while q.pop().is_some() {}
+        let s = q.stats();
+        assert_eq!(s.heap_pushes, 4);
+        assert_eq!(s.heap_pops, 4);
+        assert_eq!(s.pops(), 13);
+    }
+
+    #[test]
+    fn stats_count_near_spills() {
+        let mut q = EventQueue::new();
+        // Descending pushes all enter the near buffer; once it is full,
+        // every further push spills the buffer's largest into the heap.
+        for i in (0..NEAR_CAP as u64 + 5).rev() {
+            q.push(Time::from_ns(i), i);
+        }
+        let s = q.stats();
+        assert_eq!(s.near_hits, NEAR_CAP as u64 + 5);
+        assert_eq!(s.near_spills, 5);
+        // Everything still pops in time order.
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..NEAR_CAP as u64 + 5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slab_occupancy_tracks_live_heap_entries() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.slab_occupancy(), (0, 0));
+        q.push(Time::from_ns(1), 1u64); // near buffer: no slab entry
+        assert_eq!(q.slab_occupancy(), (0, 0));
+        q.push(Time::from_ns(100), 2);
+        q.push(Time::from_ns(200), 3);
+        assert_eq!(q.slab_occupancy(), (2, 2));
+        q.pop();
+        q.pop();
+        // One live heap entry; the freed slot stays allocated.
+        assert_eq!(q.slab_occupancy(), (1, 2));
     }
 
     #[test]

@@ -73,10 +73,17 @@ impl<E> Timeline<E> {
     /// contiguous slice (binary search over the time-ordered record):
     /// "what happened during this burst?" without scanning the whole
     /// run.
+    ///
+    /// Boundary semantics: events at exactly `from` are **included**,
+    /// events at exactly `to` are **excluded**, so adjacent windows
+    /// `[a, b)` and `[b, c)` partition the record with no overlap and
+    /// no gap. A degenerate window (`from == to`) or a reversed one
+    /// (`from > to`) selects nothing and returns the empty slice.
     pub fn window(&self, from: Time, to: Time) -> &[(Time, E)] {
         let lo = self.events.partition_point(|(t, _)| *t < from);
         let hi = self.events.partition_point(|(t, _)| *t < to);
-        &self.events[lo..hi]
+        // A reversed range would make lo > hi and panic on the slice.
+        &self.events[lo..hi.max(lo)]
     }
 
     /// Consumes the timeline, returning the ordered event vector.
@@ -127,6 +134,35 @@ mod tests {
         assert!(t.window(Time::from_us(6), Time::from_us(8)).is_empty());
         let empty: Timeline<u8> = Timeline::new();
         assert!(empty.window(Time::ZERO, Time::from_us(9)).is_empty());
+    }
+
+    #[test]
+    fn window_boundaries_are_half_open() {
+        let mut t = Timeline::new();
+        for us in [2u64, 4, 4, 6] {
+            t.record(Time::from_us(us), us);
+        }
+        // `from` inclusive, `to` exclusive: [4, 6) takes both 4s only.
+        let w = t.window(Time::from_us(4), Time::from_us(6));
+        assert_eq!(w.iter().map(|&(_, e)| e).collect::<Vec<_>>(), vec![4, 4]);
+        // Adjacent windows partition the record: no overlap, no gap.
+        let a = t.window(Time::from_us(2), Time::from_us(4)).len();
+        let b = t.window(Time::from_us(4), Time::from_us(6)).len();
+        let c = t.window(Time::from_us(6), Time::from_us(7)).len();
+        assert_eq!(a + b + c, t.len());
+    }
+
+    #[test]
+    fn degenerate_and_reversed_windows_are_empty() {
+        let mut t = Timeline::new();
+        for us in [1u64, 3, 5] {
+            t.record(Time::from_us(us), us);
+        }
+        // Empty window: from == to selects nothing, even on a timestamp.
+        assert!(t.window(Time::from_us(3), Time::from_us(3)).is_empty());
+        // Reversed window: from > to must return empty, not panic.
+        assert!(t.window(Time::from_us(5), Time::from_us(1)).is_empty());
+        assert!(t.window(Time::from_us(9), Time::from_us(0)).is_empty());
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Sim-time span tracing for lease lifecycles.
+//!
+//! A lease lives through phases — the grow decision, the Fig. 2
+//! establish handshake, active service, and (for revokes) teardown —
+//! and the existing [`venice_lease`] timeline records only the
+//! *instants* where ledgers change. Spans recover the *durations*: a
+//! [`SpanLog`] pairs open/close edges keyed by `(kind, node,
+//! generation)` and records each completed span onto a
+//! [`venice_sim::Timeline`], so span histories replay-compare with
+//! plain `==` exactly like every other audit trail in the workspace.
+
+use venice_sim::{Time, Timeline};
+
+/// The lifecycle phase a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// Grow decision → lease usable on the recipient (the Fig. 2
+    /// establish handshake: donor RPC + mapping install).
+    Establish,
+    /// Lease usable → released (shrink, revoke, or run end).
+    Active,
+    /// Revoke demand → donor memory actually reclaimed.
+    Teardown,
+}
+
+impl SpanKind {
+    /// Stable lower-case label used by the artifact and profile report.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Establish => "establish",
+            SpanKind::Active => "active",
+            SpanKind::Teardown => "teardown",
+        }
+    }
+}
+
+/// A completed (or still-open) lease-lifecycle span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Which phase this span covers.
+    pub kind: SpanKind,
+    /// The recipient node the lease lives on.
+    pub node: u16,
+    /// The lease generation (monotonic grant id) the span belongs to.
+    pub generation: u64,
+    /// When the phase began.
+    pub start: Time,
+    /// When the phase ended; `None` while still open.
+    pub end: Option<Time>,
+}
+
+impl Span {
+    /// The span's duration, if it has closed.
+    pub fn duration(&self) -> Option<Time> {
+        self.end.map(|e| e.saturating_sub(self.start))
+    }
+}
+
+/// Pairs span open/close edges and keeps the completed record.
+///
+/// Opens go into a small scan list (lease concurrency is bounded by
+/// cluster chunk capacity, so linear scans stay cheap); closes move the
+/// span onto a [`Timeline`] stamped at the close instant. Because the
+/// engine emits edges in fire order, closes arrive time-ordered and the
+/// timeline's monotonicity invariant holds for free.
+#[derive(Debug, Clone, Default)]
+pub struct SpanLog {
+    open: Vec<Span>,
+    closed: Timeline<Span>,
+}
+
+impl SpanLog {
+    /// Creates an empty span log.
+    pub fn new() -> Self {
+        SpanLog::default()
+    }
+
+    /// Opens a `(kind, node, generation)` span starting at `at`.
+    ///
+    /// Re-opening a key that is already open is a recording bug and
+    /// panics: lease phases do not nest on one generation.
+    pub fn open(&mut self, kind: SpanKind, node: u16, generation: u64, at: Time) {
+        assert!(
+            !self.is_open(kind, node, generation),
+            "span {}:{node}:{generation} opened twice",
+            kind.label()
+        );
+        self.open.push(Span {
+            kind,
+            node,
+            generation,
+            start: at,
+            end: None,
+        });
+    }
+
+    /// Closes the matching open span at `at`, recording it onto the
+    /// completed timeline. Closing a span that was never opened is
+    /// ignored (bootstrap leases predate the probe's first edge).
+    pub fn close(&mut self, kind: SpanKind, node: u16, generation: u64, at: Time) {
+        if let Some(pos) = self
+            .open
+            .iter()
+            .position(|s| s.kind == kind && s.node == node && s.generation == generation)
+        {
+            let mut span = self.open.swap_remove(pos);
+            span.end = Some(at);
+            self.closed.record(at, span);
+        }
+    }
+
+    /// Whether a `(kind, node, generation)` span is currently open.
+    pub fn is_open(&self, kind: SpanKind, node: u16, generation: u64) -> bool {
+        self.open
+            .iter()
+            .any(|s| s.kind == kind && s.node == node && s.generation == generation)
+    }
+
+    /// Completed spans, ordered by close time.
+    pub fn closed(&self) -> &Timeline<Span> {
+        &self.closed
+    }
+
+    /// Spans still open (sorted by key for deterministic export —
+    /// insertion order depends on `swap_remove` history).
+    pub fn open_spans(&self) -> Vec<Span> {
+        let mut v = self.open.clone();
+        v.sort_by_key(|s| (s.kind, s.node, s.generation, s.start));
+        v
+    }
+
+    /// Number of spans still open.
+    pub fn open_len(&self) -> usize {
+        self.open.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_close_pairs_produce_durations() {
+        let mut log = SpanLog::new();
+        log.open(SpanKind::Establish, 1, 7, Time::from_us(10));
+        log.open(SpanKind::Establish, 2, 8, Time::from_us(11));
+        log.close(SpanKind::Establish, 1, 7, Time::from_us(25));
+        log.close(SpanKind::Establish, 2, 8, Time::from_us(30));
+        assert_eq!(log.open_len(), 0);
+        let spans: Vec<Span> = log.closed().iter().map(|&(_, s)| s).collect();
+        assert_eq!(spans[0].duration(), Some(Time::from_us(15)));
+        assert_eq!(spans[1].duration(), Some(Time::from_us(19)));
+    }
+
+    #[test]
+    fn unmatched_close_is_ignored_and_open_spans_sort() {
+        let mut log = SpanLog::new();
+        log.close(SpanKind::Active, 0, 1, Time::from_us(5)); // bootstrap lease
+        log.open(SpanKind::Active, 3, 9, Time::from_us(6));
+        log.open(SpanKind::Active, 1, 4, Time::from_us(7));
+        assert!(log.closed().is_empty());
+        let open = log.open_spans();
+        assert_eq!(open.len(), 2);
+        assert_eq!((open[0].node, open[1].node), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "opened twice")]
+    fn double_open_panics() {
+        let mut log = SpanLog::new();
+        log.open(SpanKind::Teardown, 0, 1, Time::from_us(1));
+        log.open(SpanKind::Teardown, 0, 1, Time::from_us(2));
+    }
+}
