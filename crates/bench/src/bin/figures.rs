@@ -20,28 +20,31 @@
 use std::process::ExitCode;
 
 /// Appends a text-only engine-metrics table (events executed, lookahead
-/// fusion rate, peak event-queue depth) for a reduced-count run of each
-/// storm mix. Deliberately not part of the JSON artifact: these are
-/// loop-level counters, and `BENCH_figures.json`'s shape is frozen by
-/// the freshness diff.
+/// fusion rate, peak event-queue depth, near-buffer hit ratio, slab
+/// occupancy) for a reduced-count run of each storm mix. Deliberately
+/// not part of the JSON artifact: these are loop-level counters, and
+/// `BENCH_figures.json`'s shape is frozen by the freshness diff.
 fn print_engine_metrics() {
     use venice_loadgen::{engine, scenarios};
 
     println!("\n== engine metrics (storm mixes, 40k requests each) ==");
     println!(
-        "{:<16} {:>10} {:>10} {:>7} {:>11}",
-        "mix", "events", "fused", "fused%", "peak depth"
+        "{:<16} {:>10} {:>10} {:>7} {:>11} {:>9} {:>11}",
+        "mix", "events", "fused", "fused%", "peak depth", "near-hit%", "slab"
     );
     for mut config in scenarios::storm_configs(scenarios::SCENARIO_SEED) {
         config.requests = 40_000;
         let (_, m) = engine::run_metered(&config);
+        let pushes = m.queue.near_hits + m.queue.heap_pushes;
         println!(
-            "{:<16} {:>10} {:>10} {:>6.1}% {:>11}",
+            "{:<16} {:>10} {:>10} {:>6.1}% {:>11} {:>8.1}% {:>11}",
             config.mix.name,
             m.events,
             m.fused_arrivals,
             m.fused_arrivals as f64 * 100.0 / m.events.max(1) as f64,
             m.peak_queue_depth,
+            m.queue.near_hits as f64 * 100.0 / pushes.max(1) as f64,
+            format!("{}/{}", m.slab.0, m.slab.1),
         );
     }
 }

@@ -203,6 +203,208 @@ pub fn validate_figures(figures: &[Figure]) -> Vec<String> {
     problems
 }
 
+/// Schema tag of each block in `BENCH_telemetry.jsonl`.
+pub const TELEMETRY_SCHEMA: &str = "venice-telemetry-v1";
+
+/// Extracts the bare integer value of `"key":<digits>` from a
+/// hand-formatted JSONL line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the integer array value of `"key":[..]` from a
+/// hand-formatted JSONL line.
+fn field_u64s(line: &str, key: &str) -> Option<Vec<u64>> {
+    let pat = format!("\"{key}\":[");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let body = &rest[..rest.find(']')?];
+    if body.is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|x| x.parse().ok()).collect()
+}
+
+/// The `"kind"` discriminant of a hand-formatted JSONL line.
+fn line_kind(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix("{\"kind\":\"")?;
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Validates a `BENCH_telemetry.jsonl` artifact: one or more
+/// `venice-telemetry-v1` blocks (the `profile` bin concatenates one per
+/// scenario), each opening with a schema-tagged header, carrying exactly
+/// one counters line, and closing with an end line whose sample/span
+/// totals match the lines actually present. Returns human-readable
+/// problems (empty = valid).
+pub fn validate_telemetry(jsonl: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    // (header line no, samples seen, spans seen, counters seen) of the
+    // currently open block.
+    let mut open: Option<(usize, u64, u64, u64)> = None;
+    for (no, line) in jsonl.lines().enumerate() {
+        let lineno = no + 1;
+        let Some(kind) = line_kind(line) else {
+            problems.push(format!("line {lineno}: not a kind-tagged object"));
+            continue;
+        };
+        if !line.ends_with('}') {
+            problems.push(format!("line {lineno}: unterminated object"));
+        }
+        match (kind, &mut open) {
+            ("header", Some(_)) => {
+                problems.push(format!("line {lineno}: header inside an open block"));
+                open = Some((lineno, 0, 0, 0));
+            }
+            ("header", None) => {
+                if !line.contains(&format!("\"schema\":\"{TELEMETRY_SCHEMA}\"")) {
+                    problems.push(format!(
+                        "line {lineno}: header schema is not {TELEMETRY_SCHEMA}"
+                    ));
+                }
+                open = Some((lineno, 0, 0, 0));
+            }
+            (_, None) => {
+                problems.push(format!("line {lineno}: {kind} line outside any block"));
+            }
+            ("counters", Some((_, _, _, counters))) => *counters += 1,
+            ("sample", Some((_, samples, _, _))) => *samples += 1,
+            ("span", Some((_, _, spans, _))) => *spans += 1,
+            ("end", Some((header, samples, spans, counters))) => {
+                if *counters != 1 {
+                    problems.push(format!(
+                        "block at line {header}: {counters} counters lines (want 1)"
+                    ));
+                }
+                if field_u64(line, "samples") != Some(*samples) {
+                    problems.push(format!(
+                        "line {lineno}: end.samples disagrees with {samples} sample line(s)"
+                    ));
+                }
+                let span_total = field_u64(line, "spans_closed")
+                    .zip(field_u64(line, "spans_open"))
+                    .map(|(c, o)| c + o);
+                if span_total != Some(*spans) {
+                    problems.push(format!(
+                        "line {lineno}: end span counts disagree with {spans} span line(s)"
+                    ));
+                }
+                open = None;
+            }
+            (other, Some(_)) => {
+                problems.push(format!("line {lineno}: unknown kind `{other}`"));
+            }
+        }
+    }
+    if let Some((header, ..)) = open {
+        problems.push(format!("block at line {header} is never closed"));
+    }
+    if jsonl.lines().next().is_none() {
+        problems.push("artifact is empty".to_string());
+    }
+    problems
+}
+
+/// Validates a `BENCH_attrib.jsonl` artifact (`venice-attrib-v1`): a
+/// single block whose header carries the schema tag and the stage
+/// vocabulary, whose end line's run/cell/tenant counts match the lines
+/// actually present — and whose every cell and tenant line satisfies the
+/// exact-sum invariant (stage picoseconds summing to the recorded
+/// total), re-checked here at the artifact level so a corrupted or
+/// hand-edited artifact cannot pass. Returns human-readable problems
+/// (empty = valid).
+pub fn validate_attrib(jsonl: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut lines = jsonl.lines().enumerate();
+    let header = lines.next();
+    match header {
+        None => {
+            problems.push("artifact is empty".to_string());
+            return problems;
+        }
+        Some((_, line)) => {
+            if line_kind(line) != Some("header") {
+                problems.push("line 1: artifact must open with a header".to_string());
+            }
+            if !line.contains(&format!(
+                "\"schema\":\"{}\"",
+                venice_telemetry::ATTRIB_SCHEMA
+            )) {
+                problems.push(format!(
+                    "line 1: header schema is not {}",
+                    venice_telemetry::ATTRIB_SCHEMA
+                ));
+            }
+            // The stages array must name the full stage vocabulary.
+            for label in venice_telemetry::STAGE_LABELS {
+                if !line.contains(&format!("\"{label}\"")) {
+                    problems.push(format!("line 1: header is missing stage `{label}`"));
+                }
+            }
+        }
+    }
+    let (mut cells, mut tenants, mut ended) = (0u64, 0u64, false);
+    for (no, line) in lines {
+        let lineno = no + 1;
+        if ended {
+            problems.push(format!("line {lineno}: content after the end line"));
+            break;
+        }
+        match line_kind(line) {
+            Some("cell") => {
+                cells += 1;
+                match (field_u64s(line, "stage_ps"), field_u64(line, "total_ps")) {
+                    (Some(stages), Some(total)) => {
+                        if stages.iter().sum::<u64>() != total {
+                            problems.push(format!(
+                                "line {lineno}: cell stage_ps do not sum to total_ps"
+                            ));
+                        }
+                        if stages.len() != venice_telemetry::STAGES {
+                            problems
+                                .push(format!("line {lineno}: cell has {} stages", stages.len()));
+                        }
+                    }
+                    _ => problems.push(format!("line {lineno}: cell is missing stage fields")),
+                }
+            }
+            Some("tenant") => {
+                tenants += 1;
+                if field_u64s(line, "tail_stage_ps")
+                    .map(|v| v.len() != venice_telemetry::STAGES)
+                    .unwrap_or(true)
+                {
+                    problems.push(format!("line {lineno}: tenant tail_stage_ps malformed"));
+                }
+            }
+            Some("shed") | Some("diff") => {}
+            Some("end") => {
+                if field_u64(line, "cells") != Some(cells) {
+                    problems.push(format!(
+                        "line {lineno}: end.cells disagrees with {cells} cell line(s)"
+                    ));
+                }
+                if field_u64(line, "tenants") != Some(tenants) {
+                    problems.push(format!(
+                        "line {lineno}: end.tenants disagrees with {tenants} tenant line(s)"
+                    ));
+                }
+                ended = true;
+            }
+            Some("header") => problems.push(format!("line {lineno}: second header")),
+            _ => problems.push(format!("line {lineno}: unknown or malformed line")),
+        }
+    }
+    if !ended {
+        problems.push("artifact has no end line".to_string());
+    }
+    problems
+}
+
 /// Selects figures by id; empty filter means all.
 pub fn select(figures: Vec<Figure>, ids: &[String]) -> Vec<Figure> {
     if ids.is_empty() {
@@ -247,6 +449,83 @@ mod tests {
         }
         let back: Vec<Figure> = serde_json::from_str(&to_json(&figs)).unwrap();
         assert_eq!(figs, back);
+    }
+
+    #[test]
+    fn telemetry_validator_accepts_real_blocks_and_rejects_corruption() {
+        // A real artifact from a real probed run, concatenated twice —
+        // the shape the profile bin writes.
+        let config = venice_loadgen::LoadgenConfig {
+            requests: 1_500,
+            ..venice_loadgen::LoadgenConfig::new(7, venice_loadgen::TenantMix::messaging())
+        };
+        let (block, _) = venice_loadgen::telemetry::artifact_run(
+            "unit",
+            &config,
+            venice_sim::Time::from_ms(2),
+            64,
+        );
+        let artifact = format!("{block}{block}");
+        assert_eq!(validate_telemetry(&artifact), Vec::<String>::new());
+        // Truncating the final end line leaves a dangling block.
+        let truncated: String = artifact
+            .lines()
+            .take(artifact.lines().count() - 1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(validate_telemetry(&truncated)
+            .iter()
+            .any(|p| p.contains("never closed")));
+        // A doctored sample count must be caught.
+        let doctored = artifact.replacen("\"kind\":\"sample\"", "\"kind\":\"sampleX\"", 1);
+        assert!(!validate_telemetry(&doctored).is_empty());
+        assert!(!validate_telemetry("").is_empty());
+    }
+
+    #[test]
+    fn attrib_validator_enforces_the_exact_sum_at_the_artifact_level() {
+        let config = venice_loadgen::LoadgenConfig {
+            requests: 1_500,
+            ..venice_loadgen::LoadgenConfig::new(7, venice_loadgen::TenantMix::messaging())
+        };
+        let labels = venice_loadgen::telemetry::tenant_labels(&config);
+        let labels: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let (_, fold) =
+            venice_loadgen::telemetry::attrib_run(&config, venice_sim::Time::from_ms(2), 64);
+        let artifact = venice_telemetry::export_attrib_jsonl(
+            "unit",
+            7,
+            &[("a", &fold), ("b", &fold)],
+            &labels,
+        );
+        assert_eq!(validate_attrib(&artifact), Vec::<String>::new());
+        // Corrupt one cell's total: the artifact-level exact-sum check
+        // must fire even though the in-process fold was consistent.
+        let cell_line = artifact
+            .lines()
+            .find(|l| l.starts_with("{\"kind\":\"cell\""))
+            .unwrap();
+        let total = cell_line.split("\"total_ps\":").nth(1).unwrap();
+        let total = &total[..total.find('}').unwrap()];
+        let doctored = artifact.replacen(
+            &format!("\"total_ps\":{total}}}"),
+            &format!("\"total_ps\":{}}}", total.parse::<u64>().unwrap() + 1),
+            1,
+        );
+        assert!(validate_attrib(&doctored)
+            .iter()
+            .any(|p| p.contains("do not sum")));
+        // Dropping the end line, or a tenant line, must be caught.
+        let no_end: String = artifact
+            .lines()
+            .filter(|l| !l.starts_with("{\"kind\":\"end\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(validate_attrib(&no_end)
+            .iter()
+            .any(|p| p.contains("no end line")));
+        let no_tenant = artifact.replacen("\"kind\":\"tenant\"", "\"kind\":\"tenantX\"", 1);
+        assert!(!validate_attrib(&no_tenant).is_empty());
     }
 
     #[test]

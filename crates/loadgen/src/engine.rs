@@ -31,7 +31,11 @@ use std::collections::VecDeque;
 use venice::cluster::Cluster;
 use venice::{MemoryLease, NodeId};
 use venice_lease::{LeaseAction, LeaseConfig, LeaseManager, NodeSignal, Priority, NO_TENANT};
-use venice_sim::{Kernel, LogHistogram, Scheduler, SimEvent, SimRng, Time};
+use venice_sim::{Kernel, LogHistogram, QueueStats, Scheduler, SimEvent, SimRng, Time};
+use venice_telemetry::attrib::{
+    StageBreakdown, STAGE_DETOUR, STAGE_ESTABLISH_STALL, STAGE_QUEUE_WAIT, STAGE_SERVICE_LOCAL,
+    STAGE_SERVICE_REMOTE, STAGE_SLOT_WAIT, STAGE_TRANSPORT,
+};
 use venice_telemetry::{NodeGauges, NoopProbe, Probe, SampleRow, SpanKind, TenantCounters};
 use venice_transport::qpair::QpairError;
 use venice_transport::{QpairConfig, QueuePair};
@@ -41,7 +45,7 @@ use crate::admission::{AdmissionConfig, AdmissionControl, Decision, ShedReason};
 use crate::arrival::{exponential, ArrivalProcess};
 use crate::report::{LeaseSummary, LoadReport, TenantReport};
 use crate::stacks::RemoteStack;
-use crate::tenants::{CompiledService, NodeModel, TenantClass, TenantMix};
+use crate::tenants::{CompiledAttrib, CompiledService, NodeModel, TenantClass, TenantMix};
 use crate::trace::{RequestOutcome, RequestRecord, Trace};
 
 /// Local DRAM miss latency used for the non-borrowed tier.
@@ -139,6 +143,12 @@ pub struct EngineMetrics {
     /// Peak number of simultaneously pending events (peak event-queue
     /// depth).
     pub peak_queue_depth: usize,
+    /// Cumulative event-queue traffic counters (near-buffer hits vs
+    /// heap sifts).
+    pub queue: QueueStats,
+    /// End-of-run `(live, capacity)` occupancy of the kernel's event
+    /// slab.
+    pub slab: (usize, usize),
 }
 
 /// One in-flight request (plain data; pooled in [`RequestSlab`]).
@@ -207,6 +217,25 @@ impl RequestSlab {
     }
 }
 
+/// Per-slot attribution stamps, paralleling one [`RequestSlab`] slot.
+///
+/// Kept in a side slab on the world rather than in [`Request`] so the
+/// no-op path's 48-byte slab entry is untouched; the vector stays empty
+/// (never allocated, never written) unless the probe is enabled.
+#[derive(Debug, Clone, Copy, Default)]
+struct ReqAttrib {
+    /// When the request last cleared the credit gate (`== arrival` when
+    /// it never parked in the backlog).
+    dispatch_at: Time,
+    /// Remote-CRMA picoseconds of the sampled service time
+    /// ([`CompiledAttrib::remote_ps`]).
+    remote_ps: u64,
+    /// Whether it parked while a grow's establish flow was pending on
+    /// its node — the queue wait is then a lease-establish stall, not
+    /// ordinary contention.
+    stalled: bool,
+}
+
 /// Per-node server state.
 struct Server {
     /// Edge-gateway → node messaging channel (finite credits).
@@ -235,6 +264,12 @@ struct Server {
     ///
     /// [`RequestProfile::compile`]: crate::tenants::RequestProfile::compile
     service_by_class: Vec<CompiledService>,
+    /// Each class's remote-share model compiled against the same
+    /// [`NodeModel`] ([`RequestProfile::compile_attrib`]); empty unless
+    /// the probe is enabled, recompiled alongside `service_by_class`.
+    ///
+    /// [`RequestProfile::compile_attrib`]: crate::tenants::RequestProfile::compile_attrib
+    attrib_by_class: Vec<CompiledAttrib>,
 }
 
 /// Per-tenant accumulators.
@@ -414,6 +449,9 @@ fn apply_grow<'a, P: Probe>(
             w.probe
                 .span_open(SpanKind::Establish, node, generation, now);
         }
+        if P::ATTRIB {
+            w.pending_grows[node as usize] += 1;
+        }
     }
 }
 
@@ -532,6 +570,9 @@ impl<'a, P: Probe> SimEvent<World<'a, P>> for EngineEvent {
                 model.remote_bytes += lease.bytes;
                 model.remote_miss = lat;
                 recompile_service(w, node as usize);
+                if P::ATTRIB {
+                    w.pending_grows[node as usize] -= 1;
+                }
                 if P::ENABLED {
                     let now = s.now();
                     w.probe
@@ -630,6 +671,13 @@ struct World<'a, P: Probe> {
     trace: Option<Vec<RequestRecord>>,
     /// Recorded arrivals to re-drive instead of drawing fresh traffic.
     replay: Option<ReplayCursor<'a>>,
+    /// Attribution side slab paralleling `requests` by slot; empty (and
+    /// never touched) unless the probe is enabled.
+    attrib: Vec<ReqAttrib>,
+    /// Per-node count of grows whose establish flow is still in flight,
+    /// classifying backlog waits as establish stalls; empty unless the
+    /// probe is enabled.
+    pending_grows: Vec<u32>,
 }
 
 impl<P: Probe> World<'_, P> {
@@ -882,6 +930,15 @@ fn issue_with<'a, P: Probe>(
                     RequestOutcome::ShedBackpressure
                 }
             };
+            if P::ATTRIB {
+                // Slot order mirrors attrib::SHED_LABELS.
+                let slot = match reason {
+                    ShedReason::RateLimit => 0,
+                    ShedReason::Overload => 1,
+                    ShedReason::Backpressure => 2,
+                };
+                w.probe.on_shed(class as u16, node as u16, slot, now);
+            }
             record(
                 w,
                 seq,
@@ -901,8 +958,10 @@ fn issue_with<'a, P: Probe>(
             w.stats[class].admitted += 1;
             // The compiled model replays service_time() bit-for-bit
             // (same rng draws) without re-deriving the node-state
-            // constants per request.
-            let service = w.servers[node].service_by_class[class].sample(&mut w.service_rng);
+            // constants per request; the coin branch feeds attribution
+            // and is dead code on the no-op path.
+            let (service, is_miss) =
+                w.servers[node].service_by_class[class].sample_split(&mut w.service_rng);
             let slot = w.requests.insert(Request {
                 seq,
                 class: class as u32,
@@ -912,6 +971,17 @@ fn issue_with<'a, P: Probe>(
                 service,
                 generation,
             });
+            if P::ATTRIB {
+                let remote_ps = w.servers[node].attrib_by_class[class].remote_ps(service, is_miss);
+                if w.attrib.len() <= slot as usize {
+                    w.attrib.resize(slot as usize + 1, ReqAttrib::default());
+                }
+                w.attrib[slot as usize] = ReqAttrib {
+                    dispatch_at: now,
+                    remote_ps,
+                    stalled: false,
+                };
+            }
             dispatch(w, s, slot);
         }
     }
@@ -955,6 +1025,11 @@ fn dispatch<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, slot: u32)
     let srv = &mut w.servers[node];
     match srv.qp.post_send(w.req_bytes_by_class[req.class as usize]) {
         Ok(()) => {
+            if P::ATTRIB {
+                // The request clears the credit gate now; everything
+                // since arrival was queue wait (or establish stall).
+                w.attrib[slot as usize].dispatch_at = now;
+            }
             let deliver = now + srv.msg_lat_by_class[req.class as usize];
             let best_slot = {
                 let slots = &srv.slots;
@@ -975,6 +1050,11 @@ fn dispatch<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, slot: u32)
         Err(QpairError::NoCredit) | Err(QpairError::QueueFull) => {
             srv.credit_waits += 1;
             if srv.backlog.len() < w.backlog_cap {
+                if P::ATTRIB && w.pending_grows[node] > 0 {
+                    // The node is waiting on a grow's establish flow:
+                    // classify this park as a lease-establish stall.
+                    w.attrib[slot as usize].stalled = true;
+                }
                 srv.backlog.push_back(slot);
             } else {
                 // The node is saturated beyond its backlog: drop the
@@ -982,6 +1062,9 @@ fn dispatch<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, slot: u32)
                 let req = w.requests.take(slot);
                 w.stats[req.class as usize].shed_backpressure += 1;
                 w.admissions[node].on_completion();
+                if P::ATTRIB {
+                    w.probe.on_shed(req.class as u16, node as u16, 2, now);
+                }
                 record(
                     w,
                     req.seq,
@@ -1018,6 +1101,45 @@ fn finish<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, slot: u32) {
     let node = req.node as usize;
     w.admissions[node].on_completion();
     w.servers[node].inflight_by_class[class] -= 1;
+    if P::ATTRIB {
+        // Telescoping decomposition — every stage is a difference of
+        // stamps the engine computed anyway, so the seven stages sum to
+        // the end-to-end latency *exactly*, per request, by
+        // construction: latency = queue + transport + slot_wait +
+        // service, with queue = dispatch_at - arrival, transport the
+        // class's fixed QPair latency, service the sampled cost (split
+        // local/remote by the compiled per-mille share), and slot_wait
+        // the remainder (start - deliver, provably >= 0 because finish
+        // fires at start + service and start >= dispatch_at +
+        // transport).
+        let a = w.attrib[slot as usize];
+        let total_ps = latency.as_ps();
+        let queue_ps = a.dispatch_at.saturating_sub(req.arrival).as_ps();
+        let transport_ps = w.servers[node].msg_lat_by_class[class].as_ps();
+        let service_ps = req.service.as_ps();
+        let slot_wait_ps = total_ps - queue_ps - transport_ps - service_ps;
+        let remote_ps = a.remote_ps.min(service_ps);
+        let mut stage_ps = [0u64; venice_telemetry::STAGES];
+        stage_ps[if a.stalled {
+            STAGE_ESTABLISH_STALL
+        } else {
+            STAGE_QUEUE_WAIT
+        }] = queue_ps;
+        let home = (req.user % w.servers.len() as u64) as usize;
+        stage_ps[if node == home {
+            STAGE_TRANSPORT
+        } else {
+            STAGE_DETOUR
+        }] = transport_ps;
+        stage_ps[STAGE_SLOT_WAIT] = slot_wait_ps;
+        stage_ps[STAGE_SERVICE_LOCAL] = service_ps - remote_ps;
+        stage_ps[STAGE_SERVICE_REMOTE] = remote_ps;
+        w.probe.on_request(
+            class as u16,
+            node as u16,
+            StageBreakdown { stage_ps, total_ps },
+        );
+    }
     record(
         w,
         req.seq,
@@ -1076,6 +1198,14 @@ fn recompile_service<P: Probe>(w: &mut World<'_, P>, node: usize) {
         .zip(w.servers[node].service_by_class.iter_mut())
     {
         *slot = class.profile.compile(&model);
+    }
+    if P::ATTRIB {
+        // The remote share moves with the same node state; keep the
+        // attribution model in lockstep with the service model.
+        let srv = &mut w.servers[node];
+        for (class, slot) in w.classes.iter().zip(srv.attrib_by_class.iter_mut()) {
+            *slot = class.profile.compile_attrib(&model);
+        }
     }
 }
 
@@ -1547,6 +1677,16 @@ fn run_full<P: Probe>(
                 .iter()
                 .map(|class| class.profile.compile(&model))
                 .collect(),
+            attrib_by_class: if P::ATTRIB {
+                config
+                    .mix
+                    .classes
+                    .iter()
+                    .map(|class| class.profile.compile_attrib(&model))
+                    .collect()
+            } else {
+                Vec::new()
+            },
         })
         .collect();
     let mut rng = SimRng::seed(config.seed);
@@ -1626,6 +1766,8 @@ fn run_full<P: Probe>(
             records: &t.records,
             next: 0,
         }),
+        attrib: Vec::new(),
+        pending_grows: if P::ATTRIB { vec![0; n] } else { Vec::new() },
     };
 
     // 5. Seed the event queue and run to completion.
@@ -1669,6 +1811,8 @@ fn run_full<P: Probe>(
         events: kernel.executed() + kernel.state().fused,
         fused_arrivals: kernel.state().fused,
         peak_queue_depth: kernel.peak_pending(),
+        queue: kernel.queue_stats(),
+        slab: kernel.slab_occupancy(),
     };
     if P::ENABLED {
         let queue_stats = kernel.queue_stats();

@@ -10,7 +10,7 @@
 //! same config, same artifact, byte for byte.
 
 use venice_sim::Time;
-use venice_telemetry::{export_jsonl, render_profile, RecordingProbe};
+use venice_telemetry::{export_jsonl, render_profile, AttribFold, AttribProbe, RecordingProbe};
 
 use crate::engine::{run_probed, LoadgenConfig};
 use crate::report::LoadReport;
@@ -56,6 +56,27 @@ pub fn artifact_run(
     (artifact, report)
 }
 
+/// Runs `config` with an [`AttribProbe`] (attribution stamping armed)
+/// and returns its latency-attribution fold alongside the
+/// (probe-invariant) report. Every completion passes the fold's
+/// exact-sum gate on the way in, so a fold that comes back at all
+/// certifies the decomposition.
+///
+/// # Panics
+///
+/// As [`probed_run`], or if any request's stage breakdown fails to sum
+/// to its end-to-end latency.
+pub fn attrib_run(config: &LoadgenConfig, tick: Time, cap: usize) -> (LoadReport, AttribFold) {
+    let (report, probe) = run_probed(config, AttribProbe::new(tick, cap));
+    (report, probe.attrib().clone())
+}
+
+/// The mix's tenant labels in class order, for naming attribution
+/// artifacts.
+pub fn tenant_labels(config: &LoadgenConfig) -> Vec<String> {
+    config.mix.classes.iter().map(|c| c.name.clone()).collect()
+}
+
 /// Runs `config` probed and renders the text profile report.
 ///
 /// # Panics
@@ -92,8 +113,23 @@ mod tests {
         let (probed, probe) = probed_run(&config, Time::from_ms(5), 512);
         assert_eq!(plain, probed, "probe perturbed the run");
         assert!(probe.total_events() > 0);
-        assert!(!probe.series().is_empty(), "no samples over a 3k-request run");
+        assert!(
+            !probe.series().is_empty(),
+            "no samples over a 3k-request run"
+        );
         assert!(probe.queue_stats().pops() > 0);
+    }
+
+    #[test]
+    fn attrib_fold_accounts_for_every_completion() {
+        let config = small(19);
+        let (report, fold) = attrib_run(&config, Time::from_ms(5), 512);
+        assert_eq!(fold.requests(), report.completed);
+        // Per-tenant counts reconcile with the report's ledger.
+        for (t, tenant) in report.tenants.iter().enumerate() {
+            let count = fold.tenant_summary(t as u16).map(|s| s.count).unwrap_or(0);
+            assert_eq!(count, tenant.completed, "{}", tenant.tenant);
+        }
     }
 
     #[test]

@@ -340,21 +340,139 @@ impl CompiledService {
     /// against (same draws from `rng`, same arithmetic).
     #[inline]
     pub fn sample(&self, rng: &mut SimRng) -> Time {
-        let base = match self {
-            CompiledService::Fixed(t) => *t,
+        self.sample_split(rng).0
+    }
+
+    /// [`sample`](Self::sample) plus which branch the draw took: `true`
+    /// when a [`Coin`](CompiledService::Coin) landed on the miss cost
+    /// (`false` always for [`Fixed`](CompiledService::Fixed)). The
+    /// attribution path needs the branch to pick the right
+    /// [`CompiledAttrib`] remote share; the draw sequence is exactly
+    /// `sample`'s.
+    #[inline]
+    pub fn sample_split(&self, rng: &mut SimRng) -> (Time, bool) {
+        let (base, is_miss) = match self {
+            CompiledService::Fixed(t) => (*t, false),
             CompiledService::Coin {
                 miss_rate,
                 miss,
                 hit,
             } => {
                 if rng.chance(*miss_rate) {
-                    *miss
+                    (*miss, true)
                 } else {
-                    *hit
+                    (*hit, false)
                 }
             }
         };
-        base.scale(0.9 + 0.2 * rng.unit())
+        (base.scale(0.9 + 0.2 * rng.unit()), is_miss)
+    }
+}
+
+/// The remote-CRMA share of a compiled service time, in per-mille, per
+/// coin branch. Produced by [`RequestProfile::compile_attrib`] against
+/// the same [`NodeModel`] as the matching [`CompiledService`].
+///
+/// The share is a *ratio* of the pre-jitter cost, and both the ±10 %
+/// jitter and the donor-pressure factor scale the whole sample, so the
+/// ratio survives them exactly: `sampled_ps * pm / 1000` is the remote
+/// picoseconds of any sample drawn from the matching compiled service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompiledAttrib {
+    /// Remote share of the hit branch (and of every [`Fixed`]
+    /// sample), per-mille.
+    ///
+    /// [`Fixed`]: CompiledService::Fixed
+    pub hit_remote_pm: u32,
+    /// Remote share of the miss branch, per-mille (zero for KV: a miss
+    /// is a backend query, not a memory walk).
+    pub miss_remote_pm: u32,
+}
+
+impl CompiledAttrib {
+    /// Remote picoseconds of a sampled service time, given which branch
+    /// [`CompiledService::sample_split`] took. Integer arithmetic; the
+    /// result is `<= service.as_ps()` because the share is `<= 1000`.
+    #[inline]
+    pub fn remote_ps(&self, service: Time, is_miss: bool) -> u64 {
+        let pm = if is_miss {
+            self.miss_remote_pm
+        } else {
+            self.hit_remote_pm
+        };
+        service.as_ps() * u64::from(pm) / 1000
+    }
+}
+
+/// `(with - without) * 1000 / with` clamped to `[0, 1000]`.
+fn share_pm(with: Time, without: Time) -> u32 {
+    let with_ps = with.as_ps();
+    let delta = with_ps.saturating_sub(without.as_ps());
+    (delta * 1000).checked_div(with_ps).unwrap_or(0).min(1000) as u32
+}
+
+impl RequestProfile {
+    /// Compiles the remote-CRMA share of this profile's service time on
+    /// `node`: what fraction of a sampled cost is time spent walking
+    /// borrowed remote memory rather than local DRAM or CPU. Computed by
+    /// differencing the cost model against itself with the remote term
+    /// zeroed, so it stays consistent with [`compile`](Self::compile) by
+    /// construction.
+    pub fn compile_attrib(&self, node: &NodeModel) -> CompiledAttrib {
+        match self {
+            RequestProfile::Kv {
+                cache,
+                capacity_bytes,
+            } => {
+                if !node.has_remote() {
+                    return CompiledAttrib::default();
+                }
+                let capacity = (cache.local_floor_bytes + node.remote_bytes).min(*capacity_bytes);
+                CompiledAttrib {
+                    hit_remote_pm: share_pm(
+                        cache.hit_time(capacity, CacheMemory::RemoteCrma(node.remote_miss)),
+                        cache.hit_time(capacity, CacheMemory::Local),
+                    ),
+                    // A miss pays the backend, not the borrowed tier.
+                    miss_remote_pm: 0,
+                }
+            }
+            RequestProfile::Oltp {
+                workload,
+                remote_fraction,
+            } => {
+                let f = *remote_fraction * node.fill();
+                let p = workload.profile();
+                let pm = share_pm(
+                    p.op_time_split(f, node.remote_miss, node.local_miss),
+                    p.op_time_split(f, Time::ZERO, node.local_miss),
+                );
+                CompiledAttrib {
+                    hit_remote_pm: pm,
+                    miss_remote_pm: pm,
+                }
+            }
+            RequestProfile::PageRank {
+                kernel,
+                edges_per_request,
+                footprint_bytes,
+                remote_fraction,
+            } => {
+                let f = *remote_fraction * node.fill();
+                let p = kernel.profile(*footprint_bytes);
+                let scale = *edges_per_request as f64;
+                let pm = share_pm(
+                    p.op_time_split(f, node.remote_miss, node.local_miss)
+                        .scale(scale),
+                    p.op_time_split(f, Time::ZERO, node.local_miss).scale(scale),
+                );
+                CompiledAttrib {
+                    hit_remote_pm: pm,
+                    miss_remote_pm: pm,
+                }
+            }
+            RequestProfile::Iperf { .. } => CompiledAttrib::default(),
+        }
     }
 }
 
@@ -688,6 +806,59 @@ mod tests {
     #[should_panic]
     fn empty_mix_rejected() {
         TenantMix::new("x", vec![], 10, 0.5);
+    }
+
+    #[test]
+    fn sample_split_matches_sample_draw_for_draw() {
+        let n = node();
+        for mix in TenantMix::presets() {
+            for class in &mix.classes {
+                let compiled = class.profile.compile(&n);
+                let mut a = SimRng::seed(0xAB);
+                let mut b = SimRng::seed(0xAB);
+                for _ in 0..1_000 {
+                    let plain = compiled.sample(&mut a);
+                    let (split, is_miss) = compiled.sample_split(&mut b);
+                    assert_eq!(plain, split);
+                    if matches!(compiled, CompiledService::Fixed(_)) {
+                        assert!(!is_miss);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_attrib_shares_are_sane() {
+        let with_remote = node();
+        let without = NodeModel::local_only(Time::from_ns(100));
+        for mix in TenantMix::presets() {
+            for class in &mix.classes {
+                let hot = class.profile.compile_attrib(&with_remote);
+                let cold = class.profile.compile_attrib(&without);
+                assert!(hot.hit_remote_pm <= 1000 && hot.miss_remote_pm <= 1000);
+                // No borrowed tier, no remote time.
+                assert_eq!(cold, CompiledAttrib::default(), "{}", class.name);
+                match &class.profile {
+                    RequestProfile::Iperf { .. } => {
+                        assert_eq!(hot, CompiledAttrib::default())
+                    }
+                    RequestProfile::Kv { .. } => {
+                        assert!(hot.hit_remote_pm > 0, "remote hits walk CRMA");
+                        assert_eq!(hot.miss_remote_pm, 0, "misses pay the backend");
+                    }
+                    _ => assert!(hot.hit_remote_pm > 0, "{}", class.name),
+                }
+                // The share bounds the attributed remote picoseconds by
+                // the sample itself.
+                let compiled = class.profile.compile(&with_remote);
+                let mut rng = SimRng::seed(11);
+                for _ in 0..200 {
+                    let (t, is_miss) = compiled.sample_split(&mut rng);
+                    assert!(hot.remote_ps(t, is_miss) <= t.as_ps());
+                }
+            }
+        }
     }
 
     #[test]

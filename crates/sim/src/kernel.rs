@@ -164,6 +164,13 @@ impl<S, E> Scheduler<S, E> {
         self.queue.slab_occupancy()
     }
 
+    /// `(earliest, latest)` fire times among pending events — how far
+    /// into the simulated future the run has committed work. `None`
+    /// when the queue is empty.
+    pub fn pending_time_span(&self) -> Option<(Time, Time)> {
+        self.queue.pending_time_span()
+    }
+
     /// Timestamp of the next pending event, if any.
     ///
     /// Together with [`advance_to`](Self::advance_to) this enables
@@ -386,6 +393,12 @@ impl<S, E> Kernel<S, E> {
     pub fn slab_occupancy(&self) -> (usize, usize) {
         self.sched.slab_occupancy()
     }
+
+    /// `(earliest, latest)` fire times among pending events, or `None`
+    /// when the queue is empty.
+    pub fn pending_time_span(&self) -> Option<(Time, Time)> {
+        self.sched.pending_time_span()
+    }
 }
 
 impl<S, E: SimEvent<S>> Kernel<S, E> {
@@ -491,6 +504,24 @@ mod tests {
         assert_eq!(*k.state(), 5);
         assert_eq!(k.now(), Time::from_ns(40));
         assert_eq!(k.executed(), 5);
+    }
+
+    #[test]
+    fn pending_time_span_tracks_the_committed_future() {
+        let mut k = Kernel::new(0u32);
+        assert_eq!(k.pending_time_span(), None);
+        for i in 1..=5 {
+            k.schedule(Time::from_ns(i * 10), |n: &mut u32, _| *n += 1);
+        }
+        assert_eq!(
+            k.pending_time_span(),
+            Some((Time::from_ns(10), Time::from_ns(50)))
+        );
+        k.step();
+        assert_eq!(
+            k.pending_time_span(),
+            Some((Time::from_ns(20), Time::from_ns(50)))
+        );
     }
 
     #[test]

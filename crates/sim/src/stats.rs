@@ -215,6 +215,31 @@ impl LogHistogram {
         }
     }
 
+    /// Number of buckets at this resolution (the exclusive upper bound
+    /// of [`bucket_of`](Self::bucket_of)).
+    pub fn bucket_len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The bucket index `sample` falls into — the same index
+    /// [`record`](Self::record) increments. Exposed so side tables
+    /// keyed by latency bucket (e.g. per-bucket stage attribution) can
+    /// stay aligned with the histogram's own binning.
+    pub fn bucket_of(&self, sample: Time) -> usize {
+        self.index_of(sample.as_ps())
+    }
+
+    /// Largest value mapping to bucket `idx`, as a [`Time`] — the edge
+    /// [`quantile`](Self::quantile) reports before clamping to the max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.bucket_len()`.
+    pub fn bucket_upper_edge(&self, idx: usize) -> Time {
+        assert!(idx < self.buckets.len(), "bucket index out of range");
+        Time::from_ps(self.upper_edge(idx))
+    }
+
     /// Bucket index for a raw picosecond value.
     fn index_of(&self, ps: u64) -> usize {
         let sub = self.sub_bits;
@@ -484,6 +509,28 @@ mod tests {
         assert_eq!(h.quantile(1.0), Some(Time::MAX));
         assert_eq!(h.quantile(0.01), Some(Time::MAX));
         assert_eq!(h.max(), Some(Time::MAX));
+    }
+
+    #[test]
+    fn log_histogram_bucket_api_matches_recording() {
+        let mut h = LogHistogram::new();
+        for us in [1u64, 17, 900, 4096] {
+            h.record(Time::from_us(us));
+        }
+        // Every recorded sample sits at or below its bucket's upper edge,
+        // and the edge maps back to the same bucket (edges are members).
+        for us in [1u64, 17, 900, 4096] {
+            let t = Time::from_us(us);
+            let idx = h.bucket_of(t);
+            assert!(idx < h.bucket_len());
+            let edge = h.bucket_upper_edge(idx);
+            assert!(edge >= t);
+            assert_eq!(h.bucket_of(edge), idx);
+        }
+        // A quantile's bucket is reachable through the public index, so
+        // side tables binned by `bucket_of` align with quantile lookups.
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(h.bucket_of(p99) < h.bucket_len());
     }
 
     #[test]

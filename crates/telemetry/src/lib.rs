@@ -28,15 +28,30 @@
 //! The [`export`] module renders a probe into the `venice-telemetry-v1`
 //! JSONL artifact; [`profile`] renders the same data as a human text
 //! report (the `venice-bench` `profile` bin drives both).
+//!
+//! On top of the event/series/span signals, [`attrib`] adds per-request
+//! latency attribution: the engine stamps each request's lifecycle
+//! stages ([`attrib::StageBreakdown`], which must sum *exactly* to the
+//! end-to-end latency) through [`Probe::on_request`], and
+//! [`attrib::AttribFold`] folds them into per-tenant × per-node stage
+//! totals plus per-tenant tail (≥ p99 bucket) critical-path summaries.
+//! [`report`] renders one or two folds into the `venice-attrib-v1`
+//! JSONL artifact and the differential *explain* text report that names
+//! the stage responsible for a p99 shift between two runs (the
+//! `venice-bench` `explain` bin drives both).
 
+pub mod attrib;
 pub mod export;
 pub mod probe;
 pub mod profile;
+pub mod report;
 pub mod series;
 pub mod spans;
 
+pub use attrib::{AttribFold, StageBreakdown, TenantSummary, STAGES, STAGE_LABELS};
 pub use export::export_jsonl;
-pub use probe::{NoopProbe, Probe, RecordingProbe};
+pub use probe::{AttribProbe, NoopProbe, Probe, RecordingProbe};
 pub use profile::render_profile;
+pub use report::{diff_tenants, export_attrib_jsonl, render_explain, TenantDiff, ATTRIB_SCHEMA};
 pub use series::{NodeGauges, SampleRow, SeriesRecorder, TenantCounters};
 pub use spans::{Span, SpanKind, SpanLog};

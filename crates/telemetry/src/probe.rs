@@ -15,6 +15,7 @@
 
 use venice_sim::{QueueStats, Time};
 
+use crate::attrib::{AttribFold, StageBreakdown};
 use crate::series::{SampleRow, SeriesRecorder};
 use crate::spans::{SpanKind, SpanLog};
 
@@ -34,6 +35,18 @@ pub trait Probe {
     /// guards read this associated constant, so a `false` probe's hooks
     /// are dead code, not cheap code.
     const ENABLED: bool;
+
+    /// Whether the engine's per-request attribution stamping (side-slab
+    /// lifecycle timestamps, stage telescoping, the
+    /// [`on_request`](Self::on_request)/[`on_shed`](Self::on_shed)
+    /// hooks) is compiled in. A second monomorphized gate on top of
+    /// [`ENABLED`](Self::ENABLED): attribution touches every
+    /// completion, which is heavier than the sampling probe's wall-
+    /// clock budget allows, so probes that only sample leave it `false`
+    /// and the stamping is dead code for them too. `true` requires
+    /// `ENABLED` (the engine only checks `ATTRIB` inside enabled
+    /// paths or on sites that imply it).
+    const ATTRIB: bool = false;
 
     /// An event of `kind` (the engine's own enum discriminant, `<`
     /// [`EVENT_KIND_SLOTS`]) fired at `now`.
@@ -64,6 +77,16 @@ pub trait Probe {
     /// End-of-run kernel queue counters: cumulative traffic stats,
     /// `(live, capacity)` slab occupancy, and peak pending depth.
     fn on_queue_stats(&mut self, _stats: QueueStats, _slab: (usize, usize), _peak_depth: usize) {}
+
+    /// A request completed: its per-stage latency breakdown, which must
+    /// sum exactly to the end-to-end latency (see
+    /// [`StageBreakdown::is_exact`]). `tenant` is the mix-class index,
+    /// `node` the server that executed the request.
+    fn on_request(&mut self, _tenant: u16, _node: u16, _stages: StageBreakdown) {}
+
+    /// A request was shed before service. `reason` indexes
+    /// [`crate::attrib::SHED_LABELS`].
+    fn on_shed(&mut self, _tenant: u16, _node: u16, _reason: u8, _now: Time) {}
 }
 
 /// The zero-cost disabled probe: `ENABLED = false`, all hooks inert.
@@ -77,8 +100,14 @@ impl Probe for NoopProbe {
 /// A probe that records everything: per-kind event counters with
 /// sim-time attribution, fused-arrival counts, a ring-buffered sample
 /// series, lease spans, and the kernel's queue statistics.
+///
+/// The `ATTRIB` const parameter arms per-request latency attribution
+/// (see [`Probe::ATTRIB`]). The default `RecordingProbe` leaves it off
+/// — that is the probe the 5% overhead gate times. [`AttribProbe`]
+/// turns it on; its contract is byte-identical reports, not wall
+/// clock.
 #[derive(Debug, Clone)]
-pub struct RecordingProbe {
+pub struct RecordingProbe<const ATTRIB: bool = false> {
     events_by_kind: [u64; EVENT_KIND_SLOTS],
     /// Simulated time attributed to each kind: the gap between an event
     /// and its predecessor is charged to the event that ends the gap
@@ -92,9 +121,15 @@ pub struct RecordingProbe {
     queue_stats: QueueStats,
     slab: (usize, usize),
     peak_depth: usize,
+    attrib: AttribFold,
 }
 
-impl RecordingProbe {
+/// [`RecordingProbe`] with per-request latency attribution armed: the
+/// engine stamps every request's lifecycle and the probe folds each
+/// completion into its [`AttribFold`].
+pub type AttribProbe = RecordingProbe<true>;
+
+impl<const ATTRIB: bool> RecordingProbe<ATTRIB> {
     /// Creates a probe sampling every `tick`, retaining `cap` rows.
     pub fn new(tick: Time, cap: usize) -> Self {
         RecordingProbe {
@@ -108,6 +143,7 @@ impl RecordingProbe {
             queue_stats: QueueStats::default(),
             slab: (0, 0),
             peak_depth: 0,
+            attrib: AttribFold::new(),
         }
     }
 
@@ -155,10 +191,16 @@ impl RecordingProbe {
     pub fn peak_depth(&self) -> usize {
         self.peak_depth
     }
+
+    /// The per-tenant × per-node latency attribution fold.
+    pub fn attrib(&self) -> &AttribFold {
+        &self.attrib
+    }
 }
 
-impl Probe for RecordingProbe {
+impl<const ATTRIB: bool> Probe for RecordingProbe<ATTRIB> {
     const ENABLED: bool = true;
+    const ATTRIB: bool = ATTRIB;
 
     fn on_event(&mut self, kind: u8, now: Time) {
         let slot = (kind as usize).min(EVENT_KIND_SLOTS - 1);
@@ -206,6 +248,14 @@ impl Probe for RecordingProbe {
         self.slab = slab;
         self.peak_depth = peak_depth;
     }
+
+    fn on_request(&mut self, tenant: u16, node: u16, stages: StageBreakdown) {
+        self.attrib.record(tenant, node, stages);
+    }
+
+    fn on_shed(&mut self, tenant: u16, _node: u16, reason: u8, _now: Time) {
+        self.attrib.on_shed(tenant, reason);
+    }
 }
 
 #[cfg(test)]
@@ -219,7 +269,7 @@ mod tests {
 
     #[test]
     fn event_time_is_attributed_to_the_gap_ender() {
-        let mut p = RecordingProbe::new(Time::from_ms(1), 8);
+        let mut p: RecordingProbe = RecordingProbe::new(Time::from_ms(1), 8);
         p.on_event(0, Time::from_us(10));
         p.on_event(1, Time::from_us(25));
         p.on_event(0, Time::from_us(25)); // zero-gap tie
@@ -232,7 +282,7 @@ mod tests {
 
     #[test]
     fn sample_due_fires_once_per_crossed_boundary() {
-        let mut p = RecordingProbe::new(Time::from_us(10), 8);
+        let mut p: RecordingProbe = RecordingProbe::new(Time::from_us(10), 8);
         assert_eq!(p.sample_due(Time::from_us(3)), None);
         // Crossing the 10 µs boundary fires exactly once...
         assert_eq!(p.sample_due(Time::from_us(12)), Some(Time::from_us(10)));

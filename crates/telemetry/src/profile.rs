@@ -3,9 +3,10 @@
 //! [`render_profile`] turns a [`RecordingProbe`] into the report the
 //! `venice-bench` `profile` bin prints: top event kinds by count and
 //! attributed sim time, kernel-queue traffic, a per-node utilization
-//! table folded over the sample series, and a lease-churn summary from
-//! the span log. All arithmetic is integer (fixed-point tenths for
-//! percentages), so the report is as deterministic as the artifact.
+//! table folded over the sample series, and a per-(kind, node)
+//! span-duration percentile table from the span log. All arithmetic is
+//! integer (fixed-point tenths for percentages), so the report is as
+//! deterministic as the artifact.
 
 use std::fmt::Write as _;
 
@@ -138,18 +139,10 @@ pub fn render_profile(scenario: &str, probe: &RecordingProbe, labels: &[&str]) -
         }
     }
 
-    // Lease churn from the span log.
+    // Span-duration breakdown: per (lifecycle kind, node) percentiles
+    // over closed spans, so lease-establish stalls on one hot node are
+    // visible instead of averaged away across the cluster.
     let spans = probe.spans();
-    let mut stats: Vec<(SpanKind, u64, u64)> = vec![
-        (SpanKind::Establish, 0, 0),
-        (SpanKind::Active, 0, 0),
-        (SpanKind::Teardown, 0, 0),
-    ];
-    for (_, span) in spans.closed().iter() {
-        let entry = stats.iter_mut().find(|(k, _, _)| *k == span.kind).unwrap();
-        entry.1 += 1;
-        entry.2 += span.duration().map_or(0, |d| d.as_ps());
-    }
     writeln!(
         out,
         "lease spans: {} closed, {} still open",
@@ -157,18 +150,42 @@ pub fn render_profile(scenario: &str, probe: &RecordingProbe, labels: &[&str]) -
         spans.open_len()
     )
     .unwrap();
-    for (kind, count, total_ps) in &stats {
-        if *count == 0 {
-            continue;
-        }
+    const KINDS: [SpanKind; 3] = [SpanKind::Establish, SpanKind::Active, SpanKind::Teardown];
+    let mut durations: std::collections::BTreeMap<(usize, u16), Vec<u64>> =
+        std::collections::BTreeMap::new();
+    for (_, span) in spans.closed().iter() {
+        let kind_idx = KINDS.iter().position(|&k| k == span.kind).unwrap();
+        durations
+            .entry((kind_idx, span.node))
+            .or_default()
+            .push(span.duration().map_or(0, |d| d.as_ps()));
+    }
+    if !durations.is_empty() {
         writeln!(
             out,
-            "  {:<10} {:>8} closed, mean {} us",
-            kind.label(),
-            count,
-            total_ps / count / 1_000_000
+            "  {:<10} {:>5} {:>8} {:>10} {:>10} {:>10}",
+            "kind", "node", "closed", "p50(us)", "p90(us)", "max(us)"
         )
         .unwrap();
+        // Integer nearest-rank percentile over the sorted durations.
+        let rank = |sorted: &[u64], q: u64| {
+            let idx = (sorted.len() as u64 * q).div_ceil(100).max(1) as usize - 1;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        for ((kind_idx, node), mut ds) in durations {
+            ds.sort_unstable();
+            writeln!(
+                out,
+                "  {:<10} {:>5} {:>8} {:>10} {:>10} {:>10}",
+                KINDS[kind_idx].label(),
+                node,
+                ds.len(),
+                rank(&ds, 50) / 1_000_000,
+                rank(&ds, 90) / 1_000_000,
+                ds.last().unwrap() / 1_000_000
+            )
+            .unwrap();
+        }
     }
     out
 }
@@ -206,14 +223,33 @@ mod tests {
         }
         p.span_open(SpanKind::Establish, 1, 3, Time::from_us(2));
         p.span_close(SpanKind::Establish, 1, 3, Time::from_us(10));
+        p.span_open(SpanKind::Establish, 1, 4, Time::from_us(10));
+        p.span_close(SpanKind::Establish, 1, 4, Time::from_us(30));
+        p.span_open(SpanKind::Establish, 2, 5, Time::from_us(0));
+        p.span_close(SpanKind::Establish, 2, 5, Time::from_us(100));
         let report = render_profile("unit", &p, &["arrival", "next", "finish"]);
         assert!(report.contains("== profile: unit =="));
         assert!(report.contains("arrival"));
         assert!(report.contains("finish"));
         assert!(!report.contains("other"), "unused slots stay unnamed");
         assert!(report.contains("66.6%"), "2 of 3 events are arrivals");
-        assert!(report.contains("establish"));
-        assert!(report.contains("mean 8 us"));
+        assert!(report.contains("3 closed"));
+        // Per-(kind, node) percentiles: node 1 has {8, 20} us establish
+        // spans (p50 = 8, p90 = max = 20); node 2 a lone 100 us span.
+        let establish_row = |node: &str| {
+            report
+                .lines()
+                .find(|l| {
+                    let mut f = l.split_whitespace();
+                    f.next() == Some("establish") && f.next() == Some(node)
+                })
+                .unwrap_or_else(|| panic!("node-{node} establish row"))
+                .split_whitespace()
+                .collect::<Vec<_>>()
+        };
+        // Columns: kind node closed p50 p90 max.
+        assert_eq!(establish_row("1")[2..], ["2", "8", "20", "20"]);
+        assert_eq!(establish_row("2")[2..], ["1", "100", "100", "100"]);
         // Deterministic: same probe, same bytes.
         assert_eq!(
             report,
