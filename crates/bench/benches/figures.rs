@@ -106,7 +106,7 @@ fn bench_substrates(c: &mut Criterion) {
             requests: 10_000,
             ..LoadgenConfig::new(1, TenantMix::web_frontend())
         };
-        b.iter(|| black_box(engine::run(&config)))
+        b.iter(|| black_box(engine::Run::new(&config).execute().report))
     });
     g.bench_function("cluster_borrow_release", |b| {
         use venice::cluster::Cluster;

@@ -21,7 +21,9 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use venice_loadgen::sweep::{self, SweepSpec};
-use venice_loadgen::{economy, elastic, elastic_v2, engine, scenarios, RemoteStack, TenantMix};
+use venice_loadgen::{
+    congestion, economy, elastic, elastic_v2, engine, scenarios, RemoteStack, TenantMix,
+};
 
 /// Seed for the gate's runs (distinct from every published figure seed,
 /// so the gate can never mask a figure regression by caching).
@@ -87,12 +89,25 @@ fn main() -> ExitCode {
         .unwrap();
     }
 
+    // 2c. The congested-fabric placement comparison (per-link window
+    //     accounting, per-dispatch charges, and placement vetoes under
+    //     rayon).
+    let reports = congestion::comparison_reports_scaled(GATE_SEED, GATE_REQUESTS);
+    for (label, report) in &reports {
+        writeln!(
+            artifact,
+            "congestion {label} {}",
+            serde_json::to_string(report).expect("report serializes")
+        )
+        .unwrap();
+    }
+
     // 3. A storm slice across the three canonical mixes (scaled down).
     let storm_reports: Vec<_> = scenarios::storm_configs(GATE_SEED)
         .into_iter()
         .map(|mut config| {
             config.requests = 25_000;
-            engine::run(&config)
+            engine::Run::new(&config).execute().report
         })
         .collect();
     for report in &storm_reports {
@@ -124,7 +139,9 @@ fn main() -> ExitCode {
     // 5. A traced elastic run: the per-request JSONL trace itself.
     let mut config = elastic_v2::predictive_config(GATE_SEED);
     config.requests = GATE_REQUESTS;
-    let (report, trace) = engine::run_traced(&config);
+    let out = engine::Run::new(&config).traced().execute();
+    let report = out.report;
+    let trace = out.trace.expect("traced run captures a trace");
     writeln!(
         artifact,
         "traced {}",

@@ -31,7 +31,7 @@
 
 use std::process::ExitCode;
 
-use venice_loadgen::telemetry::{attrib_run, tenant_labels};
+use venice_loadgen::telemetry::tenant_labels;
 use venice_loadgen::{elastic, elastic_v2, engine, LoadgenConfig, RemoteStack};
 use venice_sim::Time;
 use venice_telemetry::attrib::STAGE_LABELS;
@@ -106,8 +106,10 @@ fn gated_run(
     tick: Time,
     cap: usize,
 ) -> Result<AttribFold, String> {
-    let plain = engine::run(config);
-    let (probed, fold) = attrib_run(config, tick, cap);
+    let plain = engine::Run::new(config).execute().report;
+    let out = engine::Run::new(config).attrib(tick, cap).execute();
+    let fold = out.attrib_fold();
+    let probed = out.report;
     let plain_json = serde_json::to_string(&plain).expect("report serializes");
     let probed_json = serde_json::to_string(&probed).expect("report serializes");
     if plain_json != probed_json {

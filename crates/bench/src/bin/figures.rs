@@ -7,7 +7,8 @@
 //!          loadgen-p99-8n loadgen-tput-8n loadgen-p99-16n loadgen-tput-16n
 //!          loadgen-elastic-8n loadgen-elastic-timeline-8n
 //!          loadgen-elastic-v2-8n loadgen-donor-pressure-8n
-//!          loadgen-donor-benefit-8n loadgen-quota-market-8n]
+//!          loadgen-donor-benefit-8n loadgen-quota-market-8n
+//!          loadgen-congestion-8n]
 //! ```
 //!
 //! With no arguments, prints all figures as aligned text tables (measured
@@ -34,7 +35,7 @@ fn print_engine_metrics() {
     );
     for mut config in scenarios::storm_configs(scenarios::SCENARIO_SEED) {
         config.requests = 40_000;
-        let (_, m) = engine::run_metered(&config);
+        let m = engine::Run::new(&config).execute().metrics;
         let pushes = m.queue.near_hits + m.queue.heap_pushes;
         println!(
             "{:<16} {:>10} {:>10} {:>6.1}% {:>11} {:>8.1}% {:>11}",
@@ -68,7 +69,8 @@ fn main() -> ExitCode {
                  loadgen ids: loadgen-p99-8n loadgen-tput-8n loadgen-p99-16n \
                  loadgen-tput-16n loadgen-elastic-8n loadgen-elastic-timeline-8n \
                  loadgen-elastic-v2-8n loadgen-donor-pressure-8n \
-                 loadgen-donor-benefit-8n loadgen-quota-market-8n"
+                 loadgen-donor-benefit-8n loadgen-quota-market-8n \
+                 loadgen-congestion-8n"
             );
             return ExitCode::SUCCESS;
         } else {

@@ -37,7 +37,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use venice_loadgen::telemetry::{profile_run, EVENT_KIND_LABELS};
+use venice_loadgen::telemetry::EVENT_KIND_LABELS;
 use venice_loadgen::{economy, elastic_v2, engine, scenarios, LoadgenConfig};
 use venice_sim::Time;
 use venice_telemetry::export_jsonl;
@@ -178,12 +178,16 @@ fn main() -> ExitCode {
         let mut noop_report = None;
         let mut probed = None;
         for _ in 0..iters {
-            let (wall, r) = time_once(|| engine::run(&config));
+            let (wall, r) = time_once(|| engine::Run::new(&config).execute().report);
             noop_wall_ms = noop_wall_ms.min(wall);
             noop_report = Some(r);
-            let (wall, r) = time_once(|| profile_run(&scenario, &config, tick, args.cap));
+            let (wall, out) = time_once(|| {
+                engine::Run::new(&config)
+                    .recording(tick, args.cap)
+                    .execute()
+            });
             probed_wall_ms = probed_wall_ms.min(wall);
-            probed = Some(r);
+            probed = Some((out.profile_text(&scenario), out.report, out.probe));
         }
         let noop_report = noop_report.expect("iters >= 1");
         let (text, probed_report, probe) = probed.expect("iters >= 1");
@@ -218,7 +222,7 @@ fn main() -> ExitCode {
         println!();
 
         // Export from the probe we already have rather than re-running
-        // through `telemetry::artifact_run` — same rendering path,
+        // through `RunOutput::artifact_jsonl` — same rendering path,
         // identical bytes (the loadgen tests pin that equivalence).
         artifact.push_str(&export_jsonl(
             &scenario,

@@ -128,7 +128,10 @@ fn measure(
     let mut typed_result: Option<(_, EngineMetrics)> = None;
     let mut boxed_result = None;
     for _ in 0..iters {
-        let (wall, r) = time_once(|| engine::run_metered(config));
+        let (wall, r) = time_once(|| {
+            let out = engine::Run::new(config).execute();
+            (out.report, out.metrics)
+        });
         typed_wall_ms = typed_wall_ms.min(wall);
         typed_result = Some(r);
         let (wall, r) = time_once(|| legacy::run(config));

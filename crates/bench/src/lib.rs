@@ -167,6 +167,7 @@ pub const EXPECTED_FIGURE_IDS: &[&str] = &[
     "loadgen-donor-pressure-8n",
     "loadgen-donor-benefit-8n",
     "loadgen-quota-market-8n",
+    "loadgen-congestion-8n",
 ];
 
 /// Validates a committed figure artifact against
@@ -459,12 +460,10 @@ mod tests {
             requests: 1_500,
             ..venice_loadgen::LoadgenConfig::new(7, venice_loadgen::TenantMix::messaging())
         };
-        let (block, _) = venice_loadgen::telemetry::artifact_run(
-            "unit",
-            &config,
-            venice_sim::Time::from_ms(2),
-            64,
-        );
+        let block = venice_loadgen::engine::Run::new(&config)
+            .recording(venice_sim::Time::from_ms(2), 64)
+            .execute()
+            .artifact_jsonl("unit");
         let artifact = format!("{block}{block}");
         assert_eq!(validate_telemetry(&artifact), Vec::<String>::new());
         // Truncating the final end line leaves a dangling block.
@@ -490,8 +489,10 @@ mod tests {
         };
         let labels = venice_loadgen::telemetry::tenant_labels(&config);
         let labels: Vec<&str> = labels.iter().map(String::as_str).collect();
-        let (_, fold) =
-            venice_loadgen::telemetry::attrib_run(&config, venice_sim::Time::from_ms(2), 64);
+        let fold = venice_loadgen::engine::Run::new(&config)
+            .attrib(venice_sim::Time::from_ms(2), 64)
+            .execute()
+            .attrib_fold();
         let artifact = venice_telemetry::export_attrib_jsonl(
             "unit",
             7,

@@ -259,6 +259,26 @@ impl Cluster {
         recipient: NodeId,
         bytes: u64,
     ) -> Result<MemoryLease, ShareError> {
+        self.borrow_memory_filtered(recipient, bytes, |_| true)
+    }
+
+    /// [`Cluster::borrow_memory`] with a caller-supplied donor veto:
+    /// `donor_ok` is ANDed into the Monitor Node's handshake, so a
+    /// vetoed donor is consumed from the candidate set and the MN's
+    /// retry loop falls through to the next-nearest one. Callers use
+    /// this to steer placement by criteria the MN cannot see — e.g.
+    /// fabric congestion along the recipient↔donor path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Monitor-Node allocation failures, hot-remove/hot-plug
+    /// errors, and CRMA window errors (all rolled back on failure).
+    pub fn borrow_memory_filtered(
+        &mut self,
+        recipient: NodeId,
+        bytes: u64,
+        donor_ok: impl Fn(NodeId) -> bool,
+    ) -> Result<MemoryLease, ShareError> {
         let bytes = bytes.next_power_of_two();
         self.node(recipient)?;
         // A heartbeat round first: donors re-report their current idle
@@ -278,10 +298,11 @@ impl Cluster {
                 now,
                 4,
                 |donor, amount| {
-                    nodes
-                        .get(donor.0 as usize)
-                        .map(|n| n.memory.online_bytes() >= amount)
-                        .unwrap_or(false)
+                    donor_ok(donor)
+                        && nodes
+                            .get(donor.0 as usize)
+                            .map(|n| n.memory.online_bytes() >= amount)
+                            .unwrap_or(false)
                 },
             )
             .map_err(ShareError::Alloc)?;

@@ -35,6 +35,7 @@ pub mod crc;
 pub mod datalink;
 pub mod netsim;
 pub mod packet;
+pub mod paths;
 pub mod phy;
 pub mod routing;
 pub mod switch;
@@ -42,6 +43,7 @@ pub mod topology;
 
 pub use datalink::{CreditCounter, DatalinkRx, DatalinkTx, RxVerdict};
 pub use packet::{Packet, PacketKind, Priority};
+pub use paths::{LinkId, PathTable};
 pub use phy::{Integration, LinkParams};
 pub use routing::RoutingTable;
 pub use switch::{RouterParams, SwitchParams};

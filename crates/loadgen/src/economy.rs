@@ -191,7 +191,7 @@ pub fn comparison_reports_scaled(seed: u64, requests: u64) -> Vec<(String, LoadR
         .into_par_iter()
         .map(|(label, mut config)| {
             config.requests = requests;
-            let report = engine::run(&config);
+            let report = engine::Run::new(&config).execute().report;
             (label, report)
         })
         .collect()
@@ -274,8 +274,9 @@ pub fn donor_benefit_figure(seed: u64) -> Figure {
     let runs: Vec<(String, LoadReport, Trace)> = donor_benefit_configs(seed)
         .into_par_iter()
         .map(|(label, config)| {
-            let (report, trace) = engine::run_traced(&config);
-            (label, report, trace)
+            let out = engine::Run::new(&config).traced().execute();
+            let trace = out.trace.expect("traced run captures a trace");
+            (label, out.report, trace)
         })
         .collect();
     // The evaluated donor set: the union of both rows' pure donors, so
@@ -338,7 +339,7 @@ pub fn quota_market_figure(seed: u64) -> Figure {
     let reports: Vec<(String, LoadReport)> = market_configs(seed)
         .into_par_iter()
         .map(|(label, config)| {
-            let report = engine::run(&config);
+            let report = engine::Run::new(&config).execute().report;
             (label, report)
         })
         .collect();

@@ -133,7 +133,7 @@ pub fn comparison_reports_scaled(seed: u64, requests: u64) -> Vec<(String, LoadR
         .into_par_iter()
         .map(|(label, mut config)| {
             config.requests = requests;
-            let report = engine::run(&config);
+            let report = engine::Run::new(&config).execute().report;
             (label, report)
         })
         .collect()
@@ -302,6 +302,6 @@ mod tests {
             requests: 200,
             ..LoadgenConfig::new(1, TenantMix::messaging())
         };
-        engine::run(&config)
+        engine::Run::new(&config).execute().report
     }
 }

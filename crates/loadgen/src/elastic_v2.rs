@@ -148,7 +148,7 @@ pub fn comparison_reports_scaled(seed: u64, requests: u64) -> Vec<(String, LoadR
         .into_par_iter()
         .map(|(label, mut config)| {
             config.requests = requests;
-            let report = engine::run(&config);
+            let report = engine::Run::new(&config).execute().report;
             (label, report)
         })
         .collect()

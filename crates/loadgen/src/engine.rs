@@ -43,6 +43,7 @@ use venice_workloads::ZipfSampler;
 
 use crate::admission::{AdmissionConfig, AdmissionControl, Decision, ShedReason};
 use crate::arrival::{exponential, ArrivalProcess};
+use crate::remote::{CongestedFabric, RemoteModel, RemoteModelCfg, ScalarCrma};
 use crate::report::{LeaseSummary, LoadReport, TenantReport};
 use crate::stacks::RemoteStack;
 use crate::tenants::{CompiledAttrib, CompiledService, NodeModel, TenantClass, TenantMix};
@@ -91,6 +92,10 @@ pub struct LoadgenConfig {
     /// the manager grow/shrink the tier mid-run. Requires a stack with
     /// [`RemoteStack::supports_elastic`].
     pub lease: Option<LeaseConfig>,
+    /// How remote transfers are priced: the measured per-node scalar
+    /// (the frozen default) or live fabric congestion over modeled
+    /// per-link utilization windows ([`crate::remote`]).
+    pub remote_model: RemoteModelCfg,
 }
 
 impl LoadgenConfig {
@@ -110,6 +115,7 @@ impl LoadgenConfig {
             remote_memory_per_node: 256 << 20,
             stack: RemoteStack::VeniceCrma,
             lease: None,
+            remote_model: RemoteModelCfg::Scalar,
         }
     }
 
@@ -371,6 +377,12 @@ fn measure_crma(cluster: &mut Cluster, node: NodeId, local_base: u64) -> Time {
 /// it as a sublease and the cluster annotates the grant with the
 /// lessor→tenant chain, so the two ledgers can be reconciled at end of
 /// run.
+///
+/// `donor_ok` is the caller's placement veto, threaded into the Monitor
+/// Node's handshake ([`Cluster::borrow_memory_filtered`]): a vetoed
+/// donor is consumed from the candidate set and the retry loop falls
+/// through to the next-nearest one. Congestion-aware placement passes
+/// the fabric model's hot-path test; everyone else passes always-true.
 #[allow(clippy::too_many_arguments)]
 fn grow_lease(
     cluster: &mut Cluster,
@@ -381,9 +393,10 @@ fn grow_lease(
     predictive: bool,
     priority: Priority,
     lessor: Option<u32>,
+    donor_ok: &dyn Fn(NodeId) -> bool,
 ) -> Option<(u64, MemoryLease, Time)> {
     let chunk = manager.config().chunk_bytes;
-    match cluster.borrow_memory(NodeId(node), chunk) {
+    match cluster.borrow_memory_filtered(NodeId(node), chunk, donor_ok) {
         Ok(lease) => {
             let lat = measure_crma(cluster, NodeId(node), lease.local_base);
             let generation = match lessor {
@@ -412,9 +425,9 @@ fn grow_lease(
 /// provisioning — and bump the donor's lent pressure (its memory is
 /// committed at borrow time, even though the recipient's visibility
 /// waits on the establish flow). `lessor` marks a market match.
-fn apply_grow<'a, P: Probe>(
-    w: &mut World<'a, P>,
-    s: &mut Sched<'a, P>,
+fn apply_grow<'a, P: Probe, M: RemoteModel>(
+    w: &mut World<'a, P, M>,
+    s: &mut Sched<'a, P, M>,
     now: Time,
     signals: &[NodeSignal],
     node: u16,
@@ -423,6 +436,11 @@ fn apply_grow<'a, P: Probe>(
 ) {
     let tenant = signals[node as usize].tenant;
     let priority = signals[node as usize].priority;
+    // Under congestion-aware placement the fabric model vetoes donors
+    // whose node↔donor path is currently backlogged (2021-edition
+    // closures capture the `remote` field alone, so this shared borrow
+    // coexists with the mutable cluster/manager borrows below).
+    let donor_ok = |d: NodeId| w.remote.donor_ok(now, node, d.0);
     let tier = w.elastic.as_mut().expect("elastic run");
     if let Some((generation, lease, lat)) = grow_lease(
         &mut w.cluster,
@@ -433,6 +451,7 @@ fn apply_grow<'a, P: Probe>(
         predictive,
         priority,
         lessor,
+        &donor_ok,
     ) {
         s.schedule_event_in(
             lease.setup_time,
@@ -459,7 +478,7 @@ fn apply_grow<'a, P: Probe>(
 /// recompiles its service models — called wherever a grant involving the
 /// donor is established or torn down. A no-op unless the pressure term
 /// is armed, so untouched configurations never recompile here.
-fn sync_donor_pressure<P: Probe>(w: &mut World<'_, P>, donor: u16) {
+fn sync_donor_pressure<P: Probe, M: RemoteModel>(w: &mut World<'_, P, M>, donor: u16) {
     if w.servers[donor as usize].model.lent_slowdown > 0.0 {
         let lent = w.cluster.lent_bytes_of(NodeId(donor));
         w.servers[donor as usize].model.lent_bytes = lent;
@@ -540,10 +559,10 @@ struct RevokeTeardown {
 }
 
 /// The engine's scheduler flavor: typed events over the world.
-type Sched<'a, P> = Scheduler<World<'a, P>, EngineEvent>;
+type Sched<'a, P, M> = Scheduler<World<'a, P, M>, EngineEvent>;
 
-impl<'a, P: Probe> SimEvent<World<'a, P>> for EngineEvent {
-    fn fire(self, w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
+impl<'a, P: Probe, M: RemoteModel> SimEvent<World<'a, P, M>> for EngineEvent {
+    fn fire(self, w: &mut World<'a, P, M>, s: &mut Sched<'a, P, M>) {
         if P::ENABLED {
             pulse(w, s, self.kind());
         }
@@ -570,6 +589,7 @@ impl<'a, P: Probe> SimEvent<World<'a, P>> for EngineEvent {
                 model.remote_bytes += lease.bytes;
                 model.remote_miss = lat;
                 recompile_service(w, node as usize);
+                sync_fabric_route(w, node as usize);
                 if P::ATTRIB {
                     w.pending_grows[node as usize] -= 1;
                 }
@@ -610,7 +630,7 @@ struct ReplayCursor<'a> {
 }
 
 /// The simulated world threaded through every event.
-struct World<'a, P: Probe> {
+struct World<'a, P: Probe, M: RemoteModel> {
     /// Observation hooks ([`venice_telemetry::Probe`]); `NoopProbe` in
     /// every default entry point, so the hooks compile away and the
     /// report stays bit-identical to the unprobed engine.
@@ -678,9 +698,18 @@ struct World<'a, P: Probe> {
     /// classifying backlog waits as establish stalls; empty unless the
     /// probe is enabled.
     pending_grows: Vec<u32>,
+    /// Remote-transfer pricing model ([`crate::remote::RemoteModel`]).
+    /// [`ScalarCrma`] on the default path, where every hook site
+    /// guarded by `if M::ENABLED` monomorphizes away.
+    remote: M,
+    /// Fabric congestion penalty (ps) charged at dispatch, paralleling
+    /// `requests` by slot — a side slab like `attrib`, so the 48-byte
+    /// [`Request`] entry is untouched; empty (never allocated) unless
+    /// the congested model is armed.
+    fabric_detour: Vec<u64>,
 }
 
-impl<P: Probe> World<'_, P> {
+impl<P: Probe, M: RemoteModel> World<'_, P, M> {
     /// Mutable access to the engine RNG (used to stagger closed-loop
     /// session starts).
     fn rng_mut(&mut self) -> &mut SimRng {
@@ -698,7 +727,7 @@ impl<P: Probe> World<'_, P> {
 /// Called only under `if P::ENABLED`, and never from the no-op path —
 /// sampling piggybacks on events the kernel was executing anyway, so
 /// the probed event stream is the unprobed one, exactly.
-fn pulse<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, kind: u8) {
+fn pulse<'a, P: Probe, M: RemoteModel>(w: &mut World<'a, P, M>, s: &mut Sched<'a, P, M>, kind: u8) {
     let now = s.now();
     w.probe.on_event(kind, now);
     if let Some(at) = w.probe.sample_due(now) {
@@ -710,7 +739,11 @@ fn pulse<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, kind: u8) {
 /// Snapshots per-node gauges and per-tenant counters for one sample.
 /// Reads the same ledgers the report reads (cluster byte positions,
 /// admission stats, the lease timeline) — observation only.
-fn build_sample<P: Probe>(w: &mut World<'_, P>, pending: usize, slab_live: usize) -> SampleRow {
+fn build_sample<P: Probe, M: RemoteModel>(
+    w: &mut World<'_, P, M>,
+    pending: usize,
+    slab_live: usize,
+) -> SampleRow {
     let nodes = w
         .servers
         .iter()
@@ -759,9 +792,17 @@ fn build_sample<P: Probe>(w: &mut World<'_, P>, pending: usize, slab_live: usize
                 .unwrap_or(0),
         })
         .collect();
+    // Link gauges exist only on congested-fabric runs; the scalar
+    // model leaves the vector empty and the exported artifact
+    // byte-identical to pre-congestion runs.
+    let mut links = Vec::new();
+    if M::ENABLED {
+        w.remote.link_gauges(&mut links);
+    }
     SampleRow {
         nodes,
         tenants,
+        links,
         slab_live: slab_live as u32,
         pending_events: pending as u32,
     }
@@ -770,7 +811,7 @@ fn build_sample<P: Probe>(w: &mut World<'_, P>, pending: usize, slab_live: usize
 /// Open-loop arrival event: issue one request, schedule the next at the
 /// process's instantaneous rate (constant for Poisson, phase-dependent
 /// for bursty traffic).
-fn open_arrival<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
+fn open_arrival<'a, P: Probe, M: RemoteModel>(w: &mut World<'a, P, M>, s: &mut Sched<'a, P, M>) {
     let mut now = s.now();
     loop {
         issue(w, s, now);
@@ -808,7 +849,7 @@ fn open_arrival<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
 }
 
 /// Closed-loop session event: issue the session's next request.
-fn session_arrival<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
+fn session_arrival<'a, P: Probe, M: RemoteModel>(w: &mut World<'a, P, M>, s: &mut Sched<'a, P, M>) {
     if w.issued >= w.target {
         return; // session retires
     }
@@ -817,7 +858,7 @@ fn session_arrival<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
 }
 
 /// Replay arrival event: re-drive the next recorded request.
-fn replay_arrival<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
+fn replay_arrival<'a, P: Probe, M: RemoteModel>(w: &mut World<'a, P, M>, s: &mut Sched<'a, P, M>) {
     let now = s.now();
     let Some(rec) = w.replay.as_mut().and_then(|cur| {
         let rec = cur.records.get(cur.next).copied();
@@ -838,7 +879,10 @@ fn replay_arrival<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
 }
 
 /// Schedules the closed-loop session's next request, if any remain.
-fn schedule_next_session<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
+fn schedule_next_session<'a, P: Probe, M: RemoteModel>(
+    w: &mut World<'a, P, M>,
+    s: &mut Sched<'a, P, M>,
+) {
     if let Some(think) = w.think {
         if w.issued < w.target {
             let gap = exponential(&mut w.rng, think);
@@ -851,7 +895,11 @@ fn schedule_next_session<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P
 /// admission. During a bursty process's burst window, a `crowd_share`
 /// fraction of arrivals comes from the flash-crowd population instead of
 /// the mix's Zipf tail.
-fn issue<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, now: Time) {
+fn issue<'a, P: Probe, M: RemoteModel>(
+    w: &mut World<'a, P, M>,
+    s: &mut Sched<'a, P, M>,
+    now: Time,
+) {
     let class = w.rng.weighted_index_with_total(&w.weights, w.weight_total);
     let user = if let ArrivalProcess::Bursty {
         crowd_users,
@@ -873,7 +921,7 @@ fn issue<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, now: Time) {
 /// Routes `user`'s request: home node by population hash, except that a
 /// home node whose remote tier is empty defers to a mesh neighbor already
 /// holding a lease driven by this tenant (locality: follow the memory).
-fn route<P: Probe>(w: &World<'_, P>, class: usize, user: u64) -> usize {
+fn route<P: Probe, M: RemoteModel>(w: &World<'_, P, M>, class: usize, user: u64) -> usize {
     let n = w.servers.len();
     let home = (user % n as u64) as usize;
     let Some(tier) = &w.elastic else {
@@ -892,9 +940,9 @@ fn route<P: Probe>(w: &World<'_, P>, class: usize, user: u64) -> usize {
 }
 
 /// Runs one generated request through per-node admission and dispatch.
-fn issue_with<'a, P: Probe>(
-    w: &mut World<'a, P>,
-    s: &mut Sched<'a, P>,
+fn issue_with<'a, P: Probe, M: RemoteModel>(
+    w: &mut World<'a, P, M>,
+    s: &mut Sched<'a, P, M>,
     now: Time,
     class: usize,
     user: u64,
@@ -989,8 +1037,8 @@ fn issue_with<'a, P: Probe>(
 
 /// Appends a trace record if tracing is on.
 #[allow(clippy::too_many_arguments)]
-fn record<P: Probe>(
-    w: &mut World<'_, P>,
+fn record<P: Probe, M: RemoteModel>(
+    w: &mut World<'_, P, M>,
     seq: u64,
     at: Time,
     class: usize,
@@ -1016,7 +1064,11 @@ fn record<P: Probe>(
 
 /// Sends an admitted request toward its node, or parks it under
 /// backpressure. `slot` indexes the request slab.
-fn dispatch<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, slot: u32) {
+fn dispatch<'a, P: Probe, M: RemoteModel>(
+    w: &mut World<'a, P, M>,
+    s: &mut Sched<'a, P, M>,
+    slot: u32,
+) {
     let now = s.now();
     let req = *w.requests.get(slot);
     let node = req.node as usize;
@@ -1030,6 +1082,19 @@ fn dispatch<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, slot: u32)
                 // since arrival was queue wait (or establish stall).
                 w.attrib[slot as usize].dispatch_at = now;
             }
+            let fab = if M::ENABLED {
+                // Congestion queueing delay over the node↔donor fabric
+                // path, charged exactly once — here, when the request
+                // actually dispatches, not when a backlogged one parks.
+                let fab = w.remote.charge(now, node, req.class as usize);
+                if w.fabric_detour.len() <= slot as usize {
+                    w.fabric_detour.resize(slot as usize + 1, 0);
+                }
+                w.fabric_detour[slot as usize] = fab.as_ps();
+                fab
+            } else {
+                Time::ZERO
+            };
             let deliver = now + srv.msg_lat_by_class[req.class as usize];
             let best_slot = {
                 let slots = &srv.slots;
@@ -1042,7 +1107,7 @@ fn dispatch<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, slot: u32)
                 best
             };
             let start = deliver.max(srv.slots[best_slot]);
-            let comp = start + req.service;
+            let comp = start + req.service + fab;
             srv.slots[best_slot] = comp;
             srv.inflight_by_class[req.class as usize] += 1;
             s.schedule_event_at(comp, EngineEvent::Finish(slot));
@@ -1085,7 +1150,11 @@ fn dispatch<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, slot: u32)
 
 /// Completion event: account the request, return the credit, and drain
 /// the node's backlog.
-fn finish<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, slot: u32) {
+fn finish<'a, P: Probe, M: RemoteModel>(
+    w: &mut World<'a, P, M>,
+    s: &mut Sched<'a, P, M>,
+    slot: u32,
+) {
     let req = w.requests.take(slot);
     let now = s.now();
     let latency = now - req.arrival;
@@ -1117,7 +1186,16 @@ fn finish<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, slot: u32) {
         let queue_ps = a.dispatch_at.saturating_sub(req.arrival).as_ps();
         let transport_ps = w.servers[node].msg_lat_by_class[class].as_ps();
         let service_ps = req.service.as_ps();
-        let slot_wait_ps = total_ps - queue_ps - transport_ps - service_ps;
+        // Fabric congestion penalty stamped at dispatch (zero unless
+        // the congested model is armed); it extends the completion
+        // time, so it must come out of the slot-wait remainder and is
+        // booked as detour time — fabric hops beyond the home path.
+        let fab_ps = if M::ENABLED {
+            w.fabric_detour.get(slot as usize).copied().unwrap_or(0)
+        } else {
+            0
+        };
+        let slot_wait_ps = total_ps - queue_ps - transport_ps - service_ps - fab_ps;
         let remote_ps = a.remote_ps.min(service_ps);
         let mut stage_ps = [0u64; venice_telemetry::STAGES];
         stage_ps[if a.stalled {
@@ -1131,6 +1209,7 @@ fn finish<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, slot: u32) {
         } else {
             STAGE_DETOUR
         }] = transport_ps;
+        stage_ps[STAGE_DETOUR] += fab_ps;
         stage_ps[STAGE_SLOT_WAIT] = slot_wait_ps;
         stage_ps[STAGE_SERVICE_LOCAL] = service_ps - remote_ps;
         stage_ps[STAGE_SERVICE_REMOTE] = remote_ps;
@@ -1169,7 +1248,7 @@ fn finish<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>, slot: u32) {
 /// The argmax is computed in place — per class, in-flight count plus a
 /// scan of the (bounded) backlog — instead of cloning
 /// `inflight_by_class` into a scratch `Vec` every lease tick.
-fn dominant_class<P: Probe>(w: &World<'_, P>, node: usize) -> Option<usize> {
+fn dominant_class<P: Probe, M: RemoteModel>(w: &World<'_, P, M>, node: usize) -> Option<usize> {
     let srv = &w.servers[node];
     let mut best: Option<(usize, u32)> = None;
     for (class, &inflight) in srv.inflight_by_class.iter().enumerate() {
@@ -1190,7 +1269,7 @@ fn dominant_class<P: Probe>(w: &World<'_, P>, node: usize) -> Option<usize> {
 /// current [`NodeModel`]. Called from the three places a node's remote
 /// tier moves (establish lands, shrink, revoke lands) — rare events, so
 /// the per-request path never re-derives model constants.
-fn recompile_service<P: Probe>(w: &mut World<'_, P>, node: usize) {
+fn recompile_service<P: Probe, M: RemoteModel>(w: &mut World<'_, P, M>, node: usize) {
     let model = w.servers[node].model;
     for (class, slot) in w
         .classes
@@ -1209,6 +1288,24 @@ fn recompile_service<P: Probe>(w: &mut World<'_, P>, node: usize) {
     }
 }
 
+/// Re-points `node`'s fabric route at its newest visible lease's donor
+/// (`None` when the node holds no remote tier) — the compiled-path
+/// analog of [`recompile_service`], called from the same places a
+/// node's remote tier moves so the congested model always charges the
+/// path the node is actually serving from. A no-op (compiled away)
+/// under the scalar model.
+fn sync_fabric_route<P: Probe, M: RemoteModel>(w: &mut World<'_, P, M>, node: usize) {
+    if !M::ENABLED {
+        return;
+    }
+    let donor = w
+        .elastic
+        .as_ref()
+        .and_then(|t| t.leases[node].last())
+        .map(|&(_, lease)| lease.donor.0);
+    w.remote.set_route(node, donor);
+}
+
 /// Applies a donor-demanded revoke once its modeled teardown flow
 /// completes: the grant is pulled back through the real Monitor–Node
 /// path ([`Cluster::revoke`]), the manager's ledger is repaid, and the
@@ -1216,8 +1313,8 @@ fn recompile_service<P: Probe>(w: &mut World<'_, P>, node: usize) {
 /// keeps serving from the window — a revoke notice takes effect when the
 /// unmap lands, not when the donor asks.
 #[allow(clippy::too_many_arguments)]
-fn apply_revoke<P: Probe>(
-    w: &mut World<'_, P>,
+fn apply_revoke<P: Probe, M: RemoteModel>(
+    w: &mut World<'_, P, M>,
     now: Time,
     donor: u16,
     recipient: usize,
@@ -1234,6 +1331,7 @@ fn apply_revoke<P: Probe>(
     let model = &mut w.servers[recipient].model;
     model.remote_bytes = model.remote_bytes.saturating_sub(lease.bytes);
     recompile_service(w, recipient);
+    sync_fabric_route(w, recipient);
     // The reclaimed pool speeds the donor back up — the whole point of
     // a cost-aware revoke.
     sync_donor_pressure(w, donor);
@@ -1248,7 +1346,7 @@ fn apply_revoke<P: Probe>(
 /// Periodic elastic-lease control tick: sample per-node queue depth and
 /// donor pressure, let the manager decide, and apply
 /// grows/shrinks/revokes against the live cluster.
-fn lease_tick<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
+fn lease_tick<'a, P: Probe, M: RemoteModel>(w: &mut World<'a, P, M>, s: &mut Sched<'a, P, M>) {
     // A tick scheduled while the last requests were in flight can fire
     // after the final completion; acting there would put lease events
     // past the report's duration (skewing the time-weighted mean), so a
@@ -1319,6 +1417,7 @@ fn lease_tick<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
                     let model = &mut w.servers[node as usize].model;
                     model.remote_bytes = model.remote_bytes.saturating_sub(lease.bytes);
                     recompile_service(w, node as usize);
+                    sync_fabric_route(w, node as usize);
                     // The release repays the donor's pool immediately.
                     sync_donor_pressure(w, lease.donor.0);
                     if P::ENABLED {
@@ -1388,6 +1487,142 @@ fn lease_tick<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
     }
 }
 
+/// Everything one engine execution produced: the report, plus whatever
+/// the [`Run`] builder armed.
+#[derive(Debug)]
+pub struct RunOutput<P: Probe = NoopProbe> {
+    /// The run's summary report — byte-identical for a given config and
+    /// seed regardless of which probe or capture options were armed.
+    pub report: LoadReport,
+    /// Per-request records; `Some` exactly when [`Run::traced`] was
+    /// requested.
+    pub trace: Option<Trace>,
+    /// Kernel loop counters (always collected — they read state the
+    /// kernel tracks anyway).
+    pub metrics: EngineMetrics,
+    /// The probe threaded through the run, carrying whatever it
+    /// observed ([`NoopProbe`] unless [`Run::probe`] armed another).
+    pub probe: P,
+}
+
+/// Builder over the engine's single entry point.
+///
+/// Every way of running the engine — plain, metered, probed, traced,
+/// replaying a recorded trace — is one execution with different
+/// capture options, so they compose instead of multiplying entry
+/// points:
+///
+/// ```
+/// use venice_loadgen::engine::{LoadgenConfig, Run};
+/// use venice_loadgen::tenants::TenantMix;
+///
+/// let config = LoadgenConfig {
+///     requests: 2_000,
+///     ..LoadgenConfig::new(7, TenantMix::web_frontend())
+/// };
+/// let out = Run::new(&config).traced().execute();
+/// let trace = out.trace.expect("traced run captures a trace");
+/// // Re-drive the recorded arrivals through a fresh run.
+/// let replayed = Run::new(&config).replay(&trace).execute();
+/// assert_eq!(replayed.report.issued, out.report.issued);
+/// ```
+///
+/// The former free functions (`run`, `run_metered`, `run_probed`,
+/// `run_traced`, `replay`) survive as deprecated one-line wrappers.
+#[derive(Debug)]
+pub struct Run<'c, 't, P: Probe = NoopProbe> {
+    config: &'c LoadgenConfig,
+    probe: P,
+    traced: bool,
+    replay: Option<&'t Trace>,
+}
+
+impl<'c> Run<'c, 'static, NoopProbe> {
+    /// Starts a builder for one execution of `config`.
+    pub fn new(config: &'c LoadgenConfig) -> Self {
+        Run {
+            config,
+            probe: NoopProbe,
+            traced: false,
+            replay: None,
+        }
+    }
+}
+
+impl<'c, 't, P: Probe> Run<'c, 't, P> {
+    /// Threads `probe` through the engine's hook sites; the output
+    /// returns it carrying whatever it observed. The report stays
+    /// byte-identical to an unprobed run — probes observe the event
+    /// stream, they never perturb it — which the `profile` bench bin
+    /// gates.
+    pub fn probe<Q: Probe>(self, probe: Q) -> Run<'c, 't, Q> {
+        Run {
+            config: self.config,
+            probe,
+            traced: self.traced,
+            replay: self.replay,
+        }
+    }
+
+    /// Captures the per-request [`Trace`] into the output.
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+
+    /// Requests the kernel-level [`EngineMetrics`]. Metrics are always
+    /// collected (they read counters the kernel tracks anyway), so this
+    /// exists purely to let call sites state the intent that
+    /// [`RunOutput::metrics`] is what they are after.
+    pub fn metered(self) -> Self {
+        self
+    }
+
+    /// Re-drives `trace` instead of drawing fresh traffic: arrival
+    /// instants, tenant classes, and users come from the records;
+    /// admission, routing, service, and (if configured) elastic leasing
+    /// run live under the config. `config.arrival` and
+    /// `config.requests` are ignored. The trace is borrowed for the
+    /// duration of the run, not cloned.
+    pub fn replay<'u>(self, trace: &'u Trace) -> Run<'c, 'u, P> {
+        Run {
+            config: self.config,
+            probe: self.probe,
+            traced: self.traced,
+            replay: Some(trace),
+        }
+    }
+
+    /// Executes the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (zero
+    /// requests, zero concurrency, an empty mesh, or elastic leases on
+    /// a stack without hot-plug support), or if a replay trace is empty
+    /// or names a tenant index outside the configured mix.
+    pub fn execute(self) -> RunOutput<P> {
+        if let Some(trace) = self.replay {
+            assert!(!trace.is_empty(), "cannot replay an empty trace");
+            let classes = self.config.mix.classes.len() as u32;
+            if let Some(bad) = trace.records.iter().find(|r| r.tenant >= classes) {
+                panic!(
+                    "trace record seq {} names tenant {} but mix `{}` has only {} classes",
+                    bad.seq, bad.tenant, self.config.mix.name, classes
+                );
+            }
+        }
+        let (report, trace, metrics, probe) =
+            run_full(self.config, self.replay, self.traced, self.probe);
+        RunOutput {
+            report,
+            trace,
+            metrics,
+            probe,
+        }
+    }
+}
+
 /// Runs one complete load-generation experiment.
 ///
 /// # Panics
@@ -1395,8 +1630,9 @@ fn lease_tick<'a, P: Probe>(w: &mut World<'a, P>, s: &mut Sched<'a, P>) {
 /// Panics if the configuration is internally inconsistent (zero requests,
 /// zero concurrency, an empty mesh, or elastic leases on a stack without
 /// hot-plug support).
+#[deprecated(note = "use `Run::new(config).execute().report`")]
 pub fn run(config: &LoadgenConfig) -> LoadReport {
-    run_core(config, None, false).0
+    Run::new(config).execute().report
 }
 
 /// Runs one experiment and additionally returns the kernel-level
@@ -1405,71 +1641,78 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
 ///
 /// # Panics
 ///
-/// As [`run`].
+/// As [`Run::execute`].
+#[deprecated(note = "use `Run::new(config).metered().execute()`")]
 pub fn run_metered(config: &LoadgenConfig) -> (LoadReport, EngineMetrics) {
-    let (report, _, metrics, _) = run_full(config, None, false, NoopProbe);
-    (report, metrics)
+    let out = Run::new(config).metered().execute();
+    (out.report, out.metrics)
 }
 
 /// Runs one experiment with `probe` threaded through the engine's hook
-/// sites, returning the probe alongside the report. The report is
-/// byte-identical to [`run`]'s — probes observe the event stream, they
-/// never perturb it — which the `profile` bench bin gates.
+/// sites, returning the probe alongside the report.
 ///
 /// # Panics
 ///
-/// As [`run`].
+/// As [`Run::execute`].
+#[deprecated(note = "use `Run::new(config).probe(probe).execute()`")]
 pub fn run_probed<P: Probe>(config: &LoadgenConfig, probe: P) -> (LoadReport, P) {
-    let (report, _, _, probe) = run_full(config, None, false, probe);
-    (report, probe)
+    let out = Run::new(config).probe(probe).execute();
+    (out.report, out.probe)
 }
 
 /// Runs one experiment and captures the per-request [`Trace`].
 ///
 /// # Panics
 ///
-/// As [`run`].
+/// As [`Run::execute`].
+#[deprecated(note = "use `Run::new(config).traced().execute()`")]
 pub fn run_traced(config: &LoadgenConfig) -> (LoadReport, Trace) {
-    let (report, trace) = run_core(config, None, true);
-    (report, trace.expect("tracing was requested"))
+    let out = Run::new(config).traced().execute();
+    (out.report, out.trace.expect("tracing was requested"))
 }
 
-/// Re-drives a recorded trace through the engine: arrival instants,
-/// tenant classes, and users come from `trace`; admission, routing,
-/// service, and (if configured) elastic leasing run live under `config`.
-/// `config.arrival` and `config.requests` are ignored. The trace is
-/// borrowed for the duration of the run, not cloned.
+/// Re-drives a recorded trace through the engine ([`Run::replay`]).
 ///
 /// # Panics
 ///
-/// Panics if `trace` is empty or names a tenant index outside the
-/// configured mix, or as [`run`].
+/// As [`Run::execute`].
+#[deprecated(note = "use `Run::new(config).replay(trace).execute().report`")]
 pub fn replay(config: &LoadgenConfig, trace: &Trace) -> LoadReport {
-    assert!(!trace.is_empty(), "cannot replay an empty trace");
-    let classes = config.mix.classes.len() as u32;
-    if let Some(bad) = trace.records.iter().find(|r| r.tenant >= classes) {
-        panic!(
-            "trace record seq {} names tenant {} but mix `{}` has only {} classes",
-            bad.seq, bad.tenant, config.mix.name, classes
-        );
-    }
-    run_core(config, Some(trace), false).0
+    Run::new(config).replay(trace).execute().report
 }
 
-fn run_core(
-    config: &LoadgenConfig,
-    replay_trace: Option<&Trace>,
-    capture: bool,
-) -> (LoadReport, Option<Trace>) {
-    let (report, trace, _, _) = run_full(config, replay_trace, capture, NoopProbe);
-    (report, trace)
-}
-
+/// Arms the configured [`RemoteModel`] and monomorphizes the engine
+/// over it — the scalar path instantiates with [`ScalarCrma`]
+/// (`ENABLED = false`, every fabric hook compiled away), the congested
+/// path compiles the mesh's all-pairs path table and per-class wire
+/// footprints once and instantiates with [`CongestedFabric`].
 fn run_full<P: Probe>(
     config: &LoadgenConfig,
     replay_trace: Option<&Trace>,
     capture: bool,
+    probe: P,
+) -> (LoadReport, Option<Trace>, EngineMetrics, P) {
+    match &config.remote_model {
+        RemoteModelCfg::Scalar => run_typed(config, replay_trace, capture, probe, ScalarCrma),
+        RemoteModelCfg::Congested(params) => {
+            let wire = config
+                .mix
+                .classes
+                .iter()
+                .map(|c| c.profile.remote_wire_bytes())
+                .collect();
+            let fabric = CongestedFabric::new(params.clone(), config.mesh, wire);
+            run_typed(config, replay_trace, capture, probe, fabric)
+        }
+    }
+}
+
+fn run_typed<P: Probe, M: RemoteModel>(
+    config: &LoadgenConfig,
+    replay_trace: Option<&Trace>,
+    capture: bool,
     mut probe: P,
+    mut remote: M,
 ) -> (LoadReport, Option<Trace>, EngineMetrics, P) {
     assert!(config.requests > 0, "need at least one request");
     assert!(config.per_node_concurrency > 0, "need at least one slot");
@@ -1578,11 +1821,18 @@ fn run_full<P: Probe>(
                     false,
                     Priority::Normal,
                     None,
+                    // Setup happens before any traffic: every fabric
+                    // window is empty, so even congestion-aware
+                    // placement accepts the nearest donor here.
+                    &|d| remote.donor_ok(Time::ZERO, node, d.0),
                 ) {
                     // Setup-time provisioning is visible immediately
                     // (the run starts after setup, like the static
                     // path).
                     tier.leases[node as usize].push((generation, lease));
+                    if M::ENABLED {
+                        remote.set_route(node as usize, Some(lease.donor.0));
+                    }
                     if P::ENABLED {
                         // Bootstrap capacity is usable from t = 0: its
                         // active span starts at the epoch, no establish
@@ -1613,6 +1863,9 @@ fn run_full<P: Probe>(
                         Ok(lease) => {
                             let lat = measure_crma(&mut cluster, NodeId(id), lease.local_base);
                             remote_leases += 1;
+                            if M::ENABLED {
+                                remote.set_route(id as usize, Some(lease.donor.0));
+                            }
                             NodeModel {
                                 local_miss: LOCAL_MISS,
                                 remote_miss: lat,
@@ -1768,10 +2021,12 @@ fn run_full<P: Probe>(
         }),
         attrib: Vec::new(),
         pending_grows: if P::ATTRIB { vec![0; n] } else { Vec::new() },
+        remote,
+        fabric_detour: Vec::new(),
     };
 
     // 5. Seed the event queue and run to completion.
-    let mut kernel: Kernel<World<'_, P>, EngineEvent> =
+    let mut kernel: Kernel<World<'_, P, M>, EngineEvent> =
         Kernel::new(world).with_event_limit(target.saturating_mul(8) + 500_000);
     if kernel.state().replay.is_some() {
         let first = kernel
@@ -1948,13 +2203,114 @@ fn run_full<P: Probe>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::remote::{FabricParams, PlacementPolicy};
     use crate::tenants::TenantMix;
+    use venice_fabric::LinkParams;
 
     fn small(seed: u64) -> LoadgenConfig {
         LoadgenConfig {
             requests: 3_000,
             ..LoadgenConfig::new(seed, TenantMix::web_frontend())
         }
+    }
+
+    // Local shims over the Run builder; explicit items shadow the
+    // glob-imported deprecated wrappers, so the pre-builder test bodies
+    // below compile unchanged and warning-free.
+    fn run(config: &LoadgenConfig) -> LoadReport {
+        Run::new(config).execute().report
+    }
+
+    fn run_metered(config: &LoadgenConfig) -> (LoadReport, EngineMetrics) {
+        let out = Run::new(config).metered().execute();
+        (out.report, out.metrics)
+    }
+
+    fn run_traced(config: &LoadgenConfig) -> (LoadReport, Trace) {
+        let out = Run::new(config).traced().execute();
+        (out.report, out.trace.expect("tracing was requested"))
+    }
+
+    fn replay(config: &LoadgenConfig, trace: &Trace) -> LoadReport {
+        Run::new(config).replay(trace).execute().report
+    }
+
+    /// A congested-fabric variant of [`small`] with a deliberately
+    /// tight per-window capacity, so its links saturate under the
+    /// default 20 krps load.
+    fn congested(seed: u64) -> LoadgenConfig {
+        let link = LinkParams::venice_prototype();
+        let params = FabricParams {
+            capacity_bytes: 8 << 10,
+            buffer_bytes: 2 << 10,
+            ..FabricParams::from_link(link, Time::from_ms(1), PlacementPolicy::ScalarPriced)
+        };
+        LoadgenConfig {
+            remote_model: RemoteModelCfg::Congested(params),
+            ..small(seed)
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_builder() {
+        let config = small(19);
+        assert_eq!(super::run(&config), run(&config));
+        let (wrap_report, wrap_metrics) = super::run_metered(&config);
+        let (shim_report, shim_metrics) = run_metered(&config);
+        assert_eq!(wrap_report, shim_report);
+        assert_eq!(wrap_metrics, shim_metrics);
+        let (wrap_report, wrap_trace) = super::run_traced(&config);
+        let (shim_report, shim_trace) = run_traced(&config);
+        assert_eq!(wrap_report, shim_report);
+        assert_eq!(wrap_trace, shim_trace);
+        assert_eq!(
+            super::replay(&config, &wrap_trace),
+            replay(&config, &shim_trace)
+        );
+    }
+
+    #[test]
+    fn congested_runs_are_deterministic() {
+        let config = congested(23);
+        let a = Run::new(&config).traced().execute();
+        let b = Run::new(&config).traced().execute();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn infinite_fabric_matches_the_scalar_model_bit_for_bit() {
+        // With unbounded per-window capacity no dispatch is ever
+        // charged, so the congested engine must reproduce the scalar
+        // baseline exactly — report and trace (the property test in
+        // tests/ sweeps this over arbitrary seeds and mixes).
+        let scalar = small(29);
+        let infinite = LoadgenConfig {
+            remote_model: RemoteModelCfg::Congested(FabricParams::infinite()),
+            ..small(29)
+        };
+        let a = Run::new(&scalar).traced().execute();
+        let b = Run::new(&infinite).traced().execute();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn saturated_fabric_slows_the_run() {
+        let scalar = Run::new(&small(23)).execute().report;
+        let congested = Run::new(&congested(23)).execute().report;
+        // Same traffic either way (pricing never changes arrivals or
+        // admission inputs at these rates)...
+        assert_eq!(scalar.issued, congested.issued);
+        // ...but saturated links queue remote transfers, so the mean
+        // can only degrade.
+        assert!(
+            congested.total.mean_us > scalar.total.mean_us,
+            "congested mean {} not above scalar {}",
+            congested.total.mean_us,
+            scalar.total.mean_us
+        );
     }
 
     #[test]

@@ -31,8 +31,15 @@
 //!   **elastically** through a [`venice_lease::LeaseManager`] that
 //!   borrows and releases capacity mid-run as queue depth crosses its
 //!   watermarks; routing is locality-aware (requests follow their
-//!   tenant's lease). [`engine::run_traced`] exports per-request
-//!   [`trace::Trace`] records and [`engine::replay`] re-drives one;
+//!   tenant's lease). Every way of running the engine goes through one
+//!   builder, [`engine::Run`]: `.traced()` exports per-request
+//!   [`trace::Trace`] records, `.replay(&trace)` re-drives one,
+//!   `.probe(p)` threads telemetry hooks through the run;
+//! * [`remote`] — how remote transfers are priced: the measured
+//!   per-node scalar (the frozen default) or [`remote::CongestedFabric`],
+//!   which routes each request's bytes over compiled mesh paths with
+//!   finite per-direction bandwidth so CRMA latency tracks live
+//!   congestion and lease *placement* matters;
 //! * [`sweep`] — a rayon-parallel grid runner over (mesh size, tenant mix,
 //!   arrival rate, remote stack) whose output is deterministic at any
 //!   thread count;
@@ -43,25 +50,27 @@
 //! # Example
 //!
 //! ```
-//! use venice_loadgen::{engine, tenants::TenantMix, LoadgenConfig};
+//! use venice_loadgen::{engine::Run, tenants::TenantMix, LoadgenConfig};
 //!
 //! let config = LoadgenConfig {
 //!     requests: 2_000,
 //!     ..LoadgenConfig::new(42, TenantMix::web_frontend())
 //! };
-//! let a = engine::run(&config);
-//! let b = engine::run(&config);
+//! let a = Run::new(&config).execute().report;
+//! let b = Run::new(&config).execute().report;
 //! assert_eq!(a, b); // same seed, same traffic, same tails
 //! assert!(a.completed > 0);
 //! ```
 
 pub mod admission;
 pub mod arrival;
+pub mod congestion;
 pub mod economy;
 pub mod elastic;
 pub mod elastic_v2;
 pub mod engine;
 pub mod legacy;
+pub mod remote;
 pub mod report;
 pub mod scenarios;
 pub mod stacks;
@@ -72,7 +81,8 @@ pub mod trace;
 
 pub use admission::AdmissionConfig;
 pub use arrival::ArrivalProcess;
-pub use engine::{EngineMetrics, LoadgenConfig};
+pub use engine::{EngineMetrics, LoadgenConfig, Run, RunOutput};
+pub use remote::{FabricParams, PlacementPolicy, RemoteModelCfg};
 pub use report::{LeaseSummary, LoadReport, TenantReport};
 pub use stacks::RemoteStack;
 pub use sweep::{SweepPoint, SweepSpec};
@@ -80,3 +90,10 @@ pub use tenants::{RequestProfile, TenantClass, TenantMix};
 pub use trace::{RequestOutcome, RequestRecord, Trace};
 
 pub use venice_lease::{LeaseConfig, Priority};
+
+/// The canonical node identifier, shared by every layer: defined once
+/// in `venice_fabric::topology`, re-exported by the `venice` core
+/// crate, and re-exported here so loadgen callers never reach into a
+/// lower crate for it. `venice_loadgen::NodeId`, `venice::NodeId`, and
+/// `venice_fabric::NodeId` are the same type.
+pub use venice::NodeId;

@@ -35,13 +35,15 @@ pub fn default_sweep() -> SweepSpec {
 
 /// Every figure of the loadgen family (rayon-parallel under the hood):
 /// the rate sweep, the static-vs-elastic flash-crowd comparison, the
-/// v2 controller families (predictive growth, donor reclaim), and the
-/// v3 lease-economy families (donor benefit, quota market).
+/// v2 controller families (predictive growth, donor reclaim), the
+/// v3 lease-economy families (donor benefit, quota market), and the
+/// congested-fabric placement comparison.
 pub fn all() -> Vec<Figure> {
     let mut out = sweep::figures(&default_sweep());
     out.extend(elastic::all());
     out.extend(crate::elastic_v2::all());
     out.extend(crate::economy::all());
+    out.extend(crate::congestion::all());
     out
 }
 
@@ -63,7 +65,10 @@ pub fn storm_configs(seed: u64) -> Vec<LoadgenConfig> {
 
 /// Runs the full storm (one run per mix) and returns the reports.
 pub fn run_storm(seed: u64) -> Vec<LoadReport> {
-    storm_configs(seed).iter().map(engine::run).collect()
+    storm_configs(seed)
+        .iter()
+        .map(|c| engine::Run::new(c).execute().report)
+        .collect()
 }
 
 #[cfg(test)]

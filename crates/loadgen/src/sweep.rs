@@ -114,7 +114,7 @@ pub fn run_sweep(spec: &SweepSpec) -> Vec<SweepPoint> {
                 mix: config.mix.name.clone(),
                 rate_rps,
                 stack: config.stack,
-                report: engine::run(&config),
+                report: engine::Run::new(&config).execute().report,
             }
         })
         .collect()

@@ -1,18 +1,21 @@
-//! Telemetry over engine runs: probe wiring and the `venice-telemetry-v1`
-//! artifact.
+//! Telemetry over engine runs: probe presets for the [`Run`] builder
+//! and the `venice-telemetry-v1` artifact.
 //!
-//! The engine's probe hooks ([`crate::engine::run_probed`]) are generic
-//! plumbing; this module binds them to concrete observability: the
-//! event-kind labels for the engine's event enum, a one-call probed run
-//! with a [`venice_telemetry::RecordingProbe`], and the JSONL artifact
-//! renderer the `venice-bench` `profile` bin (and the determinism
-//! tests) consume. Everything here inherits the engine's determinism:
-//! same config, same artifact, byte for byte.
+//! The engine's probe hooks ([`Run::probe`]) are generic plumbing; this
+//! module binds them to concrete observability: the event-kind labels
+//! for the engine's event enum, [`Run::recording`] / [`Run::attrib`]
+//! presets that arm the two stock probes, and [`RunOutput`] renderers
+//! for the JSONL artifact and the text profile the `venice-bench`
+//! `profile` bin (and the determinism tests) consume. Everything here
+//! inherits the engine's determinism: same config, same artifact, byte
+//! for byte.
 
 use venice_sim::Time;
-use venice_telemetry::{export_jsonl, render_profile, AttribFold, AttribProbe, RecordingProbe};
+use venice_telemetry::{
+    export_jsonl, render_profile, AttribFold, AttribProbe, NoopProbe, RecordingProbe,
+};
 
-use crate::engine::{run_probed, LoadgenConfig};
+use crate::engine::{LoadgenConfig, Run, RunOutput};
 use crate::report::LoadReport;
 
 /// Human labels for the engine's probe event-kind slots, indexed by the
@@ -28,15 +31,68 @@ pub const EVENT_KIND_LABELS: [&str; 7] = [
     "revoke-torndown",
 ];
 
+impl<'c, 't> Run<'c, 't, NoopProbe> {
+    /// Arms a [`RecordingProbe`] sampling every `tick` and retaining
+    /// `cap` rows — the preset behind the telemetry artifact and the
+    /// text profile ([`RunOutput::artifact_jsonl`],
+    /// [`RunOutput::profile_text`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` or `cap` is zero.
+    pub fn recording(self, tick: Time, cap: usize) -> Run<'c, 't, RecordingProbe> {
+        self.probe(RecordingProbe::new(tick, cap))
+    }
+
+    /// Arms an [`AttribProbe`] (per-request latency attribution
+    /// stamping) sampling every `tick` and retaining `cap` rows; fold
+    /// the result with [`RunOutput::attrib_fold`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` or `cap` is zero.
+    pub fn attrib(self, tick: Time, cap: usize) -> Run<'c, 't, AttribProbe> {
+        self.probe(AttribProbe::new(tick, cap))
+    }
+}
+
+impl RunOutput<RecordingProbe> {
+    /// Renders the run's `venice-telemetry-v1` JSONL artifact named
+    /// `scenario`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scenario` needs JSON escaping.
+    pub fn artifact_jsonl(&self, scenario: &str) -> String {
+        export_jsonl(scenario, self.report.seed, &self.probe, &EVENT_KIND_LABELS)
+    }
+
+    /// Renders the run's human-readable text profile named `scenario`.
+    pub fn profile_text(&self, scenario: &str) -> String {
+        render_profile(scenario, &self.probe, &EVENT_KIND_LABELS)
+    }
+}
+
+impl RunOutput<AttribProbe> {
+    /// The run's latency-attribution fold. Every completion passed the
+    /// fold's exact-sum gate on the way in, so a fold that comes back
+    /// at all certifies the decomposition.
+    pub fn attrib_fold(&self) -> AttribFold {
+        self.probe.attrib().clone()
+    }
+}
+
 /// Runs `config` with a [`RecordingProbe`] sampling every `tick` and
 /// retaining `cap` rows; returns the (probe-invariant) report and the
 /// filled probe.
 ///
 /// # Panics
 ///
-/// As [`crate::engine::run`], or if `tick`/`cap` are zero.
+/// As [`Run::execute`], or if `tick`/`cap` are zero.
+#[deprecated(note = "use `Run::new(config).recording(tick, cap).execute()`")]
 pub fn probed_run(config: &LoadgenConfig, tick: Time, cap: usize) -> (LoadReport, RecordingProbe) {
-    run_probed(config, RecordingProbe::new(tick, cap))
+    let out = Run::new(config).recording(tick, cap).execute();
+    (out.report, out.probe)
 }
 
 /// Runs `config` probed and renders the `venice-telemetry-v1` JSONL
@@ -44,31 +100,32 @@ pub fn probed_run(config: &LoadgenConfig, tick: Time, cap: usize) -> (LoadReport
 ///
 /// # Panics
 ///
-/// As [`probed_run`].
+/// As [`Run::execute`], or if `tick`/`cap` are zero.
+#[deprecated(
+    note = "use `Run::new(config).recording(tick, cap).execute().artifact_jsonl(scenario)`"
+)]
 pub fn artifact_run(
     scenario: &str,
     config: &LoadgenConfig,
     tick: Time,
     cap: usize,
 ) -> (String, LoadReport) {
-    let (report, probe) = probed_run(config, tick, cap);
-    let artifact = export_jsonl(scenario, config.seed, &probe, &EVENT_KIND_LABELS);
-    (artifact, report)
+    let out = Run::new(config).recording(tick, cap).execute();
+    (out.artifact_jsonl(scenario), out.report)
 }
 
-/// Runs `config` with an [`AttribProbe`] (attribution stamping armed)
-/// and returns its latency-attribution fold alongside the
-/// (probe-invariant) report. Every completion passes the fold's
-/// exact-sum gate on the way in, so a fold that comes back at all
-/// certifies the decomposition.
+/// Runs `config` with an [`AttribProbe`] and returns its
+/// latency-attribution fold alongside the (probe-invariant) report.
 ///
 /// # Panics
 ///
-/// As [`probed_run`], or if any request's stage breakdown fails to sum
-/// to its end-to-end latency.
+/// As [`Run::execute`], or if any request's stage breakdown fails to
+/// sum to its end-to-end latency.
+#[deprecated(note = "use `Run::new(config).attrib(tick, cap).execute().attrib_fold()`")]
 pub fn attrib_run(config: &LoadgenConfig, tick: Time, cap: usize) -> (LoadReport, AttribFold) {
-    let (report, probe) = run_probed(config, AttribProbe::new(tick, cap));
-    (report, probe.attrib().clone())
+    let out = Run::new(config).attrib(tick, cap).execute();
+    let fold = out.attrib_fold();
+    (out.report, fold)
 }
 
 /// The mix's tenant labels in class order, for naming attribution
@@ -81,22 +138,22 @@ pub fn tenant_labels(config: &LoadgenConfig) -> Vec<String> {
 ///
 /// # Panics
 ///
-/// As [`probed_run`].
+/// As [`Run::execute`], or if `tick`/`cap` are zero.
+#[deprecated(note = "use `Run::new(config).recording(tick, cap).execute().profile_text(scenario)`")]
 pub fn profile_run(
     scenario: &str,
     config: &LoadgenConfig,
     tick: Time,
     cap: usize,
 ) -> (String, LoadReport, RecordingProbe) {
-    let (report, probe) = probed_run(config, tick, cap);
-    let text = render_profile(scenario, &probe, &EVENT_KIND_LABELS);
-    (text, report, probe)
+    let out = Run::new(config).recording(tick, cap).execute();
+    let text = out.profile_text(scenario);
+    (text, out.report, out.probe)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine;
     use crate::tenants::TenantMix;
 
     fn small(seed: u64) -> LoadgenConfig {
@@ -109,24 +166,25 @@ mod tests {
     #[test]
     fn probed_report_matches_the_noop_report() {
         let config = small(19);
-        let plain = engine::run(&config);
-        let (probed, probe) = probed_run(&config, Time::from_ms(5), 512);
-        assert_eq!(plain, probed, "probe perturbed the run");
-        assert!(probe.total_events() > 0);
+        let plain = Run::new(&config).execute().report;
+        let probed = Run::new(&config).recording(Time::from_ms(5), 512).execute();
+        assert_eq!(plain, probed.report, "probe perturbed the run");
+        assert!(probed.probe.total_events() > 0);
         assert!(
-            !probe.series().is_empty(),
+            !probed.probe.series().is_empty(),
             "no samples over a 3k-request run"
         );
-        assert!(probe.queue_stats().pops() > 0);
+        assert!(probed.probe.queue_stats().pops() > 0);
     }
 
     #[test]
     fn attrib_fold_accounts_for_every_completion() {
         let config = small(19);
-        let (report, fold) = attrib_run(&config, Time::from_ms(5), 512);
-        assert_eq!(fold.requests(), report.completed);
+        let out = Run::new(&config).attrib(Time::from_ms(5), 512).execute();
+        let fold = out.attrib_fold();
+        assert_eq!(fold.requests(), out.report.completed);
         // Per-tenant counts reconcile with the report's ledger.
-        for (t, tenant) in report.tenants.iter().enumerate() {
+        for (t, tenant) in out.report.tenants.iter().enumerate() {
             let count = fold.tenant_summary(t as u16).map(|s| s.count).unwrap_or(0);
             assert_eq!(count, tenant.completed, "{}", tenant.tenant);
         }
@@ -135,10 +193,26 @@ mod tests {
     #[test]
     fn artifact_is_stable_across_reruns() {
         let config = small(23);
-        let (a, _) = artifact_run("unit", &config, Time::from_ms(5), 512);
-        let (b, _) = artifact_run("unit", &config, Time::from_ms(5), 512);
+        let a = Run::new(&config)
+            .recording(Time::from_ms(5), 512)
+            .execute()
+            .artifact_jsonl("unit");
+        let b = Run::new(&config)
+            .recording(Time::from_ms(5), 512)
+            .execute()
+            .artifact_jsonl("unit");
         assert_eq!(a, b);
         assert!(a.starts_with("{\"kind\":\"header\""));
         assert!(a.lines().last().unwrap().starts_with("{\"kind\":\"end\""));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_helpers_match_the_presets() {
+        let config = small(29);
+        let (a_art, a_report) = artifact_run("unit", &config, Time::from_ms(5), 256);
+        let out = Run::new(&config).recording(Time::from_ms(5), 256).execute();
+        assert_eq!(a_art, out.artifact_jsonl("unit"));
+        assert_eq!(a_report, out.report);
     }
 }

@@ -170,6 +170,25 @@ impl RequestProfile {
         }
     }
 
+    /// Bytes one request moves over the *fabric* when its node serves
+    /// it from a borrowed remote tier — the per-class wire footprint
+    /// the congested-fabric model charges against the node→donor path.
+    /// A class constant (like [`RequestProfile::request_bytes`]), so
+    /// the charge stays a table lookup on the dispatch path: the KV
+    /// value walked out of the borrowed window, the OLTP records
+    /// fetched per transaction, the PageRank edge partition touched per
+    /// kernel step; iperf never touches the remote tier.
+    pub fn remote_wire_bytes(&self) -> u64 {
+        match self {
+            RequestProfile::Kv { cache, .. } => cache.value_bytes,
+            RequestProfile::Oltp { workload, .. } => workload.record_bytes * 4,
+            RequestProfile::PageRank {
+                edges_per_request, ..
+            } => edges_per_request * 16,
+            RequestProfile::Iperf { .. } => 0,
+        }
+    }
+
     /// Server-side service time of one request on a node described by
     /// `node`. Stochastic elements (cache hit/miss, service jitter) draw
     /// from `rng`.

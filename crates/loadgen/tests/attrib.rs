@@ -14,12 +14,20 @@
 //! `telemetry.rs` or `storm.rs`).
 
 use proptest::prelude::*;
-use venice_loadgen::telemetry::{attrib_run, tenant_labels};
+use venice_loadgen::telemetry::tenant_labels;
 use venice_loadgen::{
-    elastic, elastic_v2, engine, ArrivalProcess, LoadgenConfig, RemoteStack, TenantMix,
+    elastic, elastic_v2, engine, ArrivalProcess, LoadReport, LoadgenConfig, RemoteStack, TenantMix,
 };
 use venice_sim::Time;
-use venice_telemetry::export_attrib_jsonl;
+use venice_telemetry::{export_attrib_jsonl, AttribFold};
+
+/// Builder shorthand used throughout this file: run `config` with the
+/// attribution probe and return the report alongside the fold.
+fn attrib_run(config: &LoadgenConfig, tick: Time, cap: usize) -> (LoadReport, AttribFold) {
+    let out = engine::Run::new(config).attrib(tick, cap).execute();
+    let fold = out.attrib_fold();
+    (out.report, fold)
+}
 
 fn attrib_artifact(requests: u64) -> String {
     let base = {
@@ -103,7 +111,7 @@ proptest! {
             requests,
             ..LoadgenConfig::new(seed, mix)
         };
-        let plain = engine::run(&config);
+        let plain = engine::Run::new(&config).execute().report;
         let (report, fold) = attrib_run(&config, Time::from_ms(2), 64);
         prop_assert_eq!(&report, &plain, "attribution perturbed the run");
         prop_assert_eq!(fold.requests(), report.completed);

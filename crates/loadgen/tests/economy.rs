@@ -90,8 +90,9 @@ fn pressure_aware_revoke_improves_donor_p99() {
         economy::donor_benefit_configs(economy::ECONOMY_SEED)
             .into_iter()
             .map(|(label, config)| {
-                let (report, trace) = engine::run_traced(&config);
-                (label, report, trace)
+                let out = engine::Run::new(&config).traced().execute();
+                let trace = out.trace.expect("traced run captures a trace");
+                (label, out.report, trace)
             })
             .collect();
     // The shared pure-donor set — the same function the figure uses.
@@ -142,7 +143,7 @@ fn pressure_aware_revoke_improves_donor_p99() {
 fn market_converts_denials_and_conserves() {
     let reports: Vec<(String, LoadReport)> = economy::market_configs(economy::ECONOMY_SEED)
         .into_iter()
-        .map(|(label, config)| (label, engine::run(&config)))
+        .map(|(label, config)| (label, engine::Run::new(&config).execute().report))
         .collect();
     let get = |label: &str| &reports.iter().find(|(l, _)| l == label).unwrap().1;
     let hard = get("hard-quota");

@@ -70,7 +70,9 @@ fn elastic_beats_static_on_peak_memory_at_no_worse_p99() {
     );
 
     // (d) Same-seed replay is bit-identical, lease timeline included.
-    let again = engine::run(&elastic::elastic_config(elastic::ELASTIC_SEED));
+    let again = engine::Run::new(&elastic::elastic_config(elastic::ELASTIC_SEED))
+        .execute()
+        .report;
     assert_eq!(elas, &again);
 
     // The baseline stacks, fed the identical arrival stream, can only be

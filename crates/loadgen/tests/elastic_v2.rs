@@ -113,8 +113,12 @@ fn predictive_beats_reactive_and_donors_reclaim() {
     assert_eq!(predictive.lease.quota_denials, 0);
 
     // (d) Same-seed reruns are bit-identical, timeline included.
-    let again = engine::run(&elastic_v2::predictive_config(elastic_v2::V2_SEED));
+    let again = engine::Run::new(&elastic_v2::predictive_config(elastic_v2::V2_SEED))
+        .execute()
+        .report;
     assert_eq!(predictive, &again);
-    let again = engine::run(&elastic_v2::donor_config(elastic_v2::V2_SEED));
+    let again = engine::Run::new(&elastic_v2::donor_config(elastic_v2::V2_SEED))
+        .execute()
+        .report;
     assert_eq!(reclaim, &again);
 }

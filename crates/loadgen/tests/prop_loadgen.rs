@@ -66,13 +66,13 @@ proptest! {
             requests,
             ..LoadgenConfig::new(seed, mix)
         };
-        let r = engine::run(&config);
+        let r = engine::Run::new(&config).execute().report;
         prop_assert_eq!(r.issued, requests);
         prop_assert_eq!(r.issued, r.admitted + r.shed_rate + r.shed_overload);
         prop_assert_eq!(r.admitted, r.completed + r.shed_backpressure);
         let sum: u64 = r.tenants.iter().map(|t| t.completed).sum();
         prop_assert_eq!(sum, r.completed);
-        prop_assert_eq!(r, engine::run(&config));
+        prop_assert_eq!(r, engine::Run::new(&config).execute().report);
     }
 
     /// Elastic v2 runs — predictor and donor reclaim armed, a tight
@@ -114,7 +114,7 @@ proptest! {
             }),
             ..LoadgenConfig::new(seed, TenantMix::web_frontend())
         };
-        let r = engine::run(&config);
+        let r = engine::Run::new(&config).execute().report;
         let mut ledger: BTreeMap<u32, u64> = BTreeMap::new();
         for e in &r.lease.events {
             ledger.insert(e.tenant, e.tenant_bytes_after);
@@ -127,7 +127,7 @@ proptest! {
                 "class {class} holds {held} over quota"
             );
         }
-        prop_assert_eq!(&r, &engine::run(&config));
+        prop_assert_eq!(&r, &engine::Run::new(&config).execute().report);
     }
 
     /// Closed-loop runs complete every admitted request (the loop
@@ -146,7 +146,7 @@ proptest! {
             requests,
             ..LoadgenConfig::new(seed, TenantMix::messaging())
         };
-        let r = engine::run(&config);
+        let r = engine::Run::new(&config).execute().report;
         prop_assert_eq!(r.issued, requests);
         prop_assert_eq!(r.completed + r.shed_backpressure, r.admitted);
         prop_assert!(r.duration > Time::ZERO);

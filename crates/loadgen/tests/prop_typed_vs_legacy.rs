@@ -31,14 +31,15 @@ proptest! {
             requests,
             ..LoadgenConfig::new(seed, mix)
         };
-        let (typed_report, typed_trace) = engine::run_traced(&config);
+        let typed = engine::Run::new(&config).traced().execute();
+        let typed_trace = typed.trace.expect("traced run captures a trace");
         let (legacy_report, legacy_trace) = legacy::run_traced(&config);
-        prop_assert_eq!(&typed_report, &legacy_report);
+        prop_assert_eq!(&typed.report, &legacy_report);
         prop_assert_eq!(&typed_trace, &legacy_trace);
         // Replay agrees too (typed replays by borrowing the trace, the
         // baseline by cloning it — same arrivals either way).
         prop_assert_eq!(
-            engine::replay(&config, &typed_trace),
+            engine::Run::new(&config).replay(&typed_trace).execute().report,
             legacy::replay(&config, &legacy_trace)
         );
     }
@@ -61,7 +62,7 @@ proptest! {
             requests: 400,
             ..LoadgenConfig::new(seed, mix)
         };
-        prop_assert_eq!(engine::run(&config), legacy::run(&config));
+        prop_assert_eq!(engine::Run::new(&config).execute().report, legacy::run(&config));
     }
 
     /// Elastic runs under bursty traffic: lease ticks, establish flows,
@@ -91,7 +92,7 @@ proptest! {
             }),
             ..LoadgenConfig::new(seed, TenantMix::web_frontend())
         };
-        let typed = engine::run(&config);
+        let typed = engine::Run::new(&config).execute().report;
         let legacy_run = legacy::run(&config);
         prop_assert_eq!(&typed.lease.events, &legacy_run.lease.events);
         prop_assert_eq!(typed, legacy_run);
@@ -125,7 +126,7 @@ fn typed_vs_legacy_holds_at_both_rayon_thread_counts() {
             configs
                 .clone()
                 .into_par_iter()
-                .map(|config| engine::run(&config))
+                .map(|config| engine::Run::new(&config).execute().report)
                 .collect()
         };
         per_width.push(reports);

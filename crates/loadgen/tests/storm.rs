@@ -92,7 +92,7 @@ fn figures_are_thread_count_independent_at_any_rayon_width() {
     // rayon-run copy, lease events included.
     let mut config = elastic::elastic_config(7);
     config.requests = 6_000;
-    let serial = engine::run(&config);
+    let serial = engine::Run::new(&config).execute().report;
     let parallel = &elastic_many
         .iter()
         .find(|(l, _)| l == "venice-elastic")

@@ -8,9 +8,22 @@
 //! `storm.rs`).
 
 use proptest::prelude::*;
-use venice_loadgen::telemetry::{artifact_run, probed_run};
-use venice_loadgen::{elastic_v2, engine, scenarios, ArrivalProcess, LoadgenConfig, TenantMix};
+use venice_loadgen::{
+    elastic_v2, engine, scenarios, ArrivalProcess, LoadReport, LoadgenConfig, TenantMix,
+};
 use venice_sim::Time;
+
+/// Builder shorthand used throughout this file: run `config` recording
+/// and render its artifact named `scenario`.
+fn artifact_run(
+    scenario: &str,
+    config: &LoadgenConfig,
+    tick: Time,
+    cap: usize,
+) -> (String, LoadReport) {
+    let out = engine::Run::new(config).recording(tick, cap).execute();
+    (out.artifact_jsonl(scenario), out.report)
+}
 
 /// The elastic-v2 predictive scenario at test scale: grows, revokes,
 /// quota denials, and sublease traffic all light up, so the artifact
@@ -55,9 +68,12 @@ fn artifact_is_identical_at_any_rayon_width() {
 #[test]
 fn probing_the_predictive_run_does_not_perturb_it() {
     let config = predictive_small();
-    let plain = engine::run(&config);
-    let (probed, probe) = probed_run(&config, Time::from_ms(5), 256);
-    assert_eq!(plain, probed, "probe perturbed the elastic run");
+    let plain = engine::Run::new(&config).execute().report;
+    let out = engine::Run::new(&config)
+        .recording(Time::from_ms(5), 256)
+        .execute();
+    let probe = out.probe;
+    assert_eq!(plain, out.report, "probe perturbed the elastic run");
     // Lease activity produced spans, and some leases outlive the run.
     assert!(!probe.spans().closed().is_empty(), "no closed spans");
     assert!(probe.spans().open_len() > 0, "no still-open spans");
@@ -80,7 +96,7 @@ proptest! {
             requests,
             ..LoadgenConfig::new(seed, mix)
         };
-        let plain = engine::run(&config);
+        let plain = engine::Run::new(&config).execute().report;
         let (a, report_a) = artifact_run("prop", &config, Time::from_ms(2), 64);
         let (b, report_b) = artifact_run("prop", &config, Time::from_ms(2), 64);
         prop_assert_eq!(&a, &b, "artifact differed across re-runs");

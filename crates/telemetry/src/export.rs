@@ -110,14 +110,36 @@ pub fn export_jsonl(scenario: &str, seed: u64, probe: &RecordingProbe, labels: &
             )
             .unwrap();
         }
+        // The links section exists only on congested-fabric runs:
+        // scalar-model samples carry no link gauges, and omitting the
+        // key entirely keeps their artifacts byte-identical to the
+        // pre-congestion format.
+        let mut links = String::new();
+        for l in &row.links {
+            if links.is_empty() {
+                links.push_str(",\"links\":[");
+            } else {
+                links.push(',');
+            }
+            write!(
+                links,
+                "{{\"src\":{},\"dst\":{},\"bytes\":{}}}",
+                l.src, l.dst, l.bytes
+            )
+            .unwrap();
+        }
+        if !links.is_empty() {
+            links.push(']');
+        }
         writeln!(
             out,
-            "{{\"kind\":\"sample\",\"t_ps\":{},\"pending\":{},\"slab_live\":{},\"nodes\":[{}],\"tenants\":[{}]}}",
+            "{{\"kind\":\"sample\",\"t_ps\":{},\"pending\":{},\"slab_live\":{},\"nodes\":[{}],\"tenants\":[{}]{}}}",
             at.as_ps(),
             row.pending_events,
             row.slab_live,
             nodes,
-            tenants
+            tenants,
+            links
         )
         .unwrap();
     }
@@ -183,6 +205,7 @@ mod tests {
                     subleased: 0,
                 }],
                 tenants: Vec::new(),
+                links: Vec::new(),
                 slab_live: 1,
                 pending_events: 3,
             };
@@ -212,5 +235,31 @@ mod tests {
             jsonl,
             export_jsonl("unit", 7, &probe, &["arrival", "finish"])
         );
+        // Scalar-model samples carry no link gauges and must not grow
+        // a links key — pre-congestion artifacts stay byte-stable.
+        assert!(!lines[2].contains("\"links\""));
+    }
+
+    #[test]
+    fn link_gauges_render_only_when_present() {
+        use crate::series::LinkGauge;
+        let mut p = RecordingProbe::new(Time::from_us(10), 4);
+        if let Some(at) = p.sample_due(Time::from_us(14)) {
+            let row = SampleRow {
+                links: vec![LinkGauge {
+                    src: 0,
+                    dst: 1,
+                    bytes: 4096,
+                }],
+                ..SampleRow::default()
+            };
+            p.on_sample(at, row);
+        }
+        let jsonl = export_jsonl("unit", 7, &p, &["arrival"]);
+        let sample = jsonl
+            .lines()
+            .find(|l| l.contains("\"kind\":\"sample\""))
+            .expect("one sample row");
+        assert!(sample.contains("\"links\":[{\"src\":0,\"dst\":1,\"bytes\":4096}]"));
     }
 }

@@ -53,5 +53,5 @@ pub use export::export_jsonl;
 pub use probe::{AttribProbe, NoopProbe, Probe, RecordingProbe};
 pub use profile::render_profile;
 pub use report::{diff_tenants, export_attrib_jsonl, render_explain, TenantDiff, ATTRIB_SCHEMA};
-pub use series::{NodeGauges, SampleRow, SeriesRecorder, TenantCounters};
+pub use series::{LinkGauge, NodeGauges, SampleRow, SeriesRecorder, TenantCounters};
 pub use spans::{Span, SpanKind, SpanLog};

@@ -218,6 +218,7 @@ mod tests {
                     tenants: Vec::new(),
                     slab_live: 0,
                     pending_events: 1,
+                    links: Vec::new(),
                 },
             );
         }

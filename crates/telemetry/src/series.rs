@@ -27,6 +27,19 @@ pub struct NodeGauges {
     pub subleased: u64,
 }
 
+/// Instantaneous per-directed-link utilization at a sample tick, from
+/// the engine's congested-fabric model. Empty (and absent from the
+/// exported artifact) on runs priced by the scalar CRMA model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkGauge {
+    /// Node the directed link leaves.
+    pub src: u16,
+    /// Node the directed link enters.
+    pub dst: u16,
+    /// Bytes charged to the link's current utilization window.
+    pub bytes: u64,
+}
+
 /// Cumulative per-tenant counters at a sample tick.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TenantCounters {
@@ -47,6 +60,10 @@ pub struct SampleRow {
     pub nodes: Vec<NodeGauges>,
     /// Counters for every tenant, indexed by tenant id.
     pub tenants: Vec<TenantCounters>,
+    /// Per-directed-link window utilization when the run models fabric
+    /// congestion; empty under the scalar CRMA model, which keeps the
+    /// exported artifact byte-identical to pre-congestion runs.
+    pub links: Vec<LinkGauge>,
     /// Live entries in the kernel's heap slab at the sample.
     pub slab_live: u32,
     /// Events pending in the kernel queue at the sample.

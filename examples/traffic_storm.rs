@@ -38,7 +38,7 @@ fn main() {
         requests: 100_000,
         ..LoadgenConfig::new(7, TenantMix::messaging())
     };
-    println!("{}", engine::run(&closed).render());
+    println!("{}", engine::Run::new(&closed).execute().report.render());
 
     // 3. Overload: 2 Mrps offered against a policed front door — watch
     //    the rate limiter and per-node credit backpressure engage.
@@ -56,7 +56,7 @@ fn main() {
         },
         ..LoadgenConfig::new(13, TenantMix::web_frontend())
     };
-    let r = engine::run(&overload);
+    let r = engine::Run::new(&overload).execute().report;
     println!("{}", r.render());
     println!(
         "policer shed {} of {} offered; {} credit waits at the QPairs",
