@@ -4,7 +4,8 @@
 //! determinism [--out PATH]
 //! ```
 //!
-//! Runs the rayon-parallel elastic/storm/sweep workloads — every family
+//! Runs the rayon-parallel elastic/storm/failover/sweep workloads —
+//! every family
 //! whose determinism the test suite asserts — and emits their complete
 //! trace/report JSON. CI runs this binary twice, once with
 //! `RAYON_NUM_THREADS=1` and once with `RAYON_NUM_THREADS=8`, and diffs
@@ -22,7 +23,7 @@ use std::process::ExitCode;
 
 use venice_loadgen::sweep::{self, SweepSpec};
 use venice_loadgen::{
-    congestion, economy, elastic, elastic_v2, engine, scenarios, RemoteStack, TenantMix,
+    congestion, economy, elastic, elastic_v2, engine, failover, scenarios, RemoteStack, TenantMix,
 };
 
 /// Seed for the gate's runs (distinct from every published figure seed,
@@ -97,6 +98,21 @@ fn main() -> ExitCode {
         writeln!(
             artifact,
             "congestion {label} {}",
+            serde_json::to_string(report).expect("report serializes")
+        )
+        .unwrap();
+    }
+
+    // 2d. The failover chaos comparison (node crashes, lease failover,
+    //     crash shedding, the revoke storm — the whole fault path under
+    //     rayon). Scaled so the 3.1 s crash instant still lands mid-run:
+    //     the diff must cover the chaos suffix, not just the fault-free
+    //     prefix.
+    let reports = failover::comparison_reports_scaled(GATE_SEED, 150_000);
+    for (label, report) in &reports {
+        writeln!(
+            artifact,
+            "failover {label} {}",
             serde_json::to_string(report).expect("report serializes")
         )
         .unwrap();

@@ -8,7 +8,7 @@
 //!          loadgen-elastic-8n loadgen-elastic-timeline-8n
 //!          loadgen-elastic-v2-8n loadgen-donor-pressure-8n
 //!          loadgen-donor-benefit-8n loadgen-quota-market-8n
-//!          loadgen-congestion-8n]
+//!          loadgen-congestion-8n loadgen-failover-8n]
 //! ```
 //!
 //! With no arguments, prints all figures as aligned text tables (measured
@@ -70,7 +70,7 @@ fn main() -> ExitCode {
                  loadgen-tput-16n loadgen-elastic-8n loadgen-elastic-timeline-8n \
                  loadgen-elastic-v2-8n loadgen-donor-pressure-8n \
                  loadgen-donor-benefit-8n loadgen-quota-market-8n \
-                 loadgen-congestion-8n"
+                 loadgen-congestion-8n loadgen-failover-8n"
             );
             return ExitCode::SUCCESS;
         } else {

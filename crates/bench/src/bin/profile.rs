@@ -1,4 +1,4 @@
-//! Hot-path profiles and the `venice-telemetry-v1` artifact.
+//! Hot-path profiles and the `venice-telemetry-v2` artifact.
 //!
 //! ```text
 //! profile [--out PATH] [--requests N] [--tick-ms T] [--cap N]
@@ -6,7 +6,9 @@
 //! ```
 //!
 //! Runs the storm scenarios (three tenant mixes), the elastic-v2
-//! predictive controller, and the economy quota-market scenario with a
+//! predictive controller, the economy quota-market scenario, and the
+//! failover chaos scenario (a mid-run node crash, so the artifact
+//! carries fault and failover spans) with a
 //! [`venice_telemetry::RecordingProbe`] threaded through the engine,
 //! then:
 //!
@@ -17,7 +19,7 @@
 //!   configuration — the two `LoadReport`s must serialize to
 //!   byte-identical JSON, or observing the run perturbed it and the run
 //!   fails;
-//! * concatenates the per-scenario `venice-telemetry-v1` JSONL blocks
+//! * concatenates the per-scenario `venice-telemetry-v2` JSONL blocks
 //!   into `BENCH_telemetry.jsonl` (CI regenerates a reduced-count copy
 //!   at rayon widths 1 and 8 and byte-compares them).
 //!
@@ -38,7 +40,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use venice_loadgen::telemetry::EVENT_KIND_LABELS;
-use venice_loadgen::{economy, elastic_v2, engine, scenarios, LoadgenConfig};
+use venice_loadgen::{economy, elastic_v2, engine, failover, scenarios, FaultPlan, LoadgenConfig};
 use venice_sim::Time;
 use venice_telemetry::export_jsonl;
 
@@ -122,21 +124,38 @@ fn parse_args() -> Result<Args, String> {
 
 /// The scenario grid: every control path the probe can light up —
 /// static storms (pure event-core traffic), the predictive lease
-/// controller (grow/establish/shrink spans), and the quota market
-/// (denials, subleases, teardowns).
-fn grid() -> Vec<(String, LoadgenConfig)> {
+/// controller (grow/establish/shrink spans), the quota market
+/// (denials, subleases, teardowns), and the failover chaos run
+/// (fault and failover spans through a mid-run node crash).
+fn grid() -> Vec<(String, LoadgenConfig, Option<FaultPlan>)> {
     let mut out = Vec::new();
     for config in scenarios::storm_configs(scenarios::SCENARIO_SEED) {
-        out.push((format!("storm-{}", config.mix.name), config));
+        out.push((format!("storm-{}", config.mix.name), config, None));
     }
     let mut predictive = elastic_v2::predictive_config(elastic_v2::V2_SEED);
     predictive.requests = 400_000;
-    out.push(("elastic-v2-predictive".to_string(), predictive));
+    out.push(("elastic-v2-predictive".to_string(), predictive, None));
     out.push((
         "economy-market".to_string(),
         economy::market_config(economy::ECONOMY_SEED),
+        None,
+    ));
+    out.push((
+        "failover-crash".to_string(),
+        failover::elastic_config(failover::FAILOVER_SEED),
+        Some(failover::crash_plan()),
     ));
     out
+}
+
+/// Starts a run with the scenario's fault plan (if any) armed — both
+/// sides of the perturbation gate carry the same chaos.
+fn start_run<'c>(config: &'c LoadgenConfig, plan: &Option<FaultPlan>) -> engine::Run<'c, 'static> {
+    let mut run = engine::Run::new(config);
+    if let Some(plan) = plan {
+        run = run.faults(plan.clone());
+    }
+    run
 }
 
 /// One timed call of `f`, in milliseconds.
@@ -158,10 +177,11 @@ fn main() -> ExitCode {
 
     let mut artifact = String::new();
     let mut worst_overhead_pct = f64::NEG_INFINITY;
-    for (scenario, mut config) in grid() {
+    for (scenario, mut config, plan) in grid() {
         if let Some(n) = args.requests {
             config.requests = n;
         }
+        let start = |config| start_run(config, &plan);
 
         // Timing iterations are interleaved (no-op, probed, no-op,
         // probed, …), each side keeping its best wall time, so shared-
@@ -178,14 +198,10 @@ fn main() -> ExitCode {
         let mut noop_report = None;
         let mut probed = None;
         for _ in 0..iters {
-            let (wall, r) = time_once(|| engine::Run::new(&config).execute().report);
+            let (wall, r) = time_once(|| start(&config).execute().report);
             noop_wall_ms = noop_wall_ms.min(wall);
             noop_report = Some(r);
-            let (wall, out) = time_once(|| {
-                engine::Run::new(&config)
-                    .recording(tick, args.cap)
-                    .execute()
-            });
+            let (wall, out) = time_once(|| start(&config).recording(tick, args.cap).execute());
             probed_wall_ms = probed_wall_ms.min(wall);
             probed = Some((out.profile_text(&scenario), out.report, out.probe));
         }

@@ -168,6 +168,7 @@ pub const EXPECTED_FIGURE_IDS: &[&str] = &[
     "loadgen-donor-benefit-8n",
     "loadgen-quota-market-8n",
     "loadgen-congestion-8n",
+    "loadgen-failover-8n",
 ];
 
 /// Validates a committed figure artifact against
@@ -205,7 +206,7 @@ pub fn validate_figures(figures: &[Figure]) -> Vec<String> {
 }
 
 /// Schema tag of each block in `BENCH_telemetry.jsonl`.
-pub const TELEMETRY_SCHEMA: &str = "venice-telemetry-v1";
+pub const TELEMETRY_SCHEMA: &str = "venice-telemetry-v2";
 
 /// Extracts the bare integer value of `"key":<digits>` from a
 /// hand-formatted JSONL line.
@@ -236,12 +237,28 @@ fn line_kind(line: &str) -> Option<&str> {
     Some(&rest[..rest.find('"')?])
 }
 
+/// Extracts the string value of `"key":"<value>"` from a hand-formatted
+/// JSONL line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// The span-label vocabulary of `venice-telemetry-v2`: the three lease
+/// lifecycle phases plus the fault-injection pair (outage windows and
+/// lease failovers).
+pub const SPAN_LABELS: [&str; 5] = ["establish", "active", "teardown", "fault", "failover"];
+
 /// Validates a `BENCH_telemetry.jsonl` artifact: one or more
-/// `venice-telemetry-v1` blocks (the `profile` bin concatenates one per
+/// `venice-telemetry-v2` blocks (the `profile` bin concatenates one per
 /// scenario), each opening with a schema-tagged header, carrying exactly
 /// one counters line, and closing with an end line whose sample/span
-/// totals match the lines actually present. Returns human-readable
-/// problems (empty = valid).
+/// totals match the lines actually present. Span lines must use the
+/// [`SPAN_LABELS`] vocabulary (v2 adds `fault` and `failover`), and a
+/// fault span — an injected outage window — must carry its node and
+/// start instant so the failover story is reconstructible from the
+/// artifact alone. Returns human-readable problems (empty = valid).
 pub fn validate_telemetry(jsonl: &str) -> Vec<String> {
     let mut problems = Vec::new();
     // (header line no, samples seen, spans seen, counters seen) of the
@@ -274,7 +291,25 @@ pub fn validate_telemetry(jsonl: &str) -> Vec<String> {
             }
             ("counters", Some((_, _, _, counters))) => *counters += 1,
             ("sample", Some((_, samples, _, _))) => *samples += 1,
-            ("span", Some((_, _, spans, _))) => *spans += 1,
+            ("span", Some((_, _, spans, _))) => {
+                *spans += 1;
+                match field_str(line, "span") {
+                    Some(label) if SPAN_LABELS.contains(&label) => {
+                        if matches!(label, "fault" | "failover")
+                            && (field_u64(line, "node").is_none()
+                                || field_u64(line, "start_ps").is_none())
+                        {
+                            problems.push(format!(
+                                "line {lineno}: {label} span is missing node/start_ps"
+                            ));
+                        }
+                    }
+                    Some(label) => {
+                        problems.push(format!("line {lineno}: unknown span label `{label}`"));
+                    }
+                    None => problems.push(format!("line {lineno}: span line has no label")),
+                }
+            }
             ("end", Some((header, samples, spans, counters))) => {
                 if *counters != 1 {
                     problems.push(format!(

@@ -369,6 +369,59 @@ impl Cluster {
     ///
     /// Propagates teardown failures (double release, unknown nodes).
     pub fn release(&mut self, lease: MemoryLease) -> Result<(), ShareError> {
+        self.teardown(lease, true)
+    }
+
+    /// Purges `lease` after its donor died: the full ledger teardown of
+    /// [`Cluster::release`] — recipient unmap/unplug, donor-side
+    /// reclaim with holes parked exactly as a live release would (the
+    /// dead donor's address space must be truthful the instant it
+    /// recovers), monitor grant retired, sublease chain dropped —
+    /// **without charging the teardown flow's latency**: there is no
+    /// live donor to run the Fig. 2 teardown handshake, the Monitor
+    /// Node simply declares the grant dead.
+    ///
+    /// # Errors
+    ///
+    /// [`ShareError::NoLease`] when no active grant has that id;
+    /// otherwise propagates teardown failures.
+    pub fn purge(&mut self, grant_id: u64) -> Result<MemoryLease, ShareError> {
+        let lease = *self
+            .active
+            .iter()
+            .find(|l| l.grant_id == grant_id)
+            .ok_or(ShareError::NoLease)?;
+        self.teardown(lease, false)?;
+        Ok(lease)
+    }
+
+    /// Purges every active grant touching `node` (as donor *or*
+    /// recipient) — the cluster-side half of crash failover. Grants are
+    /// purged oldest-first; the purged leases come back in that order
+    /// so the caller can re-establish or account for each. No teardown
+    /// latency is charged ([`Cluster::purge`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first teardown failure (the ledger is left with
+    /// the grants already purged removed).
+    pub fn purge_node(&mut self, node: NodeId) -> Result<Vec<MemoryLease>, ShareError> {
+        let doomed: Vec<MemoryLease> = self
+            .active
+            .iter()
+            .filter(|l| l.donor == node || l.recipient == node)
+            .copied()
+            .collect();
+        for lease in &doomed {
+            self.teardown(*lease, false)?;
+        }
+        Ok(doomed)
+    }
+
+    /// The shared teardown path behind [`Cluster::release`] (which
+    /// charges the teardown flow latency) and [`Cluster::purge`] (which
+    /// does not — a dead donor cannot run the handshake).
+    fn teardown(&mut self, lease: MemoryLease, charge_latency: bool) -> Result<(), ShareError> {
         {
             let r = self.node_mut(lease.recipient)?;
             r.crma
@@ -412,7 +465,9 @@ impl Cluster {
             }
         }
         self.monitor.release(lease.grant_id);
-        self.now += self.flow.teardown(lease.bytes);
+        if charge_latency {
+            self.now += self.flow.teardown(lease.bytes);
+        }
         self.active.retain(|l| l.grant_id != lease.grant_id);
         // The sublease chain dies with its grant — releases and revokes
         // route through here, so no annotation can dangle.
@@ -745,6 +800,74 @@ mod tests {
         c.release(other).unwrap();
         assert_eq!(c.borrowed_bytes(), 0);
         assert!(c.memory_consistent());
+    }
+
+    #[test]
+    fn purge_skips_teardown_latency_but_keeps_the_ledger_honest() {
+        let mut c = Cluster::prototype();
+        let lease = c.borrow_memory(NodeId(0), 128 << 20).unwrap();
+        let before = c.now();
+        let purged = c.purge(lease.grant_id).unwrap();
+        assert_eq!(purged, lease);
+        assert_eq!(c.now(), before, "a dead donor cannot run teardown");
+        assert_eq!(c.borrowed_bytes(), 0);
+        assert!(c.active_leases().is_empty());
+        assert!(c.memory_consistent());
+        assert_eq!(c.purge(lease.grant_id), Err(ShareError::NoLease));
+        // The donor's capacity is whole again: the same borrow succeeds.
+        let again = c.borrow_memory(NodeId(0), 128 << 20).unwrap();
+        assert_eq!(again.donor, lease.donor);
+        c.release(again).unwrap();
+    }
+
+    #[test]
+    fn purge_parks_out_of_order_holes_like_a_release() {
+        // Same shape as the out-of-order release test, through the
+        // purge path: the older grant's region must park as a hole, not
+        // be re-advertised under the still-lent newer window.
+        let mut c = Cluster::mesh(2, 1, 1, 1 << 30, 512 << 20);
+        let l1 = c.borrow_memory(NodeId(0), 128 << 20).unwrap();
+        let l2 = c.borrow_memory(NodeId(0), 128 << 20).unwrap();
+        c.purge(l1.grant_id).unwrap();
+        assert!(c.memory_consistent());
+        let l3 = c.borrow_memory(NodeId(0), 256 << 20).unwrap();
+        assert!(
+            l3.donor_base >= l2.donor_base + l2.bytes,
+            "purge re-advertised a hole under the live window"
+        );
+        assert!(c.memory_consistent());
+    }
+
+    #[test]
+    fn purge_node_retires_every_grant_touching_the_dead_node() {
+        let mut c = Cluster::prototype();
+        // Node 0 borrows (node 0 as recipient), and some donor lends to
+        // node 3 — crash whichever node donated to node 0.
+        let a = c.borrow_memory(NodeId(0), 64 << 20).unwrap();
+        let b = c.borrow_memory(NodeId(3), 64 << 20).unwrap();
+        let dead = a.donor;
+        let purged = c.purge_node(dead).unwrap();
+        assert!(purged.contains(&a));
+        let survivors = c.active_leases().to_vec();
+        if b.donor == dead || b.recipient == dead {
+            assert!(purged.contains(&b));
+            assert!(survivors.is_empty());
+        } else {
+            assert_eq!(survivors, vec![b]);
+        }
+        assert!(c.memory_consistent());
+        assert!(c.purge_node(dead).unwrap().is_empty());
+    }
+
+    #[test]
+    fn purge_drops_the_sublease_chain_with_the_grant() {
+        let mut c = Cluster::prototype();
+        let lease = c.borrow_memory(NodeId(0), 64 << 20).unwrap();
+        c.mark_sublease(lease.grant_id, 2, 5).unwrap();
+        assert_eq!(c.subleased_bytes(), 64 << 20);
+        c.purge(lease.grant_id).unwrap();
+        assert_eq!(c.subleased_bytes(), 0);
+        assert!(c.active_subleases().is_empty());
     }
 
     #[test]

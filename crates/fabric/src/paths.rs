@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use venice_sim::Time;
 
 use crate::phy::LinkParams;
-use crate::routing::{forward_path, RoutingTable};
+use crate::routing::{forward_path, forward_path_with_fallback, RoutingTable};
 use crate::topology::{Mesh3d, NodeId};
 
 /// Index of one directed link in a [`PathTable`]; assigned densely in
@@ -91,6 +91,70 @@ impl PathTable {
         }
         PathTable {
             nodes,
+            link_ends,
+            ranges,
+            links,
+        }
+    }
+
+    /// Recompiles the per-pair routes with the given *directed* links
+    /// marked down, detouring over the routing layer's productive
+    /// fallback ([`crate::routing::forward_path_with_fallback`]).
+    ///
+    /// [`LinkId`] assignments are **stable**: every link keeps the id
+    /// the original compile gave it, so per-link congestion windows and
+    /// gauges survive the reroute untouched. Pairs the down set
+    /// partitions along every minimal route keep their stale
+    /// precompiled path (a partition-grade failure has no honest
+    /// detour; the caller's loss model is the one still charging it).
+    /// An empty `down` set reproduces the original table exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a down endpoint is out of the compiled node range.
+    pub fn recompile_with_down(&self, mesh: &Mesh3d, down: &[(NodeId, NodeId)]) -> PathTable {
+        let mut tables: Vec<RoutingTable> = mesh
+            .nodes()
+            .map(|node| RoutingTable::for_mesh(mesh, node))
+            .collect();
+        for &(from, to) in down {
+            let port = tables[from.0 as usize]
+                .lookup(to)
+                .expect("down link endpoints must be mesh neighbors");
+            tables[from.0 as usize].set_link_status(port, false);
+        }
+        let mut ids: HashMap<(u16, u16), LinkId> = self
+            .link_ends
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| ((a.0, b.0), i as LinkId))
+            .collect();
+        let mut link_ends = self.link_ends.clone();
+        let mut ranges = Vec::with_capacity(self.ranges.len());
+        let mut links = Vec::new();
+        for src in mesh.nodes() {
+            for dst in mesh.nodes() {
+                let off = u32::try_from(links.len()).expect("path table overflow");
+                match forward_path_with_fallback(mesh, &tables, src, dst) {
+                    Some(path) => {
+                        let mut prev = src;
+                        for hop in path {
+                            let id = *ids.entry((prev.0, hop.0)).or_insert_with(|| {
+                                link_ends.push((prev, hop));
+                                (link_ends.len() - 1) as LinkId
+                            });
+                            links.push(id);
+                            prev = hop;
+                        }
+                    }
+                    None => links.extend_from_slice(self.links(src, dst)),
+                }
+                let len = u16::try_from(links.len() - off as usize).expect("path too long");
+                ranges.push((off, len));
+            }
+        }
+        PathTable {
+            nodes: self.nodes,
             link_ends,
             ranges,
             links,
@@ -193,6 +257,37 @@ mod tests {
         let b = PathTable::compile(&mesh);
         assert_eq!(a.link_ends, b.link_ends);
         assert_eq!(a.links, b.links);
+    }
+
+    #[test]
+    fn recompile_with_no_down_links_is_identity() {
+        let mesh = Mesh3d::new(4, 2, 2);
+        let table = PathTable::compile(&mesh);
+        let again = table.recompile_with_down(&mesh, &[]);
+        assert_eq!(table.link_ends, again.link_ends);
+        assert_eq!(table.ranges, again.ranges);
+        assert_eq!(table.links, again.links);
+    }
+
+    #[test]
+    fn recompile_detours_around_a_down_link_with_stable_ids() {
+        let mesh = Mesh3d::prototype();
+        let table = PathTable::compile(&mesh);
+        // Down both directions of the 0<->1 cable (a flapped cable dies
+        // whole). 0->1 itself is partitioned along its only minimal
+        // route and keeps the stale path; 0->3 detours via +y.
+        let down = [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))];
+        let rerouted = table.recompile_with_down(&mesh, &down);
+        let direct: Vec<_> = rerouted.links(NodeId(0), NodeId(1)).to_vec();
+        assert_eq!(direct, table.links(NodeId(0), NodeId(1)).to_vec());
+        let detour = rerouted.links(NodeId(0), NodeId(3));
+        assert_eq!(detour.len(), 2, "productive detours stay minimal");
+        assert_eq!(rerouted.endpoints(detour[0]), (NodeId(0), NodeId(2)));
+        assert_eq!(rerouted.endpoints(detour[1]), (NodeId(2), NodeId(3)));
+        // Ids survive the reroute: every original link keeps its slot.
+        for id in 0..table.link_count() as LinkId {
+            assert_eq!(table.endpoints(id), rerouted.endpoints(id));
+        }
     }
 
     #[test]

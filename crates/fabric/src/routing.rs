@@ -102,6 +102,47 @@ impl RoutingTable {
             .map(|e| e.out_port)
     }
 
+    /// Whether the link behind `port` is up. A port no entry routes
+    /// through reports down: there is no cable there to detour over.
+    pub fn port_up(&self, port: OutPort) -> bool {
+        self.entries
+            .values()
+            .any(|e| e.out_port == port && e.link_up)
+    }
+
+    /// Looks up the port toward `dst`, detouring around down links:
+    /// when the primary dimension-ordered port fails, the first *other*
+    /// axis (X, then Y, then Z order) whose coordinate still differs
+    /// from `dst`'s and whose link is up is taken instead. Every
+    /// candidate moves strictly closer to `dst`, so detoured forwarding
+    /// is loop-free and preserves the minimal hop count; `None` means
+    /// every productive link out of this node is down (partition-grade
+    /// failure — callers keep their stale route or give up).
+    pub fn lookup_with_fallback(&self, mesh: &Mesh3d, dst: NodeId) -> Option<OutPort> {
+        if let Some(port) = self.lookup(dst) {
+            return Some(port);
+        }
+        if dst == self.node {
+            return None;
+        }
+        let here = mesh.coord(self.node);
+        let d = mesh.coord(dst);
+        let mut candidates = [None; 3];
+        if d.x != here.x {
+            candidates[0] = Some(if d.x < here.x { OutPort(1) } else { OutPort(2) });
+        }
+        if d.y != here.y {
+            candidates[1] = Some(if d.y < here.y { OutPort(3) } else { OutPort(4) });
+        }
+        if d.z != here.z {
+            candidates[2] = Some(if d.z < here.z { OutPort(5) } else { OutPort(6) });
+        }
+        candidates
+            .into_iter()
+            .flatten()
+            .find(|&port| self.port_up(port))
+    }
+
     /// Number of installed (valid or not) entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -180,6 +221,39 @@ pub fn forward_path(
     path
 }
 
+/// As [`forward_path`], but detours around down links via
+/// [`RoutingTable::lookup_with_fallback`]. Returns `None` when some hop
+/// has no up productive port left (the down set partitions `src` from
+/// `dst` along every minimal route) — never panics on a down link, and
+/// never visits more hops than the fault-free minimal route.
+pub fn forward_path_with_fallback(
+    mesh: &Mesh3d,
+    tables: &[RoutingTable],
+    src: NodeId,
+    dst: NodeId,
+) -> Option<Vec<NodeId>> {
+    let mut path = Vec::new();
+    let mut cur = src;
+    while cur != dst {
+        let port = tables[cur.0 as usize].lookup_with_fallback(mesh, dst)?;
+        assert_ne!(port, LOCAL_PORT, "premature local delivery");
+        let here = mesh.coord(cur);
+        let mut next = here;
+        match port.0 {
+            1 => next.x -= 1,
+            2 => next.x += 1,
+            3 => next.y -= 1,
+            4 => next.y += 1,
+            5 => next.z -= 1,
+            6 => next.z += 1,
+            p => panic!("bad port {p}"),
+        }
+        cur = mesh.node_at(next);
+        path.push(cur);
+    }
+    Some(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +300,39 @@ mod tests {
         t.invalidate(NodeId(3));
         assert_eq!(t.lookup(NodeId(3)), None);
         assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn fallback_detours_around_a_down_link() {
+        let mesh = Mesh3d::prototype();
+        let mut tables = all_tables(&mesh);
+        // Node 0 -> node 3 differs in x and y; the primary XYZ route
+        // leaves on +x. Kill that link: the fallback leaves on +y
+        // instead and the path stays minimal.
+        let primary = tables[0].lookup(NodeId(3)).unwrap();
+        tables[0].set_link_status(primary, false);
+        assert_eq!(tables[0].lookup(NodeId(3)), None);
+        let path = forward_path_with_fallback(&mesh, &tables, NodeId(0), NodeId(3))
+            .expect("a productive detour exists");
+        assert_eq!(path.len() as u32, mesh.hops(NodeId(0), NodeId(3)));
+        assert_eq!(*path.last().unwrap(), NodeId(3));
+        assert_ne!(path[0], NodeId(1), "detour must avoid the down +x link");
+    }
+
+    #[test]
+    fn fallback_reports_partition_when_every_productive_port_is_down() {
+        let mesh = Mesh3d::prototype();
+        let mut tables = all_tables(&mesh);
+        // Node 0 -> node 1 differ on x only: downing that one link
+        // leaves no productive alternative.
+        let port = tables[0].lookup(NodeId(1)).unwrap();
+        tables[0].set_link_status(port, false);
+        assert_eq!(
+            forward_path_with_fallback(&mesh, &tables, NodeId(0), NodeId(1)),
+            None
+        );
+        // Unaffected pairs still route.
+        assert!(forward_path_with_fallback(&mesh, &tables, NodeId(2), NodeId(3)).is_some());
     }
 
     #[test]

@@ -149,6 +149,11 @@ pub enum LeaseEventKind {
     /// stays [`LeaseEventKind::Revoked`] — the `lessor` field on the
     /// event marks the repayment.)
     SubleaseReturned,
+    /// A chunk was lost to a node crash (its donor — or the holding
+    /// recipient itself — died): the ledgers unwound without a teardown
+    /// handshake, and the manager is free to re-establish elsewhere.
+    /// Market chunks repay their lessor exactly as a revoke would.
+    FailedOver,
 }
 
 impl LeaseEventKind {
@@ -167,7 +172,10 @@ impl LeaseEventKind {
     pub fn closes_chunk(self) -> bool {
         matches!(
             self,
-            LeaseEventKind::Shrank | LeaseEventKind::Revoked | LeaseEventKind::SubleaseReturned
+            LeaseEventKind::Shrank
+                | LeaseEventKind::Revoked
+                | LeaseEventKind::SubleaseReturned
+                | LeaseEventKind::FailedOver
         )
     }
 
@@ -342,6 +350,7 @@ pub struct LeaseManager {
     predictive_grows: u64,
     shrinks: u64,
     revokes: u64,
+    failovers: u64,
     revoke_denials: u64,
     denials: u64,
     quota_denials: u64,
@@ -391,6 +400,7 @@ impl LeaseManager {
             predictive_grows: 0,
             shrinks: 0,
             revokes: 0,
+            failovers: 0,
             revoke_denials: 0,
             denials: 0,
             quota_denials: 0,
@@ -895,6 +905,63 @@ impl LeaseManager {
         });
     }
 
+    /// Records the crash-driven loss of the chunk `generation` held by
+    /// `recipient` at `now`: its donor `donor` died (or `recipient`
+    /// itself did — pass the lease's donor either way), so the chunk is
+    /// gone without a teardown handshake. The ledger moves mirror
+    /// [`LeaseManager::confirm_revoke`] — bytes leave the totals, a
+    /// market chunk repays its lessor — but the event kind says *crash*,
+    /// and the failover counter lets reports separate adversity from
+    /// policy. The manager holds no replacement open: the next tick's
+    /// pressure signal re-grows through the ordinary decision path
+    /// (paying the establish latency on a surviving donor), or the
+    /// caller re-borrows immediately and confirms as a grow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recipient` holds no chunk of that generation
+    /// (accounting bug in the caller).
+    pub fn confirm_failover(
+        &mut self,
+        now: Time,
+        donor: u16,
+        recipient: u16,
+        generation: u64,
+        priority: Priority,
+    ) {
+        self.integrate(now);
+        let n = &mut self.nodes[recipient as usize];
+        let idx = n
+            .chunks
+            .iter()
+            .position(|c| c.generation == generation)
+            .expect("failover of a generation the recipient does not hold");
+        let chunk = n.chunks.remove(idx);
+        let chunks_after = n.chunks.len() as u32;
+        self.failovers += 1;
+        self.total_bytes -= self.config.chunk_bytes;
+        let tenant_bytes_after = self.bucket_sub(chunk.tenant, self.config.chunk_bytes);
+        self.charged_sub(chunk.lessor, self.config.chunk_bytes);
+        let subleased = chunk.lessor != chunk.tenant;
+        if subleased {
+            self.sublease_returns += 1;
+            self.subleased_bytes -= self.config.chunk_bytes;
+        }
+        self.log(LeaseEvent {
+            at: now,
+            node: recipient,
+            donor,
+            kind: LeaseEventKind::FailedOver,
+            chunks_after,
+            generation,
+            total_bytes_after: self.total_bytes,
+            tenant: chunk.tenant,
+            tenant_bytes_after,
+            lessor: if subleased { chunk.lessor } else { NO_TENANT },
+            priority,
+        });
+    }
+
     /// Records `event` on the timeline, keyed by the event's own
     /// timestamp — one source of truth, so the timeline key and
     /// [`LeaseEvent::at`] can never drift apart.
@@ -1080,6 +1147,11 @@ impl LeaseManager {
         self.revokes
     }
 
+    /// Chunks lost to node crashes so far (confirmed failovers).
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
     /// Revoke demands that found nothing reclaimable so far.
     pub fn revoke_denials(&self) -> u64 {
         self.revoke_denials
@@ -1164,6 +1236,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn failover_unwinds_the_ledger_without_a_replacement() {
+        let mut m = LeaseManager::new(cfg(), 2);
+        let g = m.confirm_grow(Time::from_ms(1), 0, NO_TENANT, false, Priority::Normal);
+        assert_eq!(m.total_bytes(), 64 << 20);
+        m.confirm_failover(Time::from_ms(2), 1, 0, g, Priority::Normal);
+        assert_eq!(m.total_bytes(), 0);
+        assert_eq!(m.chunks(0), 0);
+        assert_eq!(m.failovers(), 1);
+        assert_eq!(m.revokes(), 0, "a crash is not a policy revoke");
+        let (_, last) = m.timeline().iter().last().unwrap();
+        assert_eq!(last.kind, LeaseEventKind::FailedOver);
+        assert_eq!(last.donor, 1);
+        assert!(last.kind.closes_chunk());
+    }
+
+    #[test]
+    fn failover_of_a_market_chunk_repays_the_lessor() {
+        let mut m = LeaseManager::with_quotas(cfg(), 2, vec![64 << 20, 256 << 20]);
+        let g = m.confirm_sublease(Time::from_ms(1), 0, 0, 1, Priority::Normal);
+        assert_eq!(m.subleased_bytes(), 64 << 20);
+        assert_eq!(m.charged_bytes_of(1), 64 << 20);
+        m.confirm_failover(Time::from_ms(2), 1, 0, g, Priority::Normal);
+        assert_eq!(m.subleased_bytes(), 0);
+        assert_eq!(m.charged_bytes_of(1), 0);
+        assert_eq!(m.sublease_returns(), 1);
     }
 
     #[test]

@@ -491,7 +491,7 @@ proptest! {
                     *charged.entry(e.lessor).or_default() -= chunk;
                     subleased -= chunk;
                 }
-                LeaseEventKind::Revoked => {
+                LeaseEventKind::Revoked | LeaseEventKind::FailedOver => {
                     let payer = if e.lessor != NO_TENANT {
                         subleased -= chunk;
                         e.lessor

@@ -43,6 +43,7 @@ use venice_workloads::ZipfSampler;
 
 use crate::admission::{AdmissionConfig, AdmissionControl, Decision, ShedReason};
 use crate::arrival::{exponential, ArrivalProcess};
+use crate::faults::{FaultModel, FaultPlan, FaultTransition, NoFaults};
 use crate::remote::{CongestedFabric, RemoteModel, RemoteModelCfg, ScalarCrma};
 use crate::report::{LeaseSummary, LoadReport, TenantReport};
 use crate::stacks::RemoteStack;
@@ -221,6 +222,16 @@ impl RequestSlab {
         self.free.push(slot);
         self.entries[slot as usize]
     }
+
+    /// Slots currently live (not on the free list) whose request is
+    /// bound to `node`, ascending. Crash path only — O(slab), never on
+    /// the per-request path.
+    fn live_slots_on(&self, node: u16) -> Vec<u32> {
+        let free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
+        (0..self.entries.len() as u32)
+            .filter(|slot| !free.contains(slot) && self.entries[*slot as usize].node == node)
+            .collect()
+    }
 }
 
 /// Per-slot attribution stamps, paralleling one [`RequestSlab`] slot.
@@ -286,6 +297,9 @@ struct Stats {
     shed_rate: u64,
     shed_overload: u64,
     shed_backpressure: u64,
+    /// Requests lost to an injected node crash (stays 0 unless a fault
+    /// plan is armed).
+    shed_crash: u64,
 }
 
 impl Stats {
@@ -297,6 +311,7 @@ impl Stats {
             shed_rate: 0,
             shed_overload: 0,
             shed_backpressure: 0,
+            shed_crash: 0,
         }
     }
 
@@ -425,9 +440,9 @@ fn grow_lease(
 /// provisioning — and bump the donor's lent pressure (its memory is
 /// committed at borrow time, even though the recipient's visibility
 /// waits on the establish flow). `lessor` marks a market match.
-fn apply_grow<'a, P: Probe, M: RemoteModel>(
-    w: &mut World<'a, P, M>,
-    s: &mut Sched<'a, P, M>,
+fn apply_grow<'a, P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'a, P, M, F>,
+    s: &mut Sched<'a, P, M, F>,
     now: Time,
     signals: &[NodeSignal],
     node: u16,
@@ -437,10 +452,13 @@ fn apply_grow<'a, P: Probe, M: RemoteModel>(
     let tenant = signals[node as usize].tenant;
     let priority = signals[node as usize].priority;
     // Under congestion-aware placement the fabric model vetoes donors
-    // whose node↔donor path is currently backlogged (2021-edition
-    // closures capture the `remote` field alone, so this shared borrow
-    // coexists with the mutable cluster/manager borrows below).
-    let donor_ok = |d: NodeId| w.remote.donor_ok(now, node, d.0);
+    // whose node↔donor path is currently backlogged; with a fault plan
+    // armed, dead nodes are vetoed unconditionally — a crashed donor
+    // cannot map memory (2021-edition closures capture the `remote` and
+    // `faults` fields alone, so these shared borrows coexist with the
+    // mutable cluster/manager borrows below).
+    let donor_ok =
+        |d: NodeId| (!F::ENABLED || w.faults.node_up(d.0)) && w.remote.donor_ok(now, node, d.0);
     let tier = w.elastic.as_mut().expect("elastic run");
     if let Some((generation, lease, lat)) = grow_lease(
         &mut w.cluster,
@@ -461,6 +479,7 @@ fn apply_grow<'a, P: Probe, M: RemoteModel>(
                 lease,
                 class_tag: tenant,
                 lat,
+                failover_of: 0,
             })),
         );
         sync_donor_pressure(w, lease.donor.0);
@@ -478,7 +497,10 @@ fn apply_grow<'a, P: Probe, M: RemoteModel>(
 /// recompiles its service models — called wherever a grant involving the
 /// donor is established or torn down. A no-op unless the pressure term
 /// is armed, so untouched configurations never recompile here.
-fn sync_donor_pressure<P: Probe, M: RemoteModel>(w: &mut World<'_, P, M>, donor: u16) {
+fn sync_donor_pressure<P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'_, P, M, F>,
+    donor: u16,
+) {
     if w.servers[donor as usize].model.lent_slowdown > 0.0 {
         let lent = w.cluster.lent_bytes_of(NodeId(donor));
         w.servers[donor as usize].model.lent_bytes = lent;
@@ -512,6 +534,10 @@ enum EngineEvent {
     /// A donor-demanded revoke's modeled teardown flow completes: the
     /// grant is pulled back through the Monitor–Node path.
     RevokeTorndown(Box<RevokeTeardown>),
+    /// The fault plan's next transition comes due: crash/recover a
+    /// node, cut/heal a link, or change a link's loss rate. Scheduled
+    /// only when a [`FaultPlan`] is armed.
+    FaultTick,
 }
 
 impl EngineEvent {
@@ -526,6 +552,7 @@ impl EngineEvent {
             EngineEvent::LeaseTick => 4,
             EngineEvent::LeaseEstablished(_) => 5,
             EngineEvent::RevokeTorndown(_) => 6,
+            EngineEvent::FaultTick => 7,
         }
     }
 }
@@ -542,6 +569,10 @@ struct LeaseEstablish {
     class_tag: u32,
     /// Measured CRMA latency of the new window.
     lat: Time,
+    /// Generation of the lease this grow replaces after its donor died
+    /// (0 = an ordinary grow): landing it closes the recipient's
+    /// failover span.
+    failover_of: u64,
 }
 
 /// Payload of [`EngineEvent::RevokeTorndown`].
@@ -559,10 +590,10 @@ struct RevokeTeardown {
 }
 
 /// The engine's scheduler flavor: typed events over the world.
-type Sched<'a, P, M> = Scheduler<World<'a, P, M>, EngineEvent>;
+type Sched<'a, P, M, F> = Scheduler<World<'a, P, M, F>, EngineEvent>;
 
-impl<'a, P: Probe, M: RemoteModel> SimEvent<World<'a, P, M>> for EngineEvent {
-    fn fire(self, w: &mut World<'a, P, M>, s: &mut Sched<'a, P, M>) {
+impl<'a, P: Probe, M: RemoteModel, F: FaultModel> SimEvent<World<'a, P, M, F>> for EngineEvent {
+    fn fire(self, w: &mut World<'a, P, M, F>, s: &mut Sched<'a, P, M, F>) {
         if P::ENABLED {
             pulse(w, s, self.kind());
         }
@@ -579,7 +610,37 @@ impl<'a, P: Probe, M: RemoteModel> SimEvent<World<'a, P, M>> for EngineEvent {
                     lease,
                     class_tag,
                     lat,
+                    failover_of,
                 } = *est;
+                if P::ATTRIB {
+                    w.pending_grows[node as usize] -= 1;
+                }
+                let now = s.now();
+                // The Fig 2 handshake needs both ends alive when it
+                // lands: if either died mid-flow, the grant is lost —
+                // ledgers unwind without a teardown (no one is left to
+                // run one) and the chunk never becomes visible. A crash
+                // window the flow straddled entirely (crash *and*
+                // recovery before landing) leaves the grant intact.
+                if F::ENABLED && (!w.faults.node_up(lease.donor.0) || !w.faults.node_up(node)) {
+                    w.cluster
+                        .purge(lease.grant_id)
+                        .expect("in-flight grant is still on the cluster ledger");
+                    let tier = w.elastic.as_mut().expect("elastic run");
+                    tier.manager.confirm_failover(
+                        now,
+                        lease.donor.0,
+                        node,
+                        generation,
+                        Priority::Normal,
+                    );
+                    sync_donor_pressure(w, lease.donor.0);
+                    if P::ENABLED {
+                        w.probe
+                            .span_close(SpanKind::Establish, node, generation, now);
+                    }
+                    return;
+                }
                 let tier = w.elastic.as_mut().expect("elastic run");
                 tier.leases[node as usize].push((generation, lease));
                 if class_tag != NO_TAG {
@@ -590,14 +651,16 @@ impl<'a, P: Probe, M: RemoteModel> SimEvent<World<'a, P, M>> for EngineEvent {
                 model.remote_miss = lat;
                 recompile_service(w, node as usize);
                 sync_fabric_route(w, node as usize);
-                if P::ATTRIB {
-                    w.pending_grows[node as usize] -= 1;
-                }
                 if P::ENABLED {
-                    let now = s.now();
                     w.probe
                         .span_close(SpanKind::Establish, node, generation, now);
                     w.probe.span_open(SpanKind::Active, node, generation, now);
+                    if F::ENABLED && failover_of != 0 {
+                        // The replacement chunk is live: the recipient's
+                        // degraded window ends here.
+                        w.probe
+                            .span_close(SpanKind::Failover, node, failover_of, now);
+                    }
                 }
             }
             EngineEvent::RevokeTorndown(rev) => {
@@ -608,9 +671,34 @@ impl<'a, P: Probe, M: RemoteModel> SimEvent<World<'a, P, M>> for EngineEvent {
                     lease,
                     priority,
                 } = *rev;
+                let now = s.now();
+                // A teardown handshake cannot execute against a dead
+                // end: the chunk is written off as a failover instead —
+                // ledger unwound, no latency charged, no donor repaid
+                // by an unmap nobody can run.
+                if F::ENABLED && (!w.faults.node_up(donor) || !w.faults.node_up(recipient)) {
+                    w.cluster
+                        .purge(lease.grant_id)
+                        .expect("revoke-pending grant is still on the cluster ledger");
+                    let tier = w.elastic.as_mut().expect("elastic run");
+                    tier.manager
+                        .confirm_failover(now, donor, recipient, generation, priority);
+                    let model = &mut w.servers[recipient as usize].model;
+                    model.remote_bytes = model.remote_bytes.saturating_sub(lease.bytes);
+                    recompile_service(w, recipient as usize);
+                    sync_fabric_route(w, recipient as usize);
+                    sync_donor_pressure(w, donor);
+                    if P::ENABLED {
+                        w.probe
+                            .span_close(SpanKind::Teardown, recipient, generation, now);
+                        w.probe
+                            .span_close(SpanKind::Active, recipient, generation, now);
+                    }
+                    return;
+                }
                 apply_revoke(
                     w,
-                    s.now(),
+                    now,
                     donor,
                     recipient as usize,
                     generation,
@@ -618,6 +706,7 @@ impl<'a, P: Probe, M: RemoteModel> SimEvent<World<'a, P, M>> for EngineEvent {
                     priority,
                 );
             }
+            EngineEvent::FaultTick => fault_tick(w, s),
         }
     }
 }
@@ -630,7 +719,7 @@ struct ReplayCursor<'a> {
 }
 
 /// The simulated world threaded through every event.
-struct World<'a, P: Probe, M: RemoteModel> {
+struct World<'a, P: Probe, M: RemoteModel, F: FaultModel> {
     /// Observation hooks ([`venice_telemetry::Probe`]); `NoopProbe` in
     /// every default entry point, so the hooks compile away and the
     /// report stays bit-identical to the unprobed engine.
@@ -707,9 +796,25 @@ struct World<'a, P: Probe, M: RemoteModel> {
     /// [`Request`] entry is untouched; empty (never allocated) unless
     /// the congested model is armed.
     fabric_detour: Vec<u64>,
+    /// Fault injection ([`crate::faults::FaultModel`]); [`NoFaults`] on
+    /// the default path, where every hook site guarded by `if
+    /// F::ENABLED` monomorphizes away and the engine is
+    /// instruction-for-instruction the pre-chaos one.
+    faults: F,
+    /// Requests in service on a node at its crash instant, paralleling
+    /// `requests` by slot: their `Finish` events fire on schedule but
+    /// account as crash sheds. Empty unless a fault plan is armed.
+    doomed: Vec<bool>,
+    /// Monotonic crash counter: the `generation` key of fault spans
+    /// (a node can crash more than once; lease generations and crash
+    /// ordinals must not collide on one span key).
+    fault_seq: u64,
+    /// Each node's current fault span key while down (0 = never
+    /// crashed), so recovery closes the span the crash opened.
+    node_fault_seq: Vec<u64>,
 }
 
-impl<P: Probe, M: RemoteModel> World<'_, P, M> {
+impl<P: Probe, M: RemoteModel, F: FaultModel> World<'_, P, M, F> {
     /// Mutable access to the engine RNG (used to stagger closed-loop
     /// session starts).
     fn rng_mut(&mut self) -> &mut SimRng {
@@ -727,7 +832,11 @@ impl<P: Probe, M: RemoteModel> World<'_, P, M> {
 /// Called only under `if P::ENABLED`, and never from the no-op path —
 /// sampling piggybacks on events the kernel was executing anyway, so
 /// the probed event stream is the unprobed one, exactly.
-fn pulse<'a, P: Probe, M: RemoteModel>(w: &mut World<'a, P, M>, s: &mut Sched<'a, P, M>, kind: u8) {
+fn pulse<'a, P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'a, P, M, F>,
+    s: &mut Sched<'a, P, M, F>,
+    kind: u8,
+) {
     let now = s.now();
     w.probe.on_event(kind, now);
     if let Some(at) = w.probe.sample_due(now) {
@@ -739,8 +848,8 @@ fn pulse<'a, P: Probe, M: RemoteModel>(w: &mut World<'a, P, M>, s: &mut Sched<'a
 /// Snapshots per-node gauges and per-tenant counters for one sample.
 /// Reads the same ledgers the report reads (cluster byte positions,
 /// admission stats, the lease timeline) — observation only.
-fn build_sample<P: Probe, M: RemoteModel>(
-    w: &mut World<'_, P, M>,
+fn build_sample<P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'_, P, M, F>,
     pending: usize,
     slab_live: usize,
 ) -> SampleRow {
@@ -783,7 +892,7 @@ fn build_sample<P: Probe, M: RemoteModel>(
         .enumerate()
         .map(|(class, st)| TenantCounters {
             admitted: st.admitted,
-            shed: st.shed_rate + st.shed_overload + st.shed_backpressure,
+            shed: st.shed_rate + st.shed_overload + st.shed_backpressure + st.shed_crash,
             denied: w.denied_counts[class],
             quota_bytes: w
                 .elastic
@@ -811,7 +920,10 @@ fn build_sample<P: Probe, M: RemoteModel>(
 /// Open-loop arrival event: issue one request, schedule the next at the
 /// process's instantaneous rate (constant for Poisson, phase-dependent
 /// for bursty traffic).
-fn open_arrival<'a, P: Probe, M: RemoteModel>(w: &mut World<'a, P, M>, s: &mut Sched<'a, P, M>) {
+fn open_arrival<'a, P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'a, P, M, F>,
+    s: &mut Sched<'a, P, M, F>,
+) {
     let mut now = s.now();
     loop {
         issue(w, s, now);
@@ -849,7 +961,10 @@ fn open_arrival<'a, P: Probe, M: RemoteModel>(w: &mut World<'a, P, M>, s: &mut S
 }
 
 /// Closed-loop session event: issue the session's next request.
-fn session_arrival<'a, P: Probe, M: RemoteModel>(w: &mut World<'a, P, M>, s: &mut Sched<'a, P, M>) {
+fn session_arrival<'a, P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'a, P, M, F>,
+    s: &mut Sched<'a, P, M, F>,
+) {
     if w.issued >= w.target {
         return; // session retires
     }
@@ -858,7 +973,10 @@ fn session_arrival<'a, P: Probe, M: RemoteModel>(w: &mut World<'a, P, M>, s: &mu
 }
 
 /// Replay arrival event: re-drive the next recorded request.
-fn replay_arrival<'a, P: Probe, M: RemoteModel>(w: &mut World<'a, P, M>, s: &mut Sched<'a, P, M>) {
+fn replay_arrival<'a, P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'a, P, M, F>,
+    s: &mut Sched<'a, P, M, F>,
+) {
     let now = s.now();
     let Some(rec) = w.replay.as_mut().and_then(|cur| {
         let rec = cur.records.get(cur.next).copied();
@@ -879,9 +997,9 @@ fn replay_arrival<'a, P: Probe, M: RemoteModel>(w: &mut World<'a, P, M>, s: &mut
 }
 
 /// Schedules the closed-loop session's next request, if any remain.
-fn schedule_next_session<'a, P: Probe, M: RemoteModel>(
-    w: &mut World<'a, P, M>,
-    s: &mut Sched<'a, P, M>,
+fn schedule_next_session<'a, P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'a, P, M, F>,
+    s: &mut Sched<'a, P, M, F>,
 ) {
     if let Some(think) = w.think {
         if w.issued < w.target {
@@ -895,9 +1013,9 @@ fn schedule_next_session<'a, P: Probe, M: RemoteModel>(
 /// admission. During a bursty process's burst window, a `crowd_share`
 /// fraction of arrivals comes from the flash-crowd population instead of
 /// the mix's Zipf tail.
-fn issue<'a, P: Probe, M: RemoteModel>(
-    w: &mut World<'a, P, M>,
-    s: &mut Sched<'a, P, M>,
+fn issue<'a, P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'a, P, M, F>,
+    s: &mut Sched<'a, P, M, F>,
     now: Time,
 ) {
     let class = w.rng.weighted_index_with_total(&w.weights, w.weight_total);
@@ -921,9 +1039,31 @@ fn issue<'a, P: Probe, M: RemoteModel>(
 /// Routes `user`'s request: home node by population hash, except that a
 /// home node whose remote tier is empty defers to a mesh neighbor already
 /// holding a lease driven by this tenant (locality: follow the memory).
-fn route<P: Probe, M: RemoteModel>(w: &World<'_, P, M>, class: usize, user: u64) -> usize {
+///
+/// With a fault plan armed, a *down* home node is skipped entirely: the
+/// session re-routes to the first live mesh neighbor (adjacency order),
+/// falling back to the lowest-id live node anywhere — admission on the
+/// survivor then decides the request's fate. Only when every node is
+/// down does the home stand (the caller sheds the request as a crash
+/// loss before admission).
+fn route<P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &World<'_, P, M, F>,
+    class: usize,
+    user: u64,
+) -> usize {
     let n = w.servers.len();
     let home = (user % n as u64) as usize;
+    if F::ENABLED && !w.faults.node_up(home as u16) {
+        for &nb in &w.neighbors[home] {
+            if w.faults.node_up(nb) {
+                return nb as usize;
+            }
+        }
+        if let Some(alive) = (0..n).find(|&i| w.faults.node_up(i as u16)) {
+            return alive;
+        }
+        return home;
+    }
     let Some(tier) = &w.elastic else {
         return home;
     };
@@ -931,18 +1071,20 @@ fn route<P: Probe, M: RemoteModel>(w: &World<'_, P, M>, class: usize, user: u64)
         return home;
     }
     for &nb in &w.neighbors[home] {
-        let nb = nb as usize;
-        if tier.tags[nb] == class as u32 && w.servers[nb].model.has_remote() {
-            return nb;
+        if (!F::ENABLED || w.faults.node_up(nb)) // never defer onto a dead node
+            && tier.tags[nb as usize] == class as u32
+            && w.servers[nb as usize].model.has_remote()
+        {
+            return nb as usize;
         }
     }
     home
 }
 
 /// Runs one generated request through per-node admission and dispatch.
-fn issue_with<'a, P: Probe, M: RemoteModel>(
-    w: &mut World<'a, P, M>,
-    s: &mut Sched<'a, P, M>,
+fn issue_with<'a, P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'a, P, M, F>,
+    s: &mut Sched<'a, P, M, F>,
     now: Time,
     class: usize,
     user: u64,
@@ -950,6 +1092,27 @@ fn issue_with<'a, P: Probe, M: RemoteModel>(
     let seq = w.issued;
     w.issued += 1;
     let node = route(w, class, user);
+    // Total outage: every node is down, so the front door itself is
+    // gone — the request is a crash loss, not an admission decision.
+    if F::ENABLED && !w.faults.node_up(node as u16) {
+        w.stats[class].shed_crash += 1;
+        if P::ATTRIB {
+            w.probe.on_shed(class as u16, node as u16, 3, now);
+        }
+        record(
+            w,
+            seq,
+            now,
+            class,
+            user,
+            node,
+            RequestOutcome::ShedCrash,
+            Time::ZERO,
+            0,
+        );
+        schedule_next_session(w, s);
+        return;
+    }
     let generation = w
         .elastic
         .as_ref()
@@ -1037,8 +1200,8 @@ fn issue_with<'a, P: Probe, M: RemoteModel>(
 
 /// Appends a trace record if tracing is on.
 #[allow(clippy::too_many_arguments)]
-fn record<P: Probe, M: RemoteModel>(
-    w: &mut World<'_, P, M>,
+fn record<P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'_, P, M, F>,
     seq: u64,
     at: Time,
     class: usize,
@@ -1064,9 +1227,9 @@ fn record<P: Probe, M: RemoteModel>(
 
 /// Sends an admitted request toward its node, or parks it under
 /// backpressure. `slot` indexes the request slab.
-fn dispatch<'a, P: Probe, M: RemoteModel>(
-    w: &mut World<'a, P, M>,
-    s: &mut Sched<'a, P, M>,
+fn dispatch<'a, P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'a, P, M, F>,
+    s: &mut Sched<'a, P, M, F>,
     slot: u32,
 ) {
     let now = s.now();
@@ -1150,11 +1313,47 @@ fn dispatch<'a, P: Probe, M: RemoteModel>(
 
 /// Completion event: account the request, return the credit, and drain
 /// the node's backlog.
-fn finish<'a, P: Probe, M: RemoteModel>(
-    w: &mut World<'a, P, M>,
-    s: &mut Sched<'a, P, M>,
+fn finish<'a, P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'a, P, M, F>,
+    s: &mut Sched<'a, P, M, F>,
     slot: u32,
 ) {
+    // A request doomed by its node's crash still fires its Finish on
+    // schedule (events cannot be unscheduled), but it accounts as a
+    // crash shed: transport credits return, admission and in-flight
+    // ledgers close, and nothing lands in the latency histogram — the
+    // work died with the node.
+    if F::ENABLED && w.doomed.get(slot as usize).copied().unwrap_or(false) {
+        w.doomed[slot as usize] = false;
+        let req = w.requests.take(slot);
+        let class = req.class as usize;
+        let node = req.node as usize;
+        w.stats[class].shed_crash += 1;
+        w.admissions[node].on_completion();
+        w.servers[node].inflight_by_class[class] -= 1;
+        if P::ATTRIB {
+            w.probe.on_shed(class as u16, node as u16, 3, s.now());
+        }
+        record(
+            w,
+            req.seq,
+            req.arrival,
+            class,
+            req.user,
+            node,
+            RequestOutcome::ShedCrash,
+            Time::ZERO,
+            req.generation,
+        );
+        let srv = &mut w.servers[node];
+        srv.qp.drain_one();
+        srv.qp.credit_update(1);
+        if let Some(next) = srv.backlog.pop_front() {
+            dispatch(w, s, next);
+        }
+        schedule_next_session(w, s);
+        return;
+    }
     let req = w.requests.take(slot);
     let now = s.now();
     let latency = now - req.arrival;
@@ -1248,7 +1447,10 @@ fn finish<'a, P: Probe, M: RemoteModel>(
 /// The argmax is computed in place — per class, in-flight count plus a
 /// scan of the (bounded) backlog — instead of cloning
 /// `inflight_by_class` into a scratch `Vec` every lease tick.
-fn dominant_class<P: Probe, M: RemoteModel>(w: &World<'_, P, M>, node: usize) -> Option<usize> {
+fn dominant_class<P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &World<'_, P, M, F>,
+    node: usize,
+) -> Option<usize> {
     let srv = &w.servers[node];
     let mut best: Option<(usize, u32)> = None;
     for (class, &inflight) in srv.inflight_by_class.iter().enumerate() {
@@ -1269,7 +1471,10 @@ fn dominant_class<P: Probe, M: RemoteModel>(w: &World<'_, P, M>, node: usize) ->
 /// current [`NodeModel`]. Called from the three places a node's remote
 /// tier moves (establish lands, shrink, revoke lands) — rare events, so
 /// the per-request path never re-derives model constants.
-fn recompile_service<P: Probe, M: RemoteModel>(w: &mut World<'_, P, M>, node: usize) {
+fn recompile_service<P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'_, P, M, F>,
+    node: usize,
+) {
     let model = w.servers[node].model;
     for (class, slot) in w
         .classes
@@ -1294,7 +1499,10 @@ fn recompile_service<P: Probe, M: RemoteModel>(w: &mut World<'_, P, M>, node: us
 /// node's remote tier moves so the congested model always charges the
 /// path the node is actually serving from. A no-op (compiled away)
 /// under the scalar model.
-fn sync_fabric_route<P: Probe, M: RemoteModel>(w: &mut World<'_, P, M>, node: usize) {
+fn sync_fabric_route<P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'_, P, M, F>,
+    node: usize,
+) {
     if !M::ENABLED {
         return;
     }
@@ -1313,8 +1521,8 @@ fn sync_fabric_route<P: Probe, M: RemoteModel>(w: &mut World<'_, P, M>, node: us
 /// keeps serving from the window — a revoke notice takes effect when the
 /// unmap lands, not when the donor asks.
 #[allow(clippy::too_many_arguments)]
-fn apply_revoke<P: Probe, M: RemoteModel>(
-    w: &mut World<'_, P, M>,
+fn apply_revoke<P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'_, P, M, F>,
     now: Time,
     donor: u16,
     recipient: usize,
@@ -1343,10 +1551,234 @@ fn apply_revoke<P: Probe, M: RemoteModel>(
     }
 }
 
+/// Drains every fault transition due now and applies it, then schedules
+/// the next tick at the plan's next edge. Reached only when a
+/// [`FaultPlan`] is armed — `NoFaults` never schedules a `FaultTick`.
+fn fault_tick<'a, P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'a, P, M, F>,
+    s: &mut Sched<'a, P, M, F>,
+) {
+    let now = s.now();
+    while let Some(tr) = w.faults.pop_due(now) {
+        match tr {
+            FaultTransition::NodeDown(n) => crash_node(w, s, n as usize),
+            FaultTransition::NodeUp(n) => recover_node(w, n as usize, now),
+            FaultTransition::LinkDown(a, b) => w.remote.set_link_state(a, b, false),
+            FaultTransition::LinkUp(a, b) => w.remote.set_link_state(a, b, true),
+            FaultTransition::Loss(a, b, per_mille) => w.remote.set_link_loss(a, b, per_mille),
+        }
+    }
+    if let Some(at) = w.faults.next_at() {
+        s.schedule_event_at(at, EngineEvent::FaultTick);
+    }
+}
+
+/// Fail-stops `node`: sheds its backlog, dooms its in-service requests
+/// (their `Finish` events account as crash sheds when they fire), wipes
+/// its service slots, and fails over every lease touching it — the
+/// cluster purges the grants without executing a teardown on the dead
+/// node, the manager unwinds its ledgers, and surviving recipients
+/// immediately re-establish on a live donor, paying the full modeled
+/// establish latency.
+fn crash_node<'a, P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'a, P, M, F>,
+    s: &mut Sched<'a, P, M, F>,
+    node: usize,
+) {
+    let now = s.now();
+    w.fault_seq += 1;
+    w.node_fault_seq[node] = w.fault_seq;
+    if P::ENABLED {
+        w.probe
+            .span_open(SpanKind::Fault, node as u16, w.fault_seq, now);
+    }
+    // Backlogged requests were admitted but never cleared the credit
+    // gate: they die with the node, holding no transport credit.
+    while let Some(slot) = w.servers[node].backlog.pop_front() {
+        let req = w.requests.take(slot);
+        let class = req.class as usize;
+        w.stats[class].shed_crash += 1;
+        w.admissions[node].on_completion();
+        if P::ATTRIB {
+            w.probe.on_shed(class as u16, node as u16, 3, now);
+        }
+        record(
+            w,
+            req.seq,
+            req.arrival,
+            class,
+            req.user,
+            node,
+            RequestOutcome::ShedCrash,
+            Time::ZERO,
+            req.generation,
+        );
+        schedule_next_session(w, s);
+    }
+    // In-service requests cannot be unscheduled — their Finish events
+    // are already in the queue — so they are doomed in place and
+    // account as crash sheds when they fire.
+    for slot in w.requests.live_slots_on(node as u16) {
+        if w.doomed.len() <= slot as usize {
+            w.doomed.resize(slot as usize + 1, false);
+        }
+        w.doomed[slot as usize] = true;
+    }
+    // The reboot clears the machine: whatever occupancy the slots held
+    // died with it.
+    for t in w.servers[node].slots.iter_mut() {
+        *t = now;
+    }
+    if w.elastic.is_some() {
+        // Every *visible* grant touching the dead node fails over. A
+        // grant still mid-establish or mid-teardown is not on any
+        // stack; its own completion event settles it against the
+        // liveness state at fire time.
+        let tier = w.elastic.as_mut().expect("checked above");
+        let mut lost: Vec<(usize, u64, MemoryLease)> = Vec::new();
+        for recipient in 0..tier.leases.len() {
+            let mut idx = 0;
+            while idx < tier.leases[recipient].len() {
+                let (generation, lease) = tier.leases[recipient][idx];
+                if lease.donor.0 as usize == node || recipient == node {
+                    tier.leases[recipient].remove(idx);
+                    lost.push((recipient, generation, lease));
+                } else {
+                    idx += 1;
+                }
+            }
+        }
+        for (recipient, generation, lease) in lost {
+            let donor = lease.donor.0;
+            w.cluster
+                .purge(lease.grant_id)
+                .expect("visible grant is on the cluster ledger");
+            let tier = w.elastic.as_mut().expect("checked above");
+            let tag = tier.tags[recipient];
+            let priority = if tag == NO_TAG {
+                Priority::Normal
+            } else {
+                w.classes[tag as usize].priority
+            };
+            tier.manager
+                .confirm_failover(now, donor, recipient as u16, generation, priority);
+            let model = &mut w.servers[recipient].model;
+            model.remote_bytes = model.remote_bytes.saturating_sub(lease.bytes);
+            recompile_service(w, recipient);
+            sync_fabric_route(w, recipient);
+            sync_donor_pressure(w, donor);
+            if P::ENABLED {
+                w.probe
+                    .span_close(SpanKind::Active, recipient as u16, generation, now);
+            }
+            if recipient != node {
+                // A surviving recipient lost its donor: open its
+                // degraded window and re-establish on a live donor
+                // right away (the dead node's own chunks wait for the
+                // ordinary lease tick after it reboots).
+                if P::ENABLED {
+                    w.probe
+                        .span_open(SpanKind::Failover, recipient as u16, generation, now);
+                }
+                regrow_after_failover(w, s, now, recipient as u16, generation);
+            }
+        }
+    } else {
+        // Static provisioning has no manager to re-establish through:
+        // the Venice-stack grants touching the dead node are purged and
+        // the affected tiers stay degraded — the gap the
+        // elastic-with-failover comparison measures. Baseline stacks
+        // never borrowed through the Monitor-Node flow, so the purge
+        // finds nothing and their pre-partitioned tiers ride through.
+        let purged = w
+            .cluster
+            .purge_node(venice::NodeId(node as u16))
+            .expect("purging a node's grants cannot fail");
+        for lease in purged {
+            let recipient = lease.recipient.0 as usize;
+            let model = &mut w.servers[recipient].model;
+            model.remote_bytes = model.remote_bytes.saturating_sub(lease.bytes);
+            recompile_service(w, recipient);
+            sync_fabric_route(w, recipient);
+        }
+    }
+}
+
+/// Reboots `node` empty: the fault span closes, and capacity returns
+/// through the ordinary paths — routing starts offering it traffic
+/// again immediately, and (under elastic leases) the next lease tick
+/// re-grows its remote tier from the floor.
+fn recover_node<P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'_, P, M, F>,
+    node: usize,
+    now: Time,
+) {
+    if P::ENABLED {
+        w.probe
+            .span_close(SpanKind::Fault, node as u16, w.node_fault_seq[node], now);
+    }
+}
+
+/// Re-establishes a replacement for a lease lost to its donor's crash:
+/// the ordinary borrow/measure/confirm flow against a *live* donor,
+/// paying the full modeled establish latency before the replacement
+/// becomes visible. On refusal the denial is recorded and the next
+/// lease tick retries through the watermark path.
+fn regrow_after_failover<'a, P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'a, P, M, F>,
+    s: &mut Sched<'a, P, M, F>,
+    now: Time,
+    node: u16,
+    lost_generation: u64,
+) {
+    let tenant = w.elastic.as_ref().expect("elastic run").tags[node as usize];
+    let priority = if tenant == NO_TAG {
+        Priority::Normal
+    } else {
+        w.classes[tenant as usize].priority
+    };
+    let donor_ok = |d: venice::NodeId| w.faults.node_up(d.0) && w.remote.donor_ok(now, node, d.0);
+    let tier = w.elastic.as_mut().expect("elastic run");
+    if let Some((generation, lease, lat)) = grow_lease(
+        &mut w.cluster,
+        &mut tier.manager,
+        now,
+        node,
+        tenant,
+        false,
+        priority,
+        None,
+        &donor_ok,
+    ) {
+        s.schedule_event_in(
+            lease.setup_time,
+            EngineEvent::LeaseEstablished(Box::new(LeaseEstablish {
+                node,
+                generation,
+                lease,
+                class_tag: tenant,
+                lat,
+                failover_of: lost_generation,
+            })),
+        );
+        sync_donor_pressure(w, lease.donor.0);
+        if P::ENABLED {
+            w.probe
+                .span_open(SpanKind::Establish, node, generation, now);
+        }
+        if P::ATTRIB {
+            w.pending_grows[node as usize] += 1;
+        }
+    }
+}
+
 /// Periodic elastic-lease control tick: sample per-node queue depth and
 /// donor pressure, let the manager decide, and apply
 /// grows/shrinks/revokes against the live cluster.
-fn lease_tick<'a, P: Probe, M: RemoteModel>(w: &mut World<'a, P, M>, s: &mut Sched<'a, P, M>) {
+fn lease_tick<'a, P: Probe, M: RemoteModel, F: FaultModel>(
+    w: &mut World<'a, P, M, F>,
+    s: &mut Sched<'a, P, M, F>,
+) {
     // A tick scheduled while the last requests were in flight can fire
     // after the final completion; acting there would put lease events
     // past the report's duration (skewing the time-weighted mean), so a
@@ -1535,6 +1967,7 @@ pub struct Run<'c, 't, P: Probe = NoopProbe> {
     probe: P,
     traced: bool,
     replay: Option<&'t Trace>,
+    faults: Option<FaultPlan>,
 }
 
 impl<'c> Run<'c, 'static, NoopProbe> {
@@ -1545,6 +1978,7 @@ impl<'c> Run<'c, 'static, NoopProbe> {
             probe: NoopProbe,
             traced: false,
             replay: None,
+            faults: None,
         }
     }
 }
@@ -1561,7 +1995,19 @@ impl<'c, 't, P: Probe> Run<'c, 't, P> {
             probe,
             traced: self.traced,
             replay: self.replay,
+            faults: self.faults,
         }
+    }
+
+    /// Arms `plan`'s deterministic fault schedule: node crashes, link
+    /// flaps, and packet loss fire at their scheduled instants, leases
+    /// on dead donors fail over, and requests on a crashed node shed as
+    /// crash losses. Without this arm the engine monomorphizes over
+    /// [`NoFaults`] and stays instruction-for-instruction the pre-chaos
+    /// engine.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Captures the per-request [`Trace`] into the output.
@@ -1590,6 +2036,7 @@ impl<'c, 't, P: Probe> Run<'c, 't, P> {
             probe: self.probe,
             traced: self.traced,
             replay: Some(trace),
+            faults: self.faults,
         }
     }
 
@@ -1612,8 +2059,13 @@ impl<'c, 't, P: Probe> Run<'c, 't, P> {
                 );
             }
         }
-        let (report, trace, metrics, probe) =
-            run_full(self.config, self.replay, self.traced, self.probe);
+        let (report, trace, metrics, probe) = run_full(
+            self.config,
+            self.replay,
+            self.traced,
+            self.probe,
+            self.faults,
+        );
         RunOutput {
             report,
             trace,
@@ -1691,10 +2143,16 @@ fn run_full<P: Probe>(
     replay_trace: Option<&Trace>,
     capture: bool,
     probe: P,
+    faults: Option<FaultPlan>,
 ) -> (LoadReport, Option<Trace>, EngineMetrics, P) {
-    match &config.remote_model {
-        RemoteModelCfg::Scalar => run_typed(config, replay_trace, capture, probe, ScalarCrma),
-        RemoteModelCfg::Congested(params) => {
+    match (&config.remote_model, faults) {
+        (RemoteModelCfg::Scalar, None) => {
+            run_typed(config, replay_trace, capture, probe, ScalarCrma, NoFaults)
+        }
+        (RemoteModelCfg::Scalar, Some(plan)) => {
+            run_typed(config, replay_trace, capture, probe, ScalarCrma, plan)
+        }
+        (RemoteModelCfg::Congested(params), faults) => {
             let wire = config
                 .mix
                 .classes
@@ -1702,17 +2160,21 @@ fn run_full<P: Probe>(
                 .map(|c| c.profile.remote_wire_bytes())
                 .collect();
             let fabric = CongestedFabric::new(params.clone(), config.mesh, wire);
-            run_typed(config, replay_trace, capture, probe, fabric)
+            match faults {
+                None => run_typed(config, replay_trace, capture, probe, fabric, NoFaults),
+                Some(plan) => run_typed(config, replay_trace, capture, probe, fabric, plan),
+            }
         }
     }
 }
 
-fn run_typed<P: Probe, M: RemoteModel>(
+fn run_typed<P: Probe, M: RemoteModel, F: FaultModel>(
     config: &LoadgenConfig,
     replay_trace: Option<&Trace>,
     capture: bool,
     mut probe: P,
     mut remote: M,
+    mut faults: F,
 ) -> (LoadReport, Option<Trace>, EngineMetrics, P) {
     assert!(config.requests > 0, "need at least one request");
     assert!(config.per_node_concurrency > 0, "need at least one slot");
@@ -1732,6 +2194,11 @@ fn run_typed<P: Probe, M: RemoteModel>(
     // 1. Build the cluster; record mesh adjacency for locality routing.
     let mut cluster = Cluster::mesh(dx, dy, dz, 1 << 30, LENDABLE_PER_NODE);
     let n = cluster.len();
+    if F::ENABLED {
+        // Sizes liveness state and rejects plans naming nodes outside
+        // the mesh, before any event fires.
+        faults.init(n as u16);
+    }
     let neighbors: Vec<Vec<u16>> = cluster
         .nodes
         .iter()
@@ -2023,10 +2490,14 @@ fn run_typed<P: Probe, M: RemoteModel>(
         pending_grows: if P::ATTRIB { vec![0; n] } else { Vec::new() },
         remote,
         fabric_detour: Vec::new(),
+        faults,
+        doomed: Vec::new(),
+        fault_seq: 0,
+        node_fault_seq: if F::ENABLED { vec![0; n] } else { Vec::new() },
     };
 
     // 5. Seed the event queue and run to completion.
-    let mut kernel: Kernel<World<'_, P, M>, EngineEvent> =
+    let mut kernel: Kernel<World<'_, P, M, F>, EngineEvent> =
         Kernel::new(world).with_event_limit(target.saturating_mul(8) + 500_000);
     if kernel.state().replay.is_some() {
         let first = kernel
@@ -2061,6 +2532,11 @@ fn run_typed<P: Probe, M: RemoteModel>(
             .tick_interval;
         kernel.schedule_event(interval, EngineEvent::LeaseTick);
     }
+    if F::ENABLED {
+        if let Some(at) = kernel.state().faults.next_at() {
+            kernel.schedule_event(at, EngineEvent::FaultTick);
+        }
+    }
     kernel.run();
     let metrics = EngineMetrics {
         events: kernel.executed() + kernel.state().fused,
@@ -2085,7 +2561,8 @@ fn run_typed<P: Probe, M: RemoteModel>(
     let mut total_hist = LogHistogram::new();
     let mut total_bytes = 0u64;
     let mut admitted = 0u64;
-    let (mut shed_rate, mut shed_overload, mut shed_backpressure) = (0u64, 0u64, 0u64);
+    let (mut shed_rate, mut shed_overload, mut shed_backpressure, mut shed_crash) =
+        (0u64, 0u64, 0u64, 0u64);
     let mut tenants = Vec::with_capacity(w.classes.len());
     for (class, st) in w.classes.iter().zip(&w.stats) {
         total_hist.merge(&st.hist);
@@ -2094,11 +2571,12 @@ fn run_typed<P: Probe, M: RemoteModel>(
         shed_rate += st.shed_rate;
         shed_overload += st.shed_overload;
         shed_backpressure += st.shed_backpressure;
+        shed_crash += st.shed_crash;
         tenants.push(TenantReport::from_stats(
             class.name.clone(),
             &st.hist,
             st.admitted,
-            st.shed_rate + st.shed_overload + st.shed_backpressure,
+            st.shed_rate + st.shed_overload + st.shed_backpressure + st.shed_crash,
             st.bytes,
             duration,
         ));
@@ -2107,7 +2585,7 @@ fn run_typed<P: Probe, M: RemoteModel>(
         "all",
         &total_hist,
         admitted,
-        shed_rate + shed_overload + shed_backpressure,
+        shed_rate + shed_overload + shed_backpressure + shed_crash,
         total_bytes,
         duration,
     );
@@ -2139,6 +2617,7 @@ fn run_typed<P: Probe, M: RemoteModel>(
                 predictive_grows: tier.manager.predictive_grows(),
                 shrinks: tier.manager.shrinks(),
                 revokes: tier.manager.revokes(),
+                failovers: tier.manager.failovers(),
                 revoke_denials: tier.manager.revoke_denials(),
                 denials: tier.manager.denials(),
                 quota_denials: tier.manager.quota_denials(),
@@ -2190,6 +2669,7 @@ fn run_typed<P: Probe, M: RemoteModel>(
         shed_rate,
         shed_overload,
         shed_backpressure,
+        shed_crash,
         credit_waits: w.servers.iter().map(|s| s.credit_waits).sum(),
         remote_leases,
         borrow_failures,

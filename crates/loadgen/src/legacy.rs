@@ -1220,6 +1220,10 @@ fn run_core(
                 predictive_grows: tier.manager.predictive_grows(),
                 shrinks: tier.manager.shrinks(),
                 revokes: tier.manager.revokes(),
+                // The frozen oracle predates fault injection and never
+                // fails over; the field exists so its report shape
+                // mirrors the typed engine's.
+                failovers: tier.manager.failovers(),
                 revoke_denials: tier.manager.revoke_denials(),
                 denials: tier.manager.denials(),
                 quota_denials: tier.manager.quota_denials(),
@@ -1271,6 +1275,9 @@ fn run_core(
         shed_rate,
         shed_overload,
         shed_backpressure,
+        // The frozen oracle predates fault injection: no plan, no
+        // crash losses, ever.
+        shed_crash: 0,
         credit_waits: w.servers.iter().map(|s| s.credit_waits).sum(),
         remote_leases,
         borrow_failures,

@@ -43,9 +43,18 @@
 //! * [`sweep`] — a rayon-parallel grid runner over (mesh size, tenant mix,
 //!   arrival rate, remote stack) whose output is deterministic at any
 //!   thread count;
+//! * [`faults`] — deterministic fault injection: [`faults::NoFaults`]
+//!   compiles every chaos hook away (the frozen baseline), while a
+//!   [`faults::FaultPlan`] armed through `Run::faults` injects a
+//!   replayable schedule of node crashes, link flaps, and packet loss;
+//!   leases on a dead donor fail over, in-flight requests on a crashed
+//!   node shed with their own reason slot, and sessions re-route to
+//!   survivors;
 //! * [`scenarios`] / [`elastic`] — the `loadgen` and `loadgen-elastic`
 //!   figure families layered beyond the paper's figures, consumed by the
-//!   `figures` binary.
+//!   `figures` binary. [`failover`] adds the `loadgen-failover-8n`
+//!   family: flash crowd plus a mid-run node crash, elastic-with-failover
+//!   vs static.
 //!
 //! # Example
 //!
@@ -69,6 +78,8 @@ pub mod economy;
 pub mod elastic;
 pub mod elastic_v2;
 pub mod engine;
+pub mod failover;
+pub mod faults;
 pub mod legacy;
 pub mod remote;
 pub mod report;
@@ -82,6 +93,7 @@ pub mod trace;
 pub use admission::AdmissionConfig;
 pub use arrival::ArrivalProcess;
 pub use engine::{EngineMetrics, LoadgenConfig, Run, RunOutput};
+pub use faults::{FaultEvent, FaultModel, FaultPlan, NoFaults};
 pub use remote::{FabricParams, PlacementPolicy, RemoteModelCfg};
 pub use report::{LeaseSummary, LoadReport, TenantReport};
 pub use stacks::RemoteStack;

@@ -154,6 +154,23 @@ pub trait RemoteModel {
     fn link_gauges(&self, out: &mut Vec<LinkGauge>) {
         let _ = out;
     }
+
+    /// Cuts (`up = false`) or heals the `a`↔`b` cable, both directions.
+    /// The congested model recompiles its path table around the outage
+    /// ([`PathTable::recompile_with_down`]); the scalar model has no
+    /// links to cut. Fired by fault-plan link flaps — rare, so a full
+    /// recompile off the hot path is fine.
+    fn set_link_state(&mut self, a: u16, b: u16, up: bool) {
+        let _ = (a, b, up);
+    }
+
+    /// Sets the `a`↔`b` cable's frame-loss rate (per-mille, both
+    /// directions). The congested model charges go-back-N retransmit
+    /// serialization for every byte crossing a lossy link; rate 0
+    /// heals it.
+    fn set_link_loss(&mut self, a: u16, b: u16, per_mille: u16) {
+        let _ = (a, b, per_mille);
+    }
 }
 
 /// The measured-scalar model: every hook is a no-op and `ENABLED` is
@@ -184,6 +201,9 @@ struct LinkWindow {
 pub struct CongestedFabric {
     params: FabricParams,
     paths: PathTable,
+    /// The mesh the paths were compiled from, kept so link flaps can
+    /// recompile around outages.
+    mesh: Mesh3d,
     /// Each node's active remote destination (its newest visible
     /// lease's donor); `None` = the node has no remote tier and pays
     /// no fabric charge.
@@ -196,11 +216,24 @@ pub struct CongestedFabric {
     wire_bytes_by_class: Vec<u64>,
     /// `params.window.as_ps()`, hoisted off the charge path.
     window_ps: u64,
+    /// Directed links currently flapped down (both directions of each
+    /// cut cable); empty until a fault plan cuts something.
+    down: Vec<(NodeId, NodeId)>,
+    /// Frame-loss rate in per-mille, per [`LinkId`]; zero everywhere
+    /// until a fault plan makes a cable lossy.
+    loss_pm: Vec<u16>,
 }
 
 /// Control-message bytes charged on the forward (node→donor) direction
 /// per dispatch; the data payload flows back donor→node.
 const COMMAND_BYTES: u64 = 64;
+
+/// Go-back-N window depth, in frames: one lost frame forces a
+/// retransmit of everything in flight behind it, so a link with loss
+/// rate `p` carries `1 + p × GO_BACK_N_FRAMES` times its goodput in
+/// expectation. The charge is that deterministic expected value — no
+/// RNG on the hot path, and replays stay bit-identical.
+const GO_BACK_N_FRAMES: u64 = 8;
 
 impl CongestedFabric {
     /// Compiles the model for a `mesh`-shaped cluster serving classes
@@ -219,11 +252,37 @@ impl CongestedFabric {
         CongestedFabric {
             routes: vec![None; mesh.len()],
             windows: vec![LinkWindow::default(); paths.link_count()],
+            loss_pm: vec![0; paths.link_count()],
             window_ps: params.window.as_ps(),
             params,
             paths,
+            mesh,
             wire_bytes_by_class,
+            down: Vec::new(),
         }
+    }
+
+    /// Inflates `bytes` by the go-back-N retransmit overhead of
+    /// `link`'s current loss rate (identity at rate zero).
+    #[inline]
+    fn inflate(loss_pm: &[u16], link: LinkId, bytes: u64) -> u64 {
+        let pm = loss_pm[link as usize] as u64;
+        if pm == 0 {
+            bytes
+        } else {
+            bytes + bytes * pm * GO_BACK_N_FRAMES / 1000
+        }
+    }
+
+    /// Recompiles the path table around the current `down` set,
+    /// keeping [`LinkId`]s stable so utilization windows and loss
+    /// rates survive the reroute; detour links that first appear in
+    /// the new table start with a cold window and zero loss.
+    fn recompile(&mut self) {
+        self.paths = self.paths.recompile_with_down(&self.mesh, &self.down);
+        self.windows
+            .resize(self.paths.link_count(), LinkWindow::default());
+        self.loss_pm.resize(self.paths.link_count(), 0);
     }
 
     /// Rolls `link`'s window to index `wi`, charges `add` bytes to it,
@@ -290,16 +349,24 @@ impl RemoteModel for CongestedFabric {
         let wi = now.as_ps() / self.window_ps;
         let capacity = self.params.capacity_bytes;
         let buffer = self.params.buffer_bytes;
-        let CongestedFabric { paths, windows, .. } = self;
+        let CongestedFabric {
+            paths,
+            windows,
+            loss_pm,
+            ..
+        } = self;
         // Command out, data back: each direction's links carry their
-        // own bytes, and the dispatch pays the serialization time of
-        // whatever backlog is already queued ahead of it.
+        // own bytes — inflated by go-back-N retransmits where the
+        // cable is lossy — and the dispatch pays the serialization
+        // time of whatever backlog is already queued ahead of it.
         let mut backlog = 0u64;
         for &link in paths.links(src, dst) {
-            backlog += Self::roll_and_charge(windows, link, wi, capacity, buffer, COMMAND_BYTES);
+            let add = Self::inflate(loss_pm, link, COMMAND_BYTES);
+            backlog += Self::roll_and_charge(windows, link, wi, capacity, buffer, add);
         }
         for &link in paths.links(dst, src) {
-            backlog += Self::roll_and_charge(windows, link, wi, capacity, buffer, data);
+            let add = Self::inflate(loss_pm, link, data);
+            backlog += Self::roll_and_charge(windows, link, wi, capacity, buffer, add);
         }
         if backlog == 0 {
             Time::ZERO
@@ -330,6 +397,43 @@ impl RemoteModel for CongestedFabric {
                 dst: dst.0,
                 bytes: w.bytes,
             });
+        }
+    }
+
+    fn set_link_state(&mut self, a: u16, b: u16, up: bool) {
+        let (a, b) = (NodeId(a), NodeId(b));
+        if a.0 as usize >= self.mesh.len()
+            || b.0 as usize >= self.mesh.len()
+            || !self.mesh.neighbors(a).contains(&b)
+        {
+            // No cable between non-adjacent nodes: a fault plan aimed
+            // at a different topology degrades to a no-op rather than
+            // a panic.
+            return;
+        }
+        let cut = [(a, b), (b, a)];
+        if up {
+            self.down.retain(|d| !cut.contains(d));
+        } else {
+            for d in cut {
+                if !self.down.contains(&d) {
+                    self.down.push(d);
+                }
+            }
+        }
+        self.recompile();
+    }
+
+    fn set_link_loss(&mut self, a: u16, b: u16, per_mille: u16) {
+        // Every physical directed link owns a LinkId from the base
+        // compile (adjacent pairs route over exactly their own cable),
+        // so a per-LinkId store covers every cable; non-adjacent pairs
+        // match nothing and the call is a no-op.
+        for id in 0..self.paths.link_count() {
+            let (from, to) = self.paths.endpoints(id as LinkId);
+            if (from.0 == a && to.0 == b) || (from.0 == b && to.0 == a) {
+                self.loss_pm[id] = per_mille;
+            }
         }
     }
 }
@@ -414,6 +518,62 @@ mod tests {
         // ScalarPriced accepts everything.
         fab.params.placement = PlacementPolicy::ScalarPriced;
         assert!(fab.donor_ok(t, 0, 1));
+    }
+
+    #[test]
+    fn lossy_link_charges_retransmit_inflation() {
+        // Capacity exactly one clean dispatch (4096 + 64): lossless
+        // traffic never queues, lossy traffic does.
+        let mut clean = tiny_fabric(4160, 0);
+        let t = Time::from_us(1);
+        assert_eq!(clean.charge(t, 0, 0), Time::ZERO);
+        assert_eq!(clean.charge(t, 0, 0), Time::ZERO, "clean link queued");
+
+        let mut lossy = tiny_fabric(4160, 0);
+        lossy.set_link_loss(0, 1, 100); // 10% frame loss
+        assert_eq!(lossy.charge(t, 0, 0), Time::ZERO);
+        assert!(
+            lossy.charge(t, 0, 0) > Time::ZERO,
+            "go-back-N inflation did not push the window past capacity"
+        );
+        // Healing the cable restores the clean behavior next window.
+        lossy.set_link_loss(0, 1, 0);
+        let t2 = Time::from_ms(5);
+        assert_eq!(lossy.charge(t2, 0, 0), Time::ZERO);
+        assert_eq!(lossy.charge(t2, 0, 0), Time::ZERO);
+    }
+
+    #[test]
+    fn flapped_link_reroutes_and_heals() {
+        let mut fab = tiny_fabric(1 << 30, 0);
+        let before: Vec<_> = fab.paths.links(NodeId(0), NodeId(3)).to_vec();
+        let cut = fab.paths.links(NodeId(0), NodeId(1))[0];
+        // Cutting the 0<->1 cable detours the dimension-ordered 0->3
+        // route (0->1->3) over +y instead (0->2->3); the adjacent 0->1
+        // pair itself is partitioned along its only minimal route and
+        // keeps its stale path (the fabric's documented semantics).
+        fab.set_link_state(0, 1, false);
+        let detour = fab.paths.links(NodeId(0), NodeId(3)).to_vec();
+        assert_ne!(detour, before, "0->3 did not reroute around the cut");
+        assert!(!detour.contains(&cut), "detour crossed the cut link");
+        assert_eq!(fab.paths.endpoints(detour[0]), (NodeId(0), NodeId(2)));
+        // Windows cover every post-reroute link and charging works.
+        assert_eq!(fab.windows.len(), fab.paths.link_count());
+        assert_eq!(fab.charge(Time::from_us(1), 0, 0), Time::ZERO);
+        // Healing restores the original route under the same LinkIds.
+        fab.set_link_state(0, 1, true);
+        assert_eq!(fab.paths.links(NodeId(0), NodeId(3)), &before[..]);
+    }
+
+    #[test]
+    fn non_adjacent_flap_is_a_no_op() {
+        let mut fab = tiny_fabric(1 << 30, 0);
+        let before = fab.paths.links(NodeId(0), NodeId(3)).to_vec();
+        // 0 and 3 differ in two dimensions of the 2x2x2 mesh: no cable.
+        fab.set_link_state(0, 3, false);
+        assert_eq!(fab.paths.links(NodeId(0), NodeId(3)), &before[..]);
+        fab.set_link_loss(0, 3, 500);
+        assert!(fab.loss_pm.iter().all(|&pm| pm == 0));
     }
 
     #[test]

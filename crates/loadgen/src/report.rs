@@ -18,6 +18,10 @@ pub struct LeaseSummary {
     pub shrinks: u64,
     /// Chunks pulled back early by their pressured donors.
     pub revokes: u64,
+    /// Chunks lost to an injected node crash and unwound without a
+    /// teardown handshake (dead donor or dead recipient); zero unless
+    /// a fault plan was armed.
+    pub failovers: u64,
     /// Revoke demands that found nothing reclaimable (every lent grant
     /// still mid-establish); the donor's cooldown was charged anyway.
     pub revoke_denials: u64,
@@ -155,6 +159,10 @@ pub struct LoadReport {
     pub shed_overload: u64,
     /// Shed because a node's credit backlog overflowed.
     pub shed_backpressure: u64,
+    /// Lost to an injected node crash (the node's backlog and
+    /// in-service work at its crash instant, plus arrivals during a
+    /// total outage); zero unless a fault plan was armed.
+    pub shed_crash: u64,
     /// Times a request had to wait in a node backlog for QPair credits.
     pub credit_waits: u64,
     /// Nodes that successfully borrowed a remote-memory lease at setup.
@@ -172,9 +180,9 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    /// All requests turned away.
+    /// All requests turned away or lost.
     pub fn shed_total(&self) -> u64 {
-        self.shed_rate + self.shed_overload + self.shed_backpressure
+        self.shed_rate + self.shed_overload + self.shed_backpressure + self.shed_crash
     }
 
     /// Renders an aligned text table.
@@ -185,7 +193,7 @@ impl LoadReport {
             self.mix, self.nodes, self.seed
         ));
         out.push_str(&format!(
-            "issued {} admitted {} completed {} shed {} (rate {} / overload {} / backpressure {}) in {}\n",
+            "issued {} admitted {} completed {} shed {} (rate {} / overload {} / backpressure {} / crash {}) in {}\n",
             self.issued,
             self.admitted,
             self.completed,
@@ -193,6 +201,7 @@ impl LoadReport {
             self.shed_rate,
             self.shed_overload,
             self.shed_backpressure,
+            self.shed_crash,
             self.duration,
         ));
         out.push_str(&format!(

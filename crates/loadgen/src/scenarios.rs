@@ -36,14 +36,16 @@ pub fn default_sweep() -> SweepSpec {
 /// Every figure of the loadgen family (rayon-parallel under the hood):
 /// the rate sweep, the static-vs-elastic flash-crowd comparison, the
 /// v2 controller families (predictive growth, donor reclaim), the
-/// v3 lease-economy families (donor benefit, quota market), and the
-/// congested-fabric placement comparison.
+/// v3 lease-economy families (donor benefit, quota market), the
+/// congested-fabric placement comparison, and the crash-failover
+/// chaos comparison.
 pub fn all() -> Vec<Figure> {
     let mut out = sweep::figures(&default_sweep());
     out.extend(elastic::all());
     out.extend(crate::elastic_v2::all());
     out.extend(crate::economy::all());
     out.extend(crate::congestion::all());
+    out.extend(crate::failover::all());
     out
 }
 

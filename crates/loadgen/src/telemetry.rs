@@ -1,5 +1,5 @@
 //! Telemetry over engine runs: probe presets for the [`Run`] builder
-//! and the `venice-telemetry-v1` artifact.
+//! and the `venice-telemetry-v2` artifact.
 //!
 //! The engine's probe hooks ([`Run::probe`]) are generic plumbing; this
 //! module binds them to concrete observability: the event-kind labels
@@ -21,7 +21,7 @@ use crate::report::LoadReport;
 /// Human labels for the engine's probe event-kind slots, indexed by the
 /// engine event enum's probe slot (kept in step with
 /// `EngineEvent::kind` in the engine).
-pub const EVENT_KIND_LABELS: [&str; 7] = [
+pub const EVENT_KIND_LABELS: [&str; 8] = [
     "arrival",
     "session-next",
     "replay-next",
@@ -29,6 +29,7 @@ pub const EVENT_KIND_LABELS: [&str; 7] = [
     "lease-tick",
     "lease-established",
     "revoke-torndown",
+    "fault-tick",
 ];
 
 impl<'c, 't> Run<'c, 't, NoopProbe> {
@@ -57,7 +58,7 @@ impl<'c, 't> Run<'c, 't, NoopProbe> {
 }
 
 impl RunOutput<RecordingProbe> {
-    /// Renders the run's `venice-telemetry-v1` JSONL artifact named
+    /// Renders the run's `venice-telemetry-v2` JSONL artifact named
     /// `scenario`.
     ///
     /// # Panics
@@ -95,7 +96,7 @@ pub fn probed_run(config: &LoadgenConfig, tick: Time, cap: usize) -> (LoadReport
     (out.report, out.probe)
 }
 
-/// Runs `config` probed and renders the `venice-telemetry-v1` JSONL
+/// Runs `config` probed and renders the `venice-telemetry-v2` JSONL
 /// artifact named `scenario`, alongside the run's report.
 ///
 /// # Panics

@@ -24,6 +24,10 @@ pub enum RequestOutcome {
     ShedOverload,
     /// Shed because the node's credit backlog overflowed.
     ShedBackpressure,
+    /// Lost to an injected node crash (fault plans only): the serving
+    /// node fail-stopped with the request in its backlog or in
+    /// service, or every node was down at arrival.
+    ShedCrash,
 }
 
 /// One generated request, as recorded by a traced run.

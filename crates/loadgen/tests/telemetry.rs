@@ -1,4 +1,4 @@
-//! Telemetry determinism: the `venice-telemetry-v1` artifact is a pure
+//! Telemetry determinism: the `venice-telemetry-v2` artifact is a pure
 //! function of (scenario, config) — identical across rayon widths,
 //! across probe re-runs, and invisible to the run it observes.
 //!

@@ -58,11 +58,11 @@ pub const STAGE_SERVICE_LOCAL: usize = 5;
 pub const STAGE_SERVICE_REMOTE: usize = 6;
 
 /// Admission-shed reason slots for [`AttribFold::on_shed`].
-pub const SHED_REASONS: usize = 3;
+pub const SHED_REASONS: usize = 4;
 
 /// Labels for the shed-reason slots (rate limit, overload,
-/// backpressure — mirroring the engine's `ShedReason`).
-pub const SHED_LABELS: [&str; SHED_REASONS] = ["rate", "overload", "backpressure"];
+/// backpressure, node crash — mirroring the engine's `ShedReason`).
+pub const SHED_LABELS: [&str; SHED_REASONS] = ["rate", "overload", "backpressure", "crash"];
 
 /// One completed request's latency, decomposed into stages.
 ///
@@ -368,8 +368,8 @@ mod tests {
         assert_eq!(c.stage_ps[STAGE_ESTABLISH_STALL], 20);
         assert_eq!(c.total_ps, 200);
         assert_eq!(c.stage_ps.iter().sum::<u64>(), c.total_ps);
-        assert_eq!(fold.sheds(1), [0, 0, 1]);
-        assert_eq!(fold.sheds(7), [0, 0, 0]);
+        assert_eq!(fold.sheds(1), [0, 0, 1, 0]);
+        assert_eq!(fold.sheds(7), [0, 0, 0, 0]);
     }
 
     #[test]

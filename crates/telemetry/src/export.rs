@@ -1,4 +1,4 @@
-//! The `venice-telemetry-v1` JSONL artifact.
+//! The `venice-telemetry-v2` JSONL artifact.
 //!
 //! One JSON object per line, hand-formatted with fixed key order and
 //! integer-only values so the artifact is byte-identical whenever the
@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 
 use crate::probe::RecordingProbe;
 
-/// Renders `probe` into the `venice-telemetry-v1` JSONL artifact.
+/// Renders `probe` into the `venice-telemetry-v2` JSONL artifact.
 ///
 /// `labels` names the engine's event-kind slots; slots at or past
 /// `labels.len()` with zero counts are omitted.
@@ -37,7 +37,7 @@ pub fn export_jsonl(scenario: &str, seed: u64, probe: &RecordingProbe, labels: &
     let series = probe.series();
     writeln!(
         out,
-        "{{\"kind\":\"header\",\"schema\":\"venice-telemetry-v1\",\"scenario\":\"{}\",\"seed\":{},\"tick_ps\":{},\"ring_cap\":{}}}",
+        "{{\"kind\":\"header\",\"schema\":\"venice-telemetry-v2\",\"scenario\":\"{}\",\"seed\":{},\"tick_ps\":{},\"ring_cap\":{}}}",
         scenario,
         seed,
         series.tick().as_ps(),
@@ -224,7 +224,7 @@ mod tests {
         let lines: Vec<&str> = jsonl.lines().collect();
         // header, counters, 1 sample, 1 closed span, 1 open span, end.
         assert_eq!(lines.len(), 6);
-        assert!(lines[0].contains("\"schema\":\"venice-telemetry-v1\""));
+        assert!(lines[0].contains("\"schema\":\"venice-telemetry-v2\""));
         assert!(lines[1].contains("\"label\":\"arrival\",\"count\":1"));
         assert!(lines[2].contains("\"t_ps\":10000000"));
         assert!(lines[3].contains("\"span\":\"establish\""));

@@ -25,7 +25,7 @@
 //!   counters ([`series`]), and sim-time spans over lease lifecycles
 //!   ([`spans`]), recorded onto a [`venice_sim::Timeline`].
 //!
-//! The [`export`] module renders a probe into the `venice-telemetry-v1`
+//! The [`export`] module renders a probe into the `venice-telemetry-v2`
 //! JSONL artifact; [`profile`] renders the same data as a human text
 //! report (the `venice-bench` `profile` bin drives both).
 //!

@@ -150,7 +150,13 @@ pub fn render_profile(scenario: &str, probe: &RecordingProbe, labels: &[&str]) -
         spans.open_len()
     )
     .unwrap();
-    const KINDS: [SpanKind; 3] = [SpanKind::Establish, SpanKind::Active, SpanKind::Teardown];
+    const KINDS: [SpanKind; 5] = [
+        SpanKind::Establish,
+        SpanKind::Active,
+        SpanKind::Teardown,
+        SpanKind::Fault,
+        SpanKind::Failover,
+    ];
     let mut durations: std::collections::BTreeMap<(usize, u16), Vec<u64>> =
         std::collections::BTreeMap::new();
     for (_, span) in spans.closed().iter() {

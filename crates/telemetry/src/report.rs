@@ -1,7 +1,7 @@
 //! The `venice-attrib-v1` JSONL artifact and the differential explain
 //! report.
 //!
-//! Like `venice-telemetry-v1` ([`crate::export_jsonl`]), the artifact
+//! Like `venice-telemetry-v2` ([`crate::export_jsonl`]), the artifact
 //! is hand-formatted with fixed key order and integer-only values, so
 //! identical folds render byte-identically at any thread count. Line
 //! kinds, in emission order:
@@ -224,16 +224,15 @@ pub fn export_attrib_jsonl(
             if sheds.iter().all(|&s| s == 0) {
                 continue;
             }
+            let mut reasons = String::new();
+            for (label, count) in SHED_LABELS.iter().zip(sheds) {
+                write!(reasons, ",\"{label}\":{count}").unwrap();
+            }
             writeln!(
                 out,
-                "{{\"kind\":\"shed\",\"run\":\"{label}\",\"tenant\":\"{}\",\"{}\":{},\"{}\":{},\"{}\":{}}}",
+                "{{\"kind\":\"shed\",\"run\":\"{label}\",\"tenant\":\"{}\"{}}}",
                 tenant_label(tenant_labels, t),
-                SHED_LABELS[0],
-                sheds[0],
-                SHED_LABELS[1],
-                sheds[1],
-                SHED_LABELS[2],
-                sheds[2]
+                reasons
             )
             .unwrap();
         }

@@ -21,6 +21,14 @@ pub enum SpanKind {
     Active,
     /// Revoke demand → donor memory actually reclaimed.
     Teardown,
+    /// Node crash → recovery: the whole outage window of one injected
+    /// fault (`node` is the crashed node; `generation` is the fault
+    /// plan's crash sequence number, not a lease id).
+    Fault,
+    /// Donor death → replacement lease established on a surviving
+    /// donor: the window a recipient ran degraded (`generation` is the
+    /// *lost* lease's id, correlating the span with the purge).
+    Failover,
 }
 
 impl SpanKind {
@@ -30,6 +38,8 @@ impl SpanKind {
             SpanKind::Establish => "establish",
             SpanKind::Active => "active",
             SpanKind::Teardown => "teardown",
+            SpanKind::Fault => "fault",
+            SpanKind::Failover => "failover",
         }
     }
 }
