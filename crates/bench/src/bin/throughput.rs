@@ -34,7 +34,9 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use venice_bench::{validate_perf, PerfEntry, PerfReport, PERF_SCHEMA};
+use venice_bench::{
+    validate_perf, PerfEntry, PerfReport, ScalingEntry, PERF_SCHEMA_V2, SCALING_WIDTHS,
+};
 use venice_loadgen::{elastic_v2, engine, legacy, scenarios, EngineMetrics, LoadgenConfig};
 
 /// Default timing iterations (best-of is kept).
@@ -105,6 +107,25 @@ fn grid() -> Vec<(&'static str, String, LoadgenConfig)> {
     out
 }
 
+/// Worker threads available to this recorder, stamped into the
+/// artifact: `RAYON_NUM_THREADS` if set (the workspace's rayon shim
+/// honors it on every parallel call), else the machine's available
+/// parallelism. The scaling gate on the committed artifact keys off
+/// this — a single-core recorder can only measure sharding overhead.
+fn worker_threads() -> u32 {
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(1)
+}
+
 /// One timed call of `f`, in milliseconds.
 fn time_once<T>(f: impl FnOnce() -> T) -> (f64, T) {
     let start = Instant::now();
@@ -169,6 +190,68 @@ fn measure(
         boxed_requests_per_sec: rps(boxed_wall_ms),
         speedup: boxed_wall_ms / typed_wall_ms,
     })
+}
+
+/// Measures the sharded kernel's scaling curve on one storm
+/// configuration: the same run at every width of [`SCALING_WIDTHS`]
+/// through `Run::shards(n)`, best-of-`iters` wall time per width.
+///
+/// Its own determinism gate rides along: every width's report is
+/// serialized and byte-compared against the single-shard report before
+/// the timing counts, so the curve can only record runs whose output is
+/// bit-identical to the sequential engine's.
+fn measure_scaling(
+    iters: u32,
+    family: &str,
+    label: &str,
+    config: &LoadgenConfig,
+) -> Result<Vec<ScalingEntry>, String> {
+    let mut walls = vec![f64::INFINITY; SCALING_WIDTHS.len()];
+    let mut reports = vec![None; SCALING_WIDTHS.len()];
+    let mut events = vec![0u64; SCALING_WIDTHS.len()];
+    // Interleave widths within each iteration for the same reason the
+    // typed/boxed pair interleaves: shared-machine noise degrades the
+    // whole curve instead of one width.
+    for _ in 0..iters {
+        for (i, &width) in SCALING_WIDTHS.iter().enumerate() {
+            let (wall, out) =
+                time_once(|| engine::Run::new(config).shards(width as usize).execute());
+            walls[i] = walls[i].min(wall);
+            events[i] = out.metrics.events;
+            reports[i] = Some(out.report);
+        }
+    }
+    let base_json =
+        serde_json::to_string(reports[0].as_ref().expect("iters >= 1")).expect("report serializes");
+    let mut curve = Vec::new();
+    for (i, &width) in SCALING_WIDTHS.iter().enumerate() {
+        let json = serde_json::to_string(reports[i].as_ref().expect("iters >= 1"))
+            .expect("report serializes");
+        if json != base_json {
+            return Err(format!(
+                "{family}/{label}: {width}-shard report diverged from single-shard \
+                 ({} bytes vs {} bytes)",
+                json.len(),
+                base_json.len()
+            ));
+        }
+        if events[i] != events[0] {
+            return Err(format!(
+                "{family}/{label}: {width}-shard run executed {} logical events, \
+                 single-shard executed {}",
+                events[i], events[0]
+            ));
+        }
+        curve.push(ScalingEntry {
+            family: family.to_string(),
+            label: label.to_string(),
+            shards: width,
+            wall_ms: walls[i],
+            events_per_sec: events[i] as f64 / (walls[i] / 1e3),
+            speedup_vs_single: if width == 1 { 1.0 } else { walls[0] / walls[i] },
+        });
+    }
+    Ok(curve)
 }
 
 fn check(path: &str) -> ExitCode {
@@ -240,11 +323,42 @@ fn main() -> ExitCode {
         }
     }
 
+    // The scaling curve: the first storm configuration at every shard
+    // width. One configuration is enough — the curve measures the
+    // parallel kernel, not the mix — and keeps the refresh affordable.
+    let mut scaling = Vec::new();
+    if let Some((family, label, mut config)) = grid().into_iter().next() {
+        if let Some(n) = args.requests {
+            config.requests = n;
+        }
+        match measure_scaling(args.iters, family, &label, &config) {
+            Ok(curve) => {
+                for point in &curve {
+                    println!(
+                        "scaling    {label:<18} {:>2} shards  {:>8.1} ms ({:>5.2} M ev/s)  \
+                         speedup {:.2}x",
+                        point.shards,
+                        point.wall_ms,
+                        point.events_per_sec / 1e6,
+                        point.speedup_vs_single,
+                    );
+                }
+                scaling.extend(curve);
+            }
+            Err(e) => {
+                eprintln!("throughput: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let report = PerfReport {
-        schema: PERF_SCHEMA.to_string(),
+        schema: PERF_SCHEMA_V2.to_string(),
         iters: args.iters,
         requests_override: args.requests,
         entries,
+        scaling,
+        threads: worker_threads(),
     };
     let problems = validate_perf(&report);
     if !problems.is_empty() {

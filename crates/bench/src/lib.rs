@@ -14,6 +14,15 @@ use venice::Figure;
 /// reject artifacts written by an incompatible harness version.
 pub const PERF_SCHEMA: &str = "venice-perf-v1";
 
+/// The v2 schema tag: identical to v1 plus a `scaling` section holding
+/// the sharded kernel's 1/2/4/8-shard curve on the storm family. The
+/// validator accepts both tags, but a v2 artifact must carry a
+/// complete curve (see [`SCALING_WIDTHS`]).
+pub const PERF_SCHEMA_V2: &str = "venice-perf-v2";
+
+/// Shard widths a v2 artifact's scaling curve must cover.
+pub const SCALING_WIDTHS: &[u32] = &[1, 2, 4, 8];
+
 /// Scenario families the wall-clock perf trajectory must cover. The
 /// `throughput` bin times each family on both event cores; a
 /// `BENCH_perf.json` missing a family fails validation, so the
@@ -52,10 +61,32 @@ pub struct PerfEntry {
     pub speedup: f64,
 }
 
+/// One point of the sharded kernel's scaling curve: the same storm
+/// configuration run through `Run::shards(n)` at one width. Every
+/// width's report is byte-diffed against the single-shard report
+/// before timing counts, so the curve can only measure runs that are
+/// bit-identical in output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingEntry {
+    /// Scenario family the curve was measured on (`storm`).
+    pub family: String,
+    /// Scenario label within the family (tenant mix).
+    pub label: String,
+    /// Shard width of this point (1 = the sequential engine).
+    pub shards: u32,
+    /// Best wall time at this width, milliseconds.
+    pub wall_ms: f64,
+    /// Logical events per wall-clock second at this width.
+    pub events_per_sec: f64,
+    /// `wall_ms(1 shard) / wall_ms(this width)` — wall-clock speedup
+    /// over the sequential engine (1.0 by definition at width 1).
+    pub speedup_vs_single: f64,
+}
+
 /// The whole `BENCH_perf.json` artifact.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfReport {
-    /// Must equal [`PERF_SCHEMA`].
+    /// [`PERF_SCHEMA`] or [`PERF_SCHEMA_V2`].
     pub schema: String,
     /// Timing iterations per scenario (best-of-N wall time is kept).
     pub iters: u32,
@@ -64,6 +95,14 @@ pub struct PerfReport {
     pub requests_override: Option<u64>,
     /// One row per timed scenario.
     pub entries: Vec<PerfEntry>,
+    /// Sharded-kernel scaling curve (v2; must be empty under v1).
+    pub scaling: Vec<ScalingEntry>,
+    /// Worker threads available to the recorder (`RAYON_NUM_THREADS`
+    /// if set, else the machine's available parallelism; v2). The
+    /// scaling curve is only expected to show wall-clock speedup when
+    /// this is ≥ 2 — a single-core recorder runs the shards
+    /// back-to-back and can only measure the sharding overhead.
+    pub threads: u32,
 }
 
 /// Validates a perf artifact: schema tag, every family of
@@ -75,11 +114,56 @@ pub struct PerfReport {
 /// full-scale artifact by the test suite instead.
 pub fn validate_perf(report: &PerfReport) -> Vec<String> {
     let mut problems = Vec::new();
-    if report.schema != PERF_SCHEMA {
-        problems.push(format!("schema `{}` is not `{PERF_SCHEMA}`", report.schema));
+    if report.schema != PERF_SCHEMA && report.schema != PERF_SCHEMA_V2 {
+        problems.push(format!(
+            "schema `{}` is neither `{PERF_SCHEMA}` nor `{PERF_SCHEMA_V2}`",
+            report.schema
+        ));
+    }
+    if report.schema == PERF_SCHEMA && !report.scaling.is_empty() {
+        problems.push("v1 artifact carries a scaling section (stamp v2)".to_string());
+    }
+    if report.schema == PERF_SCHEMA_V2 {
+        for &width in SCALING_WIDTHS {
+            if !report
+                .scaling
+                .iter()
+                .any(|s| s.family == "storm" && s.shards == width)
+            {
+                problems.push(format!("scaling curve missing storm width {width}"));
+            }
+        }
+        for s in &report.scaling {
+            let tag = format!("scaling {}/{} @{}", s.family, s.label, s.shards);
+            if s.shards == 0 {
+                problems.push(format!("{tag}: zero shard width"));
+            }
+            for (name, x) in [
+                ("wall_ms", s.wall_ms),
+                ("events_per_sec", s.events_per_sec),
+                ("speedup_vs_single", s.speedup_vs_single),
+            ] {
+                if !(x.is_finite() && x > 0.0) {
+                    problems.push(format!("{tag}: {name} = {x} is not positive finite"));
+                }
+            }
+            // No speedup floor here for the same reason as the typed/
+            // boxed speedup: smoke runs on loaded machines time
+            // whatever they time. The committed artifact's floor is
+            // asserted by the test suite.
+            if s.shards == 1 && (s.speedup_vs_single - 1.0).abs() > 1e-9 {
+                problems.push(format!(
+                    "{tag}: width 1 must define speedup 1.0, got {}",
+                    s.speedup_vs_single
+                ));
+            }
+        }
     }
     if report.iters == 0 {
         problems.push("iters is zero".to_string());
+    }
+    if report.threads == 0 {
+        problems.push("threads is zero (record the worker count)".to_string());
     }
     for &family in PERF_FAMILIES {
         if !report.entries.iter().any(|e| e.family == family) {
@@ -613,6 +697,17 @@ mod tests {
         }
     }
 
+    fn scaling_entry(shards: u32) -> ScalingEntry {
+        ScalingEntry {
+            family: "storm".to_string(),
+            label: "web-frontend".to_string(),
+            shards,
+            wall_ms: 100.0 / shards as f64,
+            events_per_sec: 250_000.0 * shards as f64,
+            speedup_vs_single: shards as f64,
+        }
+    }
+
     #[test]
     fn perf_validation_accepts_a_sane_artifact_and_round_trips() {
         let report = PerfReport {
@@ -623,12 +718,72 @@ mod tests {
                 perf_entry("storm", "web-frontend"),
                 perf_entry("elastic-v2", "venice-predictive"),
             ],
+            scaling: Vec::new(),
+            threads: 8,
         };
         assert!(validate_perf(&report).is_empty());
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: PerfReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
         assert!(validate_perf(&back).is_empty());
+    }
+
+    #[test]
+    fn perf_validation_accepts_a_v2_artifact_with_a_full_curve() {
+        let report = PerfReport {
+            schema: PERF_SCHEMA_V2.to_string(),
+            iters: 3,
+            requests_override: None,
+            entries: vec![
+                perf_entry("storm", "web-frontend"),
+                perf_entry("elastic-v2", "venice-predictive"),
+            ],
+            scaling: SCALING_WIDTHS.iter().map(|&w| scaling_entry(w)).collect(),
+            threads: 8,
+        };
+        assert_eq!(validate_perf(&report), Vec::<String>::new());
+        // A v2 artifact round-trips through JSON with its curve intact.
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn perf_validation_catches_scaling_curve_problems() {
+        let good = PerfReport {
+            schema: PERF_SCHEMA_V2.to_string(),
+            iters: 3,
+            requests_override: None,
+            entries: vec![
+                perf_entry("storm", "web-frontend"),
+                perf_entry("elastic-v2", "venice-predictive"),
+            ],
+            scaling: SCALING_WIDTHS.iter().map(|&w| scaling_entry(w)).collect(),
+            threads: 8,
+        };
+        assert!(validate_perf(&good).is_empty());
+        // Dropping a width from the curve fails.
+        let mut short = good.clone();
+        short.scaling.retain(|s| s.shards != 4);
+        assert!(validate_perf(&short)
+            .iter()
+            .any(|p| p.contains("missing storm width 4")));
+        // A v1 artifact must not carry a curve.
+        let mut v1 = good.clone();
+        v1.schema = PERF_SCHEMA.to_string();
+        assert!(validate_perf(&v1).iter().any(|p| p.contains("stamp v2")));
+        // Non-positive wall time fails.
+        let mut wall = good.clone();
+        wall.scaling[1].wall_ms = 0.0;
+        assert!(validate_perf(&wall)
+            .iter()
+            .any(|p| p.contains("wall_ms") && p.contains("@2")));
+        // Width 1 must define speedup exactly 1.0.
+        let mut base = good;
+        base.scaling[0].speedup_vs_single = 1.2;
+        assert!(validate_perf(&base)
+            .iter()
+            .any(|p| p.contains("width 1 must define speedup 1.0")));
     }
 
     #[test]
@@ -641,6 +796,8 @@ mod tests {
                 perf_entry("storm", "web-frontend"),
                 perf_entry("elastic-v2", "venice-predictive"),
             ],
+            scaling: Vec::new(),
+            threads: 8,
         };
         // Dropping a family fails.
         let mut dropped = good.clone();
@@ -705,6 +862,43 @@ mod tests {
                 e.speedup
             );
             assert!(e.typed_events_per_sec >= 1.5 * e.boxed_events_per_sec);
+        }
+        // The committed artifact is v2: it must carry the sharded
+        // kernel's full scaling curve. When the recording machine had
+        // ≥ 2 worker threads, every parallel width must actually beat
+        // the sequential engine; a single-core recorder runs the shard
+        // workers back-to-back, so there the curve can only pin the
+        // overhead bound — the two-phase split must stay within 25% of
+        // sequential (byte-identity is gated unconditionally, in the
+        // bin and in the conformance suites).
+        assert_eq!(report.schema, PERF_SCHEMA_V2, "committed artifact is v2");
+        for &width in SCALING_WIDTHS {
+            let point = report
+                .scaling
+                .iter()
+                .find(|s| s.family == "storm" && s.shards == width)
+                .unwrap_or_else(|| panic!("scaling curve has storm width {width}"));
+            if width < 2 {
+                continue;
+            }
+            if report.threads >= 2 {
+                assert!(
+                    point.speedup_vs_single > 1.0,
+                    "storm @{} shards: speedup {:.2} does not beat sequential \
+                     on a {}-thread recorder",
+                    width,
+                    point.speedup_vs_single,
+                    report.threads
+                );
+            } else {
+                assert!(
+                    point.speedup_vs_single > 0.75,
+                    "storm @{} shards: {:.2}x on a single-core recorder — the \
+                     sharding overhead exceeded the 25% bound",
+                    width,
+                    point.speedup_vs_single
+                );
+            }
         }
     }
 

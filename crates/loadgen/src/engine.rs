@@ -163,15 +163,15 @@ pub struct EngineMetrics {
 /// per-class tables on the world, not here — the slab entry stays at
 /// 48 bytes.
 #[derive(Debug, Clone, Copy)]
-struct Request {
-    seq: u64,
-    class: u32,
-    user: u64,
-    node: u16,
-    arrival: Time,
-    service: Time,
+pub(crate) struct Request {
+    pub(crate) seq: u64,
+    pub(crate) class: u32,
+    pub(crate) user: u64,
+    pub(crate) node: u16,
+    pub(crate) arrival: Time,
+    pub(crate) service: Time,
     /// Newest lease generation on the serving node at arrival.
-    generation: u64,
+    pub(crate) generation: u64,
 }
 
 /// Free-list slab pooling in-flight [`Request`] state.
@@ -181,13 +181,13 @@ struct Request {
 /// slot index. Freed slots are reused LIFO, so the slab stops growing
 /// once it reaches the peak in-flight population and the steady state
 /// allocates nothing.
-struct RequestSlab {
+pub(crate) struct RequestSlab {
     entries: Vec<Request>,
     free: Vec<u32>,
 }
 
 impl RequestSlab {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         RequestSlab {
             entries: Vec::new(),
             free: Vec::new(),
@@ -196,7 +196,7 @@ impl RequestSlab {
 
     /// Stores `req`, returning its slot.
     #[inline]
-    fn insert(&mut self, req: Request) -> u32 {
+    pub(crate) fn insert(&mut self, req: Request) -> u32 {
         match self.free.pop() {
             Some(slot) => {
                 self.entries[slot as usize] = req;
@@ -212,13 +212,13 @@ impl RequestSlab {
 
     /// Shared access to the request in `slot`.
     #[inline]
-    fn get(&self, slot: u32) -> &Request {
+    pub(crate) fn get(&self, slot: u32) -> &Request {
         &self.entries[slot as usize]
     }
 
     /// Removes and returns the request in `slot`, freeing it for reuse.
     #[inline]
-    fn take(&mut self, slot: u32) -> Request {
+    pub(crate) fn take(&mut self, slot: u32) -> Request {
         self.free.push(slot);
         self.entries[slot as usize]
     }
@@ -254,56 +254,56 @@ struct ReqAttrib {
 }
 
 /// Per-node server state.
-struct Server {
+pub(crate) struct Server {
     /// Edge-gateway → node messaging channel (finite credits).
-    qp: QueuePair,
+    pub(crate) qp: QueuePair,
     /// Busy-until time of each service slot.
-    slots: Vec<Time>,
+    pub(crate) slots: Vec<Time>,
     /// Slab slots of requests waiting for a QPair credit.
-    backlog: VecDeque<u32>,
+    pub(crate) backlog: VecDeque<u32>,
     /// Measured latency context (mutated mid-run by elastic leases).
-    model: NodeModel,
+    pub(crate) model: NodeModel,
     /// Times a request found no credit and had to wait (or was shed).
-    credit_waits: u64,
+    pub(crate) credit_waits: u64,
     /// Dispatched-but-not-finished requests per tenant class; together
     /// with the backlog this is the demand signal lease attribution
     /// reads (the grow trigger counts busy slots, so attribution must
     /// see in-service work too, not just the backlog).
-    inflight_by_class: Vec<u32>,
+    pub(crate) inflight_by_class: Vec<u32>,
     /// Precomputed gateway→node QPair message latency per tenant class
     /// (request payload sizes are class constants, and the latency model
     /// is state-free — hoisting it off the dispatch path is pure
     /// savings).
-    msg_lat_by_class: Vec<Time>,
+    pub(crate) msg_lat_by_class: Vec<Time>,
     /// Each tenant class's service model compiled against this node's
     /// current [`NodeModel`] ([`RequestProfile::compile`]); recompiled
     /// whenever a lease event moves the node's remote tier.
     ///
     /// [`RequestProfile::compile`]: crate::tenants::RequestProfile::compile
-    service_by_class: Vec<CompiledService>,
+    pub(crate) service_by_class: Vec<CompiledService>,
     /// Each class's remote-share model compiled against the same
     /// [`NodeModel`] ([`RequestProfile::compile_attrib`]); empty unless
     /// the probe is enabled, recompiled alongside `service_by_class`.
     ///
     /// [`RequestProfile::compile_attrib`]: crate::tenants::RequestProfile::compile_attrib
-    attrib_by_class: Vec<CompiledAttrib>,
+    pub(crate) attrib_by_class: Vec<CompiledAttrib>,
 }
 
 /// Per-tenant accumulators.
-struct Stats {
-    hist: LogHistogram,
-    bytes: u64,
-    admitted: u64,
-    shed_rate: u64,
-    shed_overload: u64,
-    shed_backpressure: u64,
+pub(crate) struct Stats {
+    pub(crate) hist: LogHistogram,
+    pub(crate) bytes: u64,
+    pub(crate) admitted: u64,
+    pub(crate) shed_rate: u64,
+    pub(crate) shed_overload: u64,
+    pub(crate) shed_backpressure: u64,
     /// Requests lost to an injected node crash (stays 0 unless a fault
     /// plan is armed).
-    shed_crash: u64,
+    pub(crate) shed_crash: u64,
 }
 
 impl Stats {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Stats {
             hist: LogHistogram::new(),
             bytes: 0,
@@ -318,7 +318,7 @@ impl Stats {
     /// Books one completion in a single call: latency into the histogram,
     /// payload bytes into the goodput ledger.
     #[inline]
-    fn on_complete(&mut self, latency: Time, bytes: u64) {
+    pub(crate) fn on_complete(&mut self, latency: Time, bytes: u64) {
         self.hist.record(latency);
         self.bytes += bytes;
     }
@@ -1968,6 +1968,7 @@ pub struct Run<'c, 't, P: Probe = NoopProbe> {
     traced: bool,
     replay: Option<&'t Trace>,
     faults: Option<FaultPlan>,
+    shards: usize,
 }
 
 impl<'c> Run<'c, 'static, NoopProbe> {
@@ -1979,6 +1980,7 @@ impl<'c> Run<'c, 'static, NoopProbe> {
             traced: false,
             replay: None,
             faults: None,
+            shards: 1,
         }
     }
 }
@@ -1996,6 +1998,7 @@ impl<'c, 't, P: Probe> Run<'c, 't, P> {
             traced: self.traced,
             replay: self.replay,
             faults: self.faults,
+            shards: self.shards,
         }
     }
 
@@ -2037,7 +2040,27 @@ impl<'c, 't, P: Probe> Run<'c, 't, P> {
             traced: self.traced,
             replay: Some(trace),
             faults: self.faults,
+            shards: self.shards,
         }
+    }
+
+    /// Runs the simulation as `n` per-node-group shards on worker
+    /// threads, synchronizing at conservative lookahead barriers
+    /// ([`venice_sim::shard`]). Output is **byte-identical** to the
+    /// default single-shard run for every configuration — the gate the
+    /// `prop_sharded` suite and the CI scaling job enforce — so the only
+    /// observable difference is wall clock.
+    ///
+    /// Shard counts are clamped to the node count; `n <= 1` selects the
+    /// sequential engine exactly as if this arm were never called.
+    /// Configurations whose cross-shard interactions leave no safe
+    /// lookahead window (elastic leases, modeled fabric paths, fault
+    /// plans, closed-loop sessions, probes, replay) also execute
+    /// sequentially rather than approximately — byte-identity is never
+    /// traded for speed.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
     }
 
     /// Executes the run.
@@ -2059,13 +2082,24 @@ impl<'c, 't, P: Probe> Run<'c, 't, P> {
                 );
             }
         }
-        let (report, trace, metrics, probe) = run_full(
-            self.config,
-            self.replay,
-            self.traced,
-            self.probe,
-            self.faults,
-        );
+        let (report, trace, metrics, probe) = if self.shards > 1 {
+            crate::sharded::run_sharded_or_sequential(
+                self.config,
+                self.replay,
+                self.traced,
+                self.probe,
+                self.faults,
+                self.shards,
+            )
+        } else {
+            run_full(
+                self.config,
+                self.replay,
+                self.traced,
+                self.probe,
+                self.faults,
+            )
+        };
         RunOutput {
             report,
             trace,
@@ -2133,12 +2167,290 @@ pub fn replay(config: &LoadgenConfig, trace: &Trace) -> LoadReport {
     Run::new(config).replay(trace).execute().report
 }
 
+/// Topology and per-node transport built once at setup: the composed
+/// cluster, its mesh adjacency, one gateway→node [`QueuePair`] per
+/// node, each pair's 64 B control-message latency, and the per-(node,
+/// tenant class) request-message latency table. Extracted so the
+/// sequential engine and the sharded driver ([`crate::sharded`]) build
+/// their worlds through the **same** code — the two can never drift.
+pub(crate) struct Transport {
+    pub(crate) cluster: Cluster,
+    pub(crate) neighbors: Vec<Vec<u16>>,
+    pub(crate) qps: Vec<QueuePair>,
+    pub(crate) qpair_lat: Vec<Time>,
+    pub(crate) msg_lat: Vec<Vec<Time>>,
+}
+
+/// Builds the cluster and the per-node transport (steps 1–2 of a run).
+///
+/// # Panics
+///
+/// Panics if the mesh is empty or exceeds the `u16` `NodeId` space.
+pub(crate) fn build_transport(config: &LoadgenConfig) -> Transport {
+    let (dx, dy, dz) = config.mesh;
+    let cluster = Cluster::mesh(dx, dy, dz, 1 << 30, LENDABLE_PER_NODE);
+    let n = cluster.len();
+    let neighbors: Vec<Vec<u16>> = cluster
+        .nodes
+        .iter()
+        .map(|node| node.agent.neighbors.iter().map(|id| id.0).collect())
+        .collect();
+    let gateway = NodeId(0);
+    let path = cluster.path.clone();
+    let mut qpair_lat = Vec::with_capacity(n);
+    let mut qps = Vec::with_capacity(n);
+    let mut msg_lat = Vec::with_capacity(n);
+    for i in 0..n as u16 {
+        let mut qp = QueuePair::new(gateway, NodeId(i), QpairConfig::on_chip());
+        qpair_lat.push(
+            qp.message_latency(&path, 64)
+                .expect("64 B control message fits any qpair"),
+        );
+        msg_lat.push(
+            config
+                .mix
+                .classes
+                .iter()
+                .map(|class| {
+                    qp.message_latency(&path, class.profile.request_bytes())
+                        .expect("request payloads are bounded")
+                })
+                .collect::<Vec<Time>>(),
+        );
+        qps.push(qp);
+    }
+    Transport {
+        cluster,
+        neighbors,
+        qps,
+        qpair_lat,
+        msg_lat,
+    }
+}
+
+/// Provisions the remote tier for a **static** (non-elastic) run: the
+/// PR 1 one-shot borrow flow for the Venice stack, or a pre-partitioned
+/// tier at the baseline stack's per-miss cost. Returns the per-node
+/// models plus the `(remote_leases, borrow_failures)` counters.
+///
+/// # Panics
+///
+/// Panics if the config carries an elastic lease policy — the elastic
+/// bootstrap stays inline in the sequential engine.
+pub(crate) fn provision_static<M: RemoteModel>(
+    config: &LoadgenConfig,
+    cluster: &mut Cluster,
+    qpair_lat: &[Time],
+    remote: &mut M,
+) -> (Vec<NodeModel>, u64, u64) {
+    assert!(config.lease.is_none(), "static provisioning only");
+    let n = cluster.len();
+    let mut remote_leases = 0u64;
+    let mut borrow_failures = 0u64;
+    let mut models = Vec::with_capacity(n);
+    match config.stack {
+        RemoteStack::VeniceCrma => {
+            // Static: the PR 1 one-shot provisioning path. The donor
+            // pressure term is a lease-policy knob, so static tiers
+            // model lending as free (as they always have).
+            for id in 0..n as u16 {
+                let model = if config.remote_memory_per_node > 0 {
+                    match cluster.borrow_memory(NodeId(id), config.remote_memory_per_node) {
+                        Ok(lease) => {
+                            let lat = measure_crma(cluster, NodeId(id), lease.local_base);
+                            remote_leases += 1;
+                            if M::ENABLED {
+                                remote.set_route(id as usize, Some(lease.donor.0));
+                            }
+                            NodeModel {
+                                local_miss: LOCAL_MISS,
+                                remote_miss: lat,
+                                remote_bytes: lease.bytes,
+                                full_bytes: lease.bytes,
+                                lent_bytes: 0,
+                                lendable_bytes: LENDABLE_PER_NODE,
+                                lent_slowdown: 0.0,
+                            }
+                        }
+                        Err(_) => {
+                            borrow_failures += 1;
+                            NodeModel::local_only(LOCAL_MISS)
+                        }
+                    }
+                } else {
+                    NodeModel::local_only(LOCAL_MISS)
+                };
+                models.push(model);
+            }
+        }
+        stack => {
+            // A baseline stack: a static remote partition reached through
+            // the commodity path's per-miss cost — no Monitor-Node flow,
+            // no hot-plug, identical traffic.
+            for &qp_lat in qpair_lat {
+                let model = if config.remote_memory_per_node > 0 {
+                    NodeModel {
+                        local_miss: LOCAL_MISS,
+                        remote_miss: stack.remote_miss(Time::ZERO, qp_lat),
+                        remote_bytes: config.remote_memory_per_node,
+                        full_bytes: config.remote_memory_per_node,
+                        lent_bytes: 0,
+                        lendable_bytes: 0,
+                        lent_slowdown: 0.0,
+                    }
+                } else {
+                    NodeModel::local_only(LOCAL_MISS)
+                };
+                models.push(model);
+            }
+        }
+    }
+    (models, remote_leases, borrow_failures)
+}
+
+/// Assembles the per-node [`Server`]s: transport pair, service slots,
+/// and each tenant class's service model compiled against the node's
+/// provisioned [`NodeModel`] (step 4 of a run).
+pub(crate) fn build_servers(
+    config: &LoadgenConfig,
+    qps: Vec<QueuePair>,
+    models: &[NodeModel],
+    msg_lat: Vec<Vec<Time>>,
+    attrib: bool,
+) -> Vec<Server> {
+    qps.into_iter()
+        .zip(models)
+        .zip(msg_lat)
+        .map(|((qp, &model), msg_lat_by_class)| Server {
+            qp,
+            slots: vec![Time::ZERO; config.per_node_concurrency as usize],
+            backlog: VecDeque::new(),
+            model,
+            credit_waits: 0,
+            inflight_by_class: vec![0; config.mix.classes.len()],
+            msg_lat_by_class,
+            service_by_class: config
+                .mix
+                .classes
+                .iter()
+                .map(|class| class.profile.compile(&model))
+                .collect(),
+            attrib_by_class: if attrib {
+                config
+                    .mix
+                    .classes
+                    .iter()
+                    .map(|class| class.profile.compile_attrib(&model))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+        })
+        .collect()
+}
+
+/// The lease summary of a static (never-changing) remote tier.
+pub(crate) fn static_lease_summary(
+    config: &LoadgenConfig,
+    servers: &[Server],
+    borrow_failures: u64,
+) -> LeaseSummary {
+    // A static tier never changes after setup, so the models still hold
+    // exactly what was provisioned — including the power-of-two
+    // rounding the borrow flow applies, which the configured
+    // `remote_memory_per_node` would understate.
+    let granted: u64 = servers.iter().map(|s| s.model.remote_bytes).sum();
+    // Only the Venice stack actually borrows: baseline stacks mount a
+    // pre-partitioned tier without the Monitor-Node flow, so their
+    // summary shows the provisioned footprint (peak/mean) but zero
+    // lease activity.
+    let grows = if config.stack == RemoteStack::VeniceCrma {
+        servers.iter().filter(|s| s.model.has_remote()).count() as u64
+    } else {
+        0
+    };
+    LeaseSummary {
+        denials: borrow_failures,
+        ..LeaseSummary::static_tier(grows, granted)
+    }
+}
+
+/// Rolls the per-tenant accumulators up into the final [`LoadReport`]
+/// (step 6 of a run). Both the sequential engine and the sharded driver
+/// summarize through this one function, so a report field added later
+/// cannot be aggregated two different ways.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_report(
+    config: &LoadgenConfig,
+    nodes: u16,
+    duration: Time,
+    issued: u64,
+    completed: u64,
+    credit_waits: u64,
+    remote_leases: u64,
+    borrow_failures: u64,
+    lease: LeaseSummary,
+    classes: &[TenantClass],
+    stats: &[Stats],
+) -> LoadReport {
+    let mut total_hist = LogHistogram::new();
+    let mut total_bytes = 0u64;
+    let mut admitted = 0u64;
+    let (mut shed_rate, mut shed_overload, mut shed_backpressure, mut shed_crash) =
+        (0u64, 0u64, 0u64, 0u64);
+    let mut tenants = Vec::with_capacity(classes.len());
+    for (class, st) in classes.iter().zip(stats) {
+        total_hist.merge(&st.hist);
+        total_bytes += st.bytes;
+        admitted += st.admitted;
+        shed_rate += st.shed_rate;
+        shed_overload += st.shed_overload;
+        shed_backpressure += st.shed_backpressure;
+        shed_crash += st.shed_crash;
+        tenants.push(TenantReport::from_stats(
+            class.name.clone(),
+            &st.hist,
+            st.admitted,
+            st.shed_rate + st.shed_overload + st.shed_backpressure + st.shed_crash,
+            st.bytes,
+            duration,
+        ));
+    }
+    let total = TenantReport::from_stats(
+        "all",
+        &total_hist,
+        admitted,
+        shed_rate + shed_overload + shed_backpressure + shed_crash,
+        total_bytes,
+        duration,
+    );
+    LoadReport {
+        mix: config.mix.name.clone(),
+        seed: config.seed,
+        nodes,
+        duration,
+        issued,
+        admitted,
+        completed,
+        shed_rate,
+        shed_overload,
+        shed_backpressure,
+        shed_crash,
+        credit_waits,
+        remote_leases,
+        borrow_failures,
+        lease,
+        total,
+        tenants,
+    }
+}
+
 /// Arms the configured [`RemoteModel`] and monomorphizes the engine
 /// over it — the scalar path instantiates with [`ScalarCrma`]
 /// (`ENABLED = false`, every fabric hook compiled away), the congested
 /// path compiles the mesh's all-pairs path table and per-class wire
 /// footprints once and instantiates with [`CongestedFabric`].
-fn run_full<P: Probe>(
+pub(crate) fn run_full<P: Probe>(
     config: &LoadgenConfig,
     replay_trace: Option<&Trace>,
     capture: bool,
@@ -2179,7 +2491,6 @@ fn run_typed<P: Probe, M: RemoteModel, F: FaultModel>(
     assert!(config.requests > 0, "need at least one request");
     assert!(config.per_node_concurrency > 0, "need at least one slot");
     config.arrival.validate();
-    let (dx, dy, dz) = config.mesh;
     // Overflow-checked and bounded to the NodeId space; panics with a
     // clear message on a degenerate or oversized mesh.
     assert!(config.nodes() > 0, "mesh must be non-empty");
@@ -2191,49 +2502,23 @@ fn run_typed<P: Probe, M: RemoteModel, F: FaultModel>(
         );
     }
 
-    // 1. Build the cluster; record mesh adjacency for locality routing.
-    let mut cluster = Cluster::mesh(dx, dy, dz, 1 << 30, LENDABLE_PER_NODE);
+    // 1–2. Build the cluster, mesh adjacency, and per-node transport
+    //    (the extracted [`build_transport`], shared with the sharded
+    //    driver). The per-class request-message latency is precomputed
+    //    once — payload sizes are class constants and the latency model
+    //    is state-free, so the dispatch path just indexes it.
+    let Transport {
+        mut cluster,
+        neighbors,
+        qps,
+        qpair_lat,
+        msg_lat,
+    } = build_transport(config);
     let n = cluster.len();
     if F::ENABLED {
         // Sizes liveness state and rejects plans naming nodes outside
         // the mesh, before any event fires.
         faults.init(n as u16);
-    }
-    let neighbors: Vec<Vec<u16>> = cluster
-        .nodes
-        .iter()
-        .map(|node| node.agent.neighbors.iter().map(|id| id.0).collect())
-        .collect();
-
-    // 2. Build the per-node transport and measure each stack's per-miss
-    //    latency ingredients (a 64 B QPair message for the soNUMA-style
-    //    stack; CRMA reads are measured at borrow time). The per-class
-    //    request-message latency is precomputed here once — payload sizes
-    //    are class constants and the latency model is state-free, so the
-    //    dispatch path just indexes it.
-    let gateway = NodeId(0);
-    let path = cluster.path.clone();
-    let mut qpair_lat = Vec::with_capacity(n);
-    let mut qps = Vec::with_capacity(n);
-    let mut msg_lat = Vec::with_capacity(n);
-    for i in 0..n as u16 {
-        let mut qp = QueuePair::new(gateway, NodeId(i), QpairConfig::on_chip());
-        qpair_lat.push(
-            qp.message_latency(&path, 64)
-                .expect("64 B control message fits any qpair"),
-        );
-        msg_lat.push(
-            config
-                .mix
-                .classes
-                .iter()
-                .map(|class| {
-                    qp.message_latency(&path, class.profile.request_bytes())
-                        .expect("request payloads are bounded")
-                })
-                .collect::<Vec<Time>>(),
-        );
-        qps.push(qp);
     }
 
     // 3. Provision the remote tier.
@@ -2320,95 +2605,22 @@ fn run_typed<P: Probe, M: RemoteModel, F: FaultModel>(
             }
             elastic = Some(tier);
         }
-        (None, RemoteStack::VeniceCrma) => {
-            // Static: the PR 1 one-shot provisioning path. The donor
-            // pressure term is a lease-policy knob, so static tiers
-            // model lending as free (as they always have).
-            for id in 0..n as u16 {
-                let model = if config.remote_memory_per_node > 0 {
-                    match cluster.borrow_memory(NodeId(id), config.remote_memory_per_node) {
-                        Ok(lease) => {
-                            let lat = measure_crma(&mut cluster, NodeId(id), lease.local_base);
-                            remote_leases += 1;
-                            if M::ENABLED {
-                                remote.set_route(id as usize, Some(lease.donor.0));
-                            }
-                            NodeModel {
-                                local_miss: LOCAL_MISS,
-                                remote_miss: lat,
-                                remote_bytes: lease.bytes,
-                                full_bytes: lease.bytes,
-                                lent_bytes: 0,
-                                lendable_bytes: LENDABLE_PER_NODE,
-                                lent_slowdown: 0.0,
-                            }
-                        }
-                        Err(_) => {
-                            borrow_failures += 1;
-                            NodeModel::local_only(LOCAL_MISS)
-                        }
-                    }
-                } else {
-                    NodeModel::local_only(LOCAL_MISS)
-                };
-                models.push(model);
-            }
-        }
-        (None, stack) => {
-            // A baseline stack: a static remote partition reached through
-            // the commodity path's per-miss cost — no Monitor-Node flow,
-            // no hot-plug, identical traffic.
-            for &qp_lat in &qpair_lat {
-                let model = if config.remote_memory_per_node > 0 {
-                    NodeModel {
-                        local_miss: LOCAL_MISS,
-                        remote_miss: stack.remote_miss(Time::ZERO, qp_lat),
-                        remote_bytes: config.remote_memory_per_node,
-                        full_bytes: config.remote_memory_per_node,
-                        lent_bytes: 0,
-                        lendable_bytes: 0,
-                        lent_slowdown: 0.0,
-                    }
-                } else {
-                    NodeModel::local_only(LOCAL_MISS)
-                };
-                models.push(model);
-            }
+        (None, _) => {
+            // Static provisioning (the extracted [`provision_static`],
+            // shared with the sharded driver): the one-shot borrow flow
+            // for the Venice stack, or a pre-partitioned baseline tier.
+            let (m, leases, failures) =
+                provision_static(config, &mut cluster, &qpair_lat, &mut remote);
+            models = m;
+            remote_leases = leases;
+            borrow_failures = failures;
         }
         (Some(_), _) => unreachable!("asserted above"),
     }
 
-    // 4. Assemble the world.
-    let servers: Vec<Server> = qps
-        .into_iter()
-        .zip(&models)
-        .zip(msg_lat)
-        .map(|((qp, &model), msg_lat_by_class)| Server {
-            qp,
-            slots: vec![Time::ZERO; config.per_node_concurrency as usize],
-            backlog: VecDeque::new(),
-            model,
-            credit_waits: 0,
-            inflight_by_class: vec![0; config.mix.classes.len()],
-            msg_lat_by_class,
-            service_by_class: config
-                .mix
-                .classes
-                .iter()
-                .map(|class| class.profile.compile(&model))
-                .collect(),
-            attrib_by_class: if P::ATTRIB {
-                config
-                    .mix
-                    .classes
-                    .iter()
-                    .map(|class| class.profile.compile_attrib(&model))
-                    .collect()
-            } else {
-                Vec::new()
-            },
-        })
-        .collect();
+    // 4. Assemble the world (the extracted [`build_servers`], shared
+    //    with the sharded driver).
+    let servers: Vec<Server> = build_servers(config, qps, &models, msg_lat, P::ATTRIB);
     let mut rng = SimRng::seed(config.seed);
     let engine_rng = rng.fork(0x10AD);
     let service_rng = rng.fork(0x5E41);
@@ -2558,37 +2770,6 @@ fn run_typed<P: Probe, M: RemoteModel, F: FaultModel>(
     // 6. Summarize.
     let w = kernel.into_state();
     let duration = w.end;
-    let mut total_hist = LogHistogram::new();
-    let mut total_bytes = 0u64;
-    let mut admitted = 0u64;
-    let (mut shed_rate, mut shed_overload, mut shed_backpressure, mut shed_crash) =
-        (0u64, 0u64, 0u64, 0u64);
-    let mut tenants = Vec::with_capacity(w.classes.len());
-    for (class, st) in w.classes.iter().zip(&w.stats) {
-        total_hist.merge(&st.hist);
-        total_bytes += st.bytes;
-        admitted += st.admitted;
-        shed_rate += st.shed_rate;
-        shed_overload += st.shed_overload;
-        shed_backpressure += st.shed_backpressure;
-        shed_crash += st.shed_crash;
-        tenants.push(TenantReport::from_stats(
-            class.name.clone(),
-            &st.hist,
-            st.admitted,
-            st.shed_rate + st.shed_overload + st.shed_backpressure + st.shed_crash,
-            st.bytes,
-            duration,
-        ));
-    }
-    let total = TenantReport::from_stats(
-        "all",
-        &total_hist,
-        admitted,
-        shed_rate + shed_overload + shed_backpressure + shed_crash,
-        total_bytes,
-        duration,
-    );
     let lease = match &w.elastic {
         Some(tier) => {
             // Conservation, checked against the *cluster's* ledger: every
@@ -2631,26 +2812,7 @@ fn run_typed<P: Probe, M: RemoteModel, F: FaultModel>(
                 events: tier.manager.timeline().iter().map(|(_, e)| *e).collect(),
             }
         }
-        None => {
-            // A static tier never changes after setup, so the models
-            // still hold exactly what was provisioned — including the
-            // power-of-two rounding the borrow flow applies, which the
-            // configured `remote_memory_per_node` would understate.
-            let granted: u64 = w.servers.iter().map(|s| s.model.remote_bytes).sum();
-            // Only the Venice stack actually borrows: baseline stacks
-            // mount a pre-partitioned tier without the Monitor-Node
-            // flow, so their summary shows the provisioned footprint
-            // (peak/mean) but zero lease activity.
-            let grows = if config.stack == RemoteStack::VeniceCrma {
-                w.servers.iter().filter(|s| s.model.has_remote()).count() as u64
-            } else {
-                0
-            };
-            LeaseSummary {
-                denials: borrow_failures,
-                ..LeaseSummary::static_tier(grows, granted)
-            }
-        }
+        None => static_lease_summary(config, &w.servers, borrow_failures),
     };
     let trace = w.trace.map(|mut records| {
         // Completions land in finish order; re-sort to issue order so the
@@ -2658,25 +2820,19 @@ fn run_typed<P: Probe, M: RemoteModel, F: FaultModel>(
         records.sort_by_key(|r| r.seq);
         Trace { records }
     });
-    let report = LoadReport {
-        mix: config.mix.name.clone(),
-        seed: config.seed,
-        nodes: n as u16,
+    let report = assemble_report(
+        config,
+        n as u16,
         duration,
-        issued: w.issued,
-        admitted,
-        completed: w.completed,
-        shed_rate,
-        shed_overload,
-        shed_backpressure,
-        shed_crash,
-        credit_waits: w.servers.iter().map(|s| s.credit_waits).sum(),
+        w.issued,
+        w.completed,
+        w.servers.iter().map(|s| s.credit_waits).sum(),
         remote_leases,
         borrow_failures,
         lease,
-        total,
-        tenants,
-    };
+        &w.classes,
+        &w.stats,
+    );
     (report, trace, metrics, w.probe)
 }
 

@@ -84,6 +84,7 @@ pub mod legacy;
 pub mod remote;
 pub mod report;
 pub mod scenarios;
+mod sharded;
 pub mod stacks;
 pub mod sweep;
 pub mod telemetry;

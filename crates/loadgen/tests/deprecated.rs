@@ -1,0 +1,130 @@
+//! Regression: the `#[deprecated]` free-function entry points are
+//! frozen façades over the [`Run`] builder — each must produce output
+//! **byte-identical** to its documented replacement chain, on both a
+//! plain open-loop configuration and an elastic bursty one.
+//!
+//! The builder is the single way of running the engine; the wrappers
+//! survive only for source compatibility. If one ever drifts (a missed
+//! default, a reordered side effect), this file is the tripwire — the
+//! in-crate unit test covers `PartialEq`, this one pins the serialized
+//! bytes that CI artifacts and the conformance harness compare.
+//!
+//! [`Run`]: venice_loadgen::engine::Run
+
+#![allow(deprecated)]
+
+mod conformance;
+
+use conformance::fingerprint;
+use venice_lease::LeaseConfig;
+use venice_loadgen::{engine, ArrivalProcess, LoadgenConfig, TenantMix};
+use venice_sim::Time;
+use venice_telemetry::RecordingProbe;
+
+fn open_loop(seed: u64) -> LoadgenConfig {
+    LoadgenConfig {
+        arrival: ArrivalProcess::OpenPoisson { rate_rps: 40_000.0 },
+        requests: 3_000,
+        ..LoadgenConfig::new(seed, TenantMix::web_frontend())
+    }
+}
+
+fn elastic_bursty(seed: u64) -> LoadgenConfig {
+    LoadgenConfig {
+        arrival: ArrivalProcess::Bursty {
+            base_rps: 6_000.0,
+            burst_rps: 90_000.0,
+            period: Time::from_ms(300),
+            burst_len: Time::from_ms(120),
+            crowd_users: 4,
+            crowd_share: 0.7,
+        },
+        requests: 3_000,
+        lease: Some(LeaseConfig::default()),
+        ..LoadgenConfig::new(seed, TenantMix::analytics())
+    }
+}
+
+fn configs() -> Vec<LoadgenConfig> {
+    vec![open_loop(0xDE90), elastic_bursty(0xDE91)]
+}
+
+#[test]
+fn run_matches_the_builder_chain() {
+    for config in configs() {
+        let wrapper = engine::run(&config);
+        let builder = engine::Run::new(&config).execute().report;
+        assert_eq!(
+            fingerprint(&wrapper, None),
+            fingerprint(&builder, None),
+            "run() drifted from the builder on {}",
+            config.mix.name
+        );
+    }
+}
+
+#[test]
+fn run_traced_matches_the_builder_chain() {
+    for config in configs() {
+        let (wrap_report, wrap_trace) = engine::run_traced(&config);
+        let out = engine::Run::new(&config).traced().execute();
+        let trace = out.trace.expect("traced run captures a trace");
+        assert_eq!(
+            fingerprint(&wrap_report, Some(&wrap_trace)),
+            fingerprint(&out.report, Some(&trace)),
+            "run_traced() drifted from the builder on {}",
+            config.mix.name
+        );
+    }
+}
+
+#[test]
+fn run_metered_matches_the_builder_chain() {
+    for config in configs() {
+        let (wrap_report, wrap_metrics) = engine::run_metered(&config);
+        let out = engine::Run::new(&config).metered().execute();
+        assert_eq!(
+            fingerprint(&wrap_report, None),
+            fingerprint(&out.report, None),
+            "run_metered() report drifted on {}",
+            config.mix.name
+        );
+        assert_eq!(wrap_metrics, out.metrics, "metrics drifted");
+    }
+}
+
+#[test]
+fn run_probed_matches_the_builder_chain() {
+    for config in configs() {
+        let (wrap_report, wrap_probe) =
+            engine::run_probed(&config, RecordingProbe::<false>::new(Time::from_ms(5), 256));
+        let out = engine::Run::new(&config)
+            .probe(RecordingProbe::<false>::new(Time::from_ms(5), 256))
+            .execute();
+        assert_eq!(
+            fingerprint(&wrap_report, None),
+            fingerprint(&out.report, None),
+            "run_probed() report drifted on {}",
+            config.mix.name
+        );
+        // The probes saw the identical event stream.
+        assert_eq!(wrap_probe.events_by_kind(), out.probe.events_by_kind());
+        assert_eq!(wrap_probe.time_by_kind_ps(), out.probe.time_by_kind_ps());
+        assert_eq!(wrap_probe.fused(), out.probe.fused());
+    }
+}
+
+#[test]
+fn replay_matches_the_builder_chain() {
+    for config in configs() {
+        let (_, trace) = engine::run_traced(&config);
+        let wrapper = engine::replay(&config, &trace);
+        let builder = engine::Run::new(&config).replay(&trace).execute().report;
+        assert_eq!(
+            fingerprint(&wrapper, None),
+            fingerprint(&builder, None),
+            "replay() drifted from the builder on {}",
+            config.mix.name
+        );
+    }
+}

@@ -9,6 +9,9 @@
 //! untouched by the chaos plumbing, and (d) the whole comparison is
 //! bit-identical across reruns and rayon widths.
 
+mod conformance;
+
+use conformance::Conformance;
 use venice_loadgen::{engine, failover};
 
 #[test]
@@ -86,6 +89,22 @@ fn elastic_failover_beats_static_through_a_node_crash() {
         .execute()
         .report;
     assert_eq!(elas, &again);
+}
+
+/// The conformance dimension: the crash-plan run holds the byte
+/// contract through every engine flavor (sequential reference, sharded
+/// 2/4/8 — the fault path refuses sharding and falls back, which must
+/// be byte-invisible). Scaled to 150k requests so the 3 s crash still
+/// lands mid-run and the diff covers the chaos path, not just the
+/// fault-free prefix.
+#[test]
+fn failover_run_holds_the_cross_engine_byte_contract() {
+    let mut config = failover::elastic_config(failover::FAILOVER_SEED);
+    config.requests = 150_000;
+    let (report, _) = Conformance::new(&config)
+        .faults(failover::crash_plan())
+        .assert_engines_agree();
+    assert!(report.shed_crash > 0, "the crash must land inside the run");
 }
 
 /// The rayon dimension: the failover comparison rerun at widths 1 and 8

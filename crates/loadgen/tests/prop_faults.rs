@@ -15,6 +15,9 @@
 //! cluster's books agree at end of run; a panic fails the test), and
 //! the same `(seed, plan)` pair replays bit-identically.
 
+mod conformance;
+
+use conformance::{fingerprint, Conformance};
 use proptest::prelude::*;
 use venice_loadgen::{
     elastic, engine, ArrivalProcess, FaultEvent, FaultPlan, LoadgenConfig, TenantMix,
@@ -92,21 +95,27 @@ proptest! {
     /// An armed-but-inert plan (no events at all) runs the whole
     /// `ENABLED = true` code path — liveness checks in routing,
     /// admission, donor selection, establish/teardown landing — and
-    /// must still reproduce the `NoFaults` run bit for bit.
+    /// must still reproduce the `NoFaults` run bit for bit, through
+    /// every engine flavor (the fault path refuses sharding and falls
+    /// back; the byte contract holds regardless).
     #[test]
     fn inert_plan_is_bit_identical_to_no_faults(seed in 0u64..50_000) {
         let config = chaos_config(seed);
-        let base = engine::Run::new(&config).execute().report;
-        let inert = engine::Run::new(&config)
+        let (base_report, base_trace) =
+            Conformance::new(&config).assert_engines_agree();
+        let (inert_report, inert_trace) = Conformance::new(&config)
             .faults(FaultPlan::new(vec![]))
-            .execute()
-            .report;
-        prop_assert_eq!(base, inert);
+            .assert_engines_agree();
+        prop_assert_eq!(
+            fingerprint(&base_report, Some(&base_trace)),
+            fingerprint(&inert_report, Some(&inert_trace))
+        );
     }
 
     /// Under arbitrary generated fault plans: no request leaks, the
     /// ledger-parity asserts inside the engine hold at end of run, and
-    /// the run replays bit-identically from the same `(seed, plan)`.
+    /// the run replays bit-identically from the same `(seed, plan)` —
+    /// through the sequential engine and every sharded width.
     #[test]
     fn conservation_and_parity_hold_under_arbitrary_fault_plans(
         seed in 0u64..50_000,
@@ -118,13 +127,14 @@ proptest! {
     ) {
         let events = build_plan(crash_draws, link_draws);
         let config = chaos_config(seed);
-        let run = |plan: FaultPlan| {
-            engine::Run::new(&config).faults(plan).execute().report
-        };
         // Ledger parity (manager books == cluster books, subleases
         // included) is asserted inside the engine at end of run: a
-        // divergence panics and fails this test.
-        let a = run(FaultPlan::new(events.clone()));
+        // divergence panics and fails this test. The conformance driver
+        // reruns the plan at every shard width, which doubles as the
+        // same-plan-same-bits replay check.
+        let (a, _) = Conformance::new(&config)
+            .faults(FaultPlan::new(events.clone()))
+            .assert_engines_agree();
         prop_assert_eq!(
             a.issued,
             a.completed + a.shed_total(),
@@ -134,8 +144,11 @@ proptest! {
         // No shed reason went negative-by-wraparound or exploded past
         // the issue count.
         prop_assert!(a.shed_crash <= a.issued);
-        // Same plan, same seed, same bits.
-        let b = run(FaultPlan::new(events));
+        // Same plan, same seed, same bits (untraced path too).
+        let b = engine::Run::new(&config)
+            .faults(FaultPlan::new(events))
+            .execute()
+            .report;
         prop_assert_eq!(a, b);
     }
 }

@@ -5,11 +5,16 @@
 //! events on `venice_sim::boxed`, per-request model re-derivation,
 //! per-tick clones). Every optimization in the typed engine — enum
 //! events, the indexed near-buffer queue, compiled service models,
-//! lookahead arrival fusion, the request slab — claims to be *pure
-//! speed*: these tests pin that claim by demanding **bit-identical**
-//! traces and reports from both engines over arbitrary seeds, mixes,
-//! arrival shapes, and lease policies.
+//! lookahead arrival fusion, the request slab, the sharded parallel
+//! kernel — claims to be *pure speed*: these tests pin that claim
+//! through the shared [`conformance`] driver, demanding
+//! **bit-identical** traces and reports from every engine flavor
+//! (legacy boxed, typed sequential, sharded 2/4/8) over arbitrary
+//! seeds, mixes, arrival shapes, and lease policies.
 
+mod conformance;
+
+use conformance::Conformance;
 use proptest::prelude::*;
 use venice_lease::LeaseConfig;
 use venice_loadgen::{engine, legacy, ArrivalProcess, LoadgenConfig, TenantMix};
@@ -17,7 +22,7 @@ use venice_sim::Time;
 
 proptest! {
     /// Open-loop runs: any seed, mix, and rate produce identical traces
-    /// and reports through both event cores.
+    /// and reports through every engine flavor.
     #[test]
     fn typed_and_legacy_agree_on_open_loop_runs(
         seed in 0u64..100_000,
@@ -31,21 +36,19 @@ proptest! {
             requests,
             ..LoadgenConfig::new(seed, mix)
         };
-        let typed = engine::Run::new(&config).traced().execute();
-        let typed_trace = typed.trace.expect("traced run captures a trace");
-        let (legacy_report, legacy_trace) = legacy::run_traced(&config);
-        prop_assert_eq!(&typed.report, &legacy_report);
-        prop_assert_eq!(&typed_trace, &legacy_trace);
+        let (_, trace) = Conformance::new(&config).legacy().assert_engines_agree();
         // Replay agrees too (typed replays by borrowing the trace, the
         // baseline by cloning it — same arrivals either way).
         prop_assert_eq!(
-            engine::Run::new(&config).replay(&typed_trace).execute().report,
-            legacy::replay(&config, &legacy_trace)
+            engine::Run::new(&config).replay(&trace).execute().report,
+            legacy::replay(&config, &trace)
         );
     }
 
     /// Closed-loop runs: session staggering and think-time draws come
-    /// from the same rng stream in both engines.
+    /// from the same rng stream in every flavor. (The sharded kernel
+    /// refuses closed-loop arrivals and falls back; the byte contract
+    /// must hold regardless.)
     #[test]
     fn typed_and_legacy_agree_on_closed_loop_runs(
         seed in 0u64..100_000,
@@ -62,7 +65,7 @@ proptest! {
             requests: 400,
             ..LoadgenConfig::new(seed, mix)
         };
-        prop_assert_eq!(engine::Run::new(&config).execute().report, legacy::run(&config));
+        Conformance::new(&config).legacy().assert_engines_agree();
     }
 
     /// Elastic runs under bursty traffic: lease ticks, establish flows,
@@ -92,10 +95,11 @@ proptest! {
             }),
             ..LoadgenConfig::new(seed, TenantMix::web_frontend())
         };
-        let typed = engine::Run::new(&config).execute().report;
+        let (report, _) = Conformance::new(&config).legacy().assert_engines_agree();
+        // The lease timeline is part of the report; spell out that the
+        // event log specifically survived every flavor.
         let legacy_run = legacy::run(&config);
-        prop_assert_eq!(&typed.lease.events, &legacy_run.lease.events);
-        prop_assert_eq!(typed, legacy_run);
+        prop_assert_eq!(&report.lease.events, &legacy_run.lease.events);
     }
 }
 

@@ -99,6 +99,29 @@ impl QueueStats {
     pub fn pops(&self) -> u64 {
         self.near_pops + self.heap_pops
     }
+
+    /// Total pushes accepted (near-buffer entries + direct heap
+    /// entries). Equal to [`pops`](Self::pops) once a queue drains.
+    pub fn pushes(&self) -> u64 {
+        self.near_hits + self.heap_pushes
+    }
+
+    /// Folds another queue's counters into this one, field by field.
+    ///
+    /// This is how a sharded run reports queue traffic: each sub-kernel
+    /// owns a private [`EventQueue`], and the per-shard counters are
+    /// plain sums, so merging them preserves every conservation law the
+    /// single-queue counters satisfy (`pushes == pops` on drained
+    /// queues, `near_spills <= near_hits`). The merge is commutative
+    /// and associative — the merged totals cannot depend on shard
+    /// count or merge order.
+    pub fn absorb(&mut self, other: QueueStats) {
+        self.near_hits += other.near_hits;
+        self.heap_pushes += other.heap_pushes;
+        self.near_spills += other.near_spills;
+        self.near_pops += other.near_pops;
+        self.heap_pops += other.heap_pops;
+    }
 }
 
 /// A time-ordered, insertion-stable event queue.
@@ -660,5 +683,67 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, "early");
         assert_eq!(q.pop().unwrap().1, "late");
         assert_eq!(q.pop().unwrap().1, "later");
+    }
+
+    /// Drives `q` with a deterministic workload over `events` pushes,
+    /// interleaving pops, and returns the drained pop sequence.
+    fn drive(q: &mut EventQueue<u64>, items: &[(u64, u64)]) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (i, &(at, v)) in items.iter().enumerate() {
+            q.push(Time::from_ns(at), v);
+            // Interleave pops so the near buffer and heap both see
+            // mid-stream traffic, not just a bulk drain.
+            if i % 3 == 2 {
+                out.extend(q.pop().map(|(t, v)| (t.as_ns(), v)));
+            }
+        }
+        while let Some((t, v)) = q.pop() {
+            out.push((t.as_ns(), v));
+        }
+        out
+    }
+
+    #[test]
+    fn partitioned_queues_merge_into_consistent_stats() {
+        // The sharded-kernel shape: one logical workload split across
+        // two sub-kernel queues by node parity. The merged QueueStats
+        // must satisfy exactly the conservation laws a single queue
+        // satisfies, and the merge must be order-independent.
+        let items: Vec<(u64, u64)> = (0..200u64)
+            .map(|i| ((i * 37) % 512 + (i % 7) * 900, i))
+            .collect();
+        let mut whole = EventQueue::new();
+        let whole_pops = drive(&mut whole, &items);
+        assert_eq!(whole_pops.len(), items.len());
+
+        let left: Vec<(u64, u64)> = items.iter().copied().filter(|(_, v)| v % 2 == 0).collect();
+        let right: Vec<(u64, u64)> = items.iter().copied().filter(|(_, v)| v % 2 == 1).collect();
+        let (mut qa, mut qb) = (EventQueue::new(), EventQueue::new());
+        let pops_a = drive(&mut qa, &left);
+        let pops_b = drive(&mut qb, &right);
+        assert_eq!(pops_a.len() + pops_b.len(), items.len());
+
+        let mut merged = qa.stats();
+        merged.absorb(qb.stats());
+        let mut flipped = qb.stats();
+        flipped.absorb(qa.stats());
+        assert_eq!(merged, flipped, "absorb must be commutative");
+        // Conservation: every push is either a near hit or a heap push,
+        // every pop near or heap, drained queues pop what they pushed,
+        // and spills never exceed near entries — for the merged stats
+        // exactly as for the whole-workload queue's.
+        for stats in [whole.stats(), merged] {
+            assert_eq!(stats.pushes(), items.len() as u64);
+            assert_eq!(stats.pops(), items.len() as u64);
+            assert_eq!(stats.pushes(), stats.near_hits + stats.heap_pushes);
+            assert_eq!(stats.pops(), stats.near_pops + stats.heap_pops);
+            assert!(stats.near_spills <= stats.near_hits);
+        }
+        // Merged slab occupancy: both drained, so zero live entries and
+        // a capacity that is the sum of the per-queue footprints.
+        let (live_a, cap_a) = qa.slab_occupancy();
+        let (live_b, cap_b) = qb.slab_occupancy();
+        assert_eq!(live_a + live_b, 0);
+        assert!(cap_a + cap_b <= whole.slab_occupancy().1 + items.len());
     }
 }

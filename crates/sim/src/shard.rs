@@ -1,0 +1,157 @@
+//! Conservative-lookahead machinery for running a sharded simulation.
+//!
+//! A sharded run splits the simulated world into per-node-group
+//! sub-kernels that execute on worker threads and synchronize at
+//! *lookahead barriers*: between two barriers a shard may safely run
+//! ahead on its own clock because no other shard can influence it
+//! sooner than the minimum cross-shard interaction latency. This module
+//! holds the two shard-agnostic ingredients — the [`Lookahead`] window
+//! derivation and the deterministic node [`partition`] — so every
+//! driver (the loadgen engine today, future subsystems tomorrow)
+//! derives its barriers the same way.
+//!
+//! The discipline is the classic conservative PDES one: the window is
+//! the **minimum** latency over every mechanism through which state can
+//! cross a shard boundary (lease ticks, fabric one-way latency, …).
+//! A world whose shards cannot interact at all has no such mechanism,
+//! and its window is [`Lookahead::Unbounded`]: the shards synchronize
+//! once, at the end of the run.
+
+use std::ops::Range;
+
+use crate::time::Time;
+
+/// How far a shard may run past the last barrier before it must
+/// synchronize with its peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookahead {
+    /// No mechanism lets one shard influence another: shards are fully
+    /// independent and synchronize only at the end of the run.
+    Unbounded,
+    /// Shards may interact, but never sooner than this window after a
+    /// barrier; each barrier advances the global horizon by the window.
+    Window(Time),
+}
+
+impl Lookahead {
+    /// Derives the window from every cross-shard interaction mechanism
+    /// the caller's world contains: each element is the minimum latency
+    /// of one mechanism (`None` when that mechanism is disabled for the
+    /// run). The result is the minimum over the armed mechanisms, or
+    /// [`Lookahead::Unbounded`] when none is armed.
+    ///
+    /// A zero-latency mechanism yields `Window(Time::ZERO)` — the
+    /// caller must then fall back to sequential execution, since a
+    /// zero window admits no safe parallel progress.
+    pub fn from_interactions<I>(latencies: I) -> Self
+    where
+        I: IntoIterator<Item = Option<Time>>,
+    {
+        match latencies.into_iter().flatten().min() {
+            Some(window) => Lookahead::Window(window),
+            None => Lookahead::Unbounded,
+        }
+    }
+
+    /// The barrier window, or `None` when unbounded.
+    pub fn window(&self) -> Option<Time> {
+        match self {
+            Lookahead::Unbounded => None,
+            Lookahead::Window(w) => Some(*w),
+        }
+    }
+
+    /// Whether parallel progress is safe at all: a bounded window of
+    /// zero means two shards could interact at the very next instant,
+    /// so no shard may run ahead and the caller must stay sequential.
+    pub fn admits_parallelism(&self) -> bool {
+        !matches!(self, Lookahead::Window(w) if *w == Time::ZERO)
+    }
+}
+
+/// Splits node ids `0..nodes` into `shards` contiguous, near-even
+/// ranges, earlier ranges taking the remainder. The split depends only
+/// on `(nodes, shards)` — never on thread count or timing — so a
+/// sharded run's work assignment is deterministic by construction.
+///
+/// `shards` is clamped to `1..=nodes`: asking for more shards than
+/// nodes yields one node per shard, and zero shards means one.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero — an empty world cannot be partitioned.
+pub fn partition(nodes: u16, shards: usize) -> Vec<Range<u16>> {
+    assert!(nodes > 0, "cannot partition an empty node set");
+    let shards = shards.clamp(1, nodes as usize) as u16;
+    let base = nodes / shards;
+    let rem = nodes % shards;
+    let mut out = Vec::with_capacity(shards as usize);
+    let mut start = 0u16;
+    for i in 0..shards {
+        let len = base + u16::from(i < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, nodes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookahead_is_the_minimum_over_armed_mechanisms() {
+        let tick = Time::from_us(50);
+        let fabric = Time::from_ns(600);
+        assert_eq!(
+            Lookahead::from_interactions([Some(tick), Some(fabric)]),
+            Lookahead::Window(fabric)
+        );
+        assert_eq!(
+            Lookahead::from_interactions([None, Some(tick)]),
+            Lookahead::Window(tick)
+        );
+        assert_eq!(
+            Lookahead::from_interactions([None, None]),
+            Lookahead::Unbounded
+        );
+        assert_eq!(Lookahead::Unbounded.window(), None);
+        assert_eq!(Lookahead::Window(tick).window(), Some(tick));
+    }
+
+    #[test]
+    fn zero_window_rejects_parallelism_and_unbounded_admits_it() {
+        assert!(Lookahead::Unbounded.admits_parallelism());
+        assert!(Lookahead::Window(Time::from_ns(1)).admits_parallelism());
+        assert!(!Lookahead::Window(Time::ZERO).admits_parallelism());
+    }
+
+    #[test]
+    fn partition_is_contiguous_exhaustive_and_near_even() {
+        for nodes in [1u16, 2, 7, 8, 16, 63] {
+            for shards in [1usize, 2, 3, 4, 8, 100] {
+                let ranges = partition(nodes, shards);
+                assert_eq!(ranges.len(), shards.clamp(1, nodes as usize));
+                // Contiguous and exhaustive.
+                let mut next = 0u16;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, nodes);
+                // Near-even: lengths differ by at most one.
+                let lens: Vec<u16> = ranges.iter().map(|r| r.end - r.start).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1, "{nodes} nodes / {shards} shards: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_clamps_degenerate_shard_counts() {
+        assert_eq!(partition(4, 0), vec![0..4]);
+        assert_eq!(partition(3, 8), vec![0..1, 1..2, 2..3]);
+    }
+}
